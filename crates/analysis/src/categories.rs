@@ -1,0 +1,105 @@
+//! Pinning by category (§5, Tables 4–5).
+
+use pinning_app::category::Category;
+use std::collections::BTreeMap;
+
+/// One table row: a category's pinning prevalence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryRow {
+    /// The category.
+    pub category: Category,
+    /// Rank of the category by population in the dataset (1 = biggest).
+    pub population_rank: usize,
+    /// Pinning apps in the category.
+    pub pinning_apps: usize,
+    /// Total apps in the category.
+    pub total_apps: usize,
+    /// Normalized prevalence, percent.
+    pub pinning_pct: f64,
+}
+
+/// Computes the category table: input is `(category, pins)` per app across
+/// all of a platform's datasets (deduplicated upstream). Output rows are
+/// sorted by descending prevalence, ties by category name, and truncated
+/// to `top_n`.
+pub fn category_table(apps: &[(Category, bool)], top_n: usize) -> Vec<CategoryRow> {
+    let mut totals: BTreeMap<Category, (usize, usize)> = BTreeMap::new();
+    for (cat, pins) in apps {
+        let e = totals.entry(*cat).or_default();
+        e.1 += 1;
+        if *pins {
+            e.0 += 1;
+        }
+    }
+    // Population ranks.
+    let mut by_pop: Vec<(Category, usize)> =
+        totals.iter().map(|(c, (_, total))| (*c, *total)).collect();
+    by_pop.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let rank_of: BTreeMap<Category, usize> =
+        by_pop.iter().enumerate().map(|(i, (c, _))| (*c, i + 1)).collect();
+
+    let mut rows: Vec<CategoryRow> = totals
+        .into_iter()
+        .filter(|(_, (pinning, _))| *pinning > 0)
+        .map(|(category, (pinning, total))| CategoryRow {
+            category,
+            population_rank: rank_of[&category],
+            pinning_apps: pinning,
+            total_apps: total,
+            pinning_pct: 100.0 * pinning as f64 / total as f64,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.pinning_pct
+            .partial_cmp(&a.pinning_pct)
+            .expect("percentages are finite")
+            .then(a.category.cmp(&b.category))
+    });
+    rows.truncate(top_n);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_and_ordering() {
+        let apps = vec![
+            (Category::Finance, true),
+            (Category::Finance, true),
+            (Category::Finance, false),
+            (Category::Games, true),
+            (Category::Games, false),
+            (Category::Games, false),
+            (Category::Games, false),
+            (Category::Education, false),
+        ];
+        let rows = category_table(&apps, 10);
+        assert_eq!(rows[0].category, Category::Finance);
+        assert!((rows[0].pinning_pct - 66.6667).abs() < 0.01);
+        assert_eq!(rows[0].pinning_apps, 2);
+        assert_eq!(rows[1].category, Category::Games);
+        assert!((rows[1].pinning_pct - 25.0).abs() < 1e-9);
+        // Education never pins → excluded.
+        assert_eq!(rows.len(), 2);
+        // Games is the biggest category → population rank 1.
+        assert_eq!(rows[1].population_rank, 1);
+        assert_eq!(rows[0].population_rank, 2);
+    }
+
+    #[test]
+    fn truncation() {
+        let apps = vec![
+            (Category::Finance, true),
+            (Category::Games, true),
+            (Category::Social, true),
+        ];
+        assert_eq!(category_table(&apps, 2).len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(category_table(&[], 10).is_empty());
+    }
+}

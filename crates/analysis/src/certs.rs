@@ -1,0 +1,272 @@
+//! Certificate analysis (§5.3): PKI class, pin level, SPKI-vs-raw, CT
+//! association, and validation-subversion checks.
+
+use crate::dynamics::pipeline::AppDynamicResult;
+use crate::statics::StaticFindings;
+use pinning_ctlog::CtLog;
+use pinning_netsim::network::Network;
+use pinning_pki::chain::CertificateChain;
+use pinning_pki::store::RootStore;
+use pinning_pki::time::SimTime;
+use pinning_pki::validate::{validate_chain, RevocationList, ValidationOptions};
+use std::collections::BTreeSet;
+
+/// Table 6's three buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PkiClass {
+    /// Chain roots in a public store.
+    DefaultPki,
+    /// Chain roots in a private CA (or is self-signed).
+    CustomPki,
+    /// Chain could not be retrieved.
+    DataUnavailable,
+}
+
+/// Classifies the chain served at `destination`.
+///
+/// §5.3.1's method: validate with OpenSSL against the Mozilla store, then
+/// manually review failures against the union of public stores before
+/// confirming them as custom PKIs.
+pub fn classify_destination_pki(
+    network: &Network,
+    mozilla: &RootStore,
+    all_public: &[&RootStore],
+    destination: &str,
+    now: SimTime,
+) -> PkiClass {
+    let Some(server) = network.resolve(destination) else {
+        return PkiClass::DataUnavailable;
+    };
+    let chain = &server.chain;
+    let opts = ValidationOptions { check_hostname: false, ..Default::default() };
+    if validate_chain(chain.certs(), mozilla, destination, now, &RevocationList::empty(), &opts)
+        .is_ok()
+    {
+        return PkiClass::DefaultPki;
+    }
+    // "Manual review": does the chain anchor in *any* public store?
+    for store in all_public {
+        if validate_chain(chain.certs(), store, destination, now, &RevocationList::empty(), &opts)
+            .is_ok()
+        {
+            return PkiClass::DefaultPki;
+        }
+    }
+    PkiClass::CustomPki
+}
+
+/// Whether the destination presents a bare self-signed certificate
+/// (§5.3.1 found one per platform, with 27- and 10-year lifetimes).
+pub fn is_self_signed_destination(network: &Network, destination: &str) -> bool {
+    network
+        .resolve(destination)
+        .and_then(|s| {
+            (s.chain.len() == 1).then(|| s.chain.leaf().map(|l| l.is_self_signed()))
+        })
+        .flatten()
+        .unwrap_or(false)
+}
+
+/// §5.3.2's tally: CA-pinned vs leaf-pinned destinations, found by
+/// matching statically-found certificates (and CT-resolved pins) against
+/// the served chain *by Common Name* — the paper's matching key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PinLevelCounts {
+    /// Pins matched to CA certificates (root or intermediate).
+    pub ca: usize,
+    /// Pins matched to leaf certificates.
+    pub leaf: usize,
+}
+
+/// Matches one app's static material against one dynamically-pinned
+/// destination's chain.
+pub fn pin_level_for_destination(
+    findings: &StaticFindings,
+    ctlog: &CtLog,
+    chain: &CertificateChain,
+) -> Option<bool /* is_ca */> {
+    let static_cns: BTreeSet<String> = findings
+        .embedded_certs
+        .iter()
+        .map(|c| c.value.tbs.subject.common_name.clone())
+        .chain(findings.pin_strings.iter().filter_map(|p| {
+            let pin = p.value.parsed.as_ref()?;
+            ctlog
+                .search_by_spki_digest(pin.alg, &pin.digest)
+                .first()
+                .map(|c| c.tbs.subject.common_name.clone())
+        }))
+        .collect();
+    for (idx, cert) in chain.certs().iter().enumerate() {
+        if static_cns.contains(&cert.tbs.subject.common_name) {
+            return Some(cert.tbs.is_ca || idx > 0);
+        }
+    }
+    None
+}
+
+/// §4.1.3 / §5.3: fraction of unique well-formed pins resolvable through
+/// the CT log (the crt.sh association step; the paper resolved ~50%).
+pub fn ct_resolution_rate(findings: &[&StaticFindings], ctlog: &CtLog) -> (usize, usize) {
+    let mut unique: BTreeSet<(u8, Vec<u8>)> = BTreeSet::new();
+    for f in findings {
+        for p in &f.pin_strings {
+            if let Some(pin) = &p.value.parsed {
+                let tag = match pin.alg {
+                    pinning_pki::pin::PinAlgorithm::Sha256 => 0u8,
+                    pinning_pki::pin::PinAlgorithm::Sha1 => 1u8,
+                };
+                unique.insert((tag, pin.digest.clone()));
+            }
+        }
+    }
+    let resolved = unique
+        .iter()
+        .filter(|(tag, digest)| {
+            let alg = if *tag == 0 {
+                pinning_pki::pin::PinAlgorithm::Sha256
+            } else {
+                pinning_pki::pin::PinAlgorithm::Sha1
+            };
+            !ctlog.search_by_spki_digest(alg, digest).is_empty()
+        })
+        .count();
+    (resolved, unique.len())
+}
+
+/// §5.3.4: verify no pinned destination served an expired-but-accepted
+/// certificate (evidence apps did *not* subvert standard validation).
+/// Returns the list of violations (expected empty).
+pub fn expired_but_pinned(
+    network: &Network,
+    results: &[(&AppDynamicResult, SimTime)],
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (res, now) in results {
+        for dest in res.pinned_destinations() {
+            let Some(server) = network.resolve(dest) else { continue };
+            for cert in server.chain.certs() {
+                if !cert.tbs.validity.contains(*now) {
+                    violations.push(dest.to_string());
+                }
+            }
+        }
+    }
+    violations.sort();
+    violations.dedup();
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinning_store::config::WorldConfig;
+    use pinning_store::world::World;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(0xCE27))
+    }
+
+    #[test]
+    fn default_pki_classification() {
+        let w = world();
+        // Any SDK backend uses the default PKI.
+        let stores = [&w.universe.aosp_oem, &w.universe.ios];
+        let class = classify_destination_pki(
+            &w.network,
+            &w.universe.mozilla,
+            &stores,
+            "api.twitter.com",
+            w.now,
+        );
+        assert_eq!(class, PkiClass::DefaultPki);
+    }
+
+    #[test]
+    fn custom_pki_classification() {
+        let w = world();
+        // Find a custom-PKI destination planted by the generator, if any.
+        let custom = w.apps.iter().flat_map(|a| &a.pin_rules).find(|r| r.custom_pki);
+        if let Some(rule) = custom {
+            let stores = [&w.universe.aosp_oem, &w.universe.ios];
+            let class = classify_destination_pki(
+                &w.network,
+                &w.universe.mozilla,
+                &stores,
+                &rule.pattern,
+                w.now,
+            );
+            assert_eq!(class, PkiClass::CustomPki, "{}", rule.pattern);
+        }
+    }
+
+    #[test]
+    fn unresolvable_is_unavailable() {
+        let w = world();
+        let class = classify_destination_pki(
+            &w.network,
+            &w.universe.mozilla,
+            &[],
+            "no-such-host.invalid",
+            w.now,
+        );
+        assert_eq!(class, PkiClass::DataUnavailable);
+    }
+
+    #[test]
+    fn ct_resolution_partial() {
+        let w = world();
+        let findings: Vec<_> = w
+            .apps
+            .iter()
+            .map(|a| {
+                crate::statics::analyze_package(
+                    &a.package,
+                    Some(w.config.ios_encryption_seed),
+                )
+            })
+            .collect();
+        let refs: Vec<&_> = findings.iter().collect();
+        let (resolved, total) = ct_resolution_rate(&refs, &w.ctlog);
+        assert!(total > 0, "tiny world must contain parsable pins");
+        assert!(resolved <= total);
+        // CA pins always resolve (CAs are always logged); some leaf pins
+        // don't — overall strictly between 0 and 100%.
+        assert!(resolved > 0);
+    }
+
+    #[test]
+    fn no_expired_pinned_certs_in_generated_world() {
+        let w = world();
+        let env = crate::dynamics::pipeline::DynamicEnv::new(
+            &w.network,
+            w.universe.aosp_oem.clone(),
+            w.universe.ios.clone(),
+            w.now,
+            1,
+        );
+        let results: Vec<_> = w
+            .apps
+            .iter()
+            .filter(|a| a.pins_at_runtime())
+            .map(|a| crate::dynamics::pipeline::analyze_app(&env, a))
+            .collect();
+        let pairs: Vec<_> = results.iter().map(|r| (r, w.now)).collect();
+        assert!(expired_but_pinned(&w.network, &pairs).is_empty());
+    }
+
+    #[test]
+    fn self_signed_detection() {
+        let w = world();
+        let ss = w
+            .apps
+            .iter()
+            .flat_map(|a| &a.behavior.connections)
+            .map(|c| c.domain.as_str())
+            .find(|d| d.starts_with("legacy."));
+        if let Some(d) = ss {
+            assert!(is_self_signed_destination(&w.network, d));
+        }
+        assert!(!is_self_signed_destination(&w.network, "api.twitter.com"));
+    }
+}

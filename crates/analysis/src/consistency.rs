@@ -1,0 +1,274 @@
+//! Cross-platform pinning consistency (§5.1, Figures 2–4).
+//!
+//! Definitions, verbatim from the paper:
+//!
+//! * an app has **inconsistent** pinning if a domain pinned on one platform
+//!   appears *unpinned* on the other;
+//! * an app has **consistent** pinning if it pins at least one common
+//!   domain on both platforms and has no inconsistent pinning;
+//! * otherwise the comparison is **inconclusive** (domains pinned on one
+//!   platform were never observed on the other).
+
+use std::collections::BTreeSet;
+
+/// One platform's observation for a common app.
+#[derive(Debug, Clone, Default)]
+pub struct PlatformObservation {
+    /// Destinations detected as pinned.
+    pub pinned: BTreeSet<String>,
+    /// All destinations observed (pinned or not).
+    pub observed: BTreeSet<String>,
+}
+
+impl PlatformObservation {
+    /// Builds from iterators.
+    pub fn new(
+        pinned: impl IntoIterator<Item = String>,
+        observed: impl IntoIterator<Item = String>,
+    ) -> Self {
+        let pinned: BTreeSet<String> = pinned.into_iter().collect();
+        let mut observed: BTreeSet<String> = observed.into_iter().collect();
+        observed.extend(pinned.iter().cloned());
+        PlatformObservation { pinned, observed }
+    }
+
+    /// Destinations observed but not pinned.
+    pub fn unpinned(&self) -> BTreeSet<&str> {
+        self.observed
+            .iter()
+            .filter(|d| !self.pinned.contains(*d))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+/// Figure 2's buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConsistencyClass {
+    /// ≥1 common pinned domain, no contradictions.
+    Consistent,
+    /// Some domain pinned on one platform is unpinned on the other.
+    Inconsistent,
+    /// No overlap to judge by.
+    Inconclusive,
+}
+
+/// Full comparison output for one common app.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsistencyReport {
+    /// The classification.
+    pub class: ConsistencyClass,
+    /// Jaccard index of the two pinned sets.
+    pub jaccard_pinned: f64,
+    /// Domains pinned on both platforms.
+    pub common_pinned: usize,
+    /// % of Android-pinned domains appearing **unpinned** on iOS
+    /// (Figure 3, middle column / Figure 4a cells).
+    pub android_pinned_unpinned_on_ios: f64,
+    /// % of iOS-pinned domains appearing unpinned on Android.
+    pub ios_pinned_unpinned_on_android: f64,
+    /// Whether the pinned sets are exactly equal (the "13 apps" of §5.1).
+    pub identical_pinned_sets: bool,
+}
+
+/// Jaccard index of two sets (1.0 when both empty, matching the
+/// same-set intuition).
+pub fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    inter / union
+}
+
+/// Compares the two platforms' observations for one app.
+pub fn compare(android: &PlatformObservation, ios: &PlatformObservation) -> ConsistencyReport {
+    let android_unpinned = android.unpinned();
+    let ios_unpinned = ios.unpinned();
+
+    let a_contradicted: Vec<&String> =
+        android.pinned.iter().filter(|d| ios_unpinned.contains(d.as_str())).collect();
+    let i_contradicted: Vec<&String> =
+        ios.pinned.iter().filter(|d| android_unpinned.contains(d.as_str())).collect();
+
+    let common_pinned = android.pinned.intersection(&ios.pinned).count();
+
+    let class = if !a_contradicted.is_empty() || !i_contradicted.is_empty() {
+        ConsistencyClass::Inconsistent
+    } else if common_pinned > 0 {
+        ConsistencyClass::Consistent
+    } else {
+        ConsistencyClass::Inconclusive
+    };
+
+    let pct = |n: usize, d: usize| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+    ConsistencyReport {
+        class,
+        jaccard_pinned: jaccard(&android.pinned, &ios.pinned),
+        common_pinned,
+        android_pinned_unpinned_on_ios: pct(a_contradicted.len(), android.pinned.len()),
+        ios_pinned_unpinned_on_android: pct(i_contradicted.len(), ios.pinned.len()),
+        identical_pinned_sets: android.pinned == ios.pinned && !android.pinned.is_empty(),
+    }
+}
+
+/// Figure-2-style aggregate over a common dataset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommonDatasetSummary {
+    /// Apps pinning on both platforms.
+    pub pin_both: usize,
+    /// Of those: consistent / inconsistent / inconclusive.
+    pub both_consistent: usize,
+    /// Inconsistent both-pinners.
+    pub both_inconsistent: usize,
+    /// Inconclusive both-pinners.
+    pub both_inconclusive: usize,
+    /// Identical pinned sets (subset of consistent).
+    pub both_identical: usize,
+    /// Apps pinning only on Android: (inconsistent, inconclusive).
+    pub android_only: (usize, usize),
+    /// Apps pinning only on iOS: (inconsistent, inconclusive).
+    pub ios_only: (usize, usize),
+}
+
+impl CommonDatasetSummary {
+    /// Total pinning apps in the common dataset.
+    pub fn total_pinners(&self) -> usize {
+        self.pin_both + self.android_only.0 + self.android_only.1 + self.ios_only.0 + self.ios_only.1
+    }
+}
+
+/// Aggregates per-app comparisons into the Figure 2/4 summary.
+pub fn summarize_common(
+    observations: &[(PlatformObservation, PlatformObservation)],
+) -> CommonDatasetSummary {
+    let mut s = CommonDatasetSummary::default();
+    for (android, ios) in observations {
+        let a_pins = !android.pinned.is_empty();
+        let i_pins = !ios.pinned.is_empty();
+        match (a_pins, i_pins) {
+            (true, true) => {
+                s.pin_both += 1;
+                let rep = compare(android, ios);
+                match rep.class {
+                    ConsistencyClass::Consistent => {
+                        s.both_consistent += 1;
+                        if rep.identical_pinned_sets {
+                            s.both_identical += 1;
+                        }
+                    }
+                    ConsistencyClass::Inconsistent => s.both_inconsistent += 1,
+                    ConsistencyClass::Inconclusive => s.both_inconclusive += 1,
+                }
+            }
+            (true, false) => {
+                let rep = compare(android, ios);
+                if rep.android_pinned_unpinned_on_ios > 0.0 {
+                    s.android_only.0 += 1;
+                } else {
+                    s.android_only.1 += 1;
+                }
+            }
+            (false, true) => {
+                let rep = compare(android, ios);
+                if rep.ios_pinned_unpinned_on_android > 0.0 {
+                    s.ios_only.0 += 1;
+                } else {
+                    s.ios_only.1 += 1;
+                }
+            }
+            (false, false) => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(pinned: &[&str], observed: &[&str]) -> PlatformObservation {
+        PlatformObservation::new(
+            pinned.iter().map(|s| s.to_string()),
+            observed.iter().map(|s| s.to_string()),
+        )
+    }
+
+    #[test]
+    fn identical_sets_consistent() {
+        let a = obs(&["x.com"], &["x.com", "y.com"]);
+        let i = obs(&["x.com"], &["x.com", "z.com"]);
+        let rep = compare(&a, &i);
+        assert_eq!(rep.class, ConsistencyClass::Consistent);
+        assert!(rep.identical_pinned_sets);
+        assert!((rep.jaccard_pinned - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn consistent_with_unobserved_extras() {
+        // Android pins an extra domain iOS never contacts — still
+        // consistent per the paper's definition.
+        let a = obs(&["x.com", "extra.com"], &["x.com", "extra.com"]);
+        let i = obs(&["x.com"], &["x.com"]);
+        let rep = compare(&a, &i);
+        assert_eq!(rep.class, ConsistencyClass::Consistent);
+        assert!(!rep.identical_pinned_sets);
+        assert!(rep.jaccard_pinned < 1.0);
+    }
+
+    #[test]
+    fn contradiction_is_inconsistent() {
+        // iOS contacts x.com unpinned while Android pins it.
+        let a = obs(&["x.com"], &["x.com"]);
+        let i = obs(&["y.com"], &["x.com", "y.com"]);
+        let rep = compare(&a, &i);
+        assert_eq!(rep.class, ConsistencyClass::Inconsistent);
+        assert!((rep.android_pinned_unpinned_on_ios - 100.0).abs() < 1e-9);
+        assert_eq!(rep.ios_pinned_unpinned_on_android, 0.0);
+    }
+
+    #[test]
+    fn disjoint_unobserved_is_inconclusive() {
+        let a = obs(&["a.com"], &["a.com"]);
+        let i = obs(&["b.com"], &["b.com"]);
+        let rep = compare(&a, &i);
+        assert_eq!(rep.class, ConsistencyClass::Inconclusive);
+        assert_eq!(rep.jaccard_pinned, 0.0);
+    }
+
+    #[test]
+    fn jaccard_edges() {
+        let empty = BTreeSet::new();
+        assert_eq!(jaccard(&empty, &empty), 1.0);
+        let x: BTreeSet<String> = ["a".to_string()].into();
+        assert_eq!(jaccard(&x, &empty), 0.0);
+    }
+
+    #[test]
+    fn summary_buckets() {
+        let rows = vec![
+            // both, identical
+            (obs(&["x.com"], &["x.com"]), obs(&["x.com"], &["x.com"])),
+            // both, inconsistent
+            (obs(&["x.com", "y.com"], &["x.com", "y.com"]), obs(&["x.com"], &["x.com", "y.com"])),
+            // both, inconclusive (disjoint)
+            (obs(&["a.com"], &["a.com"]), obs(&["b.com"], &["b.com"])),
+            // android-only, inconsistent (domain shows unpinned on iOS)
+            (obs(&["p.com"], &["p.com"]), obs(&[], &["p.com"])),
+            // ios-only, inconclusive
+            (obs(&[], &["q.com"]), obs(&["r.com"], &["r.com"])),
+            // neither pins
+            (obs(&[], &["n.com"]), obs(&[], &["n.com"])),
+        ];
+        let s = summarize_common(&rows);
+        assert_eq!(s.pin_both, 3);
+        assert_eq!(s.both_consistent, 1);
+        assert_eq!(s.both_identical, 1);
+        assert_eq!(s.both_inconsistent, 1);
+        assert_eq!(s.both_inconclusive, 1);
+        assert_eq!(s.android_only, (1, 0));
+        assert_eq!(s.ios_only, (0, 1));
+        assert_eq!(s.total_pinners(), 5);
+    }
+}

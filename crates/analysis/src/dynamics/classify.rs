@@ -1,0 +1,165 @@
+//! Used/failed connection classification (§4.2.2).
+//!
+//! The classifier may consult **only passive observables**: wire content
+//! types, record lengths, plaintext alerts, TCP flags, and the negotiated
+//! version. It must never read `RecordEvent::inner_type` — that field is
+//! the oracle reserved for ablation benches.
+
+use pinning_tls::alert::ENCRYPTED_ALERT_WIRE_LEN;
+use pinning_tls::record::Direction;
+use pinning_tls::{ConnectionTranscript, TlsVersion};
+
+/// Classification of one connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnStatus {
+    /// The client sent application data (the connection was *used*).
+    Used,
+    /// The connection went unused and the client aborted (TCP RST or FIN)
+    /// — the paper's *failed* definition.
+    Failed,
+    /// Neither: e.g. a connection the server dropped, or one that simply
+    /// idled out. Excluded from pinning inference.
+    Inconclusive,
+}
+
+/// Classifies a connection per the paper's heuristics:
+///
+/// * **TLS ≤ 1.2** — any client-sent "Encrypted Application Data" record
+///   proves use (handshake records are typed distinctly on the wire).
+/// * **TLS 1.3** — every encrypted record is disguised as application
+///   data, and the first client record is always the Finished. The
+///   connection is used iff the client sent **more than two**
+///   app-data-looking records, **or** exactly two where the second's
+///   length differs from an encrypted alert's.
+/// * **Failed** — not used, and the client tore the connection down
+///   (RST or FIN).
+pub fn classify_connection(t: &ConnectionTranscript) -> ConnStatus {
+    let used = match t.negotiated {
+        Some((TlsVersion::V1_3, _)) => {
+            let client_records = t.client_encrypted_appdata();
+            match client_records.len() {
+                0 | 1 => false, // at most the Finished
+                2 => client_records[1].payload_len != ENCRYPTED_ALERT_WIRE_LEN,
+                _ => true,
+            }
+        }
+        Some(_) => t
+            .records()
+            .any(|r| {
+                r.direction == Direction::ClientToServer
+                    && r.encrypted
+                    && r.wire_type == pinning_tls::ContentType::ApplicationData
+            }),
+        None => false,
+    };
+    if used {
+        return ConnStatus::Used;
+    }
+    if t.client_rst() || t.client_fin() {
+        ConnStatus::Failed
+    } else {
+        ConnStatus::Inconclusive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinning_tls::cipher::CipherSuite;
+    use pinning_tls::record::{ContentType, RecordEvent, TcpEvent};
+
+    fn base(version: TlsVersion) -> ConnectionTranscript {
+        let cipher = if version == TlsVersion::V1_3 {
+            CipherSuite::TLS_AES_128_GCM_SHA256
+        } else {
+            CipherSuite::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256
+        };
+        let mut t = ConnectionTranscript {
+            sni: Some("x.com".into()),
+            negotiated: Some((version, cipher)),
+            ..Default::default()
+        };
+        t.push_tcp(TcpEvent::Established);
+        t
+    }
+
+    fn enc(t: &mut ConnectionTranscript, version: TlsVersion, inner: ContentType, len: usize) {
+        t.push_record(RecordEvent::encrypted(Direction::ClientToServer, version, inner, len));
+    }
+
+    #[test]
+    fn tls12_data_means_used() {
+        let mut t = base(TlsVersion::V1_2);
+        enc(&mut t, TlsVersion::V1_2, ContentType::Handshake, 44); // Finished
+        enc(&mut t, TlsVersion::V1_2, ContentType::ApplicationData, 500);
+        assert_eq!(classify_connection(&t), ConnStatus::Used);
+    }
+
+    #[test]
+    fn tls12_handshake_only_not_used() {
+        let mut t = base(TlsVersion::V1_2);
+        enc(&mut t, TlsVersion::V1_2, ContentType::Handshake, 44);
+        t.push_tcp(TcpEvent::Fin { from: Direction::ClientToServer });
+        assert_eq!(classify_connection(&t), ConnStatus::Failed);
+    }
+
+    #[test]
+    fn tls13_three_records_used() {
+        let mut t = base(TlsVersion::V1_3);
+        enc(&mut t, TlsVersion::V1_3, ContentType::Handshake, 40); // Finished (disguised)
+        enc(&mut t, TlsVersion::V1_3, ContentType::ApplicationData, 700);
+        enc(&mut t, TlsVersion::V1_3, ContentType::Alert, ENCRYPTED_ALERT_WIRE_LEN);
+        assert_eq!(classify_connection(&t), ConnStatus::Used);
+    }
+
+    #[test]
+    fn tls13_finished_plus_alert_not_used() {
+        let mut t = base(TlsVersion::V1_3);
+        enc(&mut t, TlsVersion::V1_3, ContentType::Handshake, 40);
+        enc(&mut t, TlsVersion::V1_3, ContentType::Alert, ENCRYPTED_ALERT_WIRE_LEN);
+        t.push_tcp(TcpEvent::Fin { from: Direction::ClientToServer });
+        assert_eq!(classify_connection(&t), ConnStatus::Failed);
+    }
+
+    #[test]
+    fn tls13_finished_plus_data_used_when_length_differs() {
+        let mut t = base(TlsVersion::V1_3);
+        enc(&mut t, TlsVersion::V1_3, ContentType::Handshake, 40);
+        enc(&mut t, TlsVersion::V1_3, ContentType::ApplicationData, 512);
+        assert_eq!(classify_connection(&t), ConnStatus::Used);
+    }
+
+    #[test]
+    fn tls13_heuristic_known_blind_spot() {
+        // A genuine data record that happens to be exactly the alert length
+        // is misclassified — the imperfection the paper accepts because the
+        // *differential* comparison absorbs it.
+        let mut t = base(TlsVersion::V1_3);
+        enc(&mut t, TlsVersion::V1_3, ContentType::Handshake, 40);
+        enc(&mut t, TlsVersion::V1_3, ContentType::ApplicationData, ENCRYPTED_ALERT_WIRE_LEN);
+        assert_eq!(classify_connection(&t), ConnStatus::Inconclusive);
+    }
+
+    #[test]
+    fn rst_without_use_is_failed() {
+        let mut t = base(TlsVersion::V1_3);
+        enc(&mut t, TlsVersion::V1_3, ContentType::Handshake, 40);
+        t.push_tcp(TcpEvent::Rst { from: Direction::ClientToServer });
+        assert_eq!(classify_connection(&t), ConnStatus::Failed);
+    }
+
+    #[test]
+    fn server_drop_is_inconclusive() {
+        let mut t = base(TlsVersion::V1_2);
+        t.push_tcp(TcpEvent::Rst { from: Direction::ServerToClient });
+        assert_eq!(classify_connection(&t), ConnStatus::Inconclusive);
+    }
+
+    #[test]
+    fn no_negotiation_is_not_used() {
+        let mut t = ConnectionTranscript { sni: Some("x.com".into()), ..Default::default() };
+        t.push_tcp(TcpEvent::Established);
+        t.push_tcp(TcpEvent::Fin { from: Direction::ServerToClient });
+        assert_eq!(classify_connection(&t), ConnStatus::Inconclusive);
+    }
+}

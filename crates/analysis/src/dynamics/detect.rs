@@ -1,0 +1,260 @@
+//! Differential pinned-destination detection (§4.2.2) and the iOS
+//! exclusion rules (§4.5).
+
+use super::classify::{classify_connection, ConnStatus};
+use pinning_netsim::flow::Capture;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+/// Destinations excluded from pinning attribution before comparison.
+#[derive(Debug, Clone, Default)]
+pub struct Exclusions {
+    /// Apple-operated background domains (publicly known list).
+    pub apple_domains: HashSet<String>,
+    /// The app's entitlement-declared associated domains (extracted
+    /// statically from the package).
+    pub associated_domains: HashSet<String>,
+}
+
+impl Exclusions {
+    /// No exclusions (Android runs).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// The iOS exclusion set for one app.
+    pub fn ios(associated_domains: impl IntoIterator<Item = String>) -> Self {
+        Exclusions {
+            apple_domains: pinning_netsim::APPLE_BACKGROUND_DOMAINS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            associated_domains: associated_domains.into_iter().collect(),
+        }
+    }
+
+    /// Whether `destination` must be excluded.
+    pub fn excluded(&self, destination: &str) -> bool {
+        self.apple_domains.contains(destination) || self.associated_domains.contains(destination)
+    }
+}
+
+/// Why a destination was excluded (or kept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExcludeReason {
+    /// Apple background service domain.
+    AppleBackground,
+    /// Entitlement-declared associated domain.
+    AssociatedDomain,
+    /// Never used in the baseline run (nothing to compare).
+    NeverUsedBaseline,
+    /// Some MITM connection was used or inconclusive-without-abort — not
+    /// "always failed".
+    NotAlwaysFailedUnderMitm,
+}
+
+/// Verdict for one destination of one app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DestinationVerdict {
+    /// Destination hostname (SNI key).
+    pub destination: String,
+    /// Pinned per the differential rule.
+    pub pinned: bool,
+    /// Used at least once without interception.
+    pub used_baseline: bool,
+    /// Every interception-run connection failed.
+    pub all_failed_mitm: bool,
+    /// Why the destination was discarded, if it was.
+    pub excluded: Option<ExcludeReason>,
+}
+
+/// Applies the differential rule to a (baseline, MITM) capture pair:
+///
+/// > "If a destination has any TLS connection that is used in the
+/// > non-MITM setting, but TLS connections that always failed in the MITM
+/// > setting, we mark it as pinned."
+pub fn detect_pinned_destinations(
+    baseline: &Capture,
+    mitm: &Capture,
+    exclusions: &Exclusions,
+) -> Vec<DestinationVerdict> {
+    let base_groups = baseline.by_destination();
+    let mitm_groups = mitm.by_destination();
+
+    let all_destinations: BTreeSet<&str> = base_groups
+        .keys()
+        .chain(mitm_groups.keys())
+        .copied()
+        .collect();
+
+    let mut verdicts = Vec::new();
+    for dest in all_destinations {
+        let mut verdict = DestinationVerdict {
+            destination: dest.to_string(),
+            pinned: false,
+            used_baseline: false,
+            all_failed_mitm: false,
+            excluded: None,
+        };
+
+        if exclusions.apple_domains.contains(dest) {
+            verdict.excluded = Some(ExcludeReason::AppleBackground);
+            verdicts.push(verdict);
+            continue;
+        }
+        if exclusions.associated_domains.contains(dest) {
+            verdict.excluded = Some(ExcludeReason::AssociatedDomain);
+            verdicts.push(verdict);
+            continue;
+        }
+
+        let statuses = |groups: &BTreeMap<&str, Vec<&pinning_netsim::flow::FlowRecord>>| {
+            groups
+                .get(dest)
+                .map(|flows| {
+                    flows
+                        .iter()
+                        .map(|f| classify_connection(&f.transcript))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default()
+        };
+        let base_statuses = statuses(&base_groups);
+        let mitm_statuses = statuses(&mitm_groups);
+
+        verdict.used_baseline = base_statuses.contains(&ConnStatus::Used);
+        verdict.all_failed_mitm = !mitm_statuses.is_empty()
+            && mitm_statuses.iter().all(|s| *s == ConnStatus::Failed);
+
+        if !verdict.used_baseline {
+            verdict.excluded = Some(ExcludeReason::NeverUsedBaseline);
+        } else if !verdict.all_failed_mitm {
+            verdict.excluded = Some(ExcludeReason::NotAlwaysFailedUnderMitm);
+        } else {
+            verdict.pinned = true;
+        }
+        verdicts.push(verdict);
+    }
+    verdicts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinning_netsim::flow::{FlowOrigin, FlowRecord};
+    use pinning_tls::cipher::CipherSuite;
+    use pinning_tls::record::{ContentType, Direction, RecordEvent, TcpEvent};
+    use pinning_tls::{ConnectionTranscript, TlsVersion};
+
+    fn used_flow(dest: &str) -> FlowRecord {
+        let mut t = ConnectionTranscript {
+            sni: Some(dest.into()),
+            negotiated: Some((TlsVersion::V1_3, CipherSuite::TLS_AES_128_GCM_SHA256)),
+            ..Default::default()
+        };
+        t.push_tcp(TcpEvent::Established);
+        for (inner, len) in [
+            (ContentType::Handshake, 40),
+            (ContentType::ApplicationData, 600),
+            (ContentType::Alert, 24),
+        ] {
+            t.push_record(RecordEvent::encrypted(Direction::ClientToServer, TlsVersion::V1_3, inner, len));
+        }
+        FlowRecord {
+            dest: dest.into(),
+            at_secs: 1,
+            origin: FlowOrigin::App,
+            transcript: t,
+            mitm_attempted: false,
+            decrypted_request: None,
+        }
+    }
+
+    fn failed_flow(dest: &str) -> FlowRecord {
+        let mut t = ConnectionTranscript {
+            sni: Some(dest.into()),
+            negotiated: Some((TlsVersion::V1_3, CipherSuite::TLS_AES_128_GCM_SHA256)),
+            ..Default::default()
+        };
+        t.push_tcp(TcpEvent::Established);
+        t.push_record(RecordEvent::encrypted(
+            Direction::ClientToServer,
+            TlsVersion::V1_3,
+            ContentType::Alert,
+            24,
+        ));
+        t.push_tcp(TcpEvent::Fin { from: Direction::ClientToServer });
+        let mut f = used_flow(dest);
+        f.mitm_attempted = true;
+        f.transcript = t;
+        f
+    }
+
+    fn capture(flows: Vec<FlowRecord>) -> Capture {
+        Capture { flows, window_secs: 30 }
+    }
+
+    #[test]
+    fn pinned_destination_detected() {
+        let baseline = capture(vec![used_flow("pin.com")]);
+        let mitm = capture(vec![failed_flow("pin.com")]);
+        let v = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+        assert_eq!(v.len(), 1);
+        assert!(v[0].pinned);
+    }
+
+    #[test]
+    fn unpinned_destination_not_flagged() {
+        let baseline = capture(vec![used_flow("open.com")]);
+        let mitm = capture(vec![used_flow("open.com")]);
+        let v = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+        assert!(!v[0].pinned);
+        assert_eq!(v[0].excluded, Some(ExcludeReason::NotAlwaysFailedUnderMitm));
+    }
+
+    #[test]
+    fn never_used_baseline_excluded() {
+        let baseline = capture(vec![failed_flow("flaky.com")]);
+        let mitm = capture(vec![failed_flow("flaky.com")]);
+        let v = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+        assert!(!v[0].pinned);
+        assert_eq!(v[0].excluded, Some(ExcludeReason::NeverUsedBaseline));
+    }
+
+    #[test]
+    fn mixed_mitm_outcomes_not_pinned() {
+        // A retry that succeeded under MITM → not "always failed".
+        let baseline = capture(vec![used_flow("x.com")]);
+        let mitm = capture(vec![failed_flow("x.com"), used_flow("x.com")]);
+        let v = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+        assert!(!v[0].pinned);
+    }
+
+    #[test]
+    fn apple_domains_excluded_on_ios() {
+        let d = pinning_netsim::APPLE_BACKGROUND_DOMAINS[0];
+        let baseline = capture(vec![used_flow(d)]);
+        let mitm = capture(vec![failed_flow(d)]);
+        let ex = Exclusions::ios(vec![]);
+        let v = detect_pinned_destinations(&baseline, &mitm, &ex);
+        assert!(!v[0].pinned, "would be a false positive without the exclusion");
+        assert_eq!(v[0].excluded, Some(ExcludeReason::AppleBackground));
+    }
+
+    #[test]
+    fn associated_domains_excluded() {
+        let baseline = capture(vec![used_flow("www.myapp.example")]);
+        let mitm = capture(vec![failed_flow("www.myapp.example")]);
+        let ex = Exclusions::ios(vec!["www.myapp.example".to_string()]);
+        let v = detect_pinned_destinations(&baseline, &mitm, &ex);
+        assert_eq!(v[0].excluded, Some(ExcludeReason::AssociatedDomain));
+    }
+
+    #[test]
+    fn destination_only_in_mitm_run_not_pinned() {
+        let baseline = capture(vec![]);
+        let mitm = capture(vec![failed_flow("late.com")]);
+        let v = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+        assert!(!v[0].pinned);
+        assert_eq!(v[0].excluded, Some(ExcludeReason::NeverUsedBaseline));
+    }
+}

@@ -1,0 +1,11 @@
+//! Dynamic analysis (§4.2): differential MITM detection of pinning.
+
+pub mod calibration;
+pub mod classify;
+pub mod detect;
+pub mod interaction;
+pub mod pipeline;
+
+pub use classify::{classify_connection, ConnStatus};
+pub use detect::{detect_pinned_destinations, DestinationVerdict, Exclusions};
+pub use pipeline::{AppDynamicResult, DynamicEnv};

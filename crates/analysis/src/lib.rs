@@ -1,0 +1,34 @@
+//! The paper's core contribution: cross-platform static and dynamic
+//! certificate-pinning detection, plus the downstream characterization
+//! analyses behind every table and figure.
+//!
+//! Layout mirrors §4 ("Methodology") and §5 ("Results"):
+//!
+//! | module | paper section |
+//! |---|---|
+//! | [`statics`] | §4.1 static analysis: config files, embedded certs, pin-hash scanning, third-party attribution |
+//! | [`dynamics`] | §4.2 dynamic analysis: differential MITM detection, used/failed heuristics, iOS background-traffic handling, sleep-time calibration |
+//! | [`circumvent`] | §4.3 pinning circumvention via instrumentation |
+//! | [`pii`] | §4.4/§5.5 PII detection + chi-square significance |
+//! | [`certs`] | §5.3 certificate analysis: PKI class, root-vs-leaf pins, SPKI-vs-raw, validation subversion, CT association |
+//! | [`consistency`] | §5.1 cross-platform consistency (Figures 2–4) |
+//! | [`destinations`] | §5.2 pinned vs unpinned destinations, first/third party (Figure 5) |
+//! | [`security`] | §5.4 connection security / weak ciphers (Table 8) |
+//! | [`categories`] | §5 pinning-by-category (Tables 4–5) |
+//! | [`results`] | shared per-app result records |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod categories;
+pub mod certs;
+pub mod circumvent;
+pub mod consistency;
+pub mod destinations;
+pub mod dynamics;
+pub mod pii;
+pub mod results;
+pub mod security;
+pub mod statics;
+
+pub use results::AppAnalysis;

@@ -1,0 +1,39 @@
+//! Shared per-app result record.
+
+use crate::circumvent::CircumventionResult;
+use crate::dynamics::pipeline::AppDynamicResult;
+use crate::statics::StaticFindings;
+use pinning_app::platform::AppId;
+
+/// Everything the pipelines produced for one app.
+#[derive(Debug, Clone)]
+pub struct AppAnalysis {
+    /// Index into the world's app list.
+    pub app_index: usize,
+    /// The app's identity.
+    pub id: AppId,
+    /// §4.1 static findings.
+    pub static_findings: StaticFindings,
+    /// §4.2 dynamic result.
+    pub dynamic: AppDynamicResult,
+    /// §4.3 circumvention result (only for apps with pinned destinations).
+    pub circumvention: Option<CircumventionResult>,
+}
+
+impl AppAnalysis {
+    /// §5's definition: the app pins iff dynamic analysis saw a pinned
+    /// connection.
+    pub fn pins(&self) -> bool {
+        self.dynamic.pins()
+    }
+
+    /// Table 3 static "Embedded Certificates" signal.
+    pub fn static_embedded_signal(&self) -> bool {
+        self.static_findings.has_pin_material()
+    }
+
+    /// Table 3 static "Configuration Files" signal (NSC).
+    pub fn static_nsc_signal(&self) -> bool {
+        self.static_findings.nsc_signal()
+    }
+}

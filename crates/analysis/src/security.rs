@@ -1,0 +1,99 @@
+//! Connection security (§5.4, Table 8): weak-cipher advertisement in
+//! pinned vs all connections.
+
+use crate::dynamics::pipeline::AppDynamicResult;
+use pinning_netsim::flow::Capture;
+use std::collections::BTreeSet;
+
+/// Whether any flow in `capture` advertised a weak cipher suite.
+pub fn any_weak_offer(capture: &Capture) -> bool {
+    capture
+        .flows
+        .iter()
+        .any(|f| f.transcript.offered_ciphers.iter().any(|c| c.is_weak()))
+}
+
+/// Whether any flow *to a pinned destination* advertised a weak suite.
+pub fn any_weak_pinned_offer(result: &AppDynamicResult) -> bool {
+    let pinned: BTreeSet<&str> = result.pinned_destinations().into_iter().collect();
+    result
+        .baseline
+        .flows
+        .iter()
+        .filter(|f| f.transcript.sni.as_deref().is_some_and(|s| pinned.contains(s)))
+        .any(|f| f.transcript.offered_ciphers.iter().any(|c| c.is_weak()))
+}
+
+/// One Table 8 row: a (dataset, platform) cell pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WeakCipherRow {
+    /// Apps with ≥1 weak-advertising connection / total apps.
+    pub overall_pct: f64,
+    /// Pinning apps with ≥1 weak-advertising *pinned* connection / pinning
+    /// apps.
+    pub pinning_pct: f64,
+    /// Denominators, for auditability.
+    pub total_apps: usize,
+    /// Number of pinning apps.
+    pub pinning_apps: usize,
+}
+
+/// Computes a Table 8 row over one dataset's results.
+pub fn weak_cipher_row(results: &[&AppDynamicResult]) -> WeakCipherRow {
+    let total_apps = results.len();
+    let overall = results.iter().filter(|r| any_weak_offer(&r.baseline)).count();
+    let pinners: Vec<_> = results.iter().filter(|r| r.pins()).collect();
+    let pinning_weak = pinners.iter().filter(|r| any_weak_pinned_offer(r)).count();
+    let pct = |n: usize, d: usize| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+    WeakCipherRow {
+        overall_pct: pct(overall, total_apps),
+        pinning_pct: pct(pinning_weak, pinners.len()),
+        total_apps,
+        pinning_apps: pinners.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::pipeline::{analyze_app, DynamicEnv};
+    use pinning_app::platform::Platform;
+    use pinning_store::config::WorldConfig;
+    use pinning_store::world::World;
+
+    #[test]
+    fn ios_overall_weak_far_exceeds_android() {
+        let w = World::generate(WorldConfig::tiny(0x8a));
+        let env = DynamicEnv::new(
+            &w.network,
+            w.universe.aosp_oem.clone(),
+            w.universe.ios.clone(),
+            w.now,
+            2,
+        );
+        let mut android = Vec::new();
+        let mut ios = Vec::new();
+        for app in &w.apps {
+            let r = analyze_app(&env, app);
+            match app.id.platform {
+                Platform::Android => android.push(r),
+                Platform::Ios => ios.push(r),
+            }
+        }
+        let a_refs: Vec<&_> = android.iter().collect();
+        let i_refs: Vec<&_> = ios.iter().collect();
+        let a_row = weak_cipher_row(&a_refs);
+        let i_row = weak_cipher_row(&i_refs);
+        // Table 8 shape: iOS overall ≈ 80–95%, Android ≈ 3–20%.
+        assert!(i_row.overall_pct > 60.0, "iOS overall {}", i_row.overall_pct);
+        assert!(a_row.overall_pct < 40.0, "Android overall {}", a_row.overall_pct);
+        assert!(i_row.overall_pct > a_row.overall_pct + 30.0);
+    }
+
+    #[test]
+    fn empty_dataset_row_is_zero() {
+        let row = weak_cipher_row(&[]);
+        assert_eq!(row.overall_pct, 0.0);
+        assert_eq!(row.total_apps, 0);
+    }
+}

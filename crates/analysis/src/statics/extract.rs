@@ -1,0 +1,184 @@
+//! File-level extraction (§4.1.2): certificate assets, PEM blobs, and
+//! string pools of dex/native/Mach-O binaries.
+
+use super::scanner;
+use super::{FoundPin, Located, StaticFindings};
+use pinning_app::package::{extract_strings, AppPackage, FileContent};
+use pinning_pki::encode::pem_decode_all;
+use pinning_pki::Certificate;
+
+/// File extensions treated as certificate material (§4.1.2's list).
+pub const CERT_EXTENSIONS: [&str; 5] = ["der", "pem", "crt", "cert", "cer"];
+
+/// Minimum printable-string length when dumping binaries (radare2 default).
+const MIN_STRING_LEN: usize = 6;
+
+/// Scans every file in a (decrypted) package, populating `findings`.
+pub fn scan_files(package: &AppPackage, findings: &mut StaticFindings) {
+    for file in &package.files {
+        let ext = file.extension();
+        let is_cert_ext =
+            ext.as_deref().is_some_and(|e| CERT_EXTENSIONS.contains(&e));
+
+        match &file.content {
+            FileContent::Text(text) => {
+                if is_cert_ext || text.contains("-----BEGIN CERTIFICATE-----") {
+                    collect_pem_certs(&file.path, text, findings);
+                }
+                collect_pins(&file.path, text, findings);
+            }
+            FileContent::Binary(bytes) => {
+                if is_cert_ext {
+                    // Try DER first, then PEM-in-binary.
+                    if let Ok(cert) = Certificate::from_der(bytes) {
+                        findings
+                            .embedded_certs
+                            .push(Located { path: file.path.clone(), value: cert });
+                    } else if let Ok(text) = core::str::from_utf8(bytes) {
+                        collect_pem_certs(&file.path, text, findings);
+                    }
+                }
+                // Strings pass over every binary (dex pools, .so, Mach-O).
+                for s in extract_strings(bytes, MIN_STRING_LEN) {
+                    collect_pins(&file.path, &s, findings);
+                    if s.contains("-----BEGIN CERTIFICATE-----") {
+                        collect_pem_certs(&file.path, &s, findings);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn collect_pem_certs(path: &str, text: &str, findings: &mut StaticFindings) {
+    let Ok(ders) = pem_decode_all(text) else {
+        return; // malformed PEM is ignored, as ripgrep+openssl would skip it
+    };
+    for der in ders {
+        if let Ok(cert) = Certificate::from_der(&der) {
+            findings.embedded_certs.push(Located { path: path.to_string(), value: cert });
+        }
+    }
+}
+
+fn collect_pins(path: &str, text: &str, findings: &mut StaticFindings) {
+    for m in scanner::scan_pins(text) {
+        let parsed = m.parse();
+        findings.pin_strings.push(Located {
+            path: path.to_string(),
+            value: FoundPin { raw: m.raw, parsed },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statics::analyze_package;
+    use pinning_app::package::{binary_with_strings, AppFile, AppPackage};
+    use pinning_app::platform::Platform;
+    use pinning_pki::authority::CertificateAuthority;
+    use pinning_pki::name::DistinguishedName;
+    use pinning_pki::time::{SimTime, Validity, YEAR};
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
+
+    fn cert(seed: u64) -> Certificate {
+        let mut rng = SplitMix64::new(seed);
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("R", "Sim", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        let k = KeyPair::generate(&mut rng);
+        root.issue_leaf(&["api.x.com".to_string()], "X", &k, Validity::starting(SimTime(0), YEAR))
+    }
+
+    #[test]
+    fn finds_pem_asset() {
+        let c = cert(1);
+        let pkg = AppPackage::new(
+            Platform::Android,
+            vec![AppFile::text("assets/certs/api.pem", c.to_pem())],
+        );
+        let f = analyze_package(&pkg, None);
+        assert_eq!(f.embedded_certs.len(), 1);
+        assert_eq!(f.embedded_certs[0].value, c);
+        assert!(f.has_pin_material());
+    }
+
+    #[test]
+    fn finds_der_asset() {
+        let c = cert(2);
+        let pkg = AppPackage::new(
+            Platform::Android,
+            vec![AppFile::binary("res/raw/root.der", c.to_der())],
+        );
+        let f = analyze_package(&pkg, None);
+        assert_eq!(f.embedded_certs.len(), 1);
+    }
+
+    #[test]
+    fn finds_pem_with_unusual_extension_via_delimiter() {
+        let c = cert(3);
+        let pkg = AppPackage::new(
+            Platform::Android,
+            vec![AppFile::text("assets/trust.txt", format!("junk\n{}\n", c.to_pem()))],
+        );
+        let f = analyze_package(&pkg, None);
+        assert_eq!(f.embedded_certs.len(), 1, "delimiter search must catch non-cert extensions");
+    }
+
+    #[test]
+    fn finds_pin_in_dex_strings() {
+        let c = cert(4);
+        let pin = c.spki_pin_string();
+        let mut rng = SplitMix64::new(9);
+        let dex = binary_with_strings(std::slice::from_ref(&pin), &mut rng, 512);
+        let pkg = AppPackage::new(Platform::Android, vec![AppFile::binary("classes.dex", dex)]);
+        let f = analyze_package(&pkg, None);
+        assert_eq!(f.pin_strings.len(), 1);
+        assert_eq!(f.pin_strings[0].value.raw, pin);
+        assert!(f.pin_strings[0].value.parsed.is_some());
+    }
+
+    #[test]
+    fn encrypted_ios_package_blocked_without_key() {
+        let c = cert(5);
+        let pkg = AppPackage::new(
+            Platform::Ios,
+            vec![AppFile::text("Payload/App.app/pin.pem", c.to_pem())],
+        )
+        .encrypt(0x5ec);
+        let f = analyze_package(&pkg, None);
+        assert!(f.scan_blocked_encrypted);
+        assert!(!f.has_pin_material());
+        // With the key, the scan works.
+        let f = analyze_package(&pkg, Some(0x5ec));
+        assert!(!f.scan_blocked_encrypted);
+        assert_eq!(f.embedded_certs.len(), 1);
+    }
+
+    #[test]
+    fn no_findings_in_clean_package() {
+        let pkg = AppPackage::new(
+            Platform::Android,
+            vec![AppFile::text("assets/config.json", "{\"a\":1}")],
+        );
+        let f = analyze_package(&pkg, None);
+        assert!(!f.has_pin_material());
+    }
+
+    #[test]
+    fn malformed_pem_skipped() {
+        let pkg = AppPackage::new(
+            Platform::Android,
+            vec![AppFile::text(
+                "assets/broken.pem",
+                "-----BEGIN CERTIFICATE-----\nnot base64!!\n-----END CERTIFICATE-----\n",
+            )],
+        );
+        let f = analyze_package(&pkg, None);
+        assert!(f.embedded_certs.is_empty());
+    }
+}

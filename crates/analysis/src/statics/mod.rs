@@ -1,0 +1,88 @@
+//! Static analysis (§4.1): scan app packages for evidence of pinning.
+
+pub mod attribution;
+pub mod extract;
+pub mod nsc;
+pub mod scanner;
+
+use pinning_app::package::AppPackage;
+use pinning_pki::Certificate;
+
+/// Where a static finding was located.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Located<T> {
+    /// Package-relative path of the file.
+    pub path: String,
+    /// The finding.
+    pub value: T,
+}
+
+/// A pin-like hash string found in code/strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoundPin {
+    /// Raw matched text, e.g. `sha256/AAAA...=`.
+    pub raw: String,
+    /// Parsed pin if the body base64-decodes to a digest of the right
+    /// length (hex-encoded bodies are kept raw).
+    pub parsed: Option<pinning_pki::pin::SpkiPin>,
+}
+
+/// Everything static analysis extracted from one app.
+#[derive(Debug, Clone, Default)]
+pub struct StaticFindings {
+    /// Certificates recovered from asset files or PEM blobs.
+    pub embedded_certs: Vec<Located<Certificate>>,
+    /// Pin-like strings from string pools.
+    pub pin_strings: Vec<Located<FoundPin>>,
+    /// The app ships an NSC file at all.
+    pub has_nsc: bool,
+    /// The NSC declares pins (prior work's metric — effective or not).
+    pub nsc_declares_pins: bool,
+    /// The NSC pins *effectively* (no `overridePins` neutering).
+    pub nsc_pins_effectively: bool,
+    /// iOS: the package was still encrypted and could not be scanned
+    /// (decryption unavailable — §4.1.2's jailbreak requirement).
+    pub scan_blocked_encrypted: bool,
+}
+
+impl StaticFindings {
+    /// Table 3's "Embedded Certificates" static signal: any certificate or
+    /// pin-hash material found in the package.
+    pub fn has_pin_material(&self) -> bool {
+        !self.embedded_certs.is_empty() || !self.pin_strings.is_empty()
+    }
+
+    /// Table 3's "Configuration Files" static signal (the prior-work
+    /// technique): NSC present and declaring pins.
+    pub fn nsc_signal(&self) -> bool {
+        self.nsc_declares_pins
+    }
+}
+
+/// Runs the full static pipeline on a package.
+///
+/// For encrypted iOS packages a `decryption_key` (the Flexdecrypt /
+/// Frida-iOS-Dump stand-in, available only with a jailbroken device) is
+/// required; without it the scan sees ciphertext and reports
+/// [`StaticFindings::scan_blocked_encrypted`].
+pub fn analyze_package(package: &AppPackage, decryption_key: Option<u64>) -> StaticFindings {
+    let decrypted;
+    let view = if package.encrypted {
+        match decryption_key {
+            Some(key) => {
+                decrypted = package.clone().decrypt(key);
+                &decrypted
+            }
+            None => {
+                return StaticFindings { scan_blocked_encrypted: true, ..Default::default() }
+            }
+        }
+    } else {
+        package
+    };
+
+    let mut findings = StaticFindings::default();
+    extract::scan_files(view, &mut findings);
+    nsc::scan_nsc(view, &mut findings);
+    findings
+}

@@ -1,0 +1,609 @@
+//! Package builder: materializes ground-truth pin rules, SDKs and decoys
+//! into the files a real build system would produce.
+//!
+//! The builder is where static-analysis *signal* and *noise* get planted:
+//!
+//! * signal — PEM/DER cert assets at per-SDK paths, `sha256/...` strings in
+//!   dex/native/Mach-O string pools, NSC `<pin-set>` blocks;
+//! * noise — decoy certificates unrelated to pinning (CA bundles, license
+//!   certs), generic `config.json` files, obfuscated pins the scanner
+//!   cannot see.
+
+use crate::nsc::{DomainConfig, NetworkSecurityConfig, NscPin};
+use crate::package::{binary_with_strings, AppFile, AppPackage};
+use crate::pinning::{DomainPinRule, PinSource, PinStorage};
+use crate::platform::{AppId, Platform};
+use crate::sdk::{self, SdkSpec};
+use crate::xml::Element;
+use pinning_pki::pin::Pin;
+use pinning_pki::Certificate;
+use pinning_crypto::SplitMix64;
+
+/// Inputs for a package build.
+#[derive(Debug)]
+pub struct BuildSpec<'a> {
+    /// App identity.
+    pub id: &'a AppId,
+    /// Display name.
+    pub app_name: &'a str,
+    /// Bundled SDKs.
+    pub sdks: &'a [&'static SdkSpec],
+    /// Ground-truth pin rules.
+    pub pin_rules: &'a [DomainPinRule],
+    /// Certificates embedded for reasons *other than pinning* (static
+    /// over-count source).
+    pub decoy_certs: &'a [Certificate],
+    /// Plant the Possemato-style `overridePins="true"` misconfiguration.
+    pub nsc_misconfig_override_pins: bool,
+    /// iOS associated domains (entitlements).
+    pub associated_domains: &'a [String],
+    /// When `Some`, the iOS package is FairPlay-encrypted with this key.
+    pub ios_encryption_seed: Option<u64>,
+}
+
+/// Builds the package for `spec.id.platform`.
+pub fn build_package(spec: &BuildSpec<'_>, rng: &mut SplitMix64) -> AppPackage {
+    match spec.id.platform {
+        Platform::Android => build_android(spec, rng),
+        Platform::Ios => build_ios(spec, rng),
+    }
+}
+
+/// Pin strings that end up in a string pool for a rule (SPKI pins only;
+/// raw-cert rules ship files instead).
+fn pin_strings(rule: &DomainPinRule) -> Vec<String> {
+    rule.pins
+        .pins
+        .iter()
+        .filter_map(|p| match p {
+            Pin::Spki(s) => Some(s.to_pin_string()),
+            Pin::Cert(_) => None,
+        })
+        .collect()
+}
+
+/// Obfuscation used by [`PinStorage::ObfuscatedCode`]: the base64 body is
+/// reversed and the algorithm prefix dropped, so the `sha(1|256)/...`
+/// scanner cannot match it.
+fn obfuscate(pin_string: &str) -> String {
+    pin_string
+        .split_once('/')
+        .map(|(_, body)| body.chars().rev().collect())
+        .unwrap_or_else(|| pin_string.chars().rev().collect())
+}
+
+fn sanitize(pattern: &str) -> String {
+    pattern.replace("*.", "wildcard_").replace('.', "_")
+}
+
+fn cert_asset_file(base_dir: &str, rule: &DomainPinRule) -> Option<AppFile> {
+    let PinStorage::RawCertAsset(format) = rule.storage else {
+        return None;
+    };
+    let cert = rule.pinned_certs.first()?;
+    let dir = match &rule.source {
+        PinSource::FirstParty => format!("{base_dir}/certs"),
+        PinSource::Sdk(_) => base_dir.to_string(),
+    };
+    let path = format!("{dir}/{}.{}", sanitize(&rule.pattern), format.extension());
+    Some(if format.is_pem() {
+        AppFile::text(path, cert.to_pem())
+    } else {
+        AppFile::binary(path, cert.to_der())
+    })
+}
+
+/// Resolves the asset base directory for a rule: first-party assets live
+/// under the app, SDK assets under the SDK's code path.
+fn rule_base_dir(rule: &DomainPinRule, platform: Platform, app_root: &str) -> String {
+    match &rule.source {
+        PinSource::FirstParty => app_root.to_string(),
+        PinSource::Sdk(name) => match sdk::by_name(name) {
+            Some(s) => match platform {
+                Platform::Android => format!("assets/{}", s.path_on(platform)),
+                Platform::Ios => format!("{app_root}/{}", s.path_on(platform)),
+            },
+            None => app_root.to_string(),
+        },
+    }
+}
+
+fn build_android(spec: &BuildSpec<'_>, rng: &mut SplitMix64) -> AppPackage {
+    let mut files = Vec::new();
+
+    // --- Network Security Configuration ---
+    let nsc_rules: Vec<&DomainPinRule> = spec
+        .pin_rules
+        .iter()
+        .filter(|r| r.storage == PinStorage::NscPinSet)
+        .collect();
+    let uses_nsc = !nsc_rules.is_empty() || spec.nsc_misconfig_override_pins;
+    if uses_nsc {
+        let mut nsc = NetworkSecurityConfig::default();
+        for rule in &nsc_rules {
+            let (name, include_sub) = match rule.pattern.strip_prefix("*.") {
+                Some(apex) => (apex.to_string(), true),
+                None => (rule.pattern.clone(), false),
+            };
+            nsc.domain_configs.push(DomainConfig {
+                domains: vec![(name, include_sub)],
+                pins: rule.pinned_certs.iter().map(NscPin::for_cert).collect(),
+                pin_expiration: Some("2026-01-01".to_string()),
+                override_pins: false,
+                trust_user_certs: false,
+            });
+        }
+        if spec.nsc_misconfig_override_pins {
+            // The real-world misconfiguration: example.com pinned, but
+            // overridePins silently disables enforcement. The pin value is
+            // whatever the developer copy-pasted; synthesize one from the
+            // app id when no decoy certificate is around.
+            let pins = match spec.decoy_certs.first() {
+                Some(c) => vec![NscPin::for_cert(c)],
+                None => vec![NscPin {
+                    digest: "SHA-256".to_string(),
+                    value_b64: pinning_crypto::b64encode(&pinning_crypto::sha256(
+                        spec.id.id.as_bytes(),
+                    )),
+                }],
+            };
+            nsc.domain_configs.push(DomainConfig {
+                domains: vec![("example.com".to_string(), false)],
+                pins,
+                pin_expiration: None,
+                override_pins: true,
+                trust_user_certs: false,
+            });
+        }
+        files.push(AppFile::text("res/xml/network_security_config.xml", nsc.to_xml()));
+    }
+
+    // --- Manifest ---
+    let mut application = Element::new("application").attr("android:label", spec.app_name);
+    if uses_nsc {
+        application =
+            application.attr("android:networkSecurityConfig", "@xml/network_security_config");
+    }
+    let manifest = Element::new("manifest")
+        .attr("xmlns:android", "http://schemas.android.com/apk/res/android")
+        .attr("package", spec.id.id.clone())
+        .child(Element::new("uses-permission").attr("android:name", "android.permission.INTERNET"))
+        .child(application);
+    files.push(AppFile::text("AndroidManifest.xml", manifest.to_document()));
+
+    // --- classes.dex string pool ---
+    let mut dex_strings: Vec<String> = vec![
+        format!("L{};", spec.id.id.replace('.', "/")),
+        "Landroid/app/Activity;".to_string(),
+        "https://".to_string(),
+        "application/json".to_string(),
+    ];
+    for s in spec.sdks {
+        dex_strings.push(format!("L{}/Core;", s.android_path));
+    }
+    let mut native_strings: Vec<String> = vec!["__cxa_throw".into(), "SSL_CTX_new".into()];
+    for rule in spec.pin_rules {
+        let strings = pin_strings(rule);
+        match rule.storage {
+            PinStorage::SpkiStringInCode(_) => {
+                // The scan operates on the apktool-decompiled view (the
+                // manifest above is plaintext for the same reason), so
+                // code-borne pins surface at their smali class path — which
+                // is what §4.1.4's path-based attribution groups on.
+                match &rule.source {
+                    PinSource::Sdk(name) => {
+                        let path = sdk::by_name(name)
+                            .map(|s| s.android_path)
+                            .unwrap_or("com/unknown/sdk");
+                        let body = format!(
+                            ".class Lcom/squareup/okhttp/CertificatePinner;\n                             const-string v0, \"{}\"\n                             const-string v1, \"{}\"\n",
+                            rule.pattern,
+                            strings.join("\";\n    const-string v1, \"")
+                        );
+                        files.push(AppFile::text(
+                            format!("smali/{path}/ApiClient.smali"),
+                            body,
+                        ));
+                    }
+                    PinSource::FirstParty => {
+                        dex_strings.push("Lokhttp3/CertificatePinner;".to_string());
+                        dex_strings.push(rule.pattern.clone());
+                        dex_strings.extend(strings);
+                    }
+                }
+            }
+            PinStorage::SpkiStringInNativeLib(_) => {
+                native_strings.push(rule.pattern.clone());
+                native_strings.extend(strings);
+            }
+            PinStorage::ObfuscatedCode => {
+                dex_strings.extend(strings.iter().map(|s| obfuscate(s)));
+            }
+            PinStorage::RawCertAsset(_) | PinStorage::NscPinSet => {}
+        }
+        if let Some(f) = cert_asset_file(&rule_base_dir(rule, Platform::Android, "assets"), rule) {
+            files.push(f);
+        }
+    }
+    files.push(AppFile::binary(
+        "classes.dex",
+        binary_with_strings(&dex_strings, rng, 2048),
+    ));
+    if native_strings.len() > 2 {
+        files.push(AppFile::binary(
+            "lib/arm64-v8a/libapp.so",
+            binary_with_strings(&native_strings, rng, 1024),
+        ));
+    }
+
+    // --- Decoys ---
+    for (i, cert) in spec.decoy_certs.iter().enumerate() {
+        files.push(AppFile::text(format!("res/raw/bundled_ca_{i}.pem"), cert.to_pem()));
+    }
+    files.push(AppFile::text(
+        "assets/config.json",
+        format!("{{\"app\":\"{}\",\"flags\":[]}}", spec.app_name),
+    ));
+
+    AppPackage::new(Platform::Android, files)
+}
+
+fn build_ios(spec: &BuildSpec<'_>, rng: &mut SplitMix64) -> AppPackage {
+    let app_root = "Payload/App.app";
+    let mut files = Vec::new();
+
+    // --- Info.plist (simplified XML plist) ---
+    let plist = Element::new("plist").attr("version", "1.0").child(
+        Element::new("dict")
+            .child(Element::new("key").text("CFBundleIdentifier"))
+            .child(Element::new("string").text(spec.id.id.clone()))
+            .child(Element::new("key").text("CFBundleName"))
+            .child(Element::new("string").text(spec.app_name))
+            .child(Element::new("key").text("NSAppTransportSecurity"))
+            .child(
+                Element::new("dict")
+                    .child(Element::new("key").text("NSAllowsArbitraryLoads"))
+                    .child(Element::new("false")),
+            ),
+    );
+    files.push(AppFile::text(format!("{app_root}/Info.plist"), plist.to_document()));
+
+    // --- Entitlements: associated domains (§4.5's confounder) ---
+    let mut domains_el = Element::new("array");
+    for d in spec.associated_domains {
+        domains_el = domains_el.child(Element::new("string").text(format!("applinks:{d}")));
+    }
+    let ents = Element::new("plist").attr("version", "1.0").child(
+        Element::new("dict")
+            .child(Element::new("key").text("com.apple.developer.associated-domains"))
+            .child(domains_el),
+    );
+    files.push(AppFile::text(format!("{app_root}/App.entitlements"), ents.to_document()));
+
+    // --- Main binary + SDK frameworks ---
+    let mut main_strings: Vec<String> = vec![
+        "NSURLSession".to_string(),
+        "SecTrustEvaluateWithError".to_string(),
+        format!("{}.main", spec.id.id),
+    ];
+    let mut sdk_strings: std::collections::HashMap<&'static str, Vec<String>> = Default::default();
+    for s in spec.sdks {
+        sdk_strings.entry(s.name).or_default().push(format!("{}/Headers", s.ios_path));
+    }
+    for rule in spec.pin_rules {
+        let strings = pin_strings(rule);
+        let bucket: &mut Vec<String> = match &rule.source {
+            PinSource::FirstParty => &mut main_strings,
+            PinSource::Sdk(name) => match sdk::by_name(name) {
+                Some(s) => sdk_strings.entry(s.name).or_default(),
+                None => &mut main_strings,
+            },
+        };
+        match rule.storage {
+            PinStorage::SpkiStringInCode(_) | PinStorage::SpkiStringInNativeLib(_) => {
+                bucket.push(rule.pattern.clone());
+                bucket.extend(strings);
+            }
+            PinStorage::ObfuscatedCode => {
+                bucket.extend(strings.iter().map(|s| obfuscate(s)));
+            }
+            PinStorage::RawCertAsset(_) => {}
+            // NSC is Android-only; treat as in-code on iOS.
+            PinStorage::NscPinSet => bucket.extend(strings),
+        }
+        if let Some(f) = cert_asset_file(&rule_base_dir(rule, Platform::Ios, app_root), rule) {
+            files.push(f);
+        }
+    }
+    files.push(AppFile::binary(
+        format!("{app_root}/App"),
+        binary_with_strings(&main_strings, rng, 4096),
+    ));
+    for s in spec.sdks {
+        let strings = sdk_strings.remove(s.name).unwrap_or_default();
+        let bin_name = s
+            .ios_path
+            .trim_start_matches("Frameworks/")
+            .trim_end_matches(".framework");
+        files.push(AppFile::binary(
+            format!("{app_root}/{}/{}", s.ios_path, bin_name),
+            binary_with_strings(&strings, rng, 1024),
+        ));
+    }
+
+    // --- Decoys ---
+    for (i, cert) in spec.decoy_certs.iter().enumerate() {
+        files.push(AppFile::text(
+            format!("{app_root}/resources/bundled_ca_{i}.pem"),
+            cert.to_pem(),
+        ));
+    }
+
+    let pkg = AppPackage::new(Platform::Ios, files);
+    match spec.ios_encryption_seed {
+        Some(seed) => pkg.encrypt(seed),
+        None => pkg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pinning::{CertAssetFormat, PinTarget};
+    use pinning_pki::authority::CertificateAuthority;
+    use pinning_pki::name::DistinguishedName;
+    use pinning_pki::pin::PinAlgorithm;
+    use pinning_pki::time::{SimTime, Validity, YEAR};
+    use pinning_crypto::sig::KeyPair;
+
+    fn cert(seed: u64) -> Certificate {
+        let mut rng = SplitMix64::new(seed);
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("R", "Sim", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        let k = KeyPair::generate(&mut rng);
+        root.issue_leaf(&["api.x.com".to_string()], "X", &k, Validity::starting(SimTime(0), YEAR))
+    }
+
+    fn android_id() -> AppId {
+        AppId::new(Platform::Android, "com.example.shop")
+    }
+
+    fn ios_id() -> AppId {
+        AppId::new(Platform::Ios, "id99001122")
+    }
+
+    #[test]
+    fn android_nsc_rule_produces_config_file_and_manifest_attr() {
+        let c = cert(1);
+        let rule = DomainPinRule::spki(
+            "api.x.com",
+            &c,
+            PinTarget::Leaf,
+            PinAlgorithm::Sha256,
+            PinStorage::NscPinSet,
+            PinSource::FirstParty,
+        );
+        let id = android_id();
+        let spec = BuildSpec {
+            id: &id,
+            app_name: "Shop",
+            sdks: &[],
+            pin_rules: std::slice::from_ref(&rule),
+            decoy_certs: &[],
+            nsc_misconfig_override_pins: false,
+            associated_domains: &[],
+            ios_encryption_seed: None,
+        };
+        let pkg = build_package(&spec, &mut SplitMix64::new(1));
+        let nsc = pkg.file("res/xml/network_security_config.xml").unwrap();
+        assert!(nsc.content.as_text().unwrap().contains("pin-set"));
+        let manifest = pkg.file("AndroidManifest.xml").unwrap().content.as_text().unwrap();
+        assert!(manifest.contains("networkSecurityConfig"));
+    }
+
+    #[test]
+    fn android_spki_rule_lands_in_dex_strings() {
+        let c = cert(2);
+        let rule = DomainPinRule::spki(
+            "api.x.com",
+            &c,
+            PinTarget::Root,
+            PinAlgorithm::Sha256,
+            PinStorage::SpkiStringInCode(PinAlgorithm::Sha256),
+            PinSource::FirstParty,
+        );
+        let id = android_id();
+        let spec = BuildSpec {
+            id: &id,
+            app_name: "Shop",
+            sdks: &[],
+            pin_rules: std::slice::from_ref(&rule),
+            decoy_certs: &[],
+            nsc_misconfig_override_pins: false,
+            associated_domains: &[],
+            ios_encryption_seed: None,
+        };
+        let pkg = build_package(&spec, &mut SplitMix64::new(2));
+        let dex = pkg.file("classes.dex").unwrap();
+        let strings = crate::package::extract_strings(dex.content.as_bytes(), 6);
+        let pin = c.spki_pin_string();
+        assert!(strings.iter().any(|s| s.contains(&pin)));
+        assert!(strings.iter().any(|s| s.contains("CertificatePinner")));
+    }
+
+    #[test]
+    fn obfuscated_rule_leaves_no_scannable_pin() {
+        let c = cert(3);
+        let rule = DomainPinRule::spki(
+            "api.x.com",
+            &c,
+            PinTarget::Root,
+            PinAlgorithm::Sha256,
+            PinStorage::ObfuscatedCode,
+            PinSource::FirstParty,
+        );
+        let id = android_id();
+        let spec = BuildSpec {
+            id: &id,
+            app_name: "Shop",
+            sdks: &[],
+            pin_rules: std::slice::from_ref(&rule),
+            decoy_certs: &[],
+            nsc_misconfig_override_pins: false,
+            associated_domains: &[],
+            ios_encryption_seed: None,
+        };
+        let pkg = build_package(&spec, &mut SplitMix64::new(3));
+        let dex = pkg.file("classes.dex").unwrap();
+        let strings = crate::package::extract_strings(dex.content.as_bytes(), 6);
+        assert!(!strings.iter().any(|s| s.contains("sha256/")));
+    }
+
+    #[test]
+    fn sdk_cert_asset_lands_under_sdk_path() {
+        let c = cert(4);
+        let rule = DomainPinRule::raw_cert(
+            "api.braintreegateway.com",
+            &c,
+            PinTarget::Root,
+            CertAssetFormat::Pem,
+            PinSource::Sdk("Braintree".into()),
+            false,
+        );
+        let id = android_id();
+        let braintree = sdk::by_name("Braintree").unwrap();
+        let sdks = [braintree];
+        let spec = BuildSpec {
+            id: &id,
+            app_name: "Shop",
+            sdks: &sdks,
+            pin_rules: std::slice::from_ref(&rule),
+            decoy_certs: &[],
+            nsc_misconfig_override_pins: false,
+            associated_domains: &[],
+            ios_encryption_seed: None,
+        };
+        let pkg = build_package(&spec, &mut SplitMix64::new(4));
+        assert!(pkg
+            .files
+            .iter()
+            .any(|f| f.path.starts_with("assets/com/braintreepayments/api/") && f.path.ends_with(".pem")));
+    }
+
+    #[test]
+    fn ios_package_encrypts_binary_but_not_plist() {
+        let c = cert(5);
+        let rule = DomainPinRule::spki(
+            "api.x.com",
+            &c,
+            PinTarget::Root,
+            PinAlgorithm::Sha256,
+            PinStorage::SpkiStringInCode(PinAlgorithm::Sha256),
+            PinSource::FirstParty,
+        );
+        let id = ios_id();
+        let domains = vec!["shop.example.com".to_string()];
+        let spec = BuildSpec {
+            id: &id,
+            app_name: "Shop",
+            sdks: &[],
+            pin_rules: std::slice::from_ref(&rule),
+            decoy_certs: &[],
+            nsc_misconfig_override_pins: false,
+            associated_domains: &domains,
+            ios_encryption_seed: Some(0xabc),
+        };
+        let pkg = build_package(&spec, &mut SplitMix64::new(5));
+        assert!(pkg.encrypted);
+        // Plist readable, binary not.
+        assert!(pkg
+            .file("Payload/App.app/Info.plist")
+            .unwrap()
+            .content
+            .as_text()
+            .unwrap()
+            .contains("CFBundleIdentifier"));
+        let main = pkg.file("Payload/App.app/App").unwrap();
+        let strings = crate::package::extract_strings(main.content.as_bytes(), 6);
+        assert!(!strings.iter().any(|s| s.contains("sha256/")), "pin hidden by encryption");
+        // Decrypt (flexdecrypt sim) reveals it.
+        let dec = pkg.decrypt(0xabc);
+        let main = dec.file("Payload/App.app/App").unwrap();
+        let strings = crate::package::extract_strings(main.content.as_bytes(), 6);
+        assert!(strings.iter().any(|s| s.contains("sha256/")));
+    }
+
+    #[test]
+    fn ios_entitlements_carry_associated_domains() {
+        let id = ios_id();
+        let domains = vec!["shop.example.com".to_string(), "www.shop.example.com".to_string()];
+        let spec = BuildSpec {
+            id: &id,
+            app_name: "Shop",
+            sdks: &[],
+            pin_rules: &[],
+            decoy_certs: &[],
+            nsc_misconfig_override_pins: false,
+            associated_domains: &domains,
+            ios_encryption_seed: Some(1),
+        };
+        let pkg = build_package(&spec, &mut SplitMix64::new(6));
+        let ents = pkg
+            .file("Payload/App.app/App.entitlements")
+            .unwrap()
+            .content
+            .as_text()
+            .unwrap();
+        assert!(ents.contains("applinks:shop.example.com"));
+    }
+
+    #[test]
+    fn misconfig_block_planted() {
+        let c = cert(7);
+        let id = android_id();
+        let decoys = [c];
+        let spec = BuildSpec {
+            id: &id,
+            app_name: "Shop",
+            sdks: &[],
+            pin_rules: &[],
+            decoy_certs: &decoys,
+            nsc_misconfig_override_pins: true,
+            associated_domains: &[],
+            ios_encryption_seed: None,
+        };
+        let pkg = build_package(&spec, &mut SplitMix64::new(7));
+        let nsc_text = pkg
+            .file("res/xml/network_security_config.xml")
+            .unwrap()
+            .content
+            .as_text()
+            .unwrap();
+        let nsc = NetworkSecurityConfig::from_xml(nsc_text).unwrap();
+        assert!(nsc.declares_pins());
+        assert!(!nsc.pins_effectively());
+    }
+
+    #[test]
+    fn decoy_certs_embedded_without_pin_rules() {
+        let id = android_id();
+        let decoys = [cert(8), cert(9)];
+        let spec = BuildSpec {
+            id: &id,
+            app_name: "Shop",
+            sdks: &[],
+            pin_rules: &[],
+            decoy_certs: &decoys,
+            nsc_misconfig_override_pins: false,
+            associated_domains: &[],
+            ios_encryption_seed: None,
+        };
+        let pkg = build_package(&spec, &mut SplitMix64::new(8));
+        let pem_files =
+            pkg.files.iter().filter(|f| f.path.ends_with(".pem")).count();
+        assert_eq!(pem_files, 2);
+    }
+}

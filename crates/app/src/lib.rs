@@ -1,0 +1,46 @@
+//! Mobile app model: packages, pinning configurations, SDKs, and runtime
+//! network behaviour for both Android and iOS.
+//!
+//! A simulated app has two halves, mirroring what the paper's two
+//! methodologies see:
+//!
+//! * a **package** ([`package`], built by [`builder`]) — the artifact static
+//!   analysis scans: manifest/Info.plist, Network Security Configuration
+//!   XML, asset files (possibly raw certificates), string pools of
+//!   dex/native/Mach-O binaries (possibly `sha256/...` pins), SDK code
+//!   paths, and (on iOS) FairPlay-style encryption that must be stripped
+//!   first;
+//! * a **behaviour** ([`behavior`]) — what the app does when launched on a
+//!   device: which domains it contacts in the first N seconds, with which
+//!   TLS stack and certificate policy, carrying which PII.
+//!
+//! The two halves can deliberately disagree, exactly as in the wild: dead
+//! SDK code pins statically but never runs (static over-counts); obfuscated
+//! or runtime-built pins run but leave no static trace (static
+//! under-counts). Dynamic analysis is ground truth (§5, "we call an app
+//! pinning if we find at least one pinned connection ... in our dynamic
+//! analysis").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod behavior;
+pub mod builder;
+pub mod category;
+pub mod nsc;
+pub mod package;
+pub mod pii;
+pub mod pinning;
+pub mod platform;
+pub mod sdk;
+pub mod xml;
+
+pub use app::MobileApp;
+pub use behavior::{AppBehavior, Interaction, PlannedConnection};
+pub use category::Category;
+pub use package::{AppFile, AppPackage, FileContent};
+pub use pii::PiiType;
+pub use pinning::{DomainPinRule, PinSource, PinStorage, PinTarget};
+pub use platform::{AppId, Platform};
+pub use sdk::{SdkKind, SdkSpec};

@@ -1,0 +1,290 @@
+//! App packages: the artifact static analysis scans.
+//!
+//! A package is a flat list of files (paths matter — attribution groups on
+//! them). iOS packages come FairPlay-encrypted: scanning one without
+//! decrypting first sees only ciphertext, reproducing why the paper needed
+//! Flexdecrypt/Frida-iOS-Dump and a jailbroken device (§4.1.2, Appendix A).
+
+use crate::platform::Platform;
+use pinning_crypto::SplitMix64;
+
+/// File content: text (configs, PEM) or binary (DER, dex, Mach-O).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileContent {
+    /// UTF-8 text.
+    Text(String),
+    /// Raw bytes.
+    Binary(Vec<u8>),
+}
+
+impl FileContent {
+    /// Content as bytes (text is UTF-8).
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            FileContent::Text(s) => s.as_bytes(),
+            FileContent::Binary(b) => b,
+        }
+    }
+
+    /// Content as text, if valid UTF-8.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            FileContent::Text(s) => Some(s),
+            FileContent::Binary(b) => core::str::from_utf8(b).ok(),
+        }
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.as_bytes().len()
+    }
+
+    /// Whether content is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One file inside a package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppFile {
+    /// Package-relative path, `/`-separated.
+    pub path: String,
+    /// Content.
+    pub content: FileContent,
+}
+
+impl AppFile {
+    /// Creates a text file.
+    pub fn text(path: impl Into<String>, content: impl Into<String>) -> Self {
+        AppFile { path: path.into(), content: FileContent::Text(content.into()) }
+    }
+
+    /// Creates a binary file.
+    pub fn binary(path: impl Into<String>, content: Vec<u8>) -> Self {
+        AppFile { path: path.into(), content: FileContent::Binary(content) }
+    }
+
+    /// File extension (lowercased), if any.
+    pub fn extension(&self) -> Option<String> {
+        let name = self.path.rsplit('/').next()?;
+        let (_, ext) = name.rsplit_once('.')?;
+        Some(ext.to_ascii_lowercase())
+    }
+}
+
+/// A complete app package.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppPackage {
+    /// Platform the package targets.
+    pub platform: Platform,
+    /// Files, in build order.
+    pub files: Vec<AppFile>,
+    /// Whether binaries are FairPlay-style encrypted (iOS store downloads).
+    pub encrypted: bool,
+}
+
+impl AppPackage {
+    /// Creates a plaintext package.
+    pub fn new(platform: Platform, files: Vec<AppFile>) -> Self {
+        AppPackage { platform, files, encrypted: false }
+    }
+
+    /// Looks up a file by exact path.
+    pub fn file(&self, path: &str) -> Option<&AppFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+
+    /// Total size in bytes.
+    pub fn total_size(&self) -> usize {
+        self.files.iter().map(|f| f.content.len()).sum()
+    }
+
+    /// Applies FairPlay-style encryption to the *code and asset* files.
+    ///
+    /// Metadata that the store needs (Info.plist, entitlements) stays
+    /// plaintext — matching reality, where static analysis can read the
+    /// plist of an encrypted IPA but not its binary.
+    pub fn encrypt(mut self, seed: u64) -> AppPackage {
+        assert!(!self.encrypted, "already encrypted");
+        for f in &mut self.files {
+            if Self::stays_plaintext(&f.path) {
+                continue;
+            }
+            let bytes = xor_stream(f.content.as_bytes(), seed, &f.path);
+            f.content = FileContent::Binary(bytes);
+        }
+        self.encrypted = true;
+        self
+    }
+
+    /// Decrypts an encrypted package (the Flexdecrypt/Frida-iOS-Dump
+    /// simulation; requires the "device key" `seed` that a jailbroken
+    /// device exposes).
+    pub fn decrypt(mut self, seed: u64) -> AppPackage {
+        assert!(self.encrypted, "not encrypted");
+        for f in &mut self.files {
+            if Self::stays_plaintext(&f.path) {
+                continue;
+            }
+            let bytes = xor_stream(f.content.as_bytes(), seed, &f.path);
+            // Restore text-ness where the plaintext is valid UTF-8 *and*
+            // looks textual (config/PEM files).
+            f.content = match String::from_utf8(bytes) {
+                Ok(s) if looks_textual(&s) => FileContent::Text(s),
+                Ok(s) => FileContent::Binary(s.into_bytes()),
+                Err(e) => FileContent::Binary(e.into_bytes()),
+            };
+        }
+        self.encrypted = false;
+        self
+    }
+
+    fn stays_plaintext(path: &str) -> bool {
+        path.ends_with("Info.plist")
+            || path.ends_with(".entitlements")
+            || path.ends_with("embedded.mobileprovision")
+    }
+}
+
+fn xor_stream(data: &[u8], seed: u64, path: &str) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed).derive(path);
+    let mut out = data.to_vec();
+    let mut key = [0u8; 64];
+    let mut i = 0;
+    while i < out.len() {
+        rng.fill_bytes(&mut key);
+        let n = key.len().min(out.len() - i);
+        for j in 0..n {
+            out[i + j] ^= key[j];
+        }
+        i += n;
+    }
+    out
+}
+
+fn looks_textual(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().take(512).all(|c| !c.is_control() || matches!(c, '\n' | '\r' | '\t'))
+}
+
+/// Extracts printable ASCII strings of at least `min_len` characters from
+/// binary content — the `strings`/radare2 primitive the paper uses on
+/// native libraries and decrypted iOS binaries (§4.1.2).
+pub fn extract_strings(data: &[u8], min_len: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for &b in data {
+        if (0x20..0x7f).contains(&b) {
+            cur.push(b as char);
+        } else {
+            if cur.len() >= min_len {
+                out.push(core::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    if cur.len() >= min_len {
+        out.push(cur);
+    }
+    out
+}
+
+/// Builds a dex-like / Mach-O-like binary blob embedding `strings` in a
+/// string pool surrounded by pseudo machine code.
+pub fn binary_with_strings(strings: &[String], rng: &mut SplitMix64, padding: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    // "Machine code" prelude: bytes outside the printable range often
+    // enough to break up accidental strings.
+    let mut noise = vec![0u8; padding / 2];
+    rng.fill_bytes(&mut noise);
+    out.extend_from_slice(&noise);
+    for s in strings {
+        out.push(0); // separator
+        out.extend_from_slice(s.as_bytes());
+        out.push(0);
+        let mut gap = vec![0u8; 16];
+        rng.fill_bytes(&mut gap);
+        out.extend_from_slice(&gap);
+    }
+    let mut tail = vec![0u8; padding / 2];
+    rng.fill_bytes(&mut tail);
+    out.extend_from_slice(&tail);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extension_parsing() {
+        assert_eq!(AppFile::text("assets/ca.pem", "x").extension().as_deref(), Some("pem"));
+        assert_eq!(AppFile::text("a/b/C.DER", "x").extension().as_deref(), Some("der"));
+        assert_eq!(AppFile::text("noext", "x").extension(), None);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let pkg = AppPackage::new(
+            Platform::Ios,
+            vec![
+                AppFile::text("Payload/App.app/Info.plist", "<plist/>"),
+                AppFile::text("Payload/App.app/config.json", "{\"pin\":\"sha256/AAA\"}"),
+                AppFile::binary("Payload/App.app/App", vec![1, 2, 3, 255, 0, 42]),
+            ],
+        );
+        let enc = pkg.clone().encrypt(0x5EED);
+        assert!(enc.encrypted);
+        // Plist stays readable; code does not.
+        assert_eq!(enc.file("Payload/App.app/Info.plist").unwrap().content.as_text(), Some("<plist/>"));
+        assert_ne!(
+            enc.file("Payload/App.app/App").unwrap().content.as_bytes(),
+            &[1, 2, 3, 255, 0, 42]
+        );
+        let dec = enc.decrypt(0x5EED);
+        assert_eq!(dec, pkg);
+    }
+
+
+    #[test]
+    fn encrypted_content_hides_strings() {
+        let secret = "sha256/THISISAPINSTRINGTHATMUSTVANISH0000000000000=";
+        let pkg = AppPackage::new(
+            Platform::Ios,
+            vec![AppFile::text("Payload/App.app/App", secret)],
+        )
+        .encrypt(7);
+        let cipher = pkg.file("Payload/App.app/App").unwrap().content.as_bytes();
+        let found = extract_strings(cipher, 8).iter().any(|s| s.contains("sha256/"));
+        assert!(!found, "pin must not survive encryption");
+    }
+
+    #[test]
+    fn strings_extraction_finds_pins_in_binary() {
+        let mut rng = SplitMix64::new(5);
+        let pin = "sha256/AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA=".to_string();
+        let blob = binary_with_strings(&[pin.clone(), "okhttp3/CertificatePinner".into()], &mut rng, 256);
+        let strings = extract_strings(&blob, 6);
+        assert!(strings.iter().any(|s| s.contains(&pin)));
+        assert!(strings.iter().any(|s| s.contains("CertificatePinner")));
+    }
+
+    #[test]
+    fn strings_extraction_min_len() {
+        let data = b"ab\x00abcdef\x00xy";
+        let strings = extract_strings(data, 3);
+        assert_eq!(strings, vec!["abcdef".to_string()]);
+    }
+
+    #[test]
+    fn total_size() {
+        let pkg = AppPackage::new(
+            Platform::Android,
+            vec![AppFile::text("a", "1234"), AppFile::binary("b", vec![0; 6])],
+        );
+        assert_eq!(pkg.total_size(), 10);
+    }
+}
+

@@ -1,0 +1,268 @@
+//! Per-domain pinning rules: the *ground truth* the pipelines must recover.
+
+use pinning_pki::name::match_hostname;
+use pinning_pki::pin::{CertPin, Pin, PinAlgorithm, PinSet, SpkiPin};
+use pinning_pki::Certificate;
+
+/// Which certificate in the destination's chain is pinned (§5.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinTarget {
+    /// The end-entity certificate (more security, more maintenance).
+    Leaf,
+    /// An intermediate CA.
+    Intermediate,
+    /// The root CA (more flexibility; the majority case — ~73% in §5.3.2).
+    Root,
+}
+
+/// File format of an embedded certificate asset. The extension list is
+/// exactly the one the paper's scanner searches (§4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CertAssetFormat {
+    /// `.pem`
+    Pem,
+    /// `.der`
+    Der,
+    /// `.crt` (PEM content)
+    Crt,
+    /// `.cer` (DER content)
+    Cer,
+    /// `.cert` (PEM content)
+    CertExt,
+}
+
+impl CertAssetFormat {
+    /// File extension (without dot).
+    pub fn extension(self) -> &'static str {
+        match self {
+            CertAssetFormat::Pem => "pem",
+            CertAssetFormat::Der => "der",
+            CertAssetFormat::Crt => "crt",
+            CertAssetFormat::Cer => "cer",
+            CertAssetFormat::CertExt => "cert",
+        }
+    }
+
+    /// Whether the content is PEM text (vs DER bytes).
+    pub fn is_pem(self) -> bool {
+        matches!(self, CertAssetFormat::Pem | CertAssetFormat::Crt | CertAssetFormat::CertExt)
+    }
+}
+
+/// Where the app's build materializes pin material — what static analysis
+/// can (or cannot) see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinStorage {
+    /// A raw certificate file shipped in assets/resources.
+    RawCertAsset(CertAssetFormat),
+    /// A `sha256/...`-style string in the dex/bytecode string pool
+    /// (OkHttp `CertificatePinner`, TrustKit config, …).
+    SpkiStringInCode(PinAlgorithm),
+    /// Same, but inside a native library / Mach-O binary.
+    SpkiStringInNativeLib(PinAlgorithm),
+    /// Android Network Security Configuration `<pin-set>` (the only channel
+    /// prior NSC-based studies could see).
+    NscPinSet,
+    /// Obfuscated at rest and reconstructed at run time — invisible to
+    /// static analysis (an acknowledged limitation, §5.6).
+    ObfuscatedCode,
+}
+
+impl PinStorage {
+    /// Whether the paper's static techniques can, in principle, observe this
+    /// storage channel.
+    pub fn statically_visible(self) -> bool {
+        !matches!(self, PinStorage::ObfuscatedCode)
+    }
+}
+
+/// Whose code introduced the rule (drives §5.3.5 / Table 7 attribution).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PinSource {
+    /// The app developer's own code.
+    FirstParty,
+    /// A named third-party SDK.
+    Sdk(String),
+}
+
+/// One ground-truth pinning rule: for destinations matching `pattern`, the
+/// app enforces `pins`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainPinRule {
+    /// Hostname pattern (exact or `*.`-wildcard).
+    pub pattern: String,
+    /// What position in the chain the pinned certificate occupies.
+    pub target: PinTarget,
+    /// How the pin material is stored in the package.
+    pub storage: PinStorage,
+    /// Who introduced the rule.
+    pub source: PinSource,
+    /// Whether the pinning code actually executes at run time. Dead SDK
+    /// code (`false`) is found by static analysis but never produces a
+    /// pinned connection — a major static/dynamic divergence in Table 3.
+    pub active_at_runtime: bool,
+    /// The pins enforced at run time (when active).
+    pub pins: PinSet,
+    /// The certificate(s) behind the pins — used to materialize package
+    /// artifacts and as analysis ground truth.
+    pub pinned_certs: Vec<Certificate>,
+    /// The destination serves a custom-PKI chain (Table 6's minority rows):
+    /// the app anchors trust at its own CA via the pins and *skips* system
+    /// root-store validation (which would reject the private chain).
+    pub custom_pki: bool,
+}
+
+impl DomainPinRule {
+    /// Builds an SPKI-hash rule pinning `cert`.
+    pub fn spki(
+        pattern: impl Into<String>,
+        cert: &Certificate,
+        target: PinTarget,
+        alg: PinAlgorithm,
+        storage: PinStorage,
+        source: PinSource,
+    ) -> Self {
+        let pin = match alg {
+            PinAlgorithm::Sha256 => SpkiPin::sha256_of(cert),
+            PinAlgorithm::Sha1 => SpkiPin::sha1_of(cert),
+        };
+        DomainPinRule {
+            pattern: pattern.into(),
+            target,
+            storage,
+            source,
+            active_at_runtime: true,
+            pins: PinSet::from_pins(vec![Pin::Spki(pin)]),
+            pinned_certs: vec![cert.clone()],
+            custom_pki: false,
+        }
+    }
+
+    /// Builds a raw-certificate rule pinning `cert`.
+    ///
+    /// `compare_key_only` models implementations that ship the whole
+    /// certificate but compare only public keys (§5.3.3 found 5 of 6 raw
+    /// leaf pins behave this way).
+    pub fn raw_cert(
+        pattern: impl Into<String>,
+        cert: &Certificate,
+        target: PinTarget,
+        format: CertAssetFormat,
+        source: PinSource,
+        compare_key_only: bool,
+    ) -> Self {
+        let pin = if compare_key_only { CertPin::key_only(cert) } else { CertPin::exact(cert) };
+        DomainPinRule {
+            pattern: pattern.into(),
+            target,
+            storage: PinStorage::RawCertAsset(format),
+            source,
+            active_at_runtime: true,
+            pins: PinSet::from_pins(vec![Pin::Cert(pin)]),
+            pinned_certs: vec![cert.clone()],
+            custom_pki: false,
+        }
+    }
+
+    /// Marks the rule as dead code (statically present, dynamically inert).
+    pub fn dead_code(mut self) -> Self {
+        self.active_at_runtime = false;
+        self
+    }
+
+    /// Marks the destination as custom-PKI (see [`DomainPinRule::custom_pki`]).
+    pub fn with_custom_pki(mut self) -> Self {
+        self.custom_pki = true;
+        self
+    }
+
+    /// Whether this rule applies to `hostname`.
+    pub fn applies_to(&self, hostname: &str) -> bool {
+        match_hostname(&self.pattern, hostname)
+            || self
+                .pattern
+                .strip_prefix("*.")
+                .is_some_and(|apex| apex.eq_ignore_ascii_case(hostname))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinning_pki::authority::CertificateAuthority;
+    use pinning_pki::name::DistinguishedName;
+    use pinning_pki::time::{SimTime, Validity, YEAR};
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
+
+    fn cert() -> Certificate {
+        let mut rng = SplitMix64::new(0xab);
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("R", "Sim", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        let k = KeyPair::generate(&mut rng);
+        root.issue_leaf(&["api.x.com".to_string()], "X", &k, Validity::starting(SimTime(0), YEAR))
+    }
+
+    #[test]
+    fn spki_rule_matches_its_cert() {
+        let c = cert();
+        let rule = DomainPinRule::spki(
+            "api.x.com",
+            &c,
+            PinTarget::Leaf,
+            PinAlgorithm::Sha256,
+            PinStorage::SpkiStringInCode(PinAlgorithm::Sha256),
+            PinSource::FirstParty,
+        );
+        assert!(rule.pins.matches_chain(&[c]));
+        assert!(rule.active_at_runtime);
+    }
+
+    #[test]
+    fn wildcard_pattern_covers_apex_and_subdomains() {
+        let c = cert();
+        let rule = DomainPinRule::spki(
+            "*.x.com",
+            &c,
+            PinTarget::Leaf,
+            PinAlgorithm::Sha256,
+            PinStorage::NscPinSet,
+            PinSource::FirstParty,
+        );
+        assert!(rule.applies_to("api.x.com"));
+        assert!(rule.applies_to("x.com"), "NSC-style apex inclusion");
+        assert!(!rule.applies_to("x.org"));
+    }
+
+    #[test]
+    fn dead_code_flag() {
+        let c = cert();
+        let rule = DomainPinRule::spki(
+            "api.x.com",
+            &c,
+            PinTarget::Leaf,
+            PinAlgorithm::Sha256,
+            PinStorage::SpkiStringInCode(PinAlgorithm::Sha256),
+            PinSource::Sdk("twitter".into()),
+        )
+        .dead_code();
+        assert!(!rule.active_at_runtime);
+        assert!(rule.storage.statically_visible());
+    }
+
+    #[test]
+    fn obfuscated_storage_invisible() {
+        assert!(!PinStorage::ObfuscatedCode.statically_visible());
+        assert!(PinStorage::NscPinSet.statically_visible());
+    }
+
+    #[test]
+    fn asset_formats() {
+        assert!(CertAssetFormat::Pem.is_pem());
+        assert!(!CertAssetFormat::Der.is_pem());
+        assert_eq!(CertAssetFormat::Cer.extension(), "cer");
+    }
+}

@@ -1,0 +1,474 @@
+//! Third-party SDK registry.
+//!
+//! §5.3.5 finds that "social networks, payment processing systems, and app
+//! analytics frameworks are the common sources of third-party code that
+//! introduces certificate pinning" and Table 7 names the top offenders per
+//! platform. The registry below models those SDKs (plus widespread
+//! *non-pinning* SDKs that generate third-party traffic noise) with:
+//!
+//! * the code path their artifacts land at inside a package (static
+//!   attribution groups on this path, §4.1.4),
+//! * the destination domains they contact at initialization,
+//! * whether (and how) they pin, per platform,
+//! * the TLS stack they use.
+
+use crate::platform::Platform;
+use pinning_pki::pin::PinAlgorithm;
+use pinning_tls::TlsLibrary;
+
+/// SDK business category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SdkKind {
+    /// Social network integration.
+    SocialNetwork,
+    /// Payment processing.
+    Payment,
+    /// App analytics / telemetry.
+    Analytics,
+    /// Fraud prevention / bot detection.
+    FraudPrevention,
+    /// Advertising / monetization.
+    Advertising,
+    /// Crash reporting.
+    CrashReporting,
+    /// Cloud backend (database/sync).
+    CloudBackend,
+    /// Creative / content tooling.
+    Creative,
+    /// Receipt / billing capture.
+    Billing,
+}
+
+/// How an SDK pins, if it does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdkPinning {
+    /// Which chain position the SDK pins.
+    pub target: crate::pinning::PinTarget,
+    /// Digest algorithm of its pins.
+    pub alg: PinAlgorithm,
+    /// Whether the pin material ships as a raw certificate file (true) or
+    /// an SPKI string in code (false).
+    pub ships_raw_cert: bool,
+    /// Probability that the SDK's pinning code path actually runs at app
+    /// launch. Low values model dead code: the paper believes PayPal's
+    /// Android pinning "end-points ... did not appear during our dynamic
+    /// analysis" because the code paths were never triggered (§5.3.5).
+    pub trigger_prob: f64,
+}
+
+/// A third-party SDK.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SdkSpec {
+    /// Canonical name (Table 7 rows).
+    pub name: &'static str,
+    /// Business category.
+    pub kind: SdkKind,
+    /// Platforms the SDK ships on.
+    pub platforms: &'static [Platform],
+    /// Package-relative code-path prefix on Android
+    /// (e.g. `com/twitter/sdk`).
+    pub android_path: &'static str,
+    /// Framework path on iOS (e.g. `Frameworks/TwitterKit.framework`).
+    pub ios_path: &'static str,
+    /// Domains contacted at app launch.
+    pub domains: &'static [&'static str],
+    /// Pinning behaviour per platform (None = does not pin there).
+    pub pinning_android: Option<SdkPinning>,
+    /// Pinning behaviour on iOS.
+    pub pinning_ios: Option<SdkPinning>,
+    /// TLS stack used on Android.
+    pub tls_android: TlsLibrary,
+    /// TLS stack used on iOS.
+    pub tls_ios: TlsLibrary,
+    /// Relative adoption weight (drives how often the world generator
+    /// attaches this SDK to an app).
+    pub adoption_weight: u32,
+}
+
+impl SdkSpec {
+    /// The code path on `platform`.
+    pub fn path_on(&self, platform: Platform) -> &'static str {
+        match platform {
+            Platform::Android => self.android_path,
+            Platform::Ios => self.ios_path,
+        }
+    }
+
+    /// The pinning behaviour on `platform`.
+    pub fn pinning_on(&self, platform: Platform) -> Option<SdkPinning> {
+        match platform {
+            Platform::Android => self.pinning_android,
+            Platform::Ios => self.pinning_ios,
+        }
+    }
+
+    /// The TLS stack on `platform`.
+    pub fn tls_on(&self, platform: Platform) -> TlsLibrary {
+        match platform {
+            Platform::Android => self.tls_android,
+            Platform::Ios => self.tls_ios,
+        }
+    }
+
+    /// Whether the SDK is available on `platform`.
+    pub fn available_on(&self, platform: Platform) -> bool {
+        self.platforms.contains(&platform)
+    }
+}
+
+use crate::pinning::PinTarget;
+use Platform::{Android, Ios};
+
+const BOTH: &[Platform] = &[Android, Ios];
+const ANDROID_ONLY: &[Platform] = &[Android];
+const IOS_ONLY: &[Platform] = &[Ios];
+
+const PIN_ROOT_SPKI: SdkPinning = SdkPinning {
+    target: PinTarget::Root,
+    alg: PinAlgorithm::Sha256,
+    ships_raw_cert: false,
+    trigger_prob: 0.85,
+};
+const PIN_ROOT_RAW: SdkPinning = SdkPinning {
+    target: PinTarget::Root,
+    alg: PinAlgorithm::Sha256,
+    ships_raw_cert: true,
+    trigger_prob: 0.85,
+};
+const PIN_LEAF_SPKI: SdkPinning = SdkPinning {
+    target: PinTarget::Leaf,
+    alg: PinAlgorithm::Sha256,
+    ships_raw_cert: false,
+    trigger_prob: 0.85,
+};
+const PIN_INTER_SPKI: SdkPinning = SdkPinning {
+    target: PinTarget::Intermediate,
+    alg: PinAlgorithm::Sha256,
+    ships_raw_cert: false,
+    trigger_prob: 0.85,
+};
+/// PayPal-on-Android: pin material ships but the code path almost never
+/// fires outside the PayPal app itself.
+const PIN_ROOT_RAW_DORMANT: SdkPinning = SdkPinning {
+    target: PinTarget::Root,
+    alg: PinAlgorithm::Sha256,
+    ships_raw_cert: true,
+    trigger_prob: 0.04,
+};
+
+/// The full SDK registry.
+///
+/// Pinning SDKs mirror Table 7 (Android: Twitter, Braintree, Paypal,
+/// Perimeterx, MParticle — iOS: Amplitude, Stripe, Weibo, FraudForce,
+/// Adobe Creative Cloud), plus Sensibill (§4.1.4's worked example),
+/// Firestore (the iOS Random-dataset pinned destination of §5) and a tail
+/// of popular non-pinning SDKs that produce ordinary third-party traffic.
+pub fn registry() -> &'static [SdkSpec] {
+    &[
+        // ---- Pinning SDKs, Android-leaning (Table 7 left) ----
+        SdkSpec {
+            name: "Twitter",
+            kind: SdkKind::SocialNetwork,
+            platforms: BOTH,
+            android_path: "com/twitter/sdk/android",
+            ios_path: "Frameworks/TwitterKit.framework",
+            domains: &["api.twitter.com", "syndication.twitter.com"],
+            pinning_android: Some(PIN_ROOT_RAW),
+            pinning_ios: Some(PIN_ROOT_SPKI),
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 2,
+        },
+        SdkSpec {
+            name: "Braintree",
+            kind: SdkKind::Payment,
+            platforms: BOTH,
+            android_path: "com/braintreepayments/api",
+            ios_path: "Frameworks/Braintree.framework",
+            domains: &["api.braintreegateway.com"],
+            pinning_android: Some(PIN_ROOT_RAW),
+            pinning_ios: Some(PIN_ROOT_SPKI),
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 2,
+        },
+        SdkSpec {
+            name: "Paypal",
+            kind: SdkKind::Payment,
+            platforms: BOTH,
+            android_path: "com/paypal/android/sdk",
+            ios_path: "Frameworks/PayPalCheckout.framework",
+            domains: &["www.paypalobjects.com", "api-m.paypal.com"],
+            // The paper: PayPal appears as a popular pinned domain on iOS
+            // but (except the PayPal app itself) its Android code paths were
+            // not triggered dynamically — modeled as (almost always) dormant.
+            pinning_android: Some(PIN_ROOT_RAW_DORMANT),
+            pinning_ios: Some(PIN_ROOT_SPKI),
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 2,
+        },
+        SdkSpec {
+            name: "Perimeterx",
+            kind: SdkKind::FraudPrevention,
+            platforms: ANDROID_ONLY,
+            android_path: "com/perimeterx/mobile_sdk",
+            ios_path: "Frameworks/PerimeterX.framework",
+            domains: &["collector.perimeterx.net"],
+            pinning_android: Some(PIN_INTER_SPKI),
+            pinning_ios: None,
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 1,
+        },
+        SdkSpec {
+            name: "MParticle",
+            kind: SdkKind::Analytics,
+            platforms: ANDROID_ONLY,
+            android_path: "com/mparticle",
+            ios_path: "Frameworks/mParticle.framework",
+            domains: &["config2.mparticle.com", "nativesdks.mparticle.com"],
+            pinning_android: Some(PIN_ROOT_SPKI),
+            pinning_ios: None,
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 1,
+        },
+        SdkSpec {
+            name: "Sensibill",
+            kind: SdkKind::Billing,
+            platforms: ANDROID_ONLY,
+            android_path: "com/getsensibill",
+            ios_path: "Frameworks/Sensibill.framework",
+            domains: &["receipts.sensibill.com"],
+            pinning_android: Some(PIN_ROOT_RAW),
+            pinning_ios: None,
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 1,
+        },
+        // ---- Pinning SDKs, iOS-leaning (Table 7 right) ----
+        SdkSpec {
+            name: "Amplitude",
+            kind: SdkKind::Analytics,
+            platforms: IOS_ONLY,
+            android_path: "com/amplitude/android",
+            ios_path: "Frameworks/Amplitude.framework",
+            domains: &["api2.amplitude.com"],
+            pinning_android: None,
+            pinning_ios: Some(PIN_ROOT_SPKI),
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 3,
+        },
+        SdkSpec {
+            name: "Stripe",
+            kind: SdkKind::Payment,
+            platforms: BOTH,
+            android_path: "com/stripe/android",
+            ios_path: "Frameworks/Stripe.framework",
+            domains: &["api.stripe.com"],
+            pinning_android: None,
+            pinning_ios: Some(PIN_ROOT_SPKI),
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 2,
+        },
+        SdkSpec {
+            name: "Weibo",
+            kind: SdkKind::SocialNetwork,
+            platforms: IOS_ONLY,
+            android_path: "com/sina/weibo/sdk",
+            ios_path: "Frameworks/WeiboSDK.framework",
+            domains: &["api.weibo.com"],
+            pinning_android: None,
+            pinning_ios: Some(PIN_LEAF_SPKI),
+            tls_android: TlsLibrary::Conscrypt,
+            tls_ios: TlsLibrary::AfNetworking,
+            adoption_weight: 2,
+        },
+        SdkSpec {
+            name: "FraudForce",
+            kind: SdkKind::FraudPrevention,
+            platforms: IOS_ONLY,
+            android_path: "com/iovation/mobile/android",
+            ios_path: "Frameworks/FraudForce.framework",
+            domains: &["mpsnare.iesnare.com"],
+            pinning_android: None,
+            pinning_ios: Some(PIN_ROOT_SPKI),
+            tls_android: TlsLibrary::Conscrypt,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 1,
+        },
+        SdkSpec {
+            name: "Adobe Creative Cloud",
+            kind: SdkKind::Creative,
+            platforms: IOS_ONLY,
+            android_path: "com/adobe/creativesdk",
+            ios_path: "Frameworks/AdobeCreativeCloud.framework",
+            domains: &["cc-api-data.adobe.io"],
+            pinning_android: None,
+            pinning_ios: Some(PIN_ROOT_SPKI),
+            tls_android: TlsLibrary::Conscrypt,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 1,
+        },
+        SdkSpec {
+            name: "Firestore",
+            kind: SdkKind::CloudBackend,
+            platforms: BOTH,
+            android_path: "com/google/firebase/firestore",
+            ios_path: "Frameworks/FirebaseFirestore.framework",
+            domains: &["firestore.googleapis.com"],
+            pinning_android: None,
+            pinning_ios: Some(PIN_ROOT_SPKI),
+            tls_android: TlsLibrary::Cronet,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 1,
+        },
+        // ---- Widespread non-pinning SDKs (third-party traffic noise) ----
+        SdkSpec {
+            name: "Facebook",
+            kind: SdkKind::SocialNetwork,
+            platforms: BOTH,
+            android_path: "com/facebook/android",
+            ios_path: "Frameworks/FBSDKCoreKit.framework",
+            domains: &["graph.facebook.com"],
+            pinning_android: None,
+            pinning_ios: None,
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 400,
+        },
+        SdkSpec {
+            name: "GoogleAnalytics",
+            kind: SdkKind::Analytics,
+            platforms: BOTH,
+            android_path: "com/google/android/gms/analytics",
+            ios_path: "Frameworks/GoogleAnalytics.framework",
+            domains: &["app-measurement.com", "www.google-analytics.com"],
+            pinning_android: None,
+            pinning_ios: None,
+            tls_android: TlsLibrary::Cronet,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 520,
+        },
+        SdkSpec {
+            name: "AdMob",
+            kind: SdkKind::Advertising,
+            platforms: BOTH,
+            android_path: "com/google/android/gms/ads",
+            ios_path: "Frameworks/GoogleMobileAds.framework",
+            domains: &["googleads.g.doubleclick.net", "pagead2.googlesyndication.com"],
+            pinning_android: None,
+            pinning_ios: None,
+            tls_android: TlsLibrary::Cronet,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 460,
+        },
+        SdkSpec {
+            name: "Crashlytics",
+            kind: SdkKind::CrashReporting,
+            platforms: BOTH,
+            android_path: "com/google/firebase/crashlytics",
+            ios_path: "Frameworks/FirebaseCrashlytics.framework",
+            domains: &["firebase-settings.crashlytics.com"],
+            pinning_android: None,
+            pinning_ios: None,
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 420,
+        },
+        SdkSpec {
+            name: "AppsFlyer",
+            kind: SdkKind::Analytics,
+            platforms: BOTH,
+            android_path: "com/appsflyer",
+            ios_path: "Frameworks/AppsFlyerLib.framework",
+            domains: &["t.appsflyer.com"],
+            pinning_android: None,
+            pinning_ios: None,
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 260,
+        },
+        SdkSpec {
+            name: "UnityAds",
+            kind: SdkKind::Advertising,
+            platforms: BOTH,
+            android_path: "com/unity3d/ads",
+            ios_path: "Frameworks/UnityAds.framework",
+            domains: &["publisher-config.unityads.unity3d.com"],
+            pinning_android: None,
+            pinning_ios: None,
+            tls_android: TlsLibrary::OkHttp,
+            tls_ios: TlsLibrary::NsUrlSession,
+            adoption_weight: 220,
+        },
+    ]
+}
+
+/// Looks up an SDK by name.
+pub fn by_name(name: &str) -> Option<&'static SdkSpec> {
+    registry().iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<_> = registry().iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), registry().len());
+    }
+
+    #[test]
+    fn table7_android_sdks_present_and_pinning() {
+        for name in ["Twitter", "Braintree", "Paypal", "Perimeterx", "MParticle"] {
+            let sdk = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(sdk.pinning_on(Platform::Android).is_some(), "{name} must pin on Android");
+        }
+    }
+
+    #[test]
+    fn table7_ios_sdks_present_and_pinning() {
+        for name in ["Amplitude", "Stripe", "Weibo", "FraudForce", "Adobe Creative Cloud"] {
+            let sdk = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(sdk.pinning_on(Platform::Ios).is_some(), "{name} must pin on iOS");
+        }
+    }
+
+    #[test]
+    fn firestore_pins_only_on_ios() {
+        let f = by_name("Firestore").unwrap();
+        assert!(f.pinning_on(Platform::Ios).is_some());
+        assert!(f.pinning_on(Platform::Android).is_none());
+    }
+
+    #[test]
+    fn noise_sdks_do_not_pin() {
+        for name in ["Facebook", "GoogleAnalytics", "AdMob", "Crashlytics"] {
+            let sdk = by_name(name).unwrap();
+            assert!(sdk.pinning_on(Platform::Android).is_none());
+            assert!(sdk.pinning_on(Platform::Ios).is_none());
+        }
+    }
+
+    #[test]
+    fn every_sdk_has_domains_and_paths() {
+        for sdk in registry() {
+            assert!(!sdk.domains.is_empty(), "{}", sdk.name);
+            assert!(!sdk.android_path.is_empty());
+            assert!(sdk.ios_path.starts_with("Frameworks/"));
+        }
+    }
+
+    #[test]
+    fn availability_respects_platform_list() {
+        let px = by_name("Perimeterx").unwrap();
+        assert!(px.available_on(Platform::Android));
+        assert!(!px.available_on(Platform::Ios));
+    }
+}

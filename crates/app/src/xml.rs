@@ -1,0 +1,431 @@
+//! A minimal XML subset: enough to generate and parse Android manifests,
+//! Network Security Configuration files, and iOS plists.
+//!
+//! Supported: elements, attributes (double-quoted), text content,
+//! self-closing tags, `<?xml ...?>` declarations and `<!-- -->` comments
+//! (skipped). Not supported (not needed): namespaces-aware processing,
+//! CDATA, DTDs, entity definitions beyond the five predefined ones.
+
+use core::fmt;
+
+/// An XML element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name (kept verbatim, including any `android:`-style prefix).
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes.
+    pub children: Vec<Node>,
+}
+
+/// An XML node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Element node.
+    Element(Element),
+    /// Text node (entity-decoded).
+    Text(String),
+}
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Input ended unexpectedly.
+    UnexpectedEof,
+    /// A closing tag did not match the open element.
+    MismatchedClose {
+        /// Tag that was open.
+        expected: String,
+        /// Tag that closed.
+        found: String,
+    },
+    /// Malformed syntax at byte offset.
+    Malformed(usize),
+    /// No root element found.
+    NoRoot,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::UnexpectedEof => write!(f, "unexpected end of input"),
+            XmlError::MismatchedClose { expected, found } => {
+                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+            }
+            XmlError::Malformed(pos) => write!(f, "malformed XML at byte {pos}"),
+            XmlError::NoRoot => write!(f, "no root element"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl Element {
+    /// Creates an element.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+    }
+
+    /// Builder: adds an attribute.
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builder: adds a child element.
+    pub fn child(mut self, el: Element) -> Self {
+        self.children.push(Node::Element(el));
+        self
+    }
+
+    /// Builder: adds a text child.
+    pub fn text(mut self, t: impl Into<String>) -> Self {
+        self.children.push(Node::Text(t.into()));
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements with the given tag name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.children.iter().filter_map(move |n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// First child element with the given tag name.
+    pub fn find<'a>(&'a self, name: &'a str) -> Option<&'a Element> {
+        self.find_all(name).next()
+    }
+
+    /// All child elements (any tag).
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of direct text children, trimmed.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Depth-first search for descendant elements with the given tag name
+    /// (including self).
+    pub fn descendants<'a>(&'a self, name: &'a str, out: &mut Vec<&'a Element>) {
+        if self.name == name {
+            out.push(self);
+        }
+        for e in self.elements() {
+            e.descendants(name, out);
+        }
+    }
+
+    /// Renders to a string with an XML declaration.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"utf-8\"?>\n");
+        self.render(&mut out, 0);
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        let pad = "    ".repeat(indent);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str(" />\n");
+            return;
+        }
+        // Pure-text elements render inline; mixed/element content indents.
+        let only_text = self.children.iter().all(|n| matches!(n, Node::Text(_)));
+        if only_text {
+            out.push('>');
+            for n in &self.children {
+                if let Node::Text(t) = n {
+                    out.push_str(&escape(t));
+                }
+            }
+        } else {
+            out.push_str(">\n");
+            for n in &self.children {
+                match n {
+                    Node::Element(e) => e.render(out, indent + 1),
+                    Node::Text(t) => {
+                        let trimmed = t.trim();
+                        if !trimmed.is_empty() {
+                            out.push_str(&"    ".repeat(indent + 1));
+                            out.push_str(&escape(trimmed));
+                            out.push('\n');
+                        }
+                    }
+                }
+            }
+            out.push_str(&pad);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                match self.input[self.pos..].windows(2).position(|w| w == b"?>") {
+                    Some(off) => self.pos += off + 2,
+                    None => return Err(XmlError::UnexpectedEof),
+                }
+            } else if self.starts_with("<!--") {
+                match self.input[self.pos..].windows(3).position(|w| w == b"-->") {
+                    Some(off) => self.pos += off + 3,
+                    None => return Err(XmlError::UnexpectedEof),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b':' | b'-' | b'_' | b'.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::Malformed(self.pos));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn element(&mut self) -> Result<Element, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(XmlError::Malformed(self.pos));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut el = Element::new(name.clone());
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(XmlError::Malformed(self.pos));
+                    }
+                    self.pos += 1;
+                    return Ok(el); // self-closing
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(XmlError::Malformed(self.pos));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.peek() != Some(b'"') {
+                        return Err(XmlError::Malformed(self.pos));
+                    }
+                    self.pos += 1;
+                    let vstart = self.pos;
+                    while self.peek().is_some_and(|c| c != b'"') {
+                        self.pos += 1;
+                    }
+                    if self.peek().is_none() {
+                        return Err(XmlError::UnexpectedEof);
+                    }
+                    let value =
+                        String::from_utf8_lossy(&self.input[vstart..self.pos]).into_owned();
+                    self.pos += 1; // closing quote
+                    el.attrs.push((key, unescape(&value)));
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+        // Children.
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_misc()?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(XmlError::Malformed(self.pos));
+                }
+                self.pos += 1;
+                if close != name {
+                    return Err(XmlError::MismatchedClose { expected: name, found: close });
+                }
+                return Ok(el);
+            }
+            match self.peek() {
+                Some(b'<') => el.children.push(Node::Element(self.element()?)),
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'<') {
+                        self.pos += 1;
+                    }
+                    let text =
+                        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    if !text.trim().is_empty() {
+                        el.children.push(Node::Text(unescape(text.trim())));
+                    }
+                }
+                None => return Err(XmlError::UnexpectedEof),
+            }
+        }
+    }
+}
+
+/// Parses an XML document, returning its root element.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_misc()?;
+    if p.peek().is_none() {
+        return Err(XmlError::NoRoot);
+    }
+    let root = p.element()?;
+    p.skip_misc()?;
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let doc = Element::new("root")
+            .attr("a", "1")
+            .child(Element::new("child").text("hello"))
+            .child(Element::new("empty"));
+        let s = doc.to_document();
+        let parsed = parse(&s).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn parses_declaration_and_comments() {
+        let s = "<?xml version=\"1.0\"?>\n<!-- hi -->\n<a x=\"y\"><!-- inner --><b/></a>";
+        let e = parse(s).unwrap();
+        assert_eq!(e.name, "a");
+        assert_eq!(e.get_attr("x"), Some("y"));
+        assert!(e.find("b").is_some());
+    }
+
+    #[test]
+    fn entity_escaping_roundtrip() {
+        let doc = Element::new("t").attr("v", "a<b&\"c\"").text("x > y & z");
+        let parsed = parse(&doc.to_document()).unwrap();
+        assert_eq!(parsed.get_attr("v"), Some("a<b&\"c\""));
+        assert_eq!(parsed.text_content(), "x > y & z");
+    }
+
+    #[test]
+    fn namespaced_attrs_kept_verbatim() {
+        let s = r#"<application android:networkSecurityConfig="@xml/nsc" />"#;
+        let e = parse(s).unwrap();
+        assert_eq!(e.get_attr("android:networkSecurityConfig"), Some("@xml/nsc"));
+    }
+
+    #[test]
+    fn mismatched_close_rejected() {
+        assert!(matches!(parse("<a><b></a></b>"), Err(XmlError::MismatchedClose { .. })));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a attr=\"x").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(parse("   "), Err(XmlError::NoRoot)));
+    }
+
+    #[test]
+    fn descendants_search() {
+        let s = "<r><x><pin>1</pin></x><pin>2</pin></r>";
+        let e = parse(s).unwrap();
+        let mut hits = Vec::new();
+        e.descendants("pin", &mut hits);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[1].text_content(), "2");
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let s = "<a>before<b/>after</a>";
+        let e = parse(s).unwrap();
+        assert_eq!(e.children.len(), 3);
+    }
+}

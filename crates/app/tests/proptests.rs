@@ -1,0 +1,137 @@
+//! Property tests for the app-package substrate: XML, NSC, string pools,
+//! and FairPlay-style encryption.
+
+use pinning_app::nsc::{DomainConfig, NetworkSecurityConfig, NscPin};
+use pinning_app::package::{binary_with_strings, extract_strings, AppFile, AppPackage};
+use pinning_app::platform::Platform;
+use pinning_app::xml::{parse, Element};
+use pinning_crypto::{b64encode, SplitMix64};
+use proptest::prelude::*;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Printable text including XML-hostile characters.
+    "[ -~]{0,40}"
+}
+
+fn arb_element(depth: u32) -> BoxedStrategy<Element> {
+    let name = "[A-Za-z][A-Za-z0-9_:-]{0,12}";
+    let attrs = proptest::collection::vec(("[A-Za-z][A-Za-z0-9:]{0,8}", arb_text()), 0..4);
+    if depth == 0 {
+        (name, attrs, proptest::option::of(arb_text()))
+            .prop_map(|(n, attrs, text)| {
+                let mut el = Element::new(n);
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in attrs {
+                    if seen.insert(k.clone()) {
+                        el = el.attr(k, v);
+                    }
+                }
+                if let Some(t) = text {
+                    if !t.trim().is_empty() {
+                        el = el.text(t.trim().to_string());
+                    }
+                }
+                el
+            })
+            .boxed()
+    } else {
+        (
+            name,
+            attrs,
+            proptest::collection::vec(arb_element(depth - 1), 0..3),
+        )
+            .prop_map(|(n, attrs, children)| {
+                let mut el = Element::new(n);
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in attrs {
+                    if seen.insert(k.clone()) {
+                        el = el.attr(k, v);
+                    }
+                }
+                for c in children {
+                    el = el.child(c);
+                }
+                el
+            })
+            .boxed()
+    }
+}
+
+proptest! {
+    #[test]
+    fn xml_roundtrip_arbitrary_trees(el in arb_element(3)) {
+        let doc = el.to_document();
+        let parsed = parse(&doc).unwrap();
+        prop_assert_eq!(parsed, el);
+    }
+
+    #[test]
+    fn nsc_roundtrip_arbitrary_configs(
+        domains in proptest::collection::vec(("[a-z]{1,10}\\.[a-z]{2,3}", any::<bool>()), 1..4),
+        pins in proptest::collection::vec(proptest::array::uniform32(any::<u8>()), 0..4),
+        override_pins in any::<bool>(),
+        trust_user in any::<bool>(),
+    ) {
+        let nsc = NetworkSecurityConfig {
+            domain_configs: vec![DomainConfig {
+                domains,
+                pins: pins
+                    .iter()
+                    .map(|d| NscPin { digest: "SHA-256".into(), value_b64: b64encode(d) })
+                    .collect(),
+                pin_expiration: None,
+                override_pins,
+                trust_user_certs: trust_user,
+            }],
+        };
+        let back = NetworkSecurityConfig::from_xml(&nsc.to_xml()).unwrap();
+        prop_assert_eq!(back, nsc);
+    }
+
+    #[test]
+    fn strings_extraction_finds_all_planted(
+        strings in proptest::collection::vec("[ -~]{6,40}", 1..8),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let blob = binary_with_strings(&strings, &mut rng, 256);
+        let found = extract_strings(&blob, 6);
+        for s in &strings {
+            prop_assert!(
+                found.iter().any(|f| f.contains(s)),
+                "planted string {s:?} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn encryption_roundtrip_arbitrary_files(
+        paths in proptest::collection::hash_set("[a-z]{1,8}/[a-z]{1,8}\\.[a-z]{1,4}", 1..6),
+        seed in any::<u64>(),
+    ) {
+        let files: Vec<AppFile> = paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                AppFile::binary(
+                    format!("Payload/App.app/{p}"),
+                    vec![(i % 251) as u8; 10 + i * 7],
+                )
+            })
+            .collect();
+        let pkg = AppPackage::new(Platform::Ios, files);
+        let round = pkg.clone().encrypt(seed).decrypt(seed);
+        prop_assert_eq!(round, pkg);
+    }
+
+    #[test]
+    fn encryption_with_wrong_key_differs(seed in any::<u64>()) {
+        let pkg = AppPackage::new(
+            Platform::Ios,
+            vec![AppFile::binary("Payload/App.app/App", vec![7u8; 64])],
+        );
+        let enc = pkg.clone().encrypt(seed);
+        let wrong = enc.decrypt(seed ^ 1);
+        prop_assert_ne!(wrong, pkg);
+    }
+}

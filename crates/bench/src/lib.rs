@@ -1,0 +1,55 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! Every table/figure bench needs a completed study; running the pipeline
+//! inside the timing loop would measure the pipeline, not the table. The
+//! fixtures here run one **bench-scale** study (between tiny and paper
+//! scale) exactly once per process and hand out references.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pinning_core::{Study, StudyConfig, StudyResults};
+use pinning_store::config::WorldConfig;
+use pinning_store::world::World;
+use std::sync::OnceLock;
+
+/// Bench-scale world configuration: large enough that every table has
+/// non-trivial rows, small enough for criterion's iteration counts.
+pub fn bench_world_config(seed: u64) -> WorldConfig {
+    WorldConfig {
+        store_size: 1200,
+        n_cross_products: 200,
+        common_size: 140,
+        popular_size: 250,
+        random_size: 250,
+        ..WorldConfig::paper_scale(seed)
+    }
+}
+
+/// The shared study results (run once).
+pub fn shared_results() -> &'static StudyResults {
+    static RESULTS: OnceLock<StudyResults> = OnceLock::new();
+    RESULTS.get_or_init(|| {
+        let config = StudyConfig { world: bench_world_config(2022), threads: 1 };
+        Study::new(config).run()
+    })
+}
+
+/// A shared tiny world for pipeline micro-benches and ablations.
+pub fn shared_world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::generate(WorldConfig::tiny(2022)))
+}
+
+/// Prints a regenerated artifact once per bench target (criterion runs the
+/// closure many times; the table itself should print once).
+pub fn print_once(tag: &str, render: impl FnOnce() -> String) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+    static PRINTED: Mutex<Option<HashSet<String>>> = Mutex::new(None);
+    let mut guard = PRINTED.lock().expect("print-once lock");
+    let set = guard.get_or_insert_with(HashSet::new);
+    if set.insert(tag.to_string()) {
+        println!("\n===== regenerated: {tag} =====\n{}", render());
+    }
+}

@@ -1,0 +1,23 @@
+//! Study orchestrator: generate the world, draw the datasets, run the
+//! full static + dynamic + circumvention pipeline, and compute every
+//! table and figure of the paper from the measurements.
+//!
+//! ```
+//! use pinning_core::{Study, StudyConfig};
+//!
+//! let results = Study::new(StudyConfig::tiny(7)).run();
+//! assert_eq!(results.datasets.len(), 6);
+//! let report = results.render_table3();
+//! assert!(report.contains("Dynamic"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod record;
+pub mod study;
+pub mod tables;
+
+pub use record::AppRecord;
+pub use study::{Study, StudyConfig, StudyResults};

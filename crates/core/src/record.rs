@@ -1,0 +1,114 @@
+//! Compact per-app measurement records.
+//!
+//! The raw dynamic pipeline keeps full packet transcripts; at paper scale
+//! that is gigabytes. [`AppRecord`] keeps exactly the observables the
+//! tables and figures consume, so a full study fits comfortably in memory.
+
+use pinning_analysis::circumvent::CircumventionResult;
+use pinning_analysis::dynamics::pipeline::AppDynamicResult;
+use pinning_analysis::security::{any_weak_offer, any_weak_pinned_offer};
+use pinning_analysis::statics::StaticFindings;
+use pinning_app::platform::AppId;
+use std::collections::BTreeSet;
+
+/// Summary of §4.3 circumvention for one app.
+#[derive(Debug, Clone, Default)]
+pub struct CircumventionSummary {
+    /// Pinned destinations attempted.
+    pub attempted: Vec<String>,
+    /// Destinations successfully opened.
+    pub succeeded: Vec<String>,
+}
+
+/// Everything the study keeps per app.
+#[derive(Debug, Clone)]
+pub struct AppRecord {
+    /// Index into the world's app list.
+    pub app_index: usize,
+    /// App identity.
+    pub id: AppId,
+    /// §4.1 static findings (paths kept for Table 7 attribution).
+    pub static_findings: StaticFindings,
+    /// Destinations detected as pinned (§4.2).
+    pub pinned_destinations: Vec<String>,
+    /// Destinations used at least once in the baseline run (OS noise
+    /// excluded).
+    pub used_destinations: Vec<String>,
+    /// ≥1 connection advertised a weak cipher (Table 8 "Overall").
+    pub weak_overall: bool,
+    /// ≥1 *pinned* connection advertised a weak cipher (Table 8 "Pinning").
+    pub weak_pinned: bool,
+    /// Decrypted request bodies from circumvented pinned connections.
+    pub pinned_bodies: Vec<String>,
+    /// Decrypted request bodies from ordinary MITM'd (unpinned) flows.
+    pub unpinned_bodies: Vec<String>,
+    /// §4.3 circumvention summary (None when the app does not pin).
+    pub circumvention: Option<CircumventionSummary>,
+    /// TLS handshakes observed in the baseline capture (§4.2.1).
+    pub n_handshakes_baseline: usize,
+    /// Whether the iOS settle re-run was applied (§4.5).
+    pub settled_rerun: bool,
+}
+
+impl AppRecord {
+    /// Builds the compact record, discarding the transcripts.
+    pub fn assemble(
+        app_index: usize,
+        id: AppId,
+        static_findings: StaticFindings,
+        dynamic: &AppDynamicResult,
+        circumvention: Option<&CircumventionResult>,
+    ) -> Self {
+        let pinned_destinations: Vec<String> =
+            dynamic.pinned_destinations().into_iter().map(str::to_string).collect();
+        let pinned_set: BTreeSet<&str> =
+            pinned_destinations.iter().map(String::as_str).collect();
+        let used_destinations: Vec<String> =
+            dynamic.used_destinations().into_iter().map(str::to_string).collect();
+
+        // Unpinned plaintext comes from the ordinary MITM capture.
+        let unpinned_bodies: Vec<String> = dynamic
+            .mitm
+            .flows
+            .iter()
+            .filter(|f| {
+                f.transcript.sni.as_deref().is_some_and(|s| !pinned_set.contains(s))
+            })
+            .filter_map(|f| f.decrypted_request.clone())
+            .collect();
+
+        // Pinned plaintext requires circumvention.
+        let mut pinned_bodies = Vec::new();
+        let circumvention_summary = circumvention.map(|c| {
+            let mut s = CircumventionSummary::default();
+            for d in &c.destinations {
+                s.attempted.push(d.destination.clone());
+                if d.succeeded {
+                    s.succeeded.push(d.destination.clone());
+                    pinned_bodies.extend(d.plaintexts.iter().cloned());
+                }
+            }
+            s
+        });
+
+        AppRecord {
+            app_index,
+            id,
+            weak_overall: any_weak_offer(&dynamic.baseline),
+            weak_pinned: any_weak_pinned_offer(dynamic),
+            n_handshakes_baseline: dynamic.baseline.n_handshakes(),
+            settled_rerun: dynamic.settled_rerun,
+            static_findings,
+            pinned_destinations,
+            used_destinations,
+            pinned_bodies,
+            unpinned_bodies,
+            circumvention: circumvention_summary,
+        }
+    }
+
+    /// §5's pinning-app definition.
+    pub fn pins(&self) -> bool {
+        !self.pinned_destinations.is_empty()
+    }
+}

@@ -1,0 +1,230 @@
+//! The study driver.
+
+use crate::record::AppRecord;
+use pinning_analysis::circumvent::circumvent_app;
+use pinning_analysis::dynamics::pipeline::{analyze_app, DynamicEnv};
+use pinning_analysis::statics::analyze_package;
+use pinning_app::pii::DeviceIdentity;
+use pinning_app::platform::Platform;
+use pinning_store::config::WorldConfig;
+use pinning_store::datasets::{build_datasets, collision_report, CollisionReport, Dataset, DatasetKind};
+use pinning_store::world::World;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Study configuration.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// World-generation knobs.
+    pub world: WorldConfig,
+    /// Worker threads for the per-app pipeline (1 = sequential).
+    pub threads: usize,
+}
+
+impl StudyConfig {
+    /// Paper-scale study.
+    pub fn paper_scale(seed: u64) -> Self {
+        StudyConfig {
+            world: WorldConfig::paper_scale(seed),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+
+    /// Miniature study for tests/doctests.
+    pub fn tiny(seed: u64) -> Self {
+        StudyConfig { world: WorldConfig::tiny(seed), threads: 2 }
+    }
+}
+
+/// The study: configuration plus the run method.
+#[derive(Debug)]
+pub struct Study {
+    config: StudyConfig,
+}
+
+impl Study {
+    /// Creates a study.
+    pub fn new(config: StudyConfig) -> Self {
+        Study { config }
+    }
+
+    /// Runs everything: world → datasets → per-app static/dynamic/
+    /// circumvention → compact records.
+    pub fn run(self) -> StudyResults {
+        let world = World::generate(self.config.world.clone());
+        let datasets = build_datasets(&world);
+        let collisions = collision_report(&datasets);
+
+        // Unique apps across all datasets.
+        let unique: BTreeSet<usize> =
+            datasets.iter().flat_map(|d| d.app_indices.iter().copied()).collect();
+        let unique: Vec<usize> = unique.into_iter().collect();
+
+        let env = DynamicEnv::new(
+            &world.network,
+            world.universe.aosp_oem.clone(),
+            world.universe.ios.clone(),
+            world.now,
+            self.config.world.seed,
+        );
+        let identity = env.identity.clone();
+        let decrypt_key = self.config.world.ios_encryption_seed;
+
+        let process = |&app_index: &usize| -> (usize, AppRecord) {
+            let app = &world.apps[app_index];
+            let static_findings = analyze_package(
+                &app.package,
+                (app.id.platform == Platform::Ios).then_some(decrypt_key),
+            );
+            let dynamic = analyze_app(&env, app);
+            let pinned = dynamic.pinned_destinations();
+            let circ = (!pinned.is_empty()).then(|| circumvent_app(&env, app, &pinned));
+            let record = AppRecord::assemble(
+                app_index,
+                app.id.clone(),
+                static_findings,
+                &dynamic,
+                circ.as_ref(),
+            );
+            (app_index, record)
+        };
+
+        let records: BTreeMap<usize, AppRecord> = if self.config.threads <= 1 {
+            unique.iter().map(process).collect()
+        } else {
+            let threads = self.config.threads.min(unique.len().max(1));
+            let chunk = unique.len().div_ceil(threads);
+            let mut collected: Vec<(usize, AppRecord)> = Vec::with_capacity(unique.len());
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for part in unique.chunks(chunk.max(1)) {
+                    handles.push(scope.spawn(|_| part.iter().map(process).collect::<Vec<_>>()));
+                }
+                for h in handles {
+                    collected.extend(h.join().expect("pipeline worker panicked"));
+                }
+            })
+            .expect("thread scope failed");
+            collected.into_iter().collect()
+        };
+
+        StudyResults { world, datasets, collisions, records, identity }
+    }
+}
+
+/// All study outputs.
+#[derive(Debug)]
+pub struct StudyResults {
+    /// The generated world (ground truth + infrastructure).
+    pub world: World,
+    /// The six datasets.
+    pub datasets: Vec<Dataset>,
+    /// §3's collision accounting.
+    pub collisions: CollisionReport,
+    /// Per-app measurement records, keyed by app index.
+    pub records: BTreeMap<usize, AppRecord>,
+    /// The test-device identity used for PII detection.
+    pub identity: DeviceIdentity,
+}
+
+impl StudyResults {
+    /// The dataset of a given kind/platform.
+    pub fn dataset(&self, kind: DatasetKind, platform: Platform) -> &Dataset {
+        self.datasets
+            .iter()
+            .find(|d| d.kind == kind && d.platform == platform)
+            .expect("all six datasets exist")
+    }
+
+    /// Records of one dataset, in dataset order.
+    pub fn dataset_records(&self, kind: DatasetKind, platform: Platform) -> Vec<&AppRecord> {
+        self.dataset(kind, platform)
+            .app_indices
+            .iter()
+            .map(|i| &self.records[i])
+            .collect()
+    }
+
+    /// Unique records for a platform across all datasets.
+    pub fn platform_records(&self, platform: Platform) -> Vec<&AppRecord> {
+        self.records.values().filter(|r| r.id.platform == platform).collect()
+    }
+
+    /// Number of pinning apps in one dataset.
+    pub fn pinning_count(&self, kind: DatasetKind, platform: Platform) -> usize {
+        self.dataset_records(kind, platform).iter().filter(|r| r.pins()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results() -> StudyResults {
+        Study::new(StudyConfig::tiny(0x57D7)).run()
+    }
+
+    #[test]
+    fn run_produces_all_datasets_and_records() {
+        let r = results();
+        assert_eq!(r.datasets.len(), 6);
+        for d in &r.datasets {
+            for idx in &d.app_indices {
+                assert!(r.records.contains_key(idx), "missing record for app {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let mut cfg_seq = StudyConfig::tiny(0xAA);
+        cfg_seq.threads = 1;
+        let mut cfg_par = StudyConfig::tiny(0xAA);
+        cfg_par.threads = 4;
+        let a = Study::new(cfg_seq).run();
+        let b = Study::new(cfg_par).run();
+        assert_eq!(a.records.len(), b.records.len());
+        for (idx, ra) in &a.records {
+            let rb = &b.records[idx];
+            assert_eq!(ra.pinned_destinations, rb.pinned_destinations, "app {idx}");
+            assert_eq!(ra.weak_overall, rb.weak_overall);
+            assert_eq!(ra.n_handshakes_baseline, rb.n_handshakes_baseline);
+        }
+    }
+
+    #[test]
+    fn pinning_detected_in_some_dataset() {
+        let r = results();
+        let total: usize = DatasetKind::ALL
+            .iter()
+            .flat_map(|k| Platform::BOTH.map(|p| r.pinning_count(*k, p)))
+            .sum();
+        assert!(total > 0, "a study that finds no pinning reproduces nothing");
+    }
+
+    #[test]
+    fn detection_is_sound_wrt_ground_truth() {
+        let r = results();
+        for record in r.records.values() {
+            let app = &r.world.apps[record.app_index];
+            let truth: BTreeSet<&str> = app.runtime_pinned_domains().into_iter().collect();
+            for d in &record.pinned_destinations {
+                assert!(truth.contains(d.as_str()), "{}: false positive {d}", app.id);
+            }
+        }
+    }
+
+    #[test]
+    fn ios_records_have_static_findings_despite_encryption() {
+        let r = results();
+        let ios_with_findings = r
+            .platform_records(Platform::Ios)
+            .iter()
+            .filter(|rec| rec.static_findings.has_pin_material())
+            .count();
+        assert!(ios_with_findings > 0, "decryption-by-key must unlock iOS scanning");
+        assert!(r
+            .platform_records(Platform::Ios)
+            .iter()
+            .all(|rec| !rec.static_findings.scan_blocked_encrypted));
+    }
+}

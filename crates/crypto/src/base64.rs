@@ -1,0 +1,159 @@
+//! Standard base64 (RFC 4648 §4, with `=` padding).
+//!
+//! Pins are conventionally written `sha256/<base64-of-digest>`; the paper's
+//! static scanner matches the base64 alphabet `[a-zA-Z0-9+/=]` explicitly,
+//! so the codec here uses exactly that alphabet.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as standard padded base64.
+pub fn b64encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        if chunk.len() > 1 {
+            out.push(ALPHABET[(triple >> 6) as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+        if chunk.len() > 2 {
+            out.push(ALPHABET[triple as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+    }
+    out
+}
+
+/// Error returned by [`b64decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum B64Error {
+    /// Input length is not a multiple of 4.
+    BadLength,
+    /// A character outside the base64 alphabet (or misplaced padding).
+    BadChar(char),
+}
+
+impl core::fmt::Display for B64Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            B64Error::BadLength => write!(f, "base64 input length not a multiple of 4"),
+            B64Error::BadChar(c) => write!(f, "invalid base64 character {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for B64Error {}
+
+fn decode_char(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes standard padded base64.
+pub fn b64decode(s: &str) -> Result<Vec<u8>, B64Error> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(B64Error::BadLength);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (i, chunk) in bytes.chunks(4).enumerate() {
+        let last = i == bytes.len() / 4 - 1;
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !last) {
+            return Err(B64Error::BadChar('='));
+        }
+        let mut triple: u32 = 0;
+        for (j, &c) in chunk.iter().enumerate() {
+            let v = if c == b'=' && j >= 4 - pad {
+                0
+            } else {
+                decode_char(c).ok_or(B64Error::BadChar(c as char))?
+            };
+            triple = (triple << 6) | v as u32;
+        }
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(b64encode(b""), "");
+        assert_eq!(b64encode(b"f"), "Zg==");
+        assert_eq!(b64encode(b"fo"), "Zm8=");
+        assert_eq!(b64encode(b"foo"), "Zm9v");
+        assert_eq!(b64encode(b"foob"), "Zm9vYg==");
+        assert_eq!(b64encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(b64encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(b64decode("").unwrap(), b"");
+        assert_eq!(b64decode("Zg==").unwrap(), b"f");
+        assert_eq!(b64decode("Zm8=").unwrap(), b"fo");
+        assert_eq!(b64decode("Zm9vYmFy").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn decode_rejects_bad_length() {
+        assert_eq!(b64decode("Zm9"), Err(B64Error::BadLength));
+    }
+
+    #[test]
+    fn decode_rejects_bad_char() {
+        assert_eq!(b64decode("Zm9!"), Err(B64Error::BadChar('!')));
+    }
+
+    #[test]
+    fn decode_rejects_interior_padding() {
+        assert_eq!(b64decode("Zg==Zg=="), Err(B64Error::BadChar('=')));
+    }
+
+    #[test]
+    fn digest_roundtrip_is_44_chars() {
+        // A SHA-256 SPKI pin is always 44 base64 characters (32 bytes).
+        let d = crate::sha256::sha256(b"spki");
+        let e = b64encode(&d);
+        assert_eq!(e.len(), 44);
+        assert_eq!(b64decode(&e).unwrap(), d);
+    }
+
+    #[test]
+    fn sha1_pin_is_28_chars() {
+        // A SHA-1 pin is 28 base64 characters (20 bytes) — the lower bound of
+        // the paper's scanner pattern `{28,64}`.
+        let d = crate::sha1::sha1(b"spki");
+        assert_eq!(b64encode(&d).len(), 28);
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        for n in 0..70usize {
+            let data: Vec<u8> = (0..n).map(|i| (i * 31 % 256) as u8).collect();
+            assert_eq!(b64decode(&b64encode(&data)).unwrap(), data, "len {n}");
+        }
+    }
+}

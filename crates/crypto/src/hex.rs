@@ -1,0 +1,93 @@
+//! Lowercase hex codec.
+//!
+//! Certificate fingerprints and some pinning implementations (notably a few
+//! Android NSC files in the wild) store digests hex-encoded; the paper's
+//! scanner pattern `{28,64}` deliberately spans both base64 (28/44 chars)
+//! and hex (40/64 chars) digest encodings.
+
+/// Encodes `data` as lowercase hex.
+pub fn hex_encode(data: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Error returned by [`hex_decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// Odd number of input characters.
+    OddLength,
+    /// Non-hex character.
+    BadChar(char),
+}
+
+impl core::fmt::Display for HexError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HexError::OddLength => write!(f, "hex input has odd length"),
+            HexError::BadChar(c) => write!(f, "invalid hex character {c:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+fn nibble(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Decodes hex (case-insensitive).
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, HexError> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(HexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks(2) {
+        let hi = nibble(pair[0]).ok_or(HexError::BadChar(pair[0] as char))?;
+        let lo = nibble(pair[1]).ok_or(HexError::BadChar(pair[1] as char))?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data = [0u8, 1, 2, 0x7f, 0x80, 0xff];
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(hex_encode(&[]), "");
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn case_insensitive_decode() {
+        assert_eq!(hex_decode("DEADbeef").unwrap(), [0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn rejects_odd() {
+        assert_eq!(hex_decode("abc"), Err(HexError::OddLength));
+    }
+
+    #[test]
+    fn rejects_bad_char() {
+        assert_eq!(hex_decode("zz"), Err(HexError::BadChar('z')));
+    }
+}

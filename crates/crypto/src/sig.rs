@@ -1,0 +1,153 @@
+//! Simulated public-key signatures.
+//!
+//! The paper's methodology never exercises the *mathematics* of RSA/ECDSA —
+//! it exercises the *structure* of certificate chains: who signed what, which
+//! SubjectPublicKeyInfo hashes to which pin, whether a chain roots in a
+//! public store. We therefore model a keypair as:
+//!
+//! * a 32-byte secret (random),
+//! * a public key whose wire form (the simulated SPKI) is
+//!   `sha256("spki" || secret)` — stable, unique per key, hashable into pins,
+//! * a signature over `msg` equal to `hmac_sha256(secret, msg)`.
+//!
+//! Verification inside the closed simulation recomputes
+//! `hmac_sha256(secret_of(public), msg)` via a *verification token* carried
+//! with the public key: `verifier = sha256("verify" || secret)`, and
+//! signatures are actually `hmac_sha256(verifier, msg)`. Anyone holding the
+//! public key material (which includes the verifier) can verify; only the
+//! holder of the secret can *mint new* verifiers for fresh keys, but within
+//! one key, signing and verifying use the same token — i.e. this is a MAC
+//! dressed as a signature. That is sound **for this simulation** because no
+//! simulated adversary ever tries to forge; the MITM proxy signs with its own
+//! CA key, exactly like real mitmproxy does.
+
+use crate::hmac::hmac_sha256;
+use crate::rng::SplitMix64;
+use crate::sha256::sha256;
+
+/// Public half of a simulated keypair.
+///
+/// `spki` plays the role of the DER SubjectPublicKeyInfo: it is the byte
+/// string that pinning implementations hash (`sha256/<b64(sha256(spki))>`)
+/// and that certificates embed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PublicKey {
+    /// Simulated SubjectPublicKeyInfo bytes (32 bytes).
+    pub spki: [u8; 32],
+    /// Verification token (see module docs).
+    pub verifier: [u8; 32],
+}
+
+impl PublicKey {
+    /// SHA-256 of the SPKI — the value a `sha256/...` pin commits to.
+    pub fn spki_sha256(&self) -> [u8; 32] {
+        sha256(&self.spki)
+    }
+
+    /// SHA-1 of the SPKI — the value a legacy `sha1/...` pin commits to.
+    pub fn spki_sha1(&self) -> [u8; 20] {
+        crate::sha1::sha1(&self.spki)
+    }
+
+    /// Verifies `sig` over `msg`.
+    pub fn verify(&self, msg: &[u8], sig: &Signature) -> bool {
+        // Constant-time comparison is irrelevant in simulation, but cheap.
+        let expect = hmac_sha256(&self.verifier, msg);
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(sig.0.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+/// A detached signature (32 bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Signature(pub [u8; 32]);
+
+/// A simulated keypair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyPair {
+    secret: [u8; 32],
+    /// Public half; freely cloneable into certificates.
+    pub public: PublicKey,
+}
+
+impl KeyPair {
+    /// Deterministically generates a keypair from an RNG stream.
+    pub fn generate(rng: &mut SplitMix64) -> Self {
+        let mut secret = [0u8; 32];
+        rng.fill_bytes(&mut secret);
+        Self::from_secret(secret)
+    }
+
+    /// Builds the keypair derived from a fixed secret (test helper, also used
+    /// to give well-known infrastructure keys stable identities).
+    pub fn from_secret(secret: [u8; 32]) -> Self {
+        let mut spki_input = Vec::with_capacity(4 + 32);
+        spki_input.extend_from_slice(b"spki");
+        spki_input.extend_from_slice(&secret);
+        let spki = sha256(&spki_input);
+
+        let mut ver_input = Vec::with_capacity(6 + 32);
+        ver_input.extend_from_slice(b"verify");
+        ver_input.extend_from_slice(&secret);
+        let verifier = sha256(&ver_input);
+
+        KeyPair { secret, public: PublicKey { spki, verifier } }
+    }
+
+    /// Signs `msg`.
+    pub fn sign(&self, msg: &[u8]) -> Signature {
+        Signature(hmac_sha256(&self.public.verifier, msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(seed: u64) -> KeyPair {
+        KeyPair::generate(&mut SplitMix64::new(seed))
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let k = kp(1);
+        let sig = k.sign(b"certificate tbs bytes");
+        assert!(k.public.verify(b"certificate tbs bytes", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_message() {
+        let k = kp(2);
+        let sig = k.sign(b"original");
+        assert!(!k.public.verify(b"tampered", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let a = kp(3);
+        let b = kp(4);
+        let sig = a.sign(b"msg");
+        assert!(!b.public.verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_keys() {
+        assert_ne!(kp(5).public.spki, kp(6).public.spki);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(kp(7), kp(7));
+    }
+
+    #[test]
+    fn spki_hashes_are_stable() {
+        let k = kp(8);
+        assert_eq!(k.public.spki_sha256(), k.public.spki_sha256());
+        assert_eq!(k.public.spki_sha1(), k.public.spki_sha1());
+        assert_ne!(&k.public.spki_sha256()[..20], &k.public.spki_sha1()[..]);
+    }
+}

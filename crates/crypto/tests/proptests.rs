@@ -1,0 +1,102 @@
+//! Property tests for the cryptographic primitives.
+
+use pinning_crypto::{
+    b64decode, b64encode, hex_decode, hex_encode, hmac_sha256, sha256, SplitMix64,
+};
+use pinning_crypto::sha1::Sha1;
+use pinning_crypto::sha256::Sha256;
+use pinning_crypto::sig::KeyPair;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sha256_streaming_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        splits in proptest::collection::vec(any::<prop::sample::Index>(), 0..6),
+    ) {
+        let mut points: Vec<usize> = splits.iter().map(|i| i.index(data.len() + 1)).collect();
+        points.push(0);
+        points.push(data.len());
+        points.sort_unstable();
+        let mut h = Sha256::new();
+        for w in points.windows(2) {
+            h.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn sha1_streaming_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        split in any::<prop::sample::Index>(),
+    ) {
+        let at = split.index(data.len() + 1);
+        let mut h = Sha1::new();
+        h.update(&data[..at]);
+        h.update(&data[at..]);
+        prop_assert_eq!(h.finalize(), pinning_crypto::sha1::sha1(&data));
+    }
+
+    #[test]
+    fn b64_roundtrip_and_length(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let e = b64encode(&data);
+        prop_assert_eq!(e.len(), data.len().div_ceil(3) * 4);
+        prop_assert_eq!(b64decode(&e).unwrap(), data);
+    }
+
+    #[test]
+    fn b64_rejects_non_alphabet(c in "[^A-Za-z0-9+/=]") {
+        // A 4-char block with one invalid character must be rejected.
+        let s = format!("AA{}A", c);
+        if s.len() == 4 {
+            prop_assert!(b64decode(&s).is_err());
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        prop_assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn hmac_differs_under_different_keys(
+        k1 in proptest::collection::vec(any::<u8>(), 1..64),
+        k2 in proptest::collection::vec(any::<u8>(), 1..64),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        if k1 != k2 {
+            prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+        }
+    }
+
+    #[test]
+    fn splitmix_streams_are_reproducible(seed in any::<u64>(), tag in "[a-z]{1,12}") {
+        let mut a = SplitMix64::new(seed).derive(&tag);
+        let mut b = SplitMix64::new(seed).derive(&tag);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_next_below_bounds(seed in any::<u64>(), bound in 1u64..10_000) {
+        let mut g = SplitMix64::new(seed);
+        for _ in 0..32 {
+            prop_assert!(g.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn signatures_verify_and_bind_to_message(
+        seed in any::<u64>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..256),
+        other in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let kp = KeyPair::generate(&mut SplitMix64::new(seed));
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public.verify(&msg, &sig));
+        if msg != other {
+            prop_assert!(!kp.public.verify(&other, &sig));
+        }
+    }
+}

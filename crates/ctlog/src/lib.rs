@@ -1,0 +1,201 @@
+//! Certificate Transparency log simulation — the crt.sh substitute.
+//!
+//! The paper associates SPKI hashes found statically in apps with real
+//! certificates by querying crt.sh (§4.1.3), which indexes CT logs. They
+//! could resolve ~50% of unique pins — CT coverage is incomplete, because
+//! only publicly-issued certificates get logged (private/custom-PKI certs
+//! don't, and neither do certificates for keys that never appeared in a
+//! logged cert).
+//!
+//! [`CtLog`] is an append-only log with SPKI-hash and common-name indexes;
+//! the world generator submits exactly the publicly-issued certificates, so
+//! the same partial-coverage phenomenon emerges during analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pinning_pki::pin::PinAlgorithm;
+use pinning_pki::Certificate;
+use std::collections::HashMap;
+
+/// A single log entry.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// Index in the log (append order).
+    pub index: u64,
+    /// The logged certificate.
+    pub cert: Certificate,
+}
+
+/// An append-only CT log with crt.sh-style query indexes.
+#[derive(Debug, Default)]
+pub struct CtLog {
+    entries: Vec<LogEntry>,
+    by_spki_sha256: HashMap<[u8; 32], Vec<usize>>,
+    by_spki_sha1: HashMap<[u8; 20], Vec<usize>>,
+    by_common_name: HashMap<String, Vec<usize>>,
+    by_fingerprint: HashMap<[u8; 32], usize>,
+}
+
+impl CtLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits a certificate. Idempotent per certificate fingerprint;
+    /// returns the entry index.
+    pub fn submit(&mut self, cert: Certificate) -> u64 {
+        let fp = cert.fingerprint_sha256();
+        if let Some(&idx) = self.by_fingerprint.get(&fp) {
+            return self.entries[idx].index;
+        }
+        let idx = self.entries.len();
+        self.by_spki_sha256.entry(cert.spki_sha256()).or_default().push(idx);
+        self.by_spki_sha1.entry(cert.spki_sha1()).or_default().push(idx);
+        self.by_common_name
+            .entry(cert.tbs.subject.common_name.clone())
+            .or_default()
+            .push(idx);
+        self.by_fingerprint.insert(fp, idx);
+        self.entries.push(LogEntry { index: idx as u64, cert });
+        idx as u64
+    }
+
+    /// crt.sh-style lookup: all logged certificates whose SPKI digest (under
+    /// `alg`) equals `digest`.
+    pub fn search_by_spki_digest(&self, alg: PinAlgorithm, digest: &[u8]) -> Vec<&Certificate> {
+        let idxs = match alg {
+            PinAlgorithm::Sha256 => {
+                let key: Result<[u8; 32], _> = digest.try_into();
+                key.ok().and_then(|k| self.by_spki_sha256.get(&k))
+            }
+            PinAlgorithm::Sha1 => {
+                let key: Result<[u8; 20], _> = digest.try_into();
+                key.ok().and_then(|k| self.by_spki_sha1.get(&k))
+            }
+        };
+        idxs.map(|v| v.iter().map(|&i| &self.entries[i].cert).collect())
+            .unwrap_or_default()
+    }
+
+    /// Lookup by exact certificate fingerprint.
+    pub fn search_by_fingerprint(&self, fp: &[u8; 32]) -> Option<&Certificate> {
+        self.by_fingerprint.get(fp).map(|&i| &self.entries[i].cert)
+    }
+
+    /// Lookup by subject common name.
+    pub fn search_by_common_name(&self, cn: &str) -> Vec<&Certificate> {
+        self.by_common_name
+            .get(cn)
+            .map(|v| v.iter().map(|&i| &self.entries[i].cert).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over entries in append order.
+    pub fn iter(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinning_pki::authority::CertificateAuthority;
+    use pinning_pki::name::DistinguishedName;
+    use pinning_pki::time::{SimTime, Validity, YEAR};
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
+
+    fn certs() -> (Certificate, Certificate, Certificate) {
+        let mut rng = SplitMix64::new(0xc7);
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("Root", "Sim", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        let key = KeyPair::generate(&mut rng);
+        let a = root.issue_leaf(
+            &["a.com".to_string()],
+            "A",
+            &key,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        // Renewal with the same key — same SPKI, new fingerprint.
+        let a2 = root.issue_leaf(
+            &["a.com".to_string()],
+            "A",
+            &key,
+            Validity::starting(SimTime(YEAR), YEAR),
+        );
+        let kb = KeyPair::generate(&mut rng);
+        let b = root.issue_leaf(
+            &["b.com".to_string()],
+            "B",
+            &kb,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        (a, a2, b)
+    }
+
+    #[test]
+    fn spki_lookup_finds_all_certs_for_key() {
+        let (a, a2, b) = certs();
+        let mut log = CtLog::new();
+        log.submit(a.clone());
+        log.submit(a2.clone());
+        log.submit(b.clone());
+        let hits = log.search_by_spki_digest(PinAlgorithm::Sha256, &a.spki_sha256());
+        assert_eq!(hits.len(), 2, "both renewals share the SPKI");
+        let hits1 = log.search_by_spki_digest(PinAlgorithm::Sha1, &a.spki_sha1());
+        assert_eq!(hits1.len(), 2);
+    }
+
+    #[test]
+    fn unlogged_pin_resolves_to_nothing() {
+        let (a, _, b) = certs();
+        let mut log = CtLog::new();
+        log.submit(b);
+        assert!(log.search_by_spki_digest(PinAlgorithm::Sha256, &a.spki_sha256()).is_empty());
+    }
+
+    #[test]
+    fn submit_is_idempotent() {
+        let (a, _, _) = certs();
+        let mut log = CtLog::new();
+        let i1 = log.submit(a.clone());
+        let i2 = log.submit(a.clone());
+        assert_eq!(i1, i2);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_and_cn_lookup() {
+        let (a, a2, _) = certs();
+        let mut log = CtLog::new();
+        log.submit(a.clone());
+        log.submit(a2.clone());
+        assert_eq!(
+            log.search_by_fingerprint(&a.fingerprint_sha256()).unwrap().tbs.serial,
+            a.tbs.serial
+        );
+        assert_eq!(log.search_by_common_name("a.com").len(), 2);
+        assert!(log.search_by_common_name("nope.com").is_empty());
+    }
+
+    #[test]
+    fn bad_digest_length_is_harmless() {
+        let log = CtLog::new();
+        assert!(log.search_by_spki_digest(PinAlgorithm::Sha256, &[0u8; 7]).is_empty());
+    }
+}

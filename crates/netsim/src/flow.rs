@@ -1,0 +1,112 @@
+//! Flow records and captures: the pipeline's raw material.
+
+use pinning_tls::ConnectionTranscript;
+use std::collections::BTreeMap;
+
+/// Who initiated a flow.
+///
+/// Analysis code is only allowed to consult this through legitimate
+/// channels: app flows vs OS flows are *not* distinguishable on the wire
+/// (§4.5 — "the traffic from OS exhibits a similar TLS fingerprint as
+/// regular app traffic"), so the pipeline must instead exclude known Apple
+/// domains and entitlement-declared associated domains. The field exists
+/// for ground-truth evaluation and the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowOrigin {
+    /// Initiated by the app under test.
+    App,
+    /// iOS verifying the app's associated domains after install.
+    OsAssociatedDomains,
+    /// Always-on Apple background services.
+    OsBackground,
+}
+
+/// One captured TCP+TLS connection.
+#[derive(Debug, Clone)]
+pub struct FlowRecord {
+    /// Destination hostname as *ground truth* (oracle only — the pipeline
+    /// keys on the SNI inside the transcript).
+    pub dest: String,
+    /// Seconds after capture start at which the flow began.
+    pub at_secs: u32,
+    /// Who initiated the flow (oracle; see [`FlowOrigin`]).
+    pub origin: FlowOrigin,
+    /// Wire observables.
+    pub transcript: ConnectionTranscript,
+    /// Whether this run routed through the MITM proxy.
+    pub mitm_attempted: bool,
+    /// Request plaintext, available only when the proxy successfully
+    /// intercepted (what §4.4's PII analysis reads).
+    pub decrypted_request: Option<String>,
+}
+
+impl FlowRecord {
+    /// The destination key the *pipeline* may use: the SNI, if present.
+    pub fn sni(&self) -> Option<&str> {
+        self.transcript.sni.as_deref()
+    }
+}
+
+/// Everything captured during one app run.
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    /// Flows in start order.
+    pub flows: Vec<FlowRecord>,
+    /// Length of the capture window in seconds.
+    pub window_secs: u32,
+}
+
+impl Capture {
+    /// Groups flows by SNI destination. Flows without SNI are dropped, as
+    /// in the paper (99% carry SNI; the rest can't be keyed).
+    pub fn by_destination(&self) -> BTreeMap<&str, Vec<&FlowRecord>> {
+        let mut map: BTreeMap<&str, Vec<&FlowRecord>> = BTreeMap::new();
+        for f in &self.flows {
+            if let Some(sni) = f.sni() {
+                map.entry(sni).or_default().push(f);
+            }
+        }
+        map
+    }
+
+    /// Number of TLS handshakes attempted (== flows, in this model).
+    pub fn n_handshakes(&self) -> usize {
+        self.flows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(dest: &str, sni: Option<&str>) -> FlowRecord {
+        let mut t = ConnectionTranscript::new();
+        t.sni = sni.map(str::to_string);
+        FlowRecord {
+            dest: dest.to_string(),
+            at_secs: 0,
+            origin: FlowOrigin::App,
+            transcript: t,
+            mitm_attempted: false,
+            decrypted_request: None,
+        }
+    }
+
+    #[test]
+    fn grouping_by_sni() {
+        let cap = Capture {
+            flows: vec![flow("a.com", Some("a.com")), flow("a.com", Some("a.com")), flow("b.com", Some("b.com"))],
+            window_secs: 30,
+        };
+        let groups = cap.by_destination();
+        assert_eq!(groups["a.com"].len(), 2);
+        assert_eq!(groups["b.com"].len(), 1);
+    }
+
+    #[test]
+    fn sni_less_flows_dropped_from_grouping() {
+        let cap = Capture { flows: vec![flow("a.com", None)], window_secs: 30 };
+        assert!(cap.by_destination().is_empty());
+        assert_eq!(cap.n_handshakes(), 1);
+    }
+}

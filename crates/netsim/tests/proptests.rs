@@ -1,0 +1,160 @@
+//! Property tests for the netsim substrate: simcap roundtrips over
+//! arbitrary captures, and proxy-forging invariants.
+
+use pinning_netsim::flow::{Capture, FlowOrigin, FlowRecord};
+use pinning_netsim::simcap;
+use pinning_tls::alert::{AlertDescription, AlertLevel};
+use pinning_tls::cipher::CipherSuite;
+use pinning_tls::record::{ContentType, Direction, RecordEvent, TcpEvent};
+use pinning_tls::{ConnectionTranscript, TlsVersion};
+use proptest::prelude::*;
+
+fn arb_direction() -> impl Strategy<Value = Direction> {
+    prop_oneof![Just(Direction::ClientToServer), Just(Direction::ServerToClient)]
+}
+
+fn arb_content() -> impl Strategy<Value = ContentType> {
+    prop_oneof![
+        Just(ContentType::Handshake),
+        Just(ContentType::Alert),
+        Just(ContentType::ApplicationData),
+        Just(ContentType::ChangeCipherSpec),
+    ]
+}
+
+fn arb_version() -> impl Strategy<Value = TlsVersion> {
+    prop_oneof![
+        Just(TlsVersion::V1_0),
+        Just(TlsVersion::V1_1),
+        Just(TlsVersion::V1_2),
+        Just(TlsVersion::V1_3),
+    ]
+}
+
+fn arb_cipher() -> impl Strategy<Value = CipherSuite> {
+    prop::sample::select(CipherSuite::legacy_client_list())
+}
+
+fn arb_alert_desc() -> impl Strategy<Value = AlertDescription> {
+    prop_oneof![
+        Just(AlertDescription::CloseNotify),
+        Just(AlertDescription::HandshakeFailure),
+        Just(AlertDescription::BadCertificate),
+        Just(AlertDescription::CertificateUnknown),
+        Just(AlertDescription::UnknownCa),
+        Just(AlertDescription::ProtocolVersion),
+        Just(AlertDescription::UnrecognizedName),
+    ]
+}
+
+prop_compose! {
+    fn arb_record()(
+        direction in arb_direction(),
+        version in arb_version(),
+        inner in arb_content(),
+        encrypted in any::<bool>(),
+        len in 0usize..4096,
+        alert in proptest::option::of((any::<bool>(), arb_alert_desc())),
+    ) -> RecordEvent {
+        if encrypted {
+            RecordEvent::encrypted(direction, version, inner, len)
+        } else if let Some((fatal, desc)) = alert {
+            RecordEvent::plaintext_alert(
+                direction,
+                if fatal { AlertLevel::Fatal } else { AlertLevel::Warning },
+                desc,
+            )
+        } else {
+            RecordEvent::handshake(direction, len)
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_transcript()(
+        sni in proptest::option::of("[a-z]{1,12}\\.[a-z]{2,6}"),
+        versions in proptest::collection::vec(arb_version(), 0..4),
+        ciphers in proptest::collection::vec(arb_cipher(), 0..8),
+        negotiated in proptest::option::of((arb_version(), arb_cipher())),
+        records in proptest::collection::vec(arb_record(), 0..12),
+        rst in any::<bool>(),
+    ) -> ConnectionTranscript {
+        let mut t = ConnectionTranscript {
+            sni,
+            offered_versions: versions,
+            offered_ciphers: ciphers,
+            negotiated,
+            ..Default::default()
+        };
+        t.push_tcp(TcpEvent::Established);
+        for r in records {
+            t.push_record(r);
+        }
+        if rst {
+            t.push_tcp(TcpEvent::Rst { from: Direction::ClientToServer });
+        }
+        t
+    }
+}
+
+prop_compose! {
+    fn arb_flow()(
+        dest in "[a-z]{1,12}\\.[a-z]{2,6}",
+        at_secs in 0u32..60,
+        origin in prop_oneof![
+            Just(FlowOrigin::App),
+            Just(FlowOrigin::OsAssociatedDomains),
+            Just(FlowOrigin::OsBackground),
+        ],
+        transcript in arb_transcript(),
+        mitm in any::<bool>(),
+        body in proptest::option::of("[ -~]{0,80}"),
+    ) -> FlowRecord {
+        FlowRecord {
+            dest,
+            at_secs,
+            origin,
+            transcript,
+            mitm_attempted: mitm,
+            decrypted_request: body,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simcap_roundtrips_arbitrary_captures(
+        flows in proptest::collection::vec(arb_flow(), 0..10),
+        window in 1u32..120,
+    ) {
+        let cap = Capture { flows, window_secs: window };
+        let bytes = simcap::serialize(&cap);
+        let back = simcap::deserialize(&bytes).unwrap();
+        prop_assert_eq!(back.window_secs, cap.window_secs);
+        prop_assert_eq!(back.flows.len(), cap.flows.len());
+        for (a, b) in cap.flows.iter().zip(&back.flows) {
+            prop_assert_eq!(&a.dest, &b.dest);
+            prop_assert_eq!(a.at_secs, b.at_secs);
+            prop_assert_eq!(a.origin, b.origin);
+            prop_assert_eq!(a.mitm_attempted, b.mitm_attempted);
+            prop_assert_eq!(&a.decrypted_request, &b.decrypted_request);
+            prop_assert_eq!(&a.transcript, &b.transcript);
+        }
+    }
+
+    #[test]
+    fn simcap_never_panics_on_mutation(
+        flows in proptest::collection::vec(arb_flow(), 1..4),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let cap = Capture { flows, window_secs: 30 };
+        let mut bytes = simcap::serialize(&cap);
+        let i = flip_at.index(bytes.len());
+        bytes[i] ^= 1 << flip_bit;
+        // Corrupted input must error or parse — never panic.
+        let _ = simcap::deserialize(&bytes);
+    }
+}

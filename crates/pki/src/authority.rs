@@ -1,0 +1,274 @@
+//! Certificate authorities: root creation and certificate issuance.
+
+use crate::cert::{Certificate, TbsCertificate};
+use crate::name::DistinguishedName;
+use crate::time::{SimTime, Validity, YEAR};
+use pinning_crypto::sig::KeyPair;
+use pinning_crypto::SplitMix64;
+
+/// A certificate authority: a keypair plus its own (root or intermediate)
+/// certificate, able to issue further certificates.
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    key: KeyPair,
+    /// The CA's own certificate.
+    pub cert: Certificate,
+    next_serial: u64,
+}
+
+impl CertificateAuthority {
+    /// Creates a new self-signed root CA.
+    ///
+    /// Root certificates conventionally have long validity; the default here
+    /// is 25 simulated years starting at `from`.
+    pub fn new_root(
+        name: DistinguishedName,
+        rng: &mut SplitMix64,
+        from: SimTime,
+    ) -> Self {
+        Self::new_root_with_validity(name, rng, Validity::starting(from, 25 * YEAR))
+    }
+
+    /// Creates a self-signed root with an explicit validity window.
+    pub fn new_root_with_validity(
+        name: DistinguishedName,
+        rng: &mut SplitMix64,
+        validity: Validity,
+    ) -> Self {
+        let key = KeyPair::generate(rng);
+        let tbs = TbsCertificate {
+            serial: rng.next_u64(),
+            subject: name.clone(),
+            issuer: name,
+            validity,
+            san: Vec::new(),
+            public_key: key.public.clone(),
+            is_ca: true,
+            path_len: None,
+        };
+        let signature = key.sign(&tbs.to_bytes());
+        let cert = Certificate { tbs, signature };
+        let next_serial = rng.next_u64() | 1;
+        CertificateAuthority { key, cert, next_serial }
+    }
+
+    /// Issues an intermediate CA certificate (and returns the new authority).
+    pub fn issue_intermediate(
+        &mut self,
+        name: DistinguishedName,
+        rng: &mut SplitMix64,
+        validity: Validity,
+        path_len: Option<u64>,
+    ) -> CertificateAuthority {
+        let key = KeyPair::generate(rng);
+        let tbs = TbsCertificate {
+            serial: self.take_serial(),
+            subject: name,
+            issuer: self.cert.tbs.subject.clone(),
+            validity,
+            san: Vec::new(),
+            public_key: key.public.clone(),
+            is_ca: true,
+            path_len,
+        };
+        let signature = self.key.sign(&tbs.to_bytes());
+        let cert = Certificate { tbs, signature };
+        let next_serial = rng.next_u64() | 1;
+        CertificateAuthority { key, cert, next_serial }
+    }
+
+    /// Issues a leaf (end-entity) certificate for `hostnames`.
+    ///
+    /// The first hostname becomes the CN; all of them become SANs. `key` may
+    /// be reused across issuances to model key reuse across certificate
+    /// renewals (paper §5.3.3).
+    pub fn issue_leaf(
+        &mut self,
+        hostnames: &[String],
+        organization: &str,
+        key: &KeyPair,
+        validity: Validity,
+    ) -> Certificate {
+        assert!(!hostnames.is_empty(), "leaf needs at least one hostname");
+        let tbs = TbsCertificate {
+            serial: self.take_serial(),
+            subject: DistinguishedName::new(hostnames[0].clone(), organization, "US"),
+            issuer: self.cert.tbs.subject.clone(),
+            validity,
+            san: hostnames.to_vec(),
+            public_key: key.public.clone(),
+            is_ca: false,
+            path_len: None,
+        };
+        let signature = self.key.sign(&tbs.to_bytes());
+        Certificate { tbs, signature }
+    }
+
+    /// Issues a self-signed *leaf* (no chain, no PKI) — the "self-signed
+    /// certificate, rather than a chain" case the paper found twice (§5.3.1).
+    pub fn self_signed_leaf(
+        hostnames: &[String],
+        organization: &str,
+        rng: &mut SplitMix64,
+        validity: Validity,
+    ) -> Certificate {
+        assert!(!hostnames.is_empty());
+        let key = KeyPair::generate(rng);
+        let tbs = TbsCertificate {
+            serial: rng.next_u64(),
+            subject: DistinguishedName::new(hostnames[0].clone(), organization, "US"),
+            issuer: DistinguishedName::new(hostnames[0].clone(), organization, "US"),
+            validity,
+            san: hostnames.to_vec(),
+            public_key: key.public.clone(),
+            is_ca: false,
+            path_len: None,
+        };
+        let signature = key.sign(&tbs.to_bytes());
+        Certificate { tbs, signature }
+    }
+
+    /// The CA's subject name.
+    pub fn name(&self) -> &DistinguishedName {
+        &self.cert.tbs.subject
+    }
+
+    /// The CA's signing key (exposed for the MITM proxy, which forges leaf
+    /// certificates on the fly exactly like mitmproxy does).
+    pub fn keypair(&self) -> &KeyPair {
+        &self.key
+    }
+
+    fn take_serial(&mut self) -> u64 {
+        let s = self.next_serial;
+        self.next_serial = self.next_serial.wrapping_add(1);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0xCA)
+    }
+
+    #[test]
+    fn root_is_self_signed_ca() {
+        let root = CertificateAuthority::new_root(
+            DistinguishedName::new("Root CA", "Sim", "US"),
+            &mut rng(),
+            SimTime(0),
+        );
+        assert!(root.cert.is_self_signed());
+        assert!(root.cert.tbs.is_ca);
+        // Root signature verifies under its own key.
+        assert!(root
+            .cert
+            .tbs
+            .public_key
+            .verify(&root.cert.tbs.to_bytes(), &root.cert.signature));
+    }
+
+    #[test]
+    fn leaf_signed_by_root() {
+        let mut r = rng();
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("Root CA", "Sim", "US"),
+            &mut r,
+            SimTime(0),
+        );
+        let leaf_key = KeyPair::generate(&mut r);
+        let leaf = root.issue_leaf(
+            &["www.example.com".to_string()],
+            "Example",
+            &leaf_key,
+            Validity::starting(SimTime(10), 1000),
+        );
+        assert!(!leaf.tbs.is_ca);
+        assert_eq!(leaf.tbs.issuer, *root.name());
+        assert!(root.cert.tbs.public_key.verify(&leaf.tbs.to_bytes(), &leaf.signature));
+    }
+
+    #[test]
+    fn intermediate_chain() {
+        let mut r = rng();
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("Root CA", "Sim", "US"),
+            &mut r,
+            SimTime(0),
+        );
+        let mut inter = root.issue_intermediate(
+            DistinguishedName::new("Intermediate CA", "Sim", "US"),
+            &mut r,
+            Validity::starting(SimTime(0), 10 * YEAR),
+            Some(0),
+        );
+        assert!(inter.cert.tbs.is_ca);
+        assert_eq!(inter.cert.tbs.path_len, Some(0));
+
+        let leaf_key = KeyPair::generate(&mut r);
+        let leaf = inter.issue_leaf(
+            &["a.b.com".to_string()],
+            "B",
+            &leaf_key,
+            Validity::starting(SimTime(0), 100),
+        );
+        assert!(inter.cert.tbs.public_key.verify(&leaf.tbs.to_bytes(), &leaf.signature));
+        // Root key did NOT sign the leaf.
+        assert!(!root.cert.tbs.public_key.verify(&leaf.tbs.to_bytes(), &leaf.signature));
+    }
+
+    #[test]
+    fn serials_are_unique_per_issuer() {
+        let mut r = rng();
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("Root CA", "Sim", "US"),
+            &mut r,
+            SimTime(0),
+        );
+        let k = KeyPair::generate(&mut r);
+        let v = Validity::starting(SimTime(0), 100);
+        let a = root.issue_leaf(&["a.com".to_string()], "A", &k, v);
+        let b = root.issue_leaf(&["b.com".to_string()], "B", &k, v);
+        assert_ne!(a.tbs.serial, b.tbs.serial);
+    }
+
+    #[test]
+    fn key_reuse_across_renewals_keeps_spki() {
+        let mut r = rng();
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("Root CA", "Sim", "US"),
+            &mut r,
+            SimTime(0),
+        );
+        let k = KeyPair::generate(&mut r);
+        let old = root.issue_leaf(
+            &["x.com".to_string()],
+            "X",
+            &k,
+            Validity::starting(SimTime(0), 100),
+        );
+        let renewed = root.issue_leaf(
+            &["x.com".to_string()],
+            "X",
+            &k,
+            Validity::starting(SimTime(100), 100),
+        );
+        assert_ne!(old.fingerprint_sha256(), renewed.fingerprint_sha256());
+        assert_eq!(old.spki_sha256(), renewed.spki_sha256()); // pin survives renewal
+    }
+
+    #[test]
+    fn self_signed_leaf_has_no_ca_bit() {
+        let leaf = CertificateAuthority::self_signed_leaf(
+            &["internal.corp".to_string()],
+            "Corp",
+            &mut rng(),
+            Validity::starting(SimTime(0), 27 * YEAR),
+        );
+        assert!(leaf.is_self_signed());
+        assert!(!leaf.tbs.is_ca);
+    }
+}

@@ -1,0 +1,254 @@
+//! Certificates.
+
+use crate::encode::{pem_encode, tag, Reader, Writer};
+use crate::error::DecodeError;
+use crate::name::DistinguishedName;
+use crate::time::Validity;
+use pinning_crypto::sig::{PublicKey, Signature};
+use pinning_crypto::{b64encode, sha256};
+
+/// The to-be-signed body of a certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TbsCertificate {
+    /// Serial number, unique per issuer in the simulation.
+    pub serial: u64,
+    /// Subject name.
+    pub subject: DistinguishedName,
+    /// Issuer name.
+    pub issuer: DistinguishedName,
+    /// Validity window.
+    pub validity: Validity,
+    /// DNS subject alternative names (may contain wildcards). Empty for CAs.
+    pub san: Vec<String>,
+    /// Subject public key.
+    pub public_key: PublicKey,
+    /// Basic constraints: certificate may sign others.
+    pub is_ca: bool,
+    /// Optional path-length constraint (only meaningful when `is_ca`).
+    pub path_len: Option<u64>,
+}
+
+impl TbsCertificate {
+    /// Deterministic encoding of the TBS body (the bytes that get signed).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.nested(tag::TBS, |w| {
+            w.u64(self.serial);
+            encode_name(w, &self.subject);
+            encode_name(w, &self.issuer);
+            w.u64(self.validity.not_before.0);
+            w.u64(self.validity.not_after.0);
+            w.list(&self.san, |w, s| w.string(s));
+            w.bytes(&self.public_key.spki);
+            w.bytes(&self.public_key.verifier);
+            w.boolean(self.is_ca);
+            w.opt_u64(self.path_len);
+        });
+        w.into_bytes()
+    }
+}
+
+fn encode_name(w: &mut Writer, name: &DistinguishedName) {
+    w.nested(tag::NAME, |w| {
+        w.string(&name.common_name);
+        w.string(&name.organization);
+        w.string(&name.country);
+    });
+}
+
+fn decode_name(r: &mut Reader<'_>) -> Result<DistinguishedName, DecodeError> {
+    let mut inner = r.nested(tag::NAME)?;
+    Ok(DistinguishedName {
+        common_name: inner.string()?,
+        organization: inner.string()?,
+        country: inner.string()?,
+    })
+}
+
+/// A signed certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Signed body.
+    pub tbs: TbsCertificate,
+    /// Issuer's signature over [`TbsCertificate::to_bytes`].
+    pub signature: Signature,
+}
+
+impl Certificate {
+    /// Whether subject == issuer (candidate root).
+    pub fn is_self_signed(&self) -> bool {
+        self.tbs.subject == self.tbs.issuer
+    }
+
+    /// DER-like encoding of the whole certificate.
+    pub fn to_der(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.nested(tag::CERTIFICATE, |w| {
+            w.bytes(&self.tbs.to_bytes());
+            w.nested(tag::SIGNATURE, |w| w.bytes(&self.signature.0));
+        });
+        w.into_bytes()
+    }
+
+    /// Parses a certificate from its DER-like encoding.
+    pub fn from_der(der: &[u8]) -> Result<Self, DecodeError> {
+        let mut outer = Reader::new(der);
+        let mut cert = outer.nested(tag::CERTIFICATE)?;
+        let tbs_bytes = cert.bytes()?;
+        let mut sig_reader = cert.nested(tag::SIGNATURE)?;
+        let sig: [u8; 32] = sig_reader.bytes_fixed()?;
+
+        let mut tbs_outer = Reader::new(&tbs_bytes);
+        let mut t = tbs_outer.nested(tag::TBS)?;
+        let serial = t.u64()?;
+        let subject = decode_name(&mut t)?;
+        let issuer = decode_name(&mut t)?;
+        let not_before = crate::time::SimTime(t.u64()?);
+        let not_after = crate::time::SimTime(t.u64()?);
+        let san = t.list(|r| r.string())?;
+        let spki: [u8; 32] = t.bytes_fixed()?;
+        let verifier: [u8; 32] = t.bytes_fixed()?;
+        let is_ca = t.boolean()?;
+        let path_len = t.opt_u64()?;
+
+        Ok(Certificate {
+            tbs: TbsCertificate {
+                serial,
+                subject,
+                issuer,
+                validity: Validity { not_before, not_after },
+                san,
+                public_key: PublicKey { spki, verifier },
+                is_ca,
+                path_len,
+            },
+            signature: Signature(sig),
+        })
+    }
+
+    /// PEM encoding (what the static scanner finds in app assets).
+    pub fn to_pem(&self) -> String {
+        pem_encode(&self.to_der())
+    }
+
+    /// SHA-256 fingerprint of the DER encoding.
+    pub fn fingerprint_sha256(&self) -> [u8; 32] {
+        sha256(&self.to_der())
+    }
+
+    /// SHA-256 of the SubjectPublicKeyInfo (what `sha256/...` pins commit to).
+    pub fn spki_sha256(&self) -> [u8; 32] {
+        self.tbs.public_key.spki_sha256()
+    }
+
+    /// SHA-1 of the SubjectPublicKeyInfo (legacy `sha1/...` pins).
+    pub fn spki_sha1(&self) -> [u8; 20] {
+        self.tbs.public_key.spki_sha1()
+    }
+
+    /// The conventional `sha256/<base64>` pin string for this certificate.
+    pub fn spki_pin_string(&self) -> String {
+        format!("sha256/{}", b64encode(&self.spki_sha256()))
+    }
+
+    /// Whether the certificate's names cover `hostname` (checks SANs, then
+    /// falls back to the CN as legacy stacks do).
+    pub fn matches_hostname(&self, hostname: &str) -> bool {
+        if self.tbs.san.iter().any(|p| crate::name::match_hostname(p, hostname)) {
+            return true;
+        }
+        self.tbs.san.is_empty() && crate::name::match_hostname(&self.tbs.subject.common_name, hostname)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
+
+    fn sample_cert(seed: u64) -> Certificate {
+        let key = KeyPair::generate(&mut SplitMix64::new(seed));
+        let tbs = TbsCertificate {
+            serial: seed,
+            subject: DistinguishedName::new("api.example.com", "Example Corp", "US"),
+            issuer: DistinguishedName::new("SimTrust CA 1", "SimTrust", "US"),
+            validity: Validity::starting(SimTime(100), 1_000_000),
+            san: vec!["api.example.com".into(), "*.cdn.example.com".into()],
+            public_key: key.public.clone(),
+            is_ca: false,
+            path_len: None,
+        };
+        let sig = key.sign(&tbs.to_bytes()); // self-signed for test purposes
+        Certificate { tbs, signature: sig }
+    }
+
+    #[test]
+    fn der_roundtrip() {
+        let cert = sample_cert(1);
+        let der = cert.to_der();
+        let parsed = Certificate::from_der(&der).unwrap();
+        assert_eq!(parsed, cert);
+    }
+
+    #[test]
+    fn pem_roundtrip() {
+        let cert = sample_cert(2);
+        let pem = cert.to_pem();
+        let ders = crate::encode::pem_decode_all(&pem).unwrap();
+        assert_eq!(ders.len(), 1);
+        assert_eq!(Certificate::from_der(&ders[0]).unwrap(), cert);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(sample_cert(3).to_der(), sample_cert(3).to_der());
+    }
+
+    #[test]
+    fn fingerprint_changes_with_serial() {
+        let mut a = sample_cert(4);
+        let fp1 = a.fingerprint_sha256();
+        a.tbs.serial += 1;
+        assert_ne!(fp1, a.fingerprint_sha256());
+    }
+
+    #[test]
+    fn spki_pin_string_shape() {
+        let pin = sample_cert(5).spki_pin_string();
+        assert!(pin.starts_with("sha256/"));
+        assert_eq!(pin.len(), "sha256/".len() + 44);
+    }
+
+    #[test]
+    fn hostname_via_san() {
+        let cert = sample_cert(6);
+        assert!(cert.matches_hostname("api.example.com"));
+        assert!(cert.matches_hostname("static.cdn.example.com"));
+        assert!(!cert.matches_hostname("other.example.com"));
+    }
+
+    #[test]
+    fn hostname_cn_fallback_only_without_san() {
+        let mut cert = sample_cert(7);
+        cert.tbs.san.clear();
+        assert!(cert.matches_hostname("api.example.com")); // CN fallback
+        cert.tbs.san = vec!["other.example.com".into()];
+        assert!(!cert.matches_hostname("api.example.com")); // SAN present → no CN fallback
+    }
+
+    #[test]
+    fn truncated_der_rejected() {
+        let der = sample_cert(8).to_der();
+        assert!(Certificate::from_der(&der[..der.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn self_signed_detection() {
+        let mut cert = sample_cert(9);
+        assert!(!cert.is_self_signed());
+        cert.tbs.issuer = cert.tbs.subject.clone();
+        assert!(cert.is_self_signed());
+    }
+}

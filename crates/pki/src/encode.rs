@@ -1,0 +1,396 @@
+//! Deterministic DER-like binary encoding and PEM framing.
+//!
+//! Real DER is a general-purpose ASN.1 encoding; our certificates need only
+//! a fixed schema, so we use a simple tag-length-value format with one-byte
+//! tags and 32-bit big-endian lengths. What matters for the reproduction:
+//!
+//! * encoding is **deterministic** — equal certificates produce equal bytes,
+//!   so fingerprints and raw-certificate pins are stable;
+//! * the PEM framing uses the exact delimiters
+//!   (`-----BEGIN CERTIFICATE-----`) that the paper's static scanner
+//!   searches for (§4.1.2);
+//! * certificates round-trip, because static analysis *parses back* the
+//!   blobs it finds in app packages.
+
+use crate::error::DecodeError;
+use pinning_crypto::base64::{b64decode, b64encode};
+
+/// Tags used by the encoding.
+pub mod tag {
+    /// Outer certificate structure.
+    pub const CERTIFICATE: u8 = 0x30;
+    /// To-be-signed body.
+    pub const TBS: u8 = 0x31;
+    /// Signature value.
+    pub const SIGNATURE: u8 = 0x32;
+    /// Distinguished name.
+    pub const NAME: u8 = 0x33;
+    /// UTF-8 string.
+    pub const STRING: u8 = 0x34;
+    /// Unsigned 64-bit integer.
+    pub const U64: u8 = 0x35;
+    /// Raw byte string.
+    pub const BYTES: u8 = 0x36;
+    /// List (count-prefixed sequence of values).
+    pub const LIST: u8 = 0x37;
+    /// Boolean.
+    pub const BOOL: u8 = 0x38;
+    /// Optional: present.
+    pub const SOME: u8 = 0x39;
+    /// Optional: absent.
+    pub const NONE: u8 = 0x3a;
+}
+
+/// Append-only TLV writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn tlv(&mut self, t: u8, value: &[u8]) {
+        self.buf.push(t);
+        self.buf.extend_from_slice(&(value.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(value);
+    }
+
+    /// Writes a tagged u64.
+    pub fn u64(&mut self, v: u64) {
+        self.tlv(tag::U64, &v.to_be_bytes());
+    }
+
+    /// Writes a tagged UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.tlv(tag::STRING, s.as_bytes());
+    }
+
+    /// Writes a tagged byte string.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.tlv(tag::BYTES, b);
+    }
+
+    /// Writes a tagged boolean.
+    pub fn boolean(&mut self, v: bool) {
+        self.tlv(tag::BOOL, &[v as u8]);
+    }
+
+    /// Writes an optional u64.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                let mut inner = Writer::new();
+                inner.u64(x);
+                self.tlv(tag::SOME, &inner.into_bytes());
+            }
+            None => self.tlv(tag::NONE, &[]),
+        }
+    }
+
+    /// Writes a nested structure under `t` using `f` to fill it.
+    pub fn nested(&mut self, t: u8, f: impl FnOnce(&mut Writer)) {
+        let mut inner = Writer::new();
+        f(&mut inner);
+        self.tlv(t, &inner.into_bytes());
+    }
+
+    /// Writes a list of items under [`tag::LIST`].
+    pub fn list<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Writer, &T)) {
+        let mut inner = Writer::new();
+        inner.u64(items.len() as u64);
+        for item in items {
+            f(&mut inner, item);
+        }
+        self.tlv(tag::LIST, &inner.into_bytes());
+    }
+}
+
+/// Cursor-based TLV reader.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Reader { input, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.input.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn header(&mut self, expected: u8) -> Result<usize, DecodeError> {
+        let t = self.take(1)?[0];
+        if t != expected {
+            return Err(DecodeError::UnexpectedTag { expected, found: t });
+        }
+        let len_bytes = self.take(4)?;
+        let len = u32::from_be_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]])
+            as usize;
+        if self.pos + len > self.input.len() {
+            return Err(DecodeError::BadLength);
+        }
+        Ok(len)
+    }
+
+    /// Reads a tagged u64.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let len = self.header(tag::U64)?;
+        if len != 8 {
+            return Err(DecodeError::BadFieldSize);
+        }
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a tagged UTF-8 string.
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.header(tag::STRING)?;
+        let b = self.take(len)?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Reads a tagged byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.header(tag::BYTES)?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a tagged byte string into a fixed-size array.
+    pub fn bytes_fixed<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let v = self.bytes()?;
+        v.try_into().map_err(|_| DecodeError::BadFieldSize)
+    }
+
+    /// Reads a tagged boolean.
+    pub fn boolean(&mut self) -> Result<bool, DecodeError> {
+        let len = self.header(tag::BOOL)?;
+        if len != 1 {
+            return Err(DecodeError::BadFieldSize);
+        }
+        Ok(self.take(1)?[0] != 0)
+    }
+
+    /// Reads an optional u64.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, DecodeError> {
+        let t = *self.input.get(self.pos).ok_or(DecodeError::Truncated)?;
+        match t {
+            tag::SOME => {
+                let len = self.header(tag::SOME)?;
+                let body = self.take(len)?;
+                let mut inner = Reader::new(body);
+                Ok(Some(inner.u64()?))
+            }
+            tag::NONE => {
+                let _ = self.header(tag::NONE)?;
+                Ok(None)
+            }
+            found => Err(DecodeError::UnexpectedTag { expected: tag::SOME, found }),
+        }
+    }
+
+    /// Enters a nested structure tagged `t`, returning a sub-reader.
+    pub fn nested(&mut self, t: u8) -> Result<Reader<'a>, DecodeError> {
+        let len = self.header(t)?;
+        let body = self.take(len)?;
+        Ok(Reader::new(body))
+    }
+
+    /// Reads a list, calling `f` once per element.
+    pub fn list<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Reader<'a>) -> Result<T, DecodeError>,
+    ) -> Result<Vec<T>, DecodeError> {
+        let mut inner = self.nested(tag::LIST)?;
+        let n = inner.u64()? as usize;
+        let mut out = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            out.push(f(&mut inner)?);
+        }
+        Ok(out)
+    }
+}
+
+/// The PEM begin delimiter for certificates (the literal string the paper's
+/// scanner searches for).
+pub const PEM_BEGIN_CERT: &str = "-----BEGIN CERTIFICATE-----";
+/// The PEM end delimiter for certificates.
+pub const PEM_END_CERT: &str = "-----END CERTIFICATE-----";
+
+/// Wraps DER bytes in PEM framing with 64-character base64 lines.
+pub fn pem_encode(der: &[u8]) -> String {
+    let b64 = b64encode(der);
+    let mut out = String::with_capacity(b64.len() + 64);
+    out.push_str(PEM_BEGIN_CERT);
+    out.push('\n');
+    for chunk in b64.as_bytes().chunks(64) {
+        // b64encode produces ASCII, so the chunk is valid UTF-8.
+        out.push_str(core::str::from_utf8(chunk).expect("base64 is ASCII"));
+        out.push('\n');
+    }
+    out.push_str(PEM_END_CERT);
+    out.push('\n');
+    out
+}
+
+/// Extracts the DER bodies of every `CERTIFICATE` PEM block in `text`.
+///
+/// Tolerates leading/trailing junk around blocks (app packages interleave
+/// PEM with other asset content). Returns an error if a BEGIN has no END or
+/// a body fails to base64-decode.
+pub fn pem_decode_all(text: &str) -> Result<Vec<Vec<u8>>, DecodeError> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find(PEM_BEGIN_CERT) {
+        let after_begin = &rest[start + PEM_BEGIN_CERT.len()..];
+        let end = after_begin.find(PEM_END_CERT).ok_or(DecodeError::BadPem)?;
+        let body: String = after_begin[..end]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        let der = b64decode(&body).map_err(|_| DecodeError::BadPemBase64)?;
+        out.push(der);
+        rest = &after_begin[end + PEM_END_CERT.len()..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut w = Writer::new();
+        w.u64(0xdead_beef_cafe_f00d);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u64().unwrap(), 0xdead_beef_cafe_f00d);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut w = Writer::new();
+        w.string("api.example.com");
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).string().unwrap(), "api.example.com");
+    }
+
+    #[test]
+    fn list_roundtrip() {
+        let items = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let mut w = Writer::new();
+        w.list(&items, |w, s| w.string(s));
+        let bytes = w.into_bytes();
+        let got = Reader::new(&bytes).list(|r| r.string()).unwrap();
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn opt_roundtrip() {
+        for v in [None, Some(7u64)] {
+            let mut w = Writer::new();
+            w.opt_u64(v);
+            let bytes = w.into_bytes();
+            assert_eq!(Reader::new(&bytes).opt_u64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let mut w = Writer::new();
+        w.nested(tag::TBS, |w| {
+            w.u64(1);
+            w.boolean(true);
+        });
+        let bytes = w.into_bytes();
+        let mut outer = Reader::new(&bytes);
+        let mut inner = outer.nested(tag::TBS).unwrap();
+        assert_eq!(inner.u64().unwrap(), 1);
+        assert!(inner.boolean().unwrap());
+        assert!(inner.is_empty());
+    }
+
+    #[test]
+    fn wrong_tag_rejected() {
+        let mut w = Writer::new();
+        w.u64(1);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            Reader::new(&bytes).string(),
+            Err(DecodeError::UnexpectedTag { expected: tag::STRING, found: tag::U64 })
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut w = Writer::new();
+        w.bytes(&[1, 2, 3, 4, 5]);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes[..4]).bytes(), Err(DecodeError::Truncated));
+        // Header claims 5 bytes but body cut short → BadLength.
+        assert_eq!(Reader::new(&bytes[..7]).bytes(), Err(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn pem_roundtrip_single() {
+        let der = vec![9u8; 100];
+        let pem = pem_encode(&der);
+        assert!(pem.starts_with(PEM_BEGIN_CERT));
+        assert!(pem.trim_end().ends_with(PEM_END_CERT));
+        assert_eq!(pem_decode_all(&pem).unwrap(), vec![der]);
+    }
+
+    #[test]
+    fn pem_roundtrip_multiple_with_junk() {
+        let a = vec![1u8; 10];
+        let b = vec![2u8; 200];
+        let text = format!("garbage\n{}\nmiddle junk{}\ntrailing", pem_encode(&a), pem_encode(&b));
+        assert_eq!(pem_decode_all(&text).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn pem_unterminated_rejected() {
+        let text = format!("{PEM_BEGIN_CERT}\nAAAA\n");
+        assert_eq!(pem_decode_all(&text), Err(DecodeError::BadPem));
+    }
+
+    #[test]
+    fn pem_bad_base64_rejected() {
+        let text = format!("{PEM_BEGIN_CERT}\n!!!!\n{PEM_END_CERT}\n");
+        assert_eq!(pem_decode_all(&text), Err(DecodeError::BadPemBase64));
+    }
+
+    #[test]
+    fn pem_lines_are_64_chars() {
+        let pem = pem_encode(&[7u8; 120]);
+        for line in pem.lines() {
+            if !line.starts_with("-----") {
+                assert!(line.len() <= 64);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Chain-validation and decoding errors.
+
+use crate::time::SimTime;
+
+/// Why a certificate chain failed validation.
+///
+/// The dynamic pipeline distinguishes *pinning* failures from *other* TLS
+/// failures; these variants are what "other reasons" (paper §4.2.2) look
+/// like in the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The chain contained no certificates.
+    EmptyChain,
+    /// A certificate was past `not_after` at validation time.
+    Expired {
+        /// Subject CN of the expired certificate.
+        subject: String,
+        /// When it expired.
+        not_after: SimTime,
+        /// When validation happened.
+        now: SimTime,
+    },
+    /// A certificate was not yet within `not_before`.
+    NotYetValid {
+        /// Subject CN of the not-yet-valid certificate.
+        subject: String,
+    },
+    /// A signature in the chain did not verify.
+    BadSignature {
+        /// Subject CN of the certificate whose signature failed.
+        subject: String,
+    },
+    /// Adjacent chain certificates do not name each other (issuer of `child`
+    /// is not the subject of `parent`).
+    BrokenLinkage {
+        /// Subject CN of the child certificate.
+        child: String,
+        /// Subject CN of the would-be parent.
+        parent: String,
+    },
+    /// The chain does not terminate at (or under) any trusted root.
+    UnknownRoot {
+        /// Subject CN of the topmost certificate presented.
+        top_subject: String,
+    },
+    /// An issuing certificate lacks the CA basic constraint.
+    NotACa {
+        /// Subject CN of the offending certificate.
+        subject: String,
+    },
+    /// A CA's path-length constraint was exceeded.
+    PathLenExceeded {
+        /// Subject CN of the constrained CA.
+        subject: String,
+    },
+    /// No SAN/CN in the leaf matched the requested hostname.
+    HostnameMismatch {
+        /// Hostname requested by the client.
+        hostname: String,
+    },
+    /// The leaf certificate's serial appears on the revocation list.
+    Revoked {
+        /// Serial number of the revoked certificate.
+        serial: u64,
+    },
+}
+
+impl core::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ValidationError::EmptyChain => write!(f, "empty certificate chain"),
+            ValidationError::Expired { subject, not_after, now } => {
+                write!(f, "certificate {subject:?} expired at {not_after} (now {now})")
+            }
+            ValidationError::NotYetValid { subject } => {
+                write!(f, "certificate {subject:?} not yet valid")
+            }
+            ValidationError::BadSignature { subject } => {
+                write!(f, "bad signature on certificate {subject:?}")
+            }
+            ValidationError::BrokenLinkage { child, parent } => {
+                write!(f, "chain linkage broken: {parent:?} did not issue {child:?}")
+            }
+            ValidationError::UnknownRoot { top_subject } => {
+                write!(f, "chain does not terminate at a trusted root (top: {top_subject:?})")
+            }
+            ValidationError::NotACa { subject } => {
+                write!(f, "certificate {subject:?} used as issuer but is not a CA")
+            }
+            ValidationError::PathLenExceeded { subject } => {
+                write!(f, "path length constraint of {subject:?} exceeded")
+            }
+            ValidationError::HostnameMismatch { hostname } => {
+                write!(f, "no certificate name matched hostname {hostname:?}")
+            }
+            ValidationError::Revoked { serial } => {
+                write!(f, "certificate serial {serial} is revoked")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Errors while decoding the DER-like / PEM encodings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before a complete structure was read.
+    Truncated,
+    /// A tag byte did not match the expected structure.
+    UnexpectedTag {
+        /// Tag that was expected.
+        expected: u8,
+        /// Tag that was found.
+        found: u8,
+    },
+    /// A length field exceeded the remaining input.
+    BadLength,
+    /// A UTF-8 string field held invalid UTF-8.
+    BadUtf8,
+    /// PEM framing was malformed (missing/unmatched delimiters).
+    BadPem,
+    /// The base64 body of a PEM block failed to decode.
+    BadPemBase64,
+    /// A fixed-size field had the wrong length.
+    BadFieldSize,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::UnexpectedTag { expected, found } => {
+                write!(f, "unexpected tag: expected {expected:#04x}, found {found:#04x}")
+            }
+            DecodeError::BadLength => write!(f, "length field exceeds input"),
+            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            DecodeError::BadPem => write!(f, "malformed PEM framing"),
+            DecodeError::BadPemBase64 => write!(f, "invalid base64 in PEM body"),
+            DecodeError::BadFieldSize => write!(f, "fixed-size field has wrong length"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

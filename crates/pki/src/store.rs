@@ -1,0 +1,167 @@
+//! Root stores.
+//!
+//! A root store is a named collection of trusted self-signed CA certificates.
+//! The paper leans on three facts about real root stores (§2.1, §5.3.1):
+//! Android ships the AOSP store (possibly OEM-extended), iOS ships Apple's,
+//! and researchers validate against Mozilla's. The `pinning-pki`
+//! [`crate::universe`] module builds all of them over one CA universe with
+//! realistic overlaps.
+
+use crate::cert::Certificate;
+use crate::name::DistinguishedName;
+use std::collections::HashMap;
+
+/// A named set of trusted root certificates.
+#[derive(Debug, Clone)]
+pub struct RootStore {
+    name: String,
+    by_subject: HashMap<DistinguishedName, Certificate>,
+}
+
+impl RootStore {
+    /// Creates an empty store.
+    pub fn new(name: impl Into<String>) -> Self {
+        RootStore { name: name.into(), by_subject: HashMap::new() }
+    }
+
+    /// The store's name (e.g. `"AOSP"`, `"iOS"`, `"Mozilla"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a root certificate. Returns `false` (and keeps the existing
+    /// entry) if a root with the same subject is already present.
+    pub fn add(&mut self, cert: Certificate) -> bool {
+        if !cert.tbs.is_ca || !cert.is_self_signed() {
+            // Root stores only hold self-signed CA certs; refuse others.
+            return false;
+        }
+        match self.by_subject.entry(cert.tbs.subject.clone()) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(cert);
+                true
+            }
+        }
+    }
+
+    /// Looks up a trusted root by subject name.
+    pub fn get(&self, subject: &DistinguishedName) -> Option<&Certificate> {
+        self.by_subject.get(subject)
+    }
+
+    /// Whether a certificate with this exact subject *and* SPKI is trusted.
+    pub fn contains(&self, cert: &Certificate) -> bool {
+        self.by_subject
+            .get(&cert.tbs.subject)
+            .is_some_and(|c| c.tbs.public_key.spki == cert.tbs.public_key.spki)
+    }
+
+    /// Finds the trusted root that issued `cert` (by issuer name + verifying
+    /// the signature), if any.
+    pub fn issuer_of(&self, cert: &Certificate) -> Option<&Certificate> {
+        let root = self.by_subject.get(&cert.tbs.issuer)?;
+        root.tbs
+            .public_key
+            .verify(&cert.tbs.to_bytes(), &cert.signature)
+            .then_some(root)
+    }
+
+    /// Number of roots.
+    pub fn len(&self) -> usize {
+        self.by_subject.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_subject.is_empty()
+    }
+
+    /// Iterates over the roots (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &Certificate> {
+        self.by_subject.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::CertificateAuthority;
+    use crate::time::{SimTime, Validity, YEAR};
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
+
+    fn root_ca(tag: u64) -> CertificateAuthority {
+        CertificateAuthority::new_root(
+            DistinguishedName::new(format!("Root {tag}"), "Sim", "US"),
+            &mut SplitMix64::new(tag),
+            SimTime(0),
+        )
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let ca = root_ca(1);
+        let mut store = RootStore::new("test");
+        assert!(store.add(ca.cert.clone()));
+        assert!(store.contains(&ca.cert));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_non_roots() {
+        let mut ca = root_ca(2);
+        let mut store = RootStore::new("test");
+        assert!(store.add(ca.cert.clone()));
+        assert!(!store.add(ca.cert.clone())); // duplicate subject
+
+        let mut rng = SplitMix64::new(3);
+        let key = KeyPair::generate(&mut rng);
+        let leaf = ca.issue_leaf(
+            &["x.com".to_string()],
+            "X",
+            &key,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        assert!(!store.add(leaf)); // not a self-signed CA
+    }
+
+    #[test]
+    fn issuer_of_verifies_signature() {
+        let mut ca = root_ca(4);
+        let other = root_ca(5);
+        let mut store = RootStore::new("test");
+        store.add(ca.cert.clone());
+        store.add(other.cert.clone());
+
+        let mut rng = SplitMix64::new(6);
+        let key = KeyPair::generate(&mut rng);
+        let leaf = ca.issue_leaf(
+            &["y.com".to_string()],
+            "Y",
+            &key,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        let issuer = store.issuer_of(&leaf).unwrap();
+        assert_eq!(issuer.tbs.subject, *ca.name());
+
+        // A leaf *claiming* issuance by `other` but not signed by it fails.
+        let mut forged = leaf.clone();
+        forged.tbs.issuer = other.name().clone();
+        assert!(store.issuer_of(&forged).is_none());
+    }
+
+    #[test]
+    fn same_subject_different_key_not_contained() {
+        let a = root_ca(7);
+        // Same subject name, different key material.
+        let b = CertificateAuthority::new_root(
+            DistinguishedName::new("Root 7", "Sim", "US"),
+            &mut SplitMix64::new(999),
+            SimTime(0),
+        );
+        let mut store = RootStore::new("test");
+        store.add(a.cert.clone());
+        assert!(!store.contains(&b.cert));
+    }
+}

@@ -1,0 +1,449 @@
+//! Full chain validation.
+//!
+//! Implements the checks a real TLS stack performs and that the paper
+//! verifies pinning apps do not subvert (§5.3.4): signature chaining, basic
+//! constraints, path-length constraints, validity windows, hostname
+//! matching, root-store anchoring, and leaf revocation.
+
+use crate::cert::Certificate;
+use crate::error::ValidationError;
+use crate::store::RootStore;
+use crate::time::SimTime;
+use std::collections::HashSet;
+
+/// A set of revoked certificate serial numbers.
+///
+/// The paper notes revocation only applies to leaf certificates (§5.3.1);
+/// we model it the same way — only the leaf is checked.
+#[derive(Debug, Clone, Default)]
+pub struct RevocationList {
+    revoked: HashSet<u64>,
+}
+
+impl RevocationList {
+    /// An empty CRL.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Marks a serial revoked.
+    pub fn revoke(&mut self, serial: u64) {
+        self.revoked.insert(serial);
+    }
+
+    /// Whether `serial` is revoked.
+    pub fn is_revoked(&self, serial: u64) -> bool {
+        self.revoked.contains(&serial)
+    }
+
+    /// Number of revoked serials.
+    pub fn len(&self) -> usize {
+        self.revoked.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.revoked.is_empty()
+    }
+}
+
+/// Knobs for validation.
+///
+/// Real apps occasionally disable individual checks (that is exactly the
+/// kind of flaw Stone et al. look for); the options model that so the
+/// simulation can plant — and the analysis can hunt for — such apps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationOptions {
+    /// Enforce hostname matching on the leaf.
+    pub check_hostname: bool,
+    /// Enforce validity windows.
+    pub check_expiry: bool,
+    /// Enforce leaf revocation.
+    pub check_revocation: bool,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions { check_hostname: true, check_expiry: true, check_revocation: true }
+    }
+}
+
+/// Validates `chain` (leaf-first) for `hostname` at time `now` against the
+/// trusted roots in `store`.
+///
+/// The chain may or may not include the root itself. Validation succeeds iff:
+///
+/// 1. the chain is non-empty and each certificate was signed by the next
+///    (verified cryptographically, not just by name);
+/// 2. every issuing certificate has the CA bit and respects its path-length
+///    constraint;
+/// 3. every certificate is inside its validity window (if enabled);
+/// 4. the top of the chain either *is* a trusted root or was signed by one;
+/// 5. the leaf matches `hostname` (if enabled) and is not revoked (if
+///    enabled).
+pub fn validate_chain(
+    chain: &[Certificate],
+    store: &RootStore,
+    hostname: &str,
+    now: SimTime,
+    crl: &RevocationList,
+    options: &ValidationOptions,
+) -> Result<(), ValidationError> {
+    let leaf = chain.first().ok_or(ValidationError::EmptyChain)?;
+
+    if options.check_expiry {
+        for cert in chain {
+            if now < cert.tbs.validity.not_before {
+                return Err(ValidationError::NotYetValid {
+                    subject: cert.tbs.subject.common_name.clone(),
+                });
+            }
+            if now > cert.tbs.validity.not_after {
+                return Err(ValidationError::Expired {
+                    subject: cert.tbs.subject.common_name.clone(),
+                    not_after: cert.tbs.validity.not_after,
+                    now,
+                });
+            }
+        }
+    }
+
+    // Walk leaf → top verifying linkage, signatures, CA bits, path lengths.
+    for i in 0..chain.len().saturating_sub(1) {
+        let child = &chain[i];
+        let parent = &chain[i + 1];
+        if child.tbs.issuer != parent.tbs.subject {
+            return Err(ValidationError::BrokenLinkage {
+                child: child.tbs.subject.common_name.clone(),
+                parent: parent.tbs.subject.common_name.clone(),
+            });
+        }
+        if !parent.tbs.is_ca {
+            return Err(ValidationError::NotACa {
+                subject: parent.tbs.subject.common_name.clone(),
+            });
+        }
+        // Path length: a CA with path_len = n may have at most n CA certs
+        // *below* it (not counting the leaf).
+        if let Some(max) = parent.tbs.path_len {
+            let cas_below = chain[..=i].iter().filter(|c| c.tbs.is_ca).count() as u64;
+            if cas_below > max {
+                return Err(ValidationError::PathLenExceeded {
+                    subject: parent.tbs.subject.common_name.clone(),
+                });
+            }
+        }
+        if !parent
+            .tbs
+            .public_key
+            .verify(&child.tbs.to_bytes(), &child.signature)
+        {
+            return Err(ValidationError::BadSignature {
+                subject: child.tbs.subject.common_name.clone(),
+            });
+        }
+    }
+
+    // Anchor the top of the chain in the root store.
+    let top = chain.last().expect("non-empty checked above");
+    let anchored = if top.is_self_signed() {
+        // Chain includes its root: the root itself must be trusted (and its
+        // self-signature must verify).
+        store.contains(top)
+            && top
+                .tbs
+                .public_key
+                .verify(&top.tbs.to_bytes(), &top.signature)
+    } else {
+        // Chain excludes the root: a trusted root must have signed the top.
+        store.issuer_of(top).is_some()
+    };
+    if !anchored {
+        return Err(ValidationError::UnknownRoot {
+            top_subject: top.tbs.subject.common_name.clone(),
+        });
+    }
+
+    if options.check_hostname && !leaf.matches_hostname(hostname) {
+        return Err(ValidationError::HostnameMismatch { hostname: hostname.to_string() });
+    }
+
+    if options.check_revocation && crl.is_revoked(leaf.tbs.serial) {
+        return Err(ValidationError::Revoked { serial: leaf.tbs.serial });
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::CertificateAuthority;
+    use crate::name::DistinguishedName;
+    use crate::time::{Validity, YEAR};
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
+
+    struct Fixture {
+        store: RootStore,
+        chain: Vec<Certificate>,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = SplitMix64::new(0x7a11);
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("Sim Root", "Sim", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        let mut inter = root.issue_intermediate(
+            DistinguishedName::new("Sim Inter", "Sim", "US"),
+            &mut rng,
+            Validity::starting(SimTime(0), 10 * YEAR),
+            Some(1),
+        );
+        let key = KeyPair::generate(&mut rng);
+        let leaf = inter.issue_leaf(
+            &["pay.shop.com".to_string(), "*.api.shop.com".to_string()],
+            "Shop",
+            &key,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        let mut store = RootStore::new("test");
+        store.add(root.cert.clone());
+        Fixture { store, chain: vec![leaf, inter.cert.clone(), root.cert.clone()] }
+    }
+
+    fn ok(f: &Fixture, chain: &[Certificate], host: &str, now: SimTime) -> Result<(), ValidationError> {
+        validate_chain(chain, &f.store, host, now, &RevocationList::empty(), &ValidationOptions::default())
+    }
+
+    #[test]
+    fn valid_chain_with_root_included() {
+        let f = fixture();
+        ok(&f, &f.chain, "pay.shop.com", SimTime(100)).unwrap();
+    }
+
+    #[test]
+    fn valid_chain_without_root() {
+        let f = fixture();
+        ok(&f, &f.chain[..2], "pay.shop.com", SimTime(100)).unwrap();
+    }
+
+    #[test]
+    fn wildcard_san_accepted() {
+        let f = fixture();
+        ok(&f, &f.chain, "v1.api.shop.com", SimTime(100)).unwrap();
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let f = fixture();
+        assert_eq!(ok(&f, &[], "pay.shop.com", SimTime(1)), Err(ValidationError::EmptyChain));
+    }
+
+    #[test]
+    fn expired_leaf_rejected() {
+        let f = fixture();
+        let late = SimTime(2 * YEAR);
+        assert!(matches!(
+            ok(&f, &f.chain, "pay.shop.com", late),
+            Err(ValidationError::Expired { .. })
+        ));
+    }
+
+    #[test]
+    fn expiry_check_can_be_disabled() {
+        let f = fixture();
+        let opts = ValidationOptions { check_expiry: false, ..Default::default() };
+        validate_chain(
+            &f.chain,
+            &f.store,
+            "pay.shop.com",
+            SimTime(2 * YEAR),
+            &RevocationList::empty(),
+            &opts,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn hostname_mismatch_rejected() {
+        let f = fixture();
+        assert_eq!(
+            ok(&f, &f.chain, "evil.com", SimTime(100)),
+            Err(ValidationError::HostnameMismatch { hostname: "evil.com".into() })
+        );
+    }
+
+    #[test]
+    fn unknown_root_rejected() {
+        let f = fixture();
+        let empty_store = RootStore::new("empty");
+        let err = validate_chain(
+            &f.chain,
+            &empty_store,
+            "pay.shop.com",
+            SimTime(100),
+            &RevocationList::empty(),
+            &ValidationOptions::default(),
+        );
+        assert!(matches!(err, Err(ValidationError::UnknownRoot { .. })));
+    }
+
+    #[test]
+    fn tampered_leaf_signature_rejected() {
+        let f = fixture();
+        let mut chain = f.chain.clone();
+        chain[0].tbs.san.push("extra.evil.com".to_string());
+        assert!(matches!(
+            ok(&f, &chain, "pay.shop.com", SimTime(100)),
+            Err(ValidationError::BadSignature { .. })
+        ));
+    }
+
+    #[test]
+    fn broken_linkage_rejected() {
+        let f = fixture();
+        let chain = vec![f.chain[0].clone(), f.chain[2].clone()]; // skip intermediate
+        assert!(matches!(
+            ok(&f, &chain, "pay.shop.com", SimTime(100)),
+            Err(ValidationError::BrokenLinkage { .. })
+        ));
+    }
+
+    #[test]
+    fn non_ca_issuer_rejected() {
+        let f = fixture();
+        let mut rng = SplitMix64::new(0xbad);
+        // Build a "chain" where a leaf pretends to issue another leaf.
+        let mut root2 = CertificateAuthority::new_root(
+            DistinguishedName::new("R2", "Sim", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        let k1 = KeyPair::generate(&mut rng);
+        let fake_issuer = root2.issue_leaf(
+            &["issuer.com".to_string()],
+            "I",
+            &k1,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        let mut child = f.chain[0].clone();
+        child.tbs.issuer = fake_issuer.tbs.subject.clone();
+        let chain = vec![child, fake_issuer];
+        assert!(matches!(
+            ok(&f, &chain, "pay.shop.com", SimTime(100)),
+            Err(ValidationError::NotACa { .. })
+        ));
+    }
+
+    #[test]
+    fn path_len_enforced() {
+        let mut rng = SplitMix64::new(0x9d);
+        let mut root = CertificateAuthority::new_root(
+            DistinguishedName::new("R", "Sim", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        // Root allows at most 0 CAs below it.
+        let mut constrained = root.issue_intermediate(
+            DistinguishedName::new("I0", "Sim", "US"),
+            &mut rng,
+            Validity::starting(SimTime(0), 10 * YEAR),
+            None,
+        );
+        // Give the *intermediate* a path_len of 0, then hang another CA off it.
+        let mut deep = constrained.issue_intermediate(
+            DistinguishedName::new("I1", "Sim", "US"),
+            &mut rng,
+            Validity::starting(SimTime(0), 10 * YEAR),
+            None,
+        );
+        let mut i0_cert = constrained.cert.clone();
+        i0_cert.tbs.path_len = Some(0);
+        // Re-sign I0 with the new constraint so the signature stays valid.
+        i0_cert.signature = root.keypair().sign(&i0_cert.tbs.to_bytes());
+        // I1 chains under the *unconstrained* I0 cert, so re-issue it under
+        // the constrained one.
+        let mut i1_cert = deep.cert.clone();
+        i1_cert.tbs.issuer = i0_cert.tbs.subject.clone();
+        i1_cert.signature = constrained.keypair().sign(&i1_cert.tbs.to_bytes());
+
+        let key = KeyPair::generate(&mut rng);
+        let leaf = deep.issue_leaf(
+            &["d.com".to_string()],
+            "D",
+            &key,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        let mut leaf = leaf;
+        leaf.tbs.issuer = i1_cert.tbs.subject.clone();
+        leaf.signature = deep.keypair().sign(&leaf.tbs.to_bytes());
+
+        let mut store = RootStore::new("t");
+        store.add(root.cert.clone());
+        let chain = vec![leaf, i1_cert, i0_cert, root.cert.clone()];
+        let err = validate_chain(
+            &chain,
+            &store,
+            "d.com",
+            SimTime(100),
+            &RevocationList::empty(),
+            &ValidationOptions::default(),
+        );
+        assert!(matches!(err, Err(ValidationError::PathLenExceeded { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn revoked_leaf_rejected() {
+        let f = fixture();
+        let mut crl = RevocationList::empty();
+        crl.revoke(f.chain[0].tbs.serial);
+        let err = validate_chain(
+            &f.chain,
+            &f.store,
+            "pay.shop.com",
+            SimTime(100),
+            &crl,
+            &ValidationOptions::default(),
+        );
+        assert_eq!(err, Err(ValidationError::Revoked { serial: f.chain[0].tbs.serial }));
+    }
+
+    #[test]
+    fn forged_chain_from_untrusted_ca_rejected() {
+        // The MITM scenario: attacker CA not in the store forges the chain.
+        let f = fixture();
+        let mut rng = SplitMix64::new(0xa77);
+        let mut mitm = CertificateAuthority::new_root(
+            DistinguishedName::new("mitmproxy", "mitmproxy", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        let key = KeyPair::generate(&mut rng);
+        let forged = mitm.issue_leaf(
+            &["pay.shop.com".to_string()],
+            "Shop",
+            &key,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        let chain = vec![forged, mitm.cert.clone()];
+        assert!(matches!(
+            ok(&f, &chain, "pay.shop.com", SimTime(100)),
+            Err(ValidationError::UnknownRoot { .. })
+        ));
+        // ... but once the MITM CA is installed (test-device setup), it validates.
+        let mut store2 = f.store.clone();
+        store2.add(mitm.cert.clone());
+        validate_chain(
+            &chain,
+            &store2,
+            "pay.shop.com",
+            SimTime(100),
+            &RevocationList::empty(),
+            &ValidationOptions::default(),
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for certificates, chains, and pins.
+
+use pinning_pki::authority::CertificateAuthority;
+use pinning_pki::cert::Certificate;
+use pinning_pki::encode::pem_decode_all;
+use pinning_pki::name::DistinguishedName;
+use pinning_pki::pin::{Pin, PinSet, SpkiPin};
+use pinning_pki::store::RootStore;
+use pinning_pki::time::{SimTime, Validity, YEAR};
+use pinning_pki::validate::{validate_chain, RevocationList, ValidationOptions};
+use pinning_crypto::sig::KeyPair;
+use pinning_crypto::SplitMix64;
+use proptest::prelude::*;
+
+fn arbitrary_leaf(seed: u64, cn: &str, org: &str, serial_salt: u64) -> (Certificate, Certificate) {
+    let mut rng = SplitMix64::new(seed);
+    let mut root = CertificateAuthority::new_root(
+        DistinguishedName::new(format!("Root {serial_salt}"), "Sim", "US"),
+        &mut rng,
+        SimTime(0),
+    );
+    let key = KeyPair::generate(&mut rng);
+    let leaf = root.issue_leaf(
+        &[cn.to_string()],
+        org,
+        &key,
+        Validity::starting(SimTime(0), YEAR),
+    );
+    (leaf, root.cert.clone())
+}
+
+proptest! {
+    #[test]
+    fn der_roundtrip_arbitrary_names(
+        seed in any::<u64>(),
+        cn in "[a-z0-9.-]{1,40}",
+        org in "[A-Za-z0-9 ]{0,30}",
+    ) {
+        let (leaf, _) = arbitrary_leaf(seed, &cn, &org, 1);
+        let back = Certificate::from_der(&leaf.to_der()).unwrap();
+        prop_assert_eq!(back, leaf);
+    }
+
+    #[test]
+    fn pem_roundtrip_cert(seed in any::<u64>(), cn in "[a-z]{1,20}\\.com") {
+        let (leaf, root) = arbitrary_leaf(seed, &cn, "Org", 2);
+        let bundle = format!("{}{}", leaf.to_pem(), root.to_pem());
+        let ders = pem_decode_all(&bundle).unwrap();
+        prop_assert_eq!(ders.len(), 2);
+        prop_assert_eq!(Certificate::from_der(&ders[0]).unwrap(), leaf);
+        prop_assert_eq!(Certificate::from_der(&ders[1]).unwrap(), root);
+    }
+
+    #[test]
+    fn valid_chain_validates_and_tampered_fails(
+        seed in any::<u64>(),
+        host in "[a-z]{1,12}\\.example",
+    ) {
+        let (leaf, root) = arbitrary_leaf(seed, &host, "Org", 3);
+        let mut store = RootStore::new("t");
+        store.add(root.clone());
+        let chain = vec![leaf.clone(), root];
+        prop_assert!(validate_chain(
+            &chain, &store, &host, SimTime(100), &RevocationList::empty(),
+            &ValidationOptions::default()
+        ).is_ok());
+
+        // Any SAN tamper breaks the signature.
+        let mut bad = chain.clone();
+        bad[0].tbs.san.push("evil.example".to_string());
+        prop_assert!(validate_chain(
+            &bad, &store, &host, SimTime(100), &RevocationList::empty(),
+            &ValidationOptions::default()
+        ).is_err());
+    }
+
+    #[test]
+    fn adding_roots_never_invalidates(seed in any::<u64>(), extra in 1u64..6) {
+        let (leaf, root) = arbitrary_leaf(seed, "m.example", "Org", 4);
+        let mut store = RootStore::new("t");
+        store.add(root.clone());
+        let chain = vec![leaf, root];
+        let before = validate_chain(
+            &chain, &store, "m.example", SimTime(100), &RevocationList::empty(),
+            &ValidationOptions::default(),
+        ).is_ok();
+        // Grow the store with unrelated roots.
+        let mut rng = SplitMix64::new(seed ^ 0xeeee);
+        for i in 0..extra {
+            let other = CertificateAuthority::new_root(
+                DistinguishedName::new(format!("Extra {i}"), "X", "US"),
+                &mut rng,
+                SimTime(0),
+            );
+            store.add(other.cert.clone());
+        }
+        let after = validate_chain(
+            &chain, &store, "m.example", SimTime(100), &RevocationList::empty(),
+            &ValidationOptions::default(),
+        ).is_ok();
+        prop_assert_eq!(before, after);
+        prop_assert!(after, "chain must stay valid as trust grows");
+    }
+
+    #[test]
+    fn pinset_position_independence(seed in any::<u64>(), pin_root in any::<bool>()) {
+        let (leaf, root) = arbitrary_leaf(seed, "p.example", "Org", 5);
+        let pinned = if pin_root { &root } else { &leaf };
+        let set = PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(pinned))]);
+        let chain = [leaf.clone(), root.clone()];
+        prop_assert!(set.matches_chain(&chain));
+        // And a chain without the pinned certificate never matches.
+        let other_chain = if pin_root { vec![leaf] } else { vec![root] };
+        prop_assert!(!set.matches_chain(&other_chain));
+    }
+
+    #[test]
+    fn fingerprints_injective_over_serial(seed in any::<u64>(), delta in 1u64..1000) {
+        let (leaf, _) = arbitrary_leaf(seed, "f.example", "Org", 6);
+        let mut renewed = leaf.clone();
+        renewed.tbs.serial = renewed.tbs.serial.wrapping_add(delta);
+        prop_assert_ne!(leaf.fingerprint_sha256(), renewed.fingerprint_sha256());
+        // SPKI digest is untouched by serial changes.
+        prop_assert_eq!(leaf.spki_sha256(), renewed.spki_sha256());
+    }
+}

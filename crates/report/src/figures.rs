@@ -1,0 +1,232 @@
+//! Figure renderers (Figures 1–5) — ASCII equivalents of the paper's
+//! plots, carrying the same data series.
+
+use crate::text::{bar, Align, TextTable};
+use pinning_analysis::consistency::CommonDatasetSummary;
+use pinning_analysis::destinations::AppDestinationProfile;
+use pinning_store::whois::Party;
+
+/// Figure 1: the methodology overview, reproduced as a diagram of the
+/// actual pipeline stages this repository implements.
+pub fn figure1_ascii() -> String {
+    "\
+Figure 1: methodology overview
+  (1) crawl stores ──► (2) static scan ──► (3) CT-log pin resolution
+        │                                         │
+        ▼                                         ▼
+  (4) install on device ──► (5) non-MITM capture ─┐
+        │                                         ├──► differential
+        └───────────────► (6) MITM capture ───────┘     comparison
+                                                        │
+                              pinned destinations ◄─────┘
+"
+    .to_string()
+}
+
+/// Renders Figure 2: the Common-dataset pinning split.
+pub fn figure2(s: &CommonDatasetSummary) -> String {
+    let width = 30;
+    let total = s.total_pinners().max(1);
+    let scale = |n: usize| (n * width).div_ceil(total);
+    let mut out = String::from("Figure 2: pinning in the Common dataset, by platform split\n");
+    let rows = [
+        ("Pinned on Android & iOS", s.pin_both),
+        ("  consistent", s.both_consistent),
+        ("    (identical pinned sets)", s.both_identical),
+        ("  inconsistent", s.both_inconsistent),
+        ("  inconclusive", s.both_inconclusive),
+        ("Pinned on Android only", s.android_only.0 + s.android_only.1),
+        ("Pinned on iOS only", s.ios_only.0 + s.ios_only.1),
+    ];
+    for (label, n) in rows {
+        out.push_str(&format!("  {label:<28} {} {n}\n", bar(scale(n), width)));
+    }
+    out.push_str(&format!("  total pinning common apps: {}\n", s.total_pinners()));
+    out
+}
+
+/// One row of the Figure 3 heatmap (apps pinning on both platforms but
+/// inconsistently).
+#[derive(Debug, Clone)]
+pub struct Figure3Row {
+    /// App display name.
+    pub app: String,
+    /// Jaccard index of pinned sets (overlap column).
+    pub jaccard: f64,
+    /// % of Android-pinned domains unpinned on iOS.
+    pub android_unpinned_on_ios: f64,
+    /// % of iOS-pinned domains unpinned on Android.
+    pub ios_unpinned_on_android: f64,
+}
+
+/// Renders Figure 3.
+pub fn figure3(rows: &[Figure3Row]) -> String {
+    let mut t = TextTable::new(
+        "Figure 3: inconsistent pinning among both-platform pinners (heatmap values)",
+        &["App", "Pinned overlap (Jaccard)", "% A-pinned unpinned on iOS", "% iOS-pinned unpinned on A"],
+    )
+    .aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+    for r in rows {
+        t.row(&[
+            r.app.clone(),
+            format!("{:.2}", r.jaccard),
+            format!("{:.0}%", r.android_unpinned_on_ios),
+            format!("{:.0}%", r.ios_unpinned_on_android),
+        ]);
+    }
+    t.render()
+}
+
+/// One row of the Figure 4 heatmaps (exclusive-platform pinners).
+#[derive(Debug, Clone)]
+pub struct Figure4Row {
+    /// App display name.
+    pub app: String,
+    /// % of pinned domains appearing unpinned on the other platform.
+    pub pct_unpinned_on_other: f64,
+}
+
+/// Renders Figure 4 (both panels).
+pub fn figure4(android_only: &[Figure4Row], ios_only: &[Figure4Row]) -> String {
+    let mut out = String::from(
+        "Figure 4: exclusive-platform pinners — % of pinned domains seen unpinned on the other platform\n",
+    );
+    for (label, rows) in [("(a) Android-only pinners", android_only), ("(b) iOS-only pinners", ios_only)] {
+        out.push_str(&format!("  {label}\n"));
+        for r in rows {
+            out.push_str(&format!(
+                "    {:<24} {} {:.0}%\n",
+                r.app,
+                bar((r.pct_unpinned_on_other / 100.0 * 20.0).round() as usize, 20),
+                r.pct_unpinned_on_other
+            ));
+        }
+    }
+    out
+}
+
+/// Renders Figure 5 for one platform: per-app stacked bars of pinned vs
+/// unpinned destinations, split first/third party (F = first, t = third;
+/// uppercase = pinned).
+pub fn figure5(platform_label: &str, profiles: &[AppDestinationProfile]) -> String {
+    let mut out = format!(
+        "Figure 5 ({platform_label}): per-app destinations — P/p = first-party pinned/unpinned, T/t = third-party pinned/unpinned\n"
+    );
+    for p in profiles {
+        let (fp, fu, tp, tu) = p.quad_counts();
+        let mut cells = String::new();
+        cells.push_str(&"P".repeat(fp));
+        cells.push_str(&"p".repeat(fu));
+        cells.push_str(&"T".repeat(tp));
+        cells.push_str(&"t".repeat(tu));
+        out.push_str(&format!(
+            "  {:<20} |{cells}| {:.0}% pinned\n",
+            truncate(&p.app_name, 20),
+            p.pct_pinned()
+        ));
+    }
+    // Summary lines mirroring the §5.2 claims.
+    let pins_all_fp = profiles.iter().filter(|p| p.pins_all_first_party()).count();
+    let pins_everything = profiles.iter().filter(|p| p.pins_everything()).count();
+    let third_pinned: usize = profiles
+        .iter()
+        .flat_map(|p| &p.entries)
+        .filter(|e| e.pinned && e.party == Party::Third)
+        .count();
+    let total_pinned: usize =
+        profiles.iter().flat_map(|p| &p.entries).filter(|e| e.pinned).count();
+    out.push_str(&format!(
+        "  apps pinning all first-party destinations: {pins_all_fp}; pinning everything: {pins_everything}; third-party share of pinned destinations: {third_pinned}/{total_pinned}\n"
+    ));
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinning_analysis::destinations::DestinationEntry;
+
+    #[test]
+    fn figure2_counts_render() {
+        let s = CommonDatasetSummary {
+            pin_both: 27,
+            both_consistent: 15,
+            both_identical: 13,
+            both_inconsistent: 6,
+            both_inconclusive: 6,
+            android_only: (10, 10),
+            ios_only: (7, 15),
+        };
+        let text = figure2(&s);
+        assert!(text.contains("27"));
+        assert!(text.contains("total pinning common apps: 69"));
+    }
+
+    #[test]
+    fn figure3_renders_rows() {
+        let rows = vec![Figure3Row {
+            app: "Twitter".into(),
+            jaccard: 0.5,
+            android_unpinned_on_ios: 50.0,
+            ios_unpinned_on_android: 0.0,
+        }];
+        let s = figure3(&rows);
+        assert!(s.contains("Twitter"));
+        assert!(s.contains("0.50"));
+    }
+
+    #[test]
+    fn figure5_bars_and_summary() {
+        let profiles = vec![AppDestinationProfile {
+            app_name: "Shop".into(),
+            entries: vec![
+                DestinationEntry { domain: "api.shop.com".into(), pinned: true, party: Party::First },
+                DestinationEntry { domain: "cdn.x.com".into(), pinned: false, party: Party::Third },
+            ],
+        }];
+        let s = figure5("Android", &profiles);
+        assert!(s.contains("|Pt|"), "{s}");
+        assert!(s.contains("50% pinned"));
+        assert!(s.contains("pinning all first-party destinations: 1"));
+    }
+
+    #[test]
+    fn figure4_renders_both_panels() {
+        let a = vec![Figure4Row { app: "Vudu".into(), pct_unpinned_on_other: 100.0 }];
+        let i = vec![Figure4Row { app: "Zero".into(), pct_unpinned_on_other: 50.0 }];
+        let s = figure4(&a, &i);
+        assert!(s.contains("(a) Android-only pinners"));
+        assert!(s.contains("(b) iOS-only pinners"));
+        assert!(s.contains("Vudu"));
+        assert!(s.contains("Zero"));
+        assert!(s.contains("100%"));
+    }
+
+    #[test]
+    fn long_app_names_truncated() {
+        let profiles = vec![AppDestinationProfile {
+            app_name: "An Extremely Long Application Name".into(),
+            entries: vec![DestinationEntry {
+                domain: "a.com".into(),
+                pinned: false,
+                party: Party::Third,
+            }],
+        }];
+        let s = figure5("iOS", &profiles);
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn figure1_is_nonempty() {
+        assert!(figure1_ascii().contains("MITM"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Renderers for every table and figure in the paper.
+//!
+//! This crate is purely presentational: `pinning-core` computes the row
+//! data (so the numbers come from the measurement pipeline, never from
+//! hard-coded expectations) and hands typed row structs to the renderers
+//! here, which produce aligned monospace tables and ASCII heatmaps that
+//! mirror the paper's layout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod figures;
+pub mod tables;
+pub mod text;
+
+pub use text::TextTable;

@@ -1,0 +1,106 @@
+//! Domain-ownership registry: the whois/certificate-subject stand-in used
+//! for first-party vs third-party attribution (Figure 5's coloring).
+
+use std::collections::HashMap;
+
+/// First- or third-party, relative to a given app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Party {
+    /// The destination belongs to the app's developer.
+    First,
+    /// The destination belongs to someone else (SDK vendors, CDNs, ads).
+    Third,
+}
+
+/// Registry mapping a domain to its operating organization.
+///
+/// The paper attributes each domain "using various points of information
+/// (whois data, certificate subject names, etc.)" (§5.2); here the world
+/// generator records the operating organization at server-registration
+/// time, and attribution compares it to the app's developer organization
+/// with light normalization — imperfect matching is part of the realism.
+#[derive(Debug, Clone, Default)]
+pub struct WhoisRegistry {
+    by_domain: HashMap<String, String>,
+}
+
+impl WhoisRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `domain` as operated by `organization`.
+    pub fn record(&mut self, domain: &str, organization: &str) {
+        self.by_domain
+            .insert(domain.to_ascii_lowercase(), organization.to_string());
+    }
+
+    /// Looks up the operator of `domain`.
+    pub fn operator(&self, domain: &str) -> Option<&str> {
+        self.by_domain.get(&domain.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Attributes `domain` relative to an app developer organization.
+    /// Unknown domains default to third-party (the conservative choice the
+    /// paper makes too).
+    pub fn attribute(&self, developer_org: &str, domain: &str) -> Party {
+        match self.operator(domain) {
+            Some(op) if normalize(op) == normalize(developer_org) => Party::First,
+            _ => Party::Third,
+        }
+    }
+
+    /// Number of known domains.
+    pub fn len(&self) -> usize {
+        self.by_domain.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_domain.is_empty()
+    }
+}
+
+fn normalize(org: &str) -> String {
+    org.to_ascii_lowercase()
+        .replace([',', '.'], "")
+        .split_whitespace()
+        .filter(|w| !matches!(*w, "inc" | "llc" | "ltd" | "corp" | "gmbh" | "co"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_exact() {
+        let mut w = WhoisRegistry::new();
+        w.record("api.shop.com", "Shop Inc.");
+        assert_eq!(w.attribute("Shop Inc.", "api.shop.com"), Party::First);
+        assert_eq!(w.attribute("Other Corp", "api.shop.com"), Party::Third);
+    }
+
+    #[test]
+    fn attribution_normalizes_suffixes() {
+        let mut w = WhoisRegistry::new();
+        w.record("api.shop.com", "Shop, Inc.");
+        assert_eq!(w.attribute("shop", "api.shop.com"), Party::First);
+        assert_eq!(w.attribute("SHOP LLC", "api.shop.com"), Party::First);
+    }
+
+    #[test]
+    fn unknown_is_third_party() {
+        let w = WhoisRegistry::new();
+        assert_eq!(w.attribute("Shop", "mystery.io"), Party::Third);
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut w = WhoisRegistry::new();
+        w.record("CDN.Example.COM", "Example");
+        assert_eq!(w.operator("cdn.example.com"), Some("Example"));
+    }
+}

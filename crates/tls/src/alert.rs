@@ -1,0 +1,83 @@
+//! TLS alerts.
+
+/// Alert severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertLevel {
+    /// Warning (connection may continue).
+    Warning,
+    /// Fatal (connection is torn down).
+    Fatal,
+}
+
+/// Alert description codes relevant to the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertDescription {
+    /// Orderly closure.
+    CloseNotify,
+    /// Generic handshake failure (e.g. no common cipher).
+    HandshakeFailure,
+    /// Certificate was corrupt or otherwise bad — the classic pinning
+    /// failure signal from OkHttp-style stacks.
+    BadCertificate,
+    /// Certificate could not be validated for an unspecified reason.
+    CertificateUnknown,
+    /// Chain anchored at an unknown CA — what a system validator emits when
+    /// the MITM proxy's CA is not installed.
+    UnknownCa,
+    /// No common protocol version — a *non-pinning* failure that naive alert
+    /// counting would misattribute (§4.2.2's confounder).
+    ProtocolVersion,
+    /// Unrecognized SNI name.
+    UnrecognizedName,
+}
+
+impl AlertDescription {
+    /// Numeric code (per RFC 8446 where applicable).
+    pub fn code(self) -> u8 {
+        match self {
+            AlertDescription::CloseNotify => 0,
+            AlertDescription::HandshakeFailure => 40,
+            AlertDescription::BadCertificate => 42,
+            AlertDescription::CertificateUnknown => 46,
+            AlertDescription::UnknownCa => 48,
+            AlertDescription::ProtocolVersion => 70,
+            AlertDescription::UnrecognizedName => 112,
+        }
+    }
+}
+
+/// On-wire length (bytes) of a *plaintext* alert record payload: level (1) +
+/// description (1).
+pub const PLAINTEXT_ALERT_LEN: usize = 2;
+
+/// On-wire length (bytes) of an *encrypted* alert record payload under
+/// TLS 1.3: 2 alert bytes + 1 inner content-type byte + 16-byte AEAD tag +
+/// 5-byte record header = 24 bytes of ciphertext payload, 19 without header.
+///
+/// The exact constant matters less than its *fixedness*: the paper's TLS 1.3
+/// used-connection heuristic keys on "second encrypted client record has the
+/// same length as an encrypted alert" (§4.2.2), so every encrypted alert in
+/// the simulation has exactly this payload length.
+pub const ENCRYPTED_ALERT_WIRE_LEN: usize = 24;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_rfc() {
+        assert_eq!(AlertDescription::CloseNotify.code(), 0);
+        assert_eq!(AlertDescription::BadCertificate.code(), 42);
+        assert_eq!(AlertDescription::UnknownCa.code(), 48);
+        assert_eq!(AlertDescription::ProtocolVersion.code(), 70);
+    }
+
+    #[test]
+    fn encrypted_alert_longer_than_plaintext() {
+        // Compare through variables so the compiler can't fold the check
+        // away if someone edits one constant.
+        let enc = ENCRYPTED_ALERT_WIRE_LEN;
+        let plain = PLAINTEXT_ALERT_LEN;
+        assert!(enc > plain, "{enc} vs {plain}");
+    }
+}

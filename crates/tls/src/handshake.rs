@@ -1,0 +1,83 @@
+//! Handshake messages (the fields the methodology observes).
+
+use crate::cipher::CipherSuite;
+use crate::version::TlsVersion;
+
+/// A ClientHello as observed on the wire (always plaintext).
+///
+/// The paper reports that 99% of captured TLS traffic carried a non-empty
+/// SNI (§4.2.2), which is what lets flows be keyed by destination hostname.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// Server Name Indication, if the client sends one.
+    pub sni: Option<String>,
+    /// Offered protocol versions (supported_versions extension / legacy
+    /// version field).
+    pub offered_versions: Vec<TlsVersion>,
+    /// Offered cipher suites, in client preference order.
+    pub offered_ciphers: Vec<CipherSuite>,
+}
+
+impl ClientHello {
+    /// Whether any offered suite is on the bad-cipher list (Table 8's
+    /// per-connection predicate).
+    pub fn advertises_weak_cipher(&self) -> bool {
+        self.offered_ciphers.iter().any(|c| c.is_weak())
+    }
+
+    /// Approximate wire size of the ClientHello payload in bytes.
+    pub fn wire_len(&self) -> usize {
+        let base = 180; // random, session id, extensions scaffolding
+        base + self.offered_ciphers.len() * 2
+            + self.sni.as_ref().map_or(0, |s| s.len() + 9)
+            + self.offered_versions.len() * 2
+    }
+}
+
+/// A ServerHello as observed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Negotiated version.
+    pub version: TlsVersion,
+    /// Negotiated cipher suite.
+    pub cipher: CipherSuite,
+}
+
+impl ServerHello {
+    /// Approximate wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        90
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_advertisement() {
+        let hello = ClientHello {
+            sni: Some("api.example.com".into()),
+            offered_versions: vec![TlsVersion::V1_2, TlsVersion::V1_3],
+            offered_ciphers: CipherSuite::legacy_client_list(),
+        };
+        assert!(hello.advertises_weak_cipher());
+        let modern = ClientHello { offered_ciphers: CipherSuite::modern_client_list(), ..hello };
+        assert!(!modern.advertises_weak_cipher());
+    }
+
+    #[test]
+    fn wire_len_grows_with_content() {
+        let small = ClientHello {
+            sni: None,
+            offered_versions: vec![TlsVersion::V1_2],
+            offered_ciphers: vec![CipherSuite::TLS_AES_128_GCM_SHA256],
+        };
+        let big = ClientHello {
+            sni: Some("a-very-long-hostname.cdn.example.com".into()),
+            offered_versions: vec![TlsVersion::V1_2, TlsVersion::V1_3],
+            offered_ciphers: CipherSuite::legacy_client_list(),
+        };
+        assert!(big.wire_len() > small.wire_len());
+    }
+}

@@ -1,0 +1,48 @@
+//! Record-level TLS simulator.
+//!
+//! The paper's dynamic pinning detection (§4.2.2) never decrypts anything —
+//! it classifies connections by *observable wire behaviour*: which records
+//! flow in which direction, their content types and lengths, TLS alerts,
+//! and TCP RST/FIN teardown. This crate simulates TLS at exactly that
+//! altitude:
+//!
+//! * [`version`] / [`cipher`] — protocol versions 1.0–1.3 and cipher suites,
+//!   including the weak ones (DES, 3DES, RC4, EXPORT) whose advertisement
+//!   Table 8 measures.
+//! * [`record`] — the record layer, including TLS 1.3's middlebox disguise:
+//!   every encrypted record (data, alert, or handshake) is written to the
+//!   wire as `ApplicationData`, which is what forces the paper's length
+//!   heuristic.
+//! * [`alert`] — alert levels/descriptions, and the fixed on-wire length of
+//!   an encrypted alert.
+//! * [`handshake`] — ClientHello (SNI, offered versions/ciphers),
+//!   ServerHello, Certificate, Finished.
+//! * [`verify`] — pluggable certificate verification: system validation,
+//!   pin enforcement, or both stacked (how real apps compose them).
+//! * [`library`] — identities of the TLS stacks apps link (OkHttp,
+//!   Conscrypt, NSURLSession, …): how they signal failure on the wire and
+//!   whether Frida-style instrumentation can hook them (§4.3).
+//! * [`conn`] — the handshake driver that connects a client configuration
+//!   to a server endpoint and emits a [`transcript::ConnectionTranscript`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alert;
+pub mod cipher;
+pub mod conn;
+pub mod handshake;
+pub mod library;
+pub mod record;
+pub mod transcript;
+pub mod verify;
+pub mod version;
+
+pub use alert::{AlertDescription, AlertLevel, ENCRYPTED_ALERT_WIRE_LEN};
+pub use cipher::CipherSuite;
+pub use conn::{establish, ClientConfig, HandshakeError, HandshakeOutcome, ServerEndpoint};
+pub use library::{FailureSignal, TlsLibrary};
+pub use record::{ContentType, Direction, RecordEvent, TcpEvent, WireEvent};
+pub use transcript::ConnectionTranscript;
+pub use verify::{CertPolicy, VerifyDecision};
+pub use version::TlsVersion;

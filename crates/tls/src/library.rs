@@ -1,0 +1,162 @@
+//! TLS library identities.
+//!
+//! Which stack an app links determines two things the study measures:
+//!
+//! 1. **how a pinning failure appears on the wire** (§4.2.2: "pinned TLS
+//!    connections typically send failure signals via a TLS alert or TCP
+//!    connection reset") — stacks differ;
+//! 2. **whether Frida-style instrumentation can disable its certificate
+//!    checks** (§4.3: circumvention succeeded for ≈51.5% of pinned Android
+//!    destinations and ≈66.2% of iOS ones; custom TLS implementations
+//!    resist hooking).
+
+use crate::alert::AlertDescription;
+
+/// How a client signals a certificate/pin rejection on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureSignal {
+    /// Fatal TLS alert with the given description.
+    FatalAlert(AlertDescription),
+    /// Abortive TCP reset, no alert.
+    TcpRst,
+    /// Quiet orderly close (FIN) without an alert — the hardest case for
+    /// naive detection.
+    SilentFin,
+}
+
+/// Pinning-check timing relative to the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PinCheckPhase {
+    /// Inside certificate verification, before the client Finished
+    /// (platform trust managers, TrustKit).
+    DuringHandshake,
+    /// After the handshake completes, before first use (OkHttp's
+    /// `CertificatePinner`, interceptor-style checks).
+    PostHandshake,
+}
+
+/// A TLS stack an app may link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlsLibrary {
+    /// Android platform TLS (Conscrypt/BoringSSL) via `X509TrustManager`.
+    Conscrypt,
+    /// OkHttp with `CertificatePinner` (rides on Conscrypt but enforces pins
+    /// itself, post-handshake).
+    OkHttp,
+    /// Android WebView / Cronet-style stack.
+    Cronet,
+    /// iOS `NSURLSession` with `URLSessionDelegate` trust evaluation.
+    NsUrlSession,
+    /// AFNetworking's `AFSecurityPolicy` (iOS).
+    AfNetworking,
+    /// TrustKit (iOS/Android SPKI pinning SDK).
+    TrustKit,
+    /// A custom/obfuscated native TLS implementation statically linked into
+    /// the app — resists Frida hooking (§4.3's failure cases).
+    CustomNative,
+}
+
+impl TlsLibrary {
+    /// Whether the §4.3 Frida hooks can disable this stack's certificate
+    /// checks.
+    pub fn frida_hookable(self) -> bool {
+        !matches!(self, TlsLibrary::CustomNative)
+    }
+
+    /// How this stack signals a *pin* rejection.
+    pub fn pin_failure_signal(self) -> FailureSignal {
+        match self {
+            // OkHttp throws SSLPeerUnverifiedException after the handshake;
+            // the socket is closed abortively.
+            TlsLibrary::OkHttp => FailureSignal::TcpRst,
+            // Platform trust managers emit a fatal bad_certificate alert.
+            TlsLibrary::Conscrypt | TlsLibrary::Cronet => {
+                FailureSignal::FatalAlert(AlertDescription::BadCertificate)
+            }
+            // NSURLSession cancels the task; observed as a RST.
+            TlsLibrary::NsUrlSession => FailureSignal::TcpRst,
+            // AFNetworking tears down quietly.
+            TlsLibrary::AfNetworking => FailureSignal::SilentFin,
+            // TrustKit reports through the trust evaluation → alert.
+            TlsLibrary::TrustKit => FailureSignal::FatalAlert(AlertDescription::BadCertificate),
+            // Custom stacks do whatever; modeled as RST.
+            TlsLibrary::CustomNative => FailureSignal::TcpRst,
+        }
+    }
+
+    /// How this stack signals a *system validation* (untrusted chain)
+    /// rejection.
+    pub fn system_failure_signal(self) -> FailureSignal {
+        match self {
+            TlsLibrary::AfNetworking => FailureSignal::SilentFin,
+            TlsLibrary::CustomNative => FailureSignal::TcpRst,
+            _ => FailureSignal::FatalAlert(AlertDescription::UnknownCa),
+        }
+    }
+
+    /// When this stack enforces pins.
+    pub fn pin_check_phase(self) -> PinCheckPhase {
+        match self {
+            TlsLibrary::OkHttp | TlsLibrary::AfNetworking => PinCheckPhase::PostHandshake,
+            _ => PinCheckPhase::DuringHandshake,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TlsLibrary::Conscrypt => "Conscrypt",
+            TlsLibrary::OkHttp => "OkHttp",
+            TlsLibrary::Cronet => "Cronet",
+            TlsLibrary::NsUrlSession => "NSURLSession",
+            TlsLibrary::AfNetworking => "AFNetworking",
+            TlsLibrary::TrustKit => "TrustKit",
+            TlsLibrary::CustomNative => "CustomNative",
+        }
+    }
+}
+
+impl core::fmt::Display for TlsLibrary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn custom_native_resists_hooking() {
+        assert!(!TlsLibrary::CustomNative.frida_hookable());
+        assert!(TlsLibrary::OkHttp.frida_hookable());
+        assert!(TlsLibrary::NsUrlSession.frida_hookable());
+    }
+
+    #[test]
+    fn okhttp_checks_pins_post_handshake() {
+        assert_eq!(TlsLibrary::OkHttp.pin_check_phase(), PinCheckPhase::PostHandshake);
+        assert_eq!(TlsLibrary::Conscrypt.pin_check_phase(), PinCheckPhase::DuringHandshake);
+    }
+
+    #[test]
+    fn failure_signals_cover_all_variants() {
+        use std::collections::HashSet;
+        let libs = [
+            TlsLibrary::Conscrypt,
+            TlsLibrary::OkHttp,
+            TlsLibrary::Cronet,
+            TlsLibrary::NsUrlSession,
+            TlsLibrary::AfNetworking,
+            TlsLibrary::TrustKit,
+            TlsLibrary::CustomNative,
+        ];
+        let signals: HashSet<_> = libs.iter().map(|l| l.pin_failure_signal()).collect();
+        // All three failure modes are represented in the ecosystem.
+        assert!(signals.contains(&FailureSignal::TcpRst));
+        assert!(signals.contains(&FailureSignal::SilentFin));
+        assert!(signals
+            .iter()
+            .any(|s| matches!(s, FailureSignal::FatalAlert(_))));
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproducibility: the same seed must reproduce every measured number
+//! (DESIGN.md §6), and different seeds must explore different worlds.
+
+use app_tls_pinning::core::{Study, StudyConfig};
+
+#[test]
+fn same_seed_same_tables() {
+    let a = Study::new(StudyConfig::tiny(0xD37)).run();
+    let b = Study::new(StudyConfig::tiny(0xD37)).run();
+
+    assert_eq!(a.render_table3(), b.render_table3());
+    assert_eq!(a.render_table6(), b.render_table6());
+    assert_eq!(a.render_table8(), b.render_table8());
+    assert_eq!(a.render_table9(), b.render_table9());
+    assert_eq!(a.render_figure2(), b.render_figure2());
+    assert_eq!(a.render_all(), b.render_all());
+}
+
+#[test]
+fn same_seed_same_records() {
+    let a = Study::new(StudyConfig::tiny(0xD38)).run();
+    let b = Study::new(StudyConfig::tiny(0xD38)).run();
+    assert_eq!(a.records.len(), b.records.len());
+    for (idx, ra) in &a.records {
+        let rb = &b.records[idx];
+        assert_eq!(ra.pinned_destinations, rb.pinned_destinations);
+        assert_eq!(ra.used_destinations, rb.used_destinations);
+        assert_eq!(ra.pinned_bodies, rb.pinned_bodies);
+        assert_eq!(ra.weak_overall, rb.weak_overall);
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = Study::new(StudyConfig::tiny(1)).run();
+    let b = Study::new(StudyConfig::tiny(2)).run();
+    assert_ne!(
+        a.render_table3(),
+        b.render_table3(),
+        "different seeds should produce different measurements"
+    );
+}

@@ -1,0 +1,265 @@
+//! Cross-crate methodology checks: drive the stack manually (PKI → TLS →
+//! netsim → analysis) and verify the paper's §4 mechanics hold end-to-end
+//! without the world generator in the loop.
+
+use app_tls_pinning::analysis::dynamics::classify::{classify_connection, ConnStatus};
+use app_tls_pinning::analysis::dynamics::detect::{detect_pinned_destinations, Exclusions};
+use app_tls_pinning::crypto::sig::KeyPair;
+use app_tls_pinning::crypto::SplitMix64;
+use app_tls_pinning::netsim::flow::{Capture, FlowOrigin, FlowRecord};
+use app_tls_pinning::netsim::proxy::MitmProxy;
+use app_tls_pinning::pki::chain::CertificateChain;
+use app_tls_pinning::pki::pin::{Pin, PinSet, SpkiPin};
+use app_tls_pinning::pki::store::RootStore;
+use app_tls_pinning::pki::universe::{PkiUniverse, UniverseConfig};
+use app_tls_pinning::pki::validate::RevocationList;
+use app_tls_pinning::tls::verify::CertPolicy;
+use app_tls_pinning::tls::{establish, ClientConfig, ServerEndpoint, TlsLibrary};
+
+struct Lab {
+    universe: PkiUniverse,
+    proxy: MitmProxy,
+    device_store: RootStore,
+    chain: CertificateChain,
+}
+
+fn lab() -> Lab {
+    let mut rng = SplitMix64::new(0x1ab2);
+    let mut universe = PkiUniverse::generate(&UniverseConfig::tiny(), &mut rng);
+    let key = KeyPair::generate(&mut rng);
+    let chain = universe.issue_server_chain(
+        &["api.lab.example".to_string()],
+        "Lab",
+        &key,
+        398,
+        &mut rng,
+    );
+    let proxy = MitmProxy::new(&mut rng, universe.now());
+    let mut device_store = RootStore::new("device");
+    for root in universe.aosp.iter() {
+        device_store.add(root.clone());
+    }
+    device_store.add(proxy.ca_cert());
+    Lab { universe, proxy, device_store, chain }
+}
+
+fn flow_of(
+    lab: &Lab,
+    client: &ClientConfig,
+    mitm: bool,
+    with_data: bool,
+) -> FlowRecord {
+    let chain = if mitm {
+        lab.proxy.forge_chain("api.lab.example", &lab.chain)
+    } else {
+        lab.chain.clone()
+    };
+    let endpoint = ServerEndpoint::modern(&chain);
+    let mut out = establish(
+        client,
+        &endpoint,
+        "api.lab.example",
+        lab.universe.now(),
+        &lab.device_store,
+        &RevocationList::empty(),
+    );
+    if let Ok(session) = out.result {
+        if with_data {
+            session.send_client_data(&mut out.transcript, 700);
+            session.send_server_data(&mut out.transcript, 2000);
+        }
+        session.close(&mut out.transcript);
+    }
+    FlowRecord {
+        dest: "api.lab.example".to_string(),
+        at_secs: 1,
+        origin: FlowOrigin::App,
+        transcript: out.transcript,
+        mitm_attempted: mitm,
+        decrypted_request: None,
+    }
+}
+
+fn pinned_client(lab: &Lab) -> ClientConfig {
+    let mut c = ClientConfig::modern(TlsLibrary::OkHttp);
+    c.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(
+        lab.chain.top().expect("root"),
+    ))]));
+    c
+}
+
+#[test]
+fn manual_differential_detects_pin() {
+    let lab = lab();
+    let client = pinned_client(&lab);
+    let baseline = Capture { flows: vec![flow_of(&lab, &client, false, true)], window_secs: 30 };
+    let mitm = Capture { flows: vec![flow_of(&lab, &client, true, true)], window_secs: 30 };
+    let verdicts = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+    assert_eq!(verdicts.len(), 1);
+    assert!(verdicts[0].pinned);
+}
+
+#[test]
+fn manual_differential_clears_unpinned() {
+    let lab = lab();
+    let client = ClientConfig::modern(TlsLibrary::OkHttp);
+    let baseline = Capture { flows: vec![flow_of(&lab, &client, false, true)], window_secs: 30 };
+    let mitm = Capture { flows: vec![flow_of(&lab, &client, true, true)], window_secs: 30 };
+    let verdicts = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+    assert!(!verdicts[0].pinned, "{verdicts:?}");
+}
+
+#[test]
+fn classifier_used_and_failed_on_real_transcripts() {
+    let lab = lab();
+    let pinned = pinned_client(&lab);
+    let plain = ClientConfig::modern(TlsLibrary::OkHttp);
+
+    let used = flow_of(&lab, &plain, false, true);
+    assert_eq!(classify_connection(&used.transcript), ConnStatus::Used);
+
+    let failed = flow_of(&lab, &pinned, true, true);
+    assert_eq!(classify_connection(&failed.transcript), ConnStatus::Failed);
+
+    // Established-but-unused (redundant) connection: not used, orderly
+    // close → counted as failed, which the differential rule tolerates.
+    let redundant = flow_of(&lab, &plain, false, false);
+    assert_ne!(classify_connection(&redundant.transcript), ConnStatus::Used);
+}
+
+#[test]
+fn forged_chain_validates_only_with_proxy_ca() {
+    let lab = lab();
+    let forged = lab.proxy.forge_chain("api.lab.example", &lab.chain);
+    // Against the device store (proxy CA installed) the forged chain is fine.
+    let ok = app_tls_pinning::pki::validate::validate_chain(
+        forged.certs(),
+        &lab.device_store,
+        "api.lab.example",
+        lab.universe.now(),
+        &RevocationList::empty(),
+        &Default::default(),
+    );
+    assert!(ok.is_ok());
+    // Against the factory store it is rejected.
+    let err = app_tls_pinning::pki::validate::validate_chain(
+        forged.certs(),
+        &lab.universe.aosp,
+        "api.lab.example",
+        lab.universe.now(),
+        &RevocationList::empty(),
+        &Default::default(),
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn rogue_oem_root_defeated_only_by_pinning() {
+    // §2.1's motivation: OEM images ship "expired, unknown, or obscure CA
+    // certificates" — an attacker holding one such CA key can MITM any
+    // unpinned app, and pinning is the defense.
+    let mut rng = SplitMix64::new(0x0e11);
+    let mut universe = PkiUniverse::generate(&UniverseConfig::tiny(), &mut rng);
+    let key = KeyPair::generate(&mut rng);
+    let chain = universe.issue_server_chain(
+        &["bank.example".to_string()],
+        "Bank",
+        &key,
+        398,
+        &mut rng,
+    );
+    // The attacker controls a *valid, in-store* obscure OEM root.
+    let rogue = universe
+        .aosp_oem
+        .iter()
+        .find(|c| {
+            c.tbs.subject.common_name.starts_with("ObscureNational")
+                && c.tbs.validity.contains(universe.now())
+        })
+        .expect("tiny universe plants valid OEM extras")
+        .clone();
+    let rogue_ca_idx = universe
+        .public_roots()
+        .iter()
+        .position(|ca| ca.cert == rogue)
+        .expect("OEM extras are generated as authorities");
+    // Forge a chain for the bank under the rogue (but trusted!) root.
+    let universe2 = universe.clone();
+    let forged_leaf_key = KeyPair::generate(&mut rng);
+    let forged = {
+        // Re-derive an authority handle: public_roots gives certs; we clone
+        // the CA list through a fresh issuance path.
+        let mut roots = universe2.public_roots().to_vec();
+        let ca = &mut roots[rogue_ca_idx];
+        let leaf = ca.issue_leaf(
+            &["bank.example".to_string()],
+            "Bank",
+            &forged_leaf_key,
+            app_tls_pinning::pki::time::Validity::starting(universe.now(), 1000),
+        );
+        CertificateChain::new(vec![leaf, ca.cert.clone()])
+    };
+
+    let unpinned = ClientConfig::modern(TlsLibrary::Conscrypt);
+    let mut pinned = unpinned.clone();
+    pinned.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(
+        chain.top().expect("root"),
+    ))]));
+
+    let server = ServerEndpoint::modern(&forged);
+    // Unpinned app: the rogue-rooted chain is *valid* on the OEM device.
+    let out = establish(
+        &unpinned,
+        &server,
+        "bank.example",
+        universe.now(),
+        &universe.aosp_oem,
+        &RevocationList::empty(),
+    );
+    assert!(out.result.is_ok(), "OEM-trusted rogue chain must pass system validation");
+    // Pinned app: rejected despite the chain being store-valid.
+    let out = establish(
+        &pinned,
+        &server,
+        "bank.example",
+        universe.now(),
+        &universe.aosp_oem,
+        &RevocationList::empty(),
+    );
+    assert!(matches!(
+        out.result,
+        Err(app_tls_pinning::tls::HandshakeError::PinRejected)
+    ));
+}
+
+#[test]
+fn revoked_leaf_rejected_even_when_pin_matches() {
+    // §2.1: "verifying if a pinned certificate is present in a chain is not
+    // sufficient ... the TLS library must still validate all other
+    // properties" — revocation included.
+    let lab = lab();
+    let client = pinned_client(&lab);
+    let mut crl = RevocationList::empty();
+    crl.revoke(lab.chain.leaf().expect("leaf").tbs.serial);
+    let server = ServerEndpoint::modern(&lab.chain);
+    let out = establish(
+        &client,
+        &server,
+        "api.lab.example",
+        lab.universe.now(),
+        &lab.device_store,
+        &crl,
+    );
+    assert!(out.result.is_err(), "pin match must not override revocation");
+}
+
+#[test]
+fn pin_survives_proxy_only_for_genuine_chain() {
+    let lab = lab();
+    let pin = PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(
+        lab.chain.top().expect("root"),
+    ))]);
+    assert!(pin.matches_chain(lab.chain.certs()));
+    let forged = lab.proxy.forge_chain("api.lab.example", &lab.chain);
+    assert!(!pin.matches_chain(forged.certs()));
+}

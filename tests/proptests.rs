@@ -1,0 +1,126 @@
+//! Property-based tests on the core data structures and invariants.
+
+use app_tls_pinning::analysis::pii::Contingency;
+use app_tls_pinning::analysis::statics::scanner;
+use app_tls_pinning::crypto::{b64decode, b64encode, hex_decode, hex_encode, sha256};
+use app_tls_pinning::pki::encode::{pem_decode_all, pem_encode};
+use app_tls_pinning::pki::name::match_hostname;
+use app_tls_pinning::pki::pin::SpkiPin;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = b64encode(&data);
+        prop_assert_eq!(b64decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_sensitive(
+        a in proptest::collection::vec(any::<u8>(), 0..256),
+        b in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        prop_assert_eq!(sha256(&a), sha256(&a));
+        if a != b {
+            prop_assert_ne!(sha256(&a), sha256(&b));
+        }
+    }
+
+    #[test]
+    fn pem_roundtrip_any_der(der in proptest::collection::vec(any::<u8>(), 1..2048)) {
+        let pem = pem_encode(&der);
+        let decoded = pem_decode_all(&pem).unwrap();
+        prop_assert_eq!(decoded, vec![der]);
+    }
+
+    #[test]
+    fn pem_roundtrip_survives_surrounding_junk(
+        der in proptest::collection::vec(any::<u8>(), 1..256),
+        prefix in "[a-z0-9 \n]{0,64}",
+        suffix in "[a-z0-9 \n]{0,64}",
+    ) {
+        let text = format!("{prefix}{}{suffix}", pem_encode(&der));
+        prop_assert_eq!(pem_decode_all(&text).unwrap(), vec![der]);
+    }
+
+    #[test]
+    fn scanner_finds_planted_pin_in_noise(
+        digest in proptest::array::uniform32(any::<u8>()),
+        prefix in "[ -~]{0,120}",
+        suffix in "[ -~]{0,120}",
+    ) {
+        // Cut the haystack so the prefix cannot accidentally extend the
+        // base64 run and so no second pin pre-exists.
+        let pin = format!("sha256/{}", b64encode(&digest));
+        let noise_prefix: String = prefix.replace("sha256/", "").replace("sha1/", "");
+        let sep = " ";
+        let hay = format!("{noise_prefix}{sep}{pin}{sep}{suffix}");
+        let found = scanner::scan_pins(&hay);
+        prop_assert!(
+            found.iter().any(|m| m.raw == pin),
+            "pin {pin} not found in {hay:?} (found {found:?})"
+        );
+    }
+
+    #[test]
+    fn pin_string_roundtrip(digest in proptest::array::uniform32(any::<u8>())) {
+        let pin = SpkiPin {
+            alg: app_tls_pinning::pki::pin::PinAlgorithm::Sha256,
+            digest: digest.to_vec(),
+        };
+        let s = pin.to_pin_string();
+        prop_assert_eq!(SpkiPin::parse(&s).unwrap(), pin);
+    }
+
+    #[test]
+    fn hostname_matching_is_case_insensitive(
+        host in "[a-z]{1,8}\\.[a-z]{1,8}\\.[a-z]{2,4}",
+    ) {
+        prop_assert!(match_hostname(&host, &host.to_uppercase()));
+        prop_assert!(match_hostname(&host.to_uppercase(), &host));
+    }
+
+    #[test]
+    fn wildcard_matches_exactly_one_label(
+        label in "[a-z]{1,10}",
+        apex in "[a-z]{1,8}\\.[a-z]{2,4}",
+    ) {
+        let pattern = format!("*.{apex}");
+        let one_label = format!("{label}.{apex}");
+        let two_labels = format!("a.{label}.{apex}");
+        let matches_one = match_hostname(&pattern, &one_label);
+        let matches_apex = match_hostname(&pattern, &apex);
+        let matches_two = match_hostname(&pattern, &two_labels);
+        prop_assert!(matches_one);
+        prop_assert!(!matches_apex);
+        prop_assert!(!matches_two);
+    }
+
+    #[test]
+    fn chi_square_is_nonnegative_and_symmetric(
+        a in 0u64..500, b in 0u64..500, c in 0u64..500, d in 0u64..500,
+    ) {
+        let t = Contingency {
+            pinned_with: a,
+            pinned_without: b,
+            unpinned_with: c,
+            unpinned_without: d,
+        };
+        let chi = t.chi_square();
+        prop_assert!(chi >= 0.0);
+        prop_assert!(chi.is_finite());
+        // Swapping the two groups leaves the statistic unchanged.
+        let swapped = Contingency {
+            pinned_with: c,
+            pinned_without: d,
+            unpinned_with: a,
+            unpinned_without: b,
+        };
+        prop_assert!((chi - swapped.chi_square()).abs() < 1e-9);
+    }
+}
