@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Offline CI gate for the pinning reproduction workspace.
+#
+# Everything runs with --offline: the workspace has zero external
+# dependencies by design, so a network-less container must pass this
+# script end to end. The chaos suite is invoked explicitly (in addition
+# to the full test run) so a fault-injection regression fails loudly
+# under its own name.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test (workspace)"
+cargo test -q --workspace --offline
+
+echo "==> chaos suite (fault injection + degradation)"
+cargo test -q --offline --test chaos
+
+echo "CI OK"

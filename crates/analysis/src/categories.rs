@@ -35,8 +35,11 @@ pub fn category_table(apps: &[(Category, bool)], top_n: usize) -> Vec<CategoryRo
     let mut by_pop: Vec<(Category, usize)> =
         totals.iter().map(|(c, (_, total))| (*c, *total)).collect();
     by_pop.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    let rank_of: BTreeMap<Category, usize> =
-        by_pop.iter().enumerate().map(|(i, (c, _))| (*c, i + 1)).collect();
+    let rank_of: BTreeMap<Category, usize> = by_pop
+        .iter()
+        .enumerate()
+        .map(|(i, (c, _))| (*c, i + 1))
+        .collect();
 
     let mut rows: Vec<CategoryRow> = totals
         .into_iter()

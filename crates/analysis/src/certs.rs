@@ -38,16 +38,33 @@ pub fn classify_destination_pki(
         return PkiClass::DataUnavailable;
     };
     let chain = &server.chain;
-    let opts = ValidationOptions { check_hostname: false, ..Default::default() };
-    if validate_chain(chain.certs(), mozilla, destination, now, &RevocationList::empty(), &opts)
-        .is_ok()
+    let opts = ValidationOptions {
+        check_hostname: false,
+        ..Default::default()
+    };
+    if validate_chain(
+        chain.certs(),
+        mozilla,
+        destination,
+        now,
+        &RevocationList::empty(),
+        &opts,
+    )
+    .is_ok()
     {
         return PkiClass::DefaultPki;
     }
     // "Manual review": does the chain anchor in *any* public store?
     for store in all_public {
-        if validate_chain(chain.certs(), store, destination, now, &RevocationList::empty(), &opts)
-            .is_ok()
+        if validate_chain(
+            chain.certs(),
+            store,
+            destination,
+            now,
+            &RevocationList::empty(),
+            &opts,
+        )
+        .is_ok()
         {
             return PkiClass::DefaultPki;
         }
@@ -60,9 +77,7 @@ pub fn classify_destination_pki(
 pub fn is_self_signed_destination(network: &Network, destination: &str) -> bool {
     network
         .resolve(destination)
-        .and_then(|s| {
-            (s.chain.len() == 1).then(|| s.chain.leaf().map(|l| l.is_self_signed()))
-        })
+        .and_then(|s| (s.chain.len() == 1).then(|| s.chain.leaf().map(|l| l.is_self_signed())))
         .flatten()
         .unwrap_or(false)
 }
@@ -144,7 +159,9 @@ pub fn expired_but_pinned(
     let mut violations = Vec::new();
     for (res, now) in results {
         for dest in res.pinned_destinations() {
-            let Some(server) = network.resolve(dest) else { continue };
+            let Some(server) = network.resolve(dest) else {
+                continue;
+            };
             for cert in server.chain.certs() {
                 if !cert.tbs.validity.contains(*now) {
                     violations.push(dest.to_string());
@@ -186,7 +203,11 @@ mod tests {
     fn custom_pki_classification() {
         let w = world();
         // Find a custom-PKI destination planted by the generator, if any.
-        let custom = w.apps.iter().flat_map(|a| &a.pin_rules).find(|r| r.custom_pki);
+        let custom = w
+            .apps
+            .iter()
+            .flat_map(|a| &a.pin_rules)
+            .find(|r| r.custom_pki);
         if let Some(rule) = custom {
             let stores = [&w.universe.aosp_oem, &w.universe.ios];
             let class = classify_destination_pki(
@@ -220,10 +241,7 @@ mod tests {
             .apps
             .iter()
             .map(|a| {
-                crate::statics::analyze_package(
-                    &a.package,
-                    Some(w.config.ios_encryption_seed),
-                )
+                crate::statics::analyze_package(&a.package, Some(w.config.ios_encryption_seed))
             })
             .collect();
         let refs: Vec<&_> = findings.iter().collect();

@@ -43,6 +43,10 @@ impl CircumventionResult {
 
 /// Runs the instrumented MITM pass against `app` for the given pinned
 /// destinations (found earlier by the differential pipeline).
+///
+/// Under fault injection an aborted instrumented run simply reports every
+/// destination as not circumvented — the paper's operators did not retry
+/// this best-effort pass.
 pub fn circumvent_app(
     env: &DynamicEnv<'_>,
     app: &MobileApp,
@@ -54,12 +58,30 @@ pub fn circumvent_app(
     let device = env.device(app.id.platform);
     let mut cfg = RunConfig::mitm(&env.proxy);
     cfg.frida_disable_pinning = true;
-    cfg.run_tag = "mitm-frida";
-    let capture = device.run_app(app, &cfg);
+    cfg.run_tag = "mitm-frida".to_string();
+    cfg.faults = (!env.faults.is_quiet()).then_some(&env.faults);
+    let capture = match device.try_run_app(app, &cfg) {
+        Ok(capture) => capture,
+        Err(_) => {
+            // Run lost wholesale: nothing was opened.
+            return CircumventionResult {
+                destinations: pinned_destinations
+                    .iter()
+                    .map(|d| CircumventedDestination {
+                        destination: d.to_string(),
+                        succeeded: false,
+                        plaintexts: vec![],
+                    })
+                    .collect(),
+            };
+        }
+    };
 
     let mut per_dest: BTreeMap<&str, Vec<String>> = BTreeMap::new();
     for flow in &capture.flows {
-        let Some(sni) = flow.transcript.sni.as_deref() else { continue };
+        let Some(sni) = flow.transcript.sni.as_deref() else {
+            continue;
+        };
         if let Some(body) = &flow.decrypted_request {
             per_dest.entry(sni).or_default().push(body.clone());
         } else {
@@ -137,9 +159,16 @@ mod tests {
                     .filter(|c| c.domain == d.destination && c.pin_rule.is_some())
                     .map(|c| c.library)
                     .collect();
-                assert!(!libs.is_empty(), "pinned destination has a pinned connection");
+                assert!(
+                    !libs.is_empty(),
+                    "pinned destination has a pinned connection"
+                );
                 if libs.iter().all(|l| !l.frida_hookable()) {
-                    assert!(!d.succeeded, "unhookable stack must resist: {}", d.destination);
+                    assert!(
+                        !d.succeeded,
+                        "unhookable stack must resist: {}",
+                        d.destination
+                    );
                 } else if d.succeeded {
                     any_success = true;
                     assert!(!d.plaintexts.is_empty());

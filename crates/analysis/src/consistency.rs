@@ -87,10 +87,16 @@ pub fn compare(android: &PlatformObservation, ios: &PlatformObservation) -> Cons
     let android_unpinned = android.unpinned();
     let ios_unpinned = ios.unpinned();
 
-    let a_contradicted: Vec<&String> =
-        android.pinned.iter().filter(|d| ios_unpinned.contains(d.as_str())).collect();
-    let i_contradicted: Vec<&String> =
-        ios.pinned.iter().filter(|d| android_unpinned.contains(d.as_str())).collect();
+    let a_contradicted: Vec<&String> = android
+        .pinned
+        .iter()
+        .filter(|d| ios_unpinned.contains(d.as_str()))
+        .collect();
+    let i_contradicted: Vec<&String> = ios
+        .pinned
+        .iter()
+        .filter(|d| android_unpinned.contains(d.as_str()))
+        .collect();
 
     let common_pinned = android.pinned.intersection(&ios.pinned).count();
 
@@ -102,7 +108,13 @@ pub fn compare(android: &PlatformObservation, ios: &PlatformObservation) -> Cons
         ConsistencyClass::Inconclusive
     };
 
-    let pct = |n: usize, d: usize| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+    let pct = |n: usize, d: usize| {
+        if d == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / d as f64
+        }
+    };
     ConsistencyReport {
         class,
         jaccard_pinned: jaccard(&android.pinned, &ios.pinned),
@@ -135,7 +147,11 @@ pub struct CommonDatasetSummary {
 impl CommonDatasetSummary {
     /// Total pinning apps in the common dataset.
     pub fn total_pinners(&self) -> usize {
-        self.pin_both + self.android_only.0 + self.android_only.1 + self.ios_only.0 + self.ios_only.1
+        self.pin_both
+            + self.android_only.0
+            + self.android_only.1
+            + self.ios_only.0
+            + self.ios_only.1
     }
 }
 
@@ -251,7 +267,10 @@ mod tests {
             // both, identical
             (obs(&["x.com"], &["x.com"]), obs(&["x.com"], &["x.com"])),
             // both, inconsistent
-            (obs(&["x.com", "y.com"], &["x.com", "y.com"]), obs(&["x.com"], &["x.com", "y.com"])),
+            (
+                obs(&["x.com", "y.com"], &["x.com", "y.com"]),
+                obs(&["x.com"], &["x.com", "y.com"]),
+            ),
             // both, inconclusive (disjoint)
             (obs(&["a.com"], &["a.com"]), obs(&["b.com"], &["b.com"])),
             // android-only, inconsistent (domain shows unpinned on iOS)

@@ -30,8 +30,7 @@ impl AppDestinationProfile {
         if self.entries.is_empty() {
             return 0.0;
         }
-        100.0 * self.entries.iter().filter(|e| e.pinned).count() as f64
-            / self.entries.len() as f64
+        100.0 * self.entries.iter().filter(|e| e.pinned).count() as f64 / self.entries.len() as f64
     }
 
     /// Counts split four ways:
@@ -51,7 +50,11 @@ impl AppDestinationProfile {
 
     /// Whether the app pins every first-party destination it contacts.
     pub fn pins_all_first_party(&self) -> bool {
-        let fp: Vec<_> = self.entries.iter().filter(|e| e.party == Party::First).collect();
+        let fp: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|e| e.party == Party::First)
+            .collect();
         !fp.is_empty() && fp.iter().all(|e| e.pinned)
     }
 
@@ -79,7 +82,10 @@ pub fn profile_app(
             party: whois.attribute(&app.developer_org, d),
         })
         .collect();
-    AppDestinationProfile { app_name: app.name.clone(), entries }
+    AppDestinationProfile {
+        app_name: app.name.clone(),
+        entries,
+    }
 }
 
 /// §5 summary claim: the majority of *pinned* destinations are third-party.
@@ -108,7 +114,11 @@ mod tests {
     use super::*;
 
     fn entry(domain: &str, pinned: bool, party: Party) -> DestinationEntry {
-        DestinationEntry { domain: domain.into(), pinned, party }
+        DestinationEntry {
+            domain: domain.into(),
+            pinned,
+            party,
+        }
     }
 
     #[test]
@@ -143,23 +153,24 @@ mod tests {
 
     #[test]
     fn third_party_share() {
-        let profiles = vec![
-            AppDestinationProfile {
-                app_name: "A".into(),
-                entries: vec![
-                    entry("api.a.com", true, Party::First),
-                    entry("x.sdk.com", true, Party::Third),
-                    entry("y.sdk.com", true, Party::Third),
-                ],
-            },
-        ];
+        let profiles = vec![AppDestinationProfile {
+            app_name: "A".into(),
+            entries: vec![
+                entry("api.a.com", true, Party::First),
+                entry("x.sdk.com", true, Party::Third),
+                entry("y.sdk.com", true, Party::Third),
+            ],
+        }];
         assert!((third_party_share_of_pinned(&profiles) - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(third_party_share_of_pinned(&[]), 0.0);
     }
 
     #[test]
     fn empty_profile_is_zero_pct() {
-        let p = AppDestinationProfile { app_name: "E".into(), entries: vec![] };
+        let p = AppDestinationProfile {
+            app_name: "E".into(),
+            entries: vec![],
+        };
         assert_eq!(p.pct_pinned(), 0.0);
         assert!(!p.pins_everything());
         assert!(!p.pins_all_first_party());

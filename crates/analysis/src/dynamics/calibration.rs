@@ -32,11 +32,7 @@ impl SleepSweep {
 }
 
 /// Runs the sweep over `apps` with the given windows (paper: 15/30/60).
-pub fn sleep_time_sweep(
-    env: &DynamicEnv<'_>,
-    apps: &[&MobileApp],
-    windows: &[u32],
-) -> SleepSweep {
+pub fn sleep_time_sweep(env: &DynamicEnv<'_>, apps: &[&MobileApp], windows: &[u32]) -> SleepSweep {
     let mut mean_handshakes = Vec::with_capacity(windows.len());
     for &w in windows {
         let mut total = 0usize;
@@ -44,13 +40,17 @@ pub fn sleep_time_sweep(
             let device = env.device(app.id.platform);
             let mut cfg = RunConfig::baseline();
             cfg.window_secs = w;
-            cfg.run_tag = "calibration";
+            cfg.run_tag = "calibration".to_string();
             let capture = device.run_app(app, &cfg);
             total += capture.n_handshakes();
         }
         mean_handshakes.push(total as f64 / apps.len().max(1) as f64);
     }
-    SleepSweep { windows: windows.to_vec(), mean_handshakes, sample_size: apps.len() }
+    SleepSweep {
+        windows: windows.to_vec(),
+        mean_handshakes,
+        sample_size: apps.len(),
+    }
 }
 
 #[cfg(test)]

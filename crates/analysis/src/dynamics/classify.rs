@@ -43,13 +43,11 @@ pub fn classify_connection(t: &ConnectionTranscript) -> ConnStatus {
                 _ => true,
             }
         }
-        Some(_) => t
-            .records()
-            .any(|r| {
-                r.direction == Direction::ClientToServer
-                    && r.encrypted
-                    && r.wire_type == pinning_tls::ContentType::ApplicationData
-            }),
+        Some(_) => t.records().any(|r| {
+            r.direction == Direction::ClientToServer
+                && r.encrypted
+                && r.wire_type == pinning_tls::ContentType::ApplicationData
+        }),
         None => false,
     };
     if used {
@@ -84,7 +82,12 @@ mod tests {
     }
 
     fn enc(t: &mut ConnectionTranscript, version: TlsVersion, inner: ContentType, len: usize) {
-        t.push_record(RecordEvent::encrypted(Direction::ClientToServer, version, inner, len));
+        t.push_record(RecordEvent::encrypted(
+            Direction::ClientToServer,
+            version,
+            inner,
+            len,
+        ));
     }
 
     #[test]
@@ -99,7 +102,9 @@ mod tests {
     fn tls12_handshake_only_not_used() {
         let mut t = base(TlsVersion::V1_2);
         enc(&mut t, TlsVersion::V1_2, ContentType::Handshake, 44);
-        t.push_tcp(TcpEvent::Fin { from: Direction::ClientToServer });
+        t.push_tcp(TcpEvent::Fin {
+            from: Direction::ClientToServer,
+        });
         assert_eq!(classify_connection(&t), ConnStatus::Failed);
     }
 
@@ -108,7 +113,12 @@ mod tests {
         let mut t = base(TlsVersion::V1_3);
         enc(&mut t, TlsVersion::V1_3, ContentType::Handshake, 40); // Finished (disguised)
         enc(&mut t, TlsVersion::V1_3, ContentType::ApplicationData, 700);
-        enc(&mut t, TlsVersion::V1_3, ContentType::Alert, ENCRYPTED_ALERT_WIRE_LEN);
+        enc(
+            &mut t,
+            TlsVersion::V1_3,
+            ContentType::Alert,
+            ENCRYPTED_ALERT_WIRE_LEN,
+        );
         assert_eq!(classify_connection(&t), ConnStatus::Used);
     }
 
@@ -116,8 +126,15 @@ mod tests {
     fn tls13_finished_plus_alert_not_used() {
         let mut t = base(TlsVersion::V1_3);
         enc(&mut t, TlsVersion::V1_3, ContentType::Handshake, 40);
-        enc(&mut t, TlsVersion::V1_3, ContentType::Alert, ENCRYPTED_ALERT_WIRE_LEN);
-        t.push_tcp(TcpEvent::Fin { from: Direction::ClientToServer });
+        enc(
+            &mut t,
+            TlsVersion::V1_3,
+            ContentType::Alert,
+            ENCRYPTED_ALERT_WIRE_LEN,
+        );
+        t.push_tcp(TcpEvent::Fin {
+            from: Direction::ClientToServer,
+        });
         assert_eq!(classify_connection(&t), ConnStatus::Failed);
     }
 
@@ -136,7 +153,12 @@ mod tests {
         // *differential* comparison absorbs it.
         let mut t = base(TlsVersion::V1_3);
         enc(&mut t, TlsVersion::V1_3, ContentType::Handshake, 40);
-        enc(&mut t, TlsVersion::V1_3, ContentType::ApplicationData, ENCRYPTED_ALERT_WIRE_LEN);
+        enc(
+            &mut t,
+            TlsVersion::V1_3,
+            ContentType::ApplicationData,
+            ENCRYPTED_ALERT_WIRE_LEN,
+        );
         assert_eq!(classify_connection(&t), ConnStatus::Inconclusive);
     }
 
@@ -144,22 +166,31 @@ mod tests {
     fn rst_without_use_is_failed() {
         let mut t = base(TlsVersion::V1_3);
         enc(&mut t, TlsVersion::V1_3, ContentType::Handshake, 40);
-        t.push_tcp(TcpEvent::Rst { from: Direction::ClientToServer });
+        t.push_tcp(TcpEvent::Rst {
+            from: Direction::ClientToServer,
+        });
         assert_eq!(classify_connection(&t), ConnStatus::Failed);
     }
 
     #[test]
     fn server_drop_is_inconclusive() {
         let mut t = base(TlsVersion::V1_2);
-        t.push_tcp(TcpEvent::Rst { from: Direction::ServerToClient });
+        t.push_tcp(TcpEvent::Rst {
+            from: Direction::ServerToClient,
+        });
         assert_eq!(classify_connection(&t), ConnStatus::Inconclusive);
     }
 
     #[test]
     fn no_negotiation_is_not_used() {
-        let mut t = ConnectionTranscript { sni: Some("x.com".into()), ..Default::default() };
+        let mut t = ConnectionTranscript {
+            sni: Some("x.com".into()),
+            ..Default::default()
+        };
         t.push_tcp(TcpEvent::Established);
-        t.push_tcp(TcpEvent::Fin { from: Direction::ServerToClient });
+        t.push_tcp(TcpEvent::Fin {
+            from: Direction::ServerToClient,
+        });
         assert_eq!(classify_connection(&t), ConnStatus::Inconclusive);
     }
 }

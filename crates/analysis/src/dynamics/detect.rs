@@ -50,6 +50,11 @@ pub enum ExcludeReason {
     /// Some MITM connection was used or inconclusive-without-abort — not
     /// "always failed".
     NotAlwaysFailedUnderMitm,
+    /// An injected test-bed fault hit this destination in a way that
+    /// contaminates the differential comparison (§5.6 partial
+    /// observation): the destination's pinning status cannot be
+    /// determined from this capture pair.
+    Unobserved,
 }
 
 /// Verdict for one destination of one app.
@@ -72,6 +77,11 @@ pub struct DestinationVerdict {
 /// > "If a destination has any TLS connection that is used in the
 /// > non-MITM setting, but TLS connections that always failed in the MITM
 /// > setting, we mark it as pinned."
+///
+/// Destinations whose captures were contaminated by injected test-bed
+/// faults are marked [`ExcludeReason::Unobserved`] rather than classified:
+/// a fault-failed MITM connection is indistinguishable from a pin failure
+/// on the wire, and counting it would manufacture false positives.
 pub fn detect_pinned_destinations(
     baseline: &Capture,
     mitm: &Capture,
@@ -79,11 +89,17 @@ pub fn detect_pinned_destinations(
 ) -> Vec<DestinationVerdict> {
     let base_groups = baseline.by_destination();
     let mitm_groups = mitm.by_destination();
+    let base_faulted = baseline.faulted_domains();
+    let mitm_faulted = mitm.faulted_domains();
 
+    // Fault-only domains (e.g. DNS failures leave no flow at all) still
+    // get a verdict, so nothing silently disappears from the report.
     let all_destinations: BTreeSet<&str> = base_groups
         .keys()
         .chain(mitm_groups.keys())
         .copied()
+        .chain(base_faulted.iter().copied())
+        .chain(mitm_faulted.iter().copied())
         .collect();
 
     let mut verdicts = Vec::new();
@@ -122,15 +138,33 @@ pub fn detect_pinned_destinations(
         let mitm_statuses = statuses(&mitm_groups);
 
         verdict.used_baseline = base_statuses.contains(&ConnStatus::Used);
-        verdict.all_failed_mitm = !mitm_statuses.is_empty()
-            && mitm_statuses.iter().all(|s| *s == ConnStatus::Failed);
+        verdict.all_failed_mitm =
+            !mitm_statuses.is_empty() && mitm_statuses.iter().all(|s| *s == ConnStatus::Failed);
+        let mitm_used = mitm_statuses.contains(&ConnStatus::Used);
 
         if !verdict.used_baseline {
-            verdict.excluded = Some(ExcludeReason::NeverUsedBaseline);
-        } else if !verdict.all_failed_mitm {
-            verdict.excluded = Some(ExcludeReason::NotAlwaysFailedUnderMitm);
+            // A fault in the baseline run can explain the absence; a clean
+            // baseline that never used the destination is genuine.
+            verdict.excluded = if base_faulted.contains(dest) {
+                Some(ExcludeReason::Unobserved)
+            } else {
+                Some(ExcludeReason::NeverUsedBaseline)
+            };
+        } else if verdict.all_failed_mitm {
+            // The pinning signature — unless a fault hit the MITM run for
+            // this destination, in which case the failures prove nothing.
+            if mitm_faulted.contains(dest) {
+                verdict.excluded = Some(ExcludeReason::Unobserved);
+            } else {
+                verdict.pinned = true;
+            }
+        } else if !mitm_used && mitm_faulted.contains(dest) {
+            // Not "always failed" only because faults produced empty or
+            // inconclusive MITM observations: withhold judgment. (Any
+            // *used* MITM connection still rules out pinning outright.)
+            verdict.excluded = Some(ExcludeReason::Unobserved);
         } else {
-            verdict.pinned = true;
+            verdict.excluded = Some(ExcludeReason::NotAlwaysFailedUnderMitm);
         }
         verdicts.push(verdict);
     }
@@ -157,7 +191,12 @@ mod tests {
             (ContentType::ApplicationData, 600),
             (ContentType::Alert, 24),
         ] {
-            t.push_record(RecordEvent::encrypted(Direction::ClientToServer, TlsVersion::V1_3, inner, len));
+            t.push_record(RecordEvent::encrypted(
+                Direction::ClientToServer,
+                TlsVersion::V1_3,
+                inner,
+                len,
+            ));
         }
         FlowRecord {
             dest: dest.into(),
@@ -182,7 +221,9 @@ mod tests {
             ContentType::Alert,
             24,
         ));
-        t.push_tcp(TcpEvent::Fin { from: Direction::ClientToServer });
+        t.push_tcp(TcpEvent::Fin {
+            from: Direction::ClientToServer,
+        });
         let mut f = used_flow(dest);
         f.mitm_attempted = true;
         f.transcript = t;
@@ -190,7 +231,20 @@ mod tests {
     }
 
     fn capture(flows: Vec<FlowRecord>) -> Capture {
-        Capture { flows, window_secs: 30 }
+        Capture {
+            flows,
+            window_secs: 30,
+            faults: vec![],
+        }
+    }
+
+    fn faulted(mut cap: Capture, dest: &str, kind: pinning_netsim::FaultKind) -> Capture {
+        cap.faults.push(pinning_netsim::flow::FaultEvent {
+            domain: Some(dest.into()),
+            kind,
+            at_secs: 1,
+        });
+        cap
     }
 
     #[test]
@@ -236,7 +290,10 @@ mod tests {
         let mitm = capture(vec![failed_flow(d)]);
         let ex = Exclusions::ios(vec![]);
         let v = detect_pinned_destinations(&baseline, &mitm, &ex);
-        assert!(!v[0].pinned, "would be a false positive without the exclusion");
+        assert!(
+            !v[0].pinned,
+            "would be a false positive without the exclusion"
+        );
         assert_eq!(v[0].excluded, Some(ExcludeReason::AppleBackground));
     }
 
@@ -256,5 +313,77 @@ mod tests {
         let v = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
         assert!(!v[0].pinned);
         assert_eq!(v[0].excluded, Some(ExcludeReason::NeverUsedBaseline));
+    }
+
+    #[test]
+    fn mitm_fault_turns_pinning_signature_into_unobserved() {
+        // Wire-identical to a pin failure, but the journal says a fault
+        // hit the MITM run: must NOT be counted as pinned.
+        let baseline = capture(vec![used_flow("pin.com")]);
+        let mitm = faulted(
+            capture(vec![failed_flow("pin.com")]),
+            "pin.com",
+            pinning_netsim::FaultKind::Truncation,
+        );
+        let v = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+        assert!(
+            !v[0].pinned,
+            "fault-failed MITM flows must not read as pinning"
+        );
+        assert_eq!(v[0].excluded, Some(ExcludeReason::Unobserved));
+    }
+
+    #[test]
+    fn baseline_fault_absence_is_unobserved_not_never_used() {
+        // DNS fault wiped the baseline flow entirely; the destination is
+        // unobserved, not "never used".
+        let baseline = faulted(capture(vec![]), "gone.com", pinning_netsim::FaultKind::Dns);
+        let mitm = capture(vec![failed_flow("gone.com")]);
+        let v = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].excluded, Some(ExcludeReason::Unobserved));
+    }
+
+    #[test]
+    fn fault_only_destination_still_gets_a_verdict() {
+        // Faulted out of both runs: no flows at all, but the destination
+        // must still surface as unobserved rather than vanish.
+        let baseline = faulted(capture(vec![]), "dark.com", pinning_netsim::FaultKind::Dns);
+        let mitm = faulted(capture(vec![]), "dark.com", pinning_netsim::FaultKind::Dns);
+        let v = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].destination, "dark.com");
+        assert_eq!(v[0].excluded, Some(ExcludeReason::Unobserved));
+    }
+
+    #[test]
+    fn used_mitm_connection_beats_fault_exclusion() {
+        // A destination that demonstrably worked under MITM is not pinned,
+        // fault or no fault.
+        let baseline = capture(vec![used_flow("open.com")]);
+        let mitm = faulted(
+            capture(vec![used_flow("open.com")]),
+            "open.com",
+            pinning_netsim::FaultKind::TcpReset,
+        );
+        let v = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+        assert!(!v[0].pinned);
+        assert_eq!(v[0].excluded, Some(ExcludeReason::NotAlwaysFailedUnderMitm));
+    }
+
+    #[test]
+    fn unrelated_fault_does_not_contaminate_other_destinations() {
+        let baseline = capture(vec![used_flow("pin.com")]);
+        let mitm = faulted(
+            capture(vec![failed_flow("pin.com")]),
+            "other.com",
+            pinning_netsim::FaultKind::Dns,
+        );
+        let v = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
+        let pin = v.iter().find(|x| x.destination == "pin.com").unwrap();
+        assert!(
+            pin.pinned,
+            "faults on other destinations must not suppress detection"
+        );
     }
 }

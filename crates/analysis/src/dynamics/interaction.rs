@@ -48,7 +48,8 @@ fn distinct_domains(env: &DynamicEnv<'_>, app: &MobileApp, mode: Interaction) ->
         Interaction::None => "ix-none",
         Interaction::RandomUi => "ix-random",
         Interaction::Login => "ix-login",
-    };
+    }
+    .to_string();
     let capture = device.run_app(app, &cfg);
     let domains: BTreeSet<&str> = capture
         .flows

@@ -1,19 +1,50 @@
 //! The end-to-end dynamic pipeline for one app: baseline run, MITM run,
-//! differential comparison — including the iOS associated-domain handling
-//! and the two-minute-settle re-run (§4.5).
+//! differential comparison — including the iOS associated-domain handling,
+//! the two-minute-settle re-run (§4.5), and retry/degradation under
+//! injected test-bed faults (§5.6).
 
-use super::detect::{detect_pinned_destinations, DestinationVerdict, Exclusions};
+use super::detect::{detect_pinned_destinations, DestinationVerdict, ExcludeReason, Exclusions};
 use pinning_app::app::MobileApp;
 use pinning_app::pii::DeviceIdentity;
 use pinning_app::platform::Platform;
 use pinning_app::xml;
+use pinning_crypto::SplitMix64;
 use pinning_netsim::device::{Device, RunConfig};
+use pinning_netsim::faults::{FaultConfig, FaultPlan, MeasurementError};
 use pinning_netsim::flow::Capture;
 use pinning_netsim::network::Network;
 use pinning_netsim::proxy::MitmProxy;
 use pinning_pki::store::RootStore;
 use pinning_pki::time::SimTime;
-use pinning_crypto::SplitMix64;
+
+/// Bounded retry with deterministic backoff for faulted run pairs.
+///
+/// The paper's operators re-queued apps whose runs failed and gave up
+/// after a few tries; this policy reproduces that loop on the virtual
+/// clock. Backoff doubles per retry; the deadline bounds total virtual
+/// time spent on one app (settle + capture windows + backoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum (baseline, MITM) pair attempts per app, ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, seconds; doubles each retry.
+    pub backoff_secs: u32,
+    /// Virtual-time budget for one app, seconds.
+    pub deadline_secs: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // 3 attempts × 2 runs × (≤120 s settle + 30 s window) plus 30+60 s
+        // of backoff fits; the deadline only triggers on pathological
+        // settings.
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_secs: 30,
+            deadline_secs: 1800,
+        }
+    }
+}
 
 /// Shared environment for dynamic analysis: one network, one proxy, one
 /// test device per platform.
@@ -32,10 +63,14 @@ pub struct DynamicEnv<'a> {
     pub now: SimTime,
     /// Seed for run randomness.
     pub seed: u64,
+    /// Fault schedule applied to every run (quiet by default).
+    pub faults: FaultPlan,
+    /// Retry policy for faulted run pairs.
+    pub retry: RetryPolicy,
 }
 
 impl<'a> DynamicEnv<'a> {
-    /// Builds the environment.
+    /// Builds the environment (no fault injection, default retries).
     pub fn new(
         network: &'a Network,
         android_factory: RootStore,
@@ -46,7 +81,29 @@ impl<'a> DynamicEnv<'a> {
         let mut rng = SplitMix64::new(seed).derive("dynenv");
         let proxy = MitmProxy::new(&mut rng, now);
         let identity = DeviceIdentity::generate(&mut rng.derive("identity"));
-        DynamicEnv { network, proxy, android_factory, ios_factory, identity, now, seed }
+        DynamicEnv {
+            network,
+            proxy,
+            android_factory,
+            ios_factory,
+            identity,
+            now,
+            seed,
+            faults: FaultPlan::disabled(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Replaces the fault schedule (seeded from the environment seed).
+    pub fn with_faults(mut self, config: FaultConfig) -> Self {
+        self.faults = FaultPlan::new(self.seed, config);
+        self
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// A test device for `platform`, with the proxy CA installed.
@@ -95,11 +152,16 @@ impl AppDynamicResult {
     pub fn used_destinations(&self) -> Vec<&str> {
         self.verdicts
             .iter()
-            .filter(|v| v.used_baseline && v.excluded.is_none_or(|e| !matches!(
-                e,
-                super::detect::ExcludeReason::AppleBackground
-                    | super::detect::ExcludeReason::AssociatedDomain
-            )))
+            .filter(|v| {
+                v.used_baseline
+                    && v.excluded.is_none_or(|e| {
+                        !matches!(
+                            e,
+                            super::detect::ExcludeReason::AppleBackground
+                                | super::detect::ExcludeReason::AssociatedDomain
+                        )
+                    })
+            })
             .map(|v| v.destination.as_str())
             .collect()
     }
@@ -127,54 +189,162 @@ pub fn associated_domains_from_package(app: &MobileApp) -> Vec<String> {
     root.descendants("string", &mut strings);
     strings
         .iter()
-        .filter_map(|s| s.text_content().strip_prefix("applinks:").map(str::to_string))
+        .filter_map(|s| {
+            s.text_content()
+                .strip_prefix("applinks:")
+                .map(str::to_string)
+        })
         .collect()
 }
 
-/// Runs the full differential pipeline for one app.
+/// Runs one (baseline, MITM) pair with bounded retries on faults.
+///
+/// Attempt 0 uses the legacy run tags (`baseline…`/`mitm…`) so fault-free
+/// environments reproduce historical captures bit-for-bit; retries append
+/// an attempt marker, which re-keys the fault schedule — transient faults
+/// can clear on retry. A pair still faulted on the last attempt is
+/// *accepted*: detection marks the contaminated destinations
+/// [`ExcludeReason::Unobserved`]. Run-level aborts (crash, missing proxy
+/// CA) that persist through every attempt surface as errors, as does
+/// blowing the per-app virtual-time deadline.
+fn run_pair_with_retry(
+    env: &DynamicEnv<'_>,
+    device: &Device<'_>,
+    app: &MobileApp,
+    settle: u32,
+    tag_suffix: &str,
+    clock: &mut u64,
+) -> Result<(Capture, Capture), MeasurementError> {
+    let plan = (!env.faults.is_quiet()).then_some(&env.faults);
+    let max_attempts = env.retry.max_attempts.max(1);
+    for attempt in 0..max_attempts {
+        let last = attempt + 1 == max_attempts;
+        if attempt > 0 {
+            *clock += (env.retry.backoff_secs as u64) << (attempt - 1);
+        }
+
+        let marker = if attempt == 0 {
+            String::new()
+        } else {
+            format!("#r{attempt}")
+        };
+        let mut base_cfg = RunConfig::baseline();
+        base_cfg.settle_secs = settle;
+        base_cfg.run_tag = format!("baseline{tag_suffix}{marker}");
+        base_cfg.faults = plan;
+        let mut mitm_cfg = RunConfig::mitm(&env.proxy);
+        mitm_cfg.settle_secs = settle;
+        mitm_cfg.run_tag = format!("mitm{tag_suffix}{marker}");
+        mitm_cfg.faults = plan;
+
+        *clock += 2 * (settle + base_cfg.window_secs) as u64;
+        if *clock > env.retry.deadline_secs as u64 {
+            return Err(MeasurementError::Deadline);
+        }
+
+        let baseline = device.try_run_app(app, &base_cfg);
+        let mitm = device.try_run_app(app, &mitm_cfg);
+        match (baseline, mitm) {
+            (Ok(b), Ok(m)) => {
+                if (!b.has_faults() && !m.has_faults()) || last {
+                    return Ok((b, m));
+                }
+                // Faulted pair with retries left: run it again.
+            }
+            (b, m) => {
+                let abort = b.err().or(m.err()).expect("at least one run aborted");
+                if last {
+                    return Err(abort.as_error());
+                }
+            }
+        }
+    }
+    unreachable!("the final attempt always returns")
+}
+
+/// Whether a capture pair yielded *no* usable observation: faults fired
+/// and every destination ended up unobserved. Such an app must be
+/// recorded as degraded, not silently scored as "does not pin".
+fn fully_unobserved(
+    baseline: &Capture,
+    mitm: &Capture,
+    verdicts: &[DestinationVerdict],
+) -> Option<MeasurementError> {
+    if !baseline.has_faults() && !mitm.has_faults() {
+        return None;
+    }
+    let all_unobserved = !verdicts.is_empty()
+        && verdicts
+            .iter()
+            .all(|v| v.excluded == Some(ExcludeReason::Unobserved));
+    if !all_unobserved {
+        return None;
+    }
+    mitm.dominant_fault()
+        .or_else(|| baseline.dominant_fault())
+        .map(|k| k.as_error())
+}
+
+/// Runs the full differential pipeline for one app, surfacing measurement
+/// degradation as an error instead of a mis-classification.
 ///
 /// On iOS, runs once without settling; if pinning is detected, re-runs
 /// with a 120 s settle so associated-domain traffic cannot contaminate the
-/// result (§4.5's limited re-run applied automatically).
-pub fn analyze_app(env: &DynamicEnv<'_>, app: &MobileApp) -> AppDynamicResult {
+/// result (§4.5's limited re-run applied automatically). Faulted pairs are
+/// retried per [`DynamicEnv::retry`]; an app whose destinations all stayed
+/// unobserved — or whose runs kept aborting — yields the responsible
+/// [`MeasurementError`].
+pub fn try_analyze_app(
+    env: &DynamicEnv<'_>,
+    app: &MobileApp,
+) -> Result<AppDynamicResult, MeasurementError> {
     let device = env.device(app.id.platform);
     let exclusions = match app.id.platform {
         Platform::Android => Exclusions::none(),
         Platform::Ios => Exclusions::ios(associated_domains_from_package(app)),
     };
+    let mut clock: u64 = 0;
 
-    let run = |settle: u32, tag_suffix: &str| -> (Capture, Capture) {
-        let mut base_cfg = RunConfig::baseline();
-        base_cfg.settle_secs = settle;
-        let tag = format!("baseline{tag_suffix}");
-        base_cfg.run_tag = &tag;
-        let baseline = device.run_app(app, &base_cfg);
-
-        let mut mitm_cfg = RunConfig::mitm(&env.proxy);
-        mitm_cfg.settle_secs = settle;
-        let tag = format!("mitm{tag_suffix}");
-        mitm_cfg.run_tag = &tag;
-        let mitm = device.run_app(app, &mitm_cfg);
-        (baseline, mitm)
-    };
-
-    let (baseline, mitm) = run(0, "");
+    let (baseline, mitm) = run_pair_with_retry(env, &device, app, 0, "", &mut clock)?;
     let verdicts = detect_pinned_destinations(&baseline, &mitm, &exclusions);
+    if let Some(err) = fully_unobserved(&baseline, &mitm, &verdicts) {
+        return Err(err);
+    }
     let found_pinning = verdicts.iter().any(|v| v.pinned);
 
     if app.id.platform == Platform::Ios && found_pinning {
         // §4.5: re-run with a 2-minute settle; use the re-run's results.
-        let (baseline2, mitm2) = run(120, "-settled");
+        let (baseline2, mitm2) =
+            run_pair_with_retry(env, &device, app, 120, "-settled", &mut clock)?;
         let verdicts2 = detect_pinned_destinations(&baseline2, &mitm2, &exclusions);
-        return AppDynamicResult {
+        if let Some(err) = fully_unobserved(&baseline2, &mitm2, &verdicts2) {
+            return Err(err);
+        }
+        return Ok(AppDynamicResult {
             verdicts: verdicts2,
             baseline: baseline2,
             mitm: mitm2,
             settled_rerun: true,
-        };
+        });
     }
 
-    AppDynamicResult { verdicts, baseline, mitm, settled_rerun: false }
+    Ok(AppDynamicResult {
+        verdicts,
+        baseline,
+        mitm,
+        settled_rerun: false,
+    })
+}
+
+/// Infallible wrapper around [`try_analyze_app`] for fault-free
+/// environments (the default): without a fault plan no run can abort and
+/// the default deadline is never hit.
+///
+/// Panics if the environment has faults configured and the app degrades —
+/// fault-injecting callers must use [`try_analyze_app`].
+pub fn analyze_app(env: &DynamicEnv<'_>, app: &MobileApp) -> AppDynamicResult {
+    try_analyze_app(env, app)
+        .expect("measurement degraded under fault injection; use try_analyze_app")
 }
 
 #[cfg(test)]
@@ -244,11 +414,18 @@ mod tests {
             // the 30 s window is simply not observed — §5.6 "Partial
             // Observation".)
             for d in &detected {
-                assert!(truth.contains(d), "false pinned destination {d} in {}", app.id);
+                assert!(
+                    truth.contains(d),
+                    "false pinned destination {d} in {}",
+                    app.id
+                );
             }
             any_detected |= !detected.is_empty();
         }
-        assert!(any_detected, "at least one pinner must be caught in the window");
+        assert!(
+            any_detected,
+            "at least one pinner must be caught in the window"
+        );
     }
 
     #[test]

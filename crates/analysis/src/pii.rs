@@ -35,7 +35,10 @@ impl Contingency {
 
     /// Prevalence among non-pinned flows, percent.
     pub fn unpinned_pct(&self) -> f64 {
-        pct(self.unpinned_with, self.unpinned_with + self.unpinned_without)
+        pct(
+            self.unpinned_with,
+            self.unpinned_with + self.unpinned_without,
+        )
     }
 
     /// Pearson chi-square statistic for independence (1 d.f.).
@@ -137,7 +140,11 @@ mod tests {
             unpinned_with: 40,
             unpinned_without: 10,
         };
-        assert!((t.chi_square() - 16.6667).abs() < 0.01, "{}", t.chi_square());
+        assert!(
+            (t.chi_square() - 16.6667).abs() < 0.01,
+            "{}",
+            t.chi_square()
+        );
         assert!(t.significant());
     }
 
@@ -156,7 +163,11 @@ mod tests {
     #[test]
     fn chi_square_degenerate_cases() {
         assert_eq!(Contingency::default().chi_square(), 0.0);
-        let t = Contingency { pinned_with: 5, pinned_without: 5, ..Default::default() };
+        let t = Contingency {
+            pinned_with: 5,
+            pinned_without: 5,
+            ..Default::default()
+        };
         assert_eq!(t.chi_square(), 0.0); // empty unpinned margin
     }
 

@@ -20,7 +20,12 @@ pub fn any_weak_pinned_offer(result: &AppDynamicResult) -> bool {
         .baseline
         .flows
         .iter()
-        .filter(|f| f.transcript.sni.as_deref().is_some_and(|s| pinned.contains(s)))
+        .filter(|f| {
+            f.transcript
+                .sni
+                .as_deref()
+                .is_some_and(|s| pinned.contains(s))
+        })
         .any(|f| f.transcript.offered_ciphers.iter().any(|c| c.is_weak()))
 }
 
@@ -41,10 +46,19 @@ pub struct WeakCipherRow {
 /// Computes a Table 8 row over one dataset's results.
 pub fn weak_cipher_row(results: &[&AppDynamicResult]) -> WeakCipherRow {
     let total_apps = results.len();
-    let overall = results.iter().filter(|r| any_weak_offer(&r.baseline)).count();
+    let overall = results
+        .iter()
+        .filter(|r| any_weak_offer(&r.baseline))
+        .count();
     let pinners: Vec<_> = results.iter().filter(|r| r.pins()).collect();
     let pinning_weak = pinners.iter().filter(|r| any_weak_pinned_offer(r)).count();
-    let pct = |n: usize, d: usize| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+    let pct = |n: usize, d: usize| {
+        if d == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / d as f64
+        }
+    };
     WeakCipherRow {
         overall_pct: pct(overall, total_apps),
         pinning_pct: pct(pinning_weak, pinners.len()),
@@ -85,8 +99,16 @@ mod tests {
         let a_row = weak_cipher_row(&a_refs);
         let i_row = weak_cipher_row(&i_refs);
         // Table 8 shape: iOS overall ≈ 80–95%, Android ≈ 3–20%.
-        assert!(i_row.overall_pct > 60.0, "iOS overall {}", i_row.overall_pct);
-        assert!(a_row.overall_pct < 40.0, "Android overall {}", a_row.overall_pct);
+        assert!(
+            i_row.overall_pct > 60.0,
+            "iOS overall {}",
+            i_row.overall_pct
+        );
+        assert!(
+            a_row.overall_pct < 40.0,
+            "Android overall {}",
+            a_row.overall_pct
+        );
         assert!(i_row.overall_pct > a_row.overall_pct + 30.0);
     }
 

@@ -65,10 +65,16 @@ pub fn attribute(
                 continue;
             }
             for loc in &f.embedded_certs {
-                apps_per_path.entry(loc.path.as_str()).or_default().insert(idx);
+                apps_per_path
+                    .entry(loc.path.as_str())
+                    .or_default()
+                    .insert(idx);
             }
             for loc in &f.pin_strings {
-                apps_per_path.entry(loc.path.as_str()).or_default().insert(idx);
+                apps_per_path
+                    .entry(loc.path.as_str())
+                    .or_default()
+                    .insert(idx);
             }
         }
 
@@ -81,7 +87,10 @@ pub fn attribute(
             }
             match attribute_path(path, platform) {
                 Some(name) => {
-                    per_framework.entry(name).or_default().extend(apps.iter().copied());
+                    per_framework
+                        .entry(name)
+                        .or_default()
+                        .extend(apps.iter().copied());
                 }
                 None => unattributed.push((path.to_string(), apps.len())),
             }
@@ -95,7 +104,13 @@ pub fn attribute(
             })
             .collect();
         frameworks.sort_by(|a, b| b.apps.cmp(&a.apps).then(a.framework.cmp(&b.framework)));
-        out.insert(platform, AttributionReport { frameworks, unattributed_paths: unattributed });
+        out.insert(
+            platform,
+            AttributionReport {
+                frameworks,
+                unattributed_paths: unattributed,
+            },
+        );
     }
     out
 }
@@ -110,7 +125,10 @@ mod tests {
         StaticFindings {
             pin_strings: vec![Located {
                 path: path.to_string(),
-                value: FoundPin { raw: "sha256/x".into(), parsed: None },
+                value: FoundPin {
+                    raw: "sha256/x".into(),
+                    parsed: None,
+                },
             }],
             ..Default::default()
         }
@@ -123,10 +141,16 @@ mod tests {
             Some("Braintree")
         );
         assert_eq!(
-            attribute_path("Payload/App.app/Frameworks/Stripe.framework/ca.pem", Platform::Ios),
+            attribute_path(
+                "Payload/App.app/Frameworks/Stripe.framework/ca.pem",
+                Platform::Ios
+            ),
             Some("Stripe")
         );
-        assert_eq!(attribute_path("assets/random/thing.pem", Platform::Android), None);
+        assert_eq!(
+            attribute_path("assets/random/thing.pem", Platform::Android),
+            None
+        );
     }
 
     #[test]
@@ -138,10 +162,18 @@ mod tests {
         let report = attribute(&few);
         assert!(report[&Platform::Android].frameworks.is_empty());
 
-        let many: Vec<_> = (0..REVIEW_THRESHOLD).map(|_| (&base, Platform::Android)).collect();
+        let many: Vec<_> = (0..REVIEW_THRESHOLD)
+            .map(|_| (&base, Platform::Android))
+            .collect();
         let report = attribute(&many);
-        assert_eq!(report[&Platform::Android].frameworks[0].framework, "MParticle");
-        assert_eq!(report[&Platform::Android].frameworks[0].apps, REVIEW_THRESHOLD);
+        assert_eq!(
+            report[&Platform::Android].frameworks[0].framework,
+            "MParticle"
+        );
+        assert_eq!(
+            report[&Platform::Android].frameworks[0].apps,
+            REVIEW_THRESHOLD
+        );
     }
 
     #[test]
@@ -171,7 +203,10 @@ mod tests {
             rows.push((&ios, Platform::Ios));
         }
         let report = attribute(&rows);
-        assert_eq!(report[&Platform::Android].frameworks[0].framework, "MParticle");
+        assert_eq!(
+            report[&Platform::Android].frameworks[0].framework,
+            "MParticle"
+        );
         assert_eq!(report[&Platform::Ios].frameworks[0].framework, "Amplitude");
     }
 }

@@ -17,8 +17,7 @@ const MIN_STRING_LEN: usize = 6;
 pub fn scan_files(package: &AppPackage, findings: &mut StaticFindings) {
     for file in &package.files {
         let ext = file.extension();
-        let is_cert_ext =
-            ext.as_deref().is_some_and(|e| CERT_EXTENSIONS.contains(&e));
+        let is_cert_ext = ext.as_deref().is_some_and(|e| CERT_EXTENSIONS.contains(&e));
 
         match &file.content {
             FileContent::Text(text) => {
@@ -31,9 +30,10 @@ pub fn scan_files(package: &AppPackage, findings: &mut StaticFindings) {
                 if is_cert_ext {
                     // Try DER first, then PEM-in-binary.
                     if let Ok(cert) = Certificate::from_der(bytes) {
-                        findings
-                            .embedded_certs
-                            .push(Located { path: file.path.clone(), value: cert });
+                        findings.embedded_certs.push(Located {
+                            path: file.path.clone(),
+                            value: cert,
+                        });
                     } else if let Ok(text) = core::str::from_utf8(bytes) {
                         collect_pem_certs(&file.path, text, findings);
                     }
@@ -56,7 +56,10 @@ fn collect_pem_certs(path: &str, text: &str, findings: &mut StaticFindings) {
     };
     for der in ders {
         if let Ok(cert) = Certificate::from_der(&der) {
-            findings.embedded_certs.push(Located { path: path.to_string(), value: cert });
+            findings.embedded_certs.push(Located {
+                path: path.to_string(),
+                value: cert,
+            });
         }
     }
 }
@@ -77,11 +80,11 @@ mod tests {
     use crate::statics::analyze_package;
     use pinning_app::package::{binary_with_strings, AppFile, AppPackage};
     use pinning_app::platform::Platform;
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
     use pinning_pki::authority::CertificateAuthority;
     use pinning_pki::name::DistinguishedName;
     use pinning_pki::time::{SimTime, Validity, YEAR};
-    use pinning_crypto::sig::KeyPair;
-    use pinning_crypto::SplitMix64;
 
     fn cert(seed: u64) -> Certificate {
         let mut rng = SplitMix64::new(seed);
@@ -91,7 +94,12 @@ mod tests {
             SimTime(0),
         );
         let k = KeyPair::generate(&mut rng);
-        root.issue_leaf(&["api.x.com".to_string()], "X", &k, Validity::starting(SimTime(0), YEAR))
+        root.issue_leaf(
+            &["api.x.com".to_string()],
+            "X",
+            &k,
+            Validity::starting(SimTime(0), YEAR),
+        )
     }
 
     #[test]
@@ -123,10 +131,17 @@ mod tests {
         let c = cert(3);
         let pkg = AppPackage::new(
             Platform::Android,
-            vec![AppFile::text("assets/trust.txt", format!("junk\n{}\n", c.to_pem()))],
+            vec![AppFile::text(
+                "assets/trust.txt",
+                format!("junk\n{}\n", c.to_pem()),
+            )],
         );
         let f = analyze_package(&pkg, None);
-        assert_eq!(f.embedded_certs.len(), 1, "delimiter search must catch non-cert extensions");
+        assert_eq!(
+            f.embedded_certs.len(),
+            1,
+            "delimiter search must catch non-cert extensions"
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ pub fn analyze_package(package: &AppPackage, decryption_key: Option<u64>) -> Sta
                 &decrypted
             }
             None => {
-                return StaticFindings { scan_blocked_encrypted: true, ..Default::default() }
+                return StaticFindings {
+                    scan_blocked_encrypted: true,
+                    ..Default::default()
+                }
             }
         }
     } else {

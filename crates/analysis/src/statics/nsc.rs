@@ -30,7 +30,9 @@ pub fn scan_nsc(package: &AppPackage, findings: &mut StaticFindings) {
     };
     let mut apps = Vec::new();
     manifest.descendants("application", &mut apps);
-    let Some(reference) = apps.iter().find_map(|a| a.get_attr("android:networkSecurityConfig"))
+    let Some(reference) = apps
+        .iter()
+        .find_map(|a| a.get_attr("android:networkSecurityConfig"))
     else {
         return;
     };
@@ -60,12 +62,12 @@ mod tests {
     use pinning_app::builder::{build_package, BuildSpec};
     use pinning_app::pinning::{DomainPinRule, PinSource, PinStorage, PinTarget};
     use pinning_app::platform::AppId;
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
     use pinning_pki::authority::CertificateAuthority;
     use pinning_pki::name::DistinguishedName;
     use pinning_pki::pin::PinAlgorithm;
     use pinning_pki::time::{SimTime, Validity, YEAR};
-    use pinning_crypto::sig::KeyPair;
-    use pinning_crypto::SplitMix64;
 
     fn built(with_nsc_rule: bool, misconfig: bool) -> pinning_app::package::AppPackage {
         let mut rng = SplitMix64::new(0x5c);

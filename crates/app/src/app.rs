@@ -53,7 +53,9 @@ impl MobileApp {
 
     /// Whether any pin artifact is statically visible in the package.
     pub fn has_static_pin_artifacts(&self) -> bool {
-        self.pin_rules.iter().any(|r| r.storage.statically_visible())
+        self.pin_rules
+            .iter()
+            .any(|r| r.storage.statically_visible())
     }
 
     /// The first active rule applying to `hostname`, with its index.
@@ -94,12 +96,12 @@ mod tests {
     use crate::behavior::PlannedConnection;
     use crate::pinning::{PinSource, PinStorage, PinTarget};
     use crate::platform::Platform;
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
     use pinning_pki::authority::CertificateAuthority;
     use pinning_pki::name::DistinguishedName;
     use pinning_pki::pin::PinAlgorithm;
     use pinning_pki::time::{SimTime, Validity, YEAR};
-    use pinning_crypto::sig::KeyPair;
-    use pinning_crypto::SplitMix64;
     use pinning_tls::TlsLibrary;
 
     fn sample_app(active: bool, contacted: bool) -> MobileApp {
@@ -141,7 +143,9 @@ mod tests {
             first_party_domains: vec!["api.shop.com".into()],
             associated_domains: vec![],
             uses_nsc: false,
-            behavior: AppBehavior { connections: vec![conn] },
+            behavior: AppBehavior {
+                connections: vec![conn],
+            },
             package: AppPackage::new(Platform::Android, vec![]),
         }
     }
@@ -149,8 +153,14 @@ mod tests {
     #[test]
     fn runtime_pinning_requires_active_rule_and_contact() {
         assert!(sample_app(true, true).pins_at_runtime());
-        assert!(!sample_app(false, true).pins_at_runtime(), "dead code never pins");
-        assert!(!sample_app(true, false).pins_at_runtime(), "uncontacted rule never pins");
+        assert!(
+            !sample_app(false, true).pins_at_runtime(),
+            "dead code never pins"
+        );
+        assert!(
+            !sample_app(true, false).pins_at_runtime(),
+            "uncontacted rule never pins"
+        );
     }
 
     #[test]
@@ -164,12 +174,18 @@ mod tests {
         assert!(app.pin_rule_for("api.shop.com").is_some());
         assert!(app.pin_rule_for("other.com").is_none());
         let dead = sample_app(false, true);
-        assert!(dead.pin_rule_for("api.shop.com").is_none(), "dead rules don't apply");
+        assert!(
+            dead.pin_rule_for("api.shop.com").is_none(),
+            "dead rules don't apply"
+        );
     }
 
     #[test]
     fn runtime_pinned_domains_lists_contacted_pinned() {
-        assert_eq!(sample_app(true, true).runtime_pinned_domains(), vec!["api.shop.com"]);
+        assert_eq!(
+            sample_app(true, true).runtime_pinned_domains(),
+            vec!["api.shop.com"]
+        );
         assert!(sample_app(true, false).runtime_pinned_domains().is_empty());
     }
 }

@@ -96,8 +96,10 @@ impl AppBehavior {
 
     /// Distinct domains contacted within the window.
     pub fn domains_within(&self, window_secs: u32, mode: Interaction) -> Vec<&str> {
-        let mut out: Vec<&str> =
-            self.within_window(window_secs, mode).map(|c| c.domain.as_str()).collect();
+        let mut out: Vec<&str> = self
+            .within_window(window_secs, mode)
+            .map(|c| c.domain.as_str())
+            .collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -115,27 +117,39 @@ mod tests {
         late.at_secs = 45;
         let mut ui_only = PlannedConnection::simple("c.com", TlsLibrary::OkHttp);
         ui_only.requires_interaction = Interaction::RandomUi;
-        AppBehavior { connections: vec![early, late, ui_only] }
+        AppBehavior {
+            connections: vec![early, late, ui_only],
+        }
     }
 
     #[test]
     fn window_filters_by_time() {
         let b = behavior();
         assert_eq!(b.domains_within(30, Interaction::None), vec!["a.com"]);
-        assert_eq!(b.domains_within(60, Interaction::None), vec!["a.com", "b.com"]);
+        assert_eq!(
+            b.domains_within(60, Interaction::None),
+            vec!["a.com", "b.com"]
+        );
     }
 
     #[test]
     fn interaction_gating() {
         let b = behavior();
-        assert_eq!(b.domains_within(30, Interaction::RandomUi), vec!["a.com", "c.com"]);
-        assert_eq!(b.domains_within(30, Interaction::Login), vec!["a.com", "c.com"]);
+        assert_eq!(
+            b.domains_within(30, Interaction::RandomUi),
+            vec!["a.com", "c.com"]
+        );
+        assert_eq!(
+            b.domains_within(30, Interaction::Login),
+            vec!["a.com", "c.com"]
+        );
     }
 
     #[test]
     fn duplicate_domains_deduped() {
         let mut b = behavior();
-        b.connections.push(PlannedConnection::simple("a.com", TlsLibrary::Conscrypt));
+        b.connections
+            .push(PlannedConnection::simple("a.com", TlsLibrary::Conscrypt));
         assert_eq!(b.domains_within(30, Interaction::None), vec!["a.com"]);
     }
 

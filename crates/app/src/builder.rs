@@ -15,9 +15,9 @@ use crate::pinning::{DomainPinRule, PinSource, PinStorage};
 use crate::platform::{AppId, Platform};
 use crate::sdk::{self, SdkSpec};
 use crate::xml::Element;
+use pinning_crypto::SplitMix64;
 use pinning_pki::pin::Pin;
 use pinning_pki::Certificate;
-use pinning_crypto::SplitMix64;
 
 /// Inputs for a package build.
 #[derive(Debug)]
@@ -155,17 +155,25 @@ fn build_android(spec: &BuildSpec<'_>, rng: &mut SplitMix64) -> AppPackage {
                 trust_user_certs: false,
             });
         }
-        files.push(AppFile::text("res/xml/network_security_config.xml", nsc.to_xml()));
+        files.push(AppFile::text(
+            "res/xml/network_security_config.xml",
+            nsc.to_xml(),
+        ));
     }
 
     // --- Manifest ---
     let mut application = Element::new("application").attr("android:label", spec.app_name);
     if uses_nsc {
-        application =
-            application.attr("android:networkSecurityConfig", "@xml/network_security_config");
+        application = application.attr(
+            "android:networkSecurityConfig",
+            "@xml/network_security_config",
+        );
     }
     let manifest = Element::new("manifest")
-        .attr("xmlns:android", "http://schemas.android.com/apk/res/android")
+        .attr(
+            "xmlns:android",
+            "http://schemas.android.com/apk/res/android",
+        )
         .attr("package", spec.id.id.clone())
         .child(Element::new("uses-permission").attr("android:name", "android.permission.INTERNET"))
         .child(application);
@@ -200,10 +208,7 @@ fn build_android(spec: &BuildSpec<'_>, rng: &mut SplitMix64) -> AppPackage {
                             rule.pattern,
                             strings.join("\";\n    const-string v1, \"")
                         );
-                        files.push(AppFile::text(
-                            format!("smali/{path}/ApiClient.smali"),
-                            body,
-                        ));
+                        files.push(AppFile::text(format!("smali/{path}/ApiClient.smali"), body));
                     }
                     PinSource::FirstParty => {
                         dex_strings.push("Lokhttp3/CertificatePinner;".to_string());
@@ -238,7 +243,10 @@ fn build_android(spec: &BuildSpec<'_>, rng: &mut SplitMix64) -> AppPackage {
 
     // --- Decoys ---
     for (i, cert) in spec.decoy_certs.iter().enumerate() {
-        files.push(AppFile::text(format!("res/raw/bundled_ca_{i}.pem"), cert.to_pem()));
+        files.push(AppFile::text(
+            format!("res/raw/bundled_ca_{i}.pem"),
+            cert.to_pem(),
+        ));
     }
     files.push(AppFile::text(
         "assets/config.json",
@@ -266,7 +274,10 @@ fn build_ios(spec: &BuildSpec<'_>, rng: &mut SplitMix64) -> AppPackage {
                     .child(Element::new("false")),
             ),
     );
-    files.push(AppFile::text(format!("{app_root}/Info.plist"), plist.to_document()));
+    files.push(AppFile::text(
+        format!("{app_root}/Info.plist"),
+        plist.to_document(),
+    ));
 
     // --- Entitlements: associated domains (§4.5's confounder) ---
     let mut domains_el = Element::new("array");
@@ -278,7 +289,10 @@ fn build_ios(spec: &BuildSpec<'_>, rng: &mut SplitMix64) -> AppPackage {
             .child(Element::new("key").text("com.apple.developer.associated-domains"))
             .child(domains_el),
     );
-    files.push(AppFile::text(format!("{app_root}/App.entitlements"), ents.to_document()));
+    files.push(AppFile::text(
+        format!("{app_root}/App.entitlements"),
+        ents.to_document(),
+    ));
 
     // --- Main binary + SDK frameworks ---
     let mut main_strings: Vec<String> = vec![
@@ -288,7 +302,10 @@ fn build_ios(spec: &BuildSpec<'_>, rng: &mut SplitMix64) -> AppPackage {
     ];
     let mut sdk_strings: std::collections::HashMap<&'static str, Vec<String>> = Default::default();
     for s in spec.sdks {
-        sdk_strings.entry(s.name).or_default().push(format!("{}/Headers", s.ios_path));
+        sdk_strings
+            .entry(s.name)
+            .or_default()
+            .push(format!("{}/Headers", s.ios_path));
     }
     for rule in spec.pin_rules {
         let strings = pin_strings(rule);
@@ -350,11 +367,11 @@ fn build_ios(spec: &BuildSpec<'_>, rng: &mut SplitMix64) -> AppPackage {
 mod tests {
     use super::*;
     use crate::pinning::{CertAssetFormat, PinTarget};
+    use pinning_crypto::sig::KeyPair;
     use pinning_pki::authority::CertificateAuthority;
     use pinning_pki::name::DistinguishedName;
     use pinning_pki::pin::PinAlgorithm;
     use pinning_pki::time::{SimTime, Validity, YEAR};
-    use pinning_crypto::sig::KeyPair;
 
     fn cert(seed: u64) -> Certificate {
         let mut rng = SplitMix64::new(seed);
@@ -364,7 +381,12 @@ mod tests {
             SimTime(0),
         );
         let k = KeyPair::generate(&mut rng);
-        root.issue_leaf(&["api.x.com".to_string()], "X", &k, Validity::starting(SimTime(0), YEAR))
+        root.issue_leaf(
+            &["api.x.com".to_string()],
+            "X",
+            &k,
+            Validity::starting(SimTime(0), YEAR),
+        )
     }
 
     fn android_id() -> AppId {
@@ -400,7 +422,12 @@ mod tests {
         let pkg = build_package(&spec, &mut SplitMix64::new(1));
         let nsc = pkg.file("res/xml/network_security_config.xml").unwrap();
         assert!(nsc.content.as_text().unwrap().contains("pin-set"));
-        let manifest = pkg.file("AndroidManifest.xml").unwrap().content.as_text().unwrap();
+        let manifest = pkg
+            .file("AndroidManifest.xml")
+            .unwrap()
+            .content
+            .as_text()
+            .unwrap();
         assert!(manifest.contains("networkSecurityConfig"));
     }
 
@@ -490,7 +517,8 @@ mod tests {
         assert!(pkg
             .files
             .iter()
-            .any(|f| f.path.starts_with("assets/com/braintreepayments/api/") && f.path.ends_with(".pem")));
+            .any(|f| f.path.starts_with("assets/com/braintreepayments/api/")
+                && f.path.ends_with(".pem")));
     }
 
     #[test]
@@ -528,7 +556,10 @@ mod tests {
             .contains("CFBundleIdentifier"));
         let main = pkg.file("Payload/App.app/App").unwrap();
         let strings = crate::package::extract_strings(main.content.as_bytes(), 6);
-        assert!(!strings.iter().any(|s| s.contains("sha256/")), "pin hidden by encryption");
+        assert!(
+            !strings.iter().any(|s| s.contains("sha256/")),
+            "pin hidden by encryption"
+        );
         // Decrypt (flexdecrypt sim) reveals it.
         let dec = pkg.decrypt(0xabc);
         let main = dec.file("Payload/App.app/App").unwrap();
@@ -539,7 +570,10 @@ mod tests {
     #[test]
     fn ios_entitlements_carry_associated_domains() {
         let id = ios_id();
-        let domains = vec!["shop.example.com".to_string(), "www.shop.example.com".to_string()];
+        let domains = vec![
+            "shop.example.com".to_string(),
+            "www.shop.example.com".to_string(),
+        ];
         let spec = BuildSpec {
             id: &id,
             app_name: "Shop",
@@ -602,8 +636,11 @@ mod tests {
             ios_encryption_seed: None,
         };
         let pkg = build_package(&spec, &mut SplitMix64::new(8));
-        let pem_files =
-            pkg.files.iter().filter(|f| f.path.ends_with(".pem")).count();
+        let pem_files = pkg
+            .files
+            .iter()
+            .filter(|f| f.path.ends_with(".pem"))
+            .count();
         assert_eq!(pem_files, 2);
     }
 }

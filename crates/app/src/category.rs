@@ -154,7 +154,10 @@ mod tests {
     fn platform_labels_differ_where_expected() {
         assert_eq!(Category::Tools.label_on(Platform::Android), "Tools");
         assert_eq!(Category::Tools.label_on(Platform::Ios), "Utilities");
-        assert_eq!(Category::Social.label_on(Platform::Ios), "Social Networking");
+        assert_eq!(
+            Category::Social.label_on(Platform::Ios),
+            "Social Networking"
+        );
         assert_eq!(Category::Games.label_on(Platform::Ios), "Games");
     }
 

@@ -28,7 +28,10 @@ pub struct NscPin {
 impl NscPin {
     /// Builds a pin entry for `cert`'s SPKI.
     pub fn for_cert(cert: &Certificate) -> Self {
-        NscPin { digest: "SHA-256".to_string(), value_b64: b64encode(&cert.spki_sha256()) }
+        NscPin {
+            digest: "SHA-256".to_string(),
+            value_b64: b64encode(&cert.spki_sha256()),
+        }
     }
 }
 
@@ -94,7 +97,9 @@ impl NetworkSecurityConfig {
                 }
                 for pin in &dc.pins {
                     ps = ps.child(
-                        Element::new("pin").attr("digest", pin.digest.clone()).text(pin.value_b64.clone()),
+                        Element::new("pin")
+                            .attr("digest", pin.digest.clone())
+                            .text(pin.value_b64.clone()),
                     );
                 }
                 el = el.child(ps);
@@ -103,7 +108,11 @@ impl NetworkSecurityConfig {
                 let mut ta = Element::new("trust-anchors");
                 let mut certs = Element::new("certificates").attr(
                     "src",
-                    if dc.trust_user_certs { "user" } else { "system" },
+                    if dc.trust_user_certs {
+                        "user"
+                    } else {
+                        "system"
+                    },
                 );
                 if dc.override_pins {
                     certs = certs.attr("overridePins", "true");
@@ -160,11 +169,11 @@ impl NetworkSecurityConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
     use pinning_pki::authority::CertificateAuthority;
     use pinning_pki::name::DistinguishedName;
     use pinning_pki::time::{SimTime, Validity, YEAR};
-    use pinning_crypto::sig::KeyPair;
-    use pinning_crypto::SplitMix64;
 
     fn cert() -> Certificate {
         let mut rng = SplitMix64::new(0x115c);
@@ -174,7 +183,12 @@ mod tests {
             SimTime(0),
         );
         let k = KeyPair::generate(&mut rng);
-        root.issue_leaf(&["api.x.com".to_string()], "X", &k, Validity::starting(SimTime(0), YEAR))
+        root.issue_leaf(
+            &["api.x.com".to_string()],
+            "X",
+            &k,
+            Validity::starting(SimTime(0), YEAR),
+        )
     }
 
     fn sample() -> NetworkSecurityConfig {

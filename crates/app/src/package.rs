@@ -57,12 +57,18 @@ pub struct AppFile {
 impl AppFile {
     /// Creates a text file.
     pub fn text(path: impl Into<String>, content: impl Into<String>) -> Self {
-        AppFile { path: path.into(), content: FileContent::Text(content.into()) }
+        AppFile {
+            path: path.into(),
+            content: FileContent::Text(content.into()),
+        }
     }
 
     /// Creates a binary file.
     pub fn binary(path: impl Into<String>, content: Vec<u8>) -> Self {
-        AppFile { path: path.into(), content: FileContent::Binary(content) }
+        AppFile {
+            path: path.into(),
+            content: FileContent::Binary(content),
+        }
     }
 
     /// File extension (lowercased), if any.
@@ -87,7 +93,11 @@ pub struct AppPackage {
 impl AppPackage {
     /// Creates a plaintext package.
     pub fn new(platform: Platform, files: Vec<AppFile>) -> Self {
-        AppPackage { platform, files, encrypted: false }
+        AppPackage {
+            platform,
+            files,
+            encrypted: false,
+        }
     }
 
     /// Looks up a file by exact path.
@@ -165,7 +175,9 @@ fn xor_stream(data: &[u8], seed: u64, path: &str) -> Vec<u8> {
 
 fn looks_textual(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().take(512).all(|c| !c.is_control() || matches!(c, '\n' | '\r' | '\t'))
+        && s.chars()
+            .take(512)
+            .all(|c| !c.is_control() || matches!(c, '\n' | '\r' | '\t'))
 }
 
 /// Extracts printable ASCII strings of at least `min_len` characters from
@@ -220,8 +232,14 @@ mod tests {
 
     #[test]
     fn extension_parsing() {
-        assert_eq!(AppFile::text("assets/ca.pem", "x").extension().as_deref(), Some("pem"));
-        assert_eq!(AppFile::text("a/b/C.DER", "x").extension().as_deref(), Some("der"));
+        assert_eq!(
+            AppFile::text("assets/ca.pem", "x").extension().as_deref(),
+            Some("pem")
+        );
+        assert_eq!(
+            AppFile::text("a/b/C.DER", "x").extension().as_deref(),
+            Some("der")
+        );
         assert_eq!(AppFile::text("noext", "x").extension(), None);
     }
 
@@ -238,7 +256,13 @@ mod tests {
         let enc = pkg.clone().encrypt(0x5EED);
         assert!(enc.encrypted);
         // Plist stays readable; code does not.
-        assert_eq!(enc.file("Payload/App.app/Info.plist").unwrap().content.as_text(), Some("<plist/>"));
+        assert_eq!(
+            enc.file("Payload/App.app/Info.plist")
+                .unwrap()
+                .content
+                .as_text(),
+            Some("<plist/>")
+        );
         assert_ne!(
             enc.file("Payload/App.app/App").unwrap().content.as_bytes(),
             &[1, 2, 3, 255, 0, 42]
@@ -246,7 +270,6 @@ mod tests {
         let dec = enc.decrypt(0x5EED);
         assert_eq!(dec, pkg);
     }
-
 
     #[test]
     fn encrypted_content_hides_strings() {
@@ -257,7 +280,9 @@ mod tests {
         )
         .encrypt(7);
         let cipher = pkg.file("Payload/App.app/App").unwrap().content.as_bytes();
-        let found = extract_strings(cipher, 8).iter().any(|s| s.contains("sha256/"));
+        let found = extract_strings(cipher, 8)
+            .iter()
+            .any(|s| s.contains("sha256/"));
         assert!(!found, "pin must not survive encryption");
     }
 
@@ -265,7 +290,11 @@ mod tests {
     fn strings_extraction_finds_pins_in_binary() {
         let mut rng = SplitMix64::new(5);
         let pin = "sha256/AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA=".to_string();
-        let blob = binary_with_strings(&[pin.clone(), "okhttp3/CertificatePinner".into()], &mut rng, 256);
+        let blob = binary_with_strings(
+            &[pin.clone(), "okhttp3/CertificatePinner".into()],
+            &mut rng,
+            256,
+        );
         let strings = extract_strings(&blob, 6);
         assert!(strings.iter().any(|s| s.contains(&pin)));
         assert!(strings.iter().any(|s| s.contains("CertificatePinner")));
@@ -287,4 +316,3 @@ mod tests {
         assert_eq!(pkg.total_size(), 10);
     }
 }
-

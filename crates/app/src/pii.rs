@@ -98,11 +98,15 @@ impl DeviceIdentity {
     /// Deterministically generates a device identity.
     pub fn generate(rng: &mut SplitMix64) -> Self {
         let digits = |rng: &mut SplitMix64, n: usize| -> String {
-            (0..n).map(|_| char::from(b'0' + rng.next_below(10) as u8)).collect()
+            (0..n)
+                .map(|_| char::from(b'0' + rng.next_below(10) as u8))
+                .collect()
         };
         let hex = |rng: &mut SplitMix64, n: usize| -> String {
             const H: &[u8; 16] = b"0123456789abcdef";
-            (0..n).map(|_| char::from(H[rng.next_below(16) as usize])).collect()
+            (0..n)
+                .map(|_| char::from(H[rng.next_below(16) as usize]))
+                .collect()
         };
         let imei = digits(rng, 15);
         let advertising_id = format!(
@@ -118,12 +122,16 @@ impl DeviceIdentity {
         let email = format!("testacct{}@example-mail.com", digits(rng, 6));
         let state = "Massachusetts".to_string();
         let city = "Boston".to_string();
-        let latlon = format!(
-            "42.{},-71.{}",
-            digits(rng, 4),
-            digits(rng, 4)
-        );
-        DeviceIdentity { imei, advertising_id, wifi_mac, email, state, city, latlon }
+        let latlon = format!("42.{},-71.{}", digits(rng, 4), digits(rng, 4));
+        DeviceIdentity {
+            imei,
+            advertising_id,
+            wifi_mac,
+            email,
+            state,
+            city,
+            latlon,
+        }
     }
 
     /// The concrete value for a PII type.
@@ -142,8 +150,11 @@ impl DeviceIdentity {
     /// Renders an HTTP-ish request body containing `pii` fields plus generic
     /// telemetry noise, as an app would transmit it.
     pub fn render_payload(&self, pii: &[PiiType], noise_token: u64) -> String {
-        let mut parts: Vec<String> =
-            vec![format!("event=launch"), format!("ts={noise_token}"), "sdkv=7.2.1".to_string()];
+        let mut parts: Vec<String> = vec![
+            format!("event=launch"),
+            format!("ts={noise_token}"),
+            "sdkv=7.2.1".to_string(),
+        ];
         for p in pii {
             parts.push(format!("{}={}", p.param_key(), self.value_of(*p)));
         }
@@ -175,7 +186,10 @@ mod tests {
     fn adid_is_uuid_shaped() {
         let d = identity();
         let parts: Vec<_> = d.advertising_id.split('-').collect();
-        assert_eq!(parts.iter().map(|p| p.len()).collect::<Vec<_>>(), vec![8, 4, 4, 4, 12]);
+        assert_eq!(
+            parts.iter().map(|p| p.len()).collect::<Vec<_>>(),
+            vec![8, 4, 4, 4, 12]
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl CertAssetFormat {
 
     /// Whether the content is PEM text (vs DER bytes).
     pub fn is_pem(self) -> bool {
-        matches!(self, CertAssetFormat::Pem | CertAssetFormat::Crt | CertAssetFormat::CertExt)
+        matches!(
+            self,
+            CertAssetFormat::Pem | CertAssetFormat::Crt | CertAssetFormat::CertExt
+        )
     }
 }
 
@@ -151,7 +154,11 @@ impl DomainPinRule {
         source: PinSource,
         compare_key_only: bool,
     ) -> Self {
-        let pin = if compare_key_only { CertPin::key_only(cert) } else { CertPin::exact(cert) };
+        let pin = if compare_key_only {
+            CertPin::key_only(cert)
+        } else {
+            CertPin::exact(cert)
+        };
         DomainPinRule {
             pattern: pattern.into(),
             target,
@@ -189,11 +196,11 @@ impl DomainPinRule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
     use pinning_pki::authority::CertificateAuthority;
     use pinning_pki::name::DistinguishedName;
     use pinning_pki::time::{SimTime, Validity, YEAR};
-    use pinning_crypto::sig::KeyPair;
-    use pinning_crypto::SplitMix64;
 
     fn cert() -> Certificate {
         let mut rng = SplitMix64::new(0xab);
@@ -203,7 +210,12 @@ mod tests {
             SimTime(0),
         );
         let k = KeyPair::generate(&mut rng);
-        root.issue_leaf(&["api.x.com".to_string()], "X", &k, Validity::starting(SimTime(0), YEAR))
+        root.issue_leaf(
+            &["api.x.com".to_string()],
+            "X",
+            &k,
+            Validity::starting(SimTime(0), YEAR),
+        )
     }
 
     #[test]

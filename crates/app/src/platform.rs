@@ -63,7 +63,10 @@ pub struct AppId {
 impl AppId {
     /// Creates an app id.
     pub fn new(platform: Platform, id: impl Into<String>) -> Self {
-        AppId { platform, id: id.into() }
+        AppId {
+            platform,
+            id: id.into(),
+        }
     }
 }
 

@@ -359,7 +359,10 @@ pub fn registry() -> &'static [SdkSpec] {
             platforms: BOTH,
             android_path: "com/google/android/gms/ads",
             ios_path: "Frameworks/GoogleMobileAds.framework",
-            domains: &["googleads.g.doubleclick.net", "pagead2.googlesyndication.com"],
+            domains: &[
+                "googleads.g.doubleclick.net",
+                "pagead2.googlesyndication.com",
+            ],
             pinning_android: None,
             pinning_ios: None,
             tls_android: TlsLibrary::Cronet,
@@ -428,15 +431,27 @@ mod tests {
     fn table7_android_sdks_present_and_pinning() {
         for name in ["Twitter", "Braintree", "Paypal", "Perimeterx", "MParticle"] {
             let sdk = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
-            assert!(sdk.pinning_on(Platform::Android).is_some(), "{name} must pin on Android");
+            assert!(
+                sdk.pinning_on(Platform::Android).is_some(),
+                "{name} must pin on Android"
+            );
         }
     }
 
     #[test]
     fn table7_ios_sdks_present_and_pinning() {
-        for name in ["Amplitude", "Stripe", "Weibo", "FraudForce", "Adobe Creative Cloud"] {
+        for name in [
+            "Amplitude",
+            "Stripe",
+            "Weibo",
+            "FraudForce",
+            "Adobe Creative Cloud",
+        ] {
             let sdk = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
-            assert!(sdk.pinning_on(Platform::Ios).is_some(), "{name} must pin on iOS");
+            assert!(
+                sdk.pinning_on(Platform::Ios).is_some(),
+                "{name} must pin on iOS"
+            );
         }
     }
 

@@ -51,7 +51,10 @@ impl fmt::Display for XmlError {
         match self {
             XmlError::UnexpectedEof => write!(f, "unexpected end of input"),
             XmlError::MismatchedClose { expected, found } => {
-                write!(f, "mismatched close tag: expected </{expected}>, found </{found}>")
+                write!(
+                    f,
+                    "mismatched close tag: expected </{expected}>, found </{found}>"
+                )
             }
             XmlError::Malformed(pos) => write!(f, "malformed XML at byte {pos}"),
             XmlError::NoRoot => write!(f, "no root element"),
@@ -64,7 +67,11 @@ impl std::error::Error for XmlError {}
 impl Element {
     /// Creates an element.
     pub fn new(name: impl Into<String>) -> Self {
-        Element { name: name.into(), attrs: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Builder: adds an attribute.
@@ -87,7 +94,10 @@ impl Element {
 
     /// Looks up an attribute value.
     pub fn get_attr(&self, key: &str) -> Option<&str> {
-        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Child elements with the given tag name.
@@ -299,8 +309,7 @@ impl<'a> Parser<'a> {
                     if self.peek().is_none() {
                         return Err(XmlError::UnexpectedEof);
                     }
-                    let value =
-                        String::from_utf8_lossy(&self.input[vstart..self.pos]).into_owned();
+                    let value = String::from_utf8_lossy(&self.input[vstart..self.pos]).into_owned();
                     self.pos += 1; // closing quote
                     el.attrs.push((key, unescape(&value)));
                 }
@@ -322,7 +331,10 @@ impl<'a> Parser<'a> {
                 }
                 self.pos += 1;
                 if close != name {
-                    return Err(XmlError::MismatchedClose { expected: name, found: close });
+                    return Err(XmlError::MismatchedClose {
+                        expected: name,
+                        found: close,
+                    });
                 }
                 return Ok(el);
             }
@@ -333,8 +345,7 @@ impl<'a> Parser<'a> {
                     while self.peek().is_some_and(|c| c != b'<') {
                         self.pos += 1;
                     }
-                    let text =
-                        String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                    let text = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
                     if !text.trim().is_empty() {
                         el.children.push(Node::Text(unescape(text.trim())));
                     }
@@ -347,7 +358,10 @@ impl<'a> Parser<'a> {
 
 /// Parses an XML document, returning its root element.
 pub fn parse(input: &str) -> Result<Element, XmlError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_misc()?;
     if p.peek().is_none() {
         return Err(XmlError::NoRoot);
@@ -393,12 +407,18 @@ mod tests {
     fn namespaced_attrs_kept_verbatim() {
         let s = r#"<application android:networkSecurityConfig="@xml/nsc" />"#;
         let e = parse(s).unwrap();
-        assert_eq!(e.get_attr("android:networkSecurityConfig"), Some("@xml/nsc"));
+        assert_eq!(
+            e.get_attr("android:networkSecurityConfig"),
+            Some("@xml/nsc")
+        );
     }
 
     #[test]
     fn mismatched_close_rejected() {
-        assert!(matches!(parse("<a><b></a></b>"), Err(XmlError::MismatchedClose { .. })));
+        assert!(matches!(
+            parse("<a><b></a></b>"),
+            Err(XmlError::MismatchedClose { .. })
+        ));
     }
 
     #[test]

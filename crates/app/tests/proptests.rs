@@ -1,114 +1,149 @@
-//! Property tests for the app-package substrate: XML, NSC, string pools,
-//! and FairPlay-style encryption.
+//! Property-style tests for the app-package substrate: XML, NSC, string
+//! pools, and FairPlay-style encryption. Inputs come from a deterministic
+//! SplitMix64 sweep (no external crates, fully offline).
 
 use pinning_app::nsc::{DomainConfig, NetworkSecurityConfig, NscPin};
 use pinning_app::package::{binary_with_strings, extract_strings, AppFile, AppPackage};
 use pinning_app::platform::Platform;
 use pinning_app::xml::{parse, Element};
 use pinning_crypto::{b64encode, SplitMix64};
-use proptest::prelude::*;
+use std::collections::HashSet;
 
-fn arb_text() -> impl Strategy<Value = String> {
-    // Printable text including XML-hostile characters.
-    "[ -~]{0,40}"
+const CASES: u64 = 100;
+
+fn ascii(rng: &mut SplitMix64, alphabet: &[u8], min: usize, max: usize) -> String {
+    let len = min as u64 + rng.next_below((max - min) as u64 + 1);
+    (0..len)
+        .map(|_| alphabet[rng.next_below(alphabet.len() as u64) as usize] as char)
+        .collect()
 }
 
-fn arb_element(depth: u32) -> BoxedStrategy<Element> {
-    let name = "[A-Za-z][A-Za-z0-9_:-]{0,12}";
-    let attrs = proptest::collection::vec(("[A-Za-z][A-Za-z0-9:]{0,8}", arb_text()), 0..4);
-    if depth == 0 {
-        (name, attrs, proptest::option::of(arb_text()))
-            .prop_map(|(n, attrs, text)| {
-                let mut el = Element::new(n);
-                let mut seen = std::collections::HashSet::new();
-                for (k, v) in attrs {
-                    if seen.insert(k.clone()) {
-                        el = el.attr(k, v);
-                    }
-                }
-                if let Some(t) = text {
-                    if !t.trim().is_empty() {
-                        el = el.text(t.trim().to_string());
-                    }
-                }
-                el
-            })
-            .boxed()
-    } else {
-        (
-            name,
-            attrs,
-            proptest::collection::vec(arb_element(depth - 1), 0..3),
-        )
-            .prop_map(|(n, attrs, children)| {
-                let mut el = Element::new(n);
-                let mut seen = std::collections::HashSet::new();
-                for (k, v) in attrs {
-                    if seen.insert(k.clone()) {
-                        el = el.attr(k, v);
-                    }
-                }
-                for c in children {
-                    el = el.child(c);
-                }
-                el
-            })
-            .boxed()
+fn printable(rng: &mut SplitMix64, min: usize, max: usize) -> String {
+    let alphabet: Vec<u8> = (0x20u8..0x7f).collect();
+    ascii(rng, &alphabet, min, max)
+}
+
+const NAME_FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+const NAME_REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_:-";
+const ATTR_REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789:";
+
+fn xml_name(rng: &mut SplitMix64, rest: &[u8], max_rest: usize) -> String {
+    let mut s = String::new();
+    s.push(NAME_FIRST[rng.next_below(NAME_FIRST.len() as u64) as usize] as char);
+    s.push_str(&ascii(rng, rest, 0, max_rest));
+    s
+}
+
+fn arb_element(rng: &mut SplitMix64, depth: u32) -> Element {
+    let mut el = Element::new(xml_name(rng, NAME_REST, 12));
+    let mut seen = HashSet::new();
+    for _ in 0..rng.next_below(4) {
+        let k = xml_name(rng, ATTR_REST, 8);
+        let v = printable(rng, 0, 40);
+        if seen.insert(k.clone()) {
+            el = el.attr(k, v);
+        }
     }
+    if depth == 0 {
+        if rng.chance(0.5) {
+            let t = printable(rng, 0, 40);
+            if !t.trim().is_empty() {
+                el = el.text(t.trim().to_string());
+            }
+        }
+    } else {
+        for _ in 0..rng.next_below(3) {
+            el = el.child(arb_element(rng, depth - 1));
+        }
+    }
+    el
 }
 
-proptest! {
-    #[test]
-    fn xml_roundtrip_arbitrary_trees(el in arb_element(3)) {
+#[test]
+fn xml_roundtrip_arbitrary_trees() {
+    let mut rng = SplitMix64::new(0x2e1);
+    for _ in 0..CASES {
+        let el = arb_element(&mut rng, 3);
         let doc = el.to_document();
         let parsed = parse(&doc).unwrap();
-        prop_assert_eq!(parsed, el);
+        assert_eq!(parsed, el);
     }
+}
 
-    #[test]
-    fn nsc_roundtrip_arbitrary_configs(
-        domains in proptest::collection::vec(("[a-z]{1,10}\\.[a-z]{2,3}", any::<bool>()), 1..4),
-        pins in proptest::collection::vec(proptest::array::uniform32(any::<u8>()), 0..4),
-        override_pins in any::<bool>(),
-        trust_user in any::<bool>(),
-    ) {
+#[test]
+fn nsc_roundtrip_arbitrary_configs() {
+    let mut rng = SplitMix64::new(0x45c);
+    for _ in 0..CASES {
+        let n_domains = 1 + rng.next_below(3);
+        let domains = (0..n_domains)
+            .map(|_| {
+                let host = format!(
+                    "{}.{}",
+                    ascii(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 1, 10),
+                    ascii(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 2, 3)
+                );
+                (host, rng.chance(0.5))
+            })
+            .collect();
+        let pins = (0..rng.next_below(4))
+            .map(|_| {
+                let mut d = [0u8; 32];
+                rng.fill_bytes(&mut d);
+                NscPin {
+                    digest: "SHA-256".into(),
+                    value_b64: b64encode(&d),
+                }
+            })
+            .collect();
         let nsc = NetworkSecurityConfig {
             domain_configs: vec![DomainConfig {
                 domains,
-                pins: pins
-                    .iter()
-                    .map(|d| NscPin { digest: "SHA-256".into(), value_b64: b64encode(d) })
-                    .collect(),
+                pins,
                 pin_expiration: None,
-                override_pins,
-                trust_user_certs: trust_user,
+                override_pins: rng.chance(0.5),
+                trust_user_certs: rng.chance(0.5),
             }],
         };
         let back = NetworkSecurityConfig::from_xml(&nsc.to_xml()).unwrap();
-        prop_assert_eq!(back, nsc);
+        assert_eq!(back, nsc);
     }
+}
 
-    #[test]
-    fn strings_extraction_finds_all_planted(
-        strings in proptest::collection::vec("[ -~]{6,40}", 1..8),
-        seed in any::<u64>(),
-    ) {
-        let mut rng = SplitMix64::new(seed);
-        let blob = binary_with_strings(&strings, &mut rng, 256);
+#[test]
+fn strings_extraction_finds_all_planted() {
+    let mut rng = SplitMix64::new(0x57a);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(7);
+        let strings: Vec<String> = (0..n).map(|_| printable(&mut rng, 6, 40)).collect();
+        let seed = rng.next_u64();
+        let mut blob_rng = SplitMix64::new(seed);
+        let blob = binary_with_strings(&strings, &mut blob_rng, 256);
         let found = extract_strings(&blob, 6);
         for s in &strings {
-            prop_assert!(
+            assert!(
                 found.iter().any(|f| f.contains(s)),
                 "planted string {s:?} missing"
             );
         }
     }
+}
 
-    #[test]
-    fn encryption_roundtrip_arbitrary_files(
-        paths in proptest::collection::hash_set("[a-z]{1,8}/[a-z]{1,8}\\.[a-z]{1,4}", 1..6),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn encryption_roundtrip_arbitrary_files() {
+    let mut rng = SplitMix64::new(0xe4c);
+    for _ in 0..CASES {
+        let n = 1 + rng.next_below(5);
+        let paths: HashSet<String> = (0..n)
+            .map(|_| {
+                format!(
+                    "{}/{}.{}",
+                    ascii(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 1, 8),
+                    ascii(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 1, 8),
+                    ascii(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 1, 4)
+                )
+            })
+            .collect();
+        let seed = rng.next_u64();
         let files: Vec<AppFile> = paths
             .iter()
             .enumerate()
@@ -121,17 +156,21 @@ proptest! {
             .collect();
         let pkg = AppPackage::new(Platform::Ios, files);
         let round = pkg.clone().encrypt(seed).decrypt(seed);
-        prop_assert_eq!(round, pkg);
+        assert_eq!(round, pkg);
     }
+}
 
-    #[test]
-    fn encryption_with_wrong_key_differs(seed in any::<u64>()) {
+#[test]
+fn encryption_with_wrong_key_differs() {
+    let mut rng = SplitMix64::new(0xbad);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
         let pkg = AppPackage::new(
             Platform::Ios,
             vec![AppFile::binary("Payload/App.app/App", vec![7u8; 64])],
         );
         let enc = pkg.clone().encrypt(seed);
         let wrong = enc.decrypt(seed ^ 1);
-        prop_assert_ne!(wrong, pkg);
+        assert_ne!(wrong, pkg);
     }
 }

@@ -1,91 +1,84 @@
 //! One bench per paper figure, plus the §4.2.1/§4.3/§5.3 numeric series.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pinning_analysis::dynamics::calibration::sleep_time_sweep;
 use pinning_analysis::dynamics::pipeline::DynamicEnv;
 use pinning_app::platform::Platform;
-use pinning_bench::{print_once, shared_results, shared_world};
+use pinning_bench::{print_once, shared_results, shared_world, time_bench};
 use std::hint::black_box;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let results = shared_results();
+    const ITERS: u32 = 10;
 
-    c.bench_function("figure2_consistency", |b| {
-        print_once("Figure 2", || results.render_figure2());
-        b.iter(|| black_box(results.figure2_summary()));
+    print_once("Figure 2", || results.render_figure2());
+    time_bench("figure2_consistency", ITERS, || {
+        black_box(results.figure2_summary());
     });
 
-    c.bench_function("figure3_heatmap", |b| {
-        print_once("Figure 3", || results.render_figure3());
-        b.iter(|| black_box(results.figure3_rows()));
+    print_once("Figure 3", || results.render_figure3());
+    time_bench("figure3_heatmap", ITERS, || {
+        black_box(results.figure3_rows());
     });
 
-    c.bench_function("figure4_exclusive", |b| {
-        print_once("Figure 4", || results.render_figure4());
-        b.iter(|| black_box(results.figure4_rows()));
+    print_once("Figure 4", || results.render_figure4());
+    time_bench("figure4_exclusive", ITERS, || {
+        black_box(results.figure4_rows());
     });
 
-    c.bench_function("figure5_destinations", |b| {
-        print_once("Figure 5 (Android)", || results.render_figure5(Platform::Android));
-        print_once("Figure 5 (iOS)", || results.render_figure5(Platform::Ios));
-        b.iter(|| {
-            black_box(results.figure5_profiles(Platform::Android));
-            black_box(results.figure5_profiles(Platform::Ios));
-        });
+    print_once("Figure 5 (Android)", || {
+        results.render_figure5(Platform::Android)
+    });
+    print_once("Figure 5 (iOS)", || results.render_figure5(Platform::Ios));
+    time_bench("figure5_destinations", ITERS, || {
+        black_box(results.figure5_profiles(Platform::Android));
+        black_box(results.figure5_profiles(Platform::Ios));
     });
 
-    c.bench_function("circumvention_rates", |b| {
-        print_once("§4.3 circumvention", || {
-            let (sa, aa) = results.circumvention_rate(Platform::Android);
-            let (si, ai) = results.circumvention_rate(Platform::Ios);
-            format!(
-                "Android: {sa}/{aa} ({:.1}%)  iOS: {si}/{ai} ({:.1}%)",
-                100.0 * sa as f64 / aa.max(1) as f64,
-                100.0 * si as f64 / ai.max(1) as f64
-            )
-        });
-        b.iter(|| {
-            black_box(results.circumvention_rate(Platform::Android));
-            black_box(results.circumvention_rate(Platform::Ios));
-        });
+    print_once("§4.3 circumvention", || {
+        let (sa, aa) = results.circumvention_rate(Platform::Android);
+        let (si, ai) = results.circumvention_rate(Platform::Ios);
+        format!(
+            "Android: {sa}/{aa} ({:.1}%)  iOS: {si}/{ai} ({:.1}%)",
+            100.0 * sa as f64 / aa.max(1) as f64,
+            100.0 * si as f64 / ai.max(1) as f64
+        )
+    });
+    time_bench("circumvention_rates", ITERS, || {
+        black_box(results.circumvention_rate(Platform::Android));
+        black_box(results.circumvention_rate(Platform::Ios));
     });
 
-    c.bench_function("pin_level", |b| {
-        print_once("§5.3.2 pin level", || format!("{:?}", results.pin_level()));
-        b.iter(|| black_box(results.pin_level()));
+    print_once("§5.3.2 pin level", || format!("{:?}", results.pin_level()));
+    time_bench("pin_level", ITERS, || {
+        black_box(results.pin_level());
     });
 
-    c.bench_function("spki_vs_raw", |b| {
-        print_once("§5.3.3 SPKI vs raw", || format!("{:?}", results.spki_vs_raw()));
-        b.iter(|| black_box(results.spki_vs_raw()));
+    print_once("§5.3.3 SPKI vs raw", || {
+        format!("{:?}", results.spki_vs_raw())
+    });
+    time_bench("spki_vs_raw", ITERS, || {
+        black_box(results.spki_vs_raw());
     });
 
     // §4.2.1 sleep-time calibration sweep on a tiny world (runs the device
     // pipeline inside the loop, so keep the sample small).
-    c.bench_function("calibration_sleep_time", |b| {
-        let world = shared_world();
-        let env = DynamicEnv::new(
-            &world.network,
-            world.universe.aosp_oem.clone(),
-            world.universe.ios.clone(),
-            world.now,
-            7,
-        );
-        let apps: Vec<_> = world.apps.iter().take(10).collect();
-        print_once("§4.2.1 sleep sweep", || {
-            let sweep = sleep_time_sweep(&env, &apps, &[15, 30, 60]);
-            format!(
-                "windows {:?} → mean handshakes {:?} (paper: 20.78 / 23.5 / 24.62)",
-                sweep.windows, sweep.mean_handshakes
-            )
-        });
-        b.iter(|| black_box(sleep_time_sweep(&env, &apps, &[15, 30, 60])));
+    let world = shared_world();
+    let env = DynamicEnv::new(
+        &world.network,
+        world.universe.aosp_oem.clone(),
+        world.universe.ios.clone(),
+        world.now,
+        7,
+    );
+    let apps: Vec<_> = world.apps.iter().take(10).collect();
+    print_once("§4.2.1 sleep sweep", || {
+        let sweep = sleep_time_sweep(&env, &apps, &[15, 30, 60]);
+        format!(
+            "windows {:?} → mean handshakes {:?} (paper: 20.78 / 23.5 / 24.62)",
+            sweep.windows, sweep.mean_handshakes
+        )
+    });
+    time_bench("calibration_sleep_time", ITERS, || {
+        black_box(sleep_time_sweep(&env, &apps, &[15, 30, 60]));
     });
 }
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_figures
-}
-criterion_main!(figures);

@@ -1,69 +1,67 @@
 //! Pipeline micro-benchmarks: the hot paths of the methodology.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pinning_analysis::dynamics::pipeline::{analyze_app, DynamicEnv};
 use pinning_analysis::statics::{analyze_package, scanner};
 use pinning_app::platform::Platform;
-use pinning_bench::shared_world;
+use pinning_bench::{shared_world, time_bench};
+use pinning_crypto::sha256;
 use pinning_netsim::device::RunConfig;
 use pinning_pki::validate::{validate_chain, RevocationList, ValidationOptions};
 use pinning_store::config::WorldConfig;
 use pinning_store::world::World;
 use pinning_tls::{establish, ClientConfig, ServerEndpoint, TlsLibrary};
-use pinning_crypto::sha256;
 use std::hint::black_box;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let world = shared_world();
+    const ITERS: u32 = 10;
 
     // --- crypto floor ---
-    let mut g = c.benchmark_group("crypto");
     let blob = vec![0xabu8; 64 * 1024];
-    g.throughput(Throughput::Bytes(blob.len() as u64));
-    g.bench_function("sha256_64k", |b| b.iter(|| black_box(sha256(&blob))));
-    g.finish();
+    time_bench("crypto/sha256_64k", 100, || {
+        black_box(sha256(&blob));
+    });
 
     // --- pin scanner throughput ---
-    let mut g = c.benchmark_group("scanner");
     let hay = {
         let mut s = "x".repeat(200_000);
         s.push_str("sha256/");
         s.push_str(&"A".repeat(44));
         s
     };
-    g.throughput(Throughput::Bytes(hay.len() as u64));
-    g.bench_function("scan_pins_200k", |b| b.iter(|| black_box(scanner::scan_pins(&hay))));
-    g.finish();
+    time_bench("scanner/scan_pins_200k", 100, || {
+        black_box(scanner::scan_pins(&hay));
+    });
 
     // --- chain validation ---
-    let server = world.network.resolve("api.twitter.com").expect("infra server");
-    c.bench_function("validate_chain", |b| {
-        b.iter(|| {
-            black_box(validate_chain(
-                server.chain.certs(),
-                &world.universe.mozilla,
-                "api.twitter.com",
-                world.now,
-                &RevocationList::empty(),
-                &ValidationOptions::default(),
-            ))
-        })
+    let server = world
+        .network
+        .resolve("api.twitter.com")
+        .expect("infra server");
+    time_bench("validate_chain", 100, || {
+        black_box(validate_chain(
+            server.chain.certs(),
+            &world.universe.mozilla,
+            "api.twitter.com",
+            world.now,
+            &RevocationList::empty(),
+            &ValidationOptions::default(),
+        ))
+        .ok();
     });
 
     // --- one TLS handshake ---
-    c.bench_function("tls_handshake", |b| {
-        let client = ClientConfig::modern(TlsLibrary::OkHttp);
-        let endpoint = ServerEndpoint::modern(&server.chain);
-        b.iter(|| {
-            black_box(establish(
-                &client,
-                &endpoint,
-                "api.twitter.com",
-                world.now,
-                &world.universe.aosp_oem,
-                &world.network.crl,
-            ))
-        })
+    let client = ClientConfig::modern(TlsLibrary::OkHttp);
+    let endpoint = ServerEndpoint::modern(&server.chain);
+    time_bench("tls_handshake", 100, || {
+        black_box(establish(
+            &client,
+            &endpoint,
+            "api.twitter.com",
+            world.now,
+            &world.universe.aosp_oem,
+            &world.network.crl,
+        ));
     });
 
     // --- static scan of one package ---
@@ -72,21 +70,19 @@ fn bench_pipeline(c: &mut Criterion) {
         .iter()
         .find(|a| a.id.platform == Platform::Android && a.has_static_pin_artifacts())
         .expect("android app with artifacts");
-    c.bench_function("static_scan_android_package", |b| {
-        b.iter(|| black_box(analyze_package(&app.package, None)))
+    time_bench("static_scan_android_package", ITERS, || {
+        black_box(analyze_package(&app.package, None));
     });
     let ios_app = world
         .apps
         .iter()
         .find(|a| a.id.platform == Platform::Ios)
         .expect("ios app");
-    c.bench_function("static_scan_ios_encrypted", |b| {
-        b.iter(|| {
-            black_box(analyze_package(
-                &ios_app.package,
-                Some(world.config.ios_encryption_seed),
-            ))
-        })
+    time_bench("static_scan_ios_encrypted", ITERS, || {
+        black_box(analyze_package(
+            &ios_app.package,
+            Some(world.config.ios_encryption_seed),
+        ));
     });
 
     // --- one device run + full differential analysis ---
@@ -97,23 +93,16 @@ fn bench_pipeline(c: &mut Criterion) {
         world.now,
         3,
     );
-    c.bench_function("device_run_baseline", |b| {
-        let device = env.device(Platform::Android);
-        b.iter(|| black_box(device.run_app(app, &RunConfig::baseline())))
+    let device = env.device(Platform::Android);
+    time_bench("device_run_baseline", ITERS, || {
+        black_box(device.run_app(app, &RunConfig::baseline()));
     });
-    c.bench_function("differential_analysis_one_app", |b| {
-        b.iter(|| black_box(analyze_app(&env, app)))
+    time_bench("differential_analysis_one_app", ITERS, || {
+        black_box(analyze_app(&env, app));
     });
 
     // --- world generation (tiny) ---
-    c.bench_function("world_generate_tiny", |b| {
-        b.iter(|| black_box(World::generate(WorldConfig::tiny(9))))
+    time_bench("world_generate_tiny", ITERS, || {
+        black_box(World::generate(WorldConfig::tiny(9)));
     });
 }
-
-criterion_group! {
-    name = pipeline;
-    config = Criterion::default().sample_size(10);
-    targets = bench_pipeline
-}
-criterion_main!(pipeline);

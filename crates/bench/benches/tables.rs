@@ -1,63 +1,58 @@
 //! One bench per paper table: regenerates the table from a completed
 //! bench-scale study and times the computation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pinning_app::platform::Platform;
-use pinning_bench::{print_once, shared_results};
+use pinning_bench::{print_once, shared_results, time_bench};
 use std::hint::black_box;
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
     let results = shared_results();
+    const ITERS: u32 = 20;
 
-    c.bench_function("table1_datasets", |b| {
-        print_once("Table 1", || results.render_table1());
-        b.iter(|| black_box(results.table1()));
+    print_once("Table 1", || results.render_table1());
+    time_bench("table1_datasets", ITERS, || {
+        black_box(results.table1());
     });
 
-    c.bench_function("table2_prior_work", |b| {
-        print_once("Table 2", || results.render_table2());
-        b.iter(|| black_box(results.table2_rows()));
+    print_once("Table 2", || results.render_table2());
+    time_bench("table2_prior_work", ITERS, || {
+        black_box(results.table2_rows());
     });
 
-    c.bench_function("table3_prevalence", |b| {
-        print_once("Table 3", || results.render_table3());
-        b.iter(|| black_box(results.table3()));
+    print_once("Table 3", || results.render_table3());
+    time_bench("table3_prevalence", ITERS, || {
+        black_box(results.table3());
     });
 
-    c.bench_function("table4_categories_android", |b| {
-        print_once("Table 4", || results.render_table_categories(Platform::Android));
-        b.iter(|| black_box(results.category_rows(Platform::Android)));
+    print_once("Table 4", || {
+        results.render_table_categories(Platform::Android)
+    });
+    time_bench("table4_categories_android", ITERS, || {
+        black_box(results.category_rows(Platform::Android));
     });
 
-    c.bench_function("table5_categories_ios", |b| {
-        print_once("Table 5", || results.render_table_categories(Platform::Ios));
-        b.iter(|| black_box(results.category_rows(Platform::Ios)));
+    print_once("Table 5", || results.render_table_categories(Platform::Ios));
+    time_bench("table5_categories_ios", ITERS, || {
+        black_box(results.category_rows(Platform::Ios));
     });
 
-    c.bench_function("table6_pki", |b| {
-        print_once("Table 6", || results.render_table6());
-        b.iter(|| black_box(results.table6()));
+    print_once("Table 6", || results.render_table6());
+    time_bench("table6_pki", ITERS, || {
+        black_box(results.table6());
     });
 
-    c.bench_function("table7_frameworks", |b| {
-        print_once("Table 7", || results.render_table7());
-        b.iter(|| black_box(results.table7()));
+    print_once("Table 7", || results.render_table7());
+    time_bench("table7_frameworks", ITERS, || {
+        black_box(results.table7());
     });
 
-    c.bench_function("table8_ciphers", |b| {
-        print_once("Table 8", || results.render_table8());
-        b.iter(|| black_box(results.table8()));
+    print_once("Table 8", || results.render_table8());
+    time_bench("table8_ciphers", ITERS, || {
+        black_box(results.table8());
     });
 
-    c.bench_function("table9_pii", |b| {
-        print_once("Table 9", || results.render_table9());
-        b.iter(|| black_box(results.table9()));
+    print_once("Table 9", || results.render_table9());
+    time_bench("table9_pii", ITERS, || {
+        black_box(results.table9());
     });
 }
-
-criterion_group! {
-    name = tables;
-    config = Criterion::default().sample_size(20);
-    targets = bench_tables
-}
-criterion_main!(tables);

@@ -4,6 +4,10 @@
 //! inside the timing loop would measure the pipeline, not the table. The
 //! fixtures here run one **bench-scale** study (between tiny and paper
 //! scale) exactly once per process and hand out references.
+//!
+//! The harness itself is a dependency-free [`time_bench`] loop (the
+//! workspace builds fully offline, so criterion is out); each bench target
+//! sets `harness = false` and drives it from a plain `main`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,7 +34,9 @@ pub fn bench_world_config(seed: u64) -> WorldConfig {
 pub fn shared_results() -> &'static StudyResults {
     static RESULTS: OnceLock<StudyResults> = OnceLock::new();
     RESULTS.get_or_init(|| {
-        let config = StudyConfig { world: bench_world_config(2022), threads: 1 };
+        let mut config = StudyConfig::paper_scale(2022);
+        config.world = bench_world_config(2022);
+        config.threads = 1;
         Study::new(config).run()
     })
 }
@@ -41,8 +47,21 @@ pub fn shared_world() -> &'static World {
     WORLD.get_or_init(|| World::generate(WorldConfig::tiny(2022)))
 }
 
-/// Prints a regenerated artifact once per bench target (criterion runs the
-/// closure many times; the table itself should print once).
+/// Times `f` over `iters` iterations (after one untimed warm-up call) and
+/// prints a one-line summary. Returns the mean nanoseconds per iteration.
+pub fn time_bench(name: &str, iters: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let mean = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    println!("bench {name:<42} {iters:>6} iters   mean {mean:>14.0} ns/iter");
+    mean
+}
+
+/// Prints a regenerated artifact once per bench target (the timing loop runs
+/// the closure many times; the table itself should print once).
 pub fn print_once(tag: &str, render: impl FnOnce() -> String) {
     use std::collections::HashSet;
     use std::sync::Mutex;

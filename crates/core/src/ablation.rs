@@ -5,7 +5,9 @@
 
 use pinning_analysis::dynamics::classify::{classify_connection, ConnStatus};
 use pinning_analysis::dynamics::detect::{detect_pinned_destinations, Exclusions};
-use pinning_analysis::dynamics::pipeline::{analyze_app, associated_domains_from_package, DynamicEnv};
+use pinning_analysis::dynamics::pipeline::{
+    analyze_app, associated_domains_from_package, DynamicEnv,
+};
 use pinning_analysis::statics::analyze_package;
 use pinning_app::platform::Platform;
 use pinning_netsim::flow::Capture;
@@ -80,8 +82,7 @@ pub fn naive_vs_differential(world: &World) -> (Accuracy, Accuracy) {
             .map(|v| v.destination.as_str())
             .collect();
 
-        let detected: BTreeSet<&str> =
-            result.pinned_destinations().into_iter().collect();
+        let detected: BTreeSet<&str> = result.pinned_destinations().into_iter().collect();
         score(&mut diff, &truth, &detected, &observable);
 
         let naive_detected_owned = naive_alert_detector(&result.mitm);
@@ -157,10 +158,10 @@ pub fn associated_domain_exclusion(world: &World) -> (usize, usize) {
         let truth: BTreeSet<&str> = app.runtime_pinned_domains().into_iter().collect();
         let device = env.device(Platform::Ios);
         let mut base_cfg = pinning_netsim::device::RunConfig::baseline();
-        base_cfg.run_tag = "abl-base";
+        base_cfg.run_tag = "abl-base".to_string();
         let baseline = device.run_app(app, &base_cfg);
         let mut mitm_cfg = pinning_netsim::device::RunConfig::mitm(&env.proxy);
-        mitm_cfg.run_tag = "abl-mitm";
+        mitm_cfg.run_tag = "abl-mitm".to_string();
         let mitm = device.run_app(app, &mitm_cfg);
 
         let with = detect_pinned_destinations(
@@ -169,9 +170,14 @@ pub fn associated_domain_exclusion(world: &World) -> (usize, usize) {
             &Exclusions::ios(associated_domains_from_package(app)),
         );
         let without = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
-        fp_with += with.iter().filter(|v| v.pinned && !truth.contains(v.destination.as_str())).count();
-        fp_without +=
-            without.iter().filter(|v| v.pinned && !truth.contains(v.destination.as_str())).count();
+        fp_with += with
+            .iter()
+            .filter(|v| v.pinned && !truth.contains(v.destination.as_str()))
+            .count();
+        fp_without += without
+            .iter()
+            .filter(|v| v.pinned && !truth.contains(v.destination.as_str()))
+            .count();
     }
     (fp_without, fp_with)
 }

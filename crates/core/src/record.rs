@@ -9,6 +9,7 @@ use pinning_analysis::dynamics::pipeline::AppDynamicResult;
 use pinning_analysis::security::{any_weak_offer, any_weak_pinned_offer};
 use pinning_analysis::statics::StaticFindings;
 use pinning_app::platform::AppId;
+use pinning_netsim::faults::MeasurementError;
 use std::collections::BTreeSet;
 
 /// Summary of §4.3 circumvention for one app.
@@ -48,6 +49,10 @@ pub struct AppRecord {
     pub n_handshakes_baseline: usize,
     /// Whether the iOS settle re-run was applied (§4.5).
     pub settled_rerun: bool,
+    /// Why the dynamic measurement degraded, if it did. Degraded apps
+    /// keep their static findings but contribute nothing to the dynamic
+    /// tables — they are *unobserved*, not "not pinning".
+    pub error: Option<MeasurementError>,
 }
 
 impl AppRecord {
@@ -59,12 +64,17 @@ impl AppRecord {
         dynamic: &AppDynamicResult,
         circumvention: Option<&CircumventionResult>,
     ) -> Self {
-        let pinned_destinations: Vec<String> =
-            dynamic.pinned_destinations().into_iter().map(str::to_string).collect();
-        let pinned_set: BTreeSet<&str> =
-            pinned_destinations.iter().map(String::as_str).collect();
-        let used_destinations: Vec<String> =
-            dynamic.used_destinations().into_iter().map(str::to_string).collect();
+        let pinned_destinations: Vec<String> = dynamic
+            .pinned_destinations()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let pinned_set: BTreeSet<&str> = pinned_destinations.iter().map(String::as_str).collect();
+        let used_destinations: Vec<String> = dynamic
+            .used_destinations()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
 
         // Unpinned plaintext comes from the ordinary MITM capture.
         let unpinned_bodies: Vec<String> = dynamic
@@ -72,7 +82,10 @@ impl AppRecord {
             .flows
             .iter()
             .filter(|f| {
-                f.transcript.sni.as_deref().is_some_and(|s| !pinned_set.contains(s))
+                f.transcript
+                    .sni
+                    .as_deref()
+                    .is_some_and(|s| !pinned_set.contains(s))
             })
             .filter_map(|f| f.decrypted_request.clone())
             .collect();
@@ -104,11 +117,43 @@ impl AppRecord {
             pinned_bodies,
             unpinned_bodies,
             circumvention: circumvention_summary,
+            error: None,
+        }
+    }
+
+    /// A record for an app whose dynamic measurement could not be
+    /// completed (every retry faulted). Static findings are kept — the
+    /// package was still analyzed — but all dynamic observables are empty.
+    pub fn failed(
+        app_index: usize,
+        id: AppId,
+        static_findings: StaticFindings,
+        error: MeasurementError,
+    ) -> Self {
+        AppRecord {
+            app_index,
+            id,
+            static_findings,
+            pinned_destinations: Vec::new(),
+            used_destinations: Vec::new(),
+            weak_overall: false,
+            weak_pinned: false,
+            pinned_bodies: Vec::new(),
+            unpinned_bodies: Vec::new(),
+            circumvention: None,
+            n_handshakes_baseline: 0,
+            settled_rerun: false,
+            error: Some(error),
         }
     }
 
     /// §5's pinning-app definition.
     pub fn pins(&self) -> bool {
         !self.pinned_destinations.is_empty()
+    }
+
+    /// Whether the dynamic measurement degraded.
+    pub fn degraded(&self) -> bool {
+        self.error.is_some()
     }
 }

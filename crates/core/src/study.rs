@@ -2,12 +2,15 @@
 
 use crate::record::AppRecord;
 use pinning_analysis::circumvent::circumvent_app;
-use pinning_analysis::dynamics::pipeline::{analyze_app, DynamicEnv};
+use pinning_analysis::dynamics::pipeline::{try_analyze_app, DynamicEnv, RetryPolicy};
 use pinning_analysis::statics::analyze_package;
 use pinning_app::pii::DeviceIdentity;
 use pinning_app::platform::Platform;
+use pinning_netsim::faults::{FaultConfig, MeasurementError};
 use pinning_store::config::WorldConfig;
-use pinning_store::datasets::{build_datasets, collision_report, CollisionReport, Dataset, DatasetKind};
+use pinning_store::datasets::{
+    build_datasets, collision_report, CollisionReport, Dataset, DatasetKind,
+};
 use pinning_store::world::World;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -18,6 +21,10 @@ pub struct StudyConfig {
     pub world: WorldConfig,
     /// Worker threads for the per-app pipeline (1 = sequential).
     pub threads: usize,
+    /// Test-bed fault rates (all zero by default).
+    pub faults: FaultConfig,
+    /// Retry policy for faulted run pairs.
+    pub retry: RetryPolicy,
 }
 
 impl StudyConfig {
@@ -25,13 +32,22 @@ impl StudyConfig {
     pub fn paper_scale(seed: u64) -> Self {
         StudyConfig {
             world: WorldConfig::paper_scale(seed),
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            faults: FaultConfig::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
     /// Miniature study for tests/doctests.
     pub fn tiny(seed: u64) -> Self {
-        StudyConfig { world: WorldConfig::tiny(seed), threads: 2 }
+        StudyConfig {
+            world: WorldConfig::tiny(seed),
+            threads: 2,
+            faults: FaultConfig::none(),
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
@@ -49,14 +65,21 @@ impl Study {
 
     /// Runs everything: world → datasets → per-app static/dynamic/
     /// circumvention → compact records.
+    ///
+    /// Never panics under fault injection: an app whose measurement keeps
+    /// degrading past the retry budget becomes an [`AppRecord::failed`]
+    /// record (static findings kept, dynamic observables empty) and shows
+    /// up in [`StudyResults::degraded_apps`].
     pub fn run(self) -> StudyResults {
         let world = World::generate(self.config.world.clone());
         let datasets = build_datasets(&world);
         let collisions = collision_report(&datasets);
 
         // Unique apps across all datasets.
-        let unique: BTreeSet<usize> =
-            datasets.iter().flat_map(|d| d.app_indices.iter().copied()).collect();
+        let unique: BTreeSet<usize> = datasets
+            .iter()
+            .flat_map(|d| d.app_indices.iter().copied())
+            .collect();
         let unique: Vec<usize> = unique.into_iter().collect();
 
         let env = DynamicEnv::new(
@@ -65,7 +88,9 @@ impl Study {
             world.universe.ios.clone(),
             world.now,
             self.config.world.seed,
-        );
+        )
+        .with_faults(self.config.faults)
+        .with_retry(self.config.retry);
         let identity = env.identity.clone();
         let decrypt_key = self.config.world.ios_encryption_seed;
 
@@ -75,16 +100,20 @@ impl Study {
                 &app.package,
                 (app.id.platform == Platform::Ios).then_some(decrypt_key),
             );
-            let dynamic = analyze_app(&env, app);
-            let pinned = dynamic.pinned_destinations();
-            let circ = (!pinned.is_empty()).then(|| circumvent_app(&env, app, &pinned));
-            let record = AppRecord::assemble(
-                app_index,
-                app.id.clone(),
-                static_findings,
-                &dynamic,
-                circ.as_ref(),
-            );
+            let record = match try_analyze_app(&env, app) {
+                Ok(dynamic) => {
+                    let pinned = dynamic.pinned_destinations();
+                    let circ = (!pinned.is_empty()).then(|| circumvent_app(&env, app, &pinned));
+                    AppRecord::assemble(
+                        app_index,
+                        app.id.clone(),
+                        static_findings,
+                        &dynamic,
+                        circ.as_ref(),
+                    )
+                }
+                Err(error) => AppRecord::failed(app_index, app.id.clone(), static_findings, error),
+            };
             (app_index, record)
         };
 
@@ -94,20 +123,26 @@ impl Study {
             let threads = self.config.threads.min(unique.len().max(1));
             let chunk = unique.len().div_ceil(threads);
             let mut collected: Vec<(usize, AppRecord)> = Vec::with_capacity(unique.len());
-            crossbeam::thread::scope(|scope| {
+            let process = &process;
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for part in unique.chunks(chunk.max(1)) {
-                    handles.push(scope.spawn(|_| part.iter().map(process).collect::<Vec<_>>()));
+                    handles.push(scope.spawn(move || part.iter().map(process).collect::<Vec<_>>()));
                 }
                 for h in handles {
                     collected.extend(h.join().expect("pipeline worker panicked"));
                 }
-            })
-            .expect("thread scope failed");
+            });
             collected.into_iter().collect()
         };
 
-        StudyResults { world, datasets, collisions, records, identity }
+        StudyResults {
+            world,
+            datasets,
+            collisions,
+            records,
+            identity,
+        }
     }
 }
 
@@ -146,12 +181,37 @@ impl StudyResults {
 
     /// Unique records for a platform across all datasets.
     pub fn platform_records(&self, platform: Platform) -> Vec<&AppRecord> {
-        self.records.values().filter(|r| r.id.platform == platform).collect()
+        self.records
+            .values()
+            .filter(|r| r.id.platform == platform)
+            .collect()
     }
 
     /// Number of pinning apps in one dataset.
     pub fn pinning_count(&self, kind: DatasetKind, platform: Platform) -> usize {
-        self.dataset_records(kind, platform).iter().filter(|r| r.pins()).count()
+        self.dataset_records(kind, platform)
+            .iter()
+            .filter(|r| r.pins())
+            .count()
+    }
+
+    /// Apps whose dynamic measurement degraded, with the responsible
+    /// error, in app-index order.
+    pub fn degraded_apps(&self) -> Vec<(&AppRecord, MeasurementError)> {
+        self.records
+            .values()
+            .filter_map(|r| r.error.map(|e| (r, e)))
+            .collect()
+    }
+
+    /// Error-class histogram over degraded apps (the summary table's
+    /// input). Empty when every measurement completed.
+    pub fn degraded_summary(&self) -> BTreeMap<MeasurementError, usize> {
+        let mut counts = BTreeMap::new();
+        for (_, e) in self.degraded_apps() {
+            *counts.entry(e).or_insert(0) += 1;
+        }
+        counts
     }
 }
 
@@ -198,7 +258,10 @@ mod tests {
             .iter()
             .flat_map(|k| Platform::BOTH.map(|p| r.pinning_count(*k, p)))
             .sum();
-        assert!(total > 0, "a study that finds no pinning reproduces nothing");
+        assert!(
+            total > 0,
+            "a study that finds no pinning reproduces nothing"
+        );
     }
 
     #[test]
@@ -214,6 +277,38 @@ mod tests {
     }
 
     #[test]
+    fn faulted_study_degrades_gracefully_and_stays_sound() {
+        let mut cfg = StudyConfig::tiny(0xFA);
+        cfg.faults = FaultConfig::chaos();
+        let r = Study::new(cfg).run();
+        // Degraded records keep static findings but no dynamic observables.
+        for (rec, err) in r.degraded_apps() {
+            assert!(rec.pinned_destinations.is_empty());
+            assert!(rec.used_destinations.is_empty());
+            assert_eq!(rec.error, Some(err));
+        }
+        assert_eq!(
+            r.degraded_summary().values().sum::<usize>(),
+            r.degraded_apps().len()
+        );
+        // Faults must never create pinning false positives.
+        for record in r.records.values() {
+            let app = &r.world.apps[record.app_index];
+            let truth: BTreeSet<&str> = app.runtime_pinned_domains().into_iter().collect();
+            for d in &record.pinned_destinations {
+                assert!(truth.contains(d.as_str()), "{}: false positive {d}", app.id);
+            }
+        }
+    }
+
+    #[test]
+    fn clean_study_reports_no_degradation() {
+        let r = results();
+        assert!(r.degraded_apps().is_empty());
+        assert!(r.degraded_summary().is_empty());
+    }
+
+    #[test]
     fn ios_records_have_static_findings_despite_encryption() {
         let r = results();
         let ios_with_findings = r
@@ -221,7 +316,10 @@ mod tests {
             .iter()
             .filter(|rec| rec.static_findings.has_pin_material())
             .count();
-        assert!(ios_with_findings > 0, "decryption-by-key must unlock iOS scanning");
+        assert!(
+            ios_with_findings > 0,
+            "decryption-by-key must unlock iOS scanning"
+        );
         assert!(r
             .platform_records(Platform::Ios)
             .iter()

@@ -15,10 +15,10 @@ use pinning_analysis::pii::PiiComparison;
 use pinning_analysis::security::WeakCipherRow;
 use pinning_analysis::statics::attribution::{attribute, FrameworkCount};
 use pinning_app::platform::Platform;
+use pinning_crypto::SplitMix64;
 use pinning_report::figures::{self, Figure3Row, Figure4Row};
 use pinning_report::tables::{self, PriorWorkRow, Table1, Table3Row, Table6Row, Table8Row};
 use pinning_store::datasets::DatasetKind;
-use pinning_crypto::SplitMix64;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// §5.3.2's pin-level summary.
@@ -59,8 +59,9 @@ impl StudyResults {
                 let ds = self.dataset(kind, platform);
                 let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
                 for &i in &ds.app_indices {
-                    *counts.entry(self.world.apps[i].category.label_on(platform)).or_default() +=
-                        1;
+                    *counts
+                        .entry(self.world.apps[i].category.label_on(platform))
+                        .or_default() += 1;
                 }
                 let n = ds.app_indices.len().max(1);
                 let mut rows: Vec<(String, f64)> = counts
@@ -91,7 +92,10 @@ impl StudyResults {
             .map(|&kind| {
                 let recs = self.dataset_records(kind, Platform::Android);
                 let n = recs.len();
-                let nsc = recs.iter().filter(|r| r.static_findings.nsc_signal()).count();
+                let nsc = recs
+                    .iter()
+                    .filter(|r| r.static_findings.nsc_signal())
+                    .count();
                 PriorWorkRow {
                     study: format!("This pipeline (NSC, {kind})"),
                     year: 2022,
@@ -128,8 +132,11 @@ impl StudyResults {
                         .iter()
                         .filter(|r| r.static_findings.has_pin_material())
                         .count(),
-                    nsc: (platform == Platform::Android)
-                        .then(|| recs.iter().filter(|r| r.static_findings.nsc_signal()).count()),
+                    nsc: (platform == Platform::Android).then(|| {
+                        recs.iter()
+                            .filter(|r| r.static_findings.nsc_signal())
+                            .count()
+                    }),
                 });
             }
         }
@@ -174,8 +181,7 @@ impl StudyResults {
         let stores = [&self.world.universe.aosp_oem, &self.world.universe.ios];
         let mut rows = Vec::new();
         for platform in Platform::BOTH {
-            let fetch_rng =
-                SplitMix64::new(self.world.config.seed).derive("chain-fetch");
+            let fetch_rng = SplitMix64::new(self.world.config.seed).derive("chain-fetch");
             let dests: BTreeSet<&str> = self
                 .platform_records(platform)
                 .iter()
@@ -228,8 +234,14 @@ impl StudyResults {
             .collect();
         let mut reports = attribute(&rows);
         (
-            reports.remove(&Platform::Android).unwrap_or_default().frameworks,
-            reports.remove(&Platform::Ios).unwrap_or_default().frameworks,
+            reports
+                .remove(&Platform::Android)
+                .unwrap_or_default()
+                .frameworks,
+            reports
+                .remove(&Platform::Ios)
+                .unwrap_or_default()
+                .frameworks,
         )
     }
 
@@ -253,8 +265,13 @@ impl StudyResults {
                 let overall = recs.iter().filter(|r| r.weak_overall).count();
                 let pinners: Vec<_> = recs.iter().filter(|r| r.pins()).collect();
                 let pinning_weak = pinners.iter().filter(|r| r.weak_pinned).count();
-                let pct =
-                    |n: usize, d: usize| if d == 0 { 0.0 } else { 100.0 * n as f64 / d as f64 };
+                let pct = |n: usize, d: usize| {
+                    if d == 0 {
+                        0.0
+                    } else {
+                        100.0 * n as f64 / d as f64
+                    }
+                };
                 rows.push(Table8Row {
                     dataset: kind,
                     platform,
@@ -329,8 +346,11 @@ impl StudyResults {
 
     /// Figure 2's aggregate.
     pub fn figure2_summary(&self) -> CommonDatasetSummary {
-        let obs: Vec<_> =
-            self.common_observations().into_iter().map(|(a, i, _)| (a, i)).collect();
+        let obs: Vec<_> = self
+            .common_observations()
+            .into_iter()
+            .map(|(a, i, _)| (a, i))
+            .collect();
         summarize_common(&obs)
     }
 
@@ -423,7 +443,10 @@ impl StudyResults {
                         party: self.world.whois.attribute(&app.developer_org, d),
                     })
                     .collect();
-                profiles.push(AppDestinationProfile { app_name: app.name.clone(), entries });
+                profiles.push(AppDestinationProfile {
+                    app_name: app.name.clone(),
+                    entries,
+                });
             }
         }
         profiles
@@ -467,12 +490,11 @@ impl StudyResults {
             s.pinning_apps += 1;
             let mut matched = false;
             for dest in &r.pinned_destinations {
-                let Some(server) = self.world.network.resolve(dest) else { continue };
-                let level = pin_level_for_destination(
-                    &r.static_findings,
-                    &self.world.ctlog,
-                    &server.chain,
-                );
+                let Some(server) = self.world.network.resolve(dest) else {
+                    continue;
+                };
+                let level =
+                    pin_level_for_destination(&r.static_findings, &self.world.ctlog, &server.chain);
                 let Some(is_ca) = level else { continue };
                 matched = true;
                 // Identify the matched certificate for dedup: the first
@@ -506,25 +528,36 @@ impl StudyResults {
         let mut s = SpkiVsRawSummary::default();
         for r in self.records.values() {
             for dest in &r.pinned_destinations {
-                let Some(server) = self.world.network.resolve(dest) else { continue };
-                let Some(leaf) = server.chain.leaf() else { continue };
+                let Some(server) = self.world.network.resolve(dest) else {
+                    continue;
+                };
+                let Some(leaf) = server.chain.leaf() else {
+                    continue;
+                };
                 // Only destinations whose *leaf* is the pinned certificate.
-                match pin_level_for_destination(&r.static_findings, &self.world.ctlog, &server.chain)
-                {
+                match pin_level_for_destination(
+                    &r.static_findings,
+                    &self.world.ctlog,
+                    &server.chain,
+                ) {
                     Some(false) => {}
                     _ => continue,
                 }
                 let leaf_spki = leaf.spki_sha256();
-                let via_spki = r.static_findings.pin_strings.iter().any(|p| {
-                    p.value.parsed.as_ref().is_some_and(|pin| pin.matches(leaf))
-                });
+                let via_spki = r
+                    .static_findings
+                    .pin_strings
+                    .iter()
+                    .any(|p| p.value.parsed.as_ref().is_some_and(|pin| pin.matches(leaf)));
                 if via_spki {
                     s.leaf_via_spki += 1;
                     continue;
                 }
-                let via_raw = r.static_findings.embedded_certs.iter().any(|c| {
-                    c.value.spki_sha256() == leaf_spki
-                });
+                let via_raw = r
+                    .static_findings
+                    .embedded_certs
+                    .iter()
+                    .any(|c| c.value.spki_sha256() == leaf_spki);
                 if via_raw {
                     s.leaf_via_raw += 1;
                     // Renewal probe: same key, new serial — does the app's
@@ -550,6 +583,28 @@ impl StudyResults {
         pinning_analysis::certs::ct_resolution_rate(&findings, &self.world.ctlog)
     }
 
+    /// Renders the degraded-apps summary: how many measurements were lost
+    /// to test-bed faults, by error class (§5.6 "Partial Observation" made
+    /// explicit instead of silent).
+    pub fn render_degraded(&self) -> String {
+        let summary = self.degraded_summary();
+        let degraded: usize = summary.values().sum();
+        let mut out = String::from("Degraded measurements (test-bed faults)\n");
+        if degraded == 0 {
+            out.push_str("  none — every app measured cleanly\n");
+            return out;
+        }
+        for (err, n) in &summary {
+            out.push_str(&format!("  {:<14} {n:>4}\n", err.label()));
+        }
+        out.push_str(&format!(
+            "  {:<14} {degraded:>4} of {} apps unobserved\n",
+            "total",
+            self.records.len()
+        ));
+        out
+    }
+
     /// A one-paragraph abstract with the headline numbers, mirroring the
     /// paper's "To summarize our key results" list (§1).
     pub fn summary(&self) -> String {
@@ -559,7 +614,13 @@ impl StudyResults {
                 .iter()
                 .find(|r| r.dataset == kind && r.platform == platform)
                 .expect("all rows present");
-            let pct = |n: usize| if r.n == 0 { 0.0 } else { 100.0 * n as f64 / r.n as f64 };
+            let pct = |n: usize| {
+                if r.n == 0 {
+                    0.0
+                } else {
+                    100.0 * n as f64 / r.n as f64
+                }
+            };
             (pct(r.dynamic), pct(r.static_embedded))
         };
         let (pop_a_dyn, pop_a_static) = cell(DatasetKind::Popular, Platform::Android);
@@ -633,7 +694,12 @@ impl StudyResults {
             sr.leaf_via_spki, sr.leaf_via_raw, sr.raw_surviving_renewal
         ));
         let (resolved, total) = self.ct_resolution();
-        out.push_str(&tables::share_bar("pins resolved via CT", resolved, total, 20));
+        out.push_str(&tables::share_bar(
+            "pins resolved via CT",
+            resolved,
+            total,
+            20,
+        ));
         out.push('\n');
         out.push_str(&format!(
             "dataset collisions: Common∩Popular = {:?}, unique apps = {} (Android) + {} (iOS) = {}\n",
@@ -642,6 +708,8 @@ impl StudyResults {
             self.collisions.unique_ios,
             self.collisions.total_unique,
         ));
+        out.push('\n');
+        out.push_str(&self.render_degraded());
         out.push('\n');
         out.push_str(&self.summary());
         out.push('\n');
@@ -680,7 +748,10 @@ mod tests {
         let rows = r.table3();
         let dynamic: usize = rows.iter().map(|x| x.dynamic).sum();
         let embedded: usize = rows.iter().map(|x| x.static_embedded).sum();
-        assert!(embedded > dynamic, "embedded {embedded} vs dynamic {dynamic}");
+        assert!(
+            embedded > dynamic,
+            "embedded {embedded} vs dynamic {dynamic}"
+        );
     }
 
     #[test]
@@ -698,7 +769,10 @@ mod tests {
         let r = results();
         let t9 = r.table9();
         let (_, cmp) = t9.iter().find(|(p, _)| *p == Platform::Android).unwrap();
-        assert!(cmp.pinned_bodies + cmp.unpinned_bodies > 0, "bodies must be captured");
+        assert!(
+            cmp.pinned_bodies + cmp.unpinned_bodies > 0,
+            "bodies must be captured"
+        );
     }
 
     #[test]
@@ -734,6 +808,7 @@ mod tests {
             "circumvented",
             "pin level",
             "pins resolved via CT",
+            "Degraded measurements",
         ] {
             assert!(report.contains(needle), "missing {needle}");
         }

@@ -4,8 +4,9 @@
 //! [`SplitMix64`] is the standard 64-bit mixing generator used to derive
 //! independent per-entity streams (per app, per domain, per connection)
 //! without threading one mutable RNG through the whole simulation. It is
-//! *not* used where `rand` distributions are needed (the world generator
-//! uses `rand::StdRng` seeded from these outputs).
+//! the only randomness source in the workspace — sampling helpers such as
+//! [`SplitMix64::shuffle`] keep dataset construction free of external
+//! crates so the build works fully offline.
 
 /// SplitMix64 generator (Steele, Lea & Flood 2014).
 ///
@@ -67,6 +68,14 @@ impl SplitMix64 {
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
         self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Fisher–Yates shuffle of a slice, consuming `len - 1` draws.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
     }
 
     /// Fills `buf` with pseudo-random bytes.
@@ -131,6 +140,27 @@ mod tests {
         let mut g = SplitMix64::new(11);
         let hits = (0..10_000).filter(|_| g.chance(0.25)).count();
         assert!((2_000..3_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut g = SplitMix64::new(21);
+        let mut xs: Vec<u32> = (0..50).collect();
+        g.shuffle(&mut xs);
+        assert_ne!(xs, (0..50).collect::<Vec<u32>>(), "50 elements should move");
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_slices() {
+        let mut g = SplitMix64::new(22);
+        let mut empty: [u8; 0] = [];
+        g.shuffle(&mut empty);
+        let mut one = [7u8];
+        g.shuffle(&mut one);
+        assert_eq!(one, [7]);
     }
 
     #[test]

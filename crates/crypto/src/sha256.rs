@@ -43,7 +43,12 @@ const H0: [u32; 8] = [
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, len: 0, buf: [0; 64], buf_len: 0 }
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.
@@ -156,7 +161,9 @@ impl Default for Sha256 {
 
 impl core::fmt::Debug for Sha256 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("Sha256").field("len", &self.len).finish_non_exhaustive()
+        f.debug_struct("Sha256")
+            .field("len", &self.len)
+            .finish_non_exhaustive()
     }
 }
 

@@ -94,7 +94,10 @@ impl KeyPair {
         ver_input.extend_from_slice(&secret);
         let verifier = sha256(&ver_input);
 
-        KeyPair { secret, public: PublicKey { spki, verifier } }
+        KeyPair {
+            secret,
+            public: PublicKey { spki, verifier },
+        }
     }
 
     /// Signs `msg`.

@@ -1,20 +1,31 @@
-//! Property tests for the cryptographic primitives.
+//! Property-style tests for the cryptographic primitives, driven by a
+//! deterministic SplitMix64 input sweep (no external crates, fully offline).
 
-use pinning_crypto::{
-    b64decode, b64encode, hex_decode, hex_encode, hmac_sha256, sha256, SplitMix64,
-};
 use pinning_crypto::sha1::Sha1;
 use pinning_crypto::sha256::Sha256;
 use pinning_crypto::sig::KeyPair;
-use proptest::prelude::*;
+use pinning_crypto::{
+    b64decode, b64encode, hex_decode, hex_encode, hmac_sha256, sha256, SplitMix64,
+};
 
-proptest! {
-    #[test]
-    fn sha256_streaming_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..1024),
-        splits in proptest::collection::vec(any::<prop::sample::Index>(), 0..6),
-    ) {
-        let mut points: Vec<usize> = splits.iter().map(|i| i.index(data.len() + 1)).collect();
+const CASES: u64 = 200;
+
+fn bytes(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+    let len = rng.next_below(max_len as u64 + 1) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[test]
+fn sha256_streaming_equals_oneshot() {
+    let mut rng = SplitMix64::new(0x256);
+    for _ in 0..CASES {
+        let data = bytes(&mut rng, 1024);
+        let n_splits = rng.next_below(6) as usize;
+        let mut points: Vec<usize> = (0..n_splits)
+            .map(|_| rng.next_below(data.len() as u64 + 1) as usize)
+            .collect();
         points.push(0);
         points.push(data.len());
         points.sort_unstable();
@@ -22,81 +33,115 @@ proptest! {
         for w in points.windows(2) {
             h.update(&data[w[0]..w[1]]);
         }
-        prop_assert_eq!(h.finalize(), sha256(&data));
+        assert_eq!(h.finalize(), sha256(&data));
     }
+}
 
-    #[test]
-    fn sha1_streaming_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..1024),
-        split in any::<prop::sample::Index>(),
-    ) {
-        let at = split.index(data.len() + 1);
+#[test]
+fn sha1_streaming_equals_oneshot() {
+    let mut rng = SplitMix64::new(0x5a1);
+    for _ in 0..CASES {
+        let data = bytes(&mut rng, 1024);
+        let at = rng.next_below(data.len() as u64 + 1) as usize;
         let mut h = Sha1::new();
         h.update(&data[..at]);
         h.update(&data[at..]);
-        prop_assert_eq!(h.finalize(), pinning_crypto::sha1::sha1(&data));
+        assert_eq!(h.finalize(), pinning_crypto::sha1::sha1(&data));
     }
+}
 
-    #[test]
-    fn b64_roundtrip_and_length(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+#[test]
+fn b64_roundtrip_and_length() {
+    let mut rng = SplitMix64::new(0xb64);
+    for _ in 0..CASES {
+        let data = bytes(&mut rng, 600);
         let e = b64encode(&data);
-        prop_assert_eq!(e.len(), data.len().div_ceil(3) * 4);
-        prop_assert_eq!(b64decode(&e).unwrap(), data);
+        assert_eq!(e.len(), data.len().div_ceil(3) * 4);
+        assert_eq!(b64decode(&e).unwrap(), data);
     }
+}
 
-    #[test]
-    fn b64_rejects_non_alphabet(c in "[^A-Za-z0-9+/=]") {
-        // A 4-char block with one invalid character must be rejected.
-        let s = format!("AA{}A", c);
+#[test]
+fn b64_rejects_non_alphabet() {
+    // Every 4-char block with one character outside the alphabet must be
+    // rejected (sweep the whole single-byte space instead of sampling).
+    for c in 0u8..=0x7f {
+        let ch = c as char;
+        if ch.is_ascii_alphanumeric() || ch == '+' || ch == '/' || ch == '=' {
+            continue;
+        }
+        let s = format!("AA{ch}A");
         if s.len() == 4 {
-            prop_assert!(b64decode(&s).is_err());
+            assert!(b64decode(&s).is_err(), "accepted invalid char {c:#x}");
         }
     }
+}
 
-    #[test]
-    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..600)) {
-        prop_assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+#[test]
+fn hex_roundtrip() {
+    let mut rng = SplitMix64::new(0x4e);
+    for _ in 0..CASES {
+        let data = bytes(&mut rng, 600);
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
     }
+}
 
-    #[test]
-    fn hmac_differs_under_different_keys(
-        k1 in proptest::collection::vec(any::<u8>(), 1..64),
-        k2 in proptest::collection::vec(any::<u8>(), 1..64),
-        msg in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
+#[test]
+fn hmac_differs_under_different_keys() {
+    let mut rng = SplitMix64::new(0x4ac);
+    for _ in 0..CASES {
+        let mut k1 = bytes(&mut rng, 63);
+        k1.push(rng.next_u64() as u8); // non-empty
+        let mut k2 = bytes(&mut rng, 63);
+        k2.push(rng.next_u64() as u8);
+        let msg = bytes(&mut rng, 256);
         if k1 != k2 {
-            prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+            assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
         }
     }
+}
 
-    #[test]
-    fn splitmix_streams_are_reproducible(seed in any::<u64>(), tag in "[a-z]{1,12}") {
+#[test]
+fn splitmix_streams_are_reproducible() {
+    let mut rng = SplitMix64::new(0x123);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let tag: String = (0..1 + rng.next_below(12))
+            .map(|_| (b'a' + rng.next_below(26) as u8) as char)
+            .collect();
         let mut a = SplitMix64::new(seed).derive(&tag);
         let mut b = SplitMix64::new(seed).derive(&tag);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+}
 
-    #[test]
-    fn splitmix_next_below_bounds(seed in any::<u64>(), bound in 1u64..10_000) {
+#[test]
+fn splitmix_next_below_bounds() {
+    let mut rng = SplitMix64::new(0x456);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let bound = 1 + rng.next_below(9_999);
         let mut g = SplitMix64::new(seed);
         for _ in 0..32 {
-            prop_assert!(g.next_below(bound) < bound);
+            assert!(g.next_below(bound) < bound);
         }
     }
+}
 
-    #[test]
-    fn signatures_verify_and_bind_to_message(
-        seed in any::<u64>(),
-        msg in proptest::collection::vec(any::<u8>(), 0..256),
-        other in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
+#[test]
+fn signatures_verify_and_bind_to_message() {
+    let mut rng = SplitMix64::new(0x519);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let msg = bytes(&mut rng, 256);
+        let other = bytes(&mut rng, 256);
         let kp = KeyPair::generate(&mut SplitMix64::new(seed));
         let sig = kp.sign(&msg);
-        prop_assert!(kp.public.verify(&msg, &sig));
+        assert!(kp.public.verify(&msg, &sig));
         if msg != other {
-            prop_assert!(!kp.public.verify(&other, &sig));
+            assert!(!kp.public.verify(&other, &sig));
         }
     }
 }

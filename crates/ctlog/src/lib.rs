@@ -51,14 +51,23 @@ impl CtLog {
             return self.entries[idx].index;
         }
         let idx = self.entries.len();
-        self.by_spki_sha256.entry(cert.spki_sha256()).or_default().push(idx);
-        self.by_spki_sha1.entry(cert.spki_sha1()).or_default().push(idx);
+        self.by_spki_sha256
+            .entry(cert.spki_sha256())
+            .or_default()
+            .push(idx);
+        self.by_spki_sha1
+            .entry(cert.spki_sha1())
+            .or_default()
+            .push(idx);
         self.by_common_name
             .entry(cert.tbs.subject.common_name.clone())
             .or_default()
             .push(idx);
         self.by_fingerprint.insert(fp, idx);
-        self.entries.push(LogEntry { index: idx as u64, cert });
+        self.entries.push(LogEntry {
+            index: idx as u64,
+            cert,
+        });
         idx as u64
     }
 
@@ -111,11 +120,11 @@ impl CtLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
     use pinning_pki::authority::CertificateAuthority;
     use pinning_pki::name::DistinguishedName;
     use pinning_pki::time::{SimTime, Validity, YEAR};
-    use pinning_crypto::sig::KeyPair;
-    use pinning_crypto::SplitMix64;
 
     fn certs() -> (Certificate, Certificate, Certificate) {
         let mut rng = SplitMix64::new(0xc7);
@@ -166,7 +175,9 @@ mod tests {
         let (a, _, b) = certs();
         let mut log = CtLog::new();
         log.submit(b);
-        assert!(log.search_by_spki_digest(PinAlgorithm::Sha256, &a.spki_sha256()).is_empty());
+        assert!(log
+            .search_by_spki_digest(PinAlgorithm::Sha256, &a.spki_sha256())
+            .is_empty());
     }
 
     #[test]
@@ -186,7 +197,10 @@ mod tests {
         log.submit(a.clone());
         log.submit(a2.clone());
         assert_eq!(
-            log.search_by_fingerprint(&a.fingerprint_sha256()).unwrap().tbs.serial,
+            log.search_by_fingerprint(&a.fingerprint_sha256())
+                .unwrap()
+                .tbs
+                .serial,
             a.tbs.serial
         );
         assert_eq!(log.search_by_common_name("a.com").len(), 2);
@@ -196,6 +210,8 @@ mod tests {
     #[test]
     fn bad_digest_length_is_harmless() {
         let log = CtLog::new();
-        assert!(log.search_by_spki_digest(PinAlgorithm::Sha256, &[0u8; 7]).is_empty());
+        assert!(log
+            .search_by_spki_digest(PinAlgorithm::Sha256, &[0u8; 7])
+            .is_empty());
     }
 }

@@ -6,20 +6,21 @@
 //! hooks, and — on iOS — the OS background traffic that §4.5 had to
 //! engineer around.
 
-use crate::flow::{Capture, FlowOrigin, FlowRecord};
+use crate::faults::{FaultKind, FaultPlan, RunAbort};
+use crate::flow::{Capture, FaultEvent, FlowOrigin, FlowRecord};
 use crate::network::Network;
 use crate::proxy::MitmProxy;
 use pinning_app::app::MobileApp;
 use pinning_app::behavior::{Interaction, PlannedConnection};
 use pinning_app::pii::DeviceIdentity;
 use pinning_app::platform::Platform;
+use pinning_crypto::SplitMix64;
 use pinning_pki::store::RootStore;
 use pinning_pki::time::SimTime;
-use pinning_tls::{
-    establish, CertPolicy, ClientConfig, CipherSuite, ServerEndpoint, TlsLibrary, TlsVersion,
-};
 use pinning_tls::record::{Direction, TcpEvent};
-use pinning_crypto::SplitMix64;
+use pinning_tls::{
+    establish, CertPolicy, CipherSuite, ClientConfig, ServerEndpoint, TlsLibrary, TlsVersion,
+};
 
 /// Configuration for one app run.
 #[derive(Debug, Clone)]
@@ -37,7 +38,11 @@ pub struct RunConfig<'a> {
     /// stacks (§4.3 circumvention runs).
     pub frida_disable_pinning: bool,
     /// Distinguishes randomness between repeated runs of the same app.
-    pub run_tag: &'a str,
+    /// Owned so callers can build attempt-specific tags without fighting
+    /// the borrow checker.
+    pub run_tag: String,
+    /// Fault schedule applied to this run (`None` = no injection).
+    pub faults: Option<&'a FaultPlan>,
 }
 
 impl<'a> RunConfig<'a> {
@@ -49,13 +54,18 @@ impl<'a> RunConfig<'a> {
             interaction: Interaction::None,
             proxy: None,
             frida_disable_pinning: false,
-            run_tag: "baseline",
+            run_tag: "baseline".to_string(),
+            faults: None,
         }
     }
 
     /// The interception configuration.
     pub fn mitm(proxy: &'a MitmProxy) -> Self {
-        RunConfig { proxy: Some(proxy), run_tag: "mitm", ..RunConfig::baseline() }
+        RunConfig {
+            proxy: Some(proxy),
+            run_tag: "mitm".to_string(),
+            ..RunConfig::baseline()
+        }
     }
 }
 
@@ -107,18 +117,41 @@ impl<'a> Device<'a> {
         self.app_trust.add(cert);
     }
 
-    /// Installs, launches and captures one app run.
+    /// Installs, launches and captures one app run, panicking if an
+    /// injected run-level fault aborts it.
     ///
-    /// Panics if the app targets the other platform (you can't sideload an
-    /// IPA onto a Pixel).
+    /// Callers that configure a fault plan should prefer
+    /// [`Device::try_run_app`]; without one this never panics. Panics if
+    /// the app targets the other platform (you can't sideload an IPA onto
+    /// a Pixel).
     pub fn run_app(&self, app: &MobileApp, cfg: &RunConfig<'_>) -> Capture {
+        self.try_run_app(app, cfg)
+            .expect("run aborted by an injected fault; use try_run_app to handle aborts")
+    }
+
+    /// Installs, launches and captures one app run, surfacing run-level
+    /// fault aborts (device crash, missing proxy CA) as errors.
+    ///
+    /// An aborted run yields *no* capture — the paper's crashed runs lost
+    /// their pcaps wholesale. Per-connection faults do not abort; they are
+    /// journaled in [`Capture::faults`].
+    ///
+    /// Panics if the app targets the other platform.
+    pub fn try_run_app(&self, app: &MobileApp, cfg: &RunConfig<'_>) -> Result<Capture, RunAbort> {
         assert_eq!(
             app.id.platform, self.platform,
             "app platform must match device platform"
         );
+        let run_key = format!("{}/{}", app.id, cfg.run_tag);
+        if let Some(plan) = cfg.faults {
+            if let Some(abort) = plan.run_abort(&run_key, cfg.proxy.is_some(), cfg.window_secs) {
+                return Err(abort);
+            }
+        }
+
         let mut flows = Vec::new();
-        let mut rng = SplitMix64::new(self.seed)
-            .derive(&format!("run/{}/{}", app.id, cfg.run_tag));
+        let mut faults = Vec::new();
+        let mut rng = SplitMix64::new(self.seed).derive(&format!("run/{run_key}"));
 
         if self.platform == Platform::Ios {
             self.emit_os_background(cfg, &mut rng, &mut flows);
@@ -126,11 +159,15 @@ impl<'a> Device<'a> {
         }
 
         for conn in app.behavior.within_window(cfg.window_secs, cfg.interaction) {
-            self.run_connection(app, conn, cfg, &mut rng, &mut flows);
+            self.run_connection(app, conn, cfg, &run_key, &mut rng, &mut flows, &mut faults);
         }
 
         flows.sort_by_key(|f| f.at_secs);
-        Capture { flows, window_secs: cfg.window_secs }
+        Ok(Capture {
+            flows,
+            window_secs: cfg.window_secs,
+            faults,
+        })
     }
 
     /// Always-on Apple service traffic spanning the whole capture (§4.5).
@@ -168,7 +205,14 @@ impl<'a> Device<'a> {
             if at_in_window > cfg.window_secs {
                 continue;
             }
-            self.emit_os_flow(domain, at_in_window, FlowOrigin::OsAssociatedDomains, cfg, rng, flows);
+            self.emit_os_flow(
+                domain,
+                at_in_window,
+                FlowOrigin::OsAssociatedDomains,
+                cfg,
+                rng,
+                flows,
+            );
         }
     }
 
@@ -189,10 +233,20 @@ impl<'a> Device<'a> {
             Some(p) => p.forge_chain(domain, &server.chain),
             None => server.chain.clone(),
         };
-        let endpoint =
-            ServerEndpoint { chain: &chain, versions: server.versions.clone(), ciphers: server.ciphers.clone() };
+        let endpoint = ServerEndpoint {
+            chain: &chain,
+            versions: server.versions.clone(),
+            ciphers: server.ciphers.clone(),
+        };
         // OS services validate against the OS store (no proxy CA).
-        let mut out = establish(&client, &endpoint, domain, self.now, &self.os_trust, &self.network.crl);
+        let mut out = establish(
+            &client,
+            &endpoint,
+            domain,
+            self.now,
+            &self.os_trust,
+            &self.network.crl,
+        );
         if let Ok(session) = out.result {
             session.send_client_data(&mut out.transcript, 300 + rng.next_below(200) as usize);
             session.send_server_data(&mut out.transcript, server.response_bytes);
@@ -208,13 +262,64 @@ impl<'a> Device<'a> {
         });
     }
 
+    /// An injected per-connection fault, rendered onto the wire. Returns
+    /// the flow to record, or `None` when the fault leaves no trace (DNS).
+    fn render_fault(
+        &self,
+        kind: FaultKind,
+        conn: &PlannedConnection,
+        cfg: &RunConfig<'_>,
+        attempt: u32,
+    ) -> Option<FlowRecord> {
+        let mut t = pinning_tls::ConnectionTranscript::new();
+        t.sni = conn.sends_sni.then(|| conn.domain.clone());
+        match kind {
+            // Resolution failed: nothing reaches the capture.
+            FaultKind::Dns => return None,
+            // The network killed the session: server-side RST, nothing
+            // negotiated — classifies as inconclusive, like server drops.
+            FaultKind::TcpReset => {
+                t.push_tcp(TcpEvent::Established);
+                t.push_tcp(TcpEvent::Rst {
+                    from: Direction::ServerToClient,
+                });
+            }
+            // The handshake hung: an established session with no records
+            // and no teardown before the window closed.
+            FaultKind::HandshakeTimeout => {
+                t.push_tcp(TcpEvent::Established);
+            }
+            // Cut mid-stream before application data completed: the
+            // client side shows a bare FIN.
+            FaultKind::Truncation => {
+                t.push_tcp(TcpEvent::Established);
+                t.push_tcp(TcpEvent::Fin {
+                    from: Direction::ClientToServer,
+                });
+            }
+            // Run-level faults never reach per-connection rendering.
+            FaultKind::ProxyCaUnavailable | FaultKind::DeviceCrash => unreachable!(),
+        }
+        Some(FlowRecord {
+            dest: conn.domain.clone(),
+            at_secs: conn.at_secs + attempt,
+            origin: FlowOrigin::App,
+            transcript: t,
+            mitm_attempted: cfg.proxy.is_some(),
+            decrypted_request: None,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run_connection(
         &self,
         app: &MobileApp,
         conn: &PlannedConnection,
         cfg: &RunConfig<'_>,
+        run_key: &str,
         rng: &mut SplitMix64,
         flows: &mut Vec<FlowRecord>,
+        faults: &mut Vec<FaultEvent>,
     ) {
         let Some(server) = self.network.resolve(&conn.domain) else {
             return;
@@ -258,12 +363,31 @@ impl<'a> Device<'a> {
 
         let attempts = if cfg.proxy.is_some() { 2 } else { 1 };
         for attempt in 0..attempts {
+            // Injected test-bed faults take precedence over everything the
+            // endpoints would do: the packets never make it that far.
+            if let Some(kind) = cfg
+                .faults
+                .and_then(|p| p.connection_fault(run_key, &conn.domain, attempt))
+            {
+                faults.push(FaultEvent {
+                    domain: Some(conn.domain.clone()),
+                    kind,
+                    at_secs: conn.at_secs + attempt,
+                });
+                if let Some(flow) = self.render_fault(kind, conn, cfg, attempt) {
+                    flows.push(flow);
+                }
+                continue; // the app retries, like any failed attempt
+            }
+
             // Server-side flakiness: a dropped attempt shows a server RST.
             if !rng.chance(server.reliability) {
                 let mut t = pinning_tls::ConnectionTranscript::new();
                 t.sni = conn.sends_sni.then(|| conn.domain.clone());
                 t.push_tcp(TcpEvent::Established);
-                t.push_tcp(TcpEvent::Rst { from: Direction::ServerToClient });
+                t.push_tcp(TcpEvent::Rst {
+                    from: Direction::ServerToClient,
+                });
                 flows.push(FlowRecord {
                     dest: conn.domain.clone(),
                     at_secs: conn.at_secs,
@@ -299,8 +423,9 @@ impl<'a> Device<'a> {
                     if conn.redundant {
                         session.close(&mut out.transcript);
                     } else {
-                        let payload =
-                            self.identity.render_payload(&conn.pii, rng.next_u64() & 0xffff_ffff);
+                        let payload = self
+                            .identity
+                            .render_payload(&conn.pii, rng.next_u64() & 0xffff_ffff);
                         let body_len = payload.len() + conn.extra_bytes;
                         session.send_client_data(&mut out.transcript, body_len);
                         session.send_server_data(&mut out.transcript, server.response_bytes);
@@ -347,9 +472,9 @@ mod tests {
     use pinning_app::package::AppPackage;
     use pinning_app::pinning::{DomainPinRule, PinSource, PinStorage, PinTarget};
     use pinning_app::platform::AppId;
+    use pinning_crypto::sig::KeyPair;
     use pinning_pki::pin::PinAlgorithm;
     use pinning_pki::universe::{PkiUniverse, UniverseConfig};
-    use pinning_crypto::sig::KeyPair;
 
     struct World {
         network: Network,
@@ -364,18 +489,21 @@ mod tests {
         let mut network = Network::new();
         for host in ["api.shop.com", "pins.shop.com", "tracker.ads.com"] {
             let key = KeyPair::generate(&mut rng);
-            let chain = universe.issue_server_chain_via(
-                0,
-                &[host.to_string()],
-                "Org",
-                &key,
-                398,
-            );
-            network.register(OriginServer::modern(vec![host.to_string()], "Org".into(), chain));
+            let chain = universe.issue_server_chain_via(0, &[host.to_string()], "Org", &key, 398);
+            network.register(OriginServer::modern(
+                vec![host.to_string()],
+                "Org".into(),
+                chain,
+            ));
         }
         let proxy = MitmProxy::new(&mut rng, universe.now());
         let factory = universe.aosp.clone();
-        World { network, universe, proxy, factory }
+        World {
+            network,
+            universe,
+            proxy,
+            factory,
+        }
     }
 
     fn test_app(w: &World) -> MobileApp {
@@ -388,15 +516,11 @@ mod tests {
             PinStorage::SpkiStringInCode(PinAlgorithm::Sha256),
             PinSource::FirstParty,
         );
-        let mut plain = pinning_app::behavior::PlannedConnection::simple(
-            "api.shop.com",
-            TlsLibrary::OkHttp,
-        );
+        let mut plain =
+            pinning_app::behavior::PlannedConnection::simple("api.shop.com", TlsLibrary::OkHttp);
         plain.pii = vec![pinning_app::pii::PiiType::AdvertisingId];
-        let mut pinned = pinning_app::behavior::PlannedConnection::simple(
-            "pins.shop.com",
-            TlsLibrary::OkHttp,
-        );
+        let mut pinned =
+            pinning_app::behavior::PlannedConnection::simple("pins.shop.com", TlsLibrary::OkHttp);
         pinned.pin_rule = Some(0);
         let mut ads = pinning_app::behavior::PlannedConnection::simple(
             "tracker.ads.com",
@@ -415,7 +539,9 @@ mod tests {
             first_party_domains: vec!["api.shop.com".into(), "pins.shop.com".into()],
             associated_domains: vec![],
             uses_nsc: false,
-            behavior: AppBehavior { connections: vec![plain, pinned, ads] },
+            behavior: AppBehavior {
+                connections: vec![plain, pinned, ads],
+            },
             package: AppPackage::new(Platform::Android, vec![]),
         }
     }
@@ -444,7 +570,11 @@ mod tests {
         let cap = d.run_app(&app, &RunConfig::baseline());
         assert_eq!(cap.flows.len(), 3);
         // Pinned destination succeeds against the genuine chain.
-        let pinned_flow = cap.flows.iter().find(|f| f.dest == "pins.shop.com").unwrap();
+        let pinned_flow = cap
+            .flows
+            .iter()
+            .find(|f| f.dest == "pins.shop.com")
+            .unwrap();
         assert!(pinned_flow.transcript.client_appdata_bytes() > 0);
         // No plaintext without MITM.
         assert!(cap.flows.iter().all(|f| f.decrypted_request.is_none()));
@@ -461,10 +591,17 @@ mod tests {
         let body = api.decrypted_request.as_ref().unwrap();
         assert!(body.contains("adid="));
         // Pinned destination fails (and is retried once).
-        let pinned: Vec<_> = cap.flows.iter().filter(|f| f.dest == "pins.shop.com").collect();
+        let pinned: Vec<_> = cap
+            .flows
+            .iter()
+            .filter(|f| f.dest == "pins.shop.com")
+            .collect();
         assert_eq!(pinned.len(), 2, "failure + one retry");
         assert!(pinned.iter().all(|f| f.decrypted_request.is_none()));
-        assert!(pinned.iter().all(|f| f.transcript.client_rst()), "OkHttp pin failure → RST");
+        assert!(
+            pinned.iter().all(|f| f.transcript.client_rst()),
+            "OkHttp pin failure → RST"
+        );
     }
 
     #[test]
@@ -474,10 +611,17 @@ mod tests {
         let d = device(&w, true);
         let mut cfg = RunConfig::mitm(&w.proxy);
         cfg.frida_disable_pinning = true;
-        cfg.run_tag = "mitm+frida";
+        cfg.run_tag = "mitm+frida".to_string();
         let cap = d.run_app(&app, &cfg);
-        let pinned = cap.flows.iter().find(|f| f.dest == "pins.shop.com").unwrap();
-        assert!(pinned.decrypted_request.is_some(), "hooked stack accepts the forged chain");
+        let pinned = cap
+            .flows
+            .iter()
+            .find(|f| f.dest == "pins.shop.com")
+            .unwrap();
+        assert!(
+            pinned.decrypted_request.is_some(),
+            "hooked stack accepts the forged chain"
+        );
     }
 
     #[test]
@@ -490,7 +634,11 @@ mod tests {
         let mut cfg = RunConfig::mitm(&w.proxy);
         cfg.frida_disable_pinning = true;
         let cap = d.run_app(&app, &cfg);
-        let pinned: Vec<_> = cap.flows.iter().filter(|f| f.dest == "pins.shop.com").collect();
+        let pinned: Vec<_> = cap
+            .flows
+            .iter()
+            .filter(|f| f.dest == "pins.shop.com")
+            .collect();
         assert!(pinned.iter().all(|f| f.decrypted_request.is_none()));
     }
 
@@ -509,7 +657,11 @@ mod tests {
         let app = test_app(&w);
         let d = device(&w, true);
         let cap = d.run_app(&app, &RunConfig::baseline());
-        let ads = cap.flows.iter().find(|f| f.dest == "tracker.ads.com").unwrap();
+        let ads = cap
+            .flows
+            .iter()
+            .find(|f| f.dest == "tracker.ads.com")
+            .unwrap();
         // TLS 1.3 shows only the disguised Finished + close alert; the paper's
         // ">2 packets" heuristic must not count this as used.
         assert!(ads.transcript.client_appdata_bytes() < 100);
@@ -523,5 +675,95 @@ mod tests {
         let d = device(&w, true);
         let cap = d.run_app(&app, &RunConfig::baseline());
         assert!(cap.flows.iter().all(|f| f.dest != "api.shop.com"));
+    }
+
+    #[test]
+    fn connection_faults_are_journaled_and_keep_the_run_alive() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let w = world();
+        let app = test_app(&w);
+        let d = device(&w, true);
+        // Every connection attempt fails DNS: no app flows, all journaled.
+        let plan = FaultPlan::new(
+            5,
+            FaultConfig {
+                dns_failure: 1.0,
+                ..FaultConfig::none()
+            },
+        );
+        let mut cfg = RunConfig::baseline();
+        cfg.faults = Some(&plan);
+        let cap = d
+            .try_run_app(&app, &cfg)
+            .expect("no run-level fault configured");
+        assert!(
+            cap.flows.is_empty(),
+            "DNS faults leave no trace on the wire"
+        );
+        assert_eq!(
+            cap.faults.len(),
+            3,
+            "one journal entry per planned connection"
+        );
+        assert!(cap.faults.iter().all(|f| f.kind == FaultKind::Dns));
+        let domains = cap.faulted_domains();
+        assert!(domains.contains("pins.shop.com"));
+    }
+
+    #[test]
+    fn device_crash_aborts_the_whole_run() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let w = world();
+        let app = test_app(&w);
+        let d = device(&w, true);
+        let plan = FaultPlan::new(
+            5,
+            FaultConfig {
+                device_crash: 1.0,
+                ..FaultConfig::none()
+            },
+        );
+        let mut cfg = RunConfig::baseline();
+        cfg.faults = Some(&plan);
+        match d.try_run_app(&app, &cfg) {
+            Err(RunAbort::DeviceCrash { at_secs }) => assert!(at_secs < cfg.window_secs),
+            other => panic!("crash rate 1.0 must abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let w = world();
+        let app = test_app(&w);
+        let d = device(&w, true);
+        let plan = FaultPlan::new(11, FaultConfig::uniform(0.3));
+        let mut cfg = RunConfig::mitm(&w.proxy);
+        cfg.faults = Some(&plan);
+        let a = d.try_run_app(&app, &cfg);
+        let b = d.try_run_app(&app, &cfg);
+        match (a, b) {
+            (Ok(ca), Ok(cb)) => {
+                assert_eq!(ca.faults, cb.faults);
+                assert_eq!(ca.flows.len(), cb.flows.len());
+            }
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+            other => panic!("replay diverged: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_plan_changes_nothing() {
+        use crate::faults::FaultPlan;
+        let w = world();
+        let app = test_app(&w);
+        let d = device(&w, true);
+        let plan = FaultPlan::disabled();
+        let mut with = RunConfig::baseline();
+        with.faults = Some(&plan);
+        let faulted = d.try_run_app(&app, &with).unwrap();
+        let clean = d.run_app(&app, &RunConfig::baseline());
+        assert!(faulted.faults.is_empty());
+        assert_eq!(faulted.flows.len(), clean.flows.len());
     }
 }

@@ -1,7 +1,8 @@
 //! Flow records and captures: the pipeline's raw material.
 
+use crate::faults::FaultKind;
 use pinning_tls::ConnectionTranscript;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Who initiated a flow.
 ///
@@ -47,6 +48,22 @@ impl FlowRecord {
     }
 }
 
+/// One injected fault observed during a run.
+///
+/// The device runtime journals every fault it injects so that downstream
+/// analysis can tell "this destination failed because it pins" apart from
+/// "this destination failed because the test bed faulted" — the exact
+/// confusion behind the paper's partial-observation caveats (§5.6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Destination the fault hit, or `None` for run-level faults.
+    pub domain: Option<String>,
+    /// What kind of fault fired.
+    pub kind: FaultKind,
+    /// Seconds into the capture window.
+    pub at_secs: u32,
+}
+
 /// Everything captured during one app run.
 #[derive(Debug, Clone, Default)]
 pub struct Capture {
@@ -54,6 +71,8 @@ pub struct Capture {
     pub flows: Vec<FlowRecord>,
     /// Length of the capture window in seconds.
     pub window_secs: u32,
+    /// Journal of injected faults, in occurrence order.
+    pub faults: Vec<FaultEvent>,
 }
 
 impl Capture {
@@ -72,6 +91,30 @@ impl Capture {
     /// Number of TLS handshakes attempted (== flows, in this model).
     pub fn n_handshakes(&self) -> usize {
         self.flows.len()
+    }
+
+    /// True when at least one fault fired during this run.
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// Destinations hit by at least one fault (run-level faults carry no
+    /// domain and are not included).
+    pub fn faulted_domains(&self) -> BTreeSet<&str> {
+        self.faults
+            .iter()
+            .filter_map(|f| f.domain.as_deref())
+            .collect()
+    }
+
+    /// The most frequent fault kind in the journal, ties broken by enum
+    /// order. `None` when the run was clean.
+    pub fn dominant_fault(&self) -> Option<FaultKind> {
+        let mut counts: BTreeMap<FaultKind, usize> = BTreeMap::new();
+        for f in &self.faults {
+            *counts.entry(f.kind).or_default() += 1;
+        }
+        counts.into_iter().max_by_key(|&(_, n)| n).map(|(k, _)| k)
     }
 }
 
@@ -95,8 +138,13 @@ mod tests {
     #[test]
     fn grouping_by_sni() {
         let cap = Capture {
-            flows: vec![flow("a.com", Some("a.com")), flow("a.com", Some("a.com")), flow("b.com", Some("b.com"))],
+            flows: vec![
+                flow("a.com", Some("a.com")),
+                flow("a.com", Some("a.com")),
+                flow("b.com", Some("b.com")),
+            ],
             window_secs: 30,
+            faults: vec![],
         };
         let groups = cap.by_destination();
         assert_eq!(groups["a.com"].len(), 2);
@@ -105,8 +153,47 @@ mod tests {
 
     #[test]
     fn sni_less_flows_dropped_from_grouping() {
-        let cap = Capture { flows: vec![flow("a.com", None)], window_secs: 30 };
+        let cap = Capture {
+            flows: vec![flow("a.com", None)],
+            window_secs: 30,
+            faults: vec![],
+        };
         assert!(cap.by_destination().is_empty());
         assert_eq!(cap.n_handshakes(), 1);
+    }
+
+    #[test]
+    fn fault_accessors_summarize_the_journal() {
+        let cap = Capture {
+            flows: vec![],
+            window_secs: 30,
+            faults: vec![
+                FaultEvent {
+                    domain: Some("a.com".into()),
+                    kind: FaultKind::Dns,
+                    at_secs: 1,
+                },
+                FaultEvent {
+                    domain: Some("a.com".into()),
+                    kind: FaultKind::Dns,
+                    at_secs: 2,
+                },
+                FaultEvent {
+                    domain: Some("b.com".into()),
+                    kind: FaultKind::TcpReset,
+                    at_secs: 3,
+                },
+                FaultEvent {
+                    domain: None,
+                    kind: FaultKind::DeviceCrash,
+                    at_secs: 9,
+                },
+            ],
+        };
+        assert!(cap.has_faults());
+        let domains: Vec<&str> = cap.faulted_domains().into_iter().collect();
+        assert_eq!(domains, vec!["a.com", "b.com"]);
+        assert_eq!(cap.dominant_fault(), Some(FaultKind::Dns));
+        assert_eq!(Capture::default().dominant_fault(), None);
     }
 }

@@ -20,12 +20,17 @@
 //!   the decrypted request body;
 //! * [`simcap`] — a versioned binary serialization of captures, so the
 //!   study's raw data can be published and re-analyzed (the paper releases
-//!   its dataset the same way).
+//!   its dataset the same way);
+//! * [`faults`] — a seeded fault-injection schedule (DNS failures, TCP
+//!   resets, handshake timeouts, truncation, proxy-CA loss, device
+//!   crashes) modelling the degraded runs the paper's physical pipeline
+//!   suffered (§4.5, §5.6).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod device;
+pub mod faults;
 pub mod flow;
 pub mod network;
 pub mod proxy;
@@ -33,13 +38,17 @@ pub mod server;
 pub mod simcap;
 
 pub use device::{Device, RunConfig};
-pub use flow::{Capture, FlowOrigin, FlowRecord};
-pub use network::Network;
+pub use faults::{FaultConfig, FaultKind, FaultPlan, MeasurementError, RunAbort};
+pub use flow::{Capture, FaultEvent, FlowOrigin, FlowRecord};
+pub use network::{DuplicateHost, Network};
 pub use proxy::MitmProxy;
 pub use server::OriginServer;
 
 /// Apple-operated domains contacted by iOS itself for the whole duration of
 /// any test (§4.5): excluded from pinning attribution by the paper's
 /// pipeline because the traffic is OS-initiated.
-pub const APPLE_BACKGROUND_DOMAINS: [&str; 3] =
-    ["gateway.icloud.com", "init.itunes.apple.com", "config.mzstatic.com"];
+pub const APPLE_BACKGROUND_DOMAINS: [&str; 3] = [
+    "gateway.icloud.com",
+    "init.itunes.apple.com",
+    "config.mzstatic.com",
+];

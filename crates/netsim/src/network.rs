@@ -4,12 +4,28 @@ use crate::server::OriginServer;
 use pinning_pki::validate::RevocationList;
 use std::collections::HashMap;
 
+/// A hostname that two servers both claimed at registration time.
+///
+/// First-writer-wins resolution is correct DNS behavior, but a silently
+/// shadowed server usually means a world-generation bug — this record
+/// makes the shadowing auditable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateHost {
+    /// The contested hostname (lowercased).
+    pub hostname: String,
+    /// Index of the server that kept the name.
+    pub kept_server: usize,
+    /// Index of the later server whose claim was ignored.
+    pub shadowed_server: usize,
+}
+
 /// The simulated internet: every reachable origin server, keyed by
 /// hostname, plus global revocation state.
 #[derive(Debug, Default)]
 pub struct Network {
     servers: Vec<OriginServer>,
     by_host: HashMap<String, usize>,
+    duplicates: Vec<DuplicateHost>,
     /// Revoked certificate serials (checked by clients that enable
     /// revocation).
     pub crl: RevocationList,
@@ -22,14 +38,33 @@ impl Network {
     }
 
     /// Registers a server for all its hostnames. Later registrations do not
-    /// displace earlier ones (first writer wins, like first-come DNS).
+    /// displace earlier ones (first writer wins, like first-come DNS);
+    /// every shadowed claim is recorded in [`Network::duplicate_hosts`].
     pub fn register(&mut self, server: OriginServer) -> usize {
         let idx = self.servers.len();
         for host in &server.hostnames {
-            self.by_host.entry(host.to_ascii_lowercase()).or_insert(idx);
+            let key = host.to_ascii_lowercase();
+            match self.by_host.entry(key.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    self.duplicates.push(DuplicateHost {
+                        hostname: key,
+                        kept_server: *e.get(),
+                        shadowed_server: idx,
+                    });
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(idx);
+                }
+            }
         }
         self.servers.push(server);
         idx
+    }
+
+    /// Hostnames claimed by more than one registration, in registration
+    /// order.
+    pub fn duplicate_hosts(&self) -> &[DuplicateHost] {
+        &self.duplicates
     }
 
     /// Resolves a hostname.
@@ -58,9 +93,9 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pinning_pki::universe::{PkiUniverse, UniverseConfig};
     use pinning_crypto::sig::KeyPair;
     use pinning_crypto::SplitMix64;
+    use pinning_pki::universe::{PkiUniverse, UniverseConfig};
 
     fn server(u: &mut PkiUniverse, rng: &mut SplitMix64, host: &str) -> OriginServer {
         let key = KeyPair::generate(rng);
@@ -92,6 +127,24 @@ mod tests {
         net.register(s1);
         net.register(s2);
         assert_eq!(net.resolve("x.com").unwrap().response_bytes, 111);
+        assert_eq!(
+            net.duplicate_hosts(),
+            &[DuplicateHost {
+                hostname: "x.com".into(),
+                kept_server: 0,
+                shadowed_server: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn unique_registrations_report_no_duplicates() {
+        let mut rng = SplitMix64::new(5);
+        let mut u = PkiUniverse::generate(&UniverseConfig::tiny(), &mut rng);
+        let mut net = Network::new();
+        net.register(server(&mut u, &mut rng, "a.com"));
+        net.register(server(&mut u, &mut rng, "b.com"));
+        assert!(net.duplicate_hosts().is_empty());
     }
 
     #[test]

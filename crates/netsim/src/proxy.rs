@@ -6,15 +6,15 @@
 //! matters: the forged chain and the fact that a successful interception
 //! exposes request plaintext (§4.2.1, §4.4).
 
-use parking_lot::Mutex;
+use pinning_crypto::sig::KeyPair;
+use pinning_crypto::SplitMix64;
 use pinning_pki::authority::CertificateAuthority;
 use pinning_pki::chain::CertificateChain;
 use pinning_pki::name::DistinguishedName;
 use pinning_pki::time::{SimTime, Validity, DAY};
 use pinning_pki::Certificate;
-use pinning_crypto::sig::KeyPair;
-use pinning_crypto::SplitMix64;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// A MITM proxy with its own CA.
 #[derive(Debug)]
@@ -35,20 +35,25 @@ impl MitmProxy {
             now - 30 * DAY,
         );
         let leaf_key = KeyPair::generate(rng);
-        MitmProxy { ca: Mutex::new(ca), leaf_key, forged: Mutex::new(HashMap::new()), now }
+        MitmProxy {
+            ca: Mutex::new(ca),
+            leaf_key,
+            forged: Mutex::new(HashMap::new()),
+            now,
+        }
     }
 
     /// The proxy's CA certificate — what gets installed into the test
     /// device's root store.
     pub fn ca_cert(&self) -> Certificate {
-        self.ca.lock().cert.clone()
+        self.ca.lock().expect("proxy lock poisoned").cert.clone()
     }
 
     /// Forges (or returns the cached) chain for `hostname`, mimicking the
     /// upstream certificate's name coverage.
     pub fn forge_chain(&self, hostname: &str, upstream: &CertificateChain) -> CertificateChain {
         let key = hostname.to_ascii_lowercase();
-        if let Some(chain) = self.forged.lock().get(&key) {
+        if let Some(chain) = self.forged.lock().expect("proxy lock poisoned").get(&key) {
             return chain.clone();
         }
         // Mirror the upstream leaf's SANs so hostname checks still pass.
@@ -66,7 +71,7 @@ impl MitmProxy {
             .leaf()
             .map(|l| l.tbs.subject.organization.clone())
             .unwrap_or_default();
-        let mut ca = self.ca.lock();
+        let mut ca = self.ca.lock().expect("proxy lock poisoned");
         let leaf = ca.issue_leaf(
             &hostnames,
             &organization,
@@ -74,13 +79,16 @@ impl MitmProxy {
             Validity::starting(self.now - DAY, 365 * DAY),
         );
         let chain = CertificateChain::new(vec![leaf, ca.cert.clone()]);
-        self.forged.lock().insert(key, chain.clone());
+        self.forged
+            .lock()
+            .expect("proxy lock poisoned")
+            .insert(key, chain.clone());
         chain
     }
 
     /// Number of distinct hostnames forged so far.
     pub fn forged_count(&self) -> usize {
-        self.forged.lock().len()
+        self.forged.lock().expect("proxy lock poisoned").len()
     }
 }
 

@@ -55,17 +55,16 @@ impl OriginServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pinning_pki::universe::{PkiUniverse, UniverseConfig};
     use pinning_crypto::sig::KeyPair;
     use pinning_crypto::SplitMix64;
+    use pinning_pki::universe::{PkiUniverse, UniverseConfig};
 
     #[test]
     fn construction_defaults() {
         let mut rng = SplitMix64::new(1);
         let mut u = PkiUniverse::generate(&UniverseConfig::tiny(), &mut rng);
         let key = KeyPair::generate(&mut rng);
-        let chain =
-            u.issue_server_chain(&["a.com".to_string()], "A", &key, 398, &mut rng);
+        let chain = u.issue_server_chain(&["a.com".to_string()], "A", &key, 398, &mut rng);
         let s = OriginServer::modern(vec!["a.com".into()], "A".into(), chain);
         assert!(s.versions.contains(&TlsVersion::V1_3));
         assert!(s.reliability > 0.99);

@@ -6,7 +6,8 @@
 //! pipeline. The encoding reuses the deterministic TLV machinery from
 //! `pinning-pki` and is versioned by a magic header.
 
-use crate::flow::{Capture, FlowOrigin, FlowRecord};
+use crate::faults::FaultKind;
+use crate::flow::{Capture, FaultEvent, FlowOrigin, FlowRecord};
 use pinning_pki::encode::{Reader, Writer};
 use pinning_pki::error::DecodeError;
 use pinning_tls::alert::{AlertDescription, AlertLevel};
@@ -14,8 +15,12 @@ use pinning_tls::cipher::CipherSuite;
 use pinning_tls::record::{ContentType, Direction, RecordEvent, TcpEvent, WireEvent};
 use pinning_tls::{ConnectionTranscript, TlsVersion};
 
-/// Magic + version header.
-pub const MAGIC: &[u8; 8] = b"SIMCAP01";
+/// Magic + version header. `SIMCAP02` added the fault journal; `SIMCAP01`
+/// streams (no journal) are still readable.
+pub const MAGIC: &[u8; 8] = b"SIMCAP02";
+
+/// The previous format version: identical, minus the fault-event list.
+pub const MAGIC_V1: &[u8; 8] = b"SIMCAP01";
 
 // TLV tags local to this format (distinct from the certificate tags so a
 // mixed stream fails loudly instead of mis-parsing).
@@ -23,6 +28,7 @@ const TAG_CAPTURE: u8 = 0x50;
 const TAG_FLOW: u8 = 0x51;
 const TAG_TRANSCRIPT: u8 = 0x52;
 const TAG_EVENT: u8 = 0x53;
+const TAG_FAULT: u8 = 0x54;
 
 fn version_id(v: TlsVersion) -> u64 {
     match v {
@@ -63,11 +69,17 @@ const CIPHERS: [CipherSuite; 15] = [
 ];
 
 fn cipher_id(c: CipherSuite) -> u64 {
-    CIPHERS.iter().position(|&x| x == c).expect("cipher registered") as u64
+    CIPHERS
+        .iter()
+        .position(|&x| x == c)
+        .expect("cipher registered") as u64
 }
 
 fn cipher_from(id: u64) -> Result<CipherSuite, DecodeError> {
-    CIPHERS.get(id as usize).copied().ok_or(DecodeError::BadFieldSize)
+    CIPHERS
+        .get(id as usize)
+        .copied()
+        .ok_or(DecodeError::BadFieldSize)
 }
 
 fn content_id(c: ContentType) -> u64 {
@@ -138,6 +150,59 @@ fn origin_from(id: u64) -> Result<FlowOrigin, DecodeError> {
     })
 }
 
+fn fault_kind_id(k: FaultKind) -> u64 {
+    match k {
+        FaultKind::Dns => 0,
+        FaultKind::TcpReset => 1,
+        FaultKind::HandshakeTimeout => 2,
+        FaultKind::Truncation => 3,
+        FaultKind::ProxyCaUnavailable => 4,
+        FaultKind::DeviceCrash => 5,
+    }
+}
+
+fn fault_kind_from(id: u64) -> Result<FaultKind, DecodeError> {
+    Ok(match id {
+        0 => FaultKind::Dns,
+        1 => FaultKind::TcpReset,
+        2 => FaultKind::HandshakeTimeout,
+        3 => FaultKind::Truncation,
+        4 => FaultKind::ProxyCaUnavailable,
+        5 => FaultKind::DeviceCrash,
+        _ => return Err(DecodeError::BadFieldSize),
+    })
+}
+
+fn write_fault(w: &mut Writer, f: &FaultEvent) {
+    w.nested(TAG_FAULT, |w| {
+        match &f.domain {
+            Some(d) => {
+                w.boolean(true);
+                w.string(d);
+            }
+            None => w.boolean(false),
+        }
+        w.u64(fault_kind_id(f.kind));
+        w.u64(f.at_secs as u64);
+    });
+}
+
+fn read_fault(r: &mut Reader<'_>) -> Result<FaultEvent, DecodeError> {
+    let mut f = r.nested(TAG_FAULT)?;
+    let domain = if f.boolean()? {
+        Some(f.string()?)
+    } else {
+        None
+    };
+    let kind = fault_kind_from(f.u64()?)?;
+    let at_secs = f.u64()? as u32;
+    Ok(FaultEvent {
+        domain,
+        kind,
+        at_secs,
+    })
+}
+
 fn write_event(w: &mut Writer, ev: &WireEvent) {
     w.nested(TAG_EVENT, |w| match ev {
         WireEvent::Tcp(t) => {
@@ -184,8 +249,12 @@ fn read_event(r: &mut Reader<'_>) -> Result<WireEvent, DecodeError> {
             let dir = e.u64()?;
             WireEvent::Tcp(match kind {
                 0 => TcpEvent::Established,
-                1 => TcpEvent::Rst { from: direction_from(dir)? },
-                2 => TcpEvent::Fin { from: direction_from(dir)? },
+                1 => TcpEvent::Rst {
+                    from: direction_from(dir)?,
+                },
+                2 => TcpEvent::Fin {
+                    from: direction_from(dir)?,
+                },
                 _ => return Err(DecodeError::BadFieldSize),
             })
         }
@@ -199,7 +268,11 @@ fn read_event(r: &mut Reader<'_>) -> Result<WireEvent, DecodeError> {
                 let fatal = e.boolean()?;
                 let desc = alert_desc_from(e.u64()?)?;
                 Some((
-                    if fatal { AlertLevel::Fatal } else { AlertLevel::Warning },
+                    if fatal {
+                        AlertLevel::Fatal
+                    } else {
+                        AlertLevel::Warning
+                    },
                     desc,
                 ))
             } else {
@@ -243,7 +316,11 @@ fn write_transcript(w: &mut Writer, t: &ConnectionTranscript) {
 
 fn read_transcript(r: &mut Reader<'_>) -> Result<ConnectionTranscript, DecodeError> {
     let mut t = r.nested(TAG_TRANSCRIPT)?;
-    let sni = if t.boolean()? { Some(t.string()?) } else { None };
+    let sni = if t.boolean()? {
+        Some(t.string()?)
+    } else {
+        None
+    };
     let offered_versions = t.list(|r| version_from(r.u64()?))?;
     let offered_ciphers = t.list(|r| cipher_from(r.u64()?))?;
     let negotiated = if t.boolean()? {
@@ -254,7 +331,13 @@ fn read_transcript(r: &mut Reader<'_>) -> Result<ConnectionTranscript, DecodeErr
         None
     };
     let events = t.list(read_event)?;
-    Ok(ConnectionTranscript { sni, offered_versions, offered_ciphers, negotiated, events })
+    Ok(ConnectionTranscript {
+        sni,
+        offered_versions,
+        offered_ciphers,
+        negotiated,
+        events,
+    })
 }
 
 /// Serializes a capture to bytes.
@@ -279,14 +362,21 @@ pub fn serialize(capture: &Capture) -> Vec<u8> {
                 write_transcript(w, &f.transcript);
             });
         });
+        w.list(&capture.faults, write_fault);
     });
     out.extend_from_slice(&w.into_bytes());
     out
 }
 
-/// Deserializes a capture.
+/// Deserializes a capture (current or previous format version).
 pub fn deserialize(bytes: &[u8]) -> Result<Capture, DecodeError> {
-    let body = bytes.strip_prefix(MAGIC.as_slice()).ok_or(DecodeError::BadPem)?;
+    let (body, has_faults) = if let Some(b) = bytes.strip_prefix(MAGIC.as_slice()) {
+        (b, true)
+    } else if let Some(b) = bytes.strip_prefix(MAGIC_V1.as_slice()) {
+        (b, false)
+    } else {
+        return Err(DecodeError::BadPem);
+    };
     let mut r = Reader::new(body);
     let mut c = r.nested(TAG_CAPTURE)?;
     let window_secs = c.u64()? as u32;
@@ -296,11 +386,31 @@ pub fn deserialize(bytes: &[u8]) -> Result<Capture, DecodeError> {
         let at_secs = f.u64()? as u32;
         let origin = origin_from(f.u64()?)?;
         let mitm_attempted = f.boolean()?;
-        let decrypted_request = if f.boolean()? { Some(f.string()?) } else { None };
+        let decrypted_request = if f.boolean()? {
+            Some(f.string()?)
+        } else {
+            None
+        };
         let transcript = read_transcript(&mut f)?;
-        Ok(FlowRecord { dest, at_secs, origin, transcript, mitm_attempted, decrypted_request })
+        Ok(FlowRecord {
+            dest,
+            at_secs,
+            origin,
+            transcript,
+            mitm_attempted,
+            decrypted_request,
+        })
     })?;
-    Ok(Capture { flows, window_secs })
+    let faults = if has_faults {
+        c.list(read_fault)?
+    } else {
+        Vec::new()
+    };
+    Ok(Capture {
+        flows,
+        window_secs,
+        faults,
+    })
 }
 
 #[cfg(test)]
@@ -329,11 +439,15 @@ mod tests {
             AlertLevel::Fatal,
             AlertDescription::UnknownCa,
         ));
-        t.push_tcp(TcpEvent::Fin { from: Direction::ClientToServer });
+        t.push_tcp(TcpEvent::Fin {
+            from: Direction::ClientToServer,
+        });
 
         let mut t2 = ConnectionTranscript::new();
         t2.push_tcp(TcpEvent::Established);
-        t2.push_tcp(TcpEvent::Rst { from: Direction::ServerToClient });
+        t2.push_tcp(TcpEvent::Rst {
+            from: Direction::ServerToClient,
+        });
 
         Capture {
             flows: vec![
@@ -355,6 +469,18 @@ mod tests {
                 },
             ],
             window_secs: 30,
+            faults: vec![
+                FaultEvent {
+                    domain: Some("api.x.com".into()),
+                    kind: FaultKind::TcpReset,
+                    at_secs: 4,
+                },
+                FaultEvent {
+                    domain: None,
+                    kind: FaultKind::DeviceCrash,
+                    at_secs: 12,
+                },
+            ],
         }
     }
 
@@ -373,6 +499,39 @@ mod tests {
             assert_eq!(a.decrypted_request, b.decrypted_request);
             assert_eq!(a.transcript, b.transcript);
         }
+        assert_eq!(back.faults, cap.faults);
+    }
+
+    #[test]
+    fn v1_streams_without_fault_journal_still_parse() {
+        // A SIMCAP01 stream is the same encoding minus the trailing fault
+        // list; re-encode the sample by hand to prove back-compat.
+        let cap = sample_capture();
+        let mut out = MAGIC_V1.to_vec();
+        let mut w = Writer::new();
+        w.nested(TAG_CAPTURE, |w| {
+            w.u64(cap.window_secs as u64);
+            w.list(&cap.flows, |w, f| {
+                w.nested(TAG_FLOW, |w| {
+                    w.string(&f.dest);
+                    w.u64(f.at_secs as u64);
+                    w.u64(origin_id(f.origin));
+                    w.boolean(f.mitm_attempted);
+                    match &f.decrypted_request {
+                        Some(body) => {
+                            w.boolean(true);
+                            w.string(body);
+                        }
+                        None => w.boolean(false),
+                    }
+                    write_transcript(w, &f.transcript);
+                });
+            });
+        });
+        out.extend_from_slice(&w.into_bytes());
+        let back = deserialize(&out).unwrap();
+        assert_eq!(back.flows.len(), cap.flows.len());
+        assert!(back.faults.is_empty(), "v1 streams carry no journal");
     }
 
     #[test]
@@ -393,7 +552,11 @@ mod tests {
 
     #[test]
     fn empty_capture_roundtrip() {
-        let cap = Capture { flows: vec![], window_secs: 15 };
+        let cap = Capture {
+            flows: vec![],
+            window_secs: 15,
+            faults: vec![],
+        };
         let back = deserialize(&serialize(&cap)).unwrap();
         assert_eq!(back.window_secs, 15);
         assert!(back.flows.is_empty());

@@ -1,159 +1,179 @@
-//! Property tests for the netsim substrate: simcap roundtrips over
-//! arbitrary captures, and proxy-forging invariants.
+//! Property-style tests for the netsim substrate: simcap roundtrips over
+//! arbitrary captures, and corruption robustness. Inputs come from a
+//! deterministic SplitMix64 sweep (no external crates, fully offline).
 
+use pinning_crypto::SplitMix64;
 use pinning_netsim::flow::{Capture, FlowOrigin, FlowRecord};
 use pinning_netsim::simcap;
 use pinning_tls::alert::{AlertDescription, AlertLevel};
 use pinning_tls::cipher::CipherSuite;
 use pinning_tls::record::{ContentType, Direction, RecordEvent, TcpEvent};
 use pinning_tls::{ConnectionTranscript, TlsVersion};
-use proptest::prelude::*;
 
-fn arb_direction() -> impl Strategy<Value = Direction> {
-    prop_oneof![Just(Direction::ClientToServer), Just(Direction::ServerToClient)]
+fn pick<T: Copy>(rng: &mut SplitMix64, xs: &[T]) -> T {
+    xs[rng.next_below(xs.len() as u64) as usize]
 }
 
-fn arb_content() -> impl Strategy<Value = ContentType> {
-    prop_oneof![
-        Just(ContentType::Handshake),
-        Just(ContentType::Alert),
-        Just(ContentType::ApplicationData),
-        Just(ContentType::ChangeCipherSpec),
-    ]
+fn hostname(rng: &mut SplitMix64) -> String {
+    let label = |rng: &mut SplitMix64, min: u64, max: u64| -> String {
+        let len = min + rng.next_below(max - min + 1);
+        (0..len)
+            .map(|_| (b'a' + rng.next_below(26) as u8) as char)
+            .collect()
+    };
+    format!("{}.{}", label(rng, 1, 12), label(rng, 2, 6))
 }
 
-fn arb_version() -> impl Strategy<Value = TlsVersion> {
-    prop_oneof![
-        Just(TlsVersion::V1_0),
-        Just(TlsVersion::V1_1),
-        Just(TlsVersion::V1_2),
-        Just(TlsVersion::V1_3),
-    ]
+fn arb_direction(rng: &mut SplitMix64) -> Direction {
+    pick(rng, &[Direction::ClientToServer, Direction::ServerToClient])
 }
 
-fn arb_cipher() -> impl Strategy<Value = CipherSuite> {
-    prop::sample::select(CipherSuite::legacy_client_list())
-}
-
-fn arb_alert_desc() -> impl Strategy<Value = AlertDescription> {
-    prop_oneof![
-        Just(AlertDescription::CloseNotify),
-        Just(AlertDescription::HandshakeFailure),
-        Just(AlertDescription::BadCertificate),
-        Just(AlertDescription::CertificateUnknown),
-        Just(AlertDescription::UnknownCa),
-        Just(AlertDescription::ProtocolVersion),
-        Just(AlertDescription::UnrecognizedName),
-    ]
-}
-
-prop_compose! {
-    fn arb_record()(
-        direction in arb_direction(),
-        version in arb_version(),
-        inner in arb_content(),
-        encrypted in any::<bool>(),
-        len in 0usize..4096,
-        alert in proptest::option::of((any::<bool>(), arb_alert_desc())),
-    ) -> RecordEvent {
-        if encrypted {
-            RecordEvent::encrypted(direction, version, inner, len)
-        } else if let Some((fatal, desc)) = alert {
-            RecordEvent::plaintext_alert(
-                direction,
-                if fatal { AlertLevel::Fatal } else { AlertLevel::Warning },
-                desc,
-            )
-        } else {
-            RecordEvent::handshake(direction, len)
-        }
-    }
-}
-
-prop_compose! {
-    fn arb_transcript()(
-        sni in proptest::option::of("[a-z]{1,12}\\.[a-z]{2,6}"),
-        versions in proptest::collection::vec(arb_version(), 0..4),
-        ciphers in proptest::collection::vec(arb_cipher(), 0..8),
-        negotiated in proptest::option::of((arb_version(), arb_cipher())),
-        records in proptest::collection::vec(arb_record(), 0..12),
-        rst in any::<bool>(),
-    ) -> ConnectionTranscript {
-        let mut t = ConnectionTranscript {
-            sni,
-            offered_versions: versions,
-            offered_ciphers: ciphers,
-            negotiated,
-            ..Default::default()
-        };
-        t.push_tcp(TcpEvent::Established);
-        for r in records {
-            t.push_record(r);
-        }
-        if rst {
-            t.push_tcp(TcpEvent::Rst { from: Direction::ClientToServer });
-        }
-        t
-    }
-}
-
-prop_compose! {
-    fn arb_flow()(
-        dest in "[a-z]{1,12}\\.[a-z]{2,6}",
-        at_secs in 0u32..60,
-        origin in prop_oneof![
-            Just(FlowOrigin::App),
-            Just(FlowOrigin::OsAssociatedDomains),
-            Just(FlowOrigin::OsBackground),
+fn arb_version(rng: &mut SplitMix64) -> TlsVersion {
+    pick(
+        rng,
+        &[
+            TlsVersion::V1_0,
+            TlsVersion::V1_1,
+            TlsVersion::V1_2,
+            TlsVersion::V1_3,
         ],
-        transcript in arb_transcript(),
-        mitm in any::<bool>(),
-        body in proptest::option::of("[ -~]{0,80}"),
-    ) -> FlowRecord {
-        FlowRecord {
-            dest,
-            at_secs,
-            origin,
-            transcript,
-            mitm_attempted: mitm,
-            decrypted_request: body,
-        }
+    )
+}
+
+fn arb_cipher(rng: &mut SplitMix64) -> CipherSuite {
+    let list = CipherSuite::legacy_client_list();
+    list[rng.next_below(list.len() as u64) as usize]
+}
+
+fn arb_record(rng: &mut SplitMix64) -> RecordEvent {
+    let direction = arb_direction(rng);
+    let version = arb_version(rng);
+    let inner = pick(
+        rng,
+        &[
+            ContentType::Handshake,
+            ContentType::Alert,
+            ContentType::ApplicationData,
+            ContentType::ChangeCipherSpec,
+        ],
+    );
+    let len = rng.next_below(4096) as usize;
+    if rng.chance(0.5) {
+        RecordEvent::encrypted(direction, version, inner, len)
+    } else if rng.chance(0.5) {
+        let desc = pick(
+            rng,
+            &[
+                AlertDescription::CloseNotify,
+                AlertDescription::HandshakeFailure,
+                AlertDescription::BadCertificate,
+                AlertDescription::CertificateUnknown,
+                AlertDescription::UnknownCa,
+                AlertDescription::ProtocolVersion,
+                AlertDescription::UnrecognizedName,
+            ],
+        );
+        let level = if rng.chance(0.5) {
+            AlertLevel::Fatal
+        } else {
+            AlertLevel::Warning
+        };
+        RecordEvent::plaintext_alert(direction, level, desc)
+    } else {
+        RecordEvent::handshake(direction, len)
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_transcript(rng: &mut SplitMix64) -> ConnectionTranscript {
+    let sni = rng.chance(0.5).then(|| hostname(rng));
+    let versions = (0..rng.next_below(4)).map(|_| arb_version(rng)).collect();
+    let ciphers = (0..rng.next_below(8)).map(|_| arb_cipher(rng)).collect();
+    let negotiated = rng.chance(0.5).then(|| (arb_version(rng), arb_cipher(rng)));
+    let mut t = ConnectionTranscript {
+        sni,
+        offered_versions: versions,
+        offered_ciphers: ciphers,
+        negotiated,
+        ..Default::default()
+    };
+    t.push_tcp(TcpEvent::Established);
+    for _ in 0..rng.next_below(12) {
+        t.push_record(arb_record(rng));
+    }
+    if rng.chance(0.5) {
+        t.push_tcp(TcpEvent::Rst {
+            from: Direction::ClientToServer,
+        });
+    }
+    t
+}
 
-    #[test]
-    fn simcap_roundtrips_arbitrary_captures(
-        flows in proptest::collection::vec(arb_flow(), 0..10),
-        window in 1u32..120,
-    ) {
-        let cap = Capture { flows, window_secs: window };
+fn arb_flow(rng: &mut SplitMix64) -> FlowRecord {
+    let printable: Vec<u8> = (0x20u8..0x7f).collect();
+    let body = rng.chance(0.5).then(|| {
+        let len = rng.next_below(81);
+        (0..len)
+            .map(|_| printable[rng.next_below(printable.len() as u64) as usize] as char)
+            .collect::<String>()
+    });
+    FlowRecord {
+        dest: hostname(rng),
+        at_secs: rng.next_below(60) as u32,
+        origin: pick(
+            rng,
+            &[
+                FlowOrigin::App,
+                FlowOrigin::OsAssociatedDomains,
+                FlowOrigin::OsBackground,
+            ],
+        ),
+        transcript: arb_transcript(rng),
+        mitm_attempted: rng.chance(0.5),
+        decrypted_request: body,
+    }
+}
+
+fn arb_capture(rng: &mut SplitMix64, max_flows: u64) -> Capture {
+    Capture {
+        flows: (0..rng.next_below(max_flows + 1))
+            .map(|_| arb_flow(rng))
+            .collect(),
+        window_secs: 1 + rng.next_below(119) as u32,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn simcap_roundtrips_arbitrary_captures() {
+    let mut rng = SplitMix64::new(0x51c);
+    for _ in 0..64 {
+        let cap = arb_capture(&mut rng, 10);
         let bytes = simcap::serialize(&cap);
         let back = simcap::deserialize(&bytes).unwrap();
-        prop_assert_eq!(back.window_secs, cap.window_secs);
-        prop_assert_eq!(back.flows.len(), cap.flows.len());
+        assert_eq!(back.window_secs, cap.window_secs);
+        assert_eq!(back.flows.len(), cap.flows.len());
         for (a, b) in cap.flows.iter().zip(&back.flows) {
-            prop_assert_eq!(&a.dest, &b.dest);
-            prop_assert_eq!(a.at_secs, b.at_secs);
-            prop_assert_eq!(a.origin, b.origin);
-            prop_assert_eq!(a.mitm_attempted, b.mitm_attempted);
-            prop_assert_eq!(&a.decrypted_request, &b.decrypted_request);
-            prop_assert_eq!(&a.transcript, &b.transcript);
+            assert_eq!(&a.dest, &b.dest);
+            assert_eq!(a.at_secs, b.at_secs);
+            assert_eq!(a.origin, b.origin);
+            assert_eq!(a.mitm_attempted, b.mitm_attempted);
+            assert_eq!(&a.decrypted_request, &b.decrypted_request);
+            assert_eq!(&a.transcript, &b.transcript);
         }
     }
+}
 
-    #[test]
-    fn simcap_never_panics_on_mutation(
-        flows in proptest::collection::vec(arb_flow(), 1..4),
-        flip_at in any::<prop::sample::Index>(),
-        flip_bit in 0u8..8,
-    ) {
-        let cap = Capture { flows, window_secs: 30 };
+#[test]
+fn simcap_never_panics_on_mutation() {
+    let mut rng = SplitMix64::new(0x1a7);
+    for _ in 0..128 {
+        let mut cap = arb_capture(&mut rng, 3);
+        if cap.flows.is_empty() {
+            cap.flows.push(arb_flow(&mut rng));
+        }
         let mut bytes = simcap::serialize(&cap);
-        let i = flip_at.index(bytes.len());
-        bytes[i] ^= 1 << flip_bit;
+        let i = rng.next_below(bytes.len() as u64) as usize;
+        bytes[i] ^= 1 << rng.next_below(8);
         // Corrupted input must error or parse — never panic.
         let _ = simcap::deserialize(&bytes);
     }

@@ -21,11 +21,7 @@ impl CertificateAuthority {
     ///
     /// Root certificates conventionally have long validity; the default here
     /// is 25 simulated years starting at `from`.
-    pub fn new_root(
-        name: DistinguishedName,
-        rng: &mut SplitMix64,
-        from: SimTime,
-    ) -> Self {
+    pub fn new_root(name: DistinguishedName, rng: &mut SplitMix64, from: SimTime) -> Self {
         Self::new_root_with_validity(name, rng, Validity::starting(from, 25 * YEAR))
     }
 
@@ -49,7 +45,11 @@ impl CertificateAuthority {
         let signature = key.sign(&tbs.to_bytes());
         let cert = Certificate { tbs, signature };
         let next_serial = rng.next_u64() | 1;
-        CertificateAuthority { key, cert, next_serial }
+        CertificateAuthority {
+            key,
+            cert,
+            next_serial,
+        }
     }
 
     /// Issues an intermediate CA certificate (and returns the new authority).
@@ -74,7 +74,11 @@ impl CertificateAuthority {
         let signature = self.key.sign(&tbs.to_bytes());
         let cert = Certificate { tbs, signature };
         let next_serial = rng.next_u64() | 1;
-        CertificateAuthority { key, cert, next_serial }
+        CertificateAuthority {
+            key,
+            cert,
+            next_serial,
+        }
     }
 
     /// Issues a leaf (end-entity) certificate for `hostnames`.
@@ -188,7 +192,11 @@ mod tests {
         );
         assert!(!leaf.tbs.is_ca);
         assert_eq!(leaf.tbs.issuer, *root.name());
-        assert!(root.cert.tbs.public_key.verify(&leaf.tbs.to_bytes(), &leaf.signature));
+        assert!(root
+            .cert
+            .tbs
+            .public_key
+            .verify(&leaf.tbs.to_bytes(), &leaf.signature));
     }
 
     #[test]
@@ -215,9 +223,17 @@ mod tests {
             &leaf_key,
             Validity::starting(SimTime(0), 100),
         );
-        assert!(inter.cert.tbs.public_key.verify(&leaf.tbs.to_bytes(), &leaf.signature));
+        assert!(inter
+            .cert
+            .tbs
+            .public_key
+            .verify(&leaf.tbs.to_bytes(), &leaf.signature));
         // Root key did NOT sign the leaf.
-        assert!(!root.cert.tbs.public_key.verify(&leaf.tbs.to_bytes(), &leaf.signature));
+        assert!(!root
+            .cert
+            .tbs
+            .public_key
+            .verify(&leaf.tbs.to_bytes(), &leaf.signature));
     }
 
     #[test]

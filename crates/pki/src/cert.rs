@@ -116,7 +116,10 @@ impl Certificate {
                 serial,
                 subject,
                 issuer,
-                validity: Validity { not_before, not_after },
+                validity: Validity {
+                    not_before,
+                    not_after,
+                },
                 san,
                 public_key: PublicKey { spki, verifier },
                 is_ca,
@@ -154,10 +157,16 @@ impl Certificate {
     /// Whether the certificate's names cover `hostname` (checks SANs, then
     /// falls back to the CN as legacy stacks do).
     pub fn matches_hostname(&self, hostname: &str) -> bool {
-        if self.tbs.san.iter().any(|p| crate::name::match_hostname(p, hostname)) {
+        if self
+            .tbs
+            .san
+            .iter()
+            .any(|p| crate::name::match_hostname(p, hostname))
+        {
             return true;
         }
-        self.tbs.san.is_empty() && crate::name::match_hostname(&self.tbs.subject.common_name, hostname)
+        self.tbs.san.is_empty()
+            && crate::name::match_hostname(&self.tbs.subject.common_name, hostname)
     }
 }
 
@@ -181,7 +190,10 @@ mod tests {
             path_len: None,
         };
         let sig = key.sign(&tbs.to_bytes()); // self-signed for test purposes
-        Certificate { tbs, signature: sig }
+        Certificate {
+            tbs,
+            signature: sig,
+        }
     }
 
     #[test]

@@ -120,7 +120,10 @@ mod tests {
     fn accessors() {
         let chain = build_three_level();
         assert_eq!(chain.len(), 3);
-        assert_eq!(chain.leaf().unwrap().tbs.subject.common_name, "shop.example.com");
+        assert_eq!(
+            chain.leaf().unwrap().tbs.subject.common_name,
+            "shop.example.com"
+        );
         assert_eq!(chain.top().unwrap().tbs.subject.common_name, "Root");
         assert_eq!(chain.intermediates().len(), 1);
         assert_eq!(chain.intermediates()[0].tbs.subject.common_name, "Inter");

@@ -60,7 +60,8 @@ impl Writer {
 
     fn tlv(&mut self, t: u8, value: &[u8]) {
         self.buf.push(t);
-        self.buf.extend_from_slice(&(value.len() as u32).to_be_bytes());
+        self.buf
+            .extend_from_slice(&(value.len() as u32).to_be_bytes());
         self.buf.extend_from_slice(value);
     }
 
@@ -147,8 +148,8 @@ impl<'a> Reader<'a> {
             return Err(DecodeError::UnexpectedTag { expected, found: t });
         }
         let len_bytes = self.take(4)?;
-        let len = u32::from_be_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]])
-            as usize;
+        let len =
+            u32::from_be_bytes([len_bytes[0], len_bytes[1], len_bytes[2], len_bytes[3]]) as usize;
         if self.pos + len > self.input.len() {
             return Err(DecodeError::BadLength);
         }
@@ -162,7 +163,9 @@ impl<'a> Reader<'a> {
             return Err(DecodeError::BadFieldSize);
         }
         let b = self.take(8)?;
-        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Reads a tagged UTF-8 string.
@@ -207,7 +210,10 @@ impl<'a> Reader<'a> {
                 let _ = self.header(tag::NONE)?;
                 Ok(None)
             }
-            found => Err(DecodeError::UnexpectedTag { expected: tag::SOME, found }),
+            found => Err(DecodeError::UnexpectedTag {
+                expected: tag::SOME,
+                found,
+            }),
         }
     }
 
@@ -341,7 +347,10 @@ mod tests {
         let bytes = w.into_bytes();
         assert_eq!(
             Reader::new(&bytes).string(),
-            Err(DecodeError::UnexpectedTag { expected: tag::STRING, found: tag::U64 })
+            Err(DecodeError::UnexpectedTag {
+                expected: tag::STRING,
+                found: tag::U64
+            })
         );
     }
 
@@ -350,9 +359,15 @@ mod tests {
         let mut w = Writer::new();
         w.bytes(&[1, 2, 3, 4, 5]);
         let bytes = w.into_bytes();
-        assert_eq!(Reader::new(&bytes[..4]).bytes(), Err(DecodeError::Truncated));
+        assert_eq!(
+            Reader::new(&bytes[..4]).bytes(),
+            Err(DecodeError::Truncated)
+        );
         // Header claims 5 bytes but body cut short → BadLength.
-        assert_eq!(Reader::new(&bytes[..7]).bytes(), Err(DecodeError::BadLength));
+        assert_eq!(
+            Reader::new(&bytes[..7]).bytes(),
+            Err(DecodeError::BadLength)
+        );
     }
 
     #[test]
@@ -368,7 +383,11 @@ mod tests {
     fn pem_roundtrip_multiple_with_junk() {
         let a = vec![1u8; 10];
         let b = vec![2u8; 200];
-        let text = format!("garbage\n{}\nmiddle junk{}\ntrailing", pem_encode(&a), pem_encode(&b));
+        let text = format!(
+            "garbage\n{}\nmiddle junk{}\ntrailing",
+            pem_encode(&a),
+            pem_encode(&b)
+        );
         assert_eq!(pem_decode_all(&text).unwrap(), vec![a, b]);
     }
 

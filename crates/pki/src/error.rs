@@ -69,8 +69,15 @@ impl core::fmt::Display for ValidationError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ValidationError::EmptyChain => write!(f, "empty certificate chain"),
-            ValidationError::Expired { subject, not_after, now } => {
-                write!(f, "certificate {subject:?} expired at {not_after} (now {now})")
+            ValidationError::Expired {
+                subject,
+                not_after,
+                now,
+            } => {
+                write!(
+                    f,
+                    "certificate {subject:?} expired at {not_after} (now {now})"
+                )
             }
             ValidationError::NotYetValid { subject } => {
                 write!(f, "certificate {subject:?} not yet valid")
@@ -79,10 +86,16 @@ impl core::fmt::Display for ValidationError {
                 write!(f, "bad signature on certificate {subject:?}")
             }
             ValidationError::BrokenLinkage { child, parent } => {
-                write!(f, "chain linkage broken: {parent:?} did not issue {child:?}")
+                write!(
+                    f,
+                    "chain linkage broken: {parent:?} did not issue {child:?}"
+                )
             }
             ValidationError::UnknownRoot { top_subject } => {
-                write!(f, "chain does not terminate at a trusted root (top: {top_subject:?})")
+                write!(
+                    f,
+                    "chain does not terminate at a trusted root (top: {top_subject:?})"
+                )
             }
             ValidationError::NotACa { subject } => {
                 write!(f, "certificate {subject:?} used as issuer but is not a CA")
@@ -131,7 +144,10 @@ impl core::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "input truncated"),
             DecodeError::UnexpectedTag { expected, found } => {
-                write!(f, "unexpected tag: expected {expected:#04x}, found {found:#04x}")
+                write!(
+                    f,
+                    "unexpected tag: expected {expected:#04x}, found {found:#04x}"
+                )
             }
             DecodeError::BadLength => write!(f, "length field exceeds input"),
             DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),

@@ -37,9 +37,7 @@ impl HpkpHeader {
         let mut parts: Vec<String> = self
             .pins
             .iter()
-            .map(|p| {
-                format!("pin-sha256=\"{}\"", pinning_crypto::b64encode(&p.digest))
-            })
+            .map(|p| format!("pin-sha256=\"{}\"", pinning_crypto::b64encode(&p.digest)))
             .collect();
         parts.push(format!("max-age={}", self.max_age));
         if self.include_subdomains {
@@ -66,7 +64,11 @@ impl HpkpHeader {
                 include_subdomains = true;
             }
         }
-        Some(HpkpHeader { pins, max_age: max_age?, include_subdomains })
+        Some(HpkpHeader {
+            pins,
+            max_age: max_age?,
+            include_subdomains,
+        })
     }
 
     /// RFC 7469 validity: at least two pins (one must be a backup not on
@@ -117,11 +119,7 @@ impl HpkpCache {
         now: SimTime,
     ) -> HpkpVerdict {
         // Expire stale entries lazily.
-        if self
-            .by_host
-            .get(host)
-            .is_some_and(|e| e.expires < now)
-        {
+        if self.by_host.get(host).is_some_and(|e| e.expires < now) {
             self.by_host.remove(host);
         }
 
@@ -230,7 +228,10 @@ mod tests {
             max_age: 5_000_000,
             include_subdomains: false,
         };
-        Site { chain: vec![leaf, root.cert.clone()], header }
+        Site {
+            chain: vec![leaf, root.cert.clone()],
+            header,
+        }
     }
 
     #[test]
@@ -274,12 +275,22 @@ mod tests {
         let mut cache = HpkpCache::new();
         // Attacker intercepts the FIRST visit and plants their own pins.
         assert_eq!(
-            cache.observe("site.example", &attacker.chain, Some(&attacker.header), SimTime(10)),
+            cache.observe(
+                "site.example",
+                &attacker.chain,
+                Some(&attacker.header),
+                SimTime(10)
+            ),
             HpkpVerdict::NoPolicy
         );
         // The genuine site now FAILS its own users.
         assert_eq!(
-            cache.observe("site.example", &genuine.chain, Some(&genuine.header), SimTime(20)),
+            cache.observe(
+                "site.example",
+                &genuine.chain,
+                Some(&genuine.header),
+                SimTime(20)
+            ),
             HpkpVerdict::Fail
         );
     }
@@ -321,21 +332,31 @@ mod tests {
         let s = site(9);
         let mut cache = HpkpCache::new();
         cache.observe("site.example", &s.chain, Some(&s.header), SimTime(0));
-        let clear = HpkpHeader { max_age: 0, ..s.header.clone() };
+        let clear = HpkpHeader {
+            max_age: 0,
+            ..s.header.clone()
+        };
         // max-age=0 is the only sanctioned way out — and requires a PASSING
         // connection first. (`well_formed` rejects max_age == 0 for *new*
         // policies, so clear it through the dedicated path.)
         let verdict = cache.observe("site.example", &s.chain, Some(&clear), SimTime(10));
         assert_eq!(verdict, HpkpVerdict::Pass);
         // Policy removal honoured?
-        assert_eq!(cache.len(), 1, "malformed (max-age=0) header must be ignored by note step");
+        assert_eq!(
+            cache.len(),
+            1,
+            "malformed (max-age=0) header must be ignored by note step"
+        );
     }
 
     #[test]
     fn include_subdomains_walks_parents() {
         let s = site(10);
         let mut cache = HpkpCache::new();
-        let header = HpkpHeader { include_subdomains: true, ..s.header.clone() };
+        let header = HpkpHeader {
+            include_subdomains: true,
+            ..s.header.clone()
+        };
         cache.observe("site.example", &s.chain, Some(&header), SimTime(0));
         assert_eq!(
             cache.observe("api.site.example", &s.chain, None, SimTime(5)),
@@ -358,6 +379,9 @@ mod tests {
             SpkiPin::sha256_of(&genuine.chain[0]),
         )]);
         assert!(pinset.matches_chain(&genuine.chain));
-        assert!(!pinset.matches_chain(&attacker.chain), "first contact already protected");
+        assert!(
+            !pinset.matches_chain(&attacker.chain),
+            "first contact already protected"
+        );
     }
 }

@@ -7,8 +7,8 @@
 //! a hash of it, or an SPKI hash.
 
 use crate::cert::Certificate;
-use pinning_crypto::base64::b64decode;
 use pinning_crypto::b64encode;
+use pinning_crypto::base64::b64decode;
 
 /// Digest algorithm of an SPKI pin.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,12 +52,18 @@ pub struct SpkiPin {
 impl SpkiPin {
     /// Pins the SPKI of `cert` with SHA-256.
     pub fn sha256_of(cert: &Certificate) -> Self {
-        SpkiPin { alg: PinAlgorithm::Sha256, digest: cert.spki_sha256().to_vec() }
+        SpkiPin {
+            alg: PinAlgorithm::Sha256,
+            digest: cert.spki_sha256().to_vec(),
+        }
     }
 
     /// Pins the SPKI of `cert` with SHA-1.
     pub fn sha1_of(cert: &Certificate) -> Self {
-        SpkiPin { alg: PinAlgorithm::Sha1, digest: cert.spki_sha1().to_vec() }
+        SpkiPin {
+            alg: PinAlgorithm::Sha1,
+            digest: cert.spki_sha1().to_vec(),
+        }
     }
 
     /// The conventional string form, e.g. `sha256/AAAA...=`.
@@ -245,7 +251,13 @@ mod tests {
             &new_key,
             Validity::starting(SimTime(YEAR), YEAR),
         );
-        Fixture { root: root.cert.clone(), inter: inter.cert.clone(), leaf, renewed_same_key, renewed_new_key }
+        Fixture {
+            root: root.cert.clone(),
+            inter: inter.cert.clone(),
+            leaf,
+            renewed_same_key,
+            renewed_new_key,
+        }
     }
 
     #[test]

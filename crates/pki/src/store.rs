@@ -21,7 +21,10 @@ pub struct RootStore {
 impl RootStore {
     /// Creates an empty store.
     pub fn new(name: impl Into<String>) -> Self {
-        RootStore { name: name.into(), by_subject: HashMap::new() }
+        RootStore {
+            name: name.into(),
+            by_subject: HashMap::new(),
+        }
     }
 
     /// The store's name (e.g. `"AOSP"`, `"iOS"`, `"Mozilla"`).

@@ -75,7 +75,10 @@ pub struct Validity {
 impl Validity {
     /// A window starting at `from` and lasting `duration_secs`.
     pub fn starting(from: SimTime, duration_secs: u64) -> Self {
-        Validity { not_before: from, not_after: from + duration_secs }
+        Validity {
+            not_before: from,
+            not_after: from + duration_secs,
+        }
     }
 
     /// Whether `now` falls inside the window.

@@ -164,7 +164,16 @@ impl PkiUniverse {
             }
         }
 
-        PkiUniverse { roots, intermediates, inter_parent, mozilla, aosp, aosp_oem, ios, now }
+        PkiUniverse {
+            roots,
+            intermediates,
+            inter_parent,
+            mozilla,
+            aosp,
+            aosp_oem,
+            ios,
+            now,
+        }
     }
 
     /// The simulation's "now".
@@ -197,7 +206,10 @@ impl PkiUniverse {
         lifetime_days: u64,
         rng: &mut SplitMix64,
     ) -> CertificateChain {
-        assert!(!self.intermediates.is_empty(), "universe has no intermediates");
+        assert!(
+            !self.intermediates.is_empty(),
+            "universe has no intermediates"
+        );
         let idx = rng.next_below(self.intermediates.len() as u64) as usize;
         self.issue_server_chain_via(idx, hostnames, organization, key, lifetime_days)
     }
@@ -313,13 +325,8 @@ mod tests {
         // Try a few intermediates until we find one whose root is in all stores.
         let mut validated_somewhere = false;
         for idx in 0..u.n_intermediates() {
-            let chain = u.issue_server_chain_via(
-                idx,
-                &["www.site.com".to_string()],
-                "Site",
-                &key,
-                398,
-            );
+            let chain =
+                u.issue_server_chain_via(idx, &["www.site.com".to_string()], "Site", &key, 398);
             let now = u.now();
             let ok_all = [&u.mozilla, &u.aosp, &u.ios].iter().all(|store| {
                 validate_chain(
@@ -337,7 +344,10 @@ mod tests {
                 break;
             }
         }
-        assert!(validated_somewhere, "no chain validated in all three stores");
+        assert!(
+            validated_somewhere,
+            "no chain validated in all three stores"
+        );
     }
 
     #[test]
@@ -345,8 +355,13 @@ mod tests {
         let u = universe();
         let mut rng = SplitMix64::new(10);
         let key = KeyPair::generate(&mut rng);
-        let (_ca, chain) =
-            u.issue_custom_chain("Fintech", &["api.fintech.io".to_string()], &key, 398, &mut rng);
+        let (_ca, chain) = u.issue_custom_chain(
+            "Fintech",
+            &["api.fintech.io".to_string()],
+            &key,
+            398,
+            &mut rng,
+        );
         let err = validate_chain(
             chain.certs(),
             &u.mozilla,
@@ -385,8 +400,7 @@ mod tests {
         let mut u = universe();
         let mut rng = SplitMix64::new(12);
         let key = KeyPair::generate(&mut rng);
-        let chain =
-            u.issue_server_chain(&["a.b.c".to_string()], "ABC", &key, 90, &mut rng);
+        let chain = u.issue_server_chain(&["a.b.c".to_string()], "ABC", &key, 90, &mut rng);
         assert_eq!(chain.len(), 3);
         assert!(chain.linkage_ok());
     }

@@ -64,7 +64,11 @@ pub struct ValidationOptions {
 
 impl Default for ValidationOptions {
     fn default() -> Self {
-        ValidationOptions { check_hostname: true, check_expiry: true, check_revocation: true }
+        ValidationOptions {
+            check_hostname: true,
+            check_expiry: true,
+            check_revocation: true,
+        }
     }
 }
 
@@ -165,11 +169,15 @@ pub fn validate_chain(
     }
 
     if options.check_hostname && !leaf.matches_hostname(hostname) {
-        return Err(ValidationError::HostnameMismatch { hostname: hostname.to_string() });
+        return Err(ValidationError::HostnameMismatch {
+            hostname: hostname.to_string(),
+        });
     }
 
     if options.check_revocation && crl.is_revoked(leaf.tbs.serial) {
-        return Err(ValidationError::Revoked { serial: leaf.tbs.serial });
+        return Err(ValidationError::Revoked {
+            serial: leaf.tbs.serial,
+        });
     }
 
     Ok(())
@@ -211,11 +219,26 @@ mod tests {
         );
         let mut store = RootStore::new("test");
         store.add(root.cert.clone());
-        Fixture { store, chain: vec![leaf, inter.cert.clone(), root.cert.clone()] }
+        Fixture {
+            store,
+            chain: vec![leaf, inter.cert.clone(), root.cert.clone()],
+        }
     }
 
-    fn ok(f: &Fixture, chain: &[Certificate], host: &str, now: SimTime) -> Result<(), ValidationError> {
-        validate_chain(chain, &f.store, host, now, &RevocationList::empty(), &ValidationOptions::default())
+    fn ok(
+        f: &Fixture,
+        chain: &[Certificate],
+        host: &str,
+        now: SimTime,
+    ) -> Result<(), ValidationError> {
+        validate_chain(
+            chain,
+            &f.store,
+            host,
+            now,
+            &RevocationList::empty(),
+            &ValidationOptions::default(),
+        )
     }
 
     #[test]
@@ -239,7 +262,10 @@ mod tests {
     #[test]
     fn empty_chain_rejected() {
         let f = fixture();
-        assert_eq!(ok(&f, &[], "pay.shop.com", SimTime(1)), Err(ValidationError::EmptyChain));
+        assert_eq!(
+            ok(&f, &[], "pay.shop.com", SimTime(1)),
+            Err(ValidationError::EmptyChain)
+        );
     }
 
     #[test]
@@ -255,7 +281,10 @@ mod tests {
     #[test]
     fn expiry_check_can_be_disabled() {
         let f = fixture();
-        let opts = ValidationOptions { check_expiry: false, ..Default::default() };
+        let opts = ValidationOptions {
+            check_expiry: false,
+            ..Default::default()
+        };
         validate_chain(
             &f.chain,
             &f.store,
@@ -272,7 +301,9 @@ mod tests {
         let f = fixture();
         assert_eq!(
             ok(&f, &f.chain, "evil.com", SimTime(100)),
-            Err(ValidationError::HostnameMismatch { hostname: "evil.com".into() })
+            Err(ValidationError::HostnameMismatch {
+                hostname: "evil.com".into()
+            })
         );
     }
 
@@ -392,7 +423,10 @@ mod tests {
             &RevocationList::empty(),
             &ValidationOptions::default(),
         );
-        assert!(matches!(err, Err(ValidationError::PathLenExceeded { .. })), "{err:?}");
+        assert!(
+            matches!(err, Err(ValidationError::PathLenExceeded { .. })),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -408,7 +442,12 @@ mod tests {
             &crl,
             &ValidationOptions::default(),
         );
-        assert_eq!(err, Err(ValidationError::Revoked { serial: f.chain[0].tbs.serial }));
+        assert_eq!(
+            err,
+            Err(ValidationError::Revoked {
+                serial: f.chain[0].tbs.serial
+            })
+        );
     }
 
     #[test]

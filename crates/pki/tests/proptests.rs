@@ -1,5 +1,8 @@
-//! Property tests for certificates, chains, and pins.
+//! Property-style tests for certificates, chains, and pins, driven by a
+//! deterministic SplitMix64 input sweep (no external crates, fully offline).
 
+use pinning_crypto::sig::KeyPair;
+use pinning_crypto::SplitMix64;
 use pinning_pki::authority::CertificateAuthority;
 use pinning_pki::cert::Certificate;
 use pinning_pki::encode::pem_decode_all;
@@ -8,9 +11,8 @@ use pinning_pki::pin::{Pin, PinSet, SpkiPin};
 use pinning_pki::store::RootStore;
 use pinning_pki::time::{SimTime, Validity, YEAR};
 use pinning_pki::validate::{validate_chain, RevocationList, ValidationOptions};
-use pinning_crypto::sig::KeyPair;
-use pinning_crypto::SplitMix64;
-use proptest::prelude::*;
+
+const CASES: u64 = 60;
 
 fn arbitrary_leaf(seed: u64, cn: &str, org: &str, serial_salt: u64) -> (Certificate, Certificate) {
     let mut rng = SplitMix64::new(seed);
@@ -29,98 +31,158 @@ fn arbitrary_leaf(seed: u64, cn: &str, org: &str, serial_salt: u64) -> (Certific
     (leaf, root.cert.clone())
 }
 
-proptest! {
-    #[test]
-    fn der_roundtrip_arbitrary_names(
-        seed in any::<u64>(),
-        cn in "[a-z0-9.-]{1,40}",
-        org in "[A-Za-z0-9 ]{0,30}",
-    ) {
+fn ascii(rng: &mut SplitMix64, alphabet: &[u8], min: usize, max: usize) -> String {
+    let len = min as u64 + rng.next_below((max - min) as u64 + 1);
+    (0..len)
+        .map(|_| alphabet[rng.next_below(alphabet.len() as u64) as usize] as char)
+        .collect()
+}
+
+#[test]
+fn der_roundtrip_arbitrary_names() {
+    let mut rng = SplitMix64::new(0xde6);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let cn = ascii(&mut rng, b"abcdefghijklmnopqrstuvwxyz0123456789.-", 1, 40);
+        let org = ascii(
+            &mut rng,
+            b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 ",
+            0,
+            30,
+        );
         let (leaf, _) = arbitrary_leaf(seed, &cn, &org, 1);
         let back = Certificate::from_der(&leaf.to_der()).unwrap();
-        prop_assert_eq!(back, leaf);
+        assert_eq!(back, leaf);
     }
+}
 
-    #[test]
-    fn pem_roundtrip_cert(seed in any::<u64>(), cn in "[a-z]{1,20}\\.com") {
+#[test]
+fn pem_roundtrip_cert() {
+    let mut rng = SplitMix64::new(0x9e8);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let cn = format!(
+            "{}.com",
+            ascii(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 1, 20)
+        );
         let (leaf, root) = arbitrary_leaf(seed, &cn, "Org", 2);
         let bundle = format!("{}{}", leaf.to_pem(), root.to_pem());
         let ders = pem_decode_all(&bundle).unwrap();
-        prop_assert_eq!(ders.len(), 2);
-        prop_assert_eq!(Certificate::from_der(&ders[0]).unwrap(), leaf);
-        prop_assert_eq!(Certificate::from_der(&ders[1]).unwrap(), root);
+        assert_eq!(ders.len(), 2);
+        assert_eq!(Certificate::from_der(&ders[0]).unwrap(), leaf);
+        assert_eq!(Certificate::from_der(&ders[1]).unwrap(), root);
     }
+}
 
-    #[test]
-    fn valid_chain_validates_and_tampered_fails(
-        seed in any::<u64>(),
-        host in "[a-z]{1,12}\\.example",
-    ) {
+#[test]
+fn valid_chain_validates_and_tampered_fails() {
+    let mut rng = SplitMix64::new(0xc4a);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let host = format!(
+            "{}.example",
+            ascii(&mut rng, b"abcdefghijklmnopqrstuvwxyz", 1, 12)
+        );
         let (leaf, root) = arbitrary_leaf(seed, &host, "Org", 3);
         let mut store = RootStore::new("t");
         store.add(root.clone());
         let chain = vec![leaf.clone(), root];
-        prop_assert!(validate_chain(
-            &chain, &store, &host, SimTime(100), &RevocationList::empty(),
+        assert!(validate_chain(
+            &chain,
+            &store,
+            &host,
+            SimTime(100),
+            &RevocationList::empty(),
             &ValidationOptions::default()
-        ).is_ok());
+        )
+        .is_ok());
 
         // Any SAN tamper breaks the signature.
         let mut bad = chain.clone();
         bad[0].tbs.san.push("evil.example".to_string());
-        prop_assert!(validate_chain(
-            &bad, &store, &host, SimTime(100), &RevocationList::empty(),
+        assert!(validate_chain(
+            &bad,
+            &store,
+            &host,
+            SimTime(100),
+            &RevocationList::empty(),
             &ValidationOptions::default()
-        ).is_err());
+        )
+        .is_err());
     }
+}
 
-    #[test]
-    fn adding_roots_never_invalidates(seed in any::<u64>(), extra in 1u64..6) {
+#[test]
+fn adding_roots_never_invalidates() {
+    let mut rng = SplitMix64::new(0x600);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let extra = 1 + rng.next_below(5);
         let (leaf, root) = arbitrary_leaf(seed, "m.example", "Org", 4);
         let mut store = RootStore::new("t");
         store.add(root.clone());
         let chain = vec![leaf, root];
         let before = validate_chain(
-            &chain, &store, "m.example", SimTime(100), &RevocationList::empty(),
+            &chain,
+            &store,
+            "m.example",
+            SimTime(100),
+            &RevocationList::empty(),
             &ValidationOptions::default(),
-        ).is_ok();
+        )
+        .is_ok();
         // Grow the store with unrelated roots.
-        let mut rng = SplitMix64::new(seed ^ 0xeeee);
+        let mut extra_rng = SplitMix64::new(seed ^ 0xeeee);
         for i in 0..extra {
             let other = CertificateAuthority::new_root(
                 DistinguishedName::new(format!("Extra {i}"), "X", "US"),
-                &mut rng,
+                &mut extra_rng,
                 SimTime(0),
             );
             store.add(other.cert.clone());
         }
         let after = validate_chain(
-            &chain, &store, "m.example", SimTime(100), &RevocationList::empty(),
+            &chain,
+            &store,
+            "m.example",
+            SimTime(100),
+            &RevocationList::empty(),
             &ValidationOptions::default(),
-        ).is_ok();
-        prop_assert_eq!(before, after);
-        prop_assert!(after, "chain must stay valid as trust grows");
+        )
+        .is_ok();
+        assert_eq!(before, after);
+        assert!(after, "chain must stay valid as trust grows");
     }
+}
 
-    #[test]
-    fn pinset_position_independence(seed in any::<u64>(), pin_root in any::<bool>()) {
+#[test]
+fn pinset_position_independence() {
+    let mut rng = SplitMix64::new(0x915);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let pin_root = rng.chance(0.5);
         let (leaf, root) = arbitrary_leaf(seed, "p.example", "Org", 5);
         let pinned = if pin_root { &root } else { &leaf };
         let set = PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(pinned))]);
         let chain = [leaf.clone(), root.clone()];
-        prop_assert!(set.matches_chain(&chain));
+        assert!(set.matches_chain(&chain));
         // And a chain without the pinned certificate never matches.
         let other_chain = if pin_root { vec![leaf] } else { vec![root] };
-        prop_assert!(!set.matches_chain(&other_chain));
+        assert!(!set.matches_chain(&other_chain));
     }
+}
 
-    #[test]
-    fn fingerprints_injective_over_serial(seed in any::<u64>(), delta in 1u64..1000) {
+#[test]
+fn fingerprints_injective_over_serial() {
+    let mut rng = SplitMix64::new(0xf19);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let delta = 1 + rng.next_below(999);
         let (leaf, _) = arbitrary_leaf(seed, "f.example", "Org", 6);
         let mut renewed = leaf.clone();
         renewed.tbs.serial = renewed.tbs.serial.wrapping_add(delta);
-        prop_assert_ne!(leaf.fingerprint_sha256(), renewed.fingerprint_sha256());
+        assert_ne!(leaf.fingerprint_sha256(), renewed.fingerprint_sha256());
         // SPKI digest is untouched by serial changes.
-        prop_assert_eq!(leaf.spki_sha256(), renewed.spki_sha256());
+        assert_eq!(leaf.spki_sha256(), renewed.spki_sha256());
     }
 }

@@ -20,7 +20,11 @@ pub fn csv_field(s: &str) -> String {
 
 /// Joins fields into one CSV line.
 pub fn csv_line<S: AsRef<str>>(fields: &[S]) -> String {
-    fields.iter().map(|f| csv_field(f.as_ref())).collect::<Vec<_>>().join(",")
+    fields
+        .iter()
+        .map(|f| csv_field(f.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// Table 3 as CSV.
@@ -42,7 +46,8 @@ pub fn table3_csv(rows: &[Table3Row]) -> String {
 
 /// Tables 4/5 as CSV.
 pub fn categories_csv(platform: Platform, rows: &[CategoryRow]) -> String {
-    let mut out = String::from("platform,category,population_rank,pinning_apps,total_apps,pinning_pct\n");
+    let mut out =
+        String::from("platform,category,population_rank,pinning_apps,total_apps,pinning_pct\n");
     for r in rows {
         out.push_str(&csv_line(&[
             platform.to_string(),
@@ -92,11 +97,12 @@ pub fn table8_csv(rows: &[Table8Row]) -> String {
 
 /// Table 9 as CSV.
 pub fn table9_csv(per_platform: &[(Platform, PiiComparison)]) -> String {
-    let mut out =
-        String::from("platform,pii,pinned_pct,unpinned_pct,chi_square,significant\n");
+    let mut out = String::from("platform,pii,pinned_pct,unpinned_pct,chi_square,significant\n");
     for (platform, cmp) in per_platform {
         for pii in PiiType::ALL {
-            let Some(t) = cmp.tables.get(&pii) else { continue };
+            let Some(t) = cmp.tables.get(&pii) else {
+                continue;
+            };
             out.push_str(&csv_line(&[
                 platform.to_string(),
                 pii.label().to_string(),
@@ -157,7 +163,10 @@ mod tests {
         }];
         let csv = table3_csv(&rows);
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "dataset,platform,n,dynamic,static_embedded,nsc");
+        assert_eq!(
+            lines.next().unwrap(),
+            "dataset,platform,n,dynamic,static_embedded,nsc"
+        );
         assert_eq!(lines.next().unwrap(), "Popular,iOS,1000,114,334,");
     }
 
@@ -167,7 +176,12 @@ mod tests {
         let mut cmp = PiiComparison::default();
         cmp.tables.insert(
             PiiType::AdvertisingId,
-            Contingency { pinned_with: 1, pinned_without: 1, unpinned_with: 1, unpinned_without: 1 },
+            Contingency {
+                pinned_with: 1,
+                pinned_without: 1,
+                unpinned_with: 1,
+                unpinned_without: 1,
+            },
         );
         let csv = table9_csv(&[(Platform::Android, cmp)]);
         assert!(csv.contains("Ad. ID"));

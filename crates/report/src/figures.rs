@@ -35,13 +35,19 @@ pub fn figure2(s: &CommonDatasetSummary) -> String {
         ("    (identical pinned sets)", s.both_identical),
         ("  inconsistent", s.both_inconsistent),
         ("  inconclusive", s.both_inconclusive),
-        ("Pinned on Android only", s.android_only.0 + s.android_only.1),
+        (
+            "Pinned on Android only",
+            s.android_only.0 + s.android_only.1,
+        ),
         ("Pinned on iOS only", s.ios_only.0 + s.ios_only.1),
     ];
     for (label, n) in rows {
         out.push_str(&format!("  {label:<28} {} {n}\n", bar(scale(n), width)));
     }
-    out.push_str(&format!("  total pinning common apps: {}\n", s.total_pinners()));
+    out.push_str(&format!(
+        "  total pinning common apps: {}\n",
+        s.total_pinners()
+    ));
     out
 }
 
@@ -63,7 +69,12 @@ pub struct Figure3Row {
 pub fn figure3(rows: &[Figure3Row]) -> String {
     let mut t = TextTable::new(
         "Figure 3: inconsistent pinning among both-platform pinners (heatmap values)",
-        &["App", "Pinned overlap (Jaccard)", "% A-pinned unpinned on iOS", "% iOS-pinned unpinned on A"],
+        &[
+            "App",
+            "Pinned overlap (Jaccard)",
+            "% A-pinned unpinned on iOS",
+            "% iOS-pinned unpinned on A",
+        ],
     )
     .aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
     for r in rows {
@@ -91,13 +102,19 @@ pub fn figure4(android_only: &[Figure4Row], ios_only: &[Figure4Row]) -> String {
     let mut out = String::from(
         "Figure 4: exclusive-platform pinners — % of pinned domains seen unpinned on the other platform\n",
     );
-    for (label, rows) in [("(a) Android-only pinners", android_only), ("(b) iOS-only pinners", ios_only)] {
+    for (label, rows) in [
+        ("(a) Android-only pinners", android_only),
+        ("(b) iOS-only pinners", ios_only),
+    ] {
         out.push_str(&format!("  {label}\n"));
         for r in rows {
             out.push_str(&format!(
                 "    {:<24} {} {:.0}%\n",
                 r.app,
-                bar((r.pct_unpinned_on_other / 100.0 * 20.0).round() as usize, 20),
+                bar(
+                    (r.pct_unpinned_on_other / 100.0 * 20.0).round() as usize,
+                    20
+                ),
                 r.pct_unpinned_on_other
             ));
         }
@@ -133,8 +150,11 @@ pub fn figure5(platform_label: &str, profiles: &[AppDestinationProfile]) -> Stri
         .flat_map(|p| &p.entries)
         .filter(|e| e.pinned && e.party == Party::Third)
         .count();
-    let total_pinned: usize =
-        profiles.iter().flat_map(|p| &p.entries).filter(|e| e.pinned).count();
+    let total_pinned: usize = profiles
+        .iter()
+        .flat_map(|p| &p.entries)
+        .filter(|e| e.pinned)
+        .count();
     out.push_str(&format!(
         "  apps pinning all first-party destinations: {pins_all_fp}; pinning everything: {pins_everything}; third-party share of pinned destinations: {third_pinned}/{total_pinned}\n"
     ));
@@ -189,8 +209,16 @@ mod tests {
         let profiles = vec![AppDestinationProfile {
             app_name: "Shop".into(),
             entries: vec![
-                DestinationEntry { domain: "api.shop.com".into(), pinned: true, party: Party::First },
-                DestinationEntry { domain: "cdn.x.com".into(), pinned: false, party: Party::Third },
+                DestinationEntry {
+                    domain: "api.shop.com".into(),
+                    pinned: true,
+                    party: Party::First,
+                },
+                DestinationEntry {
+                    domain: "cdn.x.com".into(),
+                    pinned: false,
+                    party: Party::Third,
+                },
             ],
         }];
         let s = figure5("Android", &profiles);
@@ -201,8 +229,14 @@ mod tests {
 
     #[test]
     fn figure4_renders_both_panels() {
-        let a = vec![Figure4Row { app: "Vudu".into(), pct_unpinned_on_other: 100.0 }];
-        let i = vec![Figure4Row { app: "Zero".into(), pct_unpinned_on_other: 50.0 }];
+        let a = vec![Figure4Row {
+            app: "Vudu".into(),
+            pct_unpinned_on_other: 100.0,
+        }];
+        let i = vec![Figure4Row {
+            app: "Zero".into(),
+            pct_unpinned_on_other: 50.0,
+        }];
         let s = figure4(&a, &i);
         assert!(s.contains("(a) Android-only pinners"));
         assert!(s.contains("(b) iOS-only pinners"));

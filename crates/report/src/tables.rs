@@ -18,12 +18,13 @@ pub struct Table1 {
 
 /// Renders Table 1.
 pub fn table1(data: &Table1) -> String {
-    let mut out = String::from(
-        "Table 1: Top app categories per dataset (% of dataset)\n",
-    );
+    let mut out = String::from("Table 1: Top app categories per dataset (% of dataset)\n");
     for (label, rows) in &data.columns {
-        let mut t = TextTable::new(format!("  {label}"), &["rank", "category", "%"])
-            .aligns(&[Align::Right, Align::Left, Align::Right]);
+        let mut t = TextTable::new(format!("  {label}"), &["rank", "category", "%"]).aligns(&[
+            Align::Right,
+            Align::Left,
+            Align::Right,
+        ]);
         for (i, (cat, p)) in rows.iter().enumerate().take(10) {
             t.row(&[format!("{}", i + 1), cat.clone(), format!("{p:.0}%")]);
         }
@@ -52,21 +53,64 @@ pub struct PriorWorkRow {
 
 /// The fixed prior-work rows of Table 2 (literature constants).
 pub fn prior_work_rows() -> Vec<PriorWorkRow> {
-    let mk = |study: &str, year, prev: &str, analysis: &str, size: &str, source: &str| PriorWorkRow {
-        study: study.into(),
-        year,
-        prevalence: prev.into(),
-        analysis: analysis.into(),
-        dataset_size: size.into(),
-        source: source.into(),
-    };
+    let mk =
+        |study: &str, year, prev: &str, analysis: &str, size: &str, source: &str| PriorWorkRow {
+            study: study.into(),
+            year,
+            prevalence: prev.into(),
+            analysis: analysis.into(),
+            dataset_size: size.into(),
+            source: source.into(),
+        };
     vec![
-        mk("Fahl et al. [26]", 2012, "10%", "Dynamic", "20", "High-profile Android apps"),
-        mk("Oltrogge et al. [37]", 2015, "0.07%", "Static", "639,283", "Google Play store"),
-        mk("Razaghpanah et al. [42]", 2017, "2%", "Dynamic", "7,258", "Android apps in the wild"),
-        mk("Stone et al. [48]", 2017, "28%", "Dynamic", "135", "Security-sensitive apps"),
-        mk("Possemato et al. [41]", 2020, "0.62%", "Static", "16,332", "Android apps using NSCs"),
-        mk("Oltrogge et al. [38]", 2021, "0.67%", "Static", "99,212", "Android apps using NSCs"),
+        mk(
+            "Fahl et al. [26]",
+            2012,
+            "10%",
+            "Dynamic",
+            "20",
+            "High-profile Android apps",
+        ),
+        mk(
+            "Oltrogge et al. [37]",
+            2015,
+            "0.07%",
+            "Static",
+            "639,283",
+            "Google Play store",
+        ),
+        mk(
+            "Razaghpanah et al. [42]",
+            2017,
+            "2%",
+            "Dynamic",
+            "7,258",
+            "Android apps in the wild",
+        ),
+        mk(
+            "Stone et al. [48]",
+            2017,
+            "28%",
+            "Dynamic",
+            "135",
+            "Security-sensitive apps",
+        ),
+        mk(
+            "Possemato et al. [41]",
+            2020,
+            "0.62%",
+            "Static",
+            "16,332",
+            "Android apps using NSCs",
+        ),
+        mk(
+            "Oltrogge et al. [38]",
+            2021,
+            "0.67%",
+            "Static",
+            "99,212",
+            "Android apps using NSCs",
+        ),
     ]
 }
 
@@ -76,9 +120,23 @@ pub fn prior_work_rows() -> Vec<PriorWorkRow> {
 pub fn table2(ours: &[PriorWorkRow]) -> String {
     let mut t = TextTable::new(
         "Table 2: Certificate pinning prevalence in prior work (and this pipeline's NSC re-run)",
-        &["Study", "Year", "Prevalence", "Analysis", "Dataset size", "Dataset source"],
+        &[
+            "Study",
+            "Year",
+            "Prevalence",
+            "Analysis",
+            "Dataset size",
+            "Dataset source",
+        ],
     )
-    .aligns(&[Align::Left, Align::Right, Align::Right, Align::Left, Align::Right, Align::Left]);
+    .aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Left,
+        Align::Right,
+        Align::Left,
+    ]);
     for r in prior_work_rows().iter().chain(ours) {
         t.row(&[
             r.study.clone(),
@@ -123,9 +181,21 @@ impl Table3Row {
 pub fn table3(rows: &[Table3Row]) -> String {
     let mut t = TextTable::new(
         "Table 3: Pinning prevalence by method (dynamic vs static embedded certs vs NSC config)",
-        &["Dataset", "Platform", "Dynamic", "Static: embedded", "Static: config (*)"],
+        &[
+            "Dataset",
+            "Platform",
+            "Dynamic",
+            "Static: embedded",
+            "Static: config (*)",
+        ],
     )
-    .aligns(&[Align::Left, Align::Left, Align::Right, Align::Right, Align::Right]);
+    .aligns(&[
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
     for r in rows {
         t.row(&[
             format!("{} (n = {})", r.dataset, r.n),
@@ -149,8 +219,11 @@ pub fn table_categories(platform: Platform, rows: &[CategoryRow]) -> String {
         Platform::Android => "Table 4: Top categories of pinning apps, Android (all datasets)",
         Platform::Ios => "Table 5: Top categories of pinning apps, iOS (all datasets)",
     };
-    let mut t = TextTable::new(title, &["Category (rank)", "Pinning %", "No. of Apps"])
-        .aligns(&[Align::Left, Align::Right, Align::Right]);
+    let mut t = TextTable::new(title, &["Category (rank)", "Pinning %", "No. of Apps"]).aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+    ]);
     for r in rows {
         t.row(&[
             format!("{} ({})", r.category.label_on(platform), r.population_rank),
@@ -247,7 +320,9 @@ pub fn table9(per_platform: &[(Platform, PiiComparison)]) -> String {
     .aligns(&[Align::Left, Align::Left, Align::Right, Align::Right]);
     for (platform, cmp) in per_platform {
         for pii in PiiType::ALL {
-            let Some(c) = cmp.tables.get(&pii) else { continue };
+            let Some(c) = cmp.tables.get(&pii) else {
+                continue;
+            };
             // The paper prints only the PII rows it searched for; rows that
             // never occur on either side are elided for readability.
             if c.pinned_with == 0 && c.unpinned_with == 0 {
@@ -267,7 +342,11 @@ pub fn table9(per_platform: &[(Platform, PiiComparison)]) -> String {
 
 /// A quick textual share bar used in several summaries.
 pub fn share_bar(label: &str, num: usize, den: usize, width: usize) -> String {
-    let p = if den == 0 { 0.0 } else { num as f64 / den as f64 };
+    let p = if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    };
     format!(
         "{label:<28} {} {num}/{den} ({:.1}%)",
         bar((p * width as f64).round() as usize, width),
@@ -342,9 +421,12 @@ mod tests {
 
     #[test]
     fn table1_renders_top10_only() {
-        let rows: Vec<(String, f64)> =
-            (0..15).map(|i| (format!("Cat{i}"), 15.0 - i as f64)).collect();
-        let t = Table1 { columns: vec![("Android / Popular".into(), rows)] };
+        let rows: Vec<(String, f64)> = (0..15)
+            .map(|i| (format!("Cat{i}"), 15.0 - i as f64))
+            .collect();
+        let t = Table1 {
+            columns: vec![("Android / Popular".into(), rows)],
+        };
         let s = table1(&t);
         assert!(s.contains("Cat0"));
         assert!(s.contains("Cat9"));
@@ -354,9 +436,15 @@ mod tests {
     #[test]
     fn table7_truncates_and_labels_platforms() {
         let android: Vec<FrameworkCount> = (0..8)
-            .map(|i| FrameworkCount { framework: format!("A{i}"), apps: 20 - i })
+            .map(|i| FrameworkCount {
+                framework: format!("A{i}"),
+                apps: 20 - i,
+            })
             .collect();
-        let ios = vec![FrameworkCount { framework: "Amplitude".into(), apps: 45 }];
+        let ios = vec![FrameworkCount {
+            framework: "Amplitude".into(),
+            apps: 45,
+        }];
         let s = table7(&android, &ios, 5);
         assert!(s.contains("A4"));
         assert!(!s.contains("A5"), "top-5 truncation");
@@ -392,7 +480,10 @@ mod tests {
             pinning_pct: 5.45,
         }];
         let s = table_categories(Platform::Ios, &rows);
-        assert!(s.contains("Utilities (15)"), "iOS label for Tools is Utilities: {s}");
+        assert!(
+            s.contains("Utilities (15)"),
+            "iOS label for Tools is Utilities: {s}"
+        );
         let s = table_categories(Platform::Android, &rows);
         assert!(s.contains("Tools (15)"));
     }

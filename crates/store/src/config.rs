@@ -184,14 +184,23 @@ mod tests {
     #[test]
     fn tiny_preserves_rates() {
         let c = WorldConfig::tiny(1);
-        assert_eq!(c.android.first_party_popular, WorldConfig::paper_scale(1).android.first_party_popular);
+        assert_eq!(
+            c.android.first_party_popular,
+            WorldConfig::paper_scale(1).android.first_party_popular
+        );
         assert!(c.store_size < 100);
     }
 
     #[test]
     fn rates_accessor() {
         let c = WorldConfig::paper_scale(1);
-        assert_eq!(c.rates(Platform::Ios).weak_cipher_app, c.ios.weak_cipher_app);
-        assert_eq!(c.rates(Platform::Android).weak_cipher_app, c.android.weak_cipher_app);
+        assert_eq!(
+            c.rates(Platform::Ios).weak_cipher_app,
+            c.ios.weak_cipher_app
+        );
+        assert_eq!(
+            c.rates(Platform::Android).weak_cipher_app,
+            c.android.weak_cipher_app
+        );
     }
 }

@@ -36,11 +36,20 @@ pub struct RateLimit {
 
 impl RateLimit {
     /// The AlternativeTo crawl: 1 page/second, 20 items/page.
-    pub const ALTERNATIVETO: RateLimit = RateLimit { requests_per_sec: 1.0, page_size: 20 };
+    pub const ALTERNATIVETO: RateLimit = RateLimit {
+        requests_per_sec: 1.0,
+        page_size: 20,
+    };
     /// The iTunes Search API: 100 results per call, 20 calls/minute.
-    pub const ITUNES_SEARCH: RateLimit = RateLimit { requests_per_sec: 0.33, page_size: 100 };
+    pub const ITUNES_SEARCH: RateLimit = RateLimit {
+        requests_per_sec: 0.33,
+        page_size: 100,
+    };
     /// Play-store chart scraping.
-    pub const PLAY_CHARTS: RateLimit = RateLimit { requests_per_sec: 0.5, page_size: 50 };
+    pub const PLAY_CHARTS: RateLimit = RateLimit {
+        requests_per_sec: 0.5,
+        page_size: 50,
+    };
 }
 
 fn crawl(source: &str, n_items: usize, limit: RateLimit) -> CrawlReport {
@@ -76,7 +85,11 @@ pub fn crawl_alternativeto(world: &World, target: usize) -> (Vec<String>, CrawlR
 }
 
 /// Simulates crawling a store's top charts.
-pub fn crawl_top_charts(world: &World, platform: Platform, depth: usize) -> (Vec<usize>, CrawlReport) {
+pub fn crawl_top_charts(
+    world: &World,
+    platform: Platform,
+    depth: usize,
+) -> (Vec<usize>, CrawlReport) {
     let listing = world.listing(platform);
     let take = depth.min(listing.len());
     let items: Vec<usize> = listing[..take].to_vec();
@@ -173,7 +186,10 @@ mod tests {
         let (found, report) = crawl_alternativeto(&w, w.config.common_size);
         assert_eq!(found.len(), w.config.common_size);
         assert!(report.requests >= 1);
-        assert!(report.user_agent.contains('@'), "contact info required by §7");
+        assert!(
+            report.user_agent.contains('@'),
+            "contact info required by §7"
+        );
         // 1 page/sec politeness: virtual time ≥ number of requests.
         assert!(report.virtual_secs >= report.requests as u64);
     }

@@ -2,8 +2,7 @@
 
 use crate::world::World;
 use pinning_app::platform::Platform;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use pinning_crypto::SplitMix64;
 use std::collections::HashSet;
 
 /// The three dataset families of §3.
@@ -20,7 +19,11 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All kinds, in the paper's presentation order.
-    pub const ALL: [DatasetKind; 3] = [DatasetKind::Common, DatasetKind::Popular, DatasetKind::Random];
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::Common,
+        DatasetKind::Popular,
+        DatasetKind::Random,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -87,29 +90,44 @@ pub fn build_datasets(world: &World) -> Vec<Dataset> {
             common_ios.push(i);
         }
     }
-    out.push(Dataset { kind: DatasetKind::Common, platform: Platform::Android, app_indices: common_android });
-    out.push(Dataset { kind: DatasetKind::Common, platform: Platform::Ios, app_indices: common_ios });
+    out.push(Dataset {
+        kind: DatasetKind::Common,
+        platform: Platform::Android,
+        app_indices: common_android,
+    });
+    out.push(Dataset {
+        kind: DatasetKind::Common,
+        platform: Platform::Ios,
+        app_indices: common_ios,
+    });
 
     for platform in Platform::BOTH {
         let listing = world.listing(platform);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(
-            cfg.seed ^ 0x9e37_79b9 ^ (platform as u64) << 32,
-        );
+        let mut rng =
+            SplitMix64::new(cfg.seed ^ 0x9e37_79b9 ^ (platform as u64) << 32).derive("datasets");
 
         // Popular: sample from the top charts — a small head of the store,
         // mirroring the paper's 1,000-of-≈12k chart draw.
         let head_len = ((listing.len() as f64 * cfg.popular_pool_fraction) as usize)
             .max(cfg.popular_size.min(listing.len()));
         let mut head: Vec<usize> = listing[..head_len.min(listing.len())].to_vec();
-        head.shuffle(&mut rng);
+        rng.shuffle(&mut head);
         head.truncate(cfg.popular_size);
-        out.push(Dataset { kind: DatasetKind::Popular, platform, app_indices: head });
+        out.push(Dataset {
+            kind: DatasetKind::Popular,
+            platform,
+            app_indices: head,
+        });
 
         // Random: uniform over the full store.
         let mut all: Vec<usize> = listing.to_vec();
-        all.shuffle(&mut rng);
+        rng.shuffle(&mut all);
         all.truncate(cfg.random_size);
-        out.push(Dataset { kind: DatasetKind::Random, platform, app_indices: all });
+        out.push(Dataset {
+            kind: DatasetKind::Random,
+            platform,
+            app_indices: all,
+        });
     }
     out.sort_by_key(|d| (d.kind, d.platform));
     out
@@ -196,8 +214,14 @@ mod tests {
     fn common_pairs_same_products() {
         let w = world();
         let ds = build_datasets(&w);
-        let ca = ds.iter().find(|d| d.kind == DatasetKind::Common && d.platform == Platform::Android).unwrap();
-        let ci = ds.iter().find(|d| d.kind == DatasetKind::Common && d.platform == Platform::Ios).unwrap();
+        let ca = ds
+            .iter()
+            .find(|d| d.kind == DatasetKind::Common && d.platform == Platform::Android)
+            .unwrap();
+        let ci = ds
+            .iter()
+            .find(|d| d.kind == DatasetKind::Common && d.platform == Platform::Ios)
+            .unwrap();
         for (&a, &i) in ca.app_indices.iter().zip(&ci.app_indices) {
             assert_eq!(w.apps[a].product_key, w.apps[i].product_key);
             assert_eq!(w.apps[a].id.platform, Platform::Android);
@@ -230,7 +254,10 @@ mod tests {
         let w = world();
         let ds = build_datasets(&w);
         let rep = collision_report(&ds);
-        assert!(rep.unique_android <= w.config.common_size + w.config.popular_size + w.config.random_size);
+        assert!(
+            rep.unique_android
+                <= w.config.common_size + w.config.popular_size + w.config.random_size
+        );
         assert_eq!(rep.total_unique, rep.unique_android + rep.unique_ios);
         // Popular draws from the head where Common products concentrate:
         // some collisions are expected at paper scale but not guaranteed in

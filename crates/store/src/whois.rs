@@ -38,7 +38,9 @@ impl WhoisRegistry {
 
     /// Looks up the operator of `domain`.
     pub fn operator(&self, domain: &str) -> Option<&str> {
-        self.by_domain.get(&domain.to_ascii_lowercase()).map(String::as_str)
+        self.by_domain
+            .get(&domain.to_ascii_lowercase())
+            .map(String::as_str)
     }
 
     /// Attributes `domain` relative to an app developer organization.

@@ -18,13 +18,13 @@ use crate::whois::WhoisRegistry;
 use pinning_app::app::MobileApp;
 use pinning_app::platform::Platform;
 use pinning_app::sdk;
+use pinning_crypto::sig::KeyPair;
+use pinning_crypto::SplitMix64;
 use pinning_ctlog::CtLog;
 use pinning_netsim::network::Network;
 use pinning_netsim::server::OriginServer;
 use pinning_pki::time::SimTime;
 use pinning_pki::universe::{PkiUniverse, UniverseConfig};
-use pinning_crypto::sig::KeyPair;
-use pinning_crypto::SplitMix64;
 use std::collections::HashMap;
 
 pub(crate) mod appgen;
@@ -79,7 +79,13 @@ impl World {
         let (apps, android_listing, ios_listing, alternativeto, products) =
             appgen::generate_apps(&mut gen);
 
-        let Generator { universe, network, ctlog, whois, .. } = gen;
+        let Generator {
+            universe,
+            network,
+            ctlog,
+            whois,
+            ..
+        } = gen;
         World {
             config,
             universe,
@@ -141,15 +147,10 @@ impl<'a> Generator<'a> {
     /// Registers a default-PKI server for `hostnames` under a chain issued
     /// by a deterministic intermediate, records whois, and submits the
     /// chain to the CT log (leaf coverage is probabilistic).
-    pub fn register_public_server(
-        &mut self,
-        hostnames: Vec<String>,
-        organization: &str,
-    ) -> usize {
+    pub fn register_public_server(&mut self, hostnames: Vec<String>, organization: &str) -> usize {
         let mut domain_rng = self.rng.derive(&format!("srv/{}", hostnames[0]));
         let key = KeyPair::generate(&mut domain_rng);
-        let inter_idx =
-            (domain_rng.next_below(self.universe.n_intermediates() as u64)) as usize;
+        let inter_idx = (domain_rng.next_below(self.universe.n_intermediates() as u64)) as usize;
         let lifetime = 90 + domain_rng.next_below(300);
         let chain = self.universe.issue_server_chain_via(
             inter_idx,
@@ -178,9 +179,8 @@ impl<'a> Generator<'a> {
         for h in &hostnames {
             self.whois.record(h, organization);
         }
-        let mut server =
-            OriginServer::modern(hostnames, organization.to_string(), chain)
-                .flaky(1.0 - self.config.server_flakiness);
+        let mut server = OriginServer::modern(hostnames, organization.to_string(), chain)
+            .flaky(1.0 - self.config.server_flakiness);
         if domain_rng.chance(self.config.tls12_server_share) {
             server = server.tls12_only();
         }
@@ -188,20 +188,12 @@ impl<'a> Generator<'a> {
     }
 
     /// Registers a custom-PKI server (private root, never CT-logged).
-    pub fn register_custom_server(
-        &mut self,
-        hostnames: Vec<String>,
-        organization: &str,
-    ) -> usize {
+    pub fn register_custom_server(&mut self, hostnames: Vec<String>, organization: &str) -> usize {
         let mut domain_rng = self.rng.derive(&format!("srv-custom/{}", hostnames[0]));
         let key = KeyPair::generate(&mut domain_rng);
-        let (_ca, chain) = self.universe.issue_custom_chain(
-            organization,
-            &hostnames,
-            &key,
-            398,
-            &mut domain_rng,
-        );
+        let (_ca, chain) =
+            self.universe
+                .issue_custom_chain(organization, &hostnames, &key, 398, &mut domain_rng);
         for h in &hostnames {
             self.whois.record(h, organization);
         }

@@ -7,15 +7,13 @@ use pinning_app::behavior::{AppBehavior, Interaction, PlannedConnection};
 use pinning_app::builder::{build_package, BuildSpec};
 use pinning_app::category::Category;
 use pinning_app::pii::PiiType;
-use pinning_app::pinning::{
-    CertAssetFormat, DomainPinRule, PinSource, PinStorage, PinTarget,
-};
+use pinning_app::pinning::{CertAssetFormat, DomainPinRule, PinSource, PinStorage, PinTarget};
 use pinning_app::platform::{AppId, Platform};
 use pinning_app::sdk::{self, SdkSpec};
+use pinning_crypto::SplitMix64;
 use pinning_pki::pin::PinAlgorithm;
 use pinning_pki::Certificate;
 use pinning_tls::TlsLibrary;
-use pinning_crypto::SplitMix64;
 use std::collections::HashMap;
 
 /// Cross-platform pinning consistency profiles, weighted to reproduce
@@ -146,7 +144,12 @@ fn weighted_category(table: &[(Category, u32)], rng: &mut SplitMix64) -> Categor
 }
 
 /// First-party pinning probability for a product on one platform.
-fn fp_pin_prob(gen: &Generator<'_>, platform: Platform, rank_score: f64, category: Category) -> f64 {
+fn fp_pin_prob(
+    gen: &Generator<'_>,
+    platform: Platform,
+    rank_score: f64,
+    category: Category,
+) -> f64 {
     let rates = gen.config.rates(platform);
     // Popularity interpolation: the head of the store pins at the popular
     // rate, the tail at the tail rate.
@@ -157,7 +160,11 @@ fn fp_pin_prob(gen: &Generator<'_>, platform: Platform, rank_score: f64, categor
     } else {
         rates.first_party_tail
     };
-    let boost = if category.is_data_sensitive() { rates.sensitive_category_boost } else { 1.0 };
+    let boost = if category.is_data_sensitive() {
+        rates.sensitive_category_boost
+    } else {
+        1.0
+    };
     (base * boost).min(0.9)
 }
 
@@ -197,7 +204,11 @@ pub(crate) fn generate_apps(
                 gen.register_custom_server(vec![d.clone()], &p.org);
             }
             if let Some(d) = &plan.self_signed_domain {
-                let years = if plan.custom_pki_domain.is_some() { 10 } else { 27 };
+                let years = if plan.custom_pki_domain.is_some() {
+                    10
+                } else {
+                    27
+                };
                 gen.register_self_signed_server(vec![d.clone()], &p.org, years);
             }
         }
@@ -230,7 +241,10 @@ pub(crate) fn generate_apps(
         .collect();
     let score_of = |apps: &[MobileApp], products: &[Product], i: usize, platform: Platform| {
         let key = &apps[i].product_key;
-        let p = products.iter().find(|p| &p.key == key).expect("product exists");
+        let p = products
+            .iter()
+            .find(|p| &p.key == key)
+            .expect("product exists");
         match platform {
             Platform::Android => p.rank_score_android,
             Platform::Ios => p.rank_score_ios,
@@ -268,7 +282,13 @@ pub(crate) fn generate_apps(
     });
     let alternativeto: Vec<String> = cross.iter().map(|p| p.key.clone()).collect();
 
-    (apps, android_listing, ios_listing, alternativeto, product_index)
+    (
+        apps,
+        android_listing,
+        ios_listing,
+        alternativeto,
+        product_index,
+    )
 }
 
 fn make_product(gen: &mut Generator<'_>, i: usize, n_cross: usize, store_size: usize) -> Product {
@@ -317,8 +337,17 @@ fn make_product(gen: &mut Generator<'_>, i: usize, n_cross: usize, store_size: u
     // Cross-platform products pin with a *shared product propensity*: the
     // paper's Common dataset pins at nearly identical rates on the two
     // platforms (8.17% vs 8.52%), unlike the stores at large.
-    let pa_base = fp_pin_prob(gen, Platform::Android, rank_score_android * pin_bias, category);
-    let pa = if cross { (pa_base * 2.2).min(0.9) } else { pa_base };
+    let pa_base = fp_pin_prob(
+        gen,
+        Platform::Android,
+        rank_score_android * pin_bias,
+        category,
+    );
+    let pa = if cross {
+        (pa_base * 2.2).min(0.9)
+    } else {
+        pa_base
+    };
     let pi = if cross {
         pa * 1.05
     } else {
@@ -430,8 +459,14 @@ fn cross_plans(
         (false, false)
     };
 
-    let mut a = PlatformPlan { pins_first_party: pin_a, ..Default::default() };
-    let mut i = PlatformPlan { pins_first_party: pin_i, ..Default::default() };
+    let mut a = PlatformPlan {
+        pins_first_party: pin_a,
+        ..Default::default()
+    };
+    let mut i = PlatformPlan {
+        pins_first_party: pin_i,
+        ..Default::default()
+    };
 
     match (pin_a, pin_i) {
         (true, true) => {
@@ -439,7 +474,11 @@ fn cross_plans(
             apply_profile(rng, profile, fp, &mut a, &mut i);
         }
         (true, false) | (false, true) => {
-            let (pinner, other) = if pin_a { (&mut a, &mut i) } else { (&mut i, &mut a) };
+            let (pinner, other) = if pin_a {
+                (&mut a, &mut i)
+            } else {
+                (&mut i, &mut a)
+            };
             pinner.contacted = contact_set(rng, fp);
             pinner.pinned = vec![pinner.contacted[0].clone()];
             other.contacted = contact_set(rng, fp);
@@ -453,7 +492,9 @@ fn cross_plans(
             } else {
                 other.contacted.retain(|d| d != &pinned_domain);
                 if other.contacted.is_empty() {
-                    other.contacted.push(fp.last().expect("fp non-empty").clone());
+                    other
+                        .contacted
+                        .push(fp.last().expect("fp non-empty").clone());
                 }
             }
         }
@@ -578,7 +619,9 @@ fn pick_sdks(
     let boost = |s: &SdkSpec| -> u32 {
         use pinning_app::sdk::SdkKind;
         let b = match (category, s.kind) {
-            (Category::Finance, SdkKind::Payment | SdkKind::FraudPrevention | SdkKind::Billing) => 5,
+            (Category::Finance, SdkKind::Payment | SdkKind::FraudPrevention | SdkKind::Billing) => {
+                5
+            }
             (Category::Shopping, SdkKind::Payment) => 4,
             (Category::Social, SdkKind::SocialNetwork) => 3,
             (Category::Games, SdkKind::Advertising) => 3,
@@ -660,7 +703,11 @@ fn sample_fp_storage(
     }
     // Leaf pins overwhelmingly ship as SPKI strings (§5.3.3: 24 of 30);
     // raw certificate files are mostly CA material.
-    let raw_share = if target == PinTarget::Leaf { 0.12 } else { 0.40 };
+    let raw_share = if target == PinTarget::Leaf {
+        0.12
+    } else {
+        0.40
+    };
     let r = rng.next_f64();
     if r < raw_share {
         let fmt = match rng.next_below(5) {
@@ -813,9 +860,10 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
         };
         let cert: &Certificate = match target {
             PinTarget::Leaf => chain.leaf().expect("non-empty chain"),
-            PinTarget::Intermediate => {
-                chain.intermediates().first().unwrap_or_else(|| chain.top().expect("chain"))
-            }
+            PinTarget::Intermediate => chain
+                .intermediates()
+                .first()
+                .unwrap_or_else(|| chain.top().expect("chain")),
             PinTarget::Root => chain.top().expect("non-empty chain"),
         };
         let storage = sample_fp_storage(gen, &mut rng, platform, target);
@@ -835,7 +883,14 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
                     PinStorage::SpkiStringInCode(a) | PinStorage::SpkiStringInNativeLib(a) => a,
                     _ => PinAlgorithm::Sha256,
                 };
-                DomainPinRule::spki(domain.clone(), cert, target, alg, storage, PinSource::FirstParty)
+                DomainPinRule::spki(
+                    domain.clone(),
+                    cert,
+                    target,
+                    alg,
+                    storage,
+                    PinSource::FirstParty,
+                )
             }
         };
         if is_custom {
@@ -849,7 +904,9 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
     // --- SDK rules + SDK connections ---
     let mut sdk_names_final = Vec::new();
     for name in &p.sdk_names {
-        let Some(spec) = sdk::by_name(name) else { continue };
+        let Some(spec) = sdk::by_name(name) else {
+            continue;
+        };
         if !spec.available_on(platform) {
             continue;
         }
@@ -861,9 +918,10 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
             let chain = &server.chain;
             let cert = match pinning.target {
                 PinTarget::Leaf => chain.leaf().expect("chain"),
-                PinTarget::Intermediate => {
-                    chain.intermediates().first().unwrap_or_else(|| chain.top().expect("chain"))
-                }
+                PinTarget::Intermediate => chain
+                    .intermediates()
+                    .first()
+                    .unwrap_or_else(|| chain.top().expect("chain")),
                 PinTarget::Root => chain.top().expect("chain"),
             };
             let mut rule = if pinning.ships_raw_cert {
@@ -888,7 +946,11 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
             // Activation roll: synced across platforms for products whose
             // consistency profile requires it; suppressed entirely when the
             // profile must stay first-party-defined.
-            let roll_rng = if plan.synced_sdk_rolls { &mut shared_rng } else { &mut rng };
+            let roll_rng = if plan.synced_sdk_rolls {
+                &mut shared_rng
+            } else {
+                &mut rng
+            };
             if plan.suppress_sdk_pinning || !roll_rng.chance(pinning.trigger_prob) {
                 rule = rule.dead_code();
             }
@@ -930,9 +992,16 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
         let n_conns = 1 + rng.next_below(2) as usize;
         for c in 0..n_conns {
             let rule_idx = rule_for_domain.get(domain).copied();
-            let mut conn = PlannedConnection::simple(domain.clone(), unpinned_conn_library(&mut rng, platform));
+            let mut conn = PlannedConnection::simple(
+                domain.clone(),
+                unpinned_conn_library(&mut rng, platform),
+            );
             conn.sends_sni = !rng.chance(0.01);
-            conn.at_secs = if c == 0 { rng.next_below(8) as u32 } else { sample_at_secs(&mut rng) };
+            conn.at_secs = if c == 0 {
+                rng.next_below(8) as u32
+            } else {
+                sample_at_secs(&mut rng)
+            };
             conn.extra_bytes = 300 + rng.next_below(1500) as usize;
             conn.pin_rule = rule_idx;
             if let Some(ri) = rule_idx {
@@ -943,8 +1012,11 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
                 conn.offers_weak_ciphers = weak_app && rng.chance(0.8);
                 conn.redundant = c > 0 && rng.chance(gen.config.redundant_conn_prob);
             }
-            let adid_p =
-                if rule_idx.is_some() { rates.adid_pinned } else { gen.config.adid_prob.0 };
+            let adid_p = if rule_idx.is_some() {
+                rates.adid_pinned
+            } else {
+                gen.config.adid_prob.0
+            };
             if rng.chance(adid_p) {
                 conn.pii.push(PiiType::AdvertisingId);
             }
@@ -979,8 +1051,7 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
         }
         connections.push(conn);
     }
-    let target = gen.config.mean_connections.saturating_sub(2)
-        + rng.next_below(5) as usize;
+    let target = gen.config.mean_connections.saturating_sub(2) + rng.next_below(5) as usize;
     while connections.len() < target {
         let template = connections[rng.next_below(connections.len() as u64) as usize].clone();
         let mut conn = template;
@@ -996,8 +1067,7 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
     if !connections.is_empty() && rng.chance(0.35) {
         let extra = 1 + rng.next_below(3) as usize;
         for _ in 0..extra {
-            let template =
-                connections[rng.next_below(connections.len() as u64) as usize].clone();
+            let template = connections[rng.next_below(connections.len() as u64) as usize].clone();
             let mut conn = template;
             conn.at_secs = sample_at_secs(&mut rng);
             conn.requires_interaction = Interaction::RandomUi;
@@ -1007,8 +1077,7 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
     if rng.chance(0.15) {
         let domain = plan.contacted.first().unwrap_or(&p.fp_domains[0]).clone();
         let rule_idx = rule_for_domain.get(&domain).copied();
-        let mut conn =
-            PlannedConnection::simple(domain, unpinned_conn_library(&mut rng, platform));
+        let mut conn = PlannedConnection::simple(domain, unpinned_conn_library(&mut rng, platform));
         conn.requires_interaction = Interaction::Login;
         conn.pin_rule = rule_idx;
         if let Some(ri) = rule_idx {
@@ -1020,23 +1089,22 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
     }
 
     // --- Associated domains (iOS) ---
-    let associated_domains = if platform == Platform::Ios
-        && rng.chance(gen.config.associated_domain_prob)
-    {
-        let mut doms: Vec<String> = p.fp_domains.clone();
-        let extra = rng.next_below(5) as usize;
-        for e in 0..extra {
-            let d = format!("link{e}.{}", p.base_domain);
-            if !gen.network.has_host(&d) {
-                gen.register_public_server(vec![d.clone()], &p.org);
+    let associated_domains =
+        if platform == Platform::Ios && rng.chance(gen.config.associated_domain_prob) {
+            let mut doms: Vec<String> = p.fp_domains.clone();
+            let extra = rng.next_below(5) as usize;
+            for e in 0..extra {
+                let d = format!("link{e}.{}", p.base_domain);
+                if !gen.network.has_host(&d) {
+                    gen.register_public_server(vec![d.clone()], &p.org);
+                }
+                doms.push(d);
             }
-            doms.push(d);
-        }
-        doms.truncate(1 + rng.next_below(8) as usize);
-        doms
-    } else {
-        Vec::new()
-    };
+            doms.truncate(1 + rng.next_below(8) as usize);
+            doms
+        } else {
+            Vec::new()
+        };
 
     // --- Decoy certificates (static-analysis noise) ---
     let rank_score = match platform {
@@ -1062,19 +1130,23 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
         let n = 1 + rng.next_below(3) as usize;
         let roots = gen.universe.public_roots();
         (0..n)
-            .map(|_| roots[rng.next_below(roots.len() as u64) as usize].cert.clone())
+            .map(|_| {
+                roots[rng.next_below(roots.len() as u64) as usize]
+                    .cert
+                    .clone()
+            })
             .collect()
     } else {
         Vec::new()
     };
 
     // --- Package build ---
-    let sdk_specs: Vec<&'static SdkSpec> =
-        sdk_names_final.iter().filter_map(|n| sdk::by_name(n)).collect();
-    let nsc_misconfig =
-        platform == Platform::Android && rng.chance(gen.config.nsc_misconfig_prob);
-    let uses_nsc = nsc_misconfig
-        || pin_rules.iter().any(|r| r.storage == PinStorage::NscPinSet);
+    let sdk_specs: Vec<&'static SdkSpec> = sdk_names_final
+        .iter()
+        .filter_map(|n| sdk::by_name(n))
+        .collect();
+    let nsc_misconfig = platform == Platform::Android && rng.chance(gen.config.nsc_misconfig_prob);
+    let uses_nsc = nsc_misconfig || pin_rules.iter().any(|r| r.storage == PinStorage::NscPinSet);
     let spec = BuildSpec {
         id: &id,
         app_name: &p.name,
@@ -1083,8 +1155,7 @@ fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform
         decoy_certs: &decoy_certs,
         nsc_misconfig_override_pins: nsc_misconfig,
         associated_domains: &associated_domains,
-        ios_encryption_seed: (platform == Platform::Ios)
-            .then_some(gen.config.ios_encryption_seed),
+        ios_encryption_seed: (platform == Platform::Ios).then_some(gen.config.ios_encryption_seed),
     };
     let mut pkg_rng = rng.derive("pkg");
     let package = build_package(&spec, &mut pkg_rng);
@@ -1159,7 +1230,10 @@ mod tests {
             / n as f64;
         // Shares are calibrated to §4.3's destination-level circumvention
         // rates (≈51.5% Android, ≈66.2% iOS).
-        assert!((0.44..0.54).contains(&hookable_android), "{hookable_android}");
+        assert!(
+            (0.44..0.54).contains(&hookable_android),
+            "{hookable_android}"
+        );
         assert!((0.58..0.68).contains(&hookable_ios), "{hookable_ios}");
     }
 }

@@ -95,9 +95,7 @@ impl CipherSuite {
             CipherSuite::TLS_RSA_WITH_3DES_EDE_CBC_SHA => "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
             CipherSuite::TLS_RSA_WITH_RC4_128_SHA => "TLS_RSA_WITH_RC4_128_SHA",
             CipherSuite::TLS_RSA_WITH_RC4_128_MD5 => "TLS_RSA_WITH_RC4_128_MD5",
-            CipherSuite::TLS_RSA_EXPORT_WITH_DES40_CBC_SHA => {
-                "TLS_RSA_EXPORT_WITH_DES40_CBC_SHA"
-            }
+            CipherSuite::TLS_RSA_EXPORT_WITH_DES40_CBC_SHA => "TLS_RSA_EXPORT_WITH_DES40_CBC_SHA",
             CipherSuite::TLS_RSA_EXPORT_WITH_RC4_40_MD5 => "TLS_RSA_EXPORT_WITH_RC4_40_MD5",
         }
     }
@@ -174,12 +172,16 @@ mod tests {
 
     #[test]
     fn modern_list_has_no_weak() {
-        assert!(CipherSuite::modern_client_list().iter().all(|c| !c.is_weak()));
+        assert!(CipherSuite::modern_client_list()
+            .iter()
+            .all(|c| !c.is_weak()));
     }
 
     #[test]
     fn legacy_list_advertises_weak() {
-        assert!(CipherSuite::legacy_client_list().iter().any(|c| c.is_weak()));
+        assert!(CipherSuite::legacy_client_list()
+            .iter()
+            .any(|c| c.is_weak()));
     }
 
     #[test]

@@ -118,7 +118,9 @@ impl Session {
             ContentType::Alert,
             ENCRYPTED_ALERT_WIRE_LEN,
         ));
-        t.push_tcp(TcpEvent::Fin { from: Direction::ClientToServer });
+        t.push_tcp(TcpEvent::Fin {
+            from: Direction::ClientToServer,
+        });
     }
 }
 
@@ -156,7 +158,10 @@ pub fn establish(
     t.offered_ciphers = hello.offered_ciphers.clone();
 
     t.push_tcp(TcpEvent::Established);
-    t.push_record(RecordEvent::handshake(Direction::ClientToServer, hello.wire_len()));
+    t.push_record(RecordEvent::handshake(
+        Direction::ClientToServer,
+        hello.wire_len(),
+    ));
 
     // Version negotiation.
     let Some(version) = negotiate(&client.offered_versions, &server.versions) else {
@@ -165,8 +170,13 @@ pub fn establish(
             AlertLevel::Fatal,
             AlertDescription::ProtocolVersion,
         ));
-        t.push_tcp(TcpEvent::Fin { from: Direction::ServerToClient });
-        return HandshakeOutcome { transcript: t, result: Err(HandshakeError::NoCommonVersion) };
+        t.push_tcp(TcpEvent::Fin {
+            from: Direction::ServerToClient,
+        });
+        return HandshakeOutcome {
+            transcript: t,
+            result: Err(HandshakeError::NoCommonVersion),
+        };
     };
 
     // Cipher negotiation.
@@ -176,13 +186,21 @@ pub fn establish(
             AlertLevel::Fatal,
             AlertDescription::HandshakeFailure,
         ));
-        t.push_tcp(TcpEvent::Fin { from: Direction::ServerToClient });
-        return HandshakeOutcome { transcript: t, result: Err(HandshakeError::NoCommonCipher) };
+        t.push_tcp(TcpEvent::Fin {
+            from: Direction::ServerToClient,
+        });
+        return HandshakeOutcome {
+            transcript: t,
+            result: Err(HandshakeError::NoCommonCipher),
+        };
     };
 
     let server_hello = ServerHello { version, cipher };
     t.negotiated = Some((version, cipher));
-    t.push_record(RecordEvent::handshake(Direction::ServerToClient, server_hello.wire_len()));
+    t.push_record(RecordEvent::handshake(
+        Direction::ServerToClient,
+        server_hello.wire_len(),
+    ));
 
     // Certificate message: plaintext under ≤1.2, encrypted under 1.3.
     let chain_len: usize = server.chain.certs().iter().map(|c| c.to_der().len()).sum();
@@ -195,11 +213,16 @@ pub fn establish(
             chain_len + 220,
         ));
     } else {
-        t.push_record(RecordEvent::handshake(Direction::ServerToClient, chain_len + 160));
+        t.push_record(RecordEvent::handshake(
+            Direction::ServerToClient,
+            chain_len + 160,
+        ));
     }
 
     // Client evaluates the chain.
-    let decision = client.policy.evaluate(server.chain.certs(), hostname, now, device_store, crl);
+    let decision = client
+        .policy
+        .evaluate(server.chain.certs(), hostname, now, device_store, crl);
 
     let pin_phase = client.library.pin_check_phase();
     let fail =
@@ -220,13 +243,19 @@ pub fn establish(
                         desc,
                     ));
                 }
-                t.push_tcp(TcpEvent::Fin { from: Direction::ClientToServer });
+                t.push_tcp(TcpEvent::Fin {
+                    from: Direction::ClientToServer,
+                });
             }
             FailureSignal::TcpRst => {
-                t.push_tcp(TcpEvent::Rst { from: Direction::ClientToServer });
+                t.push_tcp(TcpEvent::Rst {
+                    from: Direction::ClientToServer,
+                });
             }
             FailureSignal::SilentFin => {
-                t.push_tcp(TcpEvent::Fin { from: Direction::ClientToServer });
+                t.push_tcp(TcpEvent::Fin {
+                    from: Direction::ClientToServer,
+                });
             }
         };
 
@@ -242,7 +271,10 @@ pub fn establish(
         }
         VerifyDecision::RejectPin if pin_phase == PinCheckPhase::DuringHandshake => {
             fail(&mut t, client.library.pin_failure_signal(), false);
-            return HandshakeOutcome { transcript: t, result: Err(HandshakeError::PinRejected) };
+            return HandshakeOutcome {
+                transcript: t,
+                result: Err(HandshakeError::PinRejected),
+            };
         }
         _ => {}
     }
@@ -253,7 +285,11 @@ pub fn establish(
         Direction::ClientToServer,
         version,
         ContentType::Handshake,
-        if version.disguises_encrypted_records() { 40 } else { 44 },
+        if version.disguises_encrypted_records() {
+            40
+        } else {
+            44
+        },
     ));
     if !version.disguises_encrypted_records() {
         // TLS ≤1.2: server CCS + Finished back.
@@ -276,21 +312,27 @@ pub fn establish(
     // Post-handshake pin enforcement (OkHttp-style).
     if decision == VerifyDecision::RejectPin && pin_phase == PinCheckPhase::PostHandshake {
         fail(&mut t, client.library.pin_failure_signal(), true);
-        return HandshakeOutcome { transcript: t, result: Err(HandshakeError::PinRejected) };
+        return HandshakeOutcome {
+            transcript: t,
+            result: Err(HandshakeError::PinRejected),
+        };
     }
 
-    HandshakeOutcome { transcript: t, result: Ok(Session { version, cipher }) }
+    HandshakeOutcome {
+        transcript: t,
+        result: Ok(Session { version, cipher }),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
     use pinning_pki::authority::CertificateAuthority;
     use pinning_pki::name::DistinguishedName;
     use pinning_pki::pin::{Pin, PinSet, SpkiPin};
     use pinning_pki::time::{Validity, YEAR};
-    use pinning_crypto::sig::KeyPair;
-    use pinning_crypto::SplitMix64;
 
     struct Fixture {
         store: RootStore,
@@ -333,16 +375,25 @@ mod tests {
         let mut store = RootStore::new("device");
         store.add(root.cert.clone());
         store.add(mitm.cert.clone());
-        Fixture { store, chain, mitm_chain, root_cert: root.cert.clone(), now: SimTime(100) }
+        Fixture {
+            store,
+            chain,
+            mitm_chain,
+            root_cert: root.cert.clone(),
+            now: SimTime(100),
+        }
     }
 
-    fn run(
-        f: &Fixture,
-        client: &ClientConfig,
-        chain: &CertificateChain,
-    ) -> HandshakeOutcome {
+    fn run(f: &Fixture, client: &ClientConfig, chain: &CertificateChain) -> HandshakeOutcome {
         let server = ServerEndpoint::modern(chain);
-        establish(client, &server, "api.bank.com", f.now, &f.store, &RevocationList::empty())
+        establish(
+            client,
+            &server,
+            "api.bank.com",
+            f.now,
+            &f.store,
+            &RevocationList::empty(),
+        )
     }
 
     #[test]
@@ -395,9 +446,9 @@ mod tests {
     fn pinned_app_rejects_mitm_conscrypt_during_handshake() {
         let f = fixture();
         let mut client = ClientConfig::modern(TlsLibrary::Conscrypt);
-        client.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(
-            SpkiPin::sha256_of(&f.root_cert),
-        )]));
+        client.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(
+            &f.root_cert,
+        ))]));
         let out = run(&f, &client, &f.mitm_chain);
         assert_eq!(out.result, Err(HandshakeError::PinRejected));
         // TLS 1.3: rejection appears as one encrypted (disguised) alert of
@@ -412,9 +463,9 @@ mod tests {
     fn pinned_app_rejects_mitm_okhttp_post_handshake() {
         let f = fixture();
         let mut client = ClientConfig::modern(TlsLibrary::OkHttp);
-        client.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(
-            SpkiPin::sha256_of(&f.root_cert),
-        )]));
+        client.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(
+            &f.root_cert,
+        ))]));
         let out = run(&f, &client, &f.mitm_chain);
         assert_eq!(out.result, Err(HandshakeError::PinRejected));
         // OkHttp completes the handshake (Finished seen), then RSTs.
@@ -428,9 +479,9 @@ mod tests {
     fn pinned_app_accepts_genuine_chain_and_sends_data() {
         let f = fixture();
         let mut client = ClientConfig::modern(TlsLibrary::OkHttp);
-        client.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(
-            SpkiPin::sha256_of(&f.root_cert),
-        )]));
+        client.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(
+            &f.root_cert,
+        ))]));
         let mut out = run(&f, &client, &f.chain);
         let session = out.result.unwrap();
         session.send_client_data(&mut out.transcript, 900);
@@ -470,9 +521,9 @@ mod tests {
     fn silent_fin_library_leaves_no_alert() {
         let f = fixture();
         let mut client = ClientConfig::modern(TlsLibrary::AfNetworking);
-        client.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(
-            SpkiPin::sha256_of(&f.root_cert),
-        )]));
+        client.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(
+            &f.root_cert,
+        ))]));
         let out = run(&f, &client, &f.mitm_chain);
         assert_eq!(out.result, Err(HandshakeError::PinRejected));
         assert!(out.transcript.plaintext_alerts().is_empty());

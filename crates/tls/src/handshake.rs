@@ -62,7 +62,10 @@ mod tests {
             offered_ciphers: CipherSuite::legacy_client_list(),
         };
         assert!(hello.advertises_weak_cipher());
-        let modern = ClientHello { offered_ciphers: CipherSuite::modern_client_list(), ..hello };
+        let modern = ClientHello {
+            offered_ciphers: CipherSuite::modern_client_list(),
+            ..hello
+        };
         assert!(!modern.advertises_weak_cipher());
     }
 

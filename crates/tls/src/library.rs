@@ -135,8 +135,14 @@ mod tests {
 
     #[test]
     fn okhttp_checks_pins_post_handshake() {
-        assert_eq!(TlsLibrary::OkHttp.pin_check_phase(), PinCheckPhase::PostHandshake);
-        assert_eq!(TlsLibrary::Conscrypt.pin_check_phase(), PinCheckPhase::DuringHandshake);
+        assert_eq!(
+            TlsLibrary::OkHttp.pin_check_phase(),
+            PinCheckPhase::PostHandshake
+        );
+        assert_eq!(
+            TlsLibrary::Conscrypt.pin_check_phase(),
+            PinCheckPhase::DuringHandshake
+        );
     }
 
     #[test]

@@ -61,20 +61,32 @@ impl ConnectionTranscript {
     /// Whether the client aborted with a TCP RST.
     pub fn client_rst(&self) -> bool {
         self.events.iter().any(|e| {
-            matches!(e, WireEvent::Tcp(TcpEvent::Rst { from: Direction::ClientToServer }))
+            matches!(
+                e,
+                WireEvent::Tcp(TcpEvent::Rst {
+                    from: Direction::ClientToServer
+                })
+            )
         })
     }
 
     /// Whether the client closed with a FIN.
     pub fn client_fin(&self) -> bool {
         self.events.iter().any(|e| {
-            matches!(e, WireEvent::Tcp(TcpEvent::Fin { from: Direction::ClientToServer }))
+            matches!(
+                e,
+                WireEvent::Tcp(TcpEvent::Fin {
+                    from: Direction::ClientToServer
+                })
+            )
         })
     }
 
     /// Whether any *visible* (plaintext) fatal alert was seen, and from whom.
     pub fn plaintext_alerts(&self) -> Vec<&RecordEvent> {
-        self.records().filter(|r| r.plaintext_alert.is_some()).collect()
+        self.records()
+            .filter(|r| r.plaintext_alert.is_some())
+            .collect()
     }
 
     /// Whether the TCP connection was established at all.
@@ -98,7 +110,10 @@ impl ConnectionTranscript {
 
     /// Total bytes in client→server application-data-looking records.
     pub fn client_appdata_bytes(&self) -> usize {
-        self.client_encrypted_appdata().iter().map(|r| r.payload_len).sum()
+        self.client_encrypted_appdata()
+            .iter()
+            .map(|r| r.payload_len)
+            .sum()
     }
 
     /// Renders a compact tcpdump-style dump (for examples and debugging).
@@ -172,7 +187,10 @@ mod tests {
     #[test]
     fn tls12_appdata_not_confused_with_handshake() {
         let mut t = base();
-        t.negotiated = Some((TlsVersion::V1_2, CipherSuite::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256));
+        t.negotiated = Some((
+            TlsVersion::V1_2,
+            CipherSuite::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256,
+        ));
         t.push_record(RecordEvent::encrypted(
             Direction::ClientToServer,
             TlsVersion::V1_2,
@@ -194,9 +212,13 @@ mod tests {
         let mut t = base();
         assert!(t.tcp_established());
         assert!(!t.client_rst());
-        t.push_tcp(TcpEvent::Rst { from: Direction::ClientToServer });
+        t.push_tcp(TcpEvent::Rst {
+            from: Direction::ClientToServer,
+        });
         assert!(t.client_rst());
-        t.push_tcp(TcpEvent::Fin { from: Direction::ClientToServer });
+        t.push_tcp(TcpEvent::Fin {
+            from: Direction::ClientToServer,
+        });
         assert!(t.client_fin());
     }
 
@@ -215,7 +237,11 @@ mod tests {
             ContentType::Alert,
             crate::alert::ENCRYPTED_ALERT_WIRE_LEN,
         ));
-        assert_eq!(t.plaintext_alerts().len(), 1, "encrypted alert must stay invisible");
+        assert_eq!(
+            t.plaintext_alerts().len(),
+            1,
+            "encrypted alert must stay invisible"
+        );
     }
 
     #[test]

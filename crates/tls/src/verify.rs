@@ -100,12 +100,12 @@ impl CertPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pinning_crypto::sig::KeyPair;
+    use pinning_crypto::SplitMix64;
     use pinning_pki::authority::CertificateAuthority;
     use pinning_pki::name::DistinguishedName;
     use pinning_pki::pin::{Pin, SpkiPin};
     use pinning_pki::time::{Validity, YEAR};
-    use pinning_crypto::sig::KeyPair;
-    use pinning_crypto::SplitMix64;
 
     struct World {
         store: RootStore,
@@ -148,7 +148,12 @@ mod tests {
         let mut store = RootStore::new("device");
         store.add(root.cert.clone());
         store.add(mitm.cert.clone());
-        World { store, chain, mitm_chain, now: SimTime(100) }
+        World {
+            store,
+            chain,
+            mitm_chain,
+            now: SimTime(100),
+        }
     }
 
     #[test]
@@ -156,7 +161,13 @@ mod tests {
         let w = world();
         let p = CertPolicy::system_default();
         assert!(p
-            .evaluate(&w.chain, "bank.com", w.now, &w.store, &RevocationList::empty())
+            .evaluate(
+                &w.chain,
+                "bank.com",
+                w.now,
+                &w.store,
+                &RevocationList::empty()
+            )
             .is_accept());
     }
 
@@ -167,7 +178,13 @@ mod tests {
         let w = world();
         let p = CertPolicy::system_default();
         assert!(p
-            .evaluate(&w.mitm_chain, "bank.com", w.now, &w.store, &RevocationList::empty())
+            .evaluate(
+                &w.mitm_chain,
+                "bank.com",
+                w.now,
+                &w.store,
+                &RevocationList::empty()
+            )
             .is_accept());
     }
 
@@ -177,12 +194,24 @@ mod tests {
         let pin = SpkiPin::sha256_of(&w.chain[1]); // pin the real root
         let p = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(pin)]));
         assert_eq!(
-            p.evaluate(&w.mitm_chain, "bank.com", w.now, &w.store, &RevocationList::empty()),
+            p.evaluate(
+                &w.mitm_chain,
+                "bank.com",
+                w.now,
+                &w.store,
+                &RevocationList::empty()
+            ),
             VerifyDecision::RejectPin
         );
         // ... while still accepting the genuine chain.
         assert!(p
-            .evaluate(&w.chain, "bank.com", w.now, &w.store, &RevocationList::empty())
+            .evaluate(
+                &w.chain,
+                "bank.com",
+                w.now,
+                &w.store,
+                &RevocationList::empty()
+            )
             .is_accept());
     }
 
@@ -192,8 +221,17 @@ mod tests {
         let pin = SpkiPin::sha256_of(&w.chain[1]);
         let p = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(pin)]));
         // Hostname mismatch must still be caught (§5.3.4).
-        let d = p.evaluate(&w.chain, "evil.com", w.now, &w.store, &RevocationList::empty());
-        assert!(matches!(d, VerifyDecision::RejectSystem(ValidationError::HostnameMismatch { .. })));
+        let d = p.evaluate(
+            &w.chain,
+            "evil.com",
+            w.now,
+            &w.store,
+            &RevocationList::empty(),
+        );
+        assert!(matches!(
+            d,
+            VerifyDecision::RejectSystem(ValidationError::HostnameMismatch { .. })
+        ));
     }
 
     #[test]
@@ -202,8 +240,17 @@ mod tests {
         let mut bare = RootStore::new("factory");
         bare.add(w.chain[1].clone());
         let p = CertPolicy::system_default();
-        let d = p.evaluate(&w.mitm_chain, "bank.com", w.now, &bare, &RevocationList::empty());
-        assert!(matches!(d, VerifyDecision::RejectSystem(ValidationError::UnknownRoot { .. })));
+        let d = p.evaluate(
+            &w.mitm_chain,
+            "bank.com",
+            w.now,
+            &bare,
+            &RevocationList::empty(),
+        );
+        assert!(matches!(
+            d,
+            VerifyDecision::RejectSystem(ValidationError::UnknownRoot { .. })
+        ));
     }
 
     #[test]

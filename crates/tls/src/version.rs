@@ -15,8 +15,12 @@ pub enum TlsVersion {
 
 impl TlsVersion {
     /// All versions, oldest first.
-    pub const ALL: [TlsVersion; 4] =
-        [TlsVersion::V1_0, TlsVersion::V1_1, TlsVersion::V1_2, TlsVersion::V1_3];
+    pub const ALL: [TlsVersion; 4] = [
+        TlsVersion::V1_0,
+        TlsVersion::V1_1,
+        TlsVersion::V1_2,
+        TlsVersion::V1_3,
+    ];
 
     /// Whether encrypted records on this version hide their content type
     /// (the TLS 1.3 middlebox-compatibility disguise, §4.2.2).
@@ -42,7 +46,10 @@ impl core::fmt::Display for TlsVersion {
 }
 
 /// Picks the highest version offered by both sides, if any.
-pub fn negotiate(client_offers: &[TlsVersion], server_supports: &[TlsVersion]) -> Option<TlsVersion> {
+pub fn negotiate(
+    client_offers: &[TlsVersion],
+    server_supports: &[TlsVersion],
+) -> Option<TlsVersion> {
     client_offers
         .iter()
         .filter(|v| server_supports.contains(v))

@@ -1,5 +1,8 @@
-//! Property tests for the TLS simulator.
+//! Property-style tests for the TLS simulator, driven by a deterministic
+//! SplitMix64 input sweep (no external crates, fully offline).
 
+use pinning_crypto::sig::KeyPair;
+use pinning_crypto::SplitMix64;
 use pinning_pki::authority::CertificateAuthority;
 use pinning_pki::chain::CertificateChain;
 use pinning_pki::name::DistinguishedName;
@@ -9,9 +12,8 @@ use pinning_pki::time::{SimTime, Validity, YEAR};
 use pinning_pki::validate::RevocationList;
 use pinning_tls::verify::CertPolicy;
 use pinning_tls::{establish, CipherSuite, ClientConfig, ServerEndpoint, TlsLibrary, TlsVersion};
-use pinning_crypto::sig::KeyPair;
-use pinning_crypto::SplitMix64;
-use proptest::prelude::*;
+
+const CASES: u64 = 60;
 
 struct Env {
     store: RootStore,
@@ -34,39 +36,63 @@ fn env(seed: u64) -> Env {
     );
     let mut store = RootStore::new("device");
     store.add(root.cert.clone());
-    Env { store, chain: CertificateChain::new(vec![leaf, root.cert.clone()]) }
+    Env {
+        store,
+        chain: CertificateChain::new(vec![leaf, root.cert.clone()]),
+    }
 }
 
-fn arb_library() -> impl Strategy<Value = TlsLibrary> {
-    prop::sample::select(vec![
-        TlsLibrary::Conscrypt,
-        TlsLibrary::OkHttp,
-        TlsLibrary::Cronet,
-        TlsLibrary::NsUrlSession,
-        TlsLibrary::AfNetworking,
-        TlsLibrary::TrustKit,
-        TlsLibrary::CustomNative,
-    ])
+const LIBRARIES: [TlsLibrary; 7] = [
+    TlsLibrary::Conscrypt,
+    TlsLibrary::OkHttp,
+    TlsLibrary::Cronet,
+    TlsLibrary::NsUrlSession,
+    TlsLibrary::AfNetworking,
+    TlsLibrary::TrustKit,
+    TlsLibrary::CustomNative,
+];
+
+fn pick_library(rng: &mut SplitMix64) -> TlsLibrary {
+    LIBRARIES[rng.next_below(LIBRARIES.len() as u64) as usize]
 }
 
-proptest! {
-    #[test]
-    fn handshake_is_deterministic(seed in any::<u64>(), lib in arb_library()) {
+#[test]
+fn handshake_is_deterministic() {
+    let mut rng = SplitMix64::new(0xde7);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let lib = pick_library(&mut rng);
         let e = env(seed);
         let client = ClientConfig::modern(lib);
         let server = ServerEndpoint::modern(&e.chain);
-        let a = establish(&client, &server, "h.example", SimTime(10), &e.store, &RevocationList::empty());
-        let b = establish(&client, &server, "h.example", SimTime(10), &e.store, &RevocationList::empty());
-        prop_assert_eq!(a.transcript, b.transcript);
-        prop_assert_eq!(a.result.is_ok(), b.result.is_ok());
+        let a = establish(
+            &client,
+            &server,
+            "h.example",
+            SimTime(10),
+            &e.store,
+            &RevocationList::empty(),
+        );
+        let b = establish(
+            &client,
+            &server,
+            "h.example",
+            SimTime(10),
+            &e.store,
+            &RevocationList::empty(),
+        );
+        assert_eq!(a.transcript, b.transcript);
+        assert_eq!(a.result.is_ok(), b.result.is_ok());
     }
+}
 
-    #[test]
-    fn negotiated_version_is_offered_by_both(
-        seed in any::<u64>(),
-        client_13 in any::<bool>(),
-        server_13 in any::<bool>(),
-    ) {
+#[test]
+fn negotiated_version_is_offered_by_both() {
+    let mut rng = SplitMix64::new(0x7e6);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let client_13 = rng.chance(0.5);
+        let server_13 = rng.chance(0.5);
         let e = env(seed);
         let mut client = ClientConfig::modern(TlsLibrary::OkHttp);
         if !client_13 {
@@ -76,20 +102,32 @@ proptest! {
         if !server_13 {
             server.versions = vec![TlsVersion::V1_2];
         }
-        let out = establish(&client, &server, "h.example", SimTime(10), &e.store, &RevocationList::empty());
+        let out = establish(
+            &client,
+            &server,
+            "h.example",
+            SimTime(10),
+            &e.store,
+            &RevocationList::empty(),
+        );
         let session = out.result.unwrap();
-        prop_assert!(client.offered_versions.contains(&session.version));
-        prop_assert!(server.versions.contains(&session.version));
+        assert!(client.offered_versions.contains(&session.version));
+        assert!(server.versions.contains(&session.version));
         if client_13 && server_13 {
-            prop_assert_eq!(session.version, TlsVersion::V1_3);
+            assert_eq!(session.version, TlsVersion::V1_3);
         }
-        prop_assert!(session.cipher.valid_for(session.version));
+        assert!(session.cipher.valid_for(session.version));
     }
+}
 
-    #[test]
-    fn pin_rejection_independent_of_library_outcome(seed in any::<u64>(), lib in arb_library()) {
-        // Whatever the stack, a non-matching pin must abort the connection;
-        // only the wire signature differs.
+#[test]
+fn pin_rejection_independent_of_library_outcome() {
+    // Whatever the stack, a non-matching pin must abort the connection;
+    // only the wire signature differs.
+    let mut rng = SplitMix64::new(0x919);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let lib = pick_library(&mut rng);
         let e = env(seed);
         let mut other_rng = SplitMix64::new(seed ^ 0xdead);
         let other = CertificateAuthority::new_root(
@@ -98,22 +136,34 @@ proptest! {
             SimTime(0),
         );
         let mut client = ClientConfig::modern(lib);
-        client.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(
-            SpkiPin::sha256_of(&other.cert),
-        )]));
+        client.policy = CertPolicy::pinned(PinSet::from_pins(vec![Pin::Spki(SpkiPin::sha256_of(
+            &other.cert,
+        ))]));
         let server = ServerEndpoint::modern(&e.chain);
-        let out = establish(&client, &server, "h.example", SimTime(10), &e.store, &RevocationList::empty());
-        prop_assert!(out.result.is_err());
+        let out = establish(
+            &client,
+            &server,
+            "h.example",
+            SimTime(10),
+            &e.store,
+            &RevocationList::empty(),
+        );
+        assert!(out.result.is_err());
         // The transcript must show a client-side teardown of some kind.
         let t = &out.transcript;
-        prop_assert!(
+        assert!(
             t.client_rst() || t.client_fin() || !t.plaintext_alerts().is_empty(),
             "no teardown signal for {lib:?}"
         );
     }
+}
 
-    #[test]
-    fn weak_cipher_flag_matches_offer(seed in any::<u64>(), legacy in any::<bool>()) {
+#[test]
+fn weak_cipher_flag_matches_offer() {
+    let mut rng = SplitMix64::new(0xc1f);
+    for _ in 0..CASES {
+        let seed = rng.next_u64();
+        let legacy = rng.chance(0.5);
         let e = env(seed);
         let mut client = ClientConfig::modern(TlsLibrary::OkHttp);
         client.offered_ciphers = if legacy {
@@ -122,12 +172,19 @@ proptest! {
             CipherSuite::modern_client_list()
         };
         let server = ServerEndpoint::modern(&e.chain);
-        let out = establish(&client, &server, "h.example", SimTime(10), &e.store, &RevocationList::empty());
+        let out = establish(
+            &client,
+            &server,
+            "h.example",
+            SimTime(10),
+            &e.store,
+            &RevocationList::empty(),
+        );
         let advertised_weak = out.transcript.offered_ciphers.iter().any(|c| c.is_weak());
-        prop_assert_eq!(advertised_weak, legacy);
+        assert_eq!(advertised_weak, legacy);
         // The *negotiated* suite is never weak against a sane server.
         if let Ok(s) = out.result {
-            prop_assert!(!s.cipher.is_weak());
+            assert!(!s.cipher.is_weak());
         }
     }
 }

@@ -37,7 +37,12 @@ fn main() {
         app.name, app.developer_org, app.category, app.popularity_rank
     );
     println!("bundled SDKs: {:?}", app.sdk_names);
-    println!("package: {} files, {} bytes, encrypted={}", app.package.files.len(), app.package.total_size(), app.package.encrypted);
+    println!(
+        "package: {} files, {} bytes, encrypted={}",
+        app.package.files.len(),
+        app.package.total_size(),
+        app.package.encrypted
+    );
 
     // --- static pass ---
     let key = (platform == Platform::Ios).then_some(world.config.ios_encryption_seed);
@@ -53,7 +58,11 @@ fn main() {
         );
     }
     for p in &findings.pin_strings {
-        let ok = if p.value.parsed.is_some() { "valid" } else { "unparseable" };
+        let ok = if p.value.parsed.is_some() {
+            "valid"
+        } else {
+            "unparseable"
+        };
         println!("  pin   {}  {}  ({ok})", p.path, p.value.raw);
     }
     println!(
@@ -92,7 +101,12 @@ fn main() {
     // --- transcripts of the pinned failures ---
     println!("\n[capture] MITM-run transcripts for pinned destinations");
     for flow in &result.mitm.flows {
-        if flow.transcript.sni.as_deref().is_some_and(|s| pinned.contains(&s)) {
+        if flow
+            .transcript
+            .sni
+            .as_deref()
+            .is_some_and(|s| pinned.contains(&s))
+        {
             print!("{}", flow.transcript.dump());
         }
     }

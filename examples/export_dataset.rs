@@ -25,7 +25,10 @@ fn main() -> std::io::Result<()> {
     let args: Vec<String> = std::env::args().collect();
     let scale = args.get(1).map(String::as_str).unwrap_or("tiny");
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2022);
-    let outdir = args.get(3).cloned().unwrap_or_else(|| "dataset-out".to_string());
+    let outdir = args
+        .get(3)
+        .cloned()
+        .unwrap_or_else(|| "dataset-out".to_string());
     let outdir = Path::new(&outdir);
 
     let config = match scale {
@@ -38,7 +41,10 @@ fn main() -> std::io::Result<()> {
     fs::create_dir_all(outdir.join("captures"))?;
 
     // --- tables ---
-    fs::write(outdir.join("table3.csv"), export::table3_csv(&results.table3()))?;
+    fs::write(
+        outdir.join("table3.csv"),
+        export::table3_csv(&results.table3()),
+    )?;
     fs::write(
         outdir.join("table4.csv"),
         export::categories_csv(Platform::Android, &results.category_rows(Platform::Android)),
@@ -47,9 +53,18 @@ fn main() -> std::io::Result<()> {
         outdir.join("table5.csv"),
         export::categories_csv(Platform::Ios, &results.category_rows(Platform::Ios)),
     )?;
-    fs::write(outdir.join("table6.csv"), export::table6_csv(&results.table6()))?;
-    fs::write(outdir.join("table8.csv"), export::table8_csv(&results.table8()))?;
-    fs::write(outdir.join("table9.csv"), export::table9_csv(&results.table9()))?;
+    fs::write(
+        outdir.join("table6.csv"),
+        export::table6_csv(&results.table6()),
+    )?;
+    fs::write(
+        outdir.join("table8.csv"),
+        export::table8_csv(&results.table8()),
+    )?;
+    fs::write(
+        outdir.join("table9.csv"),
+        export::table9_csv(&results.table9()),
+    )?;
     for platform in Platform::BOTH {
         let name = format!("figure5_{}.csv", platform.name().to_lowercase());
         fs::write(

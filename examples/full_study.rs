@@ -4,6 +4,7 @@
 //! cargo run --release --example full_study              # paper scale
 //! cargo run --example full_study -- tiny                # smoke scale
 //! cargo run --release --example full_study -- paper 42  # custom seed
+//! cargo run --example full_study -- chaos 7             # fault injection on
 //! ```
 //!
 //! Paper scale generates two 4,000-app stores, draws the six datasets
@@ -12,6 +13,7 @@
 //! prints Tables 1–9 and Figures 1–5 as measured.
 
 use app_tls_pinning::core::{Study, StudyConfig};
+use app_tls_pinning::netsim::faults::FaultConfig;
 use std::time::Instant;
 
 fn main() {
@@ -22,8 +24,15 @@ fn main() {
     let config = match scale {
         "tiny" => StudyConfig::tiny(seed),
         "paper" => StudyConfig::paper_scale(seed),
+        // Tiny world under the chaos fault schedule: exercises retries,
+        // Unobserved exclusions, and the degraded-apps table end to end.
+        "chaos" => {
+            let mut cfg = StudyConfig::tiny(seed);
+            cfg.faults = FaultConfig::chaos();
+            cfg
+        }
         other => {
-            eprintln!("unknown scale {other:?}; use `tiny` or `paper`");
+            eprintln!("unknown scale {other:?}; use `tiny`, `paper`, or `chaos`");
             std::process::exit(2);
         }
     };

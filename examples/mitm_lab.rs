@@ -56,7 +56,14 @@ fn main() {
         for (path_label, chain) in [("direct", &genuine), ("through mitmproxy", &forged)] {
             println!("=== {client_label}, {path_label} ===");
             let server = ServerEndpoint::modern(chain);
-            let mut out = establish(client, &server, "api.bank.example", now, &device_store, &crl);
+            let mut out = establish(
+                client,
+                &server,
+                "api.bank.example",
+                now,
+                &device_store,
+                &crl,
+            );
             match out.result {
                 Ok(session) => {
                     session.send_client_data(&mut out.transcript, 420);

@@ -32,7 +32,10 @@ fn main() {
         .iter()
         .find(|a| a.pins_at_runtime())
         .expect("the tiny world always contains pinning apps");
-    println!("app under test: {} ({}, {:?})", app.name, app.id, app.category);
+    println!(
+        "app under test: {} ({}, {:?})",
+        app.name, app.id, app.category
+    );
 
     // 3. Static analysis: scan the package (decrypting first on iOS).
     let key = (app.id.platform == Platform::Ios).then_some(world.config.ios_encryption_seed);
@@ -73,6 +76,12 @@ fn main() {
     }
 
     // 5. Compare with ground truth.
-    println!("\nground-truth pinned domains: {:?}", app.runtime_pinned_domains());
-    println!("detected pinned domains:     {:?}", result.pinned_destinations());
+    println!(
+        "\nground-truth pinned domains: {:?}",
+        app.runtime_pinned_domains()
+    );
+    println!(
+        "detected pinned domains:     {:?}",
+        result.pinned_destinations()
+    );
 }

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/app_tls_pinning-4cc20f6eab11a28a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libapp_tls_pinning-4cc20f6eab11a28a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libapp_tls_pinning-4cc20f6eab11a28a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/app_tls_pinning-52b10facc68dc873.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapp_tls_pinning-52b10facc68dc873.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

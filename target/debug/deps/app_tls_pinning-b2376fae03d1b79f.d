@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/app_tls_pinning-b2376fae03d1b79f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libapp_tls_pinning-b2376fae03d1b79f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

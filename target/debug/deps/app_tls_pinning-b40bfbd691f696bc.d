@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/app_tls_pinning-b40bfbd691f696bc.d: src/lib.rs
+
+/root/repo/target/debug/deps/app_tls_pinning-b40bfbd691f696bc: src/lib.rs
+
+src/lib.rs:

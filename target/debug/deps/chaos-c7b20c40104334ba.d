@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-c7b20c40104334ba.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-c7b20c40104334ba: tests/chaos.rs
+
+tests/chaos.rs:

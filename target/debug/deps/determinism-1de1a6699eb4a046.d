@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-1de1a6699eb4a046.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-1de1a6699eb4a046: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/methodology-8718a0a396541fbe.d: tests/methodology.rs
+
+/root/repo/target/debug/deps/methodology-8718a0a396541fbe: tests/methodology.rs
+
+tests/methodology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/methodology-f4ee4d91a7cab9fa.d: tests/methodology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmethodology-f4ee4d91a7cab9fa.rmeta: tests/methodology.rs Cargo.toml
+
+tests/methodology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/pinning_analysis-1dc8fbb70d4c2e1d.d: crates/analysis/src/lib.rs crates/analysis/src/categories.rs crates/analysis/src/certs.rs crates/analysis/src/circumvent.rs crates/analysis/src/consistency.rs crates/analysis/src/destinations.rs crates/analysis/src/dynamics/mod.rs crates/analysis/src/dynamics/calibration.rs crates/analysis/src/dynamics/classify.rs crates/analysis/src/dynamics/detect.rs crates/analysis/src/dynamics/interaction.rs crates/analysis/src/dynamics/pipeline.rs crates/analysis/src/pii.rs crates/analysis/src/results.rs crates/analysis/src/security.rs crates/analysis/src/statics/mod.rs crates/analysis/src/statics/attribution.rs crates/analysis/src/statics/extract.rs crates/analysis/src/statics/nsc.rs crates/analysis/src/statics/scanner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_analysis-1dc8fbb70d4c2e1d.rmeta: crates/analysis/src/lib.rs crates/analysis/src/categories.rs crates/analysis/src/certs.rs crates/analysis/src/circumvent.rs crates/analysis/src/consistency.rs crates/analysis/src/destinations.rs crates/analysis/src/dynamics/mod.rs crates/analysis/src/dynamics/calibration.rs crates/analysis/src/dynamics/classify.rs crates/analysis/src/dynamics/detect.rs crates/analysis/src/dynamics/interaction.rs crates/analysis/src/dynamics/pipeline.rs crates/analysis/src/pii.rs crates/analysis/src/results.rs crates/analysis/src/security.rs crates/analysis/src/statics/mod.rs crates/analysis/src/statics/attribution.rs crates/analysis/src/statics/extract.rs crates/analysis/src/statics/nsc.rs crates/analysis/src/statics/scanner.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/categories.rs:
+crates/analysis/src/certs.rs:
+crates/analysis/src/circumvent.rs:
+crates/analysis/src/consistency.rs:
+crates/analysis/src/destinations.rs:
+crates/analysis/src/dynamics/mod.rs:
+crates/analysis/src/dynamics/calibration.rs:
+crates/analysis/src/dynamics/classify.rs:
+crates/analysis/src/dynamics/detect.rs:
+crates/analysis/src/dynamics/interaction.rs:
+crates/analysis/src/dynamics/pipeline.rs:
+crates/analysis/src/pii.rs:
+crates/analysis/src/results.rs:
+crates/analysis/src/security.rs:
+crates/analysis/src/statics/mod.rs:
+crates/analysis/src/statics/attribution.rs:
+crates/analysis/src/statics/extract.rs:
+crates/analysis/src/statics/nsc.rs:
+crates/analysis/src/statics/scanner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pinning_app-1b46f1fccac057c6.d: crates/app/src/lib.rs crates/app/src/app.rs crates/app/src/behavior.rs crates/app/src/builder.rs crates/app/src/category.rs crates/app/src/nsc.rs crates/app/src/package.rs crates/app/src/pii.rs crates/app/src/pinning.rs crates/app/src/platform.rs crates/app/src/sdk.rs crates/app/src/xml.rs
+
+/root/repo/target/debug/deps/pinning_app-1b46f1fccac057c6: crates/app/src/lib.rs crates/app/src/app.rs crates/app/src/behavior.rs crates/app/src/builder.rs crates/app/src/category.rs crates/app/src/nsc.rs crates/app/src/package.rs crates/app/src/pii.rs crates/app/src/pinning.rs crates/app/src/platform.rs crates/app/src/sdk.rs crates/app/src/xml.rs
+
+crates/app/src/lib.rs:
+crates/app/src/app.rs:
+crates/app/src/behavior.rs:
+crates/app/src/builder.rs:
+crates/app/src/category.rs:
+crates/app/src/nsc.rs:
+crates/app/src/package.rs:
+crates/app/src/pii.rs:
+crates/app/src/pinning.rs:
+crates/app/src/platform.rs:
+crates/app/src/sdk.rs:
+crates/app/src/xml.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pinning_app-59af4ff7b578c064.d: crates/app/src/lib.rs crates/app/src/app.rs crates/app/src/behavior.rs crates/app/src/builder.rs crates/app/src/category.rs crates/app/src/nsc.rs crates/app/src/package.rs crates/app/src/pii.rs crates/app/src/pinning.rs crates/app/src/platform.rs crates/app/src/sdk.rs crates/app/src/xml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_app-59af4ff7b578c064.rmeta: crates/app/src/lib.rs crates/app/src/app.rs crates/app/src/behavior.rs crates/app/src/builder.rs crates/app/src/category.rs crates/app/src/nsc.rs crates/app/src/package.rs crates/app/src/pii.rs crates/app/src/pinning.rs crates/app/src/platform.rs crates/app/src/sdk.rs crates/app/src/xml.rs Cargo.toml
+
+crates/app/src/lib.rs:
+crates/app/src/app.rs:
+crates/app/src/behavior.rs:
+crates/app/src/builder.rs:
+crates/app/src/category.rs:
+crates/app/src/nsc.rs:
+crates/app/src/package.rs:
+crates/app/src/pii.rs:
+crates/app/src/pinning.rs:
+crates/app/src/platform.rs:
+crates/app/src/sdk.rs:
+crates/app/src/xml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pinning_bench-14322616004e44ab.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_bench-14322616004e44ab.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

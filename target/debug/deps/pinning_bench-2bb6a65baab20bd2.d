@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pinning_bench-2bb6a65baab20bd2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/pinning_bench-2bb6a65baab20bd2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

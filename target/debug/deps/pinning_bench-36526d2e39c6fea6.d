@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pinning_bench-36526d2e39c6fea6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpinning_bench-36526d2e39c6fea6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpinning_bench-36526d2e39c6fea6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

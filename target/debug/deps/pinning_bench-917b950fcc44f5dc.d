@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pinning_bench-917b950fcc44f5dc.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_bench-917b950fcc44f5dc.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

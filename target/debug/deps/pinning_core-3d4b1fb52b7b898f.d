@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pinning_core-3d4b1fb52b7b898f.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs
+
+/root/repo/target/debug/deps/pinning_core-3d4b1fb52b7b898f: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/record.rs:
+crates/core/src/study.rs:
+crates/core/src/tables.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pinning_core-c481241ebb260d30.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_core-c481241ebb260d30.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/record.rs:
+crates/core/src/study.rs:
+crates/core/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pinning_core-ccd506e6cc6f88ef.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs
+
+/root/repo/target/debug/deps/libpinning_core-ccd506e6cc6f88ef.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs
+
+/root/repo/target/debug/deps/libpinning_core-ccd506e6cc6f88ef.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/record.rs:
+crates/core/src/study.rs:
+crates/core/src/tables.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pinning_crypto-418d9b5aa2236fc7.d: crates/crypto/src/lib.rs crates/crypto/src/base64.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/sig.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_crypto-418d9b5aa2236fc7.rmeta: crates/crypto/src/lib.rs crates/crypto/src/base64.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/sig.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/base64.rs:
+crates/crypto/src/hex.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/sig.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pinning_crypto-87dd0ece245c9ec7.d: crates/crypto/src/lib.rs crates/crypto/src/base64.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/sig.rs
+
+/root/repo/target/debug/deps/libpinning_crypto-87dd0ece245c9ec7.rlib: crates/crypto/src/lib.rs crates/crypto/src/base64.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/sig.rs
+
+/root/repo/target/debug/deps/libpinning_crypto-87dd0ece245c9ec7.rmeta: crates/crypto/src/lib.rs crates/crypto/src/base64.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/sig.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/base64.rs:
+crates/crypto/src/hex.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/sig.rs:

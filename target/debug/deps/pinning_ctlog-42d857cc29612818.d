@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pinning_ctlog-42d857cc29612818.d: crates/ctlog/src/lib.rs
+
+/root/repo/target/debug/deps/libpinning_ctlog-42d857cc29612818.rlib: crates/ctlog/src/lib.rs
+
+/root/repo/target/debug/deps/libpinning_ctlog-42d857cc29612818.rmeta: crates/ctlog/src/lib.rs
+
+crates/ctlog/src/lib.rs:

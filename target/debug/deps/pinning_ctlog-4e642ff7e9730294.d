@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pinning_ctlog-4e642ff7e9730294.d: crates/ctlog/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_ctlog-4e642ff7e9730294.rmeta: crates/ctlog/src/lib.rs Cargo.toml
+
+crates/ctlog/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pinning_ctlog-a01525d0da46f93c.d: crates/ctlog/src/lib.rs
+
+/root/repo/target/debug/deps/pinning_ctlog-a01525d0da46f93c: crates/ctlog/src/lib.rs
+
+crates/ctlog/src/lib.rs:

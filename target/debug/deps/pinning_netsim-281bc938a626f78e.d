@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pinning_netsim-281bc938a626f78e.d: crates/netsim/src/lib.rs crates/netsim/src/device.rs crates/netsim/src/faults.rs crates/netsim/src/flow.rs crates/netsim/src/network.rs crates/netsim/src/proxy.rs crates/netsim/src/server.rs crates/netsim/src/simcap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_netsim-281bc938a626f78e.rmeta: crates/netsim/src/lib.rs crates/netsim/src/device.rs crates/netsim/src/faults.rs crates/netsim/src/flow.rs crates/netsim/src/network.rs crates/netsim/src/proxy.rs crates/netsim/src/server.rs crates/netsim/src/simcap.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/device.rs:
+crates/netsim/src/faults.rs:
+crates/netsim/src/flow.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/proxy.rs:
+crates/netsim/src/server.rs:
+crates/netsim/src/simcap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

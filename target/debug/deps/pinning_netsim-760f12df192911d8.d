@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pinning_netsim-760f12df192911d8.d: crates/netsim/src/lib.rs crates/netsim/src/device.rs crates/netsim/src/faults.rs crates/netsim/src/flow.rs crates/netsim/src/network.rs crates/netsim/src/proxy.rs crates/netsim/src/server.rs crates/netsim/src/simcap.rs
+
+/root/repo/target/debug/deps/pinning_netsim-760f12df192911d8: crates/netsim/src/lib.rs crates/netsim/src/device.rs crates/netsim/src/faults.rs crates/netsim/src/flow.rs crates/netsim/src/network.rs crates/netsim/src/proxy.rs crates/netsim/src/server.rs crates/netsim/src/simcap.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/device.rs:
+crates/netsim/src/faults.rs:
+crates/netsim/src/flow.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/proxy.rs:
+crates/netsim/src/server.rs:
+crates/netsim/src/simcap.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pinning_pki-bd9be7c66a61bf46.d: crates/pki/src/lib.rs crates/pki/src/authority.rs crates/pki/src/cert.rs crates/pki/src/chain.rs crates/pki/src/encode.rs crates/pki/src/error.rs crates/pki/src/hpkp.rs crates/pki/src/name.rs crates/pki/src/pin.rs crates/pki/src/store.rs crates/pki/src/time.rs crates/pki/src/universe.rs crates/pki/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_pki-bd9be7c66a61bf46.rmeta: crates/pki/src/lib.rs crates/pki/src/authority.rs crates/pki/src/cert.rs crates/pki/src/chain.rs crates/pki/src/encode.rs crates/pki/src/error.rs crates/pki/src/hpkp.rs crates/pki/src/name.rs crates/pki/src/pin.rs crates/pki/src/store.rs crates/pki/src/time.rs crates/pki/src/universe.rs crates/pki/src/validate.rs Cargo.toml
+
+crates/pki/src/lib.rs:
+crates/pki/src/authority.rs:
+crates/pki/src/cert.rs:
+crates/pki/src/chain.rs:
+crates/pki/src/encode.rs:
+crates/pki/src/error.rs:
+crates/pki/src/hpkp.rs:
+crates/pki/src/name.rs:
+crates/pki/src/pin.rs:
+crates/pki/src/store.rs:
+crates/pki/src/time.rs:
+crates/pki/src/universe.rs:
+crates/pki/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pinning_report-48a347a967985cfb.d: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_report-48a347a967985cfb.rmeta: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs Cargo.toml
+
+crates/report/src/lib.rs:
+crates/report/src/export.rs:
+crates/report/src/figures.rs:
+crates/report/src/tables.rs:
+crates/report/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

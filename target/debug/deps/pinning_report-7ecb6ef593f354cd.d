@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pinning_report-7ecb6ef593f354cd.d: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs
+
+/root/repo/target/debug/deps/libpinning_report-7ecb6ef593f354cd.rlib: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs
+
+/root/repo/target/debug/deps/libpinning_report-7ecb6ef593f354cd.rmeta: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs
+
+crates/report/src/lib.rs:
+crates/report/src/export.rs:
+crates/report/src/figures.rs:
+crates/report/src/tables.rs:
+crates/report/src/text.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pinning_report-fd32c2192d5dfbc1.d: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs
+
+/root/repo/target/debug/deps/pinning_report-fd32c2192d5dfbc1: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs
+
+crates/report/src/lib.rs:
+crates/report/src/export.rs:
+crates/report/src/figures.rs:
+crates/report/src/tables.rs:
+crates/report/src/text.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pinning_store-18b770ff53c5ee5d.d: crates/store/src/lib.rs crates/store/src/config.rs crates/store/src/crawler.rs crates/store/src/datasets.rs crates/store/src/whois.rs crates/store/src/world.rs crates/store/src/world/appgen.rs
+
+/root/repo/target/debug/deps/libpinning_store-18b770ff53c5ee5d.rlib: crates/store/src/lib.rs crates/store/src/config.rs crates/store/src/crawler.rs crates/store/src/datasets.rs crates/store/src/whois.rs crates/store/src/world.rs crates/store/src/world/appgen.rs
+
+/root/repo/target/debug/deps/libpinning_store-18b770ff53c5ee5d.rmeta: crates/store/src/lib.rs crates/store/src/config.rs crates/store/src/crawler.rs crates/store/src/datasets.rs crates/store/src/whois.rs crates/store/src/world.rs crates/store/src/world/appgen.rs
+
+crates/store/src/lib.rs:
+crates/store/src/config.rs:
+crates/store/src/crawler.rs:
+crates/store/src/datasets.rs:
+crates/store/src/whois.rs:
+crates/store/src/world.rs:
+crates/store/src/world/appgen.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pinning_store-f7fa60423963386f.d: crates/store/src/lib.rs crates/store/src/config.rs crates/store/src/crawler.rs crates/store/src/datasets.rs crates/store/src/whois.rs crates/store/src/world.rs crates/store/src/world/appgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_store-f7fa60423963386f.rmeta: crates/store/src/lib.rs crates/store/src/config.rs crates/store/src/crawler.rs crates/store/src/datasets.rs crates/store/src/whois.rs crates/store/src/world.rs crates/store/src/world/appgen.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/config.rs:
+crates/store/src/crawler.rs:
+crates/store/src/datasets.rs:
+crates/store/src/whois.rs:
+crates/store/src/world.rs:
+crates/store/src/world/appgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pinning_tls-f7c48e1f85d55e02.d: crates/tls/src/lib.rs crates/tls/src/alert.rs crates/tls/src/cipher.rs crates/tls/src/conn.rs crates/tls/src/handshake.rs crates/tls/src/library.rs crates/tls/src/record.rs crates/tls/src/transcript.rs crates/tls/src/verify.rs crates/tls/src/version.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpinning_tls-f7c48e1f85d55e02.rmeta: crates/tls/src/lib.rs crates/tls/src/alert.rs crates/tls/src/cipher.rs crates/tls/src/conn.rs crates/tls/src/handshake.rs crates/tls/src/library.rs crates/tls/src/record.rs crates/tls/src/transcript.rs crates/tls/src/verify.rs crates/tls/src/version.rs Cargo.toml
+
+crates/tls/src/lib.rs:
+crates/tls/src/alert.rs:
+crates/tls/src/cipher.rs:
+crates/tls/src/conn.rs:
+crates/tls/src/handshake.rs:
+crates/tls/src/library.rs:
+crates/tls/src/record.rs:
+crates/tls/src/transcript.rs:
+crates/tls/src/verify.rs:
+crates/tls/src/version.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

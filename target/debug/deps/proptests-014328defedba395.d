@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-014328defedba395.d: crates/crypto/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-014328defedba395: crates/crypto/tests/proptests.rs
+
+crates/crypto/tests/proptests.rs:

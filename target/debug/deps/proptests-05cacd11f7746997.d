@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-05cacd11f7746997.d: crates/netsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-05cacd11f7746997: crates/netsim/tests/proptests.rs
+
+crates/netsim/tests/proptests.rs:

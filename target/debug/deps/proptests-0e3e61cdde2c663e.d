@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-0e3e61cdde2c663e.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-0e3e61cdde2c663e: tests/proptests.rs
+
+tests/proptests.rs:

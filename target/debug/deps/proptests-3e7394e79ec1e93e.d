@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-3e7394e79ec1e93e.d: crates/pki/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3e7394e79ec1e93e.rmeta: crates/pki/tests/proptests.rs Cargo.toml
+
+crates/pki/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

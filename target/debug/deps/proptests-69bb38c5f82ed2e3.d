@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-69bb38c5f82ed2e3.d: crates/tls/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-69bb38c5f82ed2e3: crates/tls/tests/proptests.rs
+
+crates/tls/tests/proptests.rs:

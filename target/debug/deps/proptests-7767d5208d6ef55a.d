@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-7767d5208d6ef55a.d: crates/app/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-7767d5208d6ef55a.rmeta: crates/app/tests/proptests.rs Cargo.toml
+
+crates/app/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8699f49b2a8bfd26.d: crates/tls/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8699f49b2a8bfd26.rmeta: crates/tls/tests/proptests.rs Cargo.toml
+
+crates/tls/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8a962dde96a833a6.d: crates/crypto/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8a962dde96a833a6.rmeta: crates/crypto/tests/proptests.rs Cargo.toml
+
+crates/crypto/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

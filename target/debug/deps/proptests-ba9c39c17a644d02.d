@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ba9c39c17a644d02.d: crates/app/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ba9c39c17a644d02: crates/app/tests/proptests.rs
+
+crates/app/tests/proptests.rs:

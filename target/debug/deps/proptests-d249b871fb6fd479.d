@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d249b871fb6fd479.d: crates/pki/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d249b871fb6fd479: crates/pki/tests/proptests.rs
+
+crates/pki/tests/proptests.rs:

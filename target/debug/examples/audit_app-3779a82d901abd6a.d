@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/audit_app-3779a82d901abd6a.d: examples/audit_app.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaudit_app-3779a82d901abd6a.rmeta: examples/audit_app.rs Cargo.toml
+
+examples/audit_app.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/audit_app-c84afea54a8105e3.d: examples/audit_app.rs
+
+/root/repo/target/debug/examples/audit_app-c84afea54a8105e3: examples/audit_app.rs
+
+examples/audit_app.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cross_platform-1e55d69983a583e5.d: examples/cross_platform.rs
+
+/root/repo/target/debug/examples/cross_platform-1e55d69983a583e5: examples/cross_platform.rs
+
+examples/cross_platform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cross_platform-4686d9eb3b377809.d: examples/cross_platform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcross_platform-4686d9eb3b377809.rmeta: examples/cross_platform.rs Cargo.toml
+
+examples/cross_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

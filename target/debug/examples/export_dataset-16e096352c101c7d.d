@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_dataset-16e096352c101c7d.d: examples/export_dataset.rs
+
+/root/repo/target/debug/examples/export_dataset-16e096352c101c7d: examples/export_dataset.rs
+
+examples/export_dataset.rs:

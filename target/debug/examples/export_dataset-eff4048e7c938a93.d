@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/export_dataset-eff4048e7c938a93.d: examples/export_dataset.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexport_dataset-eff4048e7c938a93.rmeta: examples/export_dataset.rs Cargo.toml
+
+examples/export_dataset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/full_study-4dbc9271632d4fd8.d: examples/full_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfull_study-4dbc9271632d4fd8.rmeta: examples/full_study.rs Cargo.toml
+
+examples/full_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

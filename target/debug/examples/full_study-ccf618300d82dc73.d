@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_study-ccf618300d82dc73.d: examples/full_study.rs
+
+/root/repo/target/debug/examples/full_study-ccf618300d82dc73: examples/full_study.rs
+
+examples/full_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mitm_lab-3be55da022fdf5dd.d: examples/mitm_lab.rs
+
+/root/repo/target/debug/examples/mitm_lab-3be55da022fdf5dd: examples/mitm_lab.rs
+
+examples/mitm_lab.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mitm_lab-4dd7935a378892de.d: examples/mitm_lab.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmitm_lab-4dd7935a378892de.rmeta: examples/mitm_lab.rs Cargo.toml
+
+examples/mitm_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

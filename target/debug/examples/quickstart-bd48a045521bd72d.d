@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bd48a045521bd72d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bd48a045521bd72d: examples/quickstart.rs
+
+examples/quickstart.rs:

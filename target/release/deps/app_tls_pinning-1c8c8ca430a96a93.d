@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/app_tls_pinning-1c8c8ca430a96a93.d: src/lib.rs
+
+/root/repo/target/release/deps/libapp_tls_pinning-1c8c8ca430a96a93.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libapp_tls_pinning-1c8c8ca430a96a93.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/pinning_app-e839568fe6286f68.d: crates/app/src/lib.rs crates/app/src/app.rs crates/app/src/behavior.rs crates/app/src/builder.rs crates/app/src/category.rs crates/app/src/nsc.rs crates/app/src/package.rs crates/app/src/pii.rs crates/app/src/pinning.rs crates/app/src/platform.rs crates/app/src/sdk.rs crates/app/src/xml.rs
+
+/root/repo/target/release/deps/libpinning_app-e839568fe6286f68.rlib: crates/app/src/lib.rs crates/app/src/app.rs crates/app/src/behavior.rs crates/app/src/builder.rs crates/app/src/category.rs crates/app/src/nsc.rs crates/app/src/package.rs crates/app/src/pii.rs crates/app/src/pinning.rs crates/app/src/platform.rs crates/app/src/sdk.rs crates/app/src/xml.rs
+
+/root/repo/target/release/deps/libpinning_app-e839568fe6286f68.rmeta: crates/app/src/lib.rs crates/app/src/app.rs crates/app/src/behavior.rs crates/app/src/builder.rs crates/app/src/category.rs crates/app/src/nsc.rs crates/app/src/package.rs crates/app/src/pii.rs crates/app/src/pinning.rs crates/app/src/platform.rs crates/app/src/sdk.rs crates/app/src/xml.rs
+
+crates/app/src/lib.rs:
+crates/app/src/app.rs:
+crates/app/src/behavior.rs:
+crates/app/src/builder.rs:
+crates/app/src/category.rs:
+crates/app/src/nsc.rs:
+crates/app/src/package.rs:
+crates/app/src/pii.rs:
+crates/app/src/pinning.rs:
+crates/app/src/platform.rs:
+crates/app/src/sdk.rs:
+crates/app/src/xml.rs:

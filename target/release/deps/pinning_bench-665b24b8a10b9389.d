@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pinning_bench-665b24b8a10b9389.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpinning_bench-665b24b8a10b9389.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpinning_bench-665b24b8a10b9389.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pinning_core-93481cd2425cf176.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs
+
+/root/repo/target/release/deps/libpinning_core-93481cd2425cf176.rlib: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs
+
+/root/repo/target/release/deps/libpinning_core-93481cd2425cf176.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/record.rs:
+crates/core/src/study.rs:
+crates/core/src/tables.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pinning_crypto-52a38c9873b58ba5.d: crates/crypto/src/lib.rs crates/crypto/src/base64.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/sig.rs
+
+/root/repo/target/release/deps/libpinning_crypto-52a38c9873b58ba5.rlib: crates/crypto/src/lib.rs crates/crypto/src/base64.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/sig.rs
+
+/root/repo/target/release/deps/libpinning_crypto-52a38c9873b58ba5.rmeta: crates/crypto/src/lib.rs crates/crypto/src/base64.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/sig.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/base64.rs:
+crates/crypto/src/hex.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/sig.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pinning_netsim-d8ecc3584284fe8d.d: crates/netsim/src/lib.rs crates/netsim/src/device.rs crates/netsim/src/faults.rs crates/netsim/src/flow.rs crates/netsim/src/network.rs crates/netsim/src/proxy.rs crates/netsim/src/server.rs crates/netsim/src/simcap.rs
+
+/root/repo/target/release/deps/libpinning_netsim-d8ecc3584284fe8d.rlib: crates/netsim/src/lib.rs crates/netsim/src/device.rs crates/netsim/src/faults.rs crates/netsim/src/flow.rs crates/netsim/src/network.rs crates/netsim/src/proxy.rs crates/netsim/src/server.rs crates/netsim/src/simcap.rs
+
+/root/repo/target/release/deps/libpinning_netsim-d8ecc3584284fe8d.rmeta: crates/netsim/src/lib.rs crates/netsim/src/device.rs crates/netsim/src/faults.rs crates/netsim/src/flow.rs crates/netsim/src/network.rs crates/netsim/src/proxy.rs crates/netsim/src/server.rs crates/netsim/src/simcap.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/device.rs:
+crates/netsim/src/faults.rs:
+crates/netsim/src/flow.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/proxy.rs:
+crates/netsim/src/server.rs:
+crates/netsim/src/simcap.rs:

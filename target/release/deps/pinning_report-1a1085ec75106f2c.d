@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pinning_report-1a1085ec75106f2c.d: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs
+
+/root/repo/target/release/deps/libpinning_report-1a1085ec75106f2c.rlib: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs
+
+/root/repo/target/release/deps/libpinning_report-1a1085ec75106f2c.rmeta: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs
+
+crates/report/src/lib.rs:
+crates/report/src/export.rs:
+crates/report/src/figures.rs:
+crates/report/src/tables.rs:
+crates/report/src/text.rs:

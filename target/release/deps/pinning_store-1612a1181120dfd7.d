@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pinning_store-1612a1181120dfd7.d: crates/store/src/lib.rs crates/store/src/config.rs crates/store/src/crawler.rs crates/store/src/datasets.rs crates/store/src/whois.rs crates/store/src/world.rs crates/store/src/world/appgen.rs
+
+/root/repo/target/release/deps/libpinning_store-1612a1181120dfd7.rlib: crates/store/src/lib.rs crates/store/src/config.rs crates/store/src/crawler.rs crates/store/src/datasets.rs crates/store/src/whois.rs crates/store/src/world.rs crates/store/src/world/appgen.rs
+
+/root/repo/target/release/deps/libpinning_store-1612a1181120dfd7.rmeta: crates/store/src/lib.rs crates/store/src/config.rs crates/store/src/crawler.rs crates/store/src/datasets.rs crates/store/src/whois.rs crates/store/src/world.rs crates/store/src/world/appgen.rs
+
+crates/store/src/lib.rs:
+crates/store/src/config.rs:
+crates/store/src/crawler.rs:
+crates/store/src/datasets.rs:
+crates/store/src/whois.rs:
+crates/store/src/world.rs:
+crates/store/src/world/appgen.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pinning_tls-2832576afbed58ee.d: crates/tls/src/lib.rs crates/tls/src/alert.rs crates/tls/src/cipher.rs crates/tls/src/conn.rs crates/tls/src/handshake.rs crates/tls/src/library.rs crates/tls/src/record.rs crates/tls/src/transcript.rs crates/tls/src/verify.rs crates/tls/src/version.rs
+
+/root/repo/target/release/deps/libpinning_tls-2832576afbed58ee.rlib: crates/tls/src/lib.rs crates/tls/src/alert.rs crates/tls/src/cipher.rs crates/tls/src/conn.rs crates/tls/src/handshake.rs crates/tls/src/library.rs crates/tls/src/record.rs crates/tls/src/transcript.rs crates/tls/src/verify.rs crates/tls/src/version.rs
+
+/root/repo/target/release/deps/libpinning_tls-2832576afbed58ee.rmeta: crates/tls/src/lib.rs crates/tls/src/alert.rs crates/tls/src/cipher.rs crates/tls/src/conn.rs crates/tls/src/handshake.rs crates/tls/src/library.rs crates/tls/src/record.rs crates/tls/src/transcript.rs crates/tls/src/verify.rs crates/tls/src/version.rs
+
+crates/tls/src/lib.rs:
+crates/tls/src/alert.rs:
+crates/tls/src/cipher.rs:
+crates/tls/src/conn.rs:
+crates/tls/src/handshake.rs:
+crates/tls/src/library.rs:
+crates/tls/src/record.rs:
+crates/tls/src/transcript.rs:
+crates/tls/src/verify.rs:
+crates/tls/src/version.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/export_dataset-1347335af84b20e4.d: examples/export_dataset.rs
+
+/root/repo/target/release/examples/export_dataset-1347335af84b20e4: examples/export_dataset.rs
+
+examples/export_dataset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/full_study-38687d5f9d5379cb.d: examples/full_study.rs
+
+/root/repo/target/release/examples/full_study-38687d5f9d5379cb: examples/full_study.rs
+
+examples/full_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mitm_lab-b96ce4c6fef5b8b4.d: examples/mitm_lab.rs
+
+/root/repo/target/release/examples/mitm_lab-b96ce4c6fef5b8b4: examples/mitm_lab.rs
+
+examples/mitm_lab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8db938dfaab2ed25.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8db938dfaab2ed25: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,202 @@
+//! Chaos suite: the measurement pipeline under seeded fault injection.
+//!
+//! Three guarantees, checked end-to-end rather than per-crate:
+//!
+//! 1. **Determinism** — the same (seed, fault config) produces the same
+//!    fault schedule, the same retries, and bit-identical study results.
+//! 2. **No panics** — `Study::run` and `try_analyze_app` survive every
+//!    fault schedule in a seed sweep; degraded apps become
+//!    [`pinning_core::AppRecord::failed`] records, never crashes.
+//! 3. **Soundness** — injected faults look exactly like pin failures on
+//!    the wire, so the detector must exclude faulted destinations as
+//!    `Unobserved` (§5.6) instead of mis-classifying them. Zero pinning
+//!    false positives, under every schedule.
+
+use pinning_analysis::dynamics::pipeline::{try_analyze_app, DynamicEnv, RetryPolicy};
+use pinning_core::{Study, StudyConfig};
+use pinning_netsim::faults::{FaultConfig, FaultPlan};
+use pinning_store::config::WorldConfig;
+use pinning_store::world::World;
+use std::collections::BTreeSet;
+
+fn env_with_faults(world: &World, config: FaultConfig) -> DynamicEnv<'_> {
+    DynamicEnv::new(
+        &world.network,
+        world.universe.aosp_oem.clone(),
+        world.universe.ios.clone(),
+        world.now,
+        world.config.seed,
+    )
+    .with_faults(config)
+    .with_retry(RetryPolicy::default())
+}
+
+/// Per-app false-positive check against generator ground truth.
+fn assert_no_false_positives(world: &World, app_index: usize, pinned: &[&str]) {
+    let app = &world.apps[app_index];
+    let truth: BTreeSet<&str> = app.runtime_pinned_domains().into_iter().collect();
+    for d in pinned {
+        assert!(
+            truth.contains(d),
+            "{}: fault schedule fabricated pinning for {d}",
+            app.id
+        );
+    }
+}
+
+#[test]
+fn fault_plans_are_pure_functions_of_seed_and_config() {
+    let a = FaultPlan::new(0xC0FFEE, FaultConfig::chaos());
+    let b = FaultPlan::new(0xC0FFEE, FaultConfig::chaos());
+    let c = FaultPlan::new(0xC0FFED, FaultConfig::chaos());
+    let mut diverged = false;
+    for run in ["app1/baseline", "app1/mitm", "app2/baseline#r1"] {
+        for domain in ["api.example.com", "cdn.example.com", "t.example.net"] {
+            for attempt in 0..3 {
+                let fa = a.connection_fault(run, domain, attempt);
+                assert_eq!(fa, b.connection_fault(run, domain, attempt));
+                diverged |= fa != c.connection_fault(run, domain, attempt);
+            }
+        }
+        assert_eq!(a.run_abort(run, true, 30), b.run_abort(run, true, 30));
+    }
+    assert!(diverged, "different seeds must yield different schedules");
+}
+
+#[test]
+fn same_seed_same_faulted_study() {
+    let run = || {
+        let mut cfg = StudyConfig::tiny(0xD1CE);
+        cfg.faults = FaultConfig::chaos();
+        cfg.threads = 1;
+        Study::new(cfg).run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.records.len(), b.records.len());
+    for (idx, ra) in &a.records {
+        let rb = &b.records[idx];
+        assert_eq!(ra.pinned_destinations, rb.pinned_destinations, "app {idx}");
+        assert_eq!(ra.used_destinations, rb.used_destinations, "app {idx}");
+        assert_eq!(ra.error, rb.error, "app {idx}");
+    }
+    assert_eq!(a.degraded_summary(), b.degraded_summary());
+}
+
+#[test]
+fn sequential_and_parallel_faulted_studies_agree() {
+    let run = |threads: usize| {
+        let mut cfg = StudyConfig::tiny(0xBEEF);
+        cfg.faults = FaultConfig::chaos();
+        cfg.threads = threads;
+        Study::new(cfg).run()
+    };
+    let (a, b) = (run(1), run(4));
+    for (idx, ra) in &a.records {
+        let rb = &b.records[idx];
+        assert_eq!(ra.pinned_destinations, rb.pinned_destinations, "app {idx}");
+        assert_eq!(ra.error, rb.error, "app {idx}");
+    }
+}
+
+#[test]
+fn no_panic_sweep_across_fault_schedules() {
+    // Two dozen schedules: varying world seed varies both the app world
+    // and the derived fault schedule; three fault regimes per seed.
+    let regimes = [
+        FaultConfig::uniform(0.3),
+        FaultConfig::uniform(0.9),
+        FaultConfig::chaos(),
+    ];
+    for seed in 0..8u64 {
+        let world = World::generate(WorldConfig::tiny(0x5EED + seed));
+        for config in regimes {
+            let env = env_with_faults(&world, config);
+            for (app_index, app) in world.apps.iter().enumerate().take(12) {
+                match try_analyze_app(&env, app) {
+                    Ok(dynamic) => {
+                        assert_no_false_positives(
+                            &world,
+                            app_index,
+                            &dynamic.pinned_destinations(),
+                        );
+                    }
+                    Err(_) => {
+                        // Degradation is an acceptable outcome; panicking
+                        // or mis-classifying is not.
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_studies_never_fabricate_pinning() {
+    for seed in [0xFA_u64, 0xFB, 0xFC] {
+        let mut cfg = StudyConfig::tiny(seed);
+        cfg.faults = FaultConfig::chaos();
+        let r = Study::new(cfg).run();
+        let mut false_positives = 0;
+        for record in r.records.values() {
+            let app = &r.world.apps[record.app_index];
+            let truth: BTreeSet<&str> = app.runtime_pinned_domains().into_iter().collect();
+            false_positives += record
+                .pinned_destinations
+                .iter()
+                .filter(|d| !truth.contains(d.as_str()))
+                .count();
+        }
+        assert_eq!(false_positives, 0, "seed {seed:#x} fabricated pinning");
+    }
+}
+
+#[test]
+fn high_fault_rates_produce_a_nonempty_degraded_summary() {
+    let mut cfg = StudyConfig::tiny(0xDE6);
+    cfg.faults = FaultConfig::uniform(0.95);
+    cfg.retry = RetryPolicy {
+        max_attempts: 2,
+        backoff_secs: 30,
+        deadline_secs: 900,
+    };
+    let r = Study::new(cfg).run();
+    let summary = r.degraded_summary();
+    assert!(
+        !summary.is_empty(),
+        "near-certain faults with a tight retry budget must degrade some apps"
+    );
+    assert_eq!(summary.values().sum::<usize>(), r.degraded_apps().len());
+    for (rec, _) in r.degraded_apps() {
+        assert!(rec.degraded());
+        assert!(rec.pinned_destinations.is_empty());
+        assert_eq!(rec.n_handshakes_baseline, 0);
+    }
+    // The report renders the degradation instead of hiding it.
+    let rendered = r.render_degraded();
+    assert!(
+        rendered.contains("unobserved"),
+        "summary table must admit the loss:\n{rendered}"
+    );
+}
+
+#[test]
+fn quiet_fault_config_reproduces_the_clean_study() {
+    let clean = Study::new(StudyConfig::tiny(0xCAFE)).run();
+    let mut cfg = StudyConfig::tiny(0xCAFE);
+    cfg.faults = FaultConfig::none();
+    cfg.retry = RetryPolicy {
+        max_attempts: 5,
+        backoff_secs: 10,
+        deadline_secs: 3600,
+    };
+    let quiet = Study::new(cfg).run();
+    assert!(quiet.degraded_apps().is_empty());
+    for (idx, rc) in &clean.records {
+        let rq = &quiet.records[idx];
+        assert_eq!(rc.pinned_destinations, rq.pinned_destinations, "app {idx}");
+        assert_eq!(
+            rc.n_handshakes_baseline, rq.n_handshakes_baseline,
+            "app {idx}"
+        );
+    }
+}

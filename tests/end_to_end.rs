@@ -53,7 +53,10 @@ fn headline_shape_static_exceeds_dynamic_exceeds_nsc() {
     let embedded = sum(|x| x.static_embedded);
     let nsc = sum(|x| x.nsc.unwrap_or(0));
     assert!(dynamic > 0);
-    assert!(embedded > dynamic, "embedded {embedded} vs dynamic {dynamic}");
+    assert!(
+        embedded > dynamic,
+        "embedded {embedded} vs dynamic {dynamic}"
+    );
     assert!(dynamic > nsc, "dynamic {dynamic} vs nsc {nsc}");
 }
 
@@ -112,7 +115,10 @@ fn circumvention_partial_on_both_platforms() {
         let (succeeded, attempted) = r.circumvention_rate(platform);
         assert!(attempted > 0, "{platform}: no circumvention attempted");
         assert!(succeeded > 0, "{platform}: nothing circumvented");
-        assert!(succeeded < attempted, "{platform}: circumvention must be partial");
+        assert!(
+            succeeded < attempted,
+            "{platform}: circumvention must be partial"
+        );
     }
 }
 
@@ -130,7 +136,10 @@ fn table6_shapes() {
     for row in r.table6() {
         let total = row.default_pki + row.custom_pki + row.unavailable;
         if total >= 10 {
-            assert!(row.default_pki * 2 > total, "default PKI must dominate: {row:?}");
+            assert!(
+                row.default_pki * 2 > total,
+                "default PKI must dominate: {row:?}"
+            );
         }
     }
 }
@@ -159,8 +168,7 @@ fn full_report_renders() {
 fn table7_attributes_known_sdks() {
     let r = results();
     let (android, ios) = r.table7();
-    let android_names: BTreeSet<&str> =
-        android.iter().map(|f| f.framework.as_str()).collect();
+    let android_names: BTreeSet<&str> = android.iter().map(|f| f.framework.as_str()).collect();
     let ios_names: BTreeSet<&str> = ios.iter().map(|f| f.framework.as_str()).collect();
     // At this scale at least one Table 7 SDK must recur ≥5 apps on some
     // platform; both platforms' attributions must stay within the registry.
@@ -172,9 +180,23 @@ fn table7_attributes_known_sdks() {
         !android_names.is_empty() || !ios_names.is_empty(),
         "no frameworks attributed on either platform"
     );
-    let known = ["Twitter", "Braintree", "Paypal", "Stripe", "Amplitude", "Weibo",
-                 "FraudForce", "Adobe Creative Cloud", "MParticle", "Perimeterx",
-                 "Sensibill", "Firestore"];
-    assert!(android_names.iter().all(|n| known.contains(n)), "{android_names:?}");
+    let known = [
+        "Twitter",
+        "Braintree",
+        "Paypal",
+        "Stripe",
+        "Amplitude",
+        "Weibo",
+        "FraudForce",
+        "Adobe Creative Cloud",
+        "MParticle",
+        "Perimeterx",
+        "Sensibill",
+        "Firestore",
+    ];
+    assert!(
+        android_names.iter().all(|n| known.contains(n)),
+        "{android_names:?}"
+    );
     assert!(ios_names.iter().all(|n| known.contains(n)), "{ios_names:?}");
 }

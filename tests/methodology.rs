@@ -27,28 +27,23 @@ fn lab() -> Lab {
     let mut rng = SplitMix64::new(0x1ab2);
     let mut universe = PkiUniverse::generate(&UniverseConfig::tiny(), &mut rng);
     let key = KeyPair::generate(&mut rng);
-    let chain = universe.issue_server_chain(
-        &["api.lab.example".to_string()],
-        "Lab",
-        &key,
-        398,
-        &mut rng,
-    );
+    let chain =
+        universe.issue_server_chain(&["api.lab.example".to_string()], "Lab", &key, 398, &mut rng);
     let proxy = MitmProxy::new(&mut rng, universe.now());
     let mut device_store = RootStore::new("device");
     for root in universe.aosp.iter() {
         device_store.add(root.clone());
     }
     device_store.add(proxy.ca_cert());
-    Lab { universe, proxy, device_store, chain }
+    Lab {
+        universe,
+        proxy,
+        device_store,
+        chain,
+    }
 }
 
-fn flow_of(
-    lab: &Lab,
-    client: &ClientConfig,
-    mitm: bool,
-    with_data: bool,
-) -> FlowRecord {
+fn flow_of(lab: &Lab, client: &ClientConfig, mitm: bool, with_data: bool) -> FlowRecord {
     let chain = if mitm {
         lab.proxy.forge_chain("api.lab.example", &lab.chain)
     } else {
@@ -92,8 +87,16 @@ fn pinned_client(lab: &Lab) -> ClientConfig {
 fn manual_differential_detects_pin() {
     let lab = lab();
     let client = pinned_client(&lab);
-    let baseline = Capture { flows: vec![flow_of(&lab, &client, false, true)], window_secs: 30 };
-    let mitm = Capture { flows: vec![flow_of(&lab, &client, true, true)], window_secs: 30 };
+    let baseline = Capture {
+        flows: vec![flow_of(&lab, &client, false, true)],
+        window_secs: 30,
+        faults: vec![],
+    };
+    let mitm = Capture {
+        flows: vec![flow_of(&lab, &client, true, true)],
+        window_secs: 30,
+        faults: vec![],
+    };
     let verdicts = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
     assert_eq!(verdicts.len(), 1);
     assert!(verdicts[0].pinned);
@@ -103,8 +106,16 @@ fn manual_differential_detects_pin() {
 fn manual_differential_clears_unpinned() {
     let lab = lab();
     let client = ClientConfig::modern(TlsLibrary::OkHttp);
-    let baseline = Capture { flows: vec![flow_of(&lab, &client, false, true)], window_secs: 30 };
-    let mitm = Capture { flows: vec![flow_of(&lab, &client, true, true)], window_secs: 30 };
+    let baseline = Capture {
+        flows: vec![flow_of(&lab, &client, false, true)],
+        window_secs: 30,
+        faults: vec![],
+    };
+    let mitm = Capture {
+        flows: vec![flow_of(&lab, &client, true, true)],
+        window_secs: 30,
+        faults: vec![],
+    };
     let verdicts = detect_pinned_destinations(&baseline, &mitm, &Exclusions::none());
     assert!(!verdicts[0].pinned, "{verdicts:?}");
 }
@@ -161,13 +172,8 @@ fn rogue_oem_root_defeated_only_by_pinning() {
     let mut rng = SplitMix64::new(0x0e11);
     let mut universe = PkiUniverse::generate(&UniverseConfig::tiny(), &mut rng);
     let key = KeyPair::generate(&mut rng);
-    let chain = universe.issue_server_chain(
-        &["bank.example".to_string()],
-        "Bank",
-        &key,
-        398,
-        &mut rng,
-    );
+    let chain =
+        universe.issue_server_chain(&["bank.example".to_string()], "Bank", &key, 398, &mut rng);
     // The attacker controls a *valid, in-store* obscure OEM root.
     let rogue = universe
         .aosp_oem
@@ -216,7 +222,10 @@ fn rogue_oem_root_defeated_only_by_pinning() {
         &universe.aosp_oem,
         &RevocationList::empty(),
     );
-    assert!(out.result.is_ok(), "OEM-trusted rogue chain must pass system validation");
+    assert!(
+        out.result.is_ok(),
+        "OEM-trusted rogue chain must pass system validation"
+    );
     // Pinned app: rejected despite the chain being store-valid.
     let out = establish(
         &pinned,
@@ -250,7 +259,10 @@ fn revoked_leaf_rejected_even_when_pin_matches() {
         &lab.device_store,
         &crl,
     );
-    assert!(out.result.is_err(), "pin match must not override revocation");
+    assert!(
+        out.result.is_err(),
+        "pin match must not override revocation"
+    );
 }
 
 #[test]

@@ -1,110 +1,175 @@
-//! Property-based tests on the core data structures and invariants.
+//! Property-style tests on the core data structures and invariants.
+//!
+//! Each property is exercised over a deterministic sweep of seeded random
+//! inputs (SplitMix64-driven, no external property-testing crate) so the
+//! suite runs fully offline and reproducibly.
 
 use app_tls_pinning::analysis::pii::Contingency;
 use app_tls_pinning::analysis::statics::scanner;
-use app_tls_pinning::crypto::{b64decode, b64encode, hex_decode, hex_encode, sha256};
+use app_tls_pinning::crypto::{b64decode, b64encode, hex_decode, hex_encode, sha256, SplitMix64};
 use app_tls_pinning::pki::encode::{pem_decode_all, pem_encode};
 use app_tls_pinning::pki::name::match_hostname;
 use app_tls_pinning::pki::pin::SpkiPin;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+const CASES: u64 = 200;
+
+fn bytes(rng: &mut SplitMix64, max_len: usize) -> Vec<u8> {
+    let len = rng.next_below(max_len as u64 + 1) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn ascii(rng: &mut SplitMix64, alphabet: &[u8], max_len: usize) -> String {
+    let len = rng.next_below(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| alphabet[rng.next_below(alphabet.len() as u64) as usize] as char)
+        .collect()
+}
+
+fn label(rng: &mut SplitMix64, min: usize, max: usize) -> String {
+    let len = min as u64 + rng.next_below((max - min) as u64 + 1);
+    (0..len)
+        .map(|_| (b'a' + rng.next_below(26) as u8) as char)
+        .collect()
+}
+
+#[test]
+fn base64_roundtrip() {
+    let mut rng = SplitMix64::new(0xb64);
+    for _ in 0..CASES {
+        let data = bytes(&mut rng, 512);
         let encoded = b64encode(&data);
-        prop_assert_eq!(b64decode(&encoded).unwrap(), data);
+        assert_eq!(b64decode(&encoded).unwrap(), data);
     }
+}
 
-    #[test]
-    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
-        prop_assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
+#[test]
+fn hex_roundtrip() {
+    let mut rng = SplitMix64::new(0x4e);
+    for _ in 0..CASES {
+        let data = bytes(&mut rng, 512);
+        assert_eq!(hex_decode(&hex_encode(&data)).unwrap(), data);
     }
+}
 
-    #[test]
-    fn sha256_is_deterministic_and_sensitive(
-        a in proptest::collection::vec(any::<u8>(), 0..256),
-        b in proptest::collection::vec(any::<u8>(), 0..256),
-    ) {
-        prop_assert_eq!(sha256(&a), sha256(&a));
+#[test]
+fn sha256_is_deterministic_and_sensitive() {
+    let mut rng = SplitMix64::new(0x5a256);
+    for _ in 0..CASES {
+        let a = bytes(&mut rng, 256);
+        let b = bytes(&mut rng, 256);
+        assert_eq!(sha256(&a), sha256(&a));
         if a != b {
-            prop_assert_ne!(sha256(&a), sha256(&b));
+            assert_ne!(sha256(&a), sha256(&b));
         }
     }
+}
 
-    #[test]
-    fn pem_roundtrip_any_der(der in proptest::collection::vec(any::<u8>(), 1..2048)) {
+#[test]
+fn pem_roundtrip_any_der() {
+    let mut rng = SplitMix64::new(0x9e3);
+    for _ in 0..CASES {
+        let mut der = bytes(&mut rng, 2047);
+        der.push(rng.next_u64() as u8); // 1..=2048 bytes, never empty
         let pem = pem_encode(&der);
         let decoded = pem_decode_all(&pem).unwrap();
-        prop_assert_eq!(decoded, vec![der]);
+        assert_eq!(decoded, vec![der]);
     }
+}
 
-    #[test]
-    fn pem_roundtrip_survives_surrounding_junk(
-        der in proptest::collection::vec(any::<u8>(), 1..256),
-        prefix in "[a-z0-9 \n]{0,64}",
-        suffix in "[a-z0-9 \n]{0,64}",
-    ) {
+#[test]
+fn pem_roundtrip_survives_surrounding_junk() {
+    let mut rng = SplitMix64::new(0x9e4);
+    const JUNK: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 \n";
+    for _ in 0..CASES {
+        let mut der = bytes(&mut rng, 255);
+        der.push(rng.next_u64() as u8);
+        let prefix = ascii(&mut rng, JUNK, 64);
+        let suffix = ascii(&mut rng, JUNK, 64);
         let text = format!("{prefix}{}{suffix}", pem_encode(&der));
-        prop_assert_eq!(pem_decode_all(&text).unwrap(), vec![der]);
+        assert_eq!(pem_decode_all(&text).unwrap(), vec![der]);
     }
+}
 
-    #[test]
-    fn scanner_finds_planted_pin_in_noise(
-        digest in proptest::array::uniform32(any::<u8>()),
-        prefix in "[ -~]{0,120}",
-        suffix in "[ -~]{0,120}",
-    ) {
-        // Cut the haystack so the prefix cannot accidentally extend the
-        // base64 run and so no second pin pre-exists.
+#[test]
+fn scanner_finds_planted_pin_in_noise() {
+    let mut rng = SplitMix64::new(0x5ca);
+    // Printable ASCII noise, with pin-prefix collisions stripped below.
+    let printable: Vec<u8> = (0x20u8..0x7f).collect();
+    for _ in 0..CASES {
+        let mut digest = [0u8; 32];
+        rng.fill_bytes(&mut digest);
         let pin = format!("sha256/{}", b64encode(&digest));
-        let noise_prefix: String = prefix.replace("sha256/", "").replace("sha1/", "");
+        let noise_prefix = ascii(&mut rng, &printable, 120)
+            .replace("sha256/", "")
+            .replace("sha1/", "");
+        let suffix = ascii(&mut rng, &printable, 120);
         let sep = " ";
         let hay = format!("{noise_prefix}{sep}{pin}{sep}{suffix}");
         let found = scanner::scan_pins(&hay);
-        prop_assert!(
+        assert!(
             found.iter().any(|m| m.raw == pin),
             "pin {pin} not found in {hay:?} (found {found:?})"
         );
     }
+}
 
-    #[test]
-    fn pin_string_roundtrip(digest in proptest::array::uniform32(any::<u8>())) {
+#[test]
+fn pin_string_roundtrip() {
+    let mut rng = SplitMix64::new(0x919);
+    for _ in 0..CASES {
+        let mut digest = [0u8; 32];
+        rng.fill_bytes(&mut digest);
         let pin = SpkiPin {
             alg: app_tls_pinning::pki::pin::PinAlgorithm::Sha256,
             digest: digest.to_vec(),
         };
         let s = pin.to_pin_string();
-        prop_assert_eq!(SpkiPin::parse(&s).unwrap(), pin);
+        assert_eq!(SpkiPin::parse(&s).unwrap(), pin);
     }
+}
 
-    #[test]
-    fn hostname_matching_is_case_insensitive(
-        host in "[a-z]{1,8}\\.[a-z]{1,8}\\.[a-z]{2,4}",
-    ) {
-        prop_assert!(match_hostname(&host, &host.to_uppercase()));
-        prop_assert!(match_hostname(&host.to_uppercase(), &host));
+#[test]
+fn hostname_matching_is_case_insensitive() {
+    let mut rng = SplitMix64::new(0x405);
+    for _ in 0..CASES {
+        let host = format!(
+            "{}.{}.{}",
+            label(&mut rng, 1, 8),
+            label(&mut rng, 1, 8),
+            label(&mut rng, 2, 4)
+        );
+        assert!(match_hostname(&host, &host.to_uppercase()));
+        assert!(match_hostname(&host.to_uppercase(), &host));
     }
+}
 
-    #[test]
-    fn wildcard_matches_exactly_one_label(
-        label in "[a-z]{1,10}",
-        apex in "[a-z]{1,8}\\.[a-z]{2,4}",
-    ) {
+#[test]
+fn wildcard_matches_exactly_one_label() {
+    let mut rng = SplitMix64::new(0x406);
+    for _ in 0..CASES {
+        let one = label(&mut rng, 1, 10);
+        let apex = format!("{}.{}", label(&mut rng, 1, 8), label(&mut rng, 2, 4));
         let pattern = format!("*.{apex}");
-        let one_label = format!("{label}.{apex}");
-        let two_labels = format!("a.{label}.{apex}");
-        let matches_one = match_hostname(&pattern, &one_label);
-        let matches_apex = match_hostname(&pattern, &apex);
-        let matches_two = match_hostname(&pattern, &two_labels);
-        prop_assert!(matches_one);
-        prop_assert!(!matches_apex);
-        prop_assert!(!matches_two);
+        let one_label = format!("{one}.{apex}");
+        let two_labels = format!("a.{one}.{apex}");
+        assert!(match_hostname(&pattern, &one_label));
+        assert!(!match_hostname(&pattern, &apex));
+        assert!(!match_hostname(&pattern, &two_labels));
     }
+}
 
-    #[test]
-    fn chi_square_is_nonnegative_and_symmetric(
-        a in 0u64..500, b in 0u64..500, c in 0u64..500, d in 0u64..500,
-    ) {
+#[test]
+fn chi_square_is_nonnegative_and_symmetric() {
+    let mut rng = SplitMix64::new(0xc41);
+    for _ in 0..CASES {
+        let (a, b, c, d) = (
+            rng.next_below(500),
+            rng.next_below(500),
+            rng.next_below(500),
+            rng.next_below(500),
+        );
         let t = Contingency {
             pinned_with: a,
             pinned_without: b,
@@ -112,8 +177,8 @@ proptest! {
             unpinned_without: d,
         };
         let chi = t.chi_square();
-        prop_assert!(chi >= 0.0);
-        prop_assert!(chi.is_finite());
+        assert!(chi >= 0.0);
+        assert!(chi.is_finite());
         // Swapping the two groups leaves the statistic unchanged.
         let swapped = Contingency {
             pinned_with: c,
@@ -121,6 +186,6 @@ proptest! {
             unpinned_with: a,
             unpinned_without: b,
         };
-        prop_assert!((chi - swapped.chi_square()).abs() < 1e-9);
+        assert!((chi - swapped.chi_square()).abs() < 1e-9);
     }
 }
