@@ -24,4 +24,10 @@ cargo test -q --workspace --offline
 echo "==> chaos suite (fault injection + degradation)"
 cargo test -q --offline --test chaos
 
+echo "==> ctlog suite (Merkle proofs, sharding, auditor, resolver)"
+cargo test -q -p pinning-ctlog --offline
+
+echo "==> rustdoc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 echo "CI OK"

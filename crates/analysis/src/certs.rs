@@ -3,7 +3,7 @@
 
 use crate::dynamics::pipeline::AppDynamicResult;
 use crate::statics::StaticFindings;
-use pinning_ctlog::CtLog;
+use pinning_ctlog::PinResolver;
 use pinning_netsim::network::Network;
 use pinning_pki::chain::CertificateChain;
 use pinning_pki::store::RootStore;
@@ -97,7 +97,7 @@ pub struct PinLevelCounts {
 /// destination's chain.
 pub fn pin_level_for_destination(
     findings: &StaticFindings,
-    ctlog: &CtLog,
+    resolver: &PinResolver<'_>,
     chain: &CertificateChain,
 ) -> Option<bool /* is_ca */> {
     let static_cns: BTreeSet<String> = findings
@@ -106,8 +106,8 @@ pub fn pin_level_for_destination(
         .map(|c| c.value.tbs.subject.common_name.clone())
         .chain(findings.pin_strings.iter().filter_map(|p| {
             let pin = p.value.parsed.as_ref()?;
-            ctlog
-                .search_by_spki_digest(pin.alg, &pin.digest)
+            resolver
+                .resolve(pin.alg, &pin.digest)
                 .first()
                 .map(|c| c.tbs.subject.common_name.clone())
         }))
@@ -121,8 +121,13 @@ pub fn pin_level_for_destination(
 }
 
 /// §4.1.3 / §5.3: fraction of unique well-formed pins resolvable through
-/// the CT log (the crt.sh association step; the paper resolved ~50%).
-pub fn ct_resolution_rate(findings: &[&StaticFindings], ctlog: &CtLog) -> (usize, usize) {
+/// the CT log set (the crt.sh association step; the paper resolved ~50%).
+/// Goes through the memoizing [`PinResolver`], so repeated pins cost one
+/// underlying lookup.
+pub fn ct_resolution_rate(
+    findings: &[&StaticFindings],
+    resolver: &PinResolver<'_>,
+) -> (usize, usize) {
     let mut unique: BTreeSet<(u8, Vec<u8>)> = BTreeSet::new();
     for f in findings {
         for p in &f.pin_strings {
@@ -143,7 +148,7 @@ pub fn ct_resolution_rate(findings: &[&StaticFindings], ctlog: &CtLog) -> (usize
             } else {
                 pinning_pki::pin::PinAlgorithm::Sha1
             };
-            !ctlog.search_by_spki_digest(alg, digest).is_empty()
+            resolver.resolves(alg, digest)
         })
         .count();
     (resolved, unique.len())
@@ -245,7 +250,8 @@ mod tests {
             })
             .collect();
         let refs: Vec<&_> = findings.iter().collect();
-        let (resolved, total) = ct_resolution_rate(&refs, &w.ctlog);
+        let resolver = PinResolver::new(&w.ctlog);
+        let (resolved, total) = ct_resolution_rate(&refs, &resolver);
         assert!(total > 0, "tiny world must contain parsable pins");
         assert!(resolved <= total);
         // CA pins always resolve (CAs are always logged); some leaf pins

@@ -34,6 +34,20 @@ pub struct PinLevelSummary {
     pub pinning_apps: usize,
 }
 
+/// The CT-ecosystem coverage summary behind the "CT resolution & log
+/// coverage" report section.
+#[derive(Debug, Clone)]
+pub struct CtCoverageSummary {
+    /// Per-(dataset, platform) resolved/total unique pins.
+    pub datasets: Vec<tables::CtCoverageRow>,
+    /// Per-shard entry counts.
+    pub shards: Vec<tables::CtShardRow>,
+    /// Resolver cache statistics for the pass that produced `datasets`.
+    pub cache: pinning_ctlog::ResolverStats,
+    /// Auditor findings, pre-rendered (empty = clean ecosystem).
+    pub findings: Vec<String>,
+}
+
 /// §5.3.3's SPKI-vs-raw summary for leaf pins.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpkiVsRawSummary {
@@ -482,6 +496,7 @@ impl StudyResults {
     /// certificate.
     pub fn pin_level(&self) -> PinLevelSummary {
         let mut s = PinLevelSummary::default();
+        let resolver = pinning_ctlog::PinResolver::new(&self.world.ctlog);
         let mut seen: BTreeMap<[u8; 32], bool> = BTreeMap::new();
         for r in self.records.values() {
             if !r.pins() {
@@ -493,8 +508,7 @@ impl StudyResults {
                 let Some(server) = self.world.network.resolve(dest) else {
                     continue;
                 };
-                let level =
-                    pin_level_for_destination(&r.static_findings, &self.world.ctlog, &server.chain);
+                let level = pin_level_for_destination(&r.static_findings, &resolver, &server.chain);
                 let Some(is_ca) = level else { continue };
                 matched = true;
                 // Identify the matched certificate for dedup: the first
@@ -526,6 +540,7 @@ impl StudyResults {
     /// §5.3.3: of leaf pins, SPKI vs raw storage, and renewal survival.
     pub fn spki_vs_raw(&self) -> SpkiVsRawSummary {
         let mut s = SpkiVsRawSummary::default();
+        let resolver = pinning_ctlog::PinResolver::new(&self.world.ctlog);
         for r in self.records.values() {
             for dest in &r.pinned_destinations {
                 let Some(server) = self.world.network.resolve(dest) else {
@@ -535,11 +550,7 @@ impl StudyResults {
                     continue;
                 };
                 // Only destinations whose *leaf* is the pinned certificate.
-                match pin_level_for_destination(
-                    &r.static_findings,
-                    &self.world.ctlog,
-                    &server.chain,
-                ) {
+                match pin_level_for_destination(&r.static_findings, &resolver, &server.chain) {
                     Some(false) => {}
                     _ => continue,
                 }
@@ -580,7 +591,70 @@ impl StudyResults {
     pub fn ct_resolution(&self) -> (usize, usize) {
         let findings: Vec<&pinning_analysis::statics::StaticFindings> =
             self.records.values().map(|r| &r.static_findings).collect();
-        pinning_analysis::certs::ct_resolution_rate(&findings, &self.world.ctlog)
+        let resolver = pinning_ctlog::PinResolver::new(&self.world.ctlog);
+        pinning_analysis::certs::ct_resolution_rate(&findings, &resolver)
+    }
+
+    /// The full CT-ecosystem picture: per-dataset pin resolution through a
+    /// single shared [`pinning_ctlog::PinResolver`] (so the cache hit rate
+    /// reflects pin reuse across datasets), per-shard entry counts, and an
+    /// auditor pass (STH consistency + mis-issuance against the network's
+    /// served leaves).
+    pub fn ct_coverage(&self) -> CtCoverageSummary {
+        let resolver = pinning_ctlog::PinResolver::new(&self.world.ctlog);
+        let mut datasets = Vec::new();
+        for platform in Platform::BOTH {
+            for kind in DatasetKind::ALL {
+                let recs = self.dataset_records(kind, platform);
+                let findings: Vec<&pinning_analysis::statics::StaticFindings> =
+                    recs.iter().map(|r| &r.static_findings).collect();
+                let (resolved, total) =
+                    pinning_analysis::certs::ct_resolution_rate(&findings, &resolver);
+                datasets.push(tables::CtCoverageRow {
+                    dataset: kind,
+                    platform,
+                    resolved,
+                    total,
+                });
+            }
+        }
+        let shards = self
+            .world
+            .ctlog
+            .shards()
+            .iter()
+            .map(|s| tables::CtShardRow {
+                shard: s.name.clone(),
+                operator: s.operator.clone(),
+                entries: s.log.len(),
+            })
+            .collect();
+        // Auditor pass: tail every shard (signature + consistency +
+        // inclusion), then cross-check logged leaves against the keys the
+        // network actually serves.
+        let mut monitor = pinning_ctlog::Monitor::new();
+        monitor.observe_set(&self.world.ctlog, self.world.now);
+        let truth: BTreeMap<String, [u8; 32]> = self
+            .world
+            .network
+            .servers()
+            .iter()
+            .filter_map(|s| s.chain.leaf().map(|l| (s, l.spki_sha256())))
+            .flat_map(|(s, spki)| s.hostnames.iter().map(move |h| (h.clone(), spki)))
+            .collect();
+        monitor.audit_misissuance(&self.world.ctlog, &truth);
+        CtCoverageSummary {
+            datasets,
+            shards,
+            cache: resolver.stats(),
+            findings: monitor.findings().iter().map(|f| f.to_string()).collect(),
+        }
+    }
+
+    /// Renders the CT resolution & log coverage section.
+    pub fn render_ct(&self) -> String {
+        let s = self.ct_coverage();
+        tables::table_ct(&s.datasets, &s.shards, s.cache.hit_rate(), &s.findings)
     }
 
     /// Renders the degraded-apps summary: how many measurements were lost
@@ -701,6 +775,7 @@ impl StudyResults {
             20,
         ));
         out.push('\n');
+        out.push_str(&self.render_ct());
         out.push_str(&format!(
             "dataset collisions: Common∩Popular = {:?}, unique apps = {} (Android) + {} (iOS) = {}\n",
             self.collisions.common_popular,
@@ -808,10 +883,44 @@ mod tests {
             "circumvented",
             "pin level",
             "pins resolved via CT",
+            "CT resolution & log coverage",
+            "Log shards",
+            "resolver cache hit rate",
             "Degraded measurements",
         ] {
             assert!(report.contains(needle), "missing {needle}");
         }
+    }
+
+    #[test]
+    fn ct_coverage_is_partial_cached_and_audited_clean() {
+        // Tiny worlds can carry a single parsable pin, for which "partial"
+        // coverage is undefined — use a scale with a real pin population.
+        let mut config = StudyConfig::tiny(0x7AB1);
+        config.world.store_size = 300;
+        config.world.n_cross_products = 60;
+        config.world.common_size = 40;
+        config.world.popular_size = 80;
+        config.world.random_size = 80;
+        let r = Study::new(config).run();
+        let s = r.ct_coverage();
+        // Coverage must stay partial in aggregate: some pins resolve, some
+        // don't (the paper resolved ~50%).
+        let resolved: usize = s.datasets.iter().map(|d| d.resolved).sum();
+        let total: usize = s.datasets.iter().map(|d| d.total).sum();
+        assert!(total > 0);
+        assert!(resolved > 0, "no pin resolved through CT");
+        assert!(resolved < total, "CT coverage must not be complete");
+        // Every shard topology slot is reported; entries land in shards.
+        assert_eq!(s.shards.len(), r.world.ctlog.shards().len());
+        assert!(s.shards.iter().any(|sh| sh.entries > 0));
+        // Pins repeat across datasets, so the shared resolver must hit,
+        // and misses stay bounded by one per unique pin in the whole study.
+        assert!(s.cache.hits > 0, "{:?}", s.cache);
+        let (_, unique_overall) = r.ct_resolution();
+        assert_eq!(s.cache.misses as usize, unique_overall, "{:?}", s.cache);
+        // An honestly-generated world has a clean CT ecosystem.
+        assert!(s.findings.is_empty(), "{:?}", s.findings);
     }
 
     #[test]

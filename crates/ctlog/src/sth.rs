@@ -1,0 +1,137 @@
+//! Signed tree heads.
+//!
+//! A log commits to its state by signing `(log_id, tree_size, timestamp,
+//! root_hash)` with its log key. Monitors compare successive STHs from the
+//! same log and demand consistency proofs between them; a log that signs
+//! two irreconcilable heads has equivocated, and the signatures are the
+//! non-repudiable evidence. The signature scheme is the simulation's
+//! keyed-hash stand-in ([`pinning_crypto::sig`]) — the *trust model* (who
+//! can mint valid heads, what a verifier checks) is the real one.
+
+use pinning_crypto::sig::{KeyPair, PublicKey, Signature};
+use pinning_pki::time::SimTime;
+
+/// Identifier of a log: SHA-256 of its public key's SPKI, as in RFC 6962.
+pub type LogId = [u8; 32];
+
+/// A signed tree head: the log's signed commitment to its first
+/// `tree_size` entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignedTreeHead {
+    /// The issuing log.
+    pub log_id: LogId,
+    /// Number of entries covered.
+    pub tree_size: u64,
+    /// When the head was signed.
+    pub timestamp: SimTime,
+    /// Merkle root over the first `tree_size` entries.
+    pub root_hash: [u8; 32],
+    /// Log signature over the fields above.
+    pub signature: Signature,
+}
+
+impl SignedTreeHead {
+    /// The deterministic byte string the log signs.
+    pub fn signing_input(
+        log_id: &LogId,
+        tree_size: u64,
+        timestamp: SimTime,
+        root_hash: &[u8; 32],
+    ) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(6 + 32 + 8 + 8 + 32);
+        buf.extend_from_slice(b"sth-v1");
+        buf.extend_from_slice(log_id);
+        buf.extend_from_slice(&tree_size.to_be_bytes());
+        buf.extend_from_slice(&timestamp.secs().to_be_bytes());
+        buf.extend_from_slice(root_hash);
+        buf
+    }
+
+    /// Signs a tree head.
+    pub fn sign(
+        key: &KeyPair,
+        log_id: LogId,
+        tree_size: u64,
+        timestamp: SimTime,
+        root_hash: [u8; 32],
+    ) -> Self {
+        let input = Self::signing_input(&log_id, tree_size, timestamp, &root_hash);
+        SignedTreeHead {
+            log_id,
+            tree_size,
+            timestamp,
+            root_hash,
+            signature: key.sign(&input),
+        }
+    }
+
+    /// Verifies the signature against the log's public key.
+    pub fn verify(&self, public: &PublicKey) -> bool {
+        let input = Self::signing_input(
+            &self.log_id,
+            self.tree_size,
+            self.timestamp,
+            &self.root_hash,
+        );
+        public.verify(&input, &self.signature)
+    }
+}
+
+/// Derives a log's identifier from its public key.
+pub fn log_id_for(public: &PublicKey) -> LogId {
+    pinning_crypto::sha256(&public.spki)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinning_crypto::SplitMix64;
+
+    fn kp(seed: u64) -> KeyPair {
+        KeyPair::generate(&mut SplitMix64::new(seed))
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = kp(1);
+        let id = log_id_for(&key.public);
+        let sth = SignedTreeHead::sign(&key, id, 42, SimTime(1000), [7u8; 32]);
+        assert!(sth.verify(&key.public));
+    }
+
+    #[test]
+    fn any_field_tamper_breaks_signature() {
+        let key = kp(2);
+        let id = log_id_for(&key.public);
+        let sth = SignedTreeHead::sign(&key, id, 42, SimTime(1000), [7u8; 32]);
+        let mut a = sth.clone();
+        a.tree_size += 1;
+        assert!(!a.verify(&key.public));
+        let mut b = sth.clone();
+        b.timestamp = SimTime(1001);
+        assert!(!b.verify(&key.public));
+        let mut c = sth.clone();
+        c.root_hash[0] ^= 1;
+        assert!(!c.verify(&key.public));
+        let mut d = sth.clone();
+        d.log_id[31] ^= 1;
+        assert!(!d.verify(&key.public));
+        let mut e = sth;
+        e.signature.0[16] ^= 1;
+        assert!(!e.verify(&key.public));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let key = kp(3);
+        let other = kp(4);
+        let id = log_id_for(&key.public);
+        let sth = SignedTreeHead::sign(&key, id, 1, SimTime(5), [0u8; 32]);
+        assert!(!sth.verify(&other.public));
+    }
+
+    #[test]
+    fn log_ids_are_distinct_per_key() {
+        assert_ne!(log_id_for(&kp(5).public), log_id_for(&kp(6).public));
+    }
+}

@@ -340,6 +340,91 @@ pub fn table9(per_platform: &[(Platform, PiiComparison)]) -> String {
     t.render()
 }
 
+/// One per-dataset row of the CT pin-resolution table (§4.1.3): how many
+/// of the dataset's unique well-formed pins resolve through the log union.
+#[derive(Debug, Clone)]
+pub struct CtCoverageRow {
+    /// Dataset family.
+    pub dataset: DatasetKind,
+    /// Platform.
+    pub platform: Platform,
+    /// Unique pins that resolved to at least one logged certificate.
+    pub resolved: usize,
+    /// Unique well-formed pins in the dataset.
+    pub total: usize,
+}
+
+/// One per-shard row of the log-coverage table.
+#[derive(Debug, Clone)]
+pub struct CtShardRow {
+    /// Shard name, e.g. `"argon-legacy"`.
+    pub shard: String,
+    /// Operator running the shard.
+    pub operator: String,
+    /// Entries the shard accepted.
+    pub entries: usize,
+}
+
+/// Renders the "CT resolution & log coverage" section: per-dataset
+/// resolved/unresolved pin counts, per-shard entry counts, the resolver's
+/// cache hit rate, and the auditor's findings (pre-rendered one-liners;
+/// an empty slice prints a clean bill of health).
+pub fn table_ct(
+    datasets: &[CtCoverageRow],
+    shards: &[CtShardRow],
+    cache_hit_rate: f64,
+    findings: &[String],
+) -> String {
+    let mut t = TextTable::new(
+        "CT resolution & log coverage (crt.sh substitute, §4.1.3)",
+        &["Dataset", "Platform", "Resolved", "Unresolved", "Rate"],
+    )
+    .aligns(&[
+        Align::Left,
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for r in datasets {
+        let rate = if r.total == 0 {
+            0.0
+        } else {
+            100.0 * r.resolved as f64 / r.total as f64
+        };
+        t.row(&[
+            r.dataset.to_string(),
+            r.platform.to_string(),
+            r.resolved.to_string(),
+            (r.total - r.resolved).to_string(),
+            format!("{rate:.1}%"),
+        ]);
+    }
+    let mut out = t.render();
+    let mut s = TextTable::new("  Log shards", &["Shard", "Operator", "Entries"]).aligns(&[
+        Align::Left,
+        Align::Left,
+        Align::Right,
+    ]);
+    for r in shards {
+        s.row(&[&r.shard, &r.operator, &r.entries.to_string()]);
+    }
+    out.push_str(&s.render());
+    out.push_str(&format!(
+        "  resolver cache hit rate: {:.1}%\n",
+        100.0 * cache_hit_rate
+    ));
+    if findings.is_empty() {
+        out.push_str("  auditor: all shards consistent, no mis-issuance\n");
+    } else {
+        out.push_str(&format!("  auditor: {} finding(s)\n", findings.len()));
+        for f in findings {
+            out.push_str(&format!("    {f}\n"));
+        }
+    }
+    out
+}
+
 /// A quick textual share bar used in several summaries.
 pub fn share_bar(label: &str, num: usize, den: usize, width: usize) -> String {
     let p = if den == 0 {
@@ -388,6 +473,30 @@ mod tests {
         assert!(s.contains("11.40% (114)"));
         assert!(s.contains("33.40% (334)"));
         assert!(s.lines().any(|l| l.trim_end().ends_with('-')));
+    }
+
+    #[test]
+    fn table_ct_renders_coverage_shards_and_findings() {
+        let datasets = vec![CtCoverageRow {
+            dataset: DatasetKind::Popular,
+            platform: Platform::Android,
+            resolved: 3,
+            total: 7,
+        }];
+        let shards = vec![CtShardRow {
+            shard: "argon-legacy".into(),
+            operator: "argon CT".into(),
+            entries: 42,
+        }];
+        let clean = table_ct(&datasets, &shards, 0.8, &[]);
+        assert!(clean.contains("CT resolution & log coverage"));
+        assert!(clean.contains("42.9%"), "3/7 resolved:\n{clean}");
+        assert!(clean.contains("argon-legacy"));
+        assert!(clean.contains("cache hit rate: 80.0%"));
+        assert!(clean.contains("no mis-issuance"));
+        let dirty = table_ct(&datasets, &shards, 0.8, &["mis-issuance of x".into()]);
+        assert!(dirty.contains("1 finding(s)"));
+        assert!(dirty.contains("mis-issuance of x"));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use pinning_app::platform::Platform;
 use pinning_app::sdk;
 use pinning_crypto::sig::KeyPair;
 use pinning_crypto::SplitMix64;
-use pinning_ctlog::CtLog;
+use pinning_ctlog::LogSet;
 use pinning_netsim::network::Network;
 use pinning_netsim::server::OriginServer;
 use pinning_pki::time::SimTime;
@@ -38,8 +38,9 @@ pub struct World {
     pub universe: PkiUniverse,
     /// Every reachable server.
     pub network: Network,
-    /// The CT log (crt.sh substitute).
-    pub ctlog: CtLog,
+    /// The CT ecosystem: operator/temporally sharded logs whose union is
+    /// the crt.sh substitute.
+    pub ctlog: LogSet,
     /// Domain-ownership registry.
     pub whois: WhoisRegistry,
     /// Every app on both stores.
@@ -64,14 +65,19 @@ impl World {
         let universe = PkiUniverse::generate(&UniverseConfig::default(), &mut pki_rng);
         let now = universe.now();
 
+        let mut ct_rng = root_rng.derive("ct");
         let mut gen = Generator {
             config: &config,
             universe,
             network: Network::new(),
-            ctlog: CtLog::new(),
+            ctlog: LogSet::sim_ecosystem(
+                now,
+                config.ct_leaf_coverage,
+                config.ct_ca_coverage,
+                &mut ct_rng,
+            ),
             whois: WhoisRegistry::new(),
             rng: root_rng,
-            ct_rng: root_rng.derive("ct"),
             now,
         };
         gen.register_infrastructure();
@@ -133,10 +139,9 @@ pub(crate) struct Generator<'a> {
     pub config: &'a WorldConfig,
     pub universe: PkiUniverse,
     pub network: Network,
-    pub ctlog: CtLog,
+    pub ctlog: LogSet,
     pub whois: WhoisRegistry,
     pub rng: SplitMix64,
-    pub ct_rng: SplitMix64,
     /// Simulation "now" (kept for sub-generators that need wall-clock
     /// anchoring, e.g. future certificate-rotation extensions).
     #[allow(dead_code)]
@@ -159,22 +164,14 @@ impl<'a> Generator<'a> {
             &key,
             lifetime,
         );
-        // CT submission: the crt.sh-style index is incomplete for both CA
-        // and leaf material (§4.1.3 resolved only ~50% of pins). CA
-        // inclusion is a per-certificate coin so every chain sharing a CA
-        // agrees on its fate.
-        for cert in chain.certs().iter().skip(1) {
-            // The coin must depend only on the certificate, not on when we
-            // flip it — every chain sharing a CA must agree on its fate.
-            let mut ca_rng = SplitMix64::new(self.config.seed)
-                .derive("ct-ca")
-                .derive(&pinning_crypto::hex_encode(&cert.fingerprint_sha256()));
-            if ca_rng.chance(self.config.ct_ca_coverage) {
-                self.ctlog.submit(cert.clone());
-            }
-        }
-        if self.ct_rng.chance(self.config.ct_leaf_coverage) {
-            self.ctlog.submit(chain.leaf().unwrap().clone());
+        // CT submission: offer the whole chain to every shard; each shard's
+        // policy (validity epoch + per-certificate acceptance draw) decides
+        // what it stores. The union coverage is incomplete for both CA and
+        // leaf material (§4.1.3 resolved only ~50% of pins), and because
+        // acceptance is deterministic per (shard, fingerprint), every chain
+        // sharing a CA agrees on that CA's fate.
+        for cert in chain.certs() {
+            self.ctlog.submit(cert);
         }
         for h in &hostnames {
             self.whois.record(h, organization);

@@ -10,7 +10,7 @@
 //! |---|---|---|
 //! | [`crypto`] | `pinning-crypto` | SHA-1/SHA-256/HMAC, base64/hex, simulated signatures |
 //! | [`pki`] | `pinning-pki` | certificates, chains, validation, root stores, SPKI pins |
-//! | [`ctlog`] | `pinning-ctlog` | Certificate Transparency log (crt.sh substitute) |
+//! | [`ctlog`] | `pinning-ctlog` | verifiable CT ecosystem: Merkle log shards, STHs, auditor, pin resolver |
 //! | [`tls`] | `pinning-tls` | record-level TLS simulator with pin verifiers |
 //! | [`app`] | `pinning-app` | Android/iOS app-package model + SDK registry |
 //! | [`store`] | `pinning-store` | app-store ecosystem, world generation, dataset sampling |

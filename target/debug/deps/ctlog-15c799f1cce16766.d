@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ctlog-15c799f1cce16766.d: tests/ctlog.rs
+
+/root/repo/target/debug/deps/ctlog-15c799f1cce16766: tests/ctlog.rs
+
+tests/ctlog.rs:

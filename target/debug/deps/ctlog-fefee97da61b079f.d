@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ctlog-fefee97da61b079f.d: tests/ctlog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctlog-fefee97da61b079f.rmeta: tests/ctlog.rs Cargo.toml
+
+tests/ctlog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

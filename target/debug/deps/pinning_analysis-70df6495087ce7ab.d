@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/pinning_analysis-70df6495087ce7ab.d: crates/analysis/src/lib.rs crates/analysis/src/categories.rs crates/analysis/src/certs.rs crates/analysis/src/circumvent.rs crates/analysis/src/consistency.rs crates/analysis/src/destinations.rs crates/analysis/src/dynamics/mod.rs crates/analysis/src/dynamics/calibration.rs crates/analysis/src/dynamics/classify.rs crates/analysis/src/dynamics/detect.rs crates/analysis/src/dynamics/interaction.rs crates/analysis/src/dynamics/pipeline.rs crates/analysis/src/pii.rs crates/analysis/src/results.rs crates/analysis/src/security.rs crates/analysis/src/statics/mod.rs crates/analysis/src/statics/attribution.rs crates/analysis/src/statics/extract.rs crates/analysis/src/statics/nsc.rs crates/analysis/src/statics/scanner.rs
+
+/root/repo/target/debug/deps/libpinning_analysis-70df6495087ce7ab.rmeta: crates/analysis/src/lib.rs crates/analysis/src/categories.rs crates/analysis/src/certs.rs crates/analysis/src/circumvent.rs crates/analysis/src/consistency.rs crates/analysis/src/destinations.rs crates/analysis/src/dynamics/mod.rs crates/analysis/src/dynamics/calibration.rs crates/analysis/src/dynamics/classify.rs crates/analysis/src/dynamics/detect.rs crates/analysis/src/dynamics/interaction.rs crates/analysis/src/dynamics/pipeline.rs crates/analysis/src/pii.rs crates/analysis/src/results.rs crates/analysis/src/security.rs crates/analysis/src/statics/mod.rs crates/analysis/src/statics/attribution.rs crates/analysis/src/statics/extract.rs crates/analysis/src/statics/nsc.rs crates/analysis/src/statics/scanner.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/categories.rs:
+crates/analysis/src/certs.rs:
+crates/analysis/src/circumvent.rs:
+crates/analysis/src/consistency.rs:
+crates/analysis/src/destinations.rs:
+crates/analysis/src/dynamics/mod.rs:
+crates/analysis/src/dynamics/calibration.rs:
+crates/analysis/src/dynamics/classify.rs:
+crates/analysis/src/dynamics/detect.rs:
+crates/analysis/src/dynamics/interaction.rs:
+crates/analysis/src/dynamics/pipeline.rs:
+crates/analysis/src/pii.rs:
+crates/analysis/src/results.rs:
+crates/analysis/src/security.rs:
+crates/analysis/src/statics/mod.rs:
+crates/analysis/src/statics/attribution.rs:
+crates/analysis/src/statics/extract.rs:
+crates/analysis/src/statics/nsc.rs:
+crates/analysis/src/statics/scanner.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pinning_app-fd3a5b7140ba7d22.d: crates/app/src/lib.rs crates/app/src/app.rs crates/app/src/behavior.rs crates/app/src/builder.rs crates/app/src/category.rs crates/app/src/nsc.rs crates/app/src/package.rs crates/app/src/pii.rs crates/app/src/pinning.rs crates/app/src/platform.rs crates/app/src/sdk.rs crates/app/src/xml.rs
+
+/root/repo/target/debug/deps/libpinning_app-fd3a5b7140ba7d22.rmeta: crates/app/src/lib.rs crates/app/src/app.rs crates/app/src/behavior.rs crates/app/src/builder.rs crates/app/src/category.rs crates/app/src/nsc.rs crates/app/src/package.rs crates/app/src/pii.rs crates/app/src/pinning.rs crates/app/src/platform.rs crates/app/src/sdk.rs crates/app/src/xml.rs
+
+crates/app/src/lib.rs:
+crates/app/src/app.rs:
+crates/app/src/behavior.rs:
+crates/app/src/builder.rs:
+crates/app/src/category.rs:
+crates/app/src/nsc.rs:
+crates/app/src/package.rs:
+crates/app/src/pii.rs:
+crates/app/src/pinning.rs:
+crates/app/src/platform.rs:
+crates/app/src/sdk.rs:
+crates/app/src/xml.rs:

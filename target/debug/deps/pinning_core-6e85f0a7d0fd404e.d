@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pinning_core-6e85f0a7d0fd404e.d: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs
+
+/root/repo/target/debug/deps/libpinning_core-6e85f0a7d0fd404e.rmeta: crates/core/src/lib.rs crates/core/src/ablation.rs crates/core/src/record.rs crates/core/src/study.rs crates/core/src/tables.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ablation.rs:
+crates/core/src/record.rs:
+crates/core/src/study.rs:
+crates/core/src/tables.rs:

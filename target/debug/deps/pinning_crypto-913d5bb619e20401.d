@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pinning_crypto-913d5bb619e20401.d: crates/crypto/src/lib.rs crates/crypto/src/base64.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/sig.rs
+
+/root/repo/target/debug/deps/libpinning_crypto-913d5bb619e20401.rmeta: crates/crypto/src/lib.rs crates/crypto/src/base64.rs crates/crypto/src/hex.rs crates/crypto/src/hmac.rs crates/crypto/src/rng.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/sig.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/base64.rs:
+crates/crypto/src/hex.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/rng.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/sig.rs:

@@ -1,7 +1,12 @@
-/root/repo/target/debug/deps/pinning_ctlog-42d857cc29612818.d: crates/ctlog/src/lib.rs
+/root/repo/target/debug/deps/pinning_ctlog-42d857cc29612818.d: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs
 
-/root/repo/target/debug/deps/libpinning_ctlog-42d857cc29612818.rlib: crates/ctlog/src/lib.rs
+/root/repo/target/debug/deps/libpinning_ctlog-42d857cc29612818.rlib: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs
 
-/root/repo/target/debug/deps/libpinning_ctlog-42d857cc29612818.rmeta: crates/ctlog/src/lib.rs
+/root/repo/target/debug/deps/libpinning_ctlog-42d857cc29612818.rmeta: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs
 
 crates/ctlog/src/lib.rs:
+crates/ctlog/src/merkle.rs:
+crates/ctlog/src/monitor.rs:
+crates/ctlog/src/resolver.rs:
+crates/ctlog/src/shard.rs:
+crates/ctlog/src/sth.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pinning_ctlog-47ad98d800aa9f55.d: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs
+
+/root/repo/target/debug/deps/libpinning_ctlog-47ad98d800aa9f55.rmeta: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs
+
+crates/ctlog/src/lib.rs:
+crates/ctlog/src/merkle.rs:
+crates/ctlog/src/monitor.rs:
+crates/ctlog/src/resolver.rs:
+crates/ctlog/src/shard.rs:
+crates/ctlog/src/sth.rs:

@@ -1,8 +1,13 @@
-/root/repo/target/debug/deps/pinning_ctlog-686033addf8a6a2b.d: crates/ctlog/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/pinning_ctlog-686033addf8a6a2b.d: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs Cargo.toml
 
-/root/repo/target/debug/deps/libpinning_ctlog-686033addf8a6a2b.rmeta: crates/ctlog/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libpinning_ctlog-686033addf8a6a2b.rmeta: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs Cargo.toml
 
 crates/ctlog/src/lib.rs:
+crates/ctlog/src/merkle.rs:
+crates/ctlog/src/monitor.rs:
+crates/ctlog/src/resolver.rs:
+crates/ctlog/src/shard.rs:
+crates/ctlog/src/sth.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,5 +1,10 @@
-/root/repo/target/debug/deps/pinning_ctlog-a01525d0da46f93c.d: crates/ctlog/src/lib.rs
+/root/repo/target/debug/deps/pinning_ctlog-a01525d0da46f93c.d: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs
 
-/root/repo/target/debug/deps/pinning_ctlog-a01525d0da46f93c: crates/ctlog/src/lib.rs
+/root/repo/target/debug/deps/pinning_ctlog-a01525d0da46f93c: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs
 
 crates/ctlog/src/lib.rs:
+crates/ctlog/src/merkle.rs:
+crates/ctlog/src/monitor.rs:
+crates/ctlog/src/resolver.rs:
+crates/ctlog/src/shard.rs:
+crates/ctlog/src/sth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pinning_netsim-1bbe030f8f87c277.d: crates/netsim/src/lib.rs crates/netsim/src/device.rs crates/netsim/src/faults.rs crates/netsim/src/flow.rs crates/netsim/src/network.rs crates/netsim/src/proxy.rs crates/netsim/src/server.rs crates/netsim/src/simcap.rs
+
+/root/repo/target/debug/deps/libpinning_netsim-1bbe030f8f87c277.rmeta: crates/netsim/src/lib.rs crates/netsim/src/device.rs crates/netsim/src/faults.rs crates/netsim/src/flow.rs crates/netsim/src/network.rs crates/netsim/src/proxy.rs crates/netsim/src/server.rs crates/netsim/src/simcap.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/device.rs:
+crates/netsim/src/faults.rs:
+crates/netsim/src/flow.rs:
+crates/netsim/src/network.rs:
+crates/netsim/src/proxy.rs:
+crates/netsim/src/server.rs:
+crates/netsim/src/simcap.rs:

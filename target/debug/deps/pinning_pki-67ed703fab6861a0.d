@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pinning_pki-67ed703fab6861a0.d: crates/pki/src/lib.rs crates/pki/src/authority.rs crates/pki/src/cert.rs crates/pki/src/chain.rs crates/pki/src/encode.rs crates/pki/src/error.rs crates/pki/src/hpkp.rs crates/pki/src/name.rs crates/pki/src/pin.rs crates/pki/src/store.rs crates/pki/src/time.rs crates/pki/src/universe.rs crates/pki/src/validate.rs
+
+/root/repo/target/debug/deps/libpinning_pki-67ed703fab6861a0.rmeta: crates/pki/src/lib.rs crates/pki/src/authority.rs crates/pki/src/cert.rs crates/pki/src/chain.rs crates/pki/src/encode.rs crates/pki/src/error.rs crates/pki/src/hpkp.rs crates/pki/src/name.rs crates/pki/src/pin.rs crates/pki/src/store.rs crates/pki/src/time.rs crates/pki/src/universe.rs crates/pki/src/validate.rs
+
+crates/pki/src/lib.rs:
+crates/pki/src/authority.rs:
+crates/pki/src/cert.rs:
+crates/pki/src/chain.rs:
+crates/pki/src/encode.rs:
+crates/pki/src/error.rs:
+crates/pki/src/hpkp.rs:
+crates/pki/src/name.rs:
+crates/pki/src/pin.rs:
+crates/pki/src/store.rs:
+crates/pki/src/time.rs:
+crates/pki/src/universe.rs:
+crates/pki/src/validate.rs:

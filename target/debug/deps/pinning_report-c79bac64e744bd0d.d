@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pinning_report-c79bac64e744bd0d.d: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs
+
+/root/repo/target/debug/deps/libpinning_report-c79bac64e744bd0d.rmeta: crates/report/src/lib.rs crates/report/src/export.rs crates/report/src/figures.rs crates/report/src/tables.rs crates/report/src/text.rs
+
+crates/report/src/lib.rs:
+crates/report/src/export.rs:
+crates/report/src/figures.rs:
+crates/report/src/tables.rs:
+crates/report/src/text.rs:

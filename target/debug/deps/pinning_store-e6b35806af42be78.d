@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pinning_store-e6b35806af42be78.d: crates/store/src/lib.rs crates/store/src/config.rs crates/store/src/crawler.rs crates/store/src/datasets.rs crates/store/src/whois.rs crates/store/src/world.rs crates/store/src/world/appgen.rs
+
+/root/repo/target/debug/deps/libpinning_store-e6b35806af42be78.rmeta: crates/store/src/lib.rs crates/store/src/config.rs crates/store/src/crawler.rs crates/store/src/datasets.rs crates/store/src/whois.rs crates/store/src/world.rs crates/store/src/world/appgen.rs
+
+crates/store/src/lib.rs:
+crates/store/src/config.rs:
+crates/store/src/crawler.rs:
+crates/store/src/datasets.rs:
+crates/store/src/whois.rs:
+crates/store/src/world.rs:
+crates/store/src/world/appgen.rs:

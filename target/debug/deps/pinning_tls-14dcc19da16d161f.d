@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pinning_tls-14dcc19da16d161f.d: crates/tls/src/lib.rs crates/tls/src/alert.rs crates/tls/src/cipher.rs crates/tls/src/conn.rs crates/tls/src/handshake.rs crates/tls/src/library.rs crates/tls/src/record.rs crates/tls/src/transcript.rs crates/tls/src/verify.rs crates/tls/src/version.rs
+
+/root/repo/target/debug/deps/libpinning_tls-14dcc19da16d161f.rmeta: crates/tls/src/lib.rs crates/tls/src/alert.rs crates/tls/src/cipher.rs crates/tls/src/conn.rs crates/tls/src/handshake.rs crates/tls/src/library.rs crates/tls/src/record.rs crates/tls/src/transcript.rs crates/tls/src/verify.rs crates/tls/src/version.rs
+
+crates/tls/src/lib.rs:
+crates/tls/src/alert.rs:
+crates/tls/src/cipher.rs:
+crates/tls/src/conn.rs:
+crates/tls/src/handshake.rs:
+crates/tls/src/library.rs:
+crates/tls/src/record.rs:
+crates/tls/src/transcript.rs:
+crates/tls/src/verify.rs:
+crates/tls/src/version.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_ct-83d9487bfe50dab3.d: examples/dbg_ct.rs
+
+/root/repo/target/debug/examples/dbg_ct-83d9487bfe50dab3: examples/dbg_ct.rs
+
+examples/dbg_ct.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_ct2-cd020aa1ef924f4b.d: examples/dbg_ct2.rs
+
+/root/repo/target/debug/examples/dbg_ct2-cd020aa1ef924f4b: examples/dbg_ct2.rs
+
+examples/dbg_ct2.rs:

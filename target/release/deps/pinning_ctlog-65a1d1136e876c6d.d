@@ -1,7 +1,12 @@
-/root/repo/target/release/deps/pinning_ctlog-65a1d1136e876c6d.d: crates/ctlog/src/lib.rs
+/root/repo/target/release/deps/pinning_ctlog-65a1d1136e876c6d.d: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs
 
-/root/repo/target/release/deps/libpinning_ctlog-65a1d1136e876c6d.rlib: crates/ctlog/src/lib.rs
+/root/repo/target/release/deps/libpinning_ctlog-65a1d1136e876c6d.rlib: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs
 
-/root/repo/target/release/deps/libpinning_ctlog-65a1d1136e876c6d.rmeta: crates/ctlog/src/lib.rs
+/root/repo/target/release/deps/libpinning_ctlog-65a1d1136e876c6d.rmeta: crates/ctlog/src/lib.rs crates/ctlog/src/merkle.rs crates/ctlog/src/monitor.rs crates/ctlog/src/resolver.rs crates/ctlog/src/shard.rs crates/ctlog/src/sth.rs
 
 crates/ctlog/src/lib.rs:
+crates/ctlog/src/merkle.rs:
+crates/ctlog/src/monitor.rs:
+crates/ctlog/src/resolver.rs:
+crates/ctlog/src/shard.rs:
+crates/ctlog/src/sth.rs:
