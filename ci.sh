@@ -27,6 +27,9 @@ cargo test -q --offline --test chaos
 echo "==> ctlog suite (Merkle proofs, sharding, auditor, resolver)"
 cargo test -q -p pinning-ctlog --offline
 
+echo "==> chaos smoke (release-mode kill/resume cycle under faults)"
+cargo run -q --release --offline --example chaos_smoke
+
 echo "==> rustdoc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 

@@ -9,6 +9,7 @@ use pinning_app::pii::DeviceIdentity;
 use pinning_app::platform::Platform;
 use pinning_app::xml;
 use pinning_crypto::SplitMix64;
+use pinning_netsim::breaker::{BreakerConfig, BreakerSet};
 use pinning_netsim::device::{Device, RunConfig};
 use pinning_netsim::faults::{FaultConfig, FaultPlan, MeasurementError};
 use pinning_netsim::flow::Capture;
@@ -21,7 +22,8 @@ use pinning_pki::time::SimTime;
 ///
 /// The paper's operators re-queued apps whose runs failed and gave up
 /// after a few tries; this policy reproduces that loop on the virtual
-/// clock. Backoff doubles per retry; the deadline bounds total virtual
+/// clock. Backoff doubles per retry, plus a seeded jitter so re-queued
+/// apps don't thunder back in lockstep; the deadline bounds total virtual
 /// time spent on one app (settle + capture windows + backoff).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
@@ -29,6 +31,10 @@ pub struct RetryPolicy {
     pub max_attempts: u32,
     /// Backoff before the first retry, seconds; doubles each retry.
     pub backoff_secs: u32,
+    /// Jitter added to each backoff, as a percentage of the doubled base
+    /// (0 = none). Drawn deterministically from the environment seed and
+    /// the app id, so replays stay bit-identical.
+    pub jitter_pct: u32,
     /// Virtual-time budget for one app, seconds.
     pub deadline_secs: u32,
 }
@@ -36,11 +42,12 @@ pub struct RetryPolicy {
 impl Default for RetryPolicy {
     fn default() -> Self {
         // 3 attempts × 2 runs × (≤120 s settle + 30 s window) plus 30+60 s
-        // of backoff fits; the deadline only triggers on pathological
-        // settings.
+        // of backoff (and ≤50% jitter on each) fits; the deadline only
+        // triggers on pathological settings.
         RetryPolicy {
             max_attempts: 3,
             backoff_secs: 30,
+            jitter_pct: 50,
             deadline_secs: 1800,
         }
     }
@@ -67,6 +74,11 @@ pub struct DynamicEnv<'a> {
     pub faults: FaultPlan,
     /// Retry policy for faulted run pairs.
     pub retry: RetryPolicy,
+    /// Circuit-breaker tuning; `None` (the default) never short-circuits.
+    /// When set, each app gets a fresh per-endpoint [`BreakerSet`] spanning
+    /// all of its runs, so persistently faulty hosts stop consuming
+    /// attempts after a few consecutive injected faults.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl<'a> DynamicEnv<'a> {
@@ -91,6 +103,7 @@ impl<'a> DynamicEnv<'a> {
             seed,
             faults: FaultPlan::disabled(),
             retry: RetryPolicy::default(),
+            breaker: None,
         }
     }
 
@@ -103,6 +116,12 @@ impl<'a> DynamicEnv<'a> {
     /// Replaces the retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Enables per-endpoint circuit breakers with the given tuning.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = Some(breaker);
         self
     }
 
@@ -136,6 +155,9 @@ pub struct AppDynamicResult {
     pub mitm: Capture,
     /// Whether the iOS settle re-run was applied.
     pub settled_rerun: bool,
+    /// Circuit-breaker trips (closed→open) across this app's endpoints;
+    /// 0 unless the environment enables breakers and faults persisted.
+    pub breaker_trips: u32,
 }
 
 impl AppDynamicResult {
@@ -211,16 +233,26 @@ fn run_pair_with_retry(
     env: &DynamicEnv<'_>,
     device: &Device<'_>,
     app: &MobileApp,
+    breaker: Option<&BreakerSet>,
     settle: u32,
     tag_suffix: &str,
     clock: &mut u64,
 ) -> Result<(Capture, Capture), MeasurementError> {
     let plan = (!env.faults.is_quiet()).then_some(&env.faults);
     let max_attempts = env.retry.max_attempts.max(1);
+    let mut jitter_rng =
+        SplitMix64::new(env.seed).derive(&format!("backoff/{}{tag_suffix}", app.id));
     for attempt in 0..max_attempts {
         let last = attempt + 1 == max_attempts;
         if attempt > 0 {
-            *clock += (env.retry.backoff_secs as u64) << (attempt - 1);
+            let base = (env.retry.backoff_secs as u64) << (attempt - 1);
+            let span = base * env.retry.jitter_pct as u64 / 100;
+            let jitter = if span > 0 {
+                jitter_rng.next_below(span + 1)
+            } else {
+                0
+            };
+            *clock += base + jitter;
         }
 
         let marker = if attempt == 0 {
@@ -232,10 +264,12 @@ fn run_pair_with_retry(
         base_cfg.settle_secs = settle;
         base_cfg.run_tag = format!("baseline{tag_suffix}{marker}");
         base_cfg.faults = plan;
+        base_cfg.breaker = breaker;
         let mut mitm_cfg = RunConfig::mitm(&env.proxy);
         mitm_cfg.settle_secs = settle;
         mitm_cfg.run_tag = format!("mitm{tag_suffix}{marker}");
         mitm_cfg.faults = plan;
+        mitm_cfg.breaker = breaker;
 
         *clock += 2 * (settle + base_cfg.window_secs) as u64;
         if *clock > env.retry.deadline_secs as u64 {
@@ -304,8 +338,12 @@ pub fn try_analyze_app(
         Platform::Ios => Exclusions::ios(associated_domains_from_package(app)),
     };
     let mut clock: u64 = 0;
+    // One breaker set per app, spanning all of its runs: state built up
+    // during the initial pair carries into retries and the settle re-run.
+    let breakers = env.breaker.map(BreakerSet::new);
+    let breakers = breakers.as_ref();
 
-    let (baseline, mitm) = run_pair_with_retry(env, &device, app, 0, "", &mut clock)?;
+    let (baseline, mitm) = run_pair_with_retry(env, &device, app, breakers, 0, "", &mut clock)?;
     let verdicts = detect_pinned_destinations(&baseline, &mitm, &exclusions);
     if let Some(err) = fully_unobserved(&baseline, &mitm, &verdicts) {
         return Err(err);
@@ -315,7 +353,7 @@ pub fn try_analyze_app(
     if app.id.platform == Platform::Ios && found_pinning {
         // §4.5: re-run with a 2-minute settle; use the re-run's results.
         let (baseline2, mitm2) =
-            run_pair_with_retry(env, &device, app, 120, "-settled", &mut clock)?;
+            run_pair_with_retry(env, &device, app, breakers, 120, "-settled", &mut clock)?;
         let verdicts2 = detect_pinned_destinations(&baseline2, &mitm2, &exclusions);
         if let Some(err) = fully_unobserved(&baseline2, &mitm2, &verdicts2) {
             return Err(err);
@@ -325,6 +363,7 @@ pub fn try_analyze_app(
             baseline: baseline2,
             mitm: mitm2,
             settled_rerun: true,
+            breaker_trips: breakers.map(BreakerSet::trips).unwrap_or(0),
         });
     }
 
@@ -333,6 +372,7 @@ pub fn try_analyze_app(
         baseline,
         mitm,
         settled_rerun: false,
+        breaker_trips: breakers.map(BreakerSet::trips).unwrap_or(0),
     })
 }
 

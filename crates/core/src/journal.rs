@@ -1,0 +1,442 @@
+//! Write-ahead result journal: crash-safe persistence for study runs.
+//!
+//! The paper's campaigns ran for days on physical devices; losing the
+//! process meant losing every finished app. The journal fixes that for the
+//! reproduction: the supervisor appends one record per *completed* app
+//! (measured or degraded), and [`Study::resume`](crate::study::Study::resume)
+//! replays the journal to skip finished work.
+//!
+//! ## Format
+//!
+//! ```text
+//! header:  "PINJRNL1" (8 bytes) ‖ config fingerprint (32 bytes, SHA-256)
+//! record:  [payload len: u32 LE] [SHA-256(payload): 32 bytes] [payload]
+//! ```
+//!
+//! Records are appended in commit order (which varies with scheduling) and
+//! are keyed by app index, so replay order never matters. The payload is
+//! the TLV encoding (same [`pinning_pki::encode`] machinery as simcap v2)
+//! of a [`JournalEntry`] carrying only *dynamic observables* — app ids and
+//! static findings are recomputed deterministically from the regenerated
+//! world, keeping journals small and resume byte-identical.
+//!
+//! ## Corruption tolerance
+//!
+//! A process killed mid-append leaves a torn tail; a bad disk can flip
+//! bits anywhere. [`ResultJournal::open`] therefore reads the longest
+//! intact prefix: the first record whose frame is short or whose checksum
+//! mismatches stops the replay, and everything from that point on is
+//! reported as quarantined bytes rather than parsed. Damage to the header
+//! itself is unrecoverable and surfaces as a [`JournalError`].
+
+use pinning_crypto::sha256;
+use pinning_netsim::faults::MeasurementError;
+use pinning_pki::encode::{Reader, Writer};
+use pinning_pki::error::DecodeError;
+
+/// Magic bytes opening every journal (format version 1).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"PINJRNL1";
+
+/// Header length: magic plus the 32-byte config fingerprint.
+const HEADER_LEN: usize = 8 + 32;
+
+/// Per-record frame overhead: length word plus checksum.
+const FRAME_LEN: usize = 4 + 32;
+
+/// A journal whose header is damaged or missing entirely.
+///
+/// Record-level damage is *not* an error — [`ResultJournal::open`]
+/// truncates at the first bad record instead — but without an intact
+/// header there is no fingerprint to validate a resume against, so the
+/// journal is unusable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalError {
+    /// Shorter than a header: nothing was ever committed.
+    TooShort,
+    /// The magic bytes don't match any known journal version.
+    BadMagic,
+    /// The journal was written under a different study configuration, so
+    /// resuming from it would splice incompatible measurements.
+    FingerprintMismatch,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::TooShort => write!(f, "journal shorter than its header"),
+            JournalError::BadMagic => write!(f, "journal magic bytes unrecognized"),
+            JournalError::FingerprintMismatch => {
+                write!(f, "journal belongs to a different study configuration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Dynamic observables for one successfully measured app — exactly the
+/// fields of [`crate::record::AppRecord`] that cannot be recomputed from
+/// the world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasuredApp {
+    /// Destinations detected as pinned.
+    pub pinned_destinations: Vec<String>,
+    /// Destinations used in the baseline run.
+    pub used_destinations: Vec<String>,
+    /// ≥1 connection advertised a weak cipher.
+    pub weak_overall: bool,
+    /// ≥1 pinned connection advertised a weak cipher.
+    pub weak_pinned: bool,
+    /// Plaintext recovered from circumvented pinned connections.
+    pub pinned_bodies: Vec<String>,
+    /// Plaintext recovered from ordinary MITM'd flows.
+    pub unpinned_bodies: Vec<String>,
+    /// Circumvention attempt: (attempted, succeeded) destinations.
+    pub circumvention: Option<(Vec<String>, Vec<String>)>,
+    /// Baseline handshake count.
+    pub n_handshakes_baseline: u64,
+    /// Whether the iOS settle re-run was applied.
+    pub settled_rerun: bool,
+    /// Circuit-breaker trips across this app's endpoints.
+    pub breaker_trips: u32,
+}
+
+/// How one app's measurement concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppOutcome {
+    /// The dynamic pipeline completed.
+    Measured(Box<MeasuredApp>),
+    /// Every retry degraded; the app is recorded with this error.
+    Failed(MeasurementError),
+}
+
+/// One committed journal record: the outcome for one app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Index into the world's app list.
+    pub app_index: u64,
+    /// The measurement outcome.
+    pub outcome: AppOutcome,
+}
+
+/// The readable prefix of a journal, as recovered by
+/// [`ResultJournal::open`].
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// Config fingerprint the journal was created under.
+    pub fingerprint: [u8; 32],
+    /// Entries recovered, in commit order.
+    pub entries: Vec<JournalEntry>,
+    /// Bytes discarded after the first damaged record (0 = fully intact).
+    pub quarantined_bytes: usize,
+}
+
+impl Replay {
+    /// Whether the journal lost records to damage.
+    pub fn truncated(&self) -> bool {
+        self.quarantined_bytes > 0
+    }
+}
+
+/// An append-only, checksummed result journal.
+///
+/// Held in memory as the byte buffer that would sit on disk; callers own
+/// persistence (the examples write it to a file between kill and resume).
+#[derive(Debug, Clone)]
+pub struct ResultJournal {
+    buf: Vec<u8>,
+}
+
+impl ResultJournal {
+    /// A fresh journal bound to `fingerprint` (see
+    /// [`crate::study::StudyConfig::fingerprint`]).
+    pub fn create(fingerprint: [u8; 32]) -> Self {
+        let mut buf = Vec::with_capacity(HEADER_LEN);
+        buf.extend_from_slice(JOURNAL_MAGIC);
+        buf.extend_from_slice(&fingerprint);
+        ResultJournal { buf }
+    }
+
+    /// Appends one committed app outcome.
+    pub fn append(&mut self, entry: &JournalEntry) {
+        let payload = encode_entry(entry);
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&sha256(&payload));
+        self.buf.extend_from_slice(&payload);
+    }
+
+    /// The journal's current on-disk image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the journal, returning its on-disk image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of committed records (by re-walking the frames; the journal
+    /// is always self-describing).
+    pub fn len(&self) -> usize {
+        Self::open(&self.buf).map(|r| r.entries.len()).unwrap_or(0)
+    }
+
+    /// Whether no record has been committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads the longest intact prefix of a journal image.
+    ///
+    /// Never panics on hostile input: a torn tail, a flipped bit, or a
+    /// wild length field all stop the replay at the last good record, and
+    /// the remainder is counted in [`Replay::quarantined_bytes`]. Only a
+    /// damaged *header* is an error.
+    pub fn open(bytes: &[u8]) -> Result<Replay, JournalError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(JournalError::TooShort);
+        }
+        if &bytes[..8] != JOURNAL_MAGIC {
+            return Err(JournalError::BadMagic);
+        }
+        let mut fingerprint = [0u8; 32];
+        fingerprint.copy_from_slice(&bytes[8..HEADER_LEN]);
+
+        let mut entries = Vec::new();
+        let mut pos = HEADER_LEN;
+        while pos < bytes.len() {
+            let rest = &bytes[pos..];
+            if rest.len() < FRAME_LEN {
+                break; // torn frame
+            }
+            let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            // A flipped bit in the length word can claim gigabytes; bound
+            // it by what is actually present before touching the payload.
+            if len > rest.len() - FRAME_LEN {
+                break;
+            }
+            let checksum = &rest[4..FRAME_LEN];
+            let payload = &rest[FRAME_LEN..FRAME_LEN + len];
+            if sha256(payload).as_slice() != checksum {
+                break;
+            }
+            // A checksum-valid payload that fails to decode means version
+            // skew, not bit rot — but the recovery is the same: stop here.
+            let Ok(entry) = decode_entry(payload) else {
+                break;
+            };
+            entries.push(entry);
+            pos += FRAME_LEN + len;
+        }
+        Ok(Replay {
+            fingerprint,
+            entries,
+            quarantined_bytes: bytes.len() - pos,
+        })
+    }
+}
+
+fn encode_outcome_error(w: &mut Writer, error: MeasurementError) {
+    w.string(error.label());
+}
+
+fn decode_outcome_error(r: &mut Reader<'_>) -> Result<MeasurementError, DecodeError> {
+    let label = r.string()?;
+    MeasurementError::ALL
+        .into_iter()
+        .find(|e| e.label() == label)
+        .ok_or(DecodeError::BadFieldSize)
+}
+
+fn encode_entry(entry: &JournalEntry) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(entry.app_index);
+    match &entry.outcome {
+        AppOutcome::Failed(error) => {
+            w.u64(0);
+            encode_outcome_error(&mut w, *error);
+        }
+        AppOutcome::Measured(m) => {
+            w.u64(1);
+            w.list(&m.pinned_destinations, |w, s| w.string(s));
+            w.list(&m.used_destinations, |w, s| w.string(s));
+            w.boolean(m.weak_overall);
+            w.boolean(m.weak_pinned);
+            w.list(&m.pinned_bodies, |w, s| w.string(s));
+            w.list(&m.unpinned_bodies, |w, s| w.string(s));
+            match &m.circumvention {
+                Some((attempted, succeeded)) => {
+                    w.boolean(true);
+                    w.list(attempted, |w, s| w.string(s));
+                    w.list(succeeded, |w, s| w.string(s));
+                }
+                None => w.boolean(false),
+            }
+            w.u64(m.n_handshakes_baseline);
+            w.boolean(m.settled_rerun);
+            w.u64(m.breaker_trips as u64);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_entry(payload: &[u8]) -> Result<JournalEntry, DecodeError> {
+    let mut r = Reader::new(payload);
+    let app_index = r.u64()?;
+    let outcome = match r.u64()? {
+        0 => AppOutcome::Failed(decode_outcome_error(&mut r)?),
+        1 => {
+            let pinned_destinations = r.list(|r| r.string())?;
+            let used_destinations = r.list(|r| r.string())?;
+            let weak_overall = r.boolean()?;
+            let weak_pinned = r.boolean()?;
+            let pinned_bodies = r.list(|r| r.string())?;
+            let unpinned_bodies = r.list(|r| r.string())?;
+            let circumvention = if r.boolean()? {
+                Some((r.list(|r| r.string())?, r.list(|r| r.string())?))
+            } else {
+                None
+            };
+            AppOutcome::Measured(Box::new(MeasuredApp {
+                pinned_destinations,
+                used_destinations,
+                weak_overall,
+                weak_pinned,
+                pinned_bodies,
+                unpinned_bodies,
+                circumvention,
+                n_handshakes_baseline: r.u64()?,
+                settled_rerun: r.boolean()?,
+                breaker_trips: r.u64()? as u32,
+            }))
+        }
+        _ => return Err(DecodeError::BadFieldSize),
+    };
+    if !r.is_empty() {
+        return Err(DecodeError::BadLength);
+    }
+    Ok(JournalEntry { app_index, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<JournalEntry> {
+        vec![
+            JournalEntry {
+                app_index: 3,
+                outcome: AppOutcome::Measured(Box::new(MeasuredApp {
+                    pinned_destinations: vec!["pins.shop.com".into()],
+                    used_destinations: vec!["api.shop.com".into(), "pins.shop.com".into()],
+                    weak_overall: true,
+                    weak_pinned: false,
+                    pinned_bodies: vec!["adid=x".into()],
+                    unpinned_bodies: vec![],
+                    circumvention: Some((vec!["pins.shop.com".into()], vec![])),
+                    n_handshakes_baseline: 7,
+                    settled_rerun: true,
+                    breaker_trips: 2,
+                })),
+            },
+            JournalEntry {
+                app_index: 9,
+                outcome: AppOutcome::Failed(MeasurementError::WorkerPanic),
+            },
+            JournalEntry {
+                app_index: 0,
+                outcome: AppOutcome::Measured(Box::new(MeasuredApp {
+                    pinned_destinations: vec![],
+                    used_destinations: vec![],
+                    weak_overall: false,
+                    weak_pinned: false,
+                    pinned_bodies: vec![],
+                    unpinned_bodies: vec![],
+                    circumvention: None,
+                    n_handshakes_baseline: 0,
+                    settled_rerun: false,
+                    breaker_trips: 0,
+                })),
+            },
+        ]
+    }
+
+    fn journal() -> ResultJournal {
+        let mut j = ResultJournal::create([0xAB; 32]);
+        for e in sample_entries() {
+            j.append(&e);
+        }
+        j
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_and_fingerprint() {
+        let j = journal();
+        let replay = ResultJournal::open(j.as_bytes()).unwrap();
+        assert_eq!(replay.fingerprint, [0xAB; 32]);
+        assert_eq!(replay.entries, sample_entries());
+        assert_eq!(replay.quarantined_bytes, 0);
+        assert!(!replay.truncated());
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn torn_tail_recovers_the_intact_prefix() {
+        let j = journal();
+        let full = j.as_bytes();
+        // Cut mid-way through the last record.
+        let cut = full.len() - 10;
+        let replay = ResultJournal::open(&full[..cut]).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert!(replay.truncated());
+        assert!(replay.quarantined_bytes > 0);
+    }
+
+    #[test]
+    fn flipped_bit_quarantines_from_the_damage_on() {
+        let j = journal();
+        let mut bytes = j.as_bytes().to_vec();
+        // Flip a bit inside the second record's payload.
+        let first_len = u32::from_le_bytes(bytes[40..44].try_into().unwrap()) as usize + FRAME_LEN;
+        let target = 40 + first_len + FRAME_LEN + 2;
+        bytes[target] ^= 0x10;
+        let replay = ResultJournal::open(&bytes).unwrap();
+        assert_eq!(replay.entries.len(), 1, "only the first record survives");
+        assert!(replay.truncated());
+    }
+
+    #[test]
+    fn wild_length_field_does_not_overread() {
+        let j = journal();
+        let mut bytes = j.as_bytes().to_vec();
+        // Claim the first record is enormous.
+        bytes[40..44].copy_from_slice(&u32::MAX.to_le_bytes());
+        let replay = ResultJournal::open(&bytes).unwrap();
+        assert!(replay.entries.is_empty());
+        assert_eq!(replay.quarantined_bytes, bytes.len() - HEADER_LEN);
+    }
+
+    #[test]
+    fn damaged_header_is_an_error() {
+        match ResultJournal::open(b"short") {
+            Err(JournalError::TooShort) => {}
+            other => panic!("expected TooShort, got {other:?}"),
+        }
+        let mut bytes = journal().into_bytes();
+        bytes[0] ^= 0xFF;
+        match ResultJournal::open(&bytes) {
+            Err(JournalError::BadMagic) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_journal_is_valid() {
+        let j = ResultJournal::create([1; 32]);
+        assert!(j.is_empty());
+        let replay = ResultJournal::open(j.as_bytes()).unwrap();
+        assert!(replay.entries.is_empty());
+        assert!(!replay.truncated());
+    }
+}

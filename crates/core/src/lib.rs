@@ -15,9 +15,11 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod journal;
 pub mod record;
 pub mod study;
 pub mod tables;
 
+pub use journal::{AppOutcome, JournalEntry, JournalError, MeasuredApp, Replay, ResultJournal};
 pub use record::AppRecord;
-pub use study::{Study, StudyConfig, StudyResults};
+pub use study::{RunHealth, Study, StudyConfig, StudyOutcome, StudyResults, SupervisorConfig};

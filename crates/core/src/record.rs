@@ -4,6 +4,7 @@
 //! that is gigabytes. [`AppRecord`] keeps exactly the observables the
 //! tables and figures consume, so a full study fits comfortably in memory.
 
+use crate::journal::MeasuredApp;
 use pinning_analysis::circumvent::CircumventionResult;
 use pinning_analysis::dynamics::pipeline::AppDynamicResult;
 use pinning_analysis::security::{any_weak_offer, any_weak_pinned_offer};
@@ -49,6 +50,9 @@ pub struct AppRecord {
     pub n_handshakes_baseline: usize,
     /// Whether the iOS settle re-run was applied (§4.5).
     pub settled_rerun: bool,
+    /// Circuit-breaker trips across this app's endpoints (0 when breakers
+    /// are disabled or no endpoint faulted persistently).
+    pub breaker_trips: u32,
     /// Why the dynamic measurement degraded, if it did. Degraded apps
     /// keep their static findings but contribute nothing to the dynamic
     /// tables — they are *unobserved*, not "not pinning".
@@ -111,6 +115,7 @@ impl AppRecord {
             weak_pinned: any_weak_pinned_offer(dynamic),
             n_handshakes_baseline: dynamic.baseline.n_handshakes(),
             settled_rerun: dynamic.settled_rerun,
+            breaker_trips: dynamic.breaker_trips,
             static_findings,
             pinned_destinations,
             used_destinations,
@@ -143,7 +148,60 @@ impl AppRecord {
             circumvention: None,
             n_handshakes_baseline: 0,
             settled_rerun: false,
+            breaker_trips: 0,
             error: Some(error),
+        }
+    }
+
+    /// The journal image of this record's dynamic observables. Everything
+    /// else ([`AppRecord::id`], [`AppRecord::static_findings`]) is
+    /// recomputed from the regenerated world on replay.
+    pub fn to_measured(&self) -> MeasuredApp {
+        MeasuredApp {
+            pinned_destinations: self.pinned_destinations.clone(),
+            used_destinations: self.used_destinations.clone(),
+            weak_overall: self.weak_overall,
+            weak_pinned: self.weak_pinned,
+            pinned_bodies: self.pinned_bodies.clone(),
+            unpinned_bodies: self.unpinned_bodies.clone(),
+            circumvention: self
+                .circumvention
+                .as_ref()
+                .map(|c| (c.attempted.clone(), c.succeeded.clone())),
+            n_handshakes_baseline: self.n_handshakes_baseline as u64,
+            settled_rerun: self.settled_rerun,
+            breaker_trips: self.breaker_trips,
+        }
+    }
+
+    /// Rebuilds a record from a journaled [`MeasuredApp`] plus the
+    /// world-derived fields. Inverse of [`AppRecord::to_measured`].
+    pub fn from_measured(
+        app_index: usize,
+        id: AppId,
+        static_findings: StaticFindings,
+        m: &MeasuredApp,
+    ) -> Self {
+        AppRecord {
+            app_index,
+            id,
+            static_findings,
+            pinned_destinations: m.pinned_destinations.clone(),
+            used_destinations: m.used_destinations.clone(),
+            weak_overall: m.weak_overall,
+            weak_pinned: m.weak_pinned,
+            pinned_bodies: m.pinned_bodies.clone(),
+            unpinned_bodies: m.unpinned_bodies.clone(),
+            circumvention: m.circumvention.as_ref().map(|(attempted, succeeded)| {
+                CircumventionSummary {
+                    attempted: attempted.clone(),
+                    succeeded: succeeded.clone(),
+                }
+            }),
+            n_handshakes_baseline: m.n_handshakes_baseline as usize,
+            settled_rerun: m.settled_rerun,
+            breaker_trips: m.breaker_trips,
+            error: None,
         }
     }
 

@@ -1,18 +1,62 @@
-//! The study driver.
+//! The study driver: a supervised, journaled, resumable measurement run.
+//!
+//! [`Study::run`] still presents the original all-in-one interface, but
+//! underneath every run is supervised: apps are pulled from a shared work
+//! queue by panic-isolated workers, each completed app is committed to a
+//! write-ahead [`ResultJournal`], and [`StudyResults`] is materialized by
+//! *replaying* that journal against the regenerated world. Because an
+//! uninterrupted run and a [`Study::resume`] from a partial journal
+//! materialize through the same replay path, their results are identical
+//! byte for byte.
 
+use crate::journal::{AppOutcome, JournalEntry, JournalError, ResultJournal};
 use crate::record::AppRecord;
 use pinning_analysis::circumvent::circumvent_app;
 use pinning_analysis::dynamics::pipeline::{try_analyze_app, DynamicEnv, RetryPolicy};
 use pinning_analysis::statics::analyze_package;
 use pinning_app::pii::DeviceIdentity;
 use pinning_app::platform::Platform;
+use pinning_crypto::sha256;
+use pinning_netsim::breaker::BreakerConfig;
 use pinning_netsim::faults::{FaultConfig, MeasurementError};
 use pinning_store::config::WorldConfig;
 use pinning_store::datasets::{
     build_datasets, collision_report, CollisionReport, Dataset, DatasetKind,
 };
 use pinning_store::world::World;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Supervision knobs: watchdog telemetry plus the crash/kill test hooks.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorConfig {
+    /// Wall-clock watchdog per app, seconds (0 = disabled). Telemetry
+    /// only: a breach is counted in [`RunHealth`] — it never aborts the
+    /// app or alters results, because wall-clock time must not influence
+    /// the deterministic measurement.
+    pub watchdog_secs: u64,
+    /// Test hook: stop committing after exactly this many *fresh* apps,
+    /// simulating the process dying mid-run. The run returns
+    /// [`StudyOutcome::Interrupted`] with the journal as written so far.
+    pub kill_after_apps: Option<usize>,
+    /// Test hook: panic the worker measuring this app index, exercising
+    /// the supervisor's panic isolation.
+    pub inject_panic_app: Option<usize>,
+}
+
+impl SupervisorConfig {
+    /// Production defaults: 5-minute watchdog, no injected failures.
+    pub fn standard() -> Self {
+        SupervisorConfig {
+            watchdog_secs: 300,
+            kill_after_apps: None,
+            inject_panic_app: None,
+        }
+    }
+}
 
 /// Study configuration.
 #[derive(Debug, Clone)]
@@ -25,18 +69,33 @@ pub struct StudyConfig {
     pub faults: FaultConfig,
     /// Retry policy for faulted run pairs.
     pub retry: RetryPolicy,
+    /// Per-endpoint circuit-breaker tuning (`None` = disabled). Breakers
+    /// only feed on injected faults, so a fault-free study is unaffected
+    /// either way.
+    pub breaker: Option<BreakerConfig>,
+    /// Supervision knobs (watchdog + test hooks). Deliberately excluded
+    /// from [`StudyConfig::fingerprint`]: killing or panicking a run must
+    /// not change what journal its survivors belong to.
+    pub supervisor: SupervisorConfig,
 }
 
 impl StudyConfig {
     /// Paper-scale study.
     pub fn paper_scale(seed: u64) -> Self {
+        let world = WorldConfig::paper_scale(seed);
+        // Unique apps never exceed both platforms' dataset draws; more
+        // workers than that would just idle.
+        let max_useful = 2 * (world.common_size + world.popular_size + world.random_size);
         StudyConfig {
-            world: WorldConfig::paper_scale(seed),
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
-                .unwrap_or(4),
+                .unwrap_or(4)
+                .min(max_useful.max(1)),
+            world,
             faults: FaultConfig::none(),
             retry: RetryPolicy::default(),
+            breaker: Some(BreakerConfig::default()),
+            supervisor: SupervisorConfig::standard(),
         }
     }
 
@@ -47,11 +106,67 @@ impl StudyConfig {
             threads: 2,
             faults: FaultConfig::none(),
             retry: RetryPolicy::default(),
+            breaker: Some(BreakerConfig::default()),
+            supervisor: SupervisorConfig::standard(),
         }
+    }
+
+    /// Fingerprint of everything that determines measurement *results*:
+    /// world, faults, retry, breaker. Threads and supervision are excluded
+    /// — they change scheduling and survival, never observables — so a
+    /// journal written by a killed 8-worker run resumes cleanly on 1.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        let repr = format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            self.world, self.faults, self.retry, self.breaker
+        );
+        sha256(repr.as_bytes())
+    }
+
+    /// A fresh write-ahead journal bound to this configuration.
+    pub fn journal(&self) -> ResultJournal {
+        ResultJournal::create(self.fingerprint())
     }
 }
 
-/// The study: configuration plus the run method.
+/// Run-health telemetry: what the supervision layer absorbed so the study
+/// could finish. Rendered by `tables::render_run_health`, deliberately
+/// *outside* the deterministic report tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunHealth {
+    /// Worker panics converted into degraded records.
+    pub panics_recovered: u32,
+    /// Circuit-breaker trips summed over all apps.
+    pub breaker_trips: u32,
+    /// Apps whose wall-clock measurement exceeded the watchdog deadline.
+    pub watchdog_breaches: u32,
+    /// Journals that lost records to corruption during this run's resume.
+    pub journal_truncations: u32,
+    /// Bytes quarantined past the last intact journal record.
+    pub quarantined_bytes: u64,
+    /// Apps recovered from the journal instead of re-measured.
+    pub resumed_apps: usize,
+    /// Apps measured by this process.
+    pub fresh_apps: usize,
+}
+
+/// How a journaled run ended.
+#[derive(Debug)]
+pub enum StudyOutcome {
+    /// Every app committed; the full results.
+    Completed(Box<StudyResults>),
+    /// The run was killed (via [`SupervisorConfig::kill_after_apps`])
+    /// before finishing; the journal holds every committed app and can be
+    /// fed to [`Study::resume`].
+    Interrupted {
+        /// The journal as written up to the kill.
+        journal: ResultJournal,
+        /// Total committed apps (resumed + fresh).
+        apps_committed: usize,
+    },
+}
+
+/// The study: configuration plus the run methods.
 #[derive(Debug)]
 pub struct Study {
     config: StudyConfig,
@@ -69,20 +184,95 @@ impl Study {
     /// Never panics under fault injection: an app whose measurement keeps
     /// degrading past the retry budget becomes an [`AppRecord::failed`]
     /// record (static findings kept, dynamic observables empty) and shows
-    /// up in [`StudyResults::degraded_apps`].
+    /// up in [`StudyResults::degraded_apps`]. A worker that *panics* is
+    /// likewise contained: the app degrades with
+    /// [`MeasurementError::WorkerPanic`] and the study completes.
+    ///
+    /// Panics if the configuration requests a kill
+    /// ([`SupervisorConfig::kill_after_apps`]) — interruptible runs must
+    /// use [`Study::run_with_journal`] to keep the journal.
     pub fn run(self) -> StudyResults {
+        let journal = self.config.journal();
+        match self.run_with_journal(journal) {
+            Ok(StudyOutcome::Completed(results)) => *results,
+            Ok(StudyOutcome::Interrupted { .. }) => {
+                panic!("kill_after_apps set; use run_with_journal to keep the journal")
+            }
+            Err(e) => unreachable!("fresh journal always matches its own config: {e}"),
+        }
+    }
+
+    /// Runs the study against an existing journal, committing each app as
+    /// it completes and skipping apps the journal already holds.
+    ///
+    /// Errors if the journal's fingerprint belongs to a different
+    /// configuration. Returns [`StudyOutcome::Interrupted`] only when
+    /// [`SupervisorConfig::kill_after_apps`] fires.
+    pub fn run_with_journal(self, journal: ResultJournal) -> Result<StudyOutcome, JournalError> {
+        self.execute(journal, RunHealth::default())
+    }
+
+    /// Resumes a study from a journal image (e.g. read back from disk
+    /// after a crash): recovers the intact prefix, re-measures only the
+    /// missing apps, and materializes results identical to an
+    /// uninterrupted run of the same configuration.
+    ///
+    /// Damaged trailing records are quarantined (their apps are simply
+    /// re-measured) and counted in [`RunHealth`]; a damaged *header* or a
+    /// fingerprint from a different configuration is an error.
+    pub fn resume(self, journal_bytes: &[u8]) -> Result<StudyOutcome, JournalError> {
+        let replay = ResultJournal::open(journal_bytes)?;
+        if replay.fingerprint != self.config.fingerprint() {
+            return Err(JournalError::FingerprintMismatch);
+        }
+        let mut health = RunHealth::default();
+        if replay.truncated() {
+            health.journal_truncations = 1;
+            health.quarantined_bytes = replay.quarantined_bytes as u64;
+        }
+        // Rebuild a clean journal from the recovered prefix: encoding is
+        // deterministic, so this both self-heals the torn tail and keeps
+        // append working.
+        let mut journal = self.config.journal();
+        for entry in &replay.entries {
+            journal.append(entry);
+        }
+        self.execute(journal, health)
+    }
+
+    fn execute(
+        self,
+        journal: ResultJournal,
+        mut health: RunHealth,
+    ) -> Result<StudyOutcome, JournalError> {
+        let replay = ResultJournal::open(journal.as_bytes())?;
+        if replay.fingerprint != self.config.fingerprint() {
+            return Err(JournalError::FingerprintMismatch);
+        }
+        let done: BTreeSet<usize> = replay
+            .entries
+            .iter()
+            .map(|e| e.app_index as usize)
+            .collect();
+        health.resumed_apps = done.len();
+
         let world = World::generate(self.config.world.clone());
         let datasets = build_datasets(&world);
         let collisions = collision_report(&datasets);
 
-        // Unique apps across all datasets.
+        // Unique apps across all datasets; only the not-yet-committed ones
+        // go on the work queue.
         let unique: BTreeSet<usize> = datasets
             .iter()
             .flat_map(|d| d.app_indices.iter().copied())
             .collect();
-        let unique: Vec<usize> = unique.into_iter().collect();
+        let pending: Vec<usize> = unique
+            .iter()
+            .copied()
+            .filter(|i| !done.contains(i))
+            .collect();
 
-        let env = DynamicEnv::new(
+        let mut env = DynamicEnv::new(
             &world.network,
             world.universe.aosp_oem.clone(),
             world.universe.ios.clone(),
@@ -91,58 +281,135 @@ impl Study {
         )
         .with_faults(self.config.faults)
         .with_retry(self.config.retry);
+        if let Some(b) = self.config.breaker {
+            env = env.with_breaker(b);
+        }
+        let env = env;
         let identity = env.identity.clone();
         let decrypt_key = self.config.world.ios_encryption_seed;
 
-        let process = |&app_index: &usize| -> (usize, AppRecord) {
+        // One app, measured to a journal-ready outcome. Static findings
+        // are *not* measured here — they are recomputed deterministically
+        // at materialization, so the journal stays small.
+        let measure = |app_index: usize| -> AppOutcome {
+            let app = &world.apps[app_index];
+            if self.config.supervisor.inject_panic_app == Some(app_index) {
+                panic!("injected worker panic (supervisor test hook)");
+            }
+            match try_analyze_app(&env, app) {
+                Ok(dynamic) => {
+                    let pinned = dynamic.pinned_destinations();
+                    let circ = (!pinned.is_empty()).then(|| circumvent_app(&env, app, &pinned));
+                    // Assemble once to reuse the record's extraction logic,
+                    // then keep only the journalable observables.
+                    let record = AppRecord::assemble(
+                        app_index,
+                        app.id.clone(),
+                        Default::default(),
+                        &dynamic,
+                        circ.as_ref(),
+                    );
+                    AppOutcome::Measured(Box::new(record.to_measured()))
+                }
+                Err(error) => AppOutcome::Failed(error),
+            }
+        };
+
+        // The supervisor: a shared work queue drained by panic-isolated
+        // workers, committing one journal record per completed app under a
+        // single lock (append + kill-check are atomic, so a kill after N
+        // commits leaves exactly N records).
+        let killed = AtomicBool::new(false);
+        let watchdog_breaches = AtomicU32::new(0);
+        let queue: Mutex<VecDeque<usize>> = Mutex::new(pending.iter().copied().collect());
+        // (journal, fresh commits this process)
+        let committed: Mutex<(ResultJournal, usize)> = Mutex::new((journal, 0));
+        let kill_after = self.config.supervisor.kill_after_apps;
+        let watchdog = Duration::from_secs(self.config.supervisor.watchdog_secs);
+        let threads = self.config.threads.max(1).min(pending.len().max(1));
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    if killed.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let Some(app_index) = queue.lock().expect("queue lock").pop_front() else {
+                        return;
+                    };
+                    let started = Instant::now();
+                    // Panic isolation: a crashing pipeline degrades this
+                    // one app instead of poisoning the whole run.
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| measure(app_index))) {
+                        Ok(outcome) => outcome,
+                        Err(_) => AppOutcome::Failed(MeasurementError::WorkerPanic),
+                    };
+                    if !watchdog.is_zero() && started.elapsed() > watchdog {
+                        watchdog_breaches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let mut slot = committed.lock().expect("journal lock");
+                    if killed.load(Ordering::Acquire) {
+                        return; // the process "died" while we measured
+                    }
+                    slot.0.append(&JournalEntry {
+                        app_index: app_index as u64,
+                        outcome,
+                    });
+                    slot.1 += 1;
+                    if kill_after == Some(slot.1) {
+                        killed.store(true, Ordering::Release);
+                        return;
+                    }
+                });
+            }
+        });
+
+        health.watchdog_breaches = watchdog_breaches.into_inner();
+        let (journal, fresh) = committed.into_inner().expect("journal lock");
+        health.fresh_apps = fresh;
+        if killed.into_inner() {
+            return Ok(StudyOutcome::Interrupted {
+                apps_committed: journal.len(),
+                journal,
+            });
+        }
+
+        // Materialize results by replaying the finished journal: records
+        // come from committed observables plus world-derived statics, so an
+        // uninterrupted run and a resume produce identical results.
+        let replay = ResultJournal::open(journal.as_bytes())
+            .expect("journal written by this process is intact");
+        let mut records: BTreeMap<usize, AppRecord> = BTreeMap::new();
+        for entry in &replay.entries {
+            let app_index = entry.app_index as usize;
             let app = &world.apps[app_index];
             let static_findings = analyze_package(
                 &app.package,
                 (app.id.platform == Platform::Ios).then_some(decrypt_key),
             );
-            let record = match try_analyze_app(&env, app) {
-                Ok(dynamic) => {
-                    let pinned = dynamic.pinned_destinations();
-                    let circ = (!pinned.is_empty()).then(|| circumvent_app(&env, app, &pinned));
-                    AppRecord::assemble(
-                        app_index,
-                        app.id.clone(),
-                        static_findings,
-                        &dynamic,
-                        circ.as_ref(),
-                    )
+            let record = match &entry.outcome {
+                AppOutcome::Measured(m) => {
+                    health.breaker_trips += m.breaker_trips;
+                    AppRecord::from_measured(app_index, app.id.clone(), static_findings, m)
                 }
-                Err(error) => AppRecord::failed(app_index, app.id.clone(), static_findings, error),
+                AppOutcome::Failed(error) => {
+                    if *error == MeasurementError::WorkerPanic {
+                        health.panics_recovered += 1;
+                    }
+                    AppRecord::failed(app_index, app.id.clone(), static_findings, *error)
+                }
             };
-            (app_index, record)
-        };
+            records.insert(app_index, record);
+        }
 
-        let records: BTreeMap<usize, AppRecord> = if self.config.threads <= 1 {
-            unique.iter().map(process).collect()
-        } else {
-            let threads = self.config.threads.min(unique.len().max(1));
-            let chunk = unique.len().div_ceil(threads);
-            let mut collected: Vec<(usize, AppRecord)> = Vec::with_capacity(unique.len());
-            let process = &process;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for part in unique.chunks(chunk.max(1)) {
-                    handles.push(scope.spawn(move || part.iter().map(process).collect::<Vec<_>>()));
-                }
-                for h in handles {
-                    collected.extend(h.join().expect("pipeline worker panicked"));
-                }
-            });
-            collected.into_iter().collect()
-        };
-
-        StudyResults {
+        Ok(StudyOutcome::Completed(Box::new(StudyResults {
             world,
             datasets,
             collisions,
             records,
             identity,
-        }
+            health,
+        })))
     }
 }
 
@@ -159,6 +426,9 @@ pub struct StudyResults {
     pub records: BTreeMap<usize, AppRecord>,
     /// The test-device identity used for PII detection.
     pub identity: DeviceIdentity,
+    /// Supervision telemetry for this run (not part of the deterministic
+    /// report tables: a resumed run legitimately differs here).
+    pub health: RunHealth,
 }
 
 impl StudyResults {
@@ -221,6 +491,15 @@ mod tests {
 
     fn results() -> StudyResults {
         Study::new(StudyConfig::tiny(0x57D7)).run()
+    }
+
+    fn completed(outcome: StudyOutcome) -> StudyResults {
+        match outcome {
+            StudyOutcome::Completed(r) => *r,
+            StudyOutcome::Interrupted { apps_committed, .. } => {
+                panic!("expected completion, interrupted after {apps_committed}")
+            }
+        }
     }
 
     #[test]
@@ -306,6 +585,10 @@ mod tests {
         let r = results();
         assert!(r.degraded_apps().is_empty());
         assert!(r.degraded_summary().is_empty());
+        assert_eq!(r.health.panics_recovered, 0);
+        assert_eq!(r.health.breaker_trips, 0);
+        assert_eq!(r.health.resumed_apps, 0);
+        assert_eq!(r.health.fresh_apps, r.records.len());
     }
 
     #[test]
@@ -324,5 +607,90 @@ mod tests {
             .platform_records(Platform::Ios)
             .iter()
             .all(|rec| !rec.static_findings.scan_blocked_encrypted));
+    }
+
+    #[test]
+    fn kill_leaves_exactly_n_committed_records() {
+        let mut cfg = StudyConfig::tiny(0x4B);
+        cfg.supervisor.kill_after_apps = Some(5);
+        let journal = cfg.journal();
+        match Study::new(cfg).run_with_journal(journal).unwrap() {
+            StudyOutcome::Interrupted {
+                journal,
+                apps_committed,
+            } => {
+                assert_eq!(apps_committed, 5);
+                assert_eq!(journal.len(), 5);
+            }
+            StudyOutcome::Completed(_) => panic!("kill_after_apps must interrupt"),
+        }
+    }
+
+    #[test]
+    fn resume_completes_a_killed_run() {
+        let mut cfg = StudyConfig::tiny(0x4C);
+        cfg.supervisor.kill_after_apps = Some(4);
+        let journal = cfg.journal();
+        let StudyOutcome::Interrupted { journal, .. } =
+            Study::new(cfg.clone()).run_with_journal(journal).unwrap()
+        else {
+            panic!("expected interruption")
+        };
+
+        cfg.supervisor.kill_after_apps = None;
+        let resumed = completed(Study::new(cfg.clone()).resume(journal.as_bytes()).unwrap());
+        let uninterrupted = Study::new(cfg).run();
+        assert_eq!(resumed.records.len(), uninterrupted.records.len());
+        assert_eq!(resumed.health.resumed_apps, 4);
+        assert_eq!(
+            resumed.health.resumed_apps + resumed.health.fresh_apps,
+            resumed.records.len()
+        );
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_journal() {
+        let journal = StudyConfig::tiny(1).journal();
+        let err = Study::new(StudyConfig::tiny(2))
+            .resume(journal.as_bytes())
+            .unwrap_err();
+        assert_eq!(err, JournalError::FingerprintMismatch);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_fingerprint_but_seeds_do() {
+        let mut a = StudyConfig::tiny(7);
+        let mut b = StudyConfig::tiny(7);
+        b.threads = 64;
+        b.supervisor.kill_after_apps = Some(1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.world.seed = 8;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn injected_panic_degrades_exactly_that_app() {
+        let probe = StudyConfig::tiny(0x9A);
+        let victim = *Study::new(probe.clone())
+            .run()
+            .records
+            .keys()
+            .next()
+            .expect("tiny world has apps");
+
+        let mut cfg = probe;
+        cfg.supervisor.inject_panic_app = Some(victim);
+        let r = Study::new(cfg).run();
+        assert_eq!(
+            r.records[&victim].error,
+            Some(MeasurementError::WorkerPanic)
+        );
+        assert_eq!(r.health.panics_recovered, 1);
+        let other_degraded = r
+            .degraded_apps()
+            .iter()
+            .filter(|(rec, _)| rec.app_index != victim)
+            .count();
+        assert_eq!(other_degraded, 0, "panic must degrade exactly one app");
     }
 }

@@ -679,6 +679,26 @@ impl StudyResults {
         out
     }
 
+    /// Renders the "Run health" table: supervision and journal telemetry
+    /// for this run (panics recovered, breaker trips, truncations, resumed
+    /// vs fresh apps).
+    ///
+    /// Deliberately *not* part of [`StudyResults::render_all`]: run health
+    /// describes how this particular process survived, so a killed-and-
+    /// resumed run legitimately differs from an uninterrupted one here
+    /// while every deterministic report byte stays identical.
+    pub fn render_run_health(&self) -> String {
+        tables::table_run_health(&tables::RunHealthReport {
+            panics_recovered: self.health.panics_recovered,
+            breaker_trips: self.health.breaker_trips,
+            watchdog_breaches: self.health.watchdog_breaches,
+            journal_truncations: self.health.journal_truncations,
+            quarantined_bytes: self.health.quarantined_bytes,
+            resumed_apps: self.health.resumed_apps,
+            fresh_apps: self.health.fresh_apps,
+        })
+    }
+
     /// A one-paragraph abstract with the headline numbers, mirroring the
     /// paper's "To summarize our key results" list (§1).
     pub fn summary(&self) -> String {

@@ -6,6 +6,7 @@
 //! hooks, and — on iOS — the OS background traffic that §4.5 had to
 //! engineer around.
 
+use crate::breaker::{Admission, BreakerSet};
 use crate::faults::{FaultKind, FaultPlan, RunAbort};
 use crate::flow::{Capture, FaultEvent, FlowOrigin, FlowRecord};
 use crate::network::Network;
@@ -43,6 +44,9 @@ pub struct RunConfig<'a> {
     pub run_tag: String,
     /// Fault schedule applied to this run (`None` = no injection).
     pub faults: Option<&'a FaultPlan>,
+    /// Per-endpoint circuit breakers shared across this app's runs
+    /// (`None` = never short-circuit). Only injected faults feed them.
+    pub breaker: Option<&'a BreakerSet>,
 }
 
 impl<'a> RunConfig<'a> {
@@ -56,6 +60,7 @@ impl<'a> RunConfig<'a> {
             frida_disable_pinning: false,
             run_tag: "baseline".to_string(),
             faults: None,
+            breaker: None,
         }
     }
 
@@ -363,12 +368,30 @@ impl<'a> Device<'a> {
 
         let attempts = if cfg.proxy.is_some() { 2 } else { 1 };
         for attempt in 0..attempts {
+            // An open circuit breaker short-circuits the attempt before any
+            // packets move: journal the fault kind that tripped it so the
+            // detector treats the destination as unobserved, same as a live
+            // injected fault would.
+            if let Some(b) = cfg.breaker {
+                if let Admission::Skip(kind) = b.admit(&conn.domain) {
+                    faults.push(FaultEvent {
+                        domain: Some(conn.domain.clone()),
+                        kind,
+                        at_secs: conn.at_secs + attempt,
+                    });
+                    continue;
+                }
+            }
+
             // Injected test-bed faults take precedence over everything the
             // endpoints would do: the packets never make it that far.
             if let Some(kind) = cfg
                 .faults
                 .and_then(|p| p.connection_fault(run_key, &conn.domain, attempt))
             {
+                if let Some(b) = cfg.breaker {
+                    b.record_fault(&conn.domain, kind);
+                }
                 faults.push(FaultEvent {
                     domain: Some(conn.domain.clone()),
                     kind,
@@ -378,6 +401,13 @@ impl<'a> Device<'a> {
                     flows.push(flow);
                 }
                 continue; // the app retries, like any failed attempt
+            }
+
+            // No injected fault on this attempt: the breaker sees it as a
+            // success regardless of what the endpoint does next, keeping
+            // breaker state a pure function of the injected-fault sequence.
+            if let Some(b) = cfg.breaker {
+                b.record_success(&conn.domain);
             }
 
             // Server-side flakiness: a dropped attempt shows a server RST.

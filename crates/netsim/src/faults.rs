@@ -89,6 +89,9 @@ pub enum MeasurementError {
     DeviceCrash,
     /// The per-app retry deadline elapsed before a clean pair of runs.
     Deadline,
+    /// The worker measuring this app panicked; the supervisor recovered
+    /// and degraded the app instead of aborting the study.
+    WorkerPanic,
 }
 
 impl MeasurementError {
@@ -101,17 +104,19 @@ impl MeasurementError {
             MeasurementError::Truncated => "truncated",
             MeasurementError::DeviceCrash => "device-crash",
             MeasurementError::Deadline => "deadline",
+            MeasurementError::WorkerPanic => "worker-panic",
         }
     }
 
     /// All variants, in display order (for summary tables).
-    pub const ALL: [MeasurementError; 6] = [
+    pub const ALL: [MeasurementError; 7] = [
         MeasurementError::Dns,
         MeasurementError::Tcp,
         MeasurementError::Handshake,
         MeasurementError::Truncated,
         MeasurementError::DeviceCrash,
         MeasurementError::Deadline,
+        MeasurementError::WorkerPanic,
     ];
 }
 

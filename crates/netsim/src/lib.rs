@@ -24,11 +24,14 @@
 //! * [`faults`] — a seeded fault-injection schedule (DNS failures, TCP
 //!   resets, handshake timeouts, truncation, proxy-CA loss, device
 //!   crashes) modelling the degraded runs the paper's physical pipeline
-//!   suffered (§4.5, §5.6).
+//!   suffered (§4.5, §5.6);
+//! * [`breaker`] — per-endpoint circuit breakers (closed→open→half-open)
+//!   that stop persistently faulty hosts from consuming retry budget.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod device;
 pub mod faults;
 pub mod flow;
@@ -37,6 +40,7 @@ pub mod proxy;
 pub mod server;
 pub mod simcap;
 
+pub use breaker::{Admission, BreakerConfig, BreakerSet, BreakerState};
 pub use device::{Device, RunConfig};
 pub use faults::{FaultConfig, FaultKind, FaultPlan, MeasurementError, RunAbort};
 pub use flow::{Capture, FaultEvent, FlowOrigin, FlowRecord};

@@ -425,6 +425,47 @@ pub fn table_ct(
     out
 }
 
+/// Supervision telemetry for one study run (the "Run health" table).
+///
+/// Kept separate from the deterministic report tables: a resumed run
+/// legitimately differs here (resumed vs fresh counts) while every Table
+/// 1–9 byte stays identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunHealthReport {
+    /// Worker panics converted into degraded records.
+    pub panics_recovered: u32,
+    /// Circuit-breaker trips summed over all apps.
+    pub breaker_trips: u32,
+    /// Apps whose wall-clock measurement exceeded the watchdog deadline.
+    pub watchdog_breaches: u32,
+    /// Journals that lost records to corruption during resume.
+    pub journal_truncations: u32,
+    /// Bytes quarantined past the last intact journal record.
+    pub quarantined_bytes: u64,
+    /// Apps recovered from the journal instead of re-measured.
+    pub resumed_apps: usize,
+    /// Apps measured by this process.
+    pub fresh_apps: usize,
+}
+
+/// Renders the "Run health" table: what the supervision layer absorbed so
+/// the study could finish.
+pub fn table_run_health(r: &RunHealthReport) -> String {
+    let mut t = TextTable::new(
+        "Run health (supervision & journal telemetry)",
+        &["Event", "Count"],
+    )
+    .aligns(&[Align::Left, Align::Right]);
+    t.row(&["worker panics recovered", &r.panics_recovered.to_string()]);
+    t.row(&["circuit-breaker trips", &r.breaker_trips.to_string()]);
+    t.row(&["watchdog breaches", &r.watchdog_breaches.to_string()]);
+    t.row(&["journal truncations", &r.journal_truncations.to_string()]);
+    t.row(&["quarantined bytes", &r.quarantined_bytes.to_string()]);
+    t.row(&["apps resumed from journal", &r.resumed_apps.to_string()]);
+    t.row(&["apps measured fresh", &r.fresh_apps.to_string()]);
+    t.render()
+}
+
 /// A quick textual share bar used in several summaries.
 pub fn share_bar(label: &str, num: usize, den: usize, width: usize) -> String {
     let p = if den == 0 {
@@ -595,6 +636,25 @@ mod tests {
         );
         let s = table_categories(Platform::Android, &rows);
         assert!(s.contains("Tools (15)"));
+    }
+
+    #[test]
+    fn run_health_renders_every_counter() {
+        let s = table_run_health(&RunHealthReport {
+            panics_recovered: 1,
+            breaker_trips: 7,
+            watchdog_breaches: 0,
+            journal_truncations: 1,
+            quarantined_bytes: 58,
+            resumed_apps: 4,
+            fresh_apps: 46,
+        });
+        assert!(s.contains("Run health"));
+        assert!(s.contains("worker panics recovered"));
+        assert!(s.contains("circuit-breaker trips"));
+        for n in ["1", "7", "58", "4", "46"] {
+            assert!(s.contains(n), "missing {n} in:\n{s}");
+        }
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Chaos smoke: a scripted crash-and-resume cycle under fault injection.
+//!
+//! ```sh
+//! cargo run --release --example chaos_smoke            # default seed
+//! cargo run --release --example chaos_smoke -- 7 4     # seed 7, kill after 4
+//! ```
+//!
+//! Runs a tiny-scale study under the chaos fault schedule, kills it after
+//! N committed apps, then resumes from the surviving journal bytes and
+//! checks the resumed report is byte-identical to an uninterrupted run of
+//! the same configuration. Exits nonzero on any divergence, so CI can use
+//! it as a release-mode crash-safety gate.
+
+use app_tls_pinning::core::{Study, StudyConfig, StudyOutcome};
+use app_tls_pinning::netsim::faults::FaultConfig;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2022);
+    let kill_after: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    let config = || {
+        let mut cfg = StudyConfig::tiny(seed);
+        cfg.faults = FaultConfig::chaos();
+        cfg
+    };
+
+    // Phase 1: run under chaos faults, die after `kill_after` apps.
+    eprintln!("phase 1: chaos study, killed after {kill_after} committed apps…");
+    let t0 = Instant::now();
+    let mut killed_cfg = config();
+    killed_cfg.supervisor.kill_after_apps = Some(kill_after);
+    let journal = killed_cfg.journal();
+    let outcome = Study::new(killed_cfg)
+        .run_with_journal(journal)
+        .expect("fresh journal must match its own config");
+    let StudyOutcome::Interrupted {
+        journal,
+        apps_committed,
+    } = outcome
+    else {
+        eprintln!("error: kill_after_apps={kill_after} did not interrupt the run");
+        std::process::exit(1);
+    };
+    eprintln!(
+        "  killed with {apps_committed} apps committed ({} journal bytes, {:.1?})",
+        journal.as_bytes().len(),
+        t0.elapsed()
+    );
+
+    // Phase 2: only the journal bytes survive the "crash"; resume from them.
+    eprintln!("phase 2: resuming from the journal…");
+    let disk_image = journal.into_bytes();
+    let t1 = Instant::now();
+    let resumed = match Study::new(config()).resume(&disk_image) {
+        Ok(StudyOutcome::Completed(r)) => *r,
+        Ok(StudyOutcome::Interrupted { .. }) => {
+            eprintln!("error: resume without a kill switch must complete");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: resume rejected its own journal: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("  resume finished in {:.1?}", t1.elapsed());
+
+    // Phase 3: the resumed report must be byte-identical to an
+    // uninterrupted run of the same seed and fault schedule.
+    eprintln!("phase 3: comparing against an uninterrupted run…");
+    let uninterrupted = Study::new(config()).run();
+    if resumed.render_all() != uninterrupted.render_all()
+        || resumed.render_degraded() != uninterrupted.render_degraded()
+    {
+        eprintln!("error: resumed study diverged from the uninterrupted run");
+        std::process::exit(1);
+    }
+
+    println!("{}", resumed.render_run_health());
+    println!(
+        "chaos smoke OK: {} resumed + {} fresh apps, report byte-identical",
+        resumed.health.resumed_apps, resumed.health.fresh_apps
+    );
+}

@@ -50,4 +50,7 @@ fn main() {
     );
 
     println!("{}", results.render_all());
+    // Supervision telemetry goes to stderr so stdout stays exactly the
+    // paper's tables and figures.
+    eprintln!("{}", results.render_run_health());
 }

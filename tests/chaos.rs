@@ -13,8 +13,8 @@
 //!    false positives, under every schedule.
 
 use pinning_analysis::dynamics::pipeline::{try_analyze_app, DynamicEnv, RetryPolicy};
-use pinning_core::{Study, StudyConfig};
-use pinning_netsim::faults::{FaultConfig, FaultPlan};
+use pinning_core::{Study, StudyConfig, StudyOutcome};
+use pinning_netsim::faults::{FaultConfig, FaultPlan, MeasurementError};
 use pinning_store::config::WorldConfig;
 use pinning_store::world::World;
 use std::collections::BTreeSet;
@@ -157,6 +157,7 @@ fn high_fault_rates_produce_a_nonempty_degraded_summary() {
     cfg.retry = RetryPolicy {
         max_attempts: 2,
         backoff_secs: 30,
+        jitter_pct: 50,
         deadline_secs: 900,
     };
     let r = Study::new(cfg).run();
@@ -180,6 +181,114 @@ fn high_fault_rates_produce_a_nonempty_degraded_summary() {
 }
 
 #[test]
+fn killed_faulted_study_resumes_byte_identically() {
+    // A faulted study, killed after 6 committed apps, then resumed from
+    // its journal, must reproduce the uninterrupted same-seed run exactly
+    // — proven on the serialized report (every table and figure) and on
+    // the degraded-app table, the two places a divergence could hide.
+    let config = || {
+        let mut cfg = StudyConfig::tiny(0x0D1E);
+        cfg.faults = FaultConfig::chaos();
+        cfg
+    };
+
+    let mut killed_cfg = config();
+    killed_cfg.supervisor.kill_after_apps = Some(6);
+    let journal = killed_cfg.journal();
+    let StudyOutcome::Interrupted {
+        journal,
+        apps_committed,
+    } = Study::new(killed_cfg).run_with_journal(journal).unwrap()
+    else {
+        panic!("kill_after_apps must interrupt the run")
+    };
+    assert_eq!(apps_committed, 6);
+
+    // Simulate process death + restart: only the journal bytes survive.
+    let disk_image = journal.into_bytes();
+    let resumed = match Study::new(config()).resume(&disk_image).unwrap() {
+        StudyOutcome::Completed(r) => *r,
+        StudyOutcome::Interrupted { .. } => panic!("resume without a kill must complete"),
+    };
+    let uninterrupted = Study::new(config()).run();
+
+    assert_eq!(resumed.health.resumed_apps, 6);
+    assert!(resumed.health.fresh_apps > 0, "tiny world has > 6 apps");
+    assert_eq!(
+        resumed.render_all(),
+        uninterrupted.render_all(),
+        "resumed report must be byte-identical"
+    );
+    assert_eq!(
+        resumed.render_degraded(),
+        uninterrupted.render_degraded(),
+        "degraded-app table must be byte-identical"
+    );
+}
+
+#[test]
+fn injected_worker_panic_degrades_one_app_not_the_study() {
+    let seed = 0xBAD_u64;
+    let clean = Study::new(StudyConfig::tiny(seed)).run();
+    let victim = *clean.records.keys().nth(2).expect("tiny world has apps");
+
+    let mut cfg = StudyConfig::tiny(seed);
+    cfg.supervisor.inject_panic_app = Some(victim);
+    let r = Study::new(cfg).run();
+
+    assert_eq!(r.records.len(), clean.records.len(), "study completed");
+    assert_eq!(
+        r.records[&victim].error,
+        Some(MeasurementError::WorkerPanic)
+    );
+    assert_eq!(r.health.panics_recovered, 1);
+    // Every other app is untouched by the neighbour's crash.
+    for (idx, rec) in &r.records {
+        if *idx == victim {
+            continue;
+        }
+        assert_eq!(
+            rec.pinned_destinations, clean.records[idx].pinned_destinations,
+            "app {idx} must not be affected"
+        );
+        assert_eq!(rec.error, None, "app {idx} must not degrade");
+    }
+    // The run-health table admits the recovery.
+    let health = r.render_run_health();
+    assert!(
+        health.contains("worker panics recovered"),
+        "run-health table missing:\n{health}"
+    );
+}
+
+#[test]
+fn breaker_trips_are_deterministic_and_surfaced() {
+    let run = || {
+        let mut cfg = StudyConfig::tiny(0x8EA6);
+        cfg.faults = FaultConfig::uniform(0.9);
+        cfg.retry = RetryPolicy {
+            max_attempts: 4,
+            backoff_secs: 10,
+            jitter_pct: 50,
+            deadline_secs: 3600,
+        };
+        Study::new(cfg).run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(
+        a.health.breaker_trips, b.health.breaker_trips,
+        "breaker state must be a pure function of the fault schedule"
+    );
+    for (idx, ra) in &a.records {
+        assert_eq!(ra.breaker_trips, b.records[idx].breaker_trips, "app {idx}");
+    }
+    assert!(
+        a.health.breaker_trips > 0,
+        "90% fault rates across 4 attempts must trip at least one breaker"
+    );
+}
+
+#[test]
 fn quiet_fault_config_reproduces_the_clean_study() {
     let clean = Study::new(StudyConfig::tiny(0xCAFE)).run();
     let mut cfg = StudyConfig::tiny(0xCAFE);
@@ -187,6 +296,7 @@ fn quiet_fault_config_reproduces_the_clean_study() {
     cfg.retry = RetryPolicy {
         max_attempts: 5,
         backoff_secs: 10,
+        jitter_pct: 25,
         deadline_secs: 3600,
     };
     let quiet = Study::new(cfg).run();

@@ -6,7 +6,9 @@
 
 use app_tls_pinning::analysis::pii::Contingency;
 use app_tls_pinning::analysis::statics::scanner;
+use app_tls_pinning::core::journal::{AppOutcome, JournalEntry, MeasuredApp, ResultJournal};
 use app_tls_pinning::crypto::{b64decode, b64encode, hex_decode, hex_encode, sha256, SplitMix64};
+use app_tls_pinning::netsim::faults::MeasurementError;
 use app_tls_pinning::pki::encode::{pem_decode_all, pem_encode};
 use app_tls_pinning::pki::name::match_hostname;
 use app_tls_pinning::pki::pin::SpkiPin;
@@ -157,6 +159,106 @@ fn wildcard_matches_exactly_one_label() {
         assert!(match_hostname(&pattern, &one_label));
         assert!(!match_hostname(&pattern, &apex));
         assert!(!match_hostname(&pattern, &two_labels));
+    }
+}
+
+fn random_entry(rng: &mut SplitMix64) -> JournalEntry {
+    let strings = |rng: &mut SplitMix64, max: u64| -> Vec<String> {
+        (0..rng.next_below(max))
+            .map(|_| format!("{}.{}.com", label(rng, 1, 12), label(rng, 1, 8)))
+            .collect()
+    };
+    let outcome = if rng.chance(0.25) {
+        let errors = MeasurementError::ALL;
+        AppOutcome::Failed(errors[rng.next_below(errors.len() as u64) as usize])
+    } else {
+        AppOutcome::Measured(Box::new(MeasuredApp {
+            pinned_destinations: strings(rng, 4),
+            used_destinations: strings(rng, 8),
+            weak_overall: rng.chance(0.5),
+            weak_pinned: rng.chance(0.5),
+            pinned_bodies: strings(rng, 3),
+            unpinned_bodies: strings(rng, 5),
+            circumvention: rng.chance(0.5).then(|| (strings(rng, 3), strings(rng, 2))),
+            n_handshakes_baseline: rng.next_below(50),
+            settled_rerun: rng.chance(0.3),
+            breaker_trips: rng.next_below(5) as u32,
+        }))
+    };
+    JournalEntry {
+        app_index: rng.next_below(10_000),
+        outcome,
+    }
+}
+
+fn random_journal(rng: &mut SplitMix64) -> (ResultJournal, Vec<JournalEntry>) {
+    let mut fingerprint = [0u8; 32];
+    rng.fill_bytes(&mut fingerprint);
+    let mut journal = ResultJournal::create(fingerprint);
+    let entries: Vec<JournalEntry> = (0..1 + rng.next_below(8))
+        .map(|_| random_entry(rng))
+        .collect();
+    for e in &entries {
+        journal.append(e);
+    }
+    (journal, entries)
+}
+
+#[test]
+fn journal_roundtrip_any_entries() {
+    let mut rng = SplitMix64::new(0x10a1);
+    for _ in 0..CASES {
+        let (journal, entries) = random_journal(&mut rng);
+        let replay = ResultJournal::open(journal.as_bytes()).unwrap();
+        assert_eq!(replay.entries, entries);
+        assert!(!replay.truncated());
+    }
+}
+
+#[test]
+fn journal_reader_survives_random_truncation() {
+    // Cutting a journal anywhere must never panic, and every entry the
+    // reader does yield must be an exact prefix of what was written —
+    // a torn record is quarantined, never half-parsed.
+    let mut rng = SplitMix64::new(0x10a2);
+    for _ in 0..CASES {
+        let (journal, entries) = random_journal(&mut rng);
+        let bytes = journal.as_bytes();
+        let cut = rng.next_below(bytes.len() as u64 + 1) as usize;
+        match ResultJournal::open(&bytes[..cut]) {
+            Ok(replay) => {
+                assert!(replay.entries.len() <= entries.len());
+                assert_eq!(replay.entries, entries[..replay.entries.len()]);
+                // Accounting must balance: recovered + quarantined = input.
+                assert!(replay.quarantined_bytes <= cut);
+            }
+            // Only a header cut may error.
+            Err(_) => assert!(cut < 40, "record damage must not error (cut {cut})"),
+        }
+    }
+}
+
+#[test]
+fn journal_reader_survives_single_bit_flips() {
+    // Flipping any single bit must never panic and never yield a record
+    // that differs from what was written: the checksum catches payload
+    // damage, framing checks catch length damage, and header damage is a
+    // clean error.
+    let mut rng = SplitMix64::new(0x10a3);
+    for _ in 0..CASES {
+        let (journal, entries) = random_journal(&mut rng);
+        let mut bytes = journal.into_bytes();
+        let bit = rng.next_below(bytes.len() as u64 * 8);
+        bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        match ResultJournal::open(&bytes) {
+            Ok(replay) => {
+                for (got, want) in replay.entries.iter().zip(&entries) {
+                    assert_eq!(got, want, "bit flip at {bit} corrupted a record");
+                }
+                assert!(replay.entries.len() <= entries.len());
+            }
+            Err(_) => assert!(bit < 8 * 8, "only magic damage may error (bit {bit})"),
+        }
     }
 }
 
