@@ -30,6 +30,9 @@ cargo test -q -p pinning-ctlog --offline
 echo "==> chaos smoke (release-mode kill/resume cycle under faults)"
 cargo run -q --release --offline --example chaos_smoke
 
+echo "==> bench smoke (cached-vs-uncached A/B; fails on report divergence)"
+cargo bench -q -p pinning-bench --bench perf --offline -- smoke
+
 echo "==> rustdoc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 

@@ -3,13 +3,19 @@
 
 use crate::dynamics::pipeline::AppDynamicResult;
 use crate::statics::StaticFindings;
+use pinning_crypto::Sha256;
 use pinning_ctlog::PinResolver;
 use pinning_netsim::network::Network;
+use pinning_pki::cache::{self, CacheCounter};
 use pinning_pki::chain::CertificateChain;
 use pinning_pki::store::RootStore;
 use pinning_pki::time::SimTime;
 use pinning_pki::validate::{validate_chain, RevocationList, ValidationOptions};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{OnceLock, RwLock};
+
+/// Telemetry for the destination-PKI classification memo.
+pub static PKI_CLASSIFICATION: CacheCounter = CacheCounter::new("pki-classification");
 
 /// Table 6's three buckets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,6 +44,37 @@ pub fn classify_destination_pki(
         return PkiClass::DataUnavailable;
     };
     let chain = &server.chain;
+    if !cache::caching_enabled() {
+        return classify_chain(chain, mozilla, all_public, destination, now);
+    }
+    // Classification ignores hostnames (`check_hostname: false` below), so
+    // the memo key can omit `destination`: many destinations serving the
+    // same SDK chain classify once.
+    let key = classification_key(chain, mozilla, all_public, now);
+    if let Some(class) = classification_memo()
+        .read()
+        .expect("classification memo poisoned")
+        .get(&key)
+    {
+        PKI_CLASSIFICATION.hit();
+        return *class;
+    }
+    PKI_CLASSIFICATION.miss();
+    let class = classify_chain(chain, mozilla, all_public, destination, now);
+    classification_memo()
+        .write()
+        .expect("classification memo poisoned")
+        .insert(key, class);
+    class
+}
+
+fn classify_chain(
+    chain: &CertificateChain,
+    mozilla: &RootStore,
+    all_public: &[&RootStore],
+    destination: &str,
+    now: SimTime,
+) -> PkiClass {
     let opts = ValidationOptions {
         check_hostname: false,
         ..Default::default()
@@ -72,6 +109,42 @@ pub fn classify_destination_pki(
     PkiClass::CustomPki
 }
 
+fn classification_memo() -> &'static RwLock<HashMap<[u8; 32], PkiClass>> {
+    static MEMO: OnceLock<RwLock<HashMap<[u8; 32], PkiClass>>> = OnceLock::new();
+    MEMO.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Digest over everything [`classify_chain`] reads: the chain's certificate
+/// fingerprints, the content identity of every consulted store, and the
+/// evaluation time.
+fn classification_key(
+    chain: &CertificateChain,
+    mozilla: &RootStore,
+    all_public: &[&RootStore],
+    now: SimTime,
+) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(&mozilla.content_id().to_le_bytes());
+    h.update(&(all_public.len() as u64).to_le_bytes());
+    for store in all_public {
+        h.update(&store.content_id().to_le_bytes());
+    }
+    h.update(&(chain.len() as u64).to_le_bytes());
+    for cert in chain.certs() {
+        h.update(&cert.fingerprint_sha256());
+    }
+    h.update(&now.0.to_le_bytes());
+    h.finalize()
+}
+
+/// Empties the classification memo (bench A/B legs start cold).
+pub fn clear_classification_cache() {
+    classification_memo()
+        .write()
+        .expect("classification memo poisoned")
+        .clear();
+}
+
 /// Whether the destination presents a bare self-signed certificate
 /// (§5.3.1 found one per platform, with 27- and 10-year lifetimes).
 pub fn is_self_signed_destination(network: &Network, destination: &str) -> bool {
@@ -93,14 +166,11 @@ pub struct PinLevelCounts {
     pub leaf: usize,
 }
 
-/// Matches one app's static material against one dynamically-pinned
-/// destination's chain.
-pub fn pin_level_for_destination(
-    findings: &StaticFindings,
-    resolver: &PinResolver<'_>,
-    chain: &CertificateChain,
-) -> Option<bool /* is_ca */> {
-    let static_cns: BTreeSet<String> = findings
+/// The Common Names an app's static material pins: embedded certificates
+/// plus CT-resolved pin strings. Computed once per app and reused across
+/// every destination the app pins (the set does not depend on the chain).
+pub fn static_pin_cns(findings: &StaticFindings, resolver: &PinResolver<'_>) -> BTreeSet<String> {
+    findings
         .embedded_certs
         .iter()
         .map(|c| c.value.tbs.subject.common_name.clone())
@@ -111,13 +181,31 @@ pub fn pin_level_for_destination(
                 .first()
                 .map(|c| c.tbs.subject.common_name.clone())
         }))
-        .collect();
+        .collect()
+}
+
+/// Matches a precomputed CN set (see [`static_pin_cns`]) against one
+/// dynamically-pinned destination's chain.
+pub fn pin_level_with_cns(
+    static_cns: &BTreeSet<String>,
+    chain: &CertificateChain,
+) -> Option<bool /* is_ca */> {
     for (idx, cert) in chain.certs().iter().enumerate() {
         if static_cns.contains(&cert.tbs.subject.common_name) {
             return Some(cert.tbs.is_ca || idx > 0);
         }
     }
     None
+}
+
+/// Matches one app's static material against one dynamically-pinned
+/// destination's chain.
+pub fn pin_level_for_destination(
+    findings: &StaticFindings,
+    resolver: &PinResolver<'_>,
+    chain: &CertificateChain,
+) -> Option<bool /* is_ca */> {
+    pin_level_with_cns(&static_pin_cns(findings, resolver), chain)
 }
 
 /// §4.1.3 / §5.3: fraction of unique well-formed pins resolvable through

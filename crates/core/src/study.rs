@@ -148,6 +148,23 @@ pub struct RunHealth {
     pub resumed_apps: usize,
     /// Apps measured by this process.
     pub fresh_apps: usize,
+    /// Baseline snapshot of every derived-value cache, taken when the
+    /// study started executing. `render_run_health` diffs the live
+    /// counters against this, so the reported hit/miss rows cover the
+    /// whole run *including* render-time work (Table 6 classification,
+    /// the CT auditor's batched proofs). Empty when caching was
+    /// disabled for the whole run.
+    pub cache_base: Vec<pinning_pki::cache::CacheStat>,
+}
+
+/// Snapshots every derived-value cache the study exercises, in stable
+/// order: the pki certificate/validation caches, the CT proof-batch
+/// counter, and the analysis classification memo.
+pub(crate) fn cache_snapshot() -> Vec<pinning_pki::cache::CacheStat> {
+    let mut stats = pinning_pki::cache::snapshot_all();
+    stats.push(pinning_ctlog::merkle::PROOF_BATCH.snapshot());
+    stats.push(pinning_analysis::certs::PKI_CLASSIFICATION.snapshot());
+    stats
 }
 
 /// How a journaled run ended.
@@ -245,6 +262,7 @@ impl Study {
         journal: ResultJournal,
         mut health: RunHealth,
     ) -> Result<StudyOutcome, JournalError> {
+        health.cache_base = cache_snapshot();
         let replay = ResultJournal::open(journal.as_bytes())?;
         if replay.fingerprint != self.config.fingerprint() {
             return Err(JournalError::FingerprintMismatch);

@@ -6,7 +6,7 @@
 
 use crate::study::StudyResults;
 use pinning_analysis::categories::{category_table, CategoryRow};
-use pinning_analysis::certs::{classify_destination_pki, pin_level_for_destination, PkiClass};
+use pinning_analysis::certs::{classify_destination_pki, PkiClass};
 use pinning_analysis::consistency::{
     compare, summarize_common, CommonDatasetSummary, ConsistencyClass, PlatformObservation,
 };
@@ -504,11 +504,12 @@ impl StudyResults {
             }
             s.pinning_apps += 1;
             let mut matched = false;
+            let static_cns = pinning_analysis::certs::static_pin_cns(&r.static_findings, &resolver);
             for dest in &r.pinned_destinations {
                 let Some(server) = self.world.network.resolve(dest) else {
                     continue;
                 };
-                let level = pin_level_for_destination(&r.static_findings, &resolver, &server.chain);
+                let level = pinning_analysis::certs::pin_level_with_cns(&static_cns, &server.chain);
                 let Some(is_ca) = level else { continue };
                 matched = true;
                 // Identify the matched certificate for dedup: the first
@@ -542,6 +543,7 @@ impl StudyResults {
         let mut s = SpkiVsRawSummary::default();
         let resolver = pinning_ctlog::PinResolver::new(&self.world.ctlog);
         for r in self.records.values() {
+            let static_cns = pinning_analysis::certs::static_pin_cns(&r.static_findings, &resolver);
             for dest in &r.pinned_destinations {
                 let Some(server) = self.world.network.resolve(dest) else {
                     continue;
@@ -550,7 +552,7 @@ impl StudyResults {
                     continue;
                 };
                 // Only destinations whose *leaf* is the pinned certificate.
-                match pin_level_for_destination(&r.static_findings, &resolver, &server.chain) {
+                match pinning_analysis::certs::pin_level_with_cns(&static_cns, &server.chain) {
                     Some(false) => {}
                     _ => continue,
                 }
@@ -575,6 +577,7 @@ impl StudyResults {
                     // enforcement still accept it?
                     let mut renewed = leaf.clone();
                     renewed.tbs.serial = renewed.tbs.serial.wrapping_add(1);
+                    renewed.invalidate_derived(); // clones share the derived cache
                     let app = &self.world.apps[r.app_index];
                     if let Some((_, rule)) = app.pin_rule_for(dest) {
                         if rule.pins.matches_chain(&[renewed]) {
@@ -696,6 +699,19 @@ impl StudyResults {
             quarantined_bytes: self.health.quarantined_bytes,
             resumed_apps: self.health.resumed_apps,
             fresh_apps: self.health.fresh_apps,
+            // Live delta against the study-start baseline, so cache work
+            // done while rendering tables (classification, batched CT
+            // proofs) is included.
+            cache_rows: crate::study::cache_snapshot()
+                .iter()
+                .zip(&self.health.cache_base)
+                .map(|(now, base)| now.delta_since(base))
+                .map(|c| tables::CacheRow {
+                    name: c.name,
+                    hits: c.hits,
+                    misses: c.misses,
+                })
+                .collect(),
         })
     }
 

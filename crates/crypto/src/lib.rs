@@ -37,5 +37,5 @@ pub use hex::{hex_decode, hex_encode};
 pub use hmac::{hmac_sha1, hmac_sha256};
 pub use rng::SplitMix64;
 pub use sha1::{sha1, Sha1};
-pub use sha256::{sha256, Sha256};
+pub use sha256::{sha256, sha256_many, Sha256};
 pub use sig::{KeyPair, PublicKey, Signature};

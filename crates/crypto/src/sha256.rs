@@ -51,6 +51,14 @@ impl Sha256 {
         }
     }
 
+    /// Rewinds the hasher to its initial state so the allocationless struct
+    /// can be reused across a batch of independent messages.
+    pub fn reset(&mut self) {
+        self.state = H0;
+        self.len = 0;
+        self.buf_len = 0;
+    }
+
     /// Absorbs `data` into the hash state.
     pub fn update(&mut self, data: &[u8]) {
         self.len = self.len.wrapping_add(data.len() as u64);
@@ -68,13 +76,13 @@ impl Sha256 {
                 self.buf_len = 0;
             }
         }
-        // Whole blocks straight from input.
-        while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
-            self.compress(&block);
-            data = &data[64..];
+        // Whole blocks are compressed straight from the input slice; only the
+        // partial head/tail ever touches `buf`.
+        let mut blocks = data.chunks_exact(64);
+        for block in &mut blocks {
+            self.compress(block.try_into().expect("chunks_exact yields 64 bytes"));
         }
+        data = blocks.remainder();
         // Stash the tail.
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
@@ -172,6 +180,26 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
     let mut h = Sha256::new();
     h.update(data);
     h.finalize()
+}
+
+/// One-shot SHA-256 over a batch of independent messages.
+///
+/// Reuses a single hasher across the batch (rewinding between messages) so
+/// fingerprinting a pile of certificates does not reinitialise state per
+/// input. Digests are returned in input order.
+pub fn sha256_many<'a, I>(inputs: I) -> Vec<[u8; 32]>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut h = Sha256::new();
+    inputs
+        .into_iter()
+        .map(|msg| {
+            h.reset();
+            h.update(msg);
+            h.clone().finalize()
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -38,6 +38,46 @@ fn sha256_streaming_equals_oneshot() {
 }
 
 #[test]
+fn sha256_multiblock_fast_path_matches_byte_at_a_time() {
+    // The multi-block `update` fast path compresses whole 64-byte blocks
+    // straight from the caller's slice. Feeding the same message one byte at
+    // a time never triggers that path, so the two must agree for every
+    // (length, split-point) combination to prove the fast path is sound.
+    let mut rng = SplitMix64::new(0xfa57);
+    for _ in 0..CASES {
+        // Bias lengths around block boundaries where the fast path kicks in.
+        let base = rng.next_below(5) as usize * 64;
+        let data = bytes(&mut rng, base + 130);
+        let mut reference = Sha256::new();
+        for b in &data {
+            reference.update(std::slice::from_ref(b));
+        }
+        let reference = reference.finalize();
+
+        // Random split points: each segment may cover several whole blocks.
+        let at = rng.next_below(data.len() as u64 + 1) as usize;
+        let mut h = Sha256::new();
+        h.update(&data[..at]);
+        h.update(&data[at..]);
+        assert_eq!(h.finalize(), reference, "len {} split {at}", data.len());
+        assert_eq!(sha256(&data), reference, "one-shot len {}", data.len());
+    }
+}
+
+#[test]
+fn sha256_many_matches_individual_hashes() {
+    let mut rng = SplitMix64::new(0x3a57);
+    for _ in 0..20 {
+        let msgs: Vec<Vec<u8>> = (0..rng.next_below(8) + 1)
+            .map(|_| bytes(&mut rng, 300))
+            .collect();
+        let batch = pinning_crypto::sha256::sha256_many(msgs.iter().map(Vec::as_slice));
+        let singles: Vec<[u8; 32]> = msgs.iter().map(|m| sha256(m)).collect();
+        assert_eq!(batch, singles);
+    }
+}
+
+#[test]
 fn sha1_streaming_equals_oneshot() {
     let mut rng = SplitMix64::new(0x5a1);
     for _ in 0..CASES {

@@ -18,6 +18,12 @@
 //! RFC 9162 §2.1.3.2 / §2.1.4.2.
 
 use pinning_crypto::sha256;
+use pinning_pki::cache::CacheCounter;
+
+/// Telemetry for batched proof generation: a **miss** is one authenticator
+/// pass (hashing every interior node of a tree state once), a **hit** is an
+/// inclusion proof served from those precomputed nodes without hashing.
+pub static PROOF_BATCH: CacheCounter = CacheCounter::new("merkle-proof-batch");
 
 /// Domain-separation prefix for leaf hashes.
 pub const LEAF_PREFIX: u8 = 0x00;
@@ -127,6 +133,90 @@ impl MerkleTree {
             return Some(Vec::new());
         }
         Some(subproof(old as usize, &self.leaves[..new as usize], true))
+    }
+
+    /// Builds a [`TreeAuthenticator`] over the historical tree of the first
+    /// `size` leaves: one O(n) hashing pass, then O(log n) *hash-free*
+    /// inclusion proofs for every index. Use it whenever more than one
+    /// proof is needed for the same tree state (monitors batch-verifying a
+    /// new STH, resolvers proving a pin's log entries).
+    pub fn authenticator(&self, size: u64) -> Option<TreeAuthenticator> {
+        if size > self.len() {
+            return None;
+        }
+        Some(TreeAuthenticator::new(&self.leaves[..size as usize]))
+    }
+}
+
+/// Precomputed interior-node hashes for one fixed tree state.
+///
+/// [`MerkleTree::inclusion_proof`] rehashes O(n) subtree nodes per proof;
+/// auditing a batch of `k` new entries that way costs O(k·n). An
+/// authenticator hashes every interior node exactly once and then assembles
+/// each audit path by lookup. The node layout pairs adjacent nodes per
+/// level and promotes an unpaired tail node unchanged, which reproduces the
+/// RFC 6962 largest-power-of-two split exactly (the promoted node *is* the
+/// right subtree's root at that level), so proofs are byte-identical to the
+/// recursive generator's.
+#[derive(Debug, Clone)]
+pub struct TreeAuthenticator {
+    /// `levels[0]` = leaf hashes; `levels[k+1][i]` = hash of the subtree
+    /// covering `levels[k][2i..2i+2]` (or the promoted `levels[k][2i]`).
+    levels: Vec<Vec<[u8; 32]>>,
+}
+
+impl TreeAuthenticator {
+    /// One pass over `leaves`: hashes all `n - 1` interior nodes.
+    pub fn new(leaves: &[[u8; 32]]) -> Self {
+        PROOF_BATCH.miss();
+        let mut levels = vec![leaves.to_vec()];
+        while levels.last().expect("non-empty").len() > 1 {
+            let below = levels.last().expect("non-empty");
+            let mut above = Vec::with_capacity(below.len().div_ceil(2));
+            let mut pairs = below.chunks_exact(2);
+            for pair in &mut pairs {
+                above.push(node_hash(&pair[0], &pair[1]));
+            }
+            if let [odd] = pairs.remainder() {
+                above.push(*odd);
+            }
+            levels.push(above);
+        }
+        TreeAuthenticator { levels }
+    }
+
+    /// Number of leaves in the covered tree state.
+    pub fn size(&self) -> u64 {
+        self.levels[0].len() as u64
+    }
+
+    /// Root of the covered tree state.
+    pub fn root(&self) -> [u8; 32] {
+        match self.levels.last() {
+            Some(top) if !top.is_empty() => top[0],
+            _ => empty_root(),
+        }
+    }
+
+    /// Inclusion proof for leaf `index` — identical bytes to
+    /// [`MerkleTree::inclusion_proof`] at this tree size, but assembled
+    /// from precomputed nodes without any hashing.
+    pub fn inclusion_proof(&self, index: u64) -> Option<Vec<[u8; 32]>> {
+        let mut idx = index as usize;
+        if idx >= self.levels[0].len() {
+            return None;
+        }
+        PROOF_BATCH.hit();
+        let mut proof = Vec::new();
+        for level in &self.levels[..self.levels.len().saturating_sub(1)] {
+            let sibling = idx ^ 1;
+            if let Some(h) = level.get(sibling) {
+                proof.push(*h);
+            }
+            // No sibling: this node was promoted unchanged, nothing to add.
+            idx >>= 1;
+        }
+        Some(proof)
     }
 }
 
@@ -428,6 +518,25 @@ mod tests {
         assert!(t.consistency_proof(3, 2).is_none());
         assert!(t.consistency_proof(0, 5).is_none());
         assert!(t.root_at(5).is_none());
+    }
+
+    #[test]
+    fn authenticator_proofs_match_recursive_generator() {
+        let t = tree_of(33);
+        for size in 0..=t.len() {
+            let auth = t.authenticator(size).unwrap();
+            assert_eq!(auth.size(), size);
+            assert_eq!(auth.root(), t.root_at(size).unwrap());
+            for index in 0..size {
+                assert_eq!(
+                    auth.inclusion_proof(index).unwrap(),
+                    t.inclusion_proof(index, size).unwrap(),
+                    "proof mismatch at index {index} size {size}"
+                );
+            }
+            assert!(auth.inclusion_proof(size).is_none());
+        }
+        assert!(t.authenticator(34).is_none());
     }
 
     #[test]

@@ -8,10 +8,12 @@
 //! underlying union lookup, and keeps hit/miss counters the report layer
 //! turns into real coverage statistics.
 
+use crate::merkle::TreeAuthenticator;
 use crate::shard::{EntryLocator, LogSet};
 use pinning_pki::pin::PinAlgorithm;
 use pinning_pki::Certificate;
 use std::cell::{Cell, RefCell};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Cache key → locators of every matching entry (empty = known-unresolvable).
@@ -54,6 +56,9 @@ impl ResolverStats {
 pub struct PinResolver<'a> {
     logs: &'a LogSet,
     cache: RefCell<LocatorCache>,
+    /// One [`TreeAuthenticator`] per (shard index, tree size): proving many
+    /// entries under the same signed tree state costs one hashing pass.
+    auth_cache: RefCell<HashMap<(usize, u64), TreeAuthenticator>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
     resolved_unique: Cell<u64>,
@@ -72,6 +77,7 @@ impl<'a> PinResolver<'a> {
         PinResolver {
             logs,
             cache: RefCell::new(HashMap::new()),
+            auth_cache: RefCell::new(HashMap::new()),
             hits: Cell::new(0),
             misses: Cell::new(0),
             resolved_unique: Cell::new(0),
@@ -110,6 +116,27 @@ impl<'a> PinResolver<'a> {
         }
         self.cache.borrow_mut().insert(key, locs.clone());
         locs
+    }
+
+    /// Inclusion proof for a located entry under the tree state of
+    /// `tree_size`, byte-identical to asking the shard's log directly.
+    /// Proof generation is batched per (shard, tree size): the first proof
+    /// for a tree state pays one O(n) hashing pass over the shard's
+    /// authenticator, every later proof for the same state is assembled
+    /// without hashing ([`crate::merkle::PROOF_BATCH`] counts the split).
+    /// Returns `None` for unknown shards or out-of-range entries/sizes.
+    pub fn inclusion_proof(&self, loc: EntryLocator, tree_size: u64) -> Option<Vec<[u8; 32]>> {
+        let (shard_idx, entry_idx) = loc;
+        let shard = self.logs.shards().get(shard_idx)?;
+        if !pinning_pki::cache::caching_enabled() {
+            return shard.log.inclusion_proof(entry_idx, tree_size);
+        }
+        let mut cache = self.auth_cache.borrow_mut();
+        let auth = match cache.entry((shard_idx, tree_size)) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(shard.log.authenticator(tree_size)?),
+        };
+        auth.inclusion_proof(entry_idx)
     }
 
     /// Current cache statistics.
@@ -229,6 +256,29 @@ mod tests {
         resolver.resolve(PinAlgorithm::Sha256, &c.spki_sha256());
         resolver.resolve(PinAlgorithm::Sha1, &c.spki_sha1());
         assert_eq!(resolver.stats().misses, 2);
+    }
+
+    #[test]
+    fn batched_inclusion_proofs_match_direct_generation() {
+        let (set, certs) = populated_set();
+        let resolver = PinResolver::new(&set);
+        for cert in &certs {
+            for loc in set.lookup_spki(PinAlgorithm::Sha256, &cert.spki_sha256()) {
+                let shard = &set.shards()[loc.0];
+                // Prove under both the minimal covering state and the
+                // shard's current head.
+                for size in [loc.1 + 1, shard.log.len() as u64] {
+                    assert_eq!(
+                        resolver.inclusion_proof(loc, size),
+                        shard.log.inclusion_proof(loc.1, size),
+                        "proof mismatch at {loc:?} size {size}"
+                    );
+                }
+            }
+        }
+        // Out-of-range queries mirror the direct API.
+        assert_eq!(resolver.inclusion_proof((99, 0), 1), None);
+        assert_eq!(resolver.inclusion_proof((0, 0), u64::MAX), None);
     }
 
     #[test]

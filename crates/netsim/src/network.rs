@@ -84,6 +84,13 @@ impl Network {
         &self.servers
     }
 
+    /// Mutable access to all registered servers (hostname claims are fixed
+    /// at registration; this exists for post-generation passes over served
+    /// chains, e.g. certificate interning).
+    pub fn servers_mut(&mut self) -> &mut [OriginServer] {
+        &mut self.servers
+    }
+
     /// Number of distinct hostnames.
     pub fn n_hostnames(&self) -> usize {
         self.by_host.len()

@@ -43,7 +43,7 @@ impl CertificateAuthority {
             path_len: None,
         };
         let signature = key.sign(&tbs.to_bytes());
-        let cert = Certificate { tbs, signature };
+        let cert = Certificate::new(tbs, signature);
         let next_serial = rng.next_u64() | 1;
         CertificateAuthority {
             key,
@@ -72,7 +72,7 @@ impl CertificateAuthority {
             path_len,
         };
         let signature = self.key.sign(&tbs.to_bytes());
-        let cert = Certificate { tbs, signature };
+        let cert = Certificate::new(tbs, signature);
         let next_serial = rng.next_u64() | 1;
         CertificateAuthority {
             key,
@@ -105,7 +105,7 @@ impl CertificateAuthority {
             path_len: None,
         };
         let signature = self.key.sign(&tbs.to_bytes());
-        Certificate { tbs, signature }
+        Certificate::new(tbs, signature)
     }
 
     /// Issues a self-signed *leaf* (no chain, no PKI) — the "self-signed
@@ -129,7 +129,7 @@ impl CertificateAuthority {
             path_len: None,
         };
         let signature = key.sign(&tbs.to_bytes());
-        Certificate { tbs, signature }
+        Certificate::new(tbs, signature)
     }
 
     /// The CA's subject name.

@@ -1,11 +1,13 @@
 //! Certificates.
 
+use crate::cache;
 use crate::encode::{pem_encode, tag, Reader, Writer};
 use crate::error::DecodeError;
 use crate::name::DistinguishedName;
 use crate::time::Validity;
 use pinning_crypto::sig::{PublicKey, Signature};
 use pinning_crypto::{b64encode, sha256};
+use std::sync::{Arc, OnceLock};
 
 /// The to-be-signed body of a certificate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,29 +67,111 @@ fn decode_name(r: &mut Reader<'_>) -> Result<DistinguishedName, DecodeError> {
     })
 }
 
+/// Lazily-computed artifacts derived from a certificate's content.
+///
+/// Kept behind an `Arc` on the owning [`Certificate`] so clones share one
+/// cell: warming any copy of a CA certificate warms every chain that embeds
+/// it. The cell never stores anything the content does not fully determine,
+/// so sharing cannot change results — only skip recomputation.
+#[derive(Debug, Default)]
+struct DerivedCache {
+    der: OnceLock<Arc<[u8]>>,
+    fingerprint: OnceLock<[u8; 32]>,
+    spki_sha256: OnceLock<[u8; 32]>,
+    spki_sha1: OnceLock<[u8; 20]>,
+    pin_string: OnceLock<Arc<str>>,
+}
+
 /// A signed certificate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The public fields remain directly accessible. Code that mutates `tbs` or
+/// `signature` *in place* after reading a derived value (fingerprint, DER,
+/// pin string) must call [`Certificate::invalidate_derived`] afterwards —
+/// the derived-value cache cannot observe field writes.
 pub struct Certificate {
     /// Signed body.
     pub tbs: TbsCertificate,
     /// Issuer's signature over [`TbsCertificate::to_bytes`].
     pub signature: Signature,
+    cache: Arc<DerivedCache>,
+}
+
+impl Clone for Certificate {
+    fn clone(&self) -> Self {
+        Certificate {
+            tbs: self.tbs.clone(),
+            signature: self.signature.clone(),
+            // Clones share the derived-value cell; see `DerivedCache`.
+            cache: Arc::clone(&self.cache),
+        }
+    }
+}
+
+impl PartialEq for Certificate {
+    fn eq(&self, other: &Self) -> bool {
+        self.tbs == other.tbs && self.signature == other.signature
+    }
+}
+
+impl Eq for Certificate {}
+
+impl std::fmt::Debug for Certificate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Certificate")
+            .field("tbs", &self.tbs)
+            .field("signature", &self.signature)
+            .finish()
+    }
 }
 
 impl Certificate {
+    /// Builds a certificate from its signed body and signature.
+    pub fn new(tbs: TbsCertificate, signature: Signature) -> Self {
+        Certificate {
+            tbs,
+            signature,
+            cache: Arc::new(DerivedCache::default()),
+        }
+    }
+
+    /// Drops every cached derived value. Call after mutating `tbs` or
+    /// `signature` in place; clones made *before* the mutation keep their
+    /// (still content-correct) cache.
+    pub fn invalidate_derived(&mut self) {
+        self.cache = Arc::new(DerivedCache::default());
+    }
+
     /// Whether subject == issuer (candidate root).
     pub fn is_self_signed(&self) -> bool {
         self.tbs.subject == self.tbs.issuer
     }
 
-    /// DER-like encoding of the whole certificate.
-    pub fn to_der(&self) -> Vec<u8> {
+    fn encode_der(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.nested(tag::CERTIFICATE, |w| {
             w.bytes(&self.tbs.to_bytes());
             w.nested(tag::SIGNATURE, |w| w.bytes(&self.signature.0));
         });
         w.into_bytes()
+    }
+
+    /// The certificate's DER-like encoding as shared bytes, computed once
+    /// per distinct certificate. The zero-copy form of [`Certificate::to_der`].
+    pub fn der_bytes(&self) -> Arc<[u8]> {
+        if !cache::caching_enabled() {
+            return self.encode_der().into();
+        }
+        if let Some(der) = self.cache.der.get() {
+            cache::CERT_DER.hit();
+            return Arc::clone(der);
+        }
+        cache::CERT_DER.miss();
+        Arc::clone(self.cache.der.get_or_init(|| self.encode_der().into()))
+    }
+
+    /// DER-like encoding of the whole certificate.
+    pub fn to_der(&self) -> Vec<u8> {
+        self.der_bytes().to_vec()
     }
 
     /// Parses a certificate from its DER-like encoding.
@@ -111,8 +195,8 @@ impl Certificate {
         let is_ca = t.boolean()?;
         let path_len = t.opt_u64()?;
 
-        Ok(Certificate {
-            tbs: TbsCertificate {
+        Ok(Certificate::new(
+            TbsCertificate {
                 serial,
                 subject,
                 issuer,
@@ -125,8 +209,8 @@ impl Certificate {
                 is_ca,
                 path_len,
             },
-            signature: Signature(sig),
-        })
+            Signature(sig),
+        ))
     }
 
     /// PEM encoding (what the static scanner finds in app assets).
@@ -134,24 +218,69 @@ impl Certificate {
         pem_encode(&self.to_der())
     }
 
-    /// SHA-256 fingerprint of the DER encoding.
+    /// SHA-256 fingerprint of the DER encoding, computed once per distinct
+    /// certificate.
     pub fn fingerprint_sha256(&self) -> [u8; 32] {
-        sha256(&self.to_der())
+        if !cache::caching_enabled() {
+            return sha256(&self.encode_der());
+        }
+        if let Some(fp) = self.cache.fingerprint.get() {
+            cache::CERT_FINGERPRINT.hit();
+            return *fp;
+        }
+        cache::CERT_FINGERPRINT.miss();
+        *self
+            .cache
+            .fingerprint
+            .get_or_init(|| sha256(&self.der_bytes()))
     }
 
     /// SHA-256 of the SubjectPublicKeyInfo (what `sha256/...` pins commit to).
     pub fn spki_sha256(&self) -> [u8; 32] {
-        self.tbs.public_key.spki_sha256()
+        if !cache::caching_enabled() {
+            return self.tbs.public_key.spki_sha256();
+        }
+        if let Some(d) = self.cache.spki_sha256.get() {
+            cache::CERT_SPKI_SHA256.hit();
+            return *d;
+        }
+        cache::CERT_SPKI_SHA256.miss();
+        *self
+            .cache
+            .spki_sha256
+            .get_or_init(|| self.tbs.public_key.spki_sha256())
     }
 
     /// SHA-1 of the SubjectPublicKeyInfo (legacy `sha1/...` pins).
     pub fn spki_sha1(&self) -> [u8; 20] {
-        self.tbs.public_key.spki_sha1()
+        if !cache::caching_enabled() {
+            return self.tbs.public_key.spki_sha1();
+        }
+        if let Some(d) = self.cache.spki_sha1.get() {
+            cache::CERT_SPKI_SHA1.hit();
+            return *d;
+        }
+        cache::CERT_SPKI_SHA1.miss();
+        *self
+            .cache
+            .spki_sha1
+            .get_or_init(|| self.tbs.public_key.spki_sha1())
     }
 
     /// The conventional `sha256/<base64>` pin string for this certificate.
     pub fn spki_pin_string(&self) -> String {
-        format!("sha256/{}", b64encode(&self.spki_sha256()))
+        if !cache::caching_enabled() {
+            return format!("sha256/{}", b64encode(&self.tbs.public_key.spki_sha256()));
+        }
+        if let Some(pin) = self.cache.pin_string.get() {
+            cache::CERT_PIN_STRING.hit();
+            return pin.to_string();
+        }
+        cache::CERT_PIN_STRING.miss();
+        self.cache
+            .pin_string
+            .get_or_init(|| format!("sha256/{}", b64encode(&self.spki_sha256())).into())
+            .to_string()
     }
 
     /// Whether the certificate's names cover `hostname` (checks SANs, then
@@ -190,10 +319,7 @@ mod tests {
             path_len: None,
         };
         let sig = key.sign(&tbs.to_bytes()); // self-signed for test purposes
-        Certificate {
-            tbs,
-            signature: sig,
-        }
+        Certificate::new(tbs, sig)
     }
 
     #[test]
@@ -223,7 +349,41 @@ mod tests {
         let mut a = sample_cert(4);
         let fp1 = a.fingerprint_sha256();
         a.tbs.serial += 1;
+        a.invalidate_derived();
         assert_ne!(fp1, a.fingerprint_sha256());
+    }
+
+    #[test]
+    fn derived_values_survive_cloning_and_match_fresh_copies() {
+        let a = sample_cert(40);
+        // Warm every cache through one copy…
+        let fp = a.fingerprint_sha256();
+        let der = a.to_der();
+        let pin = a.spki_pin_string();
+        // …then check a clone (shared cache) and an independently built
+        // twin (cold cache) agree on all of them.
+        let clone = a.clone();
+        let twin = sample_cert(40);
+        for c in [&clone, &twin] {
+            assert_eq!(c.fingerprint_sha256(), fp);
+            assert_eq!(c.to_der(), der);
+            assert_eq!(c.spki_pin_string(), pin);
+            assert_eq!(c.spki_sha256(), a.spki_sha256());
+            assert_eq!(c.spki_sha1(), a.spki_sha1());
+        }
+        assert_eq!(&*a.der_bytes(), der.as_slice());
+    }
+
+    #[test]
+    fn invalidation_detaches_from_shared_cache() {
+        let a = sample_cert(41);
+        let fp = a.fingerprint_sha256();
+        let mut b = a.clone();
+        b.tbs.serial ^= 0xFFFF;
+        b.invalidate_derived();
+        assert_ne!(b.fingerprint_sha256(), fp);
+        // The original is untouched by the clone's mutation.
+        assert_eq!(a.fingerprint_sha256(), fp);
     }
 
     #[test]

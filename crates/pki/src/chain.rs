@@ -32,6 +32,12 @@ impl CertificateChain {
         &self.certs
     }
 
+    /// Mutable access to the certificates, leaf first (used by interning
+    /// passes that swap in canonical-sharing copies).
+    pub fn certs_mut(&mut self) -> &mut [Certificate] {
+        &mut self.certs
+    }
+
     /// Number of certificates in the chain.
     pub fn len(&self) -> usize {
         self.certs.len()

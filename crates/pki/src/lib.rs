@@ -25,11 +25,15 @@
 //! * [`hpkp`] — RFC 7469 web pinning, implemented so §2.1's app-pinning
 //!   vs HPKP contrast (TOFU weakness, no in-band pin change) is executable.
 //! * [`time`] — virtual time and validity windows.
+//! * [`cache`] — hit/miss telemetry and the runtime kill-switch for the
+//!   derived-value caches (DER bytes, fingerprints, pins, validation memo)
+//!   that make the paper-scale study compute each artifact exactly once.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod authority;
+pub mod cache;
 pub mod cert;
 pub mod chain;
 pub mod encode;
@@ -43,6 +47,7 @@ pub mod universe;
 pub mod validate;
 
 pub use authority::CertificateAuthority;
+pub use cache::{caching_enabled, set_caching_enabled, CacheCounter, CacheStat};
 pub use cert::{Certificate, TbsCertificate};
 pub use chain::CertificateChain;
 pub use error::ValidationError;
@@ -51,4 +56,4 @@ pub use pin::{CertPin, Pin, PinAlgorithm, PinSet, SpkiPin};
 pub use store::RootStore;
 pub use time::{SimTime, Validity, DAY, HOUR, YEAR};
 pub use universe::PkiUniverse;
-pub use validate::{validate_chain, RevocationList, ValidationOptions};
+pub use validate::{validate_chain, validate_chain_cached, RevocationList, ValidationOptions};

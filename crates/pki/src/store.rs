@@ -9,6 +9,7 @@
 
 use crate::cert::Certificate;
 use crate::name::DistinguishedName;
+use pinning_crypto::SplitMix64;
 use std::collections::HashMap;
 
 /// A named set of trusted root certificates.
@@ -16,20 +17,37 @@ use std::collections::HashMap;
 pub struct RootStore {
     name: String,
     by_subject: HashMap<DistinguishedName, Certificate>,
+    /// Content-derived identity: hash of the name, folded (order-
+    /// independently) with the fingerprint of every trusted root. Two
+    /// stores compare equal here iff they would trust the same anchors, so
+    /// the value is a sound memoization key for validation results — even
+    /// for stores mutated after construction (e.g. a test device that
+    /// installs a MITM CA).
+    content_id: u64,
 }
 
 impl RootStore {
     /// Creates an empty store.
     pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let content_id = SplitMix64::new(0x5105_e11d).derive(&name).next_u64();
         RootStore {
-            name: name.into(),
+            name,
             by_subject: HashMap::new(),
+            content_id,
         }
     }
 
     /// The store's name (e.g. `"AOSP"`, `"iOS"`, `"Mozilla"`).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The store's content-derived identity (see the field docs). Changes
+    /// whenever a root is added; identical for stores with the same name
+    /// and the same set of roots.
+    pub fn content_id(&self) -> u64 {
+        self.content_id
     }
 
     /// Adds a root certificate. Returns `false` (and keeps the existing
@@ -42,7 +60,9 @@ impl RootStore {
         match self.by_subject.entry(cert.tbs.subject.clone()) {
             std::collections::hash_map::Entry::Occupied(_) => false,
             std::collections::hash_map::Entry::Vacant(e) => {
+                let fp = cert.fingerprint_sha256();
                 e.insert(cert);
+                self.content_id ^= u64::from_le_bytes(fp[..8].try_into().expect("8 bytes"));
                 true
             }
         }
@@ -152,6 +172,31 @@ mod tests {
         let mut forged = leaf.clone();
         forged.tbs.issuer = other.name().clone();
         assert!(store.issuer_of(&forged).is_none());
+    }
+
+    #[test]
+    fn content_id_tracks_name_and_roots() {
+        let ca = root_ca(8);
+        let other = root_ca(9);
+        let mut a = RootStore::new("test");
+        let mut b = RootStore::new("test");
+        assert_eq!(a.content_id(), b.content_id(), "same name, both empty");
+        assert_ne!(
+            a.content_id(),
+            RootStore::new("other").content_id(),
+            "name is part of the identity"
+        );
+        // Same roots in any order → same id; diverging contents → different.
+        a.add(ca.cert.clone());
+        a.add(other.cert.clone());
+        b.add(other.cert.clone());
+        assert_ne!(a.content_id(), b.content_id());
+        b.add(ca.cert.clone());
+        assert_eq!(a.content_id(), b.content_id());
+        // A rejected add must not perturb the id.
+        let before = a.content_id();
+        assert!(!a.add(ca.cert.clone()));
+        assert_eq!(a.content_id(), before);
     }
 
     #[test]

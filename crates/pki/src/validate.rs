@@ -5,11 +5,14 @@
 //! constraints, path-length constraints, validity windows, hostname
 //! matching, root-store anchoring, and leaf revocation.
 
+use crate::cache;
 use crate::cert::Certificate;
 use crate::error::ValidationError;
 use crate::store::RootStore;
 use crate::time::SimTime;
-use std::collections::HashSet;
+use pinning_crypto::Sha256;
+use std::collections::{HashMap, HashSet};
+use std::sync::{OnceLock, RwLock};
 
 /// A set of revoked certificate serial numbers.
 ///
@@ -181,6 +184,89 @@ pub fn validate_chain(
     }
 
     Ok(())
+}
+
+/// Memoized verdicts, keyed by [`validation_key`].
+type ValidationMemo = RwLock<HashMap<[u8; 32], Result<(), ValidationError>>>;
+
+/// The process-wide chain-validation memo.
+fn validation_memo() -> &'static ValidationMemo {
+    static MEMO: OnceLock<ValidationMemo> = OnceLock::new();
+    MEMO.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Collapses every input [`validate_chain`] reads into one collision-
+/// resistant key. Each dimension is either hashed in full (certificate
+/// fingerprints cover `tbs` *and* signature bytes; the hostname is length-
+/// prefixed) or reduced to the only bit validation can observe (the CRL
+/// enters solely through "is the leaf's serial revoked").
+fn validation_key(
+    chain: &[Certificate],
+    store: &RootStore,
+    hostname: &str,
+    now: SimTime,
+    crl: &RevocationList,
+    options: &ValidationOptions,
+) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(&store.content_id().to_le_bytes());
+    h.update(&(chain.len() as u64).to_le_bytes());
+    for cert in chain {
+        h.update(&cert.fingerprint_sha256());
+    }
+    h.update(&(hostname.len() as u64).to_le_bytes());
+    h.update(hostname.as_bytes());
+    h.update(&now.0.to_le_bytes());
+    let leaf_revoked = chain
+        .first()
+        .is_some_and(|leaf| crl.is_revoked(leaf.tbs.serial));
+    h.update(&[
+        options.check_hostname as u8,
+        options.check_expiry as u8,
+        options.check_revocation as u8,
+        leaf_revoked as u8,
+    ]);
+    h.finalize()
+}
+
+/// Memoized [`validate_chain`]: identical semantics, but repeated
+/// validations of the same (chain, root store, hostname, time, options,
+/// leaf-revocation state) skip the signature walk entirely.
+///
+/// This is the hot path of the study — every simulated handshake and every
+/// PKI classification validates a chain, and the same server chains recur
+/// across thousands of apps. With caching disabled (see
+/// [`crate::cache::set_caching_enabled`]) the call degrades to a plain
+/// [`validate_chain`].
+pub fn validate_chain_cached(
+    chain: &[Certificate],
+    store: &RootStore,
+    hostname: &str,
+    now: SimTime,
+    crl: &RevocationList,
+    options: &ValidationOptions,
+) -> Result<(), ValidationError> {
+    if !cache::caching_enabled() {
+        return validate_chain(chain, store, hostname, now, crl, options);
+    }
+    let key = validation_key(chain, store, hostname, now, crl, options);
+    if let Some(verdict) = validation_memo().read().expect("memo poisoned").get(&key) {
+        cache::CHAIN_VALIDATION.hit();
+        return verdict.clone();
+    }
+    cache::CHAIN_VALIDATION.miss();
+    let verdict = validate_chain(chain, store, hostname, now, crl, options);
+    validation_memo()
+        .write()
+        .expect("memo poisoned")
+        .insert(key, verdict.clone());
+    verdict
+}
+
+/// Empties the chain-validation memo (benchmarks use this so cached runs
+/// start cold and measure real, reproducible hit patterns).
+pub fn clear_validation_cache() {
+    validation_memo().write().expect("memo poisoned").clear();
 }
 
 #[cfg(test)]
@@ -448,6 +534,88 @@ mod tests {
                 serial: f.chain[0].tbs.serial
             })
         );
+    }
+
+    #[test]
+    fn cached_validation_matches_uncached_across_scenarios() {
+        let f = fixture();
+        clear_validation_cache();
+        let scenarios: Vec<(&[Certificate], &str, SimTime)> = vec![
+            (&f.chain, "pay.shop.com", SimTime(100)),
+            (&f.chain[..2], "pay.shop.com", SimTime(100)),
+            (&f.chain, "v1.api.shop.com", SimTime(100)),
+            (&f.chain, "evil.com", SimTime(100)),
+            (&f.chain, "pay.shop.com", SimTime(2 * YEAR)),
+            (&[], "pay.shop.com", SimTime(1)),
+        ];
+        for (chain, host, now) in &scenarios {
+            let plain = ok(&f, chain, host, *now);
+            // First cached call computes, second must serve the memo —
+            // both byte-identical to the plain validator.
+            for _ in 0..2 {
+                let cached = validate_chain_cached(
+                    chain,
+                    &f.store,
+                    host,
+                    *now,
+                    &RevocationList::empty(),
+                    &ValidationOptions::default(),
+                );
+                assert_eq!(cached, plain, "{host} at {now:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_memo_distinguishes_mutated_stores() {
+        // The MITM scenario from `forged_chain_from_untrusted_ca_rejected`,
+        // through the memo: installing a CA changes the store's content id,
+        // so the cached rejection cannot leak into the post-install world.
+        let f = fixture();
+        let mut rng = SplitMix64::new(0xa78);
+        let mut mitm = CertificateAuthority::new_root(
+            DistinguishedName::new("mitmproxy", "mitmproxy", "US"),
+            &mut rng,
+            SimTime(0),
+        );
+        let key = KeyPair::generate(&mut rng);
+        let forged = mitm.issue_leaf(
+            &["pay.shop.com".to_string()],
+            "Shop",
+            &key,
+            Validity::starting(SimTime(0), YEAR),
+        );
+        let chain = vec![forged, mitm.cert.clone()];
+        let check = |store: &RootStore| {
+            validate_chain_cached(
+                &chain,
+                store,
+                "pay.shop.com",
+                SimTime(100),
+                &RevocationList::empty(),
+                &ValidationOptions::default(),
+            )
+        };
+        let mut store = f.store.clone();
+        assert!(matches!(
+            check(&store),
+            Err(ValidationError::UnknownRoot { .. })
+        ));
+        store.add(mitm.cert.clone());
+        check(&store).unwrap();
+        // CRL state is part of the key too: revoking the leaf must flip the
+        // verdict even though chain/store/host/time are unchanged.
+        let mut crl = RevocationList::empty();
+        crl.revoke(chain[0].tbs.serial);
+        let revoked = validate_chain_cached(
+            &chain,
+            &store,
+            "pay.shop.com",
+            SimTime(100),
+            &crl,
+            &ValidationOptions::default(),
+        );
+        assert!(matches!(revoked, Err(ValidationError::Revoked { .. })));
     }
 
     #[test]

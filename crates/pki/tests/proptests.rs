@@ -181,6 +181,7 @@ fn fingerprints_injective_over_serial() {
         let (leaf, _) = arbitrary_leaf(seed, "f.example", "Org", 6);
         let mut renewed = leaf.clone();
         renewed.tbs.serial = renewed.tbs.serial.wrapping_add(delta);
+        renewed.invalidate_derived(); // clones share the derived-value cache
         assert_ne!(leaf.fingerprint_sha256(), renewed.fingerprint_sha256());
         // SPKI digest is untouched by serial changes.
         assert_eq!(leaf.spki_sha256(), renewed.spki_sha256());

@@ -446,6 +446,20 @@ pub struct RunHealthReport {
     pub resumed_apps: usize,
     /// Apps measured by this process.
     pub fresh_apps: usize,
+    /// Per-cache hit/miss activity during this run (empty when the caching
+    /// layer was disabled).
+    pub cache_rows: Vec<CacheRow>,
+}
+
+/// One derived-value cache's activity for the run-health table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheRow {
+    /// Cache name (e.g. `"cert-fingerprint"`).
+    pub name: String,
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that computed and stored a fresh value.
+    pub misses: u64,
 }
 
 /// Renders the "Run health" table: what the supervision layer absorbed so
@@ -463,6 +477,18 @@ pub fn table_run_health(r: &RunHealthReport) -> String {
     t.row(&["quarantined bytes", &r.quarantined_bytes.to_string()]);
     t.row(&["apps resumed from journal", &r.resumed_apps.to_string()]);
     t.row(&["apps measured fresh", &r.fresh_apps.to_string()]);
+    for c in &r.cache_rows {
+        let total = c.hits + c.misses;
+        let rate = if total == 0 {
+            0.0
+        } else {
+            100.0 * c.hits as f64 / total as f64
+        };
+        t.row(&[
+            &format!("cache {} (hit/miss)", c.name),
+            &format!("{}/{} ({rate:.1}%)", c.hits, c.misses),
+        ]);
+    }
     t.render()
 }
 
@@ -648,6 +674,11 @@ mod tests {
             quarantined_bytes: 58,
             resumed_apps: 4,
             fresh_apps: 46,
+            cache_rows: vec![CacheRow {
+                name: "cert-fingerprint".into(),
+                hits: 900,
+                misses: 100,
+            }],
         });
         assert!(s.contains("Run health"));
         assert!(s.contains("worker panics recovered"));
@@ -655,6 +686,8 @@ mod tests {
         for n in ["1", "7", "58", "4", "46"] {
             assert!(s.contains(n), "missing {n} in:\n{s}");
         }
+        assert!(s.contains("cache cert-fingerprint (hit/miss)"));
+        assert!(s.contains("900/100 (90.0%)"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 pub mod config;
 pub mod crawler;
 pub mod datasets;
+pub mod intern;
 pub mod whois;
 pub mod world;
 

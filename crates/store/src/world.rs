@@ -14,6 +14,7 @@
 //! 5. CT-log submission of the publicly-issued certificates.
 
 use crate::config::WorldConfig;
+use crate::intern::CertInterner;
 use crate::whois::WhoisRegistry;
 use pinning_app::app::MobileApp;
 use pinning_app::platform::Platform;
@@ -53,6 +54,9 @@ pub struct World {
     pub alternativeto: Vec<String>,
     /// Product key → (android app idx, ios app idx).
     pub products: HashMap<String, (Option<usize>, Option<usize>)>,
+    /// Canonical copies of every CA certificate served anywhere on the
+    /// network, warmed so derived values are never recomputed.
+    pub interner: CertInterner,
     /// Simulation "now".
     pub now: SimTime,
 }
@@ -87,11 +91,22 @@ impl World {
 
         let Generator {
             universe,
-            network,
+            mut network,
             ctlog,
             whois,
             ..
         } = gen;
+
+        // Intern CA material: thousands of served chains embed the same few
+        // dozen intermediates/roots, so point them all at one canonical
+        // copy per fingerprint and pay each derived value (DER,
+        // fingerprint, SPKI digests, pin string) exactly once.
+        let mut interner = CertInterner::new();
+        for server in network.servers_mut() {
+            interner.intern_chain_cas(&mut server.chain);
+        }
+        interner.warm();
+
         World {
             config,
             universe,
@@ -103,6 +118,7 @@ impl World {
             ios_listing,
             alternativeto,
             products,
+            interner,
             now,
         }
     }
@@ -352,6 +368,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn interner_covers_all_served_cas() {
+        let w = tiny_world();
+        assert!(!w.interner.is_empty());
+        for server in w.network.servers() {
+            for cert in server.chain.certs().iter().skip(1) {
+                assert!(
+                    w.interner.canonical(&cert.fingerprint_sha256()).is_some(),
+                    "CA of {:?} not interned",
+                    server.hostnames
+                );
+            }
+        }
+        // CA reuse across chains is the whole point.
+        assert!(w.interner.deduplicated() > w.interner.unique());
     }
 
     #[test]

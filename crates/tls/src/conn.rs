@@ -203,7 +203,12 @@ pub fn establish(
     ));
 
     // Certificate message: plaintext under ≤1.2, encrypted under 1.3.
-    let chain_len: usize = server.chain.certs().iter().map(|c| c.to_der().len()).sum();
+    let chain_len: usize = server
+        .chain
+        .certs()
+        .iter()
+        .map(|c| c.der_bytes().len())
+        .sum();
     if version.disguises_encrypted_records() {
         // EncryptedExtensions + Certificate + CertVerify + Finished, bundled.
         t.push_record(RecordEvent::encrypted(

@@ -8,7 +8,7 @@
 use pinning_pki::pin::PinSet;
 use pinning_pki::store::RootStore;
 use pinning_pki::time::SimTime;
-use pinning_pki::validate::{validate_chain, RevocationList, ValidationOptions};
+use pinning_pki::validate::{validate_chain_cached, RevocationList, ValidationOptions};
 use pinning_pki::Certificate;
 use pinning_pki::ValidationError;
 
@@ -82,8 +82,10 @@ impl CertPolicy {
         crl: &RevocationList,
     ) -> VerifyDecision {
         if self.system_validation {
+            // Handshakes re-present the same few chains thousands of times
+            // per study run; the memoized verdict is byte-identical.
             if let Err(e) =
-                validate_chain(chain, store, hostname, now, crl, &self.validation_options)
+                validate_chain_cached(chain, store, hostname, now, crl, &self.validation_options)
             {
                 return VerifyDecision::RejectSystem(e);
             }

@@ -43,10 +43,12 @@ fn main() {
     );
     let t0 = Instant::now();
     let results = Study::new(config).run();
+    let elapsed = t0.elapsed();
     eprintln!(
-        "pipeline finished in {:.1?}: {} unique apps analyzed\n",
-        t0.elapsed(),
-        results.records.len()
+        "pipeline finished in {:.1?}: {} unique apps analyzed ({:.1} apps/sec)\n",
+        elapsed,
+        results.records.len(),
+        results.records.len() as f64 / elapsed.as_secs_f64().max(1e-9)
     );
 
     println!("{}", results.render_all());
