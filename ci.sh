@@ -33,6 +33,9 @@ cargo run -q --release --offline --example chaos_smoke
 echo "==> bench smoke (cached-vs-uncached A/B; fails on report divergence)"
 cargo bench -q -p pinning-bench --bench perf --offline -- smoke
 
+echo "==> fuzz smoke (every decoder, mutation fuzz, fixed seed; fails on any panic)"
+cargo bench -q -p pinning-bench --bench fuzz --offline -- smoke
+
 echo "==> rustdoc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 

@@ -11,7 +11,7 @@ use pinning_app::xml;
 use pinning_crypto::SplitMix64;
 use pinning_netsim::breaker::{BreakerConfig, BreakerSet};
 use pinning_netsim::device::{Device, RunConfig};
-use pinning_netsim::faults::{FaultConfig, FaultPlan, MeasurementError};
+use pinning_netsim::faults::{FaultConfig, FaultPlan, InputLayer, MalformedKind, MeasurementError};
 use pinning_netsim::flow::Capture;
 use pinning_netsim::network::Network;
 use pinning_netsim::proxy::MitmProxy;
@@ -319,6 +319,116 @@ fn fully_unobserved(
         .map(|k| k.as_error())
 }
 
+/// File extensions the screen treats as certificate material (mirrors the
+/// static scanner's list).
+const CERT_EXTENSIONS: [&str; 5] = ["der", "pem", "crt", "cert", "cer"];
+
+fn classify_xml_error(e: &xml::XmlError) -> MalformedKind {
+    match e {
+        xml::XmlError::UnexpectedEof => MalformedKind::Truncated,
+        xml::XmlError::MismatchedClose { .. } | xml::XmlError::Malformed(_) => {
+            MalformedKind::BadStructure
+        }
+        xml::XmlError::NoRoot => MalformedKind::BadStructure,
+        xml::XmlError::LimitExceeded(_) => MalformedKind::LimitExceeded,
+    }
+}
+
+/// Pre-flight hostile-input screen for one app: every decoder-facing asset
+/// in the package must decode, and every chain its planned destinations
+/// serve must pass [`pinning_pki::limits::screen_chain`].
+///
+/// A rejection degrades the app as [`MeasurementError::MalformedInput`] —
+/// the measurement is reported as lost, and the pipeline never fabricates
+/// a pinning verdict from data it could not safely interpret (the same
+/// contract as the Unobserved rule, §5.6). Honestly-generated worlds pass
+/// this screen by construction, so it never perturbs clean studies.
+fn screen_app_inputs(env: &DynamicEnv<'_>, app: &MobileApp) -> Result<(), MeasurementError> {
+    // 1. Package assets. Encrypted iOS packages carry ciphertext assets a
+    //    device decrypts transparently at install time; the screen can
+    //    only inspect cleartext packages (the hostile cohort ships those).
+    if !app.package.encrypted {
+        for file in &app.package.files {
+            let ext = file.path.rsplit('.').next().unwrap_or("");
+            if CERT_EXTENSIONS.contains(&ext) {
+                screen_cert_asset(file)?;
+            }
+            if file.path.ends_with("network_security_config.xml") {
+                let text = match &file.content {
+                    pinning_app::package::FileContent::Text(t) => t.as_str(),
+                    pinning_app::package::FileContent::Binary(_) => {
+                        return Err(MeasurementError::MalformedInput {
+                            layer: InputLayer::Nsc,
+                            reason: MalformedKind::BadEncoding,
+                        })
+                    }
+                };
+                pinning_app::nsc::NetworkSecurityConfig::from_xml(text).map_err(|e| {
+                    MeasurementError::MalformedInput {
+                        layer: InputLayer::Nsc,
+                        reason: classify_xml_error(&e),
+                    }
+                })?;
+            }
+        }
+    }
+
+    // 2. Served chains: screen the structure of what each planned
+    //    destination will present, before any run is attempted.
+    let budget = pinning_pki::limits::Budget::STANDARD;
+    for conn in &app.behavior.connections {
+        if let Some(server) = env.network.resolve(&conn.domain) {
+            pinning_pki::limits::screen_chain(server.chain.certs(), &budget).map_err(|defect| {
+                MeasurementError::MalformedInput {
+                    layer: InputLayer::Chain,
+                    reason: if defect.is_budget_trip() {
+                        MalformedKind::LimitExceeded
+                    } else {
+                        MalformedKind::BadStructure
+                    },
+                }
+            })?;
+        }
+    }
+    Ok(())
+}
+
+fn screen_cert_asset(file: &pinning_app::package::AppFile) -> Result<(), MeasurementError> {
+    match &file.content {
+        pinning_app::package::FileContent::Text(t) => {
+            if !t.contains(pinning_pki::encode::PEM_BEGIN_CERT) {
+                return Err(MeasurementError::MalformedInput {
+                    layer: InputLayer::Pem,
+                    reason: MalformedKind::BadStructure,
+                });
+            }
+            let blobs = pinning_pki::encode::pem_decode_all(t).map_err(|e| {
+                MeasurementError::MalformedInput {
+                    layer: InputLayer::Pem,
+                    reason: MalformedKind::from_decode_error(&e),
+                }
+            })?;
+            for der in &blobs {
+                pinning_pki::Certificate::from_der(der).map_err(|e| {
+                    MeasurementError::MalformedInput {
+                        layer: InputLayer::Der,
+                        reason: MalformedKind::from_decode_error(&e),
+                    }
+                })?;
+            }
+        }
+        pinning_app::package::FileContent::Binary(b) => {
+            pinning_pki::Certificate::from_der(b).map_err(|e| {
+                MeasurementError::MalformedInput {
+                    layer: InputLayer::Der,
+                    reason: MalformedKind::from_decode_error(&e),
+                }
+            })?;
+        }
+    }
+    Ok(())
+}
+
 /// Runs the full differential pipeline for one app, surfacing measurement
 /// degradation as an error instead of a mis-classification.
 ///
@@ -332,6 +442,7 @@ pub fn try_analyze_app(
     env: &DynamicEnv<'_>,
     app: &MobileApp,
 ) -> Result<AppDynamicResult, MeasurementError> {
+    screen_app_inputs(env, app)?;
     let device = env.device(app.id.platform);
     let exclusions = match app.id.platform {
         Platform::Android => Exclusions::none(),

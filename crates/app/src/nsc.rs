@@ -125,9 +125,17 @@ impl NetworkSecurityConfig {
         root.to_document()
     }
 
-    /// Parses an NSC XML document.
+    /// Parses an NSC XML document under the workspace-standard budget.
     pub fn from_xml(text: &str) -> Result<Self, XmlError> {
-        let root = crate::xml::parse(text)?;
+        Self::from_xml_with_budget(text, &pinning_pki::limits::Budget::STANDARD)
+    }
+
+    /// Parses an NSC XML document under an explicit hostile-input budget.
+    pub fn from_xml_with_budget(
+        text: &str,
+        budget: &pinning_pki::limits::Budget,
+    ) -> Result<Self, XmlError> {
+        let root = crate::xml::parse_with_budget(text, budget)?;
         let mut out = NetworkSecurityConfig::default();
         for dc_el in root.find_all("domain-config") {
             let mut dc = DomainConfig {

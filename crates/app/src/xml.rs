@@ -7,6 +7,7 @@
 //! CDATA, DTDs, entity definitions beyond the five predefined ones.
 
 use core::fmt;
+use pinning_pki::limits::{Budget, Limit};
 
 /// An XML element.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +45,9 @@ pub enum XmlError {
     Malformed(usize),
     /// No root element found.
     NoRoot,
+    /// The document tripped a [`Budget`] limit (element nesting depth or
+    /// total input size).
+    LimitExceeded(Limit),
 }
 
 impl fmt::Display for XmlError {
@@ -58,6 +62,7 @@ impl fmt::Display for XmlError {
             }
             XmlError::Malformed(pos) => write!(f, "malformed XML at byte {pos}"),
             XmlError::NoRoot => write!(f, "no root element"),
+            XmlError::LimitExceeded(limit) => write!(f, "parse budget exceeded: {limit}"),
         }
     }
 }
@@ -216,6 +221,8 @@ fn unescape(s: &str) -> String {
 struct Parser<'a> {
     input: &'a [u8],
     pos: usize,
+    budget: Budget,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -268,6 +275,16 @@ impl<'a> Parser<'a> {
     }
 
     fn element(&mut self) -> Result<Element, XmlError> {
+        self.depth += 1;
+        if self.depth > self.budget.max_depth {
+            return Err(XmlError::LimitExceeded(Limit::Depth));
+        }
+        let out = self.element_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn element_inner(&mut self) -> Result<Element, XmlError> {
         if self.peek() != Some(b'<') {
             return Err(XmlError::Malformed(self.pos));
         }
@@ -356,11 +373,24 @@ impl<'a> Parser<'a> {
     }
 }
 
-/// Parses an XML document, returning its root element.
+/// Parses an XML document under the workspace-standard [`Budget`].
 pub fn parse(input: &str) -> Result<Element, XmlError> {
+    parse_with_budget(input, &Budget::STANDARD)
+}
+
+/// Parses an XML document, returning its root element. The total input
+/// size and the element nesting depth are bounded by `budget`; exceeding
+/// either yields [`XmlError::LimitExceeded`] rather than unbounded work
+/// or recursion.
+pub fn parse_with_budget(input: &str, budget: &Budget) -> Result<Element, XmlError> {
+    if input.len() > budget.max_input_bytes {
+        return Err(XmlError::LimitExceeded(Limit::InputBytes));
+    }
     let mut p = Parser {
         input: input.as_bytes(),
         pos: 0,
+        budget: *budget,
+        depth: 0,
     };
     p.skip_misc()?;
     if p.peek().is_none() {
@@ -447,5 +477,43 @@ mod tests {
         let s = "<a>before<b/>after</a>";
         let e = parse(s).unwrap();
         assert_eq!(e.children.len(), 3);
+    }
+
+    #[test]
+    fn runaway_nesting_rejected() {
+        let deep = Budget::STANDARD.max_depth + 1;
+        let mut s = String::new();
+        for _ in 0..deep {
+            s.push_str("<a>");
+        }
+        for _ in 0..deep {
+            s.push_str("</a>");
+        }
+        assert_eq!(parse(&s), Err(XmlError::LimitExceeded(Limit::Depth)));
+    }
+
+    #[test]
+    fn nesting_within_budget_parses() {
+        let strict = Budget::strict();
+        let mut s = String::new();
+        for _ in 0..strict.max_depth {
+            s.push_str("<a>");
+        }
+        for _ in 0..strict.max_depth {
+            s.push_str("</a>");
+        }
+        assert!(parse_with_budget(&s, &strict).is_ok());
+    }
+
+    #[test]
+    fn oversized_document_rejected() {
+        let strict = Budget::strict();
+        let mut s = String::from("<a>");
+        s.push_str(&"x".repeat(strict.max_input_bytes));
+        s.push_str("</a>");
+        assert_eq!(
+            parse_with_budget(&s, &strict),
+            Err(XmlError::LimitExceeded(Limit::InputBytes))
+        );
     }
 }

@@ -1,0 +1,62 @@
+//! The decoder fuzz gate: every decoder in the workspace, mutation-fuzzed
+//! under a fixed seed, must be panic-free and budget-respecting.
+//!
+//! ```sh
+//! cargo bench -p pinning-bench --bench fuzz --offline            # full: 100k cases/target
+//! cargo bench -p pinning-bench --bench fuzz --offline -- smoke   # CI gate: 3k cases/target
+//! ```
+//!
+//! Exits non-zero (after printing a reproducible `target/seed/case`
+//! triple) if any decoder panics. The seed is fixed so full runs are
+//! byte-for-byte repeatable; override with `PINNING_FUZZ_SEED` to explore
+//! a different corner of the input space.
+
+use pinning_bench::fuzz::{all_targets, assert_budgets_respected, run_target, with_silent_panics};
+use std::time::Instant;
+
+/// Fixed default seed: the acceptance run is deterministic.
+const DEFAULT_SEED: u64 = 0x5EED_F022_2026_0001;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "smoke");
+    let cases: u32 = if smoke { 3_000 } else { 100_000 };
+    let seed = std::env::var("PINNING_FUZZ_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+
+    println!(
+        "fuzz gate: {} cases/target, seed {seed:#x}{}",
+        cases,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let contracts = assert_budgets_respected();
+    println!("budget contracts: {contracts} decoders reject over-budget input up front");
+
+    let targets = all_targets();
+    let mut failed = false;
+    for t in &targets {
+        let start = Instant::now();
+        match with_silent_panics(|| run_target(t, cases, seed)) {
+            Ok(r) => println!(
+                "fuzz {:<8} {:>7} cases   {:>7} rejected   {:>7} accepted   {:>8.2?}",
+                r.name,
+                r.cases,
+                r.rejected,
+                r.accepted,
+                start.elapsed()
+            ),
+            Err(f) => {
+                eprintln!("FAIL: {f}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "fuzz gate PASSED: {} targets × {cases} cases, zero panics",
+        targets.len()
+    );
+}

@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz;
+
 use pinning_core::{Study, StudyConfig, StudyResults};
 use pinning_store::config::WorldConfig;
 use pinning_store::world::World;

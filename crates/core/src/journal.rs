@@ -30,7 +30,7 @@
 //! itself is unrecoverable and surfaces as a [`JournalError`].
 
 use pinning_crypto::sha256;
-use pinning_netsim::faults::MeasurementError;
+use pinning_netsim::faults::{InputLayer, MalformedKind, MeasurementError};
 use pinning_pki::encode::{Reader, Writer};
 use pinning_pki::error::DecodeError;
 
@@ -237,12 +237,38 @@ impl ResultJournal {
     }
 }
 
+/// Sentinel label for the structured `MalformedInput` error, which journals
+/// as the sentinel plus `(layer, reason)` indices rather than a bare label.
+const MALFORMED_SENTINEL: &str = "malformed-input";
+
 fn encode_outcome_error(w: &mut Writer, error: MeasurementError) {
-    w.string(error.label());
+    match error.malformed_parts() {
+        Some((layer, reason)) => {
+            w.string(MALFORMED_SENTINEL);
+            let layer_ix = InputLayer::ALL.iter().position(|l| *l == layer);
+            let reason_ix = MalformedKind::ALL.iter().position(|k| *k == reason);
+            // Both enums enumerate every variant in ALL, so the positions
+            // always exist; encode defensively anyway.
+            w.u64(layer_ix.unwrap_or(0) as u64);
+            w.u64(reason_ix.unwrap_or(0) as u64);
+        }
+        None => w.string(error.label()),
+    }
 }
 
 fn decode_outcome_error(r: &mut Reader<'_>) -> Result<MeasurementError, DecodeError> {
     let label = r.string()?;
+    if label == MALFORMED_SENTINEL {
+        let layer = InputLayer::ALL
+            .get(r.u64()? as usize)
+            .copied()
+            .ok_or(DecodeError::BadFieldSize)?;
+        let reason = MalformedKind::ALL
+            .get(r.u64()? as usize)
+            .copied()
+            .ok_or(DecodeError::BadFieldSize)?;
+        return Ok(MeasurementError::MalformedInput { layer, reason });
+    }
     MeasurementError::ALL
         .into_iter()
         .find(|e| e.label() == label)
@@ -345,6 +371,13 @@ mod tests {
                 outcome: AppOutcome::Failed(MeasurementError::WorkerPanic),
             },
             JournalEntry {
+                app_index: 12,
+                outcome: AppOutcome::Failed(MeasurementError::MalformedInput {
+                    layer: InputLayer::Chain,
+                    reason: MalformedKind::LimitExceeded,
+                }),
+            },
+            JournalEntry {
                 app_index: 0,
                 outcome: AppOutcome::Measured(Box::new(MeasuredApp {
                     pinned_destinations: vec![],
@@ -378,7 +411,7 @@ mod tests {
         assert_eq!(replay.entries, sample_entries());
         assert_eq!(replay.quarantined_bytes, 0);
         assert!(!replay.truncated());
-        assert_eq!(j.len(), 3);
+        assert_eq!(j.len(), 4);
     }
 
     #[test]
@@ -388,7 +421,7 @@ mod tests {
         // Cut mid-way through the last record.
         let cut = full.len() - 10;
         let replay = ResultJournal::open(&full[..cut]).unwrap();
-        assert_eq!(replay.entries.len(), 2);
+        assert_eq!(replay.entries.len(), 3);
         assert!(replay.truncated());
         assert!(replay.quarantined_bytes > 0);
     }

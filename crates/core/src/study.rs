@@ -279,10 +279,14 @@ impl Study {
         let collisions = collision_report(&datasets);
 
         // Unique apps across all datasets; only the not-yet-committed ones
-        // go on the work queue.
+        // go on the work queue. The adversarial cohort lives
+        // outside the store listings (so dataset sampling is untouched) but
+        // is measured alongside them: every hostile app must surface as a
+        // structured `MalformedInput` failure, never a crash.
         let unique: BTreeSet<usize> = datasets
             .iter()
             .flat_map(|d| d.app_indices.iter().copied())
+            .chain(world.hostile_apps.iter().copied())
             .collect();
         let pending: Vec<usize> = unique
             .iter()
@@ -596,6 +600,48 @@ mod tests {
                 assert!(truth.contains(d.as_str()), "{}: false positive {d}", app.id);
             }
         }
+    }
+
+    #[test]
+    fn adversarial_cohort_degrades_to_structured_errors() {
+        let mut cfg = StudyConfig::tiny(0xAD7);
+        cfg.world.adversarial_apps = 8;
+        let r = Study::new(cfg).run();
+        assert_eq!(r.world.hostile_apps.len(), 8);
+        // Every hostile app is measured and classified as malformed input —
+        // never a fabricated verdict, never a crash.
+        for &i in &r.world.hostile_apps {
+            let rec = r.records.get(&i).expect("hostile app measured");
+            match rec.error {
+                Some(MeasurementError::MalformedInput { .. }) => {}
+                other => panic!("hostile app {i} not classified MalformedInput: {other:?}"),
+            }
+            assert!(rec.pinned_destinations.is_empty());
+        }
+        let rows = r.resilience_summary();
+        let rejected: usize = rows.iter().map(|x| x.rejected).sum();
+        let trips: usize = rows.iter().map(|x| x.budget_trips).sum();
+        assert_eq!(rejected, 8);
+        assert!(
+            trips >= 3,
+            "deep chains / giant SANs / stacked wildcards must trip budgets, got {trips}"
+        );
+        assert!(
+            rows.iter().filter(|x| x.rejected > 0).count() >= 3,
+            "rejections should span multiple layers: {rows:?}"
+        );
+        assert_eq!(r.health.panics_recovered, 0);
+        // The hostile cohort never leaks into the sampled datasets.
+        for d in &r.datasets {
+            for i in &d.app_indices {
+                assert!(!r.world.hostile_apps.contains(i));
+            }
+        }
+        // Deterministic: a rerun renders byte-identically.
+        let mut cfg2 = StudyConfig::tiny(0xAD7);
+        cfg2.world.adversarial_apps = 8;
+        let r2 = Study::new(cfg2).run();
+        assert_eq!(r.render_all(), r2.render_all());
     }
 
     #[test]

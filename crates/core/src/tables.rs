@@ -672,14 +672,57 @@ impl StudyResults {
             return out;
         }
         for (err, n) in &summary {
-            out.push_str(&format!("  {:<14} {n:>4}\n", err.label()));
+            out.push_str(&format!("  {:<16} {n:>4}\n", err.label()));
         }
         out.push_str(&format!(
-            "  {:<14} {degraded:>4} of {} apps unobserved\n",
+            "  {:<16} {degraded:>4} of {} apps unobserved\n",
             "total",
             self.records.len()
         ));
         out
+    }
+
+    /// Per-decode-layer histogram of structured [`MalformedInput`]
+    /// rejections: one row per [`InputLayer`], counting apps the layer
+    /// rejected and how many of those rejections were parse-budget trips.
+    ///
+    /// [`MalformedInput`]: pinning_netsim::MeasurementError::MalformedInput
+    /// [`InputLayer`]: pinning_netsim::InputLayer
+    pub fn resilience_summary(&self) -> Vec<tables::ResilienceRow> {
+        use pinning_netsim::{InputLayer, MalformedKind};
+        let mut rows: Vec<tables::ResilienceRow> = InputLayer::ALL
+            .iter()
+            .map(|l| tables::ResilienceRow {
+                layer: l.label(),
+                rejected: 0,
+                budget_trips: 0,
+            })
+            .collect();
+        for (_, e) in self.degraded_apps() {
+            let Some((layer, reason)) = e.malformed_parts() else {
+                continue;
+            };
+            for (row, l) in rows.iter_mut().zip(InputLayer::ALL) {
+                if l == layer {
+                    row.rejected += 1;
+                    if reason == MalformedKind::LimitExceeded {
+                        row.budget_trips += 1;
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// Renders the "Malformed-input resilience" table: per-layer rejection
+    /// counts for the adversarial cohort, budget-trip counts, and the
+    /// zero-crash attestation.
+    pub fn render_resilience(&self) -> String {
+        tables::table_resilience(
+            &self.resilience_summary(),
+            self.world.hostile_apps.len(),
+            self.health.panics_recovered,
+        )
     }
 
     /// Renders the "Run health" table: supervision and journal telemetry
@@ -822,6 +865,8 @@ impl StudyResults {
         out.push('\n');
         out.push_str(&self.render_degraded());
         out.push('\n');
+        out.push_str(&self.render_resilience());
+        out.push('\n');
         out.push_str(&self.summary());
         out.push('\n');
         out
@@ -923,6 +968,8 @@ mod tests {
             "Log shards",
             "resolver cache hit rate",
             "Degraded measurements",
+            "Malformed-input resilience",
+            "zero-crash attestation",
         ] {
             assert!(report.contains(needle), "missing {needle}");
         }

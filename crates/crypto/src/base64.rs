@@ -37,6 +37,13 @@ pub enum B64Error {
     BadLength,
     /// A character outside the base64 alphabet (or misplaced padding).
     BadChar(char),
+    /// Input exceeds the caller-supplied byte cap (see [`b64decode_bounded`]).
+    TooLong {
+        /// Input length in bytes.
+        len: usize,
+        /// The cap that was exceeded.
+        cap: usize,
+    },
 }
 
 impl core::fmt::Display for B64Error {
@@ -44,6 +51,9 @@ impl core::fmt::Display for B64Error {
         match self {
             B64Error::BadLength => write!(f, "base64 input length not a multiple of 4"),
             B64Error::BadChar(c) => write!(f, "invalid base64 character {c:?}"),
+            B64Error::TooLong { len, cap } => {
+                write!(f, "base64 input of {len} bytes exceeds cap of {cap}")
+            }
         }
     }
 }
@@ -92,6 +102,19 @@ pub fn b64decode(s: &str) -> Result<Vec<u8>, B64Error> {
         }
     }
     Ok(out)
+}
+
+/// Decodes standard padded base64 after rejecting inputs longer than
+/// `max_input_bytes` — the hostile-input entry point used wherever the
+/// input length is attacker-influenced.
+pub fn b64decode_bounded(s: &str, max_input_bytes: usize) -> Result<Vec<u8>, B64Error> {
+    if s.len() > max_input_bytes {
+        return Err(B64Error::TooLong {
+            len: s.len(),
+            cap: max_input_bytes,
+        });
+    }
+    b64decode(s)
 }
 
 #[cfg(test)]
@@ -147,6 +170,15 @@ mod tests {
         // the paper's scanner pattern `{28,64}`.
         let d = crate::sha1::sha1(b"spki");
         assert_eq!(b64encode(&d).len(), 28);
+    }
+
+    #[test]
+    fn bounded_decode_rejects_oversized_input() {
+        assert_eq!(
+            b64decode_bounded("Zm9vYmFy", 4),
+            Err(B64Error::TooLong { len: 8, cap: 4 })
+        );
+        assert_eq!(b64decode_bounded("Zm9vYmFy", 8).unwrap(), b"foobar");
     }
 
     #[test]

@@ -23,6 +23,13 @@ pub enum HexError {
     OddLength,
     /// Non-hex character.
     BadChar(char),
+    /// Input exceeds the caller-supplied byte cap (see [`hex_decode_bounded`]).
+    TooLong {
+        /// Input length in bytes.
+        len: usize,
+        /// The cap that was exceeded.
+        cap: usize,
+    },
 }
 
 impl core::fmt::Display for HexError {
@@ -30,6 +37,9 @@ impl core::fmt::Display for HexError {
         match self {
             HexError::OddLength => write!(f, "hex input has odd length"),
             HexError::BadChar(c) => write!(f, "invalid hex character {c:?}"),
+            HexError::TooLong { len, cap } => {
+                write!(f, "hex input of {len} bytes exceeds cap of {cap}")
+            }
         }
     }
 }
@@ -58,6 +68,19 @@ pub fn hex_decode(s: &str) -> Result<Vec<u8>, HexError> {
         out.push((hi << 4) | lo);
     }
     Ok(out)
+}
+
+/// Decodes hex after rejecting inputs longer than `max_input_bytes` — the
+/// hostile-input entry point used wherever the input length is
+/// attacker-influenced.
+pub fn hex_decode_bounded(s: &str, max_input_bytes: usize) -> Result<Vec<u8>, HexError> {
+    if s.len() > max_input_bytes {
+        return Err(HexError::TooLong {
+            len: s.len(),
+            cap: max_input_bytes,
+        });
+    }
+    hex_decode(s)
 }
 
 #[cfg(test)]
@@ -89,5 +112,14 @@ mod tests {
     #[test]
     fn rejects_bad_char() {
         assert_eq!(hex_decode("zz"), Err(HexError::BadChar('z')));
+    }
+
+    #[test]
+    fn bounded_decode_rejects_oversized_input() {
+        assert_eq!(
+            hex_decode_bounded("deadbeef", 4),
+            Err(HexError::TooLong { len: 8, cap: 4 })
+        );
+        assert_eq!(hex_decode_bounded("beef", 4).unwrap(), [0xbe, 0xef]);
     }
 }

@@ -185,3 +185,48 @@ fn signatures_verify_and_bind_to_message() {
         }
     }
 }
+
+#[test]
+fn text_decoders_never_panic_on_arbitrary_ascii() {
+    let mut rng = SplitMix64::new(0xa5c2);
+    let glyphs: Vec<u8> = (0x20u8..0x7f).collect();
+    for _ in 0..CASES * 4 {
+        let len = rng.next_below(200) as usize;
+        let s: String = (0..len)
+            .map(|_| glyphs[rng.next_below(glyphs.len() as u64) as usize] as char)
+            .collect();
+        let _ = b64decode(&s);
+        let _ = hex_decode(&s);
+    }
+}
+
+#[test]
+fn bounded_decoders_respect_the_cap_exactly() {
+    use pinning_crypto::base64::B64Error;
+    use pinning_crypto::hex::HexError;
+    use pinning_crypto::{b64decode_bounded, hex_decode_bounded};
+    let mut rng = SplitMix64::new(0xa5c3);
+    for _ in 0..CASES {
+        let cap = 8 + rng.next_below(64) as usize;
+        let at_cap = "A".repeat(cap);
+        let over_cap = "A".repeat(cap + 1);
+        // At the cap: the decoder runs (outcome depends on validity).
+        assert!(!matches!(
+            b64decode_bounded(&at_cap, cap),
+            Err(B64Error::TooLong { .. })
+        ));
+        assert!(!matches!(
+            hex_decode_bounded(&at_cap, cap),
+            Err(HexError::TooLong { .. })
+        ));
+        // One past the cap: rejected before any decoding work.
+        assert!(matches!(
+            b64decode_bounded(&over_cap, cap),
+            Err(B64Error::TooLong { .. })
+        ));
+        assert!(matches!(
+            hex_decode_bounded(&over_cap, cap),
+            Err(HexError::TooLong { .. })
+        ));
+    }
+}

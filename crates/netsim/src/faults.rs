@@ -92,6 +92,134 @@ pub enum MeasurementError {
     /// The worker measuring this app panicked; the supervisor recovered
     /// and degraded the app instead of aborting the study.
     WorkerPanic,
+    /// The app's inputs (package assets or the chain its servers present)
+    /// are malformed or pathological: a decoder or the chain screen
+    /// rejected them. The measurement is reported as lost — a hostile
+    /// input never fabricates or suppresses a pinning verdict (the same
+    /// contract as PR1's Unobserved rule).
+    MalformedInput {
+        /// Which input layer rejected the data.
+        layer: InputLayer,
+        /// How the input was malformed.
+        reason: MalformedKind,
+    },
+}
+
+/// Which decode / screening layer rejected a hostile input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InputLayer {
+    /// The DER-like certificate decoder (`pinning_pki::encode`).
+    Der,
+    /// PEM framing (delimiters, base64 body).
+    Pem,
+    /// The XML parser (`pinning_app::xml`).
+    Xml,
+    /// Network Security Config interpretation (`pinning_app::nsc`).
+    Nsc,
+    /// The `simcap` capture format.
+    Simcap,
+    /// The study write-ahead journal.
+    Journal,
+    /// Run-time chain screening (`pinning_pki::limits::screen_chain`).
+    Chain,
+}
+
+impl InputLayer {
+    /// All layers, in display order (for the resilience table).
+    pub const ALL: [InputLayer; 7] = [
+        InputLayer::Der,
+        InputLayer::Pem,
+        InputLayer::Xml,
+        InputLayer::Nsc,
+        InputLayer::Simcap,
+        InputLayer::Journal,
+        InputLayer::Chain,
+    ];
+
+    /// Short stable label used in tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            InputLayer::Der => "der",
+            InputLayer::Pem => "pem",
+            InputLayer::Xml => "xml",
+            InputLayer::Nsc => "nsc",
+            InputLayer::Simcap => "simcap",
+            InputLayer::Journal => "journal",
+            InputLayer::Chain => "chain",
+        }
+    }
+
+    /// The `MeasurementError::label()` string for a malformed input
+    /// rejected at this layer.
+    pub fn malformed_label(self) -> &'static str {
+        match self {
+            InputLayer::Der => "malformed-der",
+            InputLayer::Pem => "malformed-pem",
+            InputLayer::Xml => "malformed-xml",
+            InputLayer::Nsc => "malformed-nsc",
+            InputLayer::Simcap => "malformed-simcap",
+            InputLayer::Journal => "malformed-journal",
+            InputLayer::Chain => "malformed-chain",
+        }
+    }
+}
+
+impl std::fmt::Display for InputLayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How a hostile input was malformed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MalformedKind {
+    /// Input ended before a complete structure.
+    Truncated,
+    /// Structurally invalid (bad tags, framing, linkage, repetition).
+    BadStructure,
+    /// A field failed to decode (bad UTF-8, bad base64, bad magic).
+    BadEncoding,
+    /// A [`pinning_pki::limits::Budget`] limit was tripped.
+    LimitExceeded,
+}
+
+impl MalformedKind {
+    /// All kinds, in display order.
+    pub const ALL: [MalformedKind; 4] = [
+        MalformedKind::Truncated,
+        MalformedKind::BadStructure,
+        MalformedKind::BadEncoding,
+        MalformedKind::LimitExceeded,
+    ];
+
+    /// Short stable label used in tables and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            MalformedKind::Truncated => "truncated",
+            MalformedKind::BadStructure => "bad-structure",
+            MalformedKind::BadEncoding => "bad-encoding",
+            MalformedKind::LimitExceeded => "limit-exceeded",
+        }
+    }
+
+    /// Classifies a [`pinning_pki::error::DecodeError`].
+    pub fn from_decode_error(e: &pinning_pki::error::DecodeError) -> Self {
+        use pinning_pki::error::DecodeError as E;
+        match e {
+            E::Truncated => MalformedKind::Truncated,
+            E::UnexpectedTag { .. } | E::BadLength | E::BadPem => MalformedKind::BadStructure,
+            E::BadUtf8 | E::BadPemBase64 | E::BadFieldSize | E::BadMagic => {
+                MalformedKind::BadEncoding
+            }
+            E::LimitExceeded(_) => MalformedKind::LimitExceeded,
+        }
+    }
+}
+
+impl std::fmt::Display for MalformedKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 impl MeasurementError {
@@ -105,10 +233,13 @@ impl MeasurementError {
             MeasurementError::DeviceCrash => "device-crash",
             MeasurementError::Deadline => "deadline",
             MeasurementError::WorkerPanic => "worker-panic",
+            MeasurementError::MalformedInput { layer, .. } => layer.malformed_label(),
         }
     }
 
-    /// All variants, in display order (for summary tables).
+    /// The scalar (field-free) variants, in display order — the degraded
+    /// summary iterates these; `MalformedInput` is broken out per layer in
+    /// the resilience table instead.
     pub const ALL: [MeasurementError; 7] = [
         MeasurementError::Dns,
         MeasurementError::Tcp,
@@ -118,6 +249,15 @@ impl MeasurementError {
         MeasurementError::Deadline,
         MeasurementError::WorkerPanic,
     ];
+
+    /// The layer/reason pair when this error is a malformed-input
+    /// rejection.
+    pub fn malformed_parts(self) -> Option<(InputLayer, MalformedKind)> {
+        match self {
+            MeasurementError::MalformedInput { layer, reason } => Some((layer, reason)),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for MeasurementError {
@@ -409,6 +549,49 @@ mod tests {
         assert_eq!(
             plan.run_abort("r", true, 30),
             Some(RunAbort::ProxyCaUnavailable)
+        );
+    }
+
+    #[test]
+    fn malformed_labels_are_distinct_and_stable() {
+        let mut labels: Vec<&str> = MeasurementError::ALL.iter().map(|e| e.label()).collect();
+        for layer in InputLayer::ALL {
+            labels.push(layer.malformed_label());
+        }
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "labels must be unique");
+        let e = MeasurementError::MalformedInput {
+            layer: InputLayer::Chain,
+            reason: MalformedKind::LimitExceeded,
+        };
+        assert_eq!(e.label(), "malformed-chain");
+        assert_eq!(
+            e.malformed_parts(),
+            Some((InputLayer::Chain, MalformedKind::LimitExceeded))
+        );
+        assert_eq!(MeasurementError::Dns.malformed_parts(), None);
+    }
+
+    #[test]
+    fn decode_errors_classify_into_malformed_kinds() {
+        use pinning_pki::error::DecodeError as E;
+        assert_eq!(
+            MalformedKind::from_decode_error(&E::Truncated),
+            MalformedKind::Truncated
+        );
+        assert_eq!(
+            MalformedKind::from_decode_error(&E::BadLength),
+            MalformedKind::BadStructure
+        );
+        assert_eq!(
+            MalformedKind::from_decode_error(&E::BadMagic),
+            MalformedKind::BadEncoding
+        );
+        assert_eq!(
+            MalformedKind::from_decode_error(&E::LimitExceeded(pinning_pki::limits::Limit::Depth)),
+            MalformedKind::LimitExceeded
         );
     }
 

@@ -42,7 +42,9 @@ pub mod simcap;
 
 pub use breaker::{Admission, BreakerConfig, BreakerSet, BreakerState};
 pub use device::{Device, RunConfig};
-pub use faults::{FaultConfig, FaultKind, FaultPlan, MeasurementError, RunAbort};
+pub use faults::{
+    FaultConfig, FaultKind, FaultPlan, InputLayer, MalformedKind, MeasurementError, RunAbort,
+};
 pub use flow::{Capture, FaultEvent, FlowOrigin, FlowRecord};
 pub use network::{DuplicateHost, Network};
 pub use proxy::MitmProxy;

@@ -68,11 +68,25 @@ const CIPHERS: [CipherSuite; 15] = [
     CipherSuite::TLS_RSA_EXPORT_WITH_RC4_40_MD5,
 ];
 
+// Exhaustive so a new suite is a compile error here, not a runtime panic.
 fn cipher_id(c: CipherSuite) -> u64 {
-    CIPHERS
-        .iter()
-        .position(|&x| x == c)
-        .expect("cipher registered") as u64
+    match c {
+        CipherSuite::TLS_AES_128_GCM_SHA256 => 0,
+        CipherSuite::TLS_AES_256_GCM_SHA384 => 1,
+        CipherSuite::TLS_CHACHA20_POLY1305_SHA256 => 2,
+        CipherSuite::TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256 => 3,
+        CipherSuite::TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384 => 4,
+        CipherSuite::TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256 => 5,
+        CipherSuite::TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256 => 6,
+        CipherSuite::TLS_RSA_WITH_AES_128_CBC_SHA => 7,
+        CipherSuite::TLS_RSA_WITH_AES_256_CBC_SHA => 8,
+        CipherSuite::TLS_RSA_WITH_DES_CBC_SHA => 9,
+        CipherSuite::TLS_RSA_WITH_3DES_EDE_CBC_SHA => 10,
+        CipherSuite::TLS_RSA_WITH_RC4_128_SHA => 11,
+        CipherSuite::TLS_RSA_WITH_RC4_128_MD5 => 12,
+        CipherSuite::TLS_RSA_EXPORT_WITH_DES40_CBC_SHA => 13,
+        CipherSuite::TLS_RSA_EXPORT_WITH_RC4_40_MD5 => 14,
+    }
 }
 
 fn cipher_from(id: u64) -> Result<CipherSuite, DecodeError> {
@@ -368,16 +382,34 @@ pub fn serialize(capture: &Capture) -> Vec<u8> {
     out
 }
 
-/// Deserializes a capture (current or previous format version).
+/// Deserializes a capture (current or previous format version) under the
+/// workspace-standard hostile-input budget.
 pub fn deserialize(bytes: &[u8]) -> Result<Capture, DecodeError> {
+    deserialize_with_budget(bytes, &pinning_pki::limits::Budget::STANDARD)
+}
+
+/// Deserializes a capture under an explicit [`pinning_pki::limits::Budget`].
+///
+/// Every length prefix in the stream is validated against the remaining
+/// input before any allocation, so a lying length field (claiming, say,
+/// 2^60 flows) is rejected up front instead of reserving memory for it.
+pub fn deserialize_with_budget(
+    bytes: &[u8],
+    budget: &pinning_pki::limits::Budget,
+) -> Result<Capture, DecodeError> {
+    if bytes.len() > budget.max_input_bytes {
+        return Err(DecodeError::LimitExceeded(
+            pinning_pki::limits::Limit::InputBytes,
+        ));
+    }
     let (body, has_faults) = if let Some(b) = bytes.strip_prefix(MAGIC.as_slice()) {
         (b, true)
     } else if let Some(b) = bytes.strip_prefix(MAGIC_V1.as_slice()) {
         (b, false)
     } else {
-        return Err(DecodeError::BadPem);
+        return Err(DecodeError::BadMagic);
     };
-    let mut r = Reader::new(body);
+    let mut r = Reader::with_budget(body, *budget);
     let mut c = r.nested(TAG_CAPTURE)?;
     let window_secs = c.u64()? as u32;
     let flows = c.list(|r| {
@@ -539,7 +571,36 @@ mod tests {
         let cap = sample_capture();
         let mut bytes = serialize(&cap);
         bytes[0] ^= 0xff;
-        assert!(deserialize(&bytes).is_err());
+        assert_eq!(deserialize(&bytes).err(), Some(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn lying_flow_count_rejected_without_allocation() {
+        // A stream whose flow-list claims 2^60 entries but carries none:
+        // the reader must reject it from the length check alone, never
+        // pre-allocating for the claimed count.
+        let mut out = MAGIC.to_vec();
+        let mut w = Writer::new();
+        w.nested(TAG_CAPTURE, |w| {
+            w.u64(30); // window_secs
+            w.nested(pinning_pki::encode::tag::LIST, |w| {
+                w.u64(1 << 60); // lying element count, zero elements follow
+            });
+        });
+        out.extend_from_slice(&w.into_bytes());
+        assert_eq!(deserialize(&out).err(), Some(DecodeError::BadLength));
+    }
+
+    #[test]
+    fn oversized_stream_rejected_by_budget() {
+        let strict = pinning_pki::limits::Budget::strict();
+        let bytes = vec![0u8; strict.max_input_bytes + 1];
+        assert_eq!(
+            deserialize_with_budget(&bytes, &strict).err(),
+            Some(DecodeError::LimitExceeded(
+                pinning_pki::limits::Limit::InputBytes
+            ))
+        );
     }
 
     #[test]

@@ -178,3 +178,45 @@ fn simcap_never_panics_on_mutation() {
         let _ = simcap::deserialize(&bytes);
     }
 }
+
+#[test]
+fn simcap_never_panics_on_truncation_and_length_lies() {
+    let mut rng = SplitMix64::new(0x5ca9);
+    for _ in 0..256 {
+        let mut cap = arb_capture(&mut rng, 3);
+        if cap.flows.is_empty() {
+            cap.flows.push(arb_flow(&mut rng));
+        }
+        let mut bytes = simcap::serialize(&cap);
+        match rng.next_below(3) {
+            0 => bytes.truncate(rng.next_below(bytes.len() as u64) as usize),
+            1 => {
+                // A lying length prefix must be rejected before any
+                // allocation proportional to the claimed size.
+                let i = rng.next_below(bytes.len() as u64) as usize;
+                for (dst, src) in bytes[i..].iter_mut().zip(u64::MAX.to_be_bytes()) {
+                    *dst = src;
+                }
+            }
+            _ => {
+                let at = rng.next_below(bytes.len() as u64 + 1) as usize;
+                let mut garbage = vec![0u8; 1 + rng.next_below(16) as usize];
+                rng.fill_bytes(&mut garbage);
+                bytes.splice(at..at, garbage);
+            }
+        }
+        let _ = simcap::deserialize(&bytes);
+    }
+}
+
+#[test]
+fn simcap_rejects_over_budget_streams_up_front() {
+    use pinning_pki::error::DecodeError;
+    use pinning_pki::limits::{Budget, Limit};
+    let strict = Budget::strict();
+    let big = vec![0u8; strict.max_input_bytes + 1];
+    assert_eq!(
+        simcap::deserialize_with_budget(&big, &strict).err(),
+        Some(DecodeError::LimitExceeded(Limit::InputBytes))
+    );
+}

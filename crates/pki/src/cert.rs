@@ -174,15 +174,27 @@ impl Certificate {
         self.der_bytes().to_vec()
     }
 
-    /// Parses a certificate from its DER-like encoding.
+    /// Parses a certificate from its DER-like encoding under
+    /// [`crate::limits::Budget::STANDARD`].
     pub fn from_der(der: &[u8]) -> Result<Self, DecodeError> {
-        let mut outer = Reader::new(der);
+        Self::from_der_with_budget(der, &crate::limits::Budget::STANDARD)
+    }
+
+    /// Parses a certificate under an explicit [`crate::limits::Budget`]:
+    /// the TLV reader enforces input-size / depth / work limits and the SAN
+    /// list is capped at `max_names` entries with at most
+    /// `max_wildcard_labels` wildcard labels each.
+    pub fn from_der_with_budget(
+        der: &[u8],
+        budget: &crate::limits::Budget,
+    ) -> Result<Self, DecodeError> {
+        let mut outer = Reader::with_budget(der, *budget);
         let mut cert = outer.nested(tag::CERTIFICATE)?;
         let tbs_bytes = cert.bytes()?;
         let mut sig_reader = cert.nested(tag::SIGNATURE)?;
         let sig: [u8; 32] = sig_reader.bytes_fixed()?;
 
-        let mut tbs_outer = Reader::new(&tbs_bytes);
+        let mut tbs_outer = Reader::with_budget(&tbs_bytes, *budget);
         let mut t = tbs_outer.nested(tag::TBS)?;
         let serial = t.u64()?;
         let subject = decode_name(&mut t)?;
@@ -190,6 +202,17 @@ impl Certificate {
         let not_before = crate::time::SimTime(t.u64()?);
         let not_after = crate::time::SimTime(t.u64()?);
         let san = t.list(|r| r.string())?;
+        if san.len() > budget.max_names {
+            return Err(DecodeError::LimitExceeded(crate::limits::Limit::Names));
+        }
+        if san
+            .iter()
+            .any(|n| crate::limits::wildcard_labels(n) > budget.max_wildcard_labels)
+        {
+            return Err(DecodeError::LimitExceeded(
+                crate::limits::Limit::WildcardLabels,
+            ));
+        }
         let spki: [u8; 32] = t.bytes_fixed()?;
         let verifier: [u8; 32] = t.bytes_fixed()?;
         let is_ca = t.boolean()?;
@@ -414,6 +437,34 @@ mod tests {
     fn truncated_der_rejected() {
         let der = sample_cert(8).to_der();
         assert!(Certificate::from_der(&der[..der.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn giant_san_list_rejected_at_decode() {
+        let mut cert = sample_cert(10);
+        cert.tbs.san = (0..crate::limits::Budget::STANDARD.max_names + 1)
+            .map(|i| format!("h{i}.example.com"))
+            .collect();
+        cert.invalidate_derived();
+        let der = cert.to_der();
+        assert_eq!(
+            Certificate::from_der(&der),
+            Err(DecodeError::LimitExceeded(crate::limits::Limit::Names))
+        );
+    }
+
+    #[test]
+    fn wildcard_stacking_rejected_at_decode() {
+        let mut cert = sample_cert(11);
+        cert.tbs.san = vec!["*.*.*.*.*.*.example.com".to_string()];
+        cert.invalidate_derived();
+        let der = cert.to_der();
+        assert_eq!(
+            Certificate::from_der(&der),
+            Err(DecodeError::LimitExceeded(
+                crate::limits::Limit::WildcardLabels
+            ))
+        );
     }
 
     #[test]

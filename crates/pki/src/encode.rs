@@ -13,6 +13,7 @@
 //!   blobs it finds in app packages.
 
 use crate::error::DecodeError;
+use crate::limits::{Budget, Limit};
 use pinning_crypto::base64::{b64decode, b64encode};
 
 /// Tags used by the encoding.
@@ -116,21 +117,58 @@ impl Writer {
 }
 
 /// Cursor-based TLV reader.
+///
+/// Every reader enforces a [`Budget`]: total input size, nesting depth, and
+/// a per-parse work counter. [`Reader::new`] applies [`Budget::STANDARD`];
+/// [`Reader::with_budget`] takes an explicit one. A budget trip surfaces as
+/// [`DecodeError::LimitExceeded`], never a panic or an unbounded loop.
 #[derive(Debug)]
 pub struct Reader<'a> {
     input: &'a [u8],
     pos: usize,
+    budget: Budget,
+    depth: usize,
+    work: u64,
 }
 
 impl<'a> Reader<'a> {
-    /// Creates a reader over `input`.
+    /// Creates a reader over `input` under [`Budget::STANDARD`].
     pub fn new(input: &'a [u8]) -> Self {
-        Reader { input, pos: 0 }
+        Reader::with_budget(input, Budget::STANDARD)
+    }
+
+    /// Creates a reader over `input` under an explicit `budget`.
+    pub fn with_budget(input: &'a [u8], budget: Budget) -> Self {
+        Reader {
+            input,
+            pos: 0,
+            budget,
+            depth: 0,
+            work: 0,
+        }
     }
 
     /// True when every byte has been consumed.
     pub fn is_empty(&self) -> bool {
         self.pos >= self.input.len()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len().saturating_sub(self.pos)
+    }
+
+    /// Charges one unit of decode work and enforces the input-size and
+    /// work limits (checked here so that every primitive read pays it).
+    fn charge(&mut self) -> Result<(), DecodeError> {
+        if self.input.len() > self.budget.max_input_bytes {
+            return Err(DecodeError::LimitExceeded(Limit::InputBytes));
+        }
+        self.work += 1;
+        if self.work > self.budget.max_work {
+            return Err(DecodeError::LimitExceeded(Limit::Work));
+        }
+        Ok(())
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
@@ -143,6 +181,7 @@ impl<'a> Reader<'a> {
     }
 
     fn header(&mut self, expected: u8) -> Result<usize, DecodeError> {
+        self.charge()?;
         let t = self.take(1)?[0];
         if t != expected {
             return Err(DecodeError::UnexpectedTag { expected, found: t });
@@ -203,7 +242,7 @@ impl<'a> Reader<'a> {
             tag::SOME => {
                 let len = self.header(tag::SOME)?;
                 let body = self.take(len)?;
-                let mut inner = Reader::new(body);
+                let mut inner = self.child(body)?;
                 Ok(Some(inner.u64()?))
             }
             tag::NONE => {
@@ -217,21 +256,44 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Builds a sub-reader over `body` one nesting level deeper, enforcing
+    /// the depth limit.
+    fn child(&self, body: &'a [u8]) -> Result<Reader<'a>, DecodeError> {
+        if self.depth + 1 > self.budget.max_depth {
+            return Err(DecodeError::LimitExceeded(Limit::Depth));
+        }
+        Ok(Reader {
+            input: body,
+            pos: 0,
+            budget: self.budget,
+            depth: self.depth + 1,
+            work: self.work,
+        })
+    }
+
     /// Enters a nested structure tagged `t`, returning a sub-reader.
     pub fn nested(&mut self, t: u8) -> Result<Reader<'a>, DecodeError> {
         let len = self.header(t)?;
         let body = self.take(len)?;
-        Ok(Reader::new(body))
+        self.child(body)
     }
 
     /// Reads a list, calling `f` once per element.
+    ///
+    /// A lying element count cannot drive allocation: every element consumes
+    /// at least one input byte, so a count larger than the remaining input is
+    /// rejected up front and pre-allocation is capped at the remaining input
+    /// size.
     pub fn list<T>(
         &mut self,
         mut f: impl FnMut(&mut Reader<'a>) -> Result<T, DecodeError>,
     ) -> Result<Vec<T>, DecodeError> {
         let mut inner = self.nested(tag::LIST)?;
         let n = inner.u64()? as usize;
-        let mut out = Vec::with_capacity(n.min(1024));
+        if n > inner.remaining() {
+            return Err(DecodeError::BadLength);
+        }
+        let mut out = Vec::with_capacity(n.min(inner.remaining()));
         for _ in 0..n {
             out.push(f(&mut inner)?);
         }
@@ -251,9 +313,16 @@ pub fn pem_encode(der: &[u8]) -> String {
     let mut out = String::with_capacity(b64.len() + 64);
     out.push_str(PEM_BEGIN_CERT);
     out.push('\n');
-    for chunk in b64.as_bytes().chunks(64) {
-        // b64encode produces ASCII, so the chunk is valid UTF-8.
-        out.push_str(core::str::from_utf8(chunk).expect("base64 is ASCII"));
+    let mut line_len = 0;
+    for c in b64.chars() {
+        out.push(c);
+        line_len += 1;
+        if line_len == 64 {
+            out.push('\n');
+            line_len = 0;
+        }
+    }
+    if line_len > 0 {
         out.push('\n');
     }
     out.push_str(PEM_END_CERT);
@@ -265,8 +334,22 @@ pub fn pem_encode(der: &[u8]) -> String {
 ///
 /// Tolerates leading/trailing junk around blocks (app packages interleave
 /// PEM with other asset content). Returns an error if a BEGIN has no END or
-/// a body fails to base64-decode.
+/// a body fails to base64-decode. Runs under [`Budget::STANDARD`]; see
+/// [`pem_decode_all_with_budget`] for an explicit budget.
 pub fn pem_decode_all(text: &str) -> Result<Vec<Vec<u8>>, DecodeError> {
+    pem_decode_all_with_budget(text, &Budget::STANDARD)
+}
+
+/// [`pem_decode_all`] under an explicit [`Budget`]: rejects oversized inputs
+/// before scanning and bounds each block's base64 decode by the remaining
+/// budget.
+pub fn pem_decode_all_with_budget(
+    text: &str,
+    budget: &Budget,
+) -> Result<Vec<Vec<u8>>, DecodeError> {
+    if text.len() > budget.max_input_bytes {
+        return Err(DecodeError::LimitExceeded(Limit::InputBytes));
+    }
     let mut out = Vec::new();
     let mut rest = text;
     while let Some(start) = rest.find(PEM_BEGIN_CERT) {
@@ -411,5 +494,97 @@ mod tests {
                 assert!(line.len() <= 64);
             }
         }
+    }
+
+    #[test]
+    fn lying_list_count_rejected_without_allocation() {
+        // Hand-craft a LIST whose count field claims 2^60 elements but whose
+        // body holds nothing: the reader must reject it up front instead of
+        // pre-allocating.
+        let mut inner = Writer::new();
+        inner.u64(1u64 << 60);
+        let mut w = Writer::new();
+        w.tlv(tag::LIST, &inner.into_bytes());
+        let bytes = w.into_bytes();
+        assert_eq!(
+            Reader::new(&bytes).list(|r| r.u64()),
+            Err(DecodeError::BadLength)
+        );
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Build nesting deeper than the strict budget allows.
+        let strict = Budget::strict();
+        let mut body = Writer::new();
+        body.u64(7);
+        let mut bytes = body.into_bytes();
+        for _ in 0..strict.max_depth + 2 {
+            let mut w = Writer::new();
+            w.tlv(tag::TBS, &bytes);
+            bytes = w.into_bytes();
+        }
+        let mut r = Reader::with_budget(&bytes, strict);
+        let mut result = Ok(());
+        for _ in 0..strict.max_depth + 2 {
+            match r.nested(tag::TBS) {
+                Ok(inner) => r = inner,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(result, Err(DecodeError::LimitExceeded(Limit::Depth)));
+    }
+
+    #[test]
+    fn oversized_input_rejected() {
+        let tight = Budget {
+            max_input_bytes: 8,
+            ..Budget::strict()
+        };
+        let mut w = Writer::new();
+        w.bytes(&[0u8; 32]);
+        let bytes = w.into_bytes();
+        assert_eq!(
+            Reader::with_budget(&bytes, tight).bytes(),
+            Err(DecodeError::LimitExceeded(Limit::InputBytes))
+        );
+    }
+
+    #[test]
+    fn work_budget_is_enforced() {
+        let tight = Budget {
+            max_work: 4,
+            ..Budget::strict()
+        };
+        let items: Vec<u64> = (0..16).collect();
+        let mut w = Writer::new();
+        w.list(&items, |w, v| w.u64(*v));
+        let bytes = w.into_bytes();
+        assert_eq!(
+            Reader::with_budget(&bytes, tight).list(|r| r.u64()),
+            Err(DecodeError::LimitExceeded(Limit::Work))
+        );
+    }
+
+    #[test]
+    fn pem_empty_der_roundtrip() {
+        let pem = pem_encode(&[]);
+        assert_eq!(pem_decode_all(&pem).unwrap(), vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn pem_budget_rejects_oversized_input() {
+        let tight = Budget {
+            max_input_bytes: 16,
+            ..Budget::strict()
+        };
+        let text = pem_encode(&[1u8; 64]);
+        assert_eq!(
+            pem_decode_all_with_budget(&text, &tight),
+            Err(DecodeError::LimitExceeded(Limit::InputBytes))
+        );
     }
 }

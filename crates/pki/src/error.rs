@@ -1,5 +1,6 @@
 //! Chain-validation and decoding errors.
 
+use crate::limits::{ChainDefect, Limit};
 use crate::time::SimTime;
 
 /// Why a certificate chain failed validation.
@@ -63,6 +64,10 @@ pub enum ValidationError {
         /// Serial number of the revoked certificate.
         serial: u64,
     },
+    /// The presented chain is structurally pathological or exceeds the
+    /// validation [`crate::limits::Budget`] — it is rejected before any
+    /// cryptographic work is attempted.
+    Malformed(ChainDefect),
 }
 
 impl core::fmt::Display for ValidationError {
@@ -109,6 +114,9 @@ impl core::fmt::Display for ValidationError {
             ValidationError::Revoked { serial } => {
                 write!(f, "certificate serial {serial} is revoked")
             }
+            ValidationError::Malformed(defect) => {
+                write!(f, "pathological chain rejected: {defect}")
+            }
         }
     }
 }
@@ -137,6 +145,10 @@ pub enum DecodeError {
     BadPemBase64,
     /// A fixed-size field had the wrong length.
     BadFieldSize,
+    /// The input format's magic / version marker was wrong.
+    BadMagic,
+    /// The input tripped a [`crate::limits::Budget`] limit.
+    LimitExceeded(Limit),
 }
 
 impl core::fmt::Display for DecodeError {
@@ -154,6 +166,10 @@ impl core::fmt::Display for DecodeError {
             DecodeError::BadPem => write!(f, "malformed PEM framing"),
             DecodeError::BadPemBase64 => write!(f, "invalid base64 in PEM body"),
             DecodeError::BadFieldSize => write!(f, "fixed-size field has wrong length"),
+            DecodeError::BadMagic => write!(f, "bad magic / version marker"),
+            DecodeError::LimitExceeded(limit) => {
+                write!(f, "decode budget exceeded: {limit}")
+            }
         }
     }
 }

@@ -24,6 +24,9 @@
 //!   pins, pin sets, and chain matching — the heart of the whole study.
 //! * [`hpkp`] — RFC 7469 web pinning, implemented so §2.1's app-pinning
 //!   vs HPKP contrast (TOFU weakness, no in-band pin change) is executable.
+//! * [`limits`] — hostile-input budgets ([`limits::Budget`]) enforced by
+//!   every decoder in the workspace, plus run-time chain screening
+//!   ([`limits::screen_chain`]) for pathological served chains.
 //! * [`time`] — virtual time and validity windows.
 //! * [`cache`] — hit/miss telemetry and the runtime kill-switch for the
 //!   derived-value caches (DER bytes, fingerprints, pins, validation memo)
@@ -39,6 +42,7 @@ pub mod chain;
 pub mod encode;
 pub mod error;
 pub mod hpkp;
+pub mod limits;
 pub mod name;
 pub mod pin;
 pub mod store;
@@ -51,6 +55,7 @@ pub use cache::{caching_enabled, set_caching_enabled, CacheCounter, CacheStat};
 pub use cert::{Certificate, TbsCertificate};
 pub use chain::CertificateChain;
 pub use error::ValidationError;
+pub use limits::{screen_chain, Budget, ChainDefect, Limit};
 pub use name::{match_hostname, DistinguishedName};
 pub use pin::{CertPin, Pin, PinAlgorithm, PinSet, SpkiPin};
 pub use store::RootStore;

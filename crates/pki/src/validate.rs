@@ -98,6 +98,12 @@ pub fn validate_chain(
 ) -> Result<(), ValidationError> {
     let leaf = chain.first().ok_or(ValidationError::EmptyChain)?;
 
+    // Screen structure before any cryptographic work: pathological chains
+    // (cycles, absurd depth, giant SAN lists, stacked wildcards) are
+    // rejected up front under the standard hostile-input budget.
+    crate::limits::screen_chain(chain, &crate::limits::Budget::STANDARD)
+        .map_err(ValidationError::Malformed)?;
+
     if options.check_expiry {
         for cert in chain {
             if now < cert.tbs.validity.not_before {
@@ -331,6 +337,44 @@ mod tests {
     fn valid_chain_with_root_included() {
         let f = fixture();
         ok(&f, &f.chain, "pay.shop.com", SimTime(100)).unwrap();
+    }
+
+    #[test]
+    fn cyclic_chain_rejected_before_crypto() {
+        let f = fixture();
+        // leaf → inter → inter → root: the repeated certificate (a loop in
+        // disguise) must be caught by screening, not by signature walking.
+        let chain = vec![
+            f.chain[0].clone(),
+            f.chain[1].clone(),
+            f.chain[1].clone(),
+            f.chain[2].clone(),
+        ];
+        assert_eq!(
+            ok(&f, &chain, "pay.shop.com", SimTime(100)),
+            Err(ValidationError::Malformed(
+                crate::limits::ChainDefect::RepeatedCertificate { position: 2 }
+            ))
+        );
+    }
+
+    #[test]
+    fn overlong_chain_rejected_before_crypto() {
+        let f = fixture();
+        let budget = crate::limits::Budget::STANDARD;
+        let mut chain = Vec::new();
+        for i in 0..budget.max_chain_len + 1 {
+            let mut c = f.chain[0].clone();
+            c.tbs.serial = c.tbs.serial.wrapping_add(i as u64);
+            c.invalidate_derived();
+            chain.push(c);
+        }
+        assert_eq!(
+            ok(&f, &chain, "pay.shop.com", SimTime(100)),
+            Err(ValidationError::Malformed(
+                crate::limits::ChainDefect::TooLong { len: chain.len() }
+            ))
+        );
     }
 
     #[test]

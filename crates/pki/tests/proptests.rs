@@ -187,3 +187,94 @@ fn fingerprints_injective_over_serial() {
         assert_eq!(leaf.spki_sha256(), renewed.spki_sha256());
     }
 }
+
+// ---------------------------------------------------------------------
+// Hostile-input properties: every decoder rejects with a structured
+// error — never a panic, never an unbounded allocation.
+// ---------------------------------------------------------------------
+
+fn mutate_bytes(rng: &mut SplitMix64, buf: &mut Vec<u8>) {
+    if buf.is_empty() {
+        return;
+    }
+    let len = buf.len() as u64;
+    match rng.next_below(4) {
+        0 => {
+            let i = rng.next_below(len) as usize;
+            buf[i] ^= 1 << rng.next_below(8);
+        }
+        1 => buf.truncate(rng.next_below(len) as usize),
+        2 => {
+            // Length-field lie: stamp a huge big-endian run anywhere.
+            let i = rng.next_below(len) as usize;
+            for (dst, src) in buf[i..].iter_mut().zip(u64::MAX.to_be_bytes()) {
+                *dst = src;
+            }
+        }
+        _ => {
+            let at = rng.next_below(len + 1) as usize;
+            let mut garbage = vec![0u8; 1 + rng.next_below(12) as usize];
+            rng.fill_bytes(&mut garbage);
+            buf.splice(at..at, garbage);
+        }
+    }
+}
+
+#[test]
+fn from_der_never_panics_on_mutated_certificates() {
+    let mut rng = SplitMix64::new(0xFDE0);
+    let (leaf, root) = arbitrary_leaf(1, "host.example", "Org", 7);
+    let corpus = [leaf.to_der(), root.to_der()];
+    for _ in 0..CASES * 8 {
+        let mut der = corpus[rng.next_below(2) as usize].clone();
+        for _ in 0..=rng.next_below(3) {
+            mutate_bytes(&mut rng, &mut der);
+        }
+        // Must return, Ok or Err — any panic fails the test harness.
+        let _ = Certificate::from_der(&der);
+    }
+}
+
+#[test]
+fn from_der_never_panics_on_random_bytes() {
+    let mut rng = SplitMix64::new(0xFDE1);
+    for _ in 0..CASES * 8 {
+        let mut buf = vec![0u8; rng.next_below(400) as usize];
+        rng.fill_bytes(&mut buf);
+        let _ = Certificate::from_der(&buf);
+    }
+}
+
+#[test]
+fn pem_decode_never_panics_on_mutated_text() {
+    let mut rng = SplitMix64::new(0xFDE2);
+    let (leaf, _) = arbitrary_leaf(2, "pem.example", "Org", 8);
+    let base = leaf.to_pem().into_bytes();
+    for _ in 0..CASES * 8 {
+        let mut text = base.clone();
+        for _ in 0..=rng.next_below(3) {
+            mutate_bytes(&mut rng, &mut text);
+        }
+        if let Ok(s) = std::str::from_utf8(&text) {
+            let _ = pem_decode_all(s);
+        }
+    }
+}
+
+#[test]
+fn decoders_reject_over_budget_input_up_front() {
+    use pinning_pki::encode::pem_decode_all_with_budget;
+    use pinning_pki::error::DecodeError;
+    use pinning_pki::limits::{Budget, Limit};
+    let strict = Budget::strict();
+    let big = vec![0u8; strict.max_input_bytes + 1];
+    assert!(matches!(
+        Certificate::from_der_with_budget(&big, &strict),
+        Err(DecodeError::LimitExceeded(Limit::InputBytes))
+    ));
+    let big_text = "B".repeat(strict.max_input_bytes + 1);
+    assert!(matches!(
+        pem_decode_all_with_budget(&big_text, &strict),
+        Err(DecodeError::LimitExceeded(Limit::InputBytes))
+    ));
+}

@@ -492,6 +492,54 @@ pub fn table_run_health(r: &RunHealthReport) -> String {
     t.render()
 }
 
+/// One decode layer's row in the "Malformed-input resilience" table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceRow {
+    /// Decode layer label (e.g. `"der"`, `"nsc"`, `"chain"`).
+    pub layer: &'static str,
+    /// Apps rejected at this layer with a structured `MalformedInput`.
+    pub rejected: usize,
+    /// Of those, rejections caused by a parse-budget limit trip rather
+    /// than a structural defect.
+    pub budget_trips: usize,
+}
+
+/// Renders the "Malformed-input resilience" table: per-layer structured
+/// rejection counts for the adversarial cohort, how many rejections were
+/// budget trips, and the zero-crash attestation (worker panics observed
+/// while the hostile apps were being measured).
+pub fn table_resilience(rows: &[ResilienceRow], hostile_apps: usize, panics: u32) -> String {
+    let mut t = TextTable::new(
+        "Malformed-input resilience (adversarial cohort)",
+        &["Layer", "Rejected", "Budget trips"],
+    )
+    .aligns(&[Align::Left, Align::Right, Align::Right]);
+    let (mut rejected, mut trips) = (0usize, 0usize);
+    for r in rows {
+        t.row(&[
+            r.layer,
+            &r.rejected.to_string(),
+            &r.budget_trips.to_string(),
+        ]);
+        rejected += r.rejected;
+        trips += r.budget_trips;
+    }
+    t.row(&["total", &rejected.to_string(), &trips.to_string()]);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "  hostile apps planted: {hostile_apps}, rejected with structured errors: {rejected}\n"
+    ));
+    out.push_str(&format!(
+        "  crashes (worker panics) during the run: {panics}{}\n",
+        if panics == 0 {
+            " — zero-crash attestation holds"
+        } else {
+            " — ATTESTATION VIOLATED"
+        }
+    ));
+    out
+}
+
 /// A quick textual share bar used in several summaries.
 pub fn share_bar(label: &str, num: usize, den: usize, width: usize) -> String {
     let p = if den == 0 {

@@ -95,6 +95,13 @@ pub struct WorldConfig {
     pub ct_ca_coverage: f64,
     /// FairPlay key for iOS store downloads.
     pub ios_encryption_seed: u64,
+    /// Number of adversarial apps planted outside the store listings:
+    /// apps whose servers present pathological chains (cycles, 50-deep
+    /// chains, giant SAN lists, stacked wildcards) or whose packages
+    /// carry garbage certificate assets / fake-PEM NSC files. `0` (the
+    /// default everywhere) leaves the world byte-identical to earlier
+    /// revisions; the robustness experiments set it explicitly.
+    pub adversarial_apps: usize,
 }
 
 impl WorldConfig {
@@ -143,6 +150,7 @@ impl WorldConfig {
             ct_leaf_coverage: 0.42,
             ct_ca_coverage: 0.52,
             ios_encryption_seed: 0xFA1A_9AE5_EED5_0001,
+            adversarial_apps: 0,
         }
     }
 

@@ -23,4 +23,4 @@ pub mod world;
 pub use config::WorldConfig;
 pub use datasets::{Dataset, DatasetKind};
 pub use whois::{Party, WhoisRegistry};
-pub use world::World;
+pub use world::{HostileKind, World};

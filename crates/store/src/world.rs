@@ -30,6 +30,8 @@ use std::collections::HashMap;
 
 pub(crate) mod appgen;
 
+pub use appgen::HostileKind;
+
 /// The complete generated ecosystem.
 #[derive(Debug)]
 pub struct World {
@@ -54,6 +56,10 @@ pub struct World {
     pub alternativeto: Vec<String>,
     /// Product key → (android app idx, ios app idx).
     pub products: HashMap<String, (Option<usize>, Option<usize>)>,
+    /// Indices (into [`World::apps`]) of the adversarial cohort: hostile
+    /// apps planted outside the store listings (see
+    /// [`crate::config::WorldConfig::adversarial_apps`]). Empty by default.
+    pub hostile_apps: Vec<usize>,
     /// Canonical copies of every CA certificate served anywhere on the
     /// network, warmed so derived values are never recomputed.
     pub interner: CertInterner,
@@ -86,7 +92,7 @@ impl World {
         };
         gen.register_infrastructure();
 
-        let (apps, android_listing, ios_listing, alternativeto, products) =
+        let (apps, android_listing, ios_listing, alternativeto, products, hostile_apps) =
             appgen::generate_apps(&mut gen);
 
         let Generator {
@@ -118,6 +124,7 @@ impl World {
             ios_listing,
             alternativeto,
             products,
+            hostile_apps,
             interner,
             now,
         }

@@ -169,7 +169,8 @@ fn fp_pin_prob(
 }
 
 /// Generates every product, then every app, returning
-/// `(apps, android_listing, ios_listing, alternativeto, products)`.
+/// `(apps, android_listing, ios_listing, alternativeto, products,
+/// hostile_apps)`.
 #[allow(clippy::type_complexity)]
 pub(crate) fn generate_apps(
     gen: &mut Generator<'_>,
@@ -179,6 +180,7 @@ pub(crate) fn generate_apps(
     Vec<usize>,
     Vec<String>,
     HashMap<String, (Option<usize>, Option<usize>)>,
+    Vec<usize>,
 ) {
     let store_size = gen.config.store_size;
     let n_cross = gen.config.n_cross_products;
@@ -282,12 +284,17 @@ pub(crate) fn generate_apps(
     });
     let alternativeto: Vec<String> = cross.iter().map(|p| p.key.clone()).collect();
 
+    // --- 6. Adversarial cohort (after listings, so rankings are
+    //        untouched; hostile apps live outside the store) ---
+    let hostile_apps = plant_adversarial_apps(gen, &mut apps);
+
     (
         apps,
         android_listing,
         ios_listing,
         alternativeto,
         product_index,
+        hostile_apps,
     )
 }
 
@@ -652,6 +659,194 @@ fn pick_sdks(
         }
     }
     picked
+}
+
+/// The flavours of hostile app the adversarial cohort cycles through.
+///
+/// Each flavour attacks a different decoder or screening layer; the study
+/// must degrade every one of them as `MalformedInput` — never panic, never
+/// fabricate a pinning verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HostileKind {
+    /// The server presents a 50-deep certificate chain.
+    DeepChain,
+    /// The chain revisits an intermediate (a cycle).
+    Cycle,
+    /// The chain is a self-issued certificate repeated back-to-back.
+    SelfIssuedLoop,
+    /// The leaf carries hundreds of SAN entries.
+    GiantSan,
+    /// The leaf stacks wildcard labels (`*.*.*.*.*.*`).
+    AbsurdWildcard,
+    /// The package ships a garbage-DER certificate asset.
+    GarbageDerAsset,
+    /// The package ships a `.pem` asset whose body is not valid PEM.
+    BadPemAsset,
+    /// The Android NSC file contains PEM text instead of XML.
+    FakePemNsc,
+}
+
+impl HostileKind {
+    /// All flavours, in planting order.
+    pub const ALL: [HostileKind; 8] = [
+        HostileKind::DeepChain,
+        HostileKind::Cycle,
+        HostileKind::SelfIssuedLoop,
+        HostileKind::GiantSan,
+        HostileKind::AbsurdWildcard,
+        HostileKind::GarbageDerAsset,
+        HostileKind::BadPemAsset,
+        HostileKind::FakePemNsc,
+    ];
+
+    /// Whether this flavour serves a pathological chain (as opposed to a
+    /// hostile package asset).
+    pub fn attacks_served_chain(self) -> bool {
+        matches!(
+            self,
+            HostileKind::DeepChain
+                | HostileKind::Cycle
+                | HostileKind::SelfIssuedLoop
+                | HostileKind::GiantSan
+                | HostileKind::AbsurdWildcard
+        )
+    }
+}
+
+/// Plants `config.adversarial_apps` hostile apps (outside the store
+/// listings, so dataset sampling is untouched) and returns their indices
+/// into `apps`.
+pub(crate) fn plant_adversarial_apps(
+    gen: &mut Generator<'_>,
+    apps: &mut Vec<MobileApp>,
+) -> Vec<usize> {
+    let n = gen.config.adversarial_apps;
+    let mut hostile = Vec::with_capacity(n);
+    for k in 0..n {
+        let kind = HostileKind::ALL[k % HostileKind::ALL.len()];
+        let idx = apps.len();
+        apps.push(build_hostile_app(gen, k, kind));
+        hostile.push(idx);
+    }
+    hostile
+}
+
+fn hostile_chain(
+    gen: &mut Generator<'_>,
+    domain: &str,
+    org: &str,
+    kind: HostileKind,
+) -> pinning_pki::CertificateChain {
+    let mut rng = gen.rng.derive(&format!("srv-adv/{domain}"));
+    let key = pinning_crypto::sig::KeyPair::generate(&mut rng);
+    let inter_idx = (rng.next_below(gen.universe.n_intermediates() as u64)) as usize;
+    let base =
+        gen.universe
+            .issue_server_chain_via(inter_idx, &[domain.to_string()], org, &key, 398);
+    let certs = base.certs();
+    let max_len = pinning_pki::Budget::STANDARD.max_chain_len;
+    let max_names = pinning_pki::Budget::STANDARD.max_names;
+    let mutated: Vec<Certificate> = match kind {
+        HostileKind::DeepChain => {
+            // ~50 distinct certificates: far past the chain-length budget.
+            (0..(max_len * 3 + 2))
+                .map(|i| {
+                    let mut c = certs[0].clone();
+                    c.tbs.serial = c.tbs.serial.wrapping_add(i as u64);
+                    c.invalidate_derived();
+                    c
+                })
+                .collect()
+        }
+        HostileKind::Cycle => {
+            // leaf → inter → inter: the chain revisits its issuer.
+            vec![certs[0].clone(), certs[1].clone(), certs[1].clone()]
+        }
+        HostileKind::SelfIssuedLoop => {
+            let ss = gen
+                .universe
+                .issue_self_signed(org, &[domain.to_string()], 2, &mut rng);
+            let c = ss.certs()[0].clone();
+            vec![c.clone(), c]
+        }
+        HostileKind::GiantSan => {
+            let mut c = certs[0].clone();
+            c.tbs.san = (0..max_names * 8)
+                .map(|i| format!("h{i}.{domain}"))
+                .collect();
+            c.tbs.san.push(domain.to_string());
+            c.invalidate_derived();
+            vec![c, certs[1].clone(), certs[2].clone()]
+        }
+        HostileKind::AbsurdWildcard => {
+            let mut c = certs[0].clone();
+            c.tbs.san = vec![format!("*.*.*.*.*.*.{domain}"), domain.to_string()];
+            c.invalidate_derived();
+            vec![c, certs[1].clone(), certs[2].clone()]
+        }
+        // Asset attackers serve their honest chain.
+        HostileKind::GarbageDerAsset | HostileKind::BadPemAsset | HostileKind::FakePemNsc => {
+            certs.to_vec()
+        }
+    };
+    pinning_pki::CertificateChain::new(mutated)
+}
+
+fn build_hostile_app(gen: &mut Generator<'_>, k: usize, kind: HostileKind) -> MobileApp {
+    use pinning_app::package::{AppFile, AppPackage};
+
+    let key = format!("adv{k:04}");
+    let domain = format!("api.{key}.example");
+    let org = format!("Adversary{k} Ltd");
+    let chain = hostile_chain(gen, &domain, &org, kind);
+    gen.whois.record(&domain, &org);
+    gen.network.register(pinning_netsim::OriginServer::modern(
+        vec![domain.clone()],
+        org.clone(),
+        chain,
+    ));
+
+    let mut files = Vec::new();
+    match kind {
+        HostileKind::GarbageDerAsset => {
+            // High tag byte + lying 32-bit length: never a valid TLV.
+            let mut rng = gen.rng.derive(&format!("adv-der/{k}"));
+            let mut garbage = vec![0xEEu8, 0xFF, 0xFF, 0xFF, 0xFF];
+            garbage.extend((0..64).map(|_| rng.next_below(256) as u8));
+            files.push(AppFile::binary("assets/pinned_ca.der", garbage));
+        }
+        HostileKind::BadPemAsset => {
+            files.push(AppFile::text(
+                "res/raw/bundled_ca_0.pem",
+                "-----BEGIN CERTIFICATE-----\nnot base64 at all !!!\n-----END CERTIFICATE-----\n",
+            ));
+        }
+        HostileKind::FakePemNsc => {
+            files.push(AppFile::text(
+                "res/xml/network_security_config.xml",
+                "-----BEGIN CERTIFICATE-----\nAAAA\n-----END CERTIFICATE-----\n",
+            ));
+        }
+        _ => {}
+    }
+
+    MobileApp {
+        id: AppId::new(Platform::Android, format!("com.adversary.{key}")),
+        product_key: key.clone(),
+        name: format!("Adversary {k}"),
+        developer_org: org,
+        category: Category::Tools,
+        popularity_rank: (gen.config.store_size + k + 1) as u32,
+        sdk_names: Vec::new(),
+        pin_rules: Vec::new(),
+        first_party_domains: vec![domain.clone()],
+        associated_domains: Vec::new(),
+        uses_nsc: kind == HostileKind::FakePemNsc,
+        behavior: AppBehavior {
+            connections: vec![PlannedConnection::simple(domain, TlsLibrary::Conscrypt)],
+        },
+        package: AppPackage::new(Platform::Android, files),
+    }
 }
 
 fn plant_self_signed_oddballs(gen: &mut Generator<'_>, products: &mut [Product]) {

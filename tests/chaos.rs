@@ -310,3 +310,61 @@ fn quiet_fault_config_reproduces_the_clean_study() {
         );
     }
 }
+
+#[test]
+fn adversarial_cohort_survives_kill_and_resume_byte_identically() {
+    // The hostile-input cohort under the crash-safety machinery: a study
+    // measuring adversarial apps (pathological chains, garbage assets) is
+    // killed mid-run, resumed from its journal, and must render every
+    // report byte — including the malformed-input resilience table —
+    // identically to the uninterrupted run. This proves the structured
+    // MalformedInput errors round-trip through the journal's sentinel
+    // encoding under real interruption, not just in unit tests.
+    let config = || {
+        let mut cfg = StudyConfig::tiny(0xADE5);
+        cfg.world.adversarial_apps = 8;
+        cfg
+    };
+
+    let mut killed_cfg = config();
+    killed_cfg.supervisor.kill_after_apps = Some(5);
+    let journal = killed_cfg.journal();
+    let StudyOutcome::Interrupted { journal, .. } =
+        Study::new(killed_cfg).run_with_journal(journal).unwrap()
+    else {
+        panic!("kill_after_apps must interrupt the run")
+    };
+
+    let disk_image = journal.into_bytes();
+    let resumed = match Study::new(config()).resume(&disk_image).unwrap() {
+        StudyOutcome::Completed(r) => *r,
+        StudyOutcome::Interrupted { .. } => panic!("resume without a kill must complete"),
+    };
+    let uninterrupted = Study::new(config()).run();
+
+    // Every hostile app surfaced as a structured MalformedInput failure in
+    // both runs, and zero worker panics were recorded.
+    for r in [&resumed, &uninterrupted] {
+        assert_eq!(r.world.hostile_apps.len(), 8);
+        for &i in &r.world.hostile_apps {
+            assert!(
+                matches!(
+                    r.records[&i].error,
+                    Some(MeasurementError::MalformedInput { .. })
+                ),
+                "hostile app {i}: {:?}",
+                r.records[&i].error
+            );
+        }
+        assert_eq!(r.health.panics_recovered, 0);
+    }
+    assert_eq!(
+        resumed.render_all(),
+        uninterrupted.render_all(),
+        "resumed report (incl. resilience table) must be byte-identical"
+    );
+    assert_eq!(
+        resumed.render_resilience(),
+        uninterrupted.render_resilience()
+    );
+}

@@ -8,7 +8,7 @@ use app_tls_pinning::analysis::pii::Contingency;
 use app_tls_pinning::analysis::statics::scanner;
 use app_tls_pinning::core::journal::{AppOutcome, JournalEntry, MeasuredApp, ResultJournal};
 use app_tls_pinning::crypto::{b64decode, b64encode, hex_decode, hex_encode, sha256, SplitMix64};
-use app_tls_pinning::netsim::faults::MeasurementError;
+use app_tls_pinning::netsim::faults::{InputLayer, MalformedKind, MeasurementError};
 use app_tls_pinning::pki::encode::{pem_decode_all, pem_encode};
 use app_tls_pinning::pki::name::match_hostname;
 use app_tls_pinning::pki::pin::SpkiPin;
@@ -171,6 +171,13 @@ fn random_entry(rng: &mut SplitMix64) -> JournalEntry {
     let outcome = if rng.chance(0.25) {
         let errors = MeasurementError::ALL;
         AppOutcome::Failed(errors[rng.next_below(errors.len() as u64) as usize])
+    } else if rng.chance(0.2) {
+        // The structured malformed-input error: any (layer, reason) pair
+        // must round-trip through the journal's sentinel encoding.
+        AppOutcome::Failed(MeasurementError::MalformedInput {
+            layer: InputLayer::ALL[rng.next_below(InputLayer::ALL.len() as u64) as usize],
+            reason: MalformedKind::ALL[rng.next_below(MalformedKind::ALL.len() as u64) as usize],
+        })
     } else {
         AppOutcome::Measured(Box::new(MeasuredApp {
             pinned_destinations: strings(rng, 4),
