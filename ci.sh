@@ -36,6 +36,9 @@ cargo bench -q -p pinning-bench --bench perf --offline -- smoke
 echo "==> fuzz smoke (every decoder, mutation fuzz, fixed seed; fails on any panic)"
 cargo bench -q -p pinning-bench --bench fuzz --offline -- smoke
 
+echo "==> serve smoke (seeded overload: bounded queue, nonzero shed, same-seed determinism, offline-identical verdicts)"
+cargo bench -q -p pinning-bench --bench serve --offline -- smoke
+
 echo "==> rustdoc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 

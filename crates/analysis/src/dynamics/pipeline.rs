@@ -18,40 +18,12 @@ use pinning_netsim::proxy::MitmProxy;
 use pinning_pki::store::RootStore;
 use pinning_pki::time::SimTime;
 
-/// Bounded retry with deterministic backoff for faulted run pairs.
+/// Bounded retry with deterministic backoff for faulted run pairs
+/// (shared with the serve layer; re-exported here for compatibility).
 ///
-/// The paper's operators re-queued apps whose runs failed and gave up
-/// after a few tries; this policy reproduces that loop on the virtual
-/// clock. Backoff doubles per retry, plus a seeded jitter so re-queued
-/// apps don't thunder back in lockstep; the deadline bounds total virtual
-/// time spent on one app (settle + capture windows + backoff).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Maximum (baseline, MITM) pair attempts per app, ≥ 1.
-    pub max_attempts: u32,
-    /// Backoff before the first retry, seconds; doubles each retry.
-    pub backoff_secs: u32,
-    /// Jitter added to each backoff, as a percentage of the doubled base
-    /// (0 = none). Drawn deterministically from the environment seed and
-    /// the app id, so replays stay bit-identical.
-    pub jitter_pct: u32,
-    /// Virtual-time budget for one app, seconds.
-    pub deadline_secs: u32,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        // 3 attempts × 2 runs × (≤120 s settle + 30 s window) plus 30+60 s
-        // of backoff (and ≤50% jitter on each) fits; the deadline only
-        // triggers on pathological settings.
-        RetryPolicy {
-            max_attempts: 3,
-            backoff_secs: 30,
-            jitter_pct: 50,
-            deadline_secs: 1800,
-        }
-    }
-}
+/// In this pipeline the jitter RNG handle is derived from the environment
+/// seed and the app id, so replays stay bit-identical.
+pub use pinning_resilience::RetryPolicy;
 
 /// Shared environment for dynamic analysis: one network, one proxy, one
 /// test device per platform.
@@ -244,16 +216,7 @@ fn run_pair_with_retry(
         SplitMix64::new(env.seed).derive(&format!("backoff/{}{tag_suffix}", app.id));
     for attempt in 0..max_attempts {
         let last = attempt + 1 == max_attempts;
-        if attempt > 0 {
-            let base = (env.retry.backoff_secs as u64) << (attempt - 1);
-            let span = base * env.retry.jitter_pct as u64 / 100;
-            let jitter = if span > 0 {
-                jitter_rng.next_below(span + 1)
-            } else {
-                0
-            };
-            *clock += base + jitter;
-        }
+        *clock += env.retry.backoff_before(attempt, &mut jitter_rng);
 
         let marker = if attempt == 0 {
             String::new()

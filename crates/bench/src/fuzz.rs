@@ -69,15 +69,20 @@ impl std::fmt::Display for FuzzFailure {
 }
 
 /// Purely random input for the no-corpus fraction of cases.
-fn random_input(rng: &mut SplitMix64) -> Vec<u8> {
+///
+/// Public so other harnesses (the serving load generator, ad-hoc tools)
+/// can draw from the same hostile-input distribution the fuzzer uses.
+pub fn random_input(rng: &mut SplitMix64) -> Vec<u8> {
     let len = rng.next_below(513) as usize;
     let mut buf = vec![0u8; len];
     rng.fill_bytes(&mut buf);
     buf
 }
 
-/// Applies one mutation to `buf` in place (or replaces it).
-fn mutate_once(rng: &mut SplitMix64, buf: &mut Vec<u8>) {
+/// Applies one mutation to `buf` in place (or replaces it): bit flip,
+/// byte overwrite, truncation, length-field lie, slice duplication,
+/// garbage splice, or mid-slice deletion, chosen by `rng`.
+pub fn mutate_once(rng: &mut SplitMix64, buf: &mut Vec<u8>) {
     if buf.is_empty() {
         *buf = random_input(rng);
         return;
@@ -133,7 +138,12 @@ fn mutate_once(rng: &mut SplitMix64, buf: &mut Vec<u8>) {
 
 /// One mutated case: a corpus pick with 1–4 stacked mutations, or (5% of
 /// the time) pure noise.
-fn mutated_case(rng: &mut SplitMix64, corpus: &[Vec<u8>]) -> Vec<u8> {
+///
+/// This is the hostile-input distribution the whole workspace shares:
+/// the decoder fuzzer feeds it straight to each decoder, and the serving
+/// load generator ([`crate::load`]) uses it to corrupt real chain DER for
+/// the hostile fraction of its traffic.
+pub fn mutated_case(rng: &mut SplitMix64, corpus: &[Vec<u8>]) -> Vec<u8> {
     if corpus.is_empty() || rng.chance(0.05) {
         return random_input(rng);
     }

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod fuzz;
+pub mod load;
 
 use pinning_core::{Study, StudyConfig, StudyResults};
 use pinning_store::config::WorldConfig;

@@ -1,0 +1,376 @@
+//! Deterministic seeded load generator for the serving bench.
+//!
+//! Turns a generated [`World`] into a request trace for
+//! [`pinning_serve::PinService`]: app popularity follows a Zipf law over
+//! the store listing (rank 1 dominates, the tail is long), arrivals come
+//! in named phases with exponential inter-arrival gaps (a steady phase, a
+//! burst whose arrival rate exceeds the service rate, a recovery), and a
+//! configurable fraction of traffic is *hostile* — real chain DER pushed
+//! through the shared mutation fuzzer ([`crate::fuzz::mutated_case`]), so
+//! the front end faces exactly the corpus the decoder fuzz suite uses.
+//!
+//! Everything is a pure function of `(world, config)`: the same seed
+//! yields a byte-identical trace, which is what lets the overload bench
+//! assert exact equality between runs.
+
+use crate::fuzz;
+use pinning_app::app::MobileApp;
+use pinning_app::platform::Platform;
+use pinning_crypto::SplitMix64;
+use pinning_pki::pin::{Pin, PinAlgorithm, SpkiPin};
+use pinning_serve::{RequestBody, ServeRequest};
+use pinning_store::world::World;
+
+/// One arrival phase of the load trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPhase {
+    /// Phase name, carried into the bench report.
+    pub name: &'static str,
+    /// Phase length on the service's virtual tick clock.
+    pub duration_ticks: u64,
+    /// Mean inter-session gap (exponential), ticks. Small gap = overload.
+    pub mean_gap_ticks: f64,
+    /// Fraction of sessions whose requests carry mutated (hostile) bodies.
+    pub hostile_fraction: f64,
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadConfig {
+    /// Seed for every sampling decision.
+    pub seed: u64,
+    /// Store listing the Zipf law ranges over.
+    pub platform: Platform,
+    /// Zipf exponent `s` (weight of rank `k` is `1/k^s`).
+    pub zipf_exponent: f64,
+    /// Maximum requests per session (a session is one app's burst of
+    /// consecutive requests; length is uniform in `1..=max`).
+    pub max_session_len: usize,
+    /// The arrival phases, played back to back.
+    pub phases: Vec<LoadPhase>,
+}
+
+impl LoadConfig {
+    /// The canonical overload scenario: steady warm-up, a burst whose
+    /// arrival rate is far above the service rate with a ≥20% hostile
+    /// share, then a quiet recovery.
+    pub fn overload(seed: u64) -> Self {
+        LoadConfig {
+            seed,
+            platform: Platform::Android,
+            zipf_exponent: 1.1,
+            max_session_len: 3,
+            phases: vec![
+                LoadPhase {
+                    name: "steady",
+                    duration_ticks: 60_000,
+                    mean_gap_ticks: 300.0,
+                    hostile_fraction: 0.05,
+                },
+                LoadPhase {
+                    name: "burst",
+                    duration_ticks: 30_000,
+                    mean_gap_ticks: 3.0,
+                    hostile_fraction: 0.25,
+                },
+                LoadPhase {
+                    name: "recovery",
+                    duration_ticks: 60_000,
+                    mean_gap_ticks: 400.0,
+                    hostile_fraction: 0.05,
+                },
+            ],
+        }
+    }
+
+    /// A shorter overload trace for CI smoke runs (same shape, fewer
+    /// requests).
+    pub fn overload_smoke(seed: u64) -> Self {
+        LoadConfig {
+            phases: vec![
+                LoadPhase {
+                    name: "steady",
+                    duration_ticks: 12_000,
+                    mean_gap_ticks: 200.0,
+                    hostile_fraction: 0.05,
+                },
+                LoadPhase {
+                    name: "burst",
+                    duration_ticks: 6_000,
+                    mean_gap_ticks: 3.0,
+                    hostile_fraction: 0.25,
+                },
+                LoadPhase {
+                    name: "recovery",
+                    duration_ticks: 12_000,
+                    mean_gap_ticks: 300.0,
+                    hostile_fraction: 0.05,
+                },
+            ],
+            ..LoadConfig::overload(seed)
+        }
+    }
+}
+
+/// A generated trace plus the bookkeeping the bench report needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedLoad {
+    /// The requests, in arrival order, ids unique and ascending.
+    pub requests: Vec<ServeRequest>,
+    /// Requests carrying mutated bodies.
+    pub hostile: u64,
+    /// `(phase name, request count)` per configured phase.
+    pub per_phase: Vec<(&'static str, u64)>,
+}
+
+impl GeneratedLoad {
+    /// Hostile share of the whole trace, in `[0, 1]`.
+    pub fn hostile_fraction(&self) -> f64 {
+        if self.requests.is_empty() {
+            0.0
+        } else {
+            self.hostile as f64 / self.requests.len() as f64
+        }
+    }
+}
+
+/// Cumulative Zipf weights over ranks `1..=n`: sampling is one uniform
+/// draw plus a binary search.
+fn zipf_cumulative(n: usize, s: f64) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for k in 1..=n {
+        total += (k as f64).powf(-s);
+        cum.push(total);
+    }
+    for c in &mut cum {
+        *c /= total;
+    }
+    cum
+}
+
+/// One Zipf draw: the sampled rank as a 0-based listing index.
+fn zipf_index(cum: &[f64], rng: &mut SplitMix64) -> usize {
+    let u = rng.next_f64();
+    cum.partition_point(|&c| c < u).min(cum.len() - 1)
+}
+
+/// Exponential inter-arrival gap with the given mean, floored at one
+/// tick so the clock always advances.
+fn exp_gap(mean: f64, rng: &mut SplitMix64) -> u64 {
+    let u = rng.next_f64();
+    let gap = -(1.0 - u).ln() * mean;
+    (gap as u64).max(1)
+}
+
+/// The app's first SPKI pin, if it ships one (preferred digest source for
+/// `Resolve`/`Proof` traffic — it is exactly what the paper's §4.1.3
+/// pipeline resolves against CT).
+fn app_spki_pin(app: &MobileApp) -> Option<(PinAlgorithm, Vec<u8>)> {
+    for rule in &app.pin_rules {
+        for pin in &rule.pins.pins {
+            if let Pin::Spki(p) = pin {
+                return Some((p.alg, p.digest.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Generates the full request trace for `(world, cfg)`.
+///
+/// Each session Zipf-picks an app, then emits 1..=`max_session_len`
+/// requests against that app's planned destinations: ~70% chain
+/// validations (the served chain's DER, leaf first), ~20% pin
+/// resolutions, ~10% inclusion proofs. Hostile sessions corrupt the
+/// chain DER with [`fuzz::mutated_case`] before sending — the service
+/// must answer those structurally, never crash on them.
+pub fn generate_load(world: &World, cfg: &LoadConfig) -> GeneratedLoad {
+    let listing = world.listing(cfg.platform);
+    assert!(!listing.is_empty(), "load needs a populated store listing");
+    let cum = zipf_cumulative(listing.len(), cfg.zipf_exponent);
+    let mut rng = SplitMix64::new(cfg.seed).derive("load");
+
+    let mut requests = Vec::new();
+    let mut per_phase = Vec::with_capacity(cfg.phases.len());
+    let mut hostile_total = 0u64;
+    let mut clock = 0u64;
+    let mut next_id = 0u64;
+
+    for phase in &cfg.phases {
+        let phase_end = clock + phase.duration_ticks;
+        let mut phase_count = 0u64;
+        while clock < phase_end {
+            let app = &world.apps[listing[zipf_index(&cum, &mut rng)]];
+            let hostile = rng.chance(phase.hostile_fraction);
+            let session_len = 1 + rng.next_below(cfg.max_session_len.max(1) as u64);
+            for step in 0..session_len {
+                let Some(body) = session_request(world, app, hostile, &mut rng) else {
+                    continue;
+                };
+                requests.push(ServeRequest {
+                    id: next_id,
+                    // Session requests land a tick apart: same burst,
+                    // strictly ordered arrivals.
+                    arrival: clock + step,
+                    body,
+                });
+                next_id += 1;
+                phase_count += 1;
+                if hostile {
+                    hostile_total += 1;
+                }
+            }
+            clock += exp_gap(phase.mean_gap_ticks, &mut rng);
+        }
+        clock = phase_end;
+        per_phase.push((phase.name, phase_count));
+    }
+
+    GeneratedLoad {
+        requests,
+        hostile: hostile_total,
+        per_phase,
+    }
+}
+
+/// One request body for a session against `app`, or `None` when the app
+/// plans no connections (possible for degenerate tiny worlds).
+fn session_request(
+    world: &World,
+    app: &MobileApp,
+    hostile: bool,
+    rng: &mut SplitMix64,
+) -> Option<RequestBody> {
+    let conns = &app.behavior.connections;
+    let conn = conns.get(rng.next_below(conns.len().max(1) as u64) as usize)?;
+    let server = world.network.resolve(&conn.domain)?;
+    let chain: Vec<Vec<u8>> = server.chain.certs().iter().map(|c| c.to_der()).collect();
+
+    // Hostile sessions always attack the decode path: corrupt one
+    // certificate of the real chain with the shared mutation corpus.
+    if hostile {
+        let mut chain = chain;
+        let victim = rng.next_below(chain.len() as u64) as usize;
+        chain[victim] = fuzz::mutated_case(rng, &chain);
+        return Some(RequestBody::ValidateChain {
+            hostname: conn.domain.clone(),
+            chain_der: chain,
+        });
+    }
+
+    // Benign mix: ~70% validate, ~20% resolve, ~10% proof.
+    let draw = rng.next_f64();
+    if draw < 0.7 {
+        return Some(RequestBody::ValidateChain {
+            hostname: conn.domain.clone(),
+            chain_der: chain,
+        });
+    }
+    // Pin digest: the app's own SPKI pin when it ships one, otherwise
+    // the served leaf's SPKI (what a pin for this destination would be).
+    let (alg, digest) = app_spki_pin(app).unwrap_or_else(|| {
+        let leaf = SpkiPin::sha256_of(&server.chain.certs()[0]);
+        (leaf.alg, leaf.digest)
+    });
+    if draw < 0.9 {
+        Some(RequestBody::ResolvePin { alg, digest })
+    } else {
+        Some(RequestBody::InclusionProof { alg, digest })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinning_store::config::WorldConfig;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(0x10AD))
+    }
+
+    #[test]
+    fn zipf_front_ranks_dominate() {
+        let cum = zipf_cumulative(100, 1.1);
+        let mut rng = SplitMix64::new(7).derive("zipf");
+        let mut head = 0u32;
+        for _ in 0..2_000 {
+            if zipf_index(&cum, &mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Top 10% of ranks must carry well over a proportional share.
+        assert!(head > 700, "head draws: {head}/2000");
+    }
+
+    #[test]
+    fn same_seed_yields_identical_traces() {
+        let w = world();
+        let cfg = LoadConfig::overload_smoke(0xA1);
+        let a = generate_load(&w, &cfg);
+        let b = generate_load(&w, &cfg);
+        assert_eq!(a, b);
+        assert!(!a.requests.is_empty());
+    }
+
+    #[test]
+    fn burst_phase_carries_hostile_share_and_tight_gaps() {
+        let w = world();
+        let cfg = LoadConfig::overload_smoke(0xA2);
+        let load = generate_load(&w, &cfg);
+        let burst = load
+            .per_phase
+            .iter()
+            .find(|(n, _)| *n == "burst")
+            .expect("burst phase present");
+        let steady = load
+            .per_phase
+            .iter()
+            .find(|(n, _)| *n == "steady")
+            .expect("steady phase present");
+        // The burst is half the steady phase's duration but arrivals are
+        // ~25x denser; it must dominate the trace.
+        assert!(
+            burst.1 > steady.1 * 4,
+            "burst {} steady {}",
+            burst.1,
+            steady.1
+        );
+        assert!(load.hostile_fraction() > 0.1, "{}", load.hostile_fraction());
+        // Arrival order is non-decreasing and ids are unique/ascending.
+        for pair in load.requests.windows(2) {
+            assert!(pair[0].arrival <= pair[1].arrival || pair[0].id < pair[1].id);
+            assert!(pair[0].id < pair[1].id);
+        }
+    }
+
+    #[test]
+    fn bodies_reference_real_world_material() {
+        let w = world();
+        let cfg = LoadConfig::overload_smoke(0xA3);
+        let load = generate_load(&w, &cfg);
+        let (mut validates, mut resolves, mut proofs) = (0u32, 0u32, 0u32);
+        for req in &load.requests {
+            match &req.body {
+                RequestBody::ValidateChain {
+                    hostname,
+                    chain_der,
+                } => {
+                    assert!(w.network.has_host(hostname));
+                    assert!(!chain_der.is_empty());
+                    validates += 1;
+                }
+                RequestBody::ResolvePin { alg, digest }
+                | RequestBody::InclusionProof { alg, digest } => {
+                    assert_eq!(digest.len(), alg.digest_len());
+                    if matches!(req.body, RequestBody::ResolvePin { .. }) {
+                        resolves += 1;
+                    } else {
+                        proofs += 1;
+                    }
+                }
+            }
+        }
+        assert!(validates > resolves && resolves > proofs && proofs > 0);
+    }
+}

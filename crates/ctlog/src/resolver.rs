@@ -12,9 +12,19 @@ use crate::merkle::TreeAuthenticator;
 use crate::shard::{EntryLocator, LogSet};
 use pinning_pki::pin::PinAlgorithm;
 use pinning_pki::Certificate;
+use pinning_resilience::{Deadline, DeadlineExceeded};
 use std::cell::{Cell, RefCell};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+
+/// Work units charged for probing the locator memo (or, on a miss, as the
+/// flat per-query overhead of the underlying union lookup).
+pub const COST_LOCATOR_LOOKUP: u64 = 3;
+/// Work units charged per `tree_size / PROOF_COST_DIVISOR` leaves when an
+/// authenticator must be built fresh (the O(n) hashing pass).
+pub const PROOF_COST_DIVISOR: u64 = 4;
+/// Work units charged for assembling a proof from a ready authenticator.
+pub const COST_PROOF_ASSEMBLY: u64 = 8;
 
 /// Cache key → locators of every matching entry (empty = known-unresolvable).
 type LocatorCache = HashMap<(u8, Vec<u8>), Vec<EntryLocator>>;
@@ -103,6 +113,22 @@ impl<'a> PinResolver<'a> {
         !self.locate(alg, digest).is_empty()
     }
 
+    /// Memoized locator lookup: every log entry whose certificate carries
+    /// the pinned SPKI, as (shard, index) locators. Counts toward
+    /// [`ResolverStats`] like [`PinResolver::resolve`].
+    pub fn resolve_locators(&self, alg: PinAlgorithm, digest: &[u8]) -> Vec<EntryLocator> {
+        self.locate(alg, digest)
+    }
+
+    /// Probes the locator memo without querying the underlying logs:
+    /// `Some(locators)` iff this exact pin has already been resolved.
+    /// Does **not** touch the hit/miss counters — this is the brownout
+    /// path of `pinning-serve`, accounted by the service, not the study.
+    pub fn cached_resolution(&self, alg: PinAlgorithm, digest: &[u8]) -> Option<Vec<EntryLocator>> {
+        let key = (alg_tag(alg), digest.to_vec());
+        self.cache.borrow().get(&key).cloned()
+    }
+
     fn locate(&self, alg: PinAlgorithm, digest: &[u8]) -> Vec<EntryLocator> {
         let key = (alg_tag(alg), digest.to_vec());
         if let Some(locs) = self.cache.borrow().get(&key) {
@@ -126,17 +152,50 @@ impl<'a> PinResolver<'a> {
     /// without hashing ([`crate::merkle::PROOF_BATCH`] counts the split).
     /// Returns `None` for unknown shards or out-of-range entries/sizes.
     pub fn inclusion_proof(&self, loc: EntryLocator, tree_size: u64) -> Option<Vec<[u8; 32]>> {
+        self.inclusion_proof_within(loc, tree_size, &Deadline::unlimited())
+            .expect("unlimited deadline cannot expire")
+    }
+
+    /// [`PinResolver::inclusion_proof`] under a work-budget deadline.
+    ///
+    /// The cost model mirrors the real work: a fresh authenticator pays
+    /// `tree_size / PROOF_COST_DIVISOR + 1` units for the O(n) hashing
+    /// pass (charged *before* hashing, so a too-tight deadline abandons
+    /// proof generation before any work), a cached authenticator pays one
+    /// unit, and assembling the proof path pays
+    /// [`COST_PROOF_ASSEMBLY`]. With caching disabled every call pays the
+    /// fresh-build price.
+    pub fn inclusion_proof_within(
+        &self,
+        loc: EntryLocator,
+        tree_size: u64,
+        deadline: &Deadline,
+    ) -> Result<Option<Vec<[u8; 32]>>, DeadlineExceeded> {
         let (shard_idx, entry_idx) = loc;
-        let shard = self.logs.shards().get(shard_idx)?;
+        let Some(shard) = self.logs.shards().get(shard_idx) else {
+            return Ok(None);
+        };
+        let build_cost = tree_size / PROOF_COST_DIVISOR + 1;
         if !pinning_pki::cache::caching_enabled() {
-            return shard.log.inclusion_proof(entry_idx, tree_size);
+            deadline.charge(build_cost + COST_PROOF_ASSEMBLY)?;
+            return Ok(shard.log.inclusion_proof(entry_idx, tree_size));
         }
         let mut cache = self.auth_cache.borrow_mut();
         let auth = match cache.entry((shard_idx, tree_size)) {
-            Entry::Occupied(e) => e.into_mut(),
-            Entry::Vacant(e) => e.insert(shard.log.authenticator(tree_size)?),
+            Entry::Occupied(e) => {
+                deadline.charge(1)?;
+                e.into_mut()
+            }
+            Entry::Vacant(e) => {
+                deadline.charge(build_cost)?;
+                let Some(auth) = shard.log.authenticator(tree_size) else {
+                    return Ok(None);
+                };
+                e.insert(auth)
+            }
         };
-        auth.inclusion_proof(entry_idx)
+        deadline.charge(COST_PROOF_ASSEMBLY)?;
+        Ok(auth.inclusion_proof(entry_idx))
     }
 
     /// Current cache statistics.
@@ -279,6 +338,62 @@ mod tests {
         // Out-of-range queries mirror the direct API.
         assert_eq!(resolver.inclusion_proof((99, 0), 1), None);
         assert_eq!(resolver.inclusion_proof((0, 0), u64::MAX), None);
+    }
+
+    #[test]
+    fn deadline_bounds_proof_generation() {
+        let (set, certs) = populated_set();
+        let resolver = PinResolver::new(&set);
+        let loc = set.lookup_spki(PinAlgorithm::Sha256, &certs[0].spki_sha256())[0];
+        let size = set.shards()[loc.0].log.len() as u64;
+
+        // Too tight for the fresh authenticator build: structured timeout,
+        // and no authenticator was cached for a later free ride.
+        let tight = Deadline::with_budget(1);
+        assert_eq!(
+            resolver.inclusion_proof_within(loc, size, &tight),
+            Err(DeadlineExceeded)
+        );
+
+        // Roomy: identical to the undeadlined path, paying build+assembly.
+        let roomy = Deadline::with_budget(10_000);
+        let proof = resolver
+            .inclusion_proof_within(loc, size, &roomy)
+            .expect("roomy deadline");
+        assert_eq!(proof, set.shards()[loc.0].log.inclusion_proof(loc.1, size));
+        assert_eq!(
+            roomy.spent(),
+            size / PROOF_COST_DIVISOR + 1 + COST_PROOF_ASSEMBLY
+        );
+
+        // Second proof under the same tree state rides the cached
+        // authenticator: 1 + assembly.
+        let cheap = Deadline::with_budget(1 + COST_PROOF_ASSEMBLY);
+        assert!(resolver
+            .inclusion_proof_within(loc, size, &cheap)
+            .expect("cached authenticator fits")
+            .is_some());
+        assert!(cheap.is_expired());
+    }
+
+    #[test]
+    fn cached_resolution_probe_reads_memo_without_counting() {
+        let (set, certs) = populated_set();
+        let resolver = PinResolver::new(&set);
+        let digest = certs[0].spki_sha256();
+        // Nothing resolved yet: the probe is empty and counts nothing.
+        assert_eq!(
+            resolver.cached_resolution(PinAlgorithm::Sha256, &digest),
+            None
+        );
+        assert_eq!(resolver.stats().total(), 0);
+        // Resolve once, then the probe serves the memoized locators.
+        let locs = resolver.resolve_locators(PinAlgorithm::Sha256, &digest);
+        assert_eq!(
+            resolver.cached_resolution(PinAlgorithm::Sha256, &digest),
+            Some(locs)
+        );
+        assert_eq!(resolver.stats().total(), 1, "probe must not count");
     }
 
     #[test]

@@ -4,28 +4,19 @@
 //! for the whole campaign: every app contacting a dead CDN paid the full
 //! timeout ladder again. A circuit breaker remembers that an endpoint has
 //! been failing *within the current app's measurement* and short-circuits
-//! further attempts until a cooldown has passed, then lets a single probe
-//! through (half-open) before either closing again or re-opening.
+//! further attempts until a cooldown has passed.
 //!
-//! The state machine is the classic three-state breaker:
-//!
-//! ```text
-//!            ≥ threshold consecutive faults
-//!   Closed ────────────────────────────────▶ Open
-//!     ▲                                       │ cooldown attempts skipped
-//!     │ probe succeeds                        ▼
-//!     └───────────────────────────────── HalfOpen
-//!                                             │ probe faults
-//!                                             └──────▶ Open (re-trip)
-//! ```
-//!
-//! Only *injected test-bed faults* feed the breaker — ordinary server
-//! flakiness and genuine pin-validation failures never do, so a fault-free
-//! study behaves exactly as if no breaker existed. Skipped attempts are
-//! journaled as [`crate::flow::FaultEvent`]s carrying the fault kind that
-//! tripped the breaker; the detector therefore treats the destination as
-//! `Unobserved`, preserving the chaos-suite invariant that faults may cost
-//! observations but never fabricate them.
+//! The state machine itself lives in [`pinning_resilience::breaker`] and
+//! is shared (one implementation, one test suite) with the
+//! `pinning-serve` admission path; this module instantiates it over the
+//! netsim fault vocabulary. Only *injected test-bed faults* feed the
+//! breaker — ordinary server flakiness and genuine pin-validation
+//! failures never do, so a fault-free study behaves exactly as if no
+//! breaker existed. Skipped attempts are journaled as
+//! [`crate::flow::FaultEvent`]s carrying the fault kind that tripped the
+//! breaker; the detector therefore treats the destination as
+//! `Unobserved`, preserving the chaos-suite invariant that faults may
+//! cost observations but never fabricate them.
 //!
 //! Determinism: breaker decisions are a pure function of the (seeded,
 //! deterministic) fault sequence observed for one app, and every app gets
@@ -33,248 +24,40 @@
 //! scheduling order.
 
 use crate::faults::FaultKind;
-use std::cell::RefCell;
-use std::collections::BTreeMap;
 
-/// Breaker tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BreakerConfig {
-    /// Consecutive injected faults on one endpoint that trip the breaker.
-    pub failure_threshold: u32,
-    /// Attempts short-circuited while open before a half-open probe.
-    pub cooldown_attempts: u32,
-}
+pub use pinning_resilience::breaker::{BreakerConfig, BreakerState};
 
-impl Default for BreakerConfig {
-    fn default() -> Self {
-        // Trip on the third consecutive fault, skip two attempts, probe.
-        BreakerConfig {
-            failure_threshold: 3,
-            cooldown_attempts: 2,
-        }
-    }
-}
-
-/// The three breaker states.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum BreakerState {
-    /// Traffic flows normally.
-    #[default]
-    Closed,
-    /// The endpoint is quarantined; attempts are short-circuited.
-    Open,
-    /// One probe attempt is allowed through.
-    HalfOpen,
-}
-
-/// Verdict for one connection attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Admission {
-    /// Attempt the connection.
-    Proceed,
-    /// Short-circuit: journal the given fault kind and skip the attempt.
-    Skip(FaultKind),
-}
-
-#[derive(Debug, Clone, Copy, Default)]
-struct Endpoint {
-    state: BreakerState,
-    consecutive_faults: u32,
-    skipped_while_open: u32,
-    last_fault: Option<FaultKind>,
-    trips: u32,
-}
+/// Verdict for one connection attempt (shared breaker verdict carrying
+/// the netsim fault kind).
+pub type Admission = pinning_resilience::breaker::Admission<FaultKind>;
 
 /// One breaker per endpoint, scoped to a single app's measurement.
 ///
 /// Interior mutability keeps the call sites in [`crate::device::Device`]
 /// (which only holds `&self`) simple; a `BreakerSet` is thread-confined to
 /// the worker measuring its app, never shared.
-#[derive(Debug, Default)]
-pub struct BreakerSet {
-    config: BreakerConfig,
-    endpoints: RefCell<BTreeMap<String, Endpoint>>,
-}
-
-impl BreakerSet {
-    /// A breaker set with the given tuning.
-    pub fn new(config: BreakerConfig) -> Self {
-        BreakerSet {
-            config,
-            endpoints: RefCell::new(BTreeMap::new()),
-        }
-    }
-
-    /// Decides whether a connection attempt to `domain` may proceed.
-    ///
-    /// Open breakers consume one cooldown slot per call; once the cooldown
-    /// is exhausted the breaker moves to half-open and admits a probe.
-    pub fn admit(&self, domain: &str) -> Admission {
-        let mut map = self.endpoints.borrow_mut();
-        let Some(ep) = map.get_mut(domain) else {
-            return Admission::Proceed;
-        };
-        match ep.state {
-            BreakerState::Closed | BreakerState::HalfOpen => Admission::Proceed,
-            BreakerState::Open => {
-                if ep.skipped_while_open < self.config.cooldown_attempts {
-                    ep.skipped_while_open += 1;
-                    Admission::Skip(ep.last_fault.expect("open breaker saw a fault"))
-                } else {
-                    ep.state = BreakerState::HalfOpen;
-                    Admission::Proceed
-                }
-            }
-        }
-    }
-
-    /// Records an injected fault on `domain`; may trip the breaker.
-    pub fn record_fault(&self, domain: &str, kind: FaultKind) {
-        let mut map = self.endpoints.borrow_mut();
-        let ep = map.entry(domain.to_string()).or_default();
-        ep.last_fault = Some(kind);
-        match ep.state {
-            BreakerState::Closed => {
-                ep.consecutive_faults += 1;
-                if ep.consecutive_faults >= self.config.failure_threshold {
-                    ep.state = BreakerState::Open;
-                    ep.skipped_while_open = 0;
-                    ep.trips += 1;
-                }
-            }
-            BreakerState::HalfOpen => {
-                // The probe faulted: straight back to open.
-                ep.state = BreakerState::Open;
-                ep.skipped_while_open = 0;
-                ep.trips += 1;
-            }
-            BreakerState::Open => {}
-        }
-    }
-
-    /// Records a clean attempt on `domain`; closes the breaker.
-    pub fn record_success(&self, domain: &str) {
-        let mut map = self.endpoints.borrow_mut();
-        if let Some(ep) = map.get_mut(domain) {
-            ep.state = BreakerState::Closed;
-            ep.consecutive_faults = 0;
-            ep.skipped_while_open = 0;
-        }
-    }
-
-    /// The current state of `domain`'s breaker.
-    pub fn state(&self, domain: &str) -> BreakerState {
-        self.endpoints
-            .borrow()
-            .get(domain)
-            .map(|e| e.state)
-            .unwrap_or_default()
-    }
-
-    /// Total closed→open transitions across all endpoints.
-    pub fn trips(&self) -> u32 {
-        self.endpoints.borrow().values().map(|e| e.trips).sum()
-    }
-
-    /// Endpoints that tripped at least once, with their trip counts.
-    pub fn tripped_endpoints(&self) -> Vec<(String, u32)> {
-        self.endpoints
-            .borrow()
-            .iter()
-            .filter(|(_, e)| e.trips > 0)
-            .map(|(d, e)| (d.clone(), e.trips))
-            .collect()
-    }
-}
+pub type BreakerSet = pinning_resilience::breaker::BreakerSet<FaultKind>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn set() -> BreakerSet {
-        BreakerSet::new(BreakerConfig {
+    // The state-machine test suite lives with the shared implementation in
+    // `pinning-resilience`; here we only pin the netsim instantiation.
+    #[test]
+    fn netsim_breaker_carries_fault_kinds() {
+        let b = BreakerSet::new(BreakerConfig {
             failure_threshold: 3,
             cooldown_attempts: 2,
-        })
-    }
-
-    #[test]
-    fn trips_after_threshold_consecutive_faults() {
-        let b = set();
-        for _ in 0..2 {
-            b.record_fault("api.example", FaultKind::Dns);
-            assert_eq!(b.state("api.example"), BreakerState::Closed);
-        }
-        b.record_fault("api.example", FaultKind::Dns);
-        assert_eq!(b.state("api.example"), BreakerState::Open);
-        assert_eq!(b.trips(), 1);
-    }
-
-    #[test]
-    fn success_resets_the_consecutive_count() {
-        let b = set();
-        b.record_fault("api.example", FaultKind::TcpReset);
-        b.record_fault("api.example", FaultKind::TcpReset);
-        b.record_success("api.example");
-        b.record_fault("api.example", FaultKind::TcpReset);
-        b.record_fault("api.example", FaultKind::TcpReset);
-        assert_eq!(b.state("api.example"), BreakerState::Closed);
-        assert_eq!(b.trips(), 0);
-    }
-
-    #[test]
-    fn open_breaker_skips_cooldown_then_probes() {
-        let b = set();
+        });
         for _ in 0..3 {
             b.record_fault("api.example", FaultKind::HandshakeTimeout);
         }
-        // Two cooldown skips, carrying the tripping fault kind.
-        for _ in 0..2 {
-            assert_eq!(
-                b.admit("api.example"),
-                Admission::Skip(FaultKind::HandshakeTimeout)
-            );
-        }
-        // Third attempt is the half-open probe.
-        assert_eq!(b.admit("api.example"), Admission::Proceed);
-        assert_eq!(b.state("api.example"), BreakerState::HalfOpen);
-    }
-
-    #[test]
-    fn probe_success_closes_probe_fault_reopens() {
-        let b = set();
-        for _ in 0..3 {
-            b.record_fault("cdn.example", FaultKind::Truncation);
-        }
-        for _ in 0..2 {
-            let _ = b.admit("cdn.example");
-        }
-        assert_eq!(b.admit("cdn.example"), Admission::Proceed);
-        b.record_success("cdn.example");
-        assert_eq!(b.state("cdn.example"), BreakerState::Closed);
-
-        // Re-trip, probe again, fault the probe: re-opens and re-counts.
-        for _ in 0..3 {
-            b.record_fault("cdn.example", FaultKind::Truncation);
-        }
-        for _ in 0..2 {
-            let _ = b.admit("cdn.example");
-        }
-        let _ = b.admit("cdn.example"); // half-open
-        b.record_fault("cdn.example", FaultKind::Truncation);
-        assert_eq!(b.state("cdn.example"), BreakerState::Open);
-        assert_eq!(b.trips(), 3);
-        assert_eq!(b.tripped_endpoints(), vec![("cdn.example".to_string(), 3)]);
-    }
-
-    #[test]
-    fn endpoints_are_independent() {
-        let b = set();
-        for _ in 0..3 {
-            b.record_fault("down.example", FaultKind::Dns);
-        }
-        assert_eq!(b.state("down.example"), BreakerState::Open);
-        assert_eq!(b.admit("up.example"), Admission::Proceed);
-        assert_eq!(b.state("up.example"), BreakerState::Closed);
+        assert_eq!(b.state("api.example"), BreakerState::Open);
+        assert_eq!(
+            b.admit("api.example"),
+            Admission::Skip(FaultKind::HandshakeTimeout)
+        );
+        assert_eq!(b.trips(), 1);
     }
 }

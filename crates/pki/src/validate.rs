@@ -11,8 +11,27 @@ use crate::error::ValidationError;
 use crate::store::RootStore;
 use crate::time::SimTime;
 use pinning_crypto::Sha256;
+use pinning_resilience::{Deadline, DeadlineExceeded};
 use std::collections::{HashMap, HashSet};
 use std::sync::{OnceLock, RwLock};
+
+/// Work units charged per certificate for screening, expiry, and linkage
+/// bookkeeping (cheap, non-cryptographic passes over the chain).
+pub const COST_PER_CERT_OVERHEAD: u64 = 2;
+/// Flat work units charged once per validation for setup.
+pub const COST_CHAIN_SETUP: u64 = 2;
+/// Work units charged before each signature verification — the dominant
+/// cost, charged *before* the verify so an expired deadline abandons the
+/// chain walk mid-way.
+pub const COST_SIGNATURE_VERIFY: u64 = 40;
+/// Work units charged for the root-store anchor lookup.
+pub const COST_ANCHOR_LOOKUP: u64 = 4;
+/// Work units charged for the hostname match.
+pub const COST_HOSTNAME_CHECK: u64 = 2;
+/// Work units charged for the leaf revocation check.
+pub const COST_REVOCATION_CHECK: u64 = 1;
+/// Work units charged for probing the validation memo.
+pub const COST_MEMO_PROBE: u64 = 2;
 
 /// A set of revoked certificate serial numbers.
 ///
@@ -96,6 +115,75 @@ pub fn validate_chain(
     crl: &RevocationList,
     options: &ValidationOptions,
 ) -> Result<(), ValidationError> {
+    validate_chain_within(
+        chain,
+        store,
+        hostname,
+        now,
+        crl,
+        options,
+        &Deadline::unlimited(),
+    )
+    .expect("unlimited deadline cannot expire")
+}
+
+/// [`validate_chain`] under a work-budget deadline.
+///
+/// This is the single implementation of chain validation — the plain
+/// entry point delegates here with [`Deadline::unlimited`], so a verdict
+/// produced under a finite deadline is byte-identical to the offline
+/// library's for the same input. Work is charged in fixed units (the
+/// `COST_*` constants) *before* it is performed; the moment a charge
+/// overruns the budget the walk is abandoned and `Err(DeadlineExceeded)`
+/// is returned — never a partial verdict.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_chain_within(
+    chain: &[Certificate],
+    store: &RootStore,
+    hostname: &str,
+    now: SimTime,
+    crl: &RevocationList,
+    options: &ValidationOptions,
+    deadline: &Deadline,
+) -> Result<Result<(), ValidationError>, DeadlineExceeded> {
+    match validate_chain_impl(chain, store, hostname, now, crl, options, deadline) {
+        Ok(()) => Ok(Ok(())),
+        Err(Verdict::Invalid(e)) => Ok(Err(e)),
+        Err(Verdict::TimedOut) => Err(DeadlineExceeded),
+    }
+}
+
+/// Internal outcome separating "the chain is bad" from "we ran out of
+/// budget before knowing", so `?` can be used on both paths.
+enum Verdict {
+    Invalid(ValidationError),
+    TimedOut,
+}
+
+impl From<ValidationError> for Verdict {
+    fn from(e: ValidationError) -> Self {
+        Verdict::Invalid(e)
+    }
+}
+
+impl From<DeadlineExceeded> for Verdict {
+    fn from(_: DeadlineExceeded) -> Self {
+        Verdict::TimedOut
+    }
+}
+
+fn validate_chain_impl(
+    chain: &[Certificate],
+    store: &RootStore,
+    hostname: &str,
+    now: SimTime,
+    crl: &RevocationList,
+    options: &ValidationOptions,
+    deadline: &Deadline,
+) -> Result<(), Verdict> {
+    // The cheap linear passes (screening, expiry, linkage bookkeeping) are
+    // charged up front as a function of chain length.
+    deadline.charge(COST_CHAIN_SETUP + COST_PER_CERT_OVERHEAD * chain.len() as u64)?;
     let leaf = chain.first().ok_or(ValidationError::EmptyChain)?;
 
     // Screen structure before any cryptographic work: pathological chains
@@ -109,14 +197,16 @@ pub fn validate_chain(
             if now < cert.tbs.validity.not_before {
                 return Err(ValidationError::NotYetValid {
                     subject: cert.tbs.subject.common_name.clone(),
-                });
+                }
+                .into());
             }
             if now > cert.tbs.validity.not_after {
                 return Err(ValidationError::Expired {
                     subject: cert.tbs.subject.common_name.clone(),
                     not_after: cert.tbs.validity.not_after,
                     now,
-                });
+                }
+                .into());
             }
         }
     }
@@ -129,12 +219,14 @@ pub fn validate_chain(
             return Err(ValidationError::BrokenLinkage {
                 child: child.tbs.subject.common_name.clone(),
                 parent: parent.tbs.subject.common_name.clone(),
-            });
+            }
+            .into());
         }
         if !parent.tbs.is_ca {
             return Err(ValidationError::NotACa {
                 subject: parent.tbs.subject.common_name.clone(),
-            });
+            }
+            .into());
         }
         // Path length: a CA with path_len = n may have at most n CA certs
         // *below* it (not counting the leaf).
@@ -143,9 +235,13 @@ pub fn validate_chain(
             if cas_below > max {
                 return Err(ValidationError::PathLenExceeded {
                     subject: parent.tbs.subject.common_name.clone(),
-                });
+                }
+                .into());
             }
         }
+        // Charge the signature verify *before* doing it: an expired
+        // deadline abandons the walk here, mid-chain.
+        deadline.charge(COST_SIGNATURE_VERIFY)?;
         if !parent
             .tbs
             .public_key
@@ -153,15 +249,18 @@ pub fn validate_chain(
         {
             return Err(ValidationError::BadSignature {
                 subject: child.tbs.subject.common_name.clone(),
-            });
+            }
+            .into());
         }
     }
 
     // Anchor the top of the chain in the root store.
+    deadline.charge(COST_ANCHOR_LOOKUP)?;
     let top = chain.last().expect("non-empty checked above");
     let anchored = if top.is_self_signed() {
         // Chain includes its root: the root itself must be trusted (and its
         // self-signature must verify).
+        deadline.charge(COST_SIGNATURE_VERIFY)?;
         store.contains(top)
             && top
                 .tbs
@@ -174,19 +273,24 @@ pub fn validate_chain(
     if !anchored {
         return Err(ValidationError::UnknownRoot {
             top_subject: top.tbs.subject.common_name.clone(),
-        });
+        }
+        .into());
     }
 
+    deadline.charge(COST_HOSTNAME_CHECK)?;
     if options.check_hostname && !leaf.matches_hostname(hostname) {
         return Err(ValidationError::HostnameMismatch {
             hostname: hostname.to_string(),
-        });
+        }
+        .into());
     }
 
+    deadline.charge(COST_REVOCATION_CHECK)?;
     if options.check_revocation && crl.is_revoked(leaf.tbs.serial) {
         return Err(ValidationError::Revoked {
             serial: leaf.tbs.serial,
-        });
+        }
+        .into());
     }
 
     Ok(())
@@ -252,21 +356,78 @@ pub fn validate_chain_cached(
     crl: &RevocationList,
     options: &ValidationOptions,
 ) -> Result<(), ValidationError> {
+    validate_chain_cached_within(
+        chain,
+        store,
+        hostname,
+        now,
+        crl,
+        options,
+        &Deadline::unlimited(),
+    )
+    .expect("unlimited deadline cannot expire")
+}
+
+/// [`validate_chain_cached`] under a work-budget deadline.
+///
+/// Memo hits cost only [`COST_MEMO_PROBE`]; misses pay the probe plus the
+/// full [`validate_chain_within`] walk. A verdict that timed out is
+/// **never memoized** — the memo holds only complete verdicts, so a
+/// request with a tight deadline can never poison the cache for requests
+/// with room to finish.
+#[allow(clippy::too_many_arguments)]
+pub fn validate_chain_cached_within(
+    chain: &[Certificate],
+    store: &RootStore,
+    hostname: &str,
+    now: SimTime,
+    crl: &RevocationList,
+    options: &ValidationOptions,
+    deadline: &Deadline,
+) -> Result<Result<(), ValidationError>, DeadlineExceeded> {
     if !cache::caching_enabled() {
-        return validate_chain(chain, store, hostname, now, crl, options);
+        return validate_chain_within(chain, store, hostname, now, crl, options, deadline);
     }
+    deadline.charge(COST_MEMO_PROBE)?;
     let key = validation_key(chain, store, hostname, now, crl, options);
     if let Some(verdict) = validation_memo().read().expect("memo poisoned").get(&key) {
         cache::CHAIN_VALIDATION.hit();
-        return verdict.clone();
+        return Ok(verdict.clone());
     }
     cache::CHAIN_VALIDATION.miss();
-    let verdict = validate_chain(chain, store, hostname, now, crl, options);
+    let verdict = validate_chain_within(chain, store, hostname, now, crl, options, deadline)?;
     validation_memo()
         .write()
         .expect("memo poisoned")
         .insert(key, verdict.clone());
-    verdict
+    Ok(verdict)
+}
+
+/// Probes the validation memo without computing anything: `Some(verdict)`
+/// iff caching is enabled and this exact validation has already completed.
+///
+/// This is the brownout path of `pinning-serve`: a degraded service
+/// answers from the memo alone and sheds what it has never validated. The
+/// probe deliberately does **not** touch the global hit/miss counters —
+/// degraded serving is accounted by the service's own counters, not the
+/// study's cache statistics.
+pub fn cached_chain_verdict(
+    chain: &[Certificate],
+    store: &RootStore,
+    hostname: &str,
+    now: SimTime,
+    crl: &RevocationList,
+    options: &ValidationOptions,
+) -> Option<Result<(), ValidationError>> {
+    if !cache::caching_enabled() {
+        return None;
+    }
+    let key = validation_key(chain, store, hostname, now, crl, options);
+    validation_memo()
+        .read()
+        .expect("memo poisoned")
+        .get(&key)
+        .cloned()
 }
 
 /// Empties the chain-validation memo (benchmarks use this so cached runs
@@ -660,6 +821,98 @@ mod tests {
             &ValidationOptions::default(),
         );
         assert!(matches!(revoked, Err(ValidationError::Revoked { .. })));
+    }
+
+    #[test]
+    fn deadline_expiring_mid_walk_yields_timeout_not_partial_verdict() {
+        let f = fixture();
+        // Budget covers setup + the first signature verify but not the
+        // second: the walk must abandon mid-chain with a structured
+        // timeout, never a (partial) verdict.
+        let budget = COST_CHAIN_SETUP
+            + COST_PER_CERT_OVERHEAD * f.chain.len() as u64
+            + COST_SIGNATURE_VERIFY;
+        let deadline = Deadline::with_budget(budget + COST_SIGNATURE_VERIFY - 1);
+        let out = validate_chain_within(
+            &f.chain,
+            &f.store,
+            "pay.shop.com",
+            SimTime(100),
+            &RevocationList::empty(),
+            &ValidationOptions::default(),
+            &deadline,
+        );
+        assert_eq!(out, Err(DeadlineExceeded));
+        // Spent saturates at the budget: the request "used up" its whole
+        // deadline, which is what the serve layer accounts as latency.
+        assert!(deadline.is_expired());
+    }
+
+    #[test]
+    fn generous_deadline_matches_offline_verdict_and_charges_work() {
+        let f = fixture();
+        let deadline = Deadline::with_budget(10_000);
+        let out = validate_chain_within(
+            &f.chain,
+            &f.store,
+            "pay.shop.com",
+            SimTime(100),
+            &RevocationList::empty(),
+            &ValidationOptions::default(),
+            &deadline,
+        )
+        .expect("generous deadline");
+        assert_eq!(
+            out,
+            validate_chain(
+                &f.chain,
+                &f.store,
+                "pay.shop.com",
+                SimTime(100),
+                &RevocationList::empty(),
+                &ValidationOptions::default(),
+            )
+        );
+        // 3-cert chain: setup + overhead, 2 walk verifies + 1 self-signed
+        // anchor verify, anchor lookup, hostname, revocation.
+        let expected = COST_CHAIN_SETUP
+            + 3 * COST_PER_CERT_OVERHEAD
+            + 3 * COST_SIGNATURE_VERIFY
+            + COST_ANCHOR_LOOKUP
+            + COST_HOSTNAME_CHECK
+            + COST_REVOCATION_CHECK;
+        assert_eq!(deadline.spent(), expected);
+    }
+
+    #[test]
+    fn timed_out_validation_is_never_memoized() {
+        let f = fixture();
+        // Unique hostname avoids cross-test memo interference (the memo is
+        // process-global and tests share one process).
+        let host = "v9.api.shop.com";
+        let chain = &f.chain;
+        clear_validation_cache();
+        let crl = RevocationList::empty();
+        let opts = ValidationOptions::default();
+        let tight = Deadline::with_budget(COST_MEMO_PROBE + COST_CHAIN_SETUP);
+        let out =
+            validate_chain_cached_within(chain, &f.store, host, SimTime(100), &crl, &opts, &tight);
+        assert_eq!(out, Err(DeadlineExceeded));
+        // The timeout must not have poisoned the memo: no cached verdict.
+        assert_eq!(
+            cached_chain_verdict(chain, &f.store, host, SimTime(100), &crl, &opts),
+            None
+        );
+        // A request with room to finish computes and memoizes the verdict.
+        let roomy = Deadline::with_budget(10_000);
+        let out =
+            validate_chain_cached_within(chain, &f.store, host, SimTime(100), &crl, &opts, &roomy)
+                .expect("roomy deadline");
+        assert_eq!(out, Ok(()));
+        assert_eq!(
+            cached_chain_verdict(chain, &f.store, host, SimTime(100), &crl, &opts),
+            Some(Ok(()))
+        );
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Deterministic work-budget deadlines.
+//!
+//! Real serving stacks propagate wall-clock deadlines; a deterministic
+//! simulation cannot read a wall clock without destroying replayability.
+//! Instead a [`Deadline`] carries a *work budget* measured in virtual
+//! ticks, and every expensive operation along the call tree — screening a
+//! certificate, verifying a signature, building a Merkle authenticator —
+//! charges its cost against the token before doing the work. The instant
+//! a charge would overrun the budget the callee returns
+//! [`DeadlineExceeded`] and abandons everything downstream, so a request
+//! whose deadline passes mid-chain-verification yields a structured
+//! timeout, never a partial verdict.
+//!
+//! One tick is one virtual work unit (roughly a virtual microsecond in
+//! the serve layer's cost model). Costs are fixed constants per
+//! operation, so the tick at which a given request times out is a pure
+//! function of its input — independent of host speed, thread count, and
+//! scheduling.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Structured timeout: the work budget ran out before the operation
+/// finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExceeded;
+
+impl fmt::Display for DeadlineExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadline exceeded before the operation completed")
+    }
+}
+
+impl std::error::Error for DeadlineExceeded {}
+
+/// A work-budget deadline token threaded through a call tree.
+///
+/// Thread-confined by design (interior `Cell`): each request's call stack
+/// creates and owns its token, so charging needs only `&self` and no
+/// synchronisation.
+#[derive(Debug)]
+pub struct Deadline {
+    budget: u64,
+    spent: Cell<u64>,
+}
+
+impl Deadline {
+    /// A deadline that never expires (offline library calls).
+    pub fn unlimited() -> Self {
+        Deadline {
+            budget: u64::MAX,
+            spent: Cell::new(0),
+        }
+    }
+
+    /// A deadline with `budget` work units remaining.
+    pub fn with_budget(budget: u64) -> Self {
+        Deadline {
+            budget,
+            spent: Cell::new(0),
+        }
+    }
+
+    /// Charges `units` of work against the budget.
+    ///
+    /// On overrun the spent counter saturates at the budget (so elapsed
+    /// accounting stays exact) and every later charge keeps failing: a
+    /// deadline, once blown, stays blown.
+    pub fn charge(&self, units: u64) -> Result<(), DeadlineExceeded> {
+        let spent = self.spent.get();
+        let after = spent.saturating_add(units);
+        if after > self.budget {
+            self.spent.set(self.budget);
+            Err(DeadlineExceeded)
+        } else {
+            self.spent.set(after);
+            Ok(())
+        }
+    }
+
+    /// Work units charged so far (capped at the budget after an overrun).
+    pub fn spent(&self) -> u64 {
+        self.spent.get()
+    }
+
+    /// Work units left before the deadline trips.
+    pub fn remaining(&self) -> u64 {
+        self.budget - self.spent.get()
+    }
+
+    /// Whether the budget is fully consumed.
+    pub fn is_expired(&self) -> bool {
+        self.spent.get() >= self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_until_the_budget() {
+        let d = Deadline::with_budget(10);
+        assert!(d.charge(4).is_ok());
+        assert!(d.charge(6).is_ok());
+        assert_eq!(d.spent(), 10);
+        assert_eq!(d.remaining(), 0);
+        assert!(d.is_expired());
+    }
+
+    #[test]
+    fn overrun_fails_and_saturates_spent() {
+        let d = Deadline::with_budget(10);
+        assert!(d.charge(7).is_ok());
+        assert_eq!(d.charge(5), Err(DeadlineExceeded));
+        // Spent saturates at the budget, not 12, so latency accounting
+        // reads "the full deadline elapsed".
+        assert_eq!(d.spent(), 10);
+        assert!(d.is_expired());
+        // Once blown, stays blown for any further nonzero work.
+        assert_eq!(d.charge(1), Err(DeadlineExceeded));
+    }
+
+    #[test]
+    fn unlimited_never_expires() {
+        let d = Deadline::unlimited();
+        for _ in 0..1000 {
+            assert!(d.charge(u32::MAX as u64).is_ok());
+        }
+        assert!(!d.is_expired());
+    }
+
+    #[test]
+    fn zero_budget_rejects_any_work() {
+        let d = Deadline::with_budget(0);
+        assert!(d.is_expired());
+        assert_eq!(d.charge(1), Err(DeadlineExceeded));
+        assert!(d.charge(0).is_ok());
+    }
+}

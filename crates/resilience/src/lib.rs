@@ -1,0 +1,34 @@
+//! Shared overload-robustness primitives.
+//!
+//! Three mechanisms recur wherever this workspace talks to something that
+//! can fail or fall behind — the netsim test bed (PR 3), the dynamic
+//! measurement pipeline, and the `pinning-serve` request front end:
+//!
+//! * [`breaker`] — the three-state circuit breaker
+//!   (closed → open → half-open) that stops persistently failing endpoints
+//!   from consuming retry budget. Generic over the fault payload so the
+//!   netsim test bed (fault kinds) and the serving layer (backend faults)
+//!   share one implementation and one test suite.
+//! * [`retry`] — [`RetryPolicy`]: bounded attempts with exponential
+//!   backoff and seeded jitter. The jitter draw comes from an **explicit
+//!   RNG handle** the caller derives per logical task, so replays are
+//!   byte-identical at any concurrency.
+//! * [`deadline`] — [`Deadline`]: a deterministic *work-budget* deadline
+//!   token threaded through expensive call trees (chain validation, Merkle
+//!   proof generation). Work is charged in virtual ticks; the moment the
+//!   budget is exhausted the callee abandons the remaining work with a
+//!   structured [`DeadlineExceeded`], never a partial result.
+//!
+//! Everything here is deterministic by construction: no wall clocks, no
+//! global state, no OS randomness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod deadline;
+pub mod retry;
+
+pub use breaker::{Admission, BreakerConfig, BreakerSet, BreakerState};
+pub use deadline::{Deadline, DeadlineExceeded};
+pub use retry::RetryPolicy;

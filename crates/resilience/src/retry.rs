@@ -1,0 +1,133 @@
+//! Bounded retries with exponential backoff and seeded jitter.
+//!
+//! The policy itself is a plain value; the jitter draw comes from an
+//! **explicit RNG handle** the caller derives once per logical task (per
+//! app in the dynamic pipeline, per request in `pinning-serve`). Because
+//! the handle is owned by the task rather than by the policy, two tasks
+//! retrying concurrently can never interleave draws — replays are
+//! byte-identical at any concurrency.
+
+use pinning_crypto::SplitMix64;
+
+/// Bounded retry with deterministic backoff for faulted work.
+///
+/// The paper's operators re-queued apps whose runs failed and gave up
+/// after a few tries; this policy reproduces that loop on the virtual
+/// clock. Backoff doubles per retry, plus a seeded jitter so re-queued
+/// tasks don't thunder back in lockstep; the deadline bounds total virtual
+/// time spent on one task (settle + capture windows + backoff in the
+/// dynamic pipeline, queue + service time in the serve layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per task, ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, seconds; doubles each retry.
+    pub backoff_secs: u32,
+    /// Jitter added to each backoff, as a percentage of the doubled base
+    /// (0 = none). Drawn deterministically from the RNG handle the caller
+    /// passes to [`RetryPolicy::backoff_before`], so replays stay
+    /// bit-identical.
+    pub jitter_pct: u32,
+    /// Virtual-time budget for one task, seconds.
+    pub deadline_secs: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // 3 attempts × 2 runs × (≤120 s settle + 30 s window) plus 30+60 s
+        // of backoff (and ≤50% jitter on each) fits; the deadline only
+        // triggers on pathological settings.
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_secs: 30,
+            jitter_pct: 50,
+            deadline_secs: 1800,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff to wait before `attempt` (0-based), drawing jitter from
+    /// the caller's task-scoped RNG handle.
+    ///
+    /// Attempt 0 is the first try — no backoff, and **no RNG draw**, so a
+    /// task that never retries leaves its jitter stream untouched. For
+    /// attempt `n ≥ 1` the base is `backoff_secs · 2^(n-1)` and the jitter
+    /// is uniform in `[0, base · jitter_pct / 100]`; a zero-width jitter
+    /// span also draws nothing, keeping the stream alignment independent
+    /// of the jitter setting.
+    pub fn backoff_before(&self, attempt: u32, rng: &mut SplitMix64) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let base = (self.backoff_secs as u64) << (attempt - 1);
+        let span = base * self.jitter_pct as u64 / 100;
+        let jitter = if span > 0 {
+            rng.next_below(span + 1)
+        } else {
+            0
+        };
+        base + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_zero_is_free_and_draws_nothing() {
+        let policy = RetryPolicy::default();
+        let mut rng = SplitMix64::new(7);
+        let before = rng.next_u64();
+        let mut rng = SplitMix64::new(7);
+        assert_eq!(policy.backoff_before(0, &mut rng), 0);
+        // The stream is untouched: the next draw matches a fresh RNG's.
+        assert_eq!(rng.next_u64(), before);
+    }
+
+    #[test]
+    fn backoff_doubles_and_jitter_is_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            backoff_secs: 30,
+            jitter_pct: 50,
+            deadline_secs: 1800,
+        };
+        let mut rng = SplitMix64::new(42).derive("backoff/test");
+        for attempt in 1..4u32 {
+            let base = 30u64 << (attempt - 1);
+            let wait = policy.backoff_before(attempt, &mut rng);
+            assert!(wait >= base, "attempt {attempt}: {wait} < base {base}");
+            assert!(
+                wait <= base + base / 2,
+                "attempt {attempt}: {wait} over jitter cap"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jitter_draws_nothing() {
+        let policy = RetryPolicy {
+            jitter_pct: 0,
+            ..RetryPolicy::default()
+        };
+        let mut rng = SplitMix64::new(9);
+        let probe = SplitMix64::new(9).next_u64();
+        assert_eq!(policy.backoff_before(1, &mut rng), 30);
+        assert_eq!(policy.backoff_before(2, &mut rng), 60);
+        assert_eq!(rng.next_u64(), probe, "jitter-free backoff must not draw");
+    }
+
+    #[test]
+    fn same_handle_same_sequence() {
+        let policy = RetryPolicy::default();
+        let runs: Vec<Vec<u64>> = (0..2)
+            .map(|_| {
+                let mut rng = SplitMix64::new(0xfeed).derive("backoff/app-1");
+                (0..5).map(|a| policy.backoff_before(a, &mut rng)).collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Run accounting: counters, latency percentiles, JSON rendering.
+
+use crate::request::{Outcome, Response, ShedReason};
+
+/// Exact (integer-only) summary of one service run.
+///
+/// Everything here is a deterministic function of (config, request
+/// trace): two runs with the same seed must produce `==` summaries, which
+/// the bench gate asserts literally.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests received.
+    pub total: u64,
+    /// Served fresh ([`Outcome::Ok`]).
+    pub served_ok: u64,
+    /// Served cache-only during brownout ([`Outcome::Degraded`]).
+    pub degraded: u64,
+    /// Shed: queue at capacity.
+    pub shed_queue_full: u64,
+    /// Shed: circuit breaker open.
+    pub shed_breaker_open: u64,
+    /// Shed: brownout cache miss or cache-less endpoint.
+    pub shed_degraded: u64,
+    /// Deadline expired (any stage).
+    pub timed_out: u64,
+    /// Retry budget exhausted on backend faults.
+    pub backend_failed: u64,
+    /// Circuit-breaker trips (closed→open transitions).
+    pub breaker_trips: u64,
+    /// Transient backend faults observed (pre-retry).
+    pub backend_faults: u64,
+    /// Retries consumed across all requests.
+    pub retries: u64,
+    /// Times the service entered brownout.
+    pub brownout_entries: u64,
+    /// Highest queue depth observed (must stay ≤ the configured bound).
+    pub peak_queue_depth: u64,
+    /// Cache hits on the accepted (non-degraded) serving path.
+    pub cache_hits: u64,
+    /// Cache misses on the accepted serving path.
+    pub cache_misses: u64,
+    /// Latency percentiles over accepted requests (ticks from arrival to
+    /// terminal state; shed requests are excluded — they terminate at
+    /// arrival by construction).
+    pub p50: u64,
+    /// 99th percentile latency, ticks.
+    pub p99: u64,
+    /// 99.9th percentile latency, ticks.
+    pub p999: u64,
+    /// Maximum accepted-request latency, ticks.
+    pub max_latency: u64,
+    /// Tick of the last terminal state (0 for an empty run); with the
+    /// first arrival this bounds the makespan for throughput numbers.
+    pub last_finish: u64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice: the smallest
+/// value with at least `num/den` of the mass at or below it.
+fn percentile(sorted: &[u64], num: u64, den: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * num).div_ceil(den);
+    let idx = rank.max(1) as usize - 1;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl ServeSummary {
+    /// Builds the response-derived part of the summary; the service fills
+    /// in the queue/brownout/breaker/cache observables it tracked live.
+    pub fn from_responses(responses: &[Response]) -> Self {
+        let mut s = ServeSummary {
+            total: responses.len() as u64,
+            ..ServeSummary::default()
+        };
+        let mut latencies = Vec::new();
+        for r in responses {
+            match &r.outcome {
+                Outcome::Ok(_) => s.served_ok += 1,
+                Outcome::Degraded(_) => s.degraded += 1,
+                Outcome::TimedOut(_) => s.timed_out += 1,
+                Outcome::BackendFailed { .. } => s.backend_failed += 1,
+                Outcome::Shed(reason) => match reason {
+                    ShedReason::QueueFull => s.shed_queue_full += 1,
+                    ShedReason::BreakerOpen => s.shed_breaker_open += 1,
+                    ShedReason::DegradedCacheMiss | ShedReason::DegradedUnavailable => {
+                        s.shed_degraded += 1
+                    }
+                },
+            }
+            s.retries += r.retries as u64;
+            s.last_finish = s.last_finish.max(r.finished_at);
+            if !matches!(r.outcome, Outcome::Shed(_)) {
+                latencies.push(r.finished_at - r.arrived_at);
+            }
+        }
+        latencies.sort_unstable();
+        s.p50 = percentile(&latencies, 50, 100);
+        s.p99 = percentile(&latencies, 99, 100);
+        s.p999 = percentile(&latencies, 999, 1000);
+        s.max_latency = latencies.last().copied().unwrap_or(0);
+        s
+    }
+
+    /// Requests shed for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full + self.shed_breaker_open + self.shed_degraded
+    }
+
+    /// Cache hit rate over the accepted serving path, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the summary as a JSON object (hand-rolled, stable field
+    /// order; no external dependencies).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"total\": {}, \"served_ok\": {}, \"degraded\": {}, ",
+                "\"shed_queue_full\": {}, \"shed_breaker_open\": {}, \"shed_degraded\": {}, ",
+                "\"timed_out\": {}, \"backend_failed\": {}, \"breaker_trips\": {}, ",
+                "\"backend_faults\": {}, \"retries\": {}, \"brownout_entries\": {}, ",
+                "\"peak_queue_depth\": {}, \"cache_hits\": {}, \"cache_misses\": {}, ",
+                "\"cache_hit_rate\": {:.4}, \"latency_ticks\": {{\"p50\": {}, \"p99\": {}, ",
+                "\"p999\": {}, \"max\": {}}}, \"last_finish\": {}}}"
+            ),
+            self.total,
+            self.served_ok,
+            self.degraded,
+            self.shed_queue_full,
+            self.shed_breaker_open,
+            self.shed_degraded,
+            self.timed_out,
+            self.backend_failed,
+            self.breaker_trips,
+            self.backend_faults,
+            self.retries,
+            self.brownout_entries,
+            self.peak_queue_depth,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate(),
+            self.p50,
+            self.p99,
+            self.p999,
+            self.max_latency,
+            self.last_finish,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50, 100), 50);
+        assert_eq!(percentile(&v, 99, 100), 99);
+        assert_eq!(percentile(&v, 999, 1000), 100);
+        assert_eq!(percentile(&[7], 50, 100), 7);
+        assert_eq!(percentile(&[], 50, 100), 0);
+    }
+
+    #[test]
+    fn json_is_stable_and_balanced() {
+        let s = ServeSummary::default();
+        let j = s.to_json();
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced braces: {j}"
+        );
+        assert!(j.contains("\"cache_hit_rate\": 0.0000"));
+    }
+}

@@ -368,3 +368,197 @@ fn adversarial_cohort_survives_kill_and_resume_byte_identically() {
         uninterrupted.render_resilience()
     );
 }
+
+// ---------------------------------------------------------------------
+// Overload: the pin-validation service under a hostile burst.
+
+use pinning_bench::load::{generate_load, LoadConfig};
+use pinning_pki::validate::{
+    validate_chain, validate_chain_cached, RevocationList, ValidationOptions,
+};
+use pinning_pki::Certificate;
+use pinning_serve::{
+    Backend, Outcome, Payload, PinService, RequestBody, ServeConfig, ServeSummary, TimeoutStage,
+};
+
+fn serve_backend(world: &World) -> Backend<'_> {
+    Backend {
+        roots: &world.universe.aosp_oem,
+        logs: &world.ctlog,
+        crl: RevocationList::empty(),
+        options: ValidationOptions::default(),
+        now: world.now,
+    }
+}
+
+fn run_service(
+    config: &ServeConfig,
+    world: &World,
+    requests: &[pinning_serve::ServeRequest],
+) -> (Vec<pinning_serve::Response>, ServeSummary) {
+    let mut service = PinService::new(config.clone(), serve_backend(world));
+    let responses = service.run(requests);
+    let summary = service.summary(&responses);
+    (responses, summary)
+}
+
+/// Acceptance scenario for the serving front end: a seeded burst whose
+/// arrival rate is several times the service rate, with ~25% hostile
+/// bodies. The service must shed and degrade instead of queueing
+/// unboundedly, stay panic-free, answer deterministically, and every
+/// fresh chain verdict must be byte-identical to the offline library's.
+#[test]
+fn overload_sheds_and_degrades_instead_of_queueing_unboundedly() {
+    let world = World::generate(WorldConfig::tiny(0xC8A0));
+    let load = generate_load(&world, &LoadConfig::overload_smoke(0xC8A0));
+    let config = ServeConfig {
+        seed: 0xC8A0,
+        workers: 2,
+        queue_capacity: 16,
+        brownout_high: 16,
+        brownout_low: 4,
+        backend_flakiness: 0.3,
+        ..ServeConfig::default()
+    };
+
+    // Warm the process-global validation memo to a complete state over
+    // this trace first: the serving path then cannot insert anything new,
+    // so two same-seed runs must be byte-identical. (Concurrent tests in
+    // this binary touch only their own worlds' chains — different memo
+    // keys — and nothing in this binary clears the memo.)
+    let crl = RevocationList::empty();
+    let options = ValidationOptions::default();
+    for req in &load.requests {
+        let RequestBody::ValidateChain {
+            hostname,
+            chain_der,
+        } = &req.body
+        else {
+            continue;
+        };
+        if let Ok(chain) = chain_der
+            .iter()
+            .map(|der| Certificate::from_der(der))
+            .collect::<Result<Vec<Certificate>, _>>()
+        {
+            let _ = validate_chain_cached(
+                &chain,
+                &world.universe.aosp_oem,
+                hostname,
+                world.now,
+                &crl,
+                &options,
+            );
+        }
+    }
+
+    let (responses, summary) = run_service(&config, &world, &load.requests);
+    let (responses_b, summary_b) = run_service(&config, &world, &load.requests);
+    assert_eq!(responses, responses_b, "same-seed runs must be identical");
+    assert_eq!(summary, summary_b);
+
+    // Overload is absorbed by shedding and cache-only degradation; the
+    // queue never exceeds its bound and nothing is dropped silently.
+    assert!(summary.peak_queue_depth <= config.queue_capacity as u64);
+    assert!(summary.shed_total() > 0, "burst must shed");
+    assert!(summary.degraded > 0, "brownout must serve from cache");
+    assert!(summary.brownout_entries > 0);
+    assert!(
+        summary.breaker_trips > 0,
+        "flaky backend must trip breakers"
+    );
+    assert_eq!(summary.total, load.requests.len() as u64);
+    assert_eq!(
+        summary.served_ok
+            + summary.degraded
+            + summary.shed_total()
+            + summary.timed_out
+            + summary.backend_failed,
+        summary.total,
+        "every request reaches exactly one terminal state"
+    );
+
+    // Byte-identity: each fresh verdict equals the offline library's for
+    // the same bytes.
+    let by_id: std::collections::HashMap<u64, &pinning_serve::ServeRequest> =
+        load.requests.iter().map(|r| (r.id, r)).collect();
+    let mut checked = 0u32;
+    for resp in &responses {
+        let Outcome::Ok(Payload::ChainVerdict(served)) = &resp.outcome else {
+            continue;
+        };
+        let RequestBody::ValidateChain {
+            hostname,
+            chain_der,
+        } = &by_id[&resp.id].body
+        else {
+            panic!("chain verdict for a non-validate request {}", resp.id);
+        };
+        let chain: Vec<Certificate> = chain_der
+            .iter()
+            .map(|der| Certificate::from_der(der))
+            .collect::<Result<_, _>>()
+            .expect("verdicts are only served for decodable chains");
+        let offline = validate_chain(
+            &chain,
+            &world.universe.aosp_oem,
+            hostname,
+            world.now,
+            &crl,
+            &options,
+        );
+        assert_eq!(&offline, served, "request {}", resp.id);
+        checked += 1;
+    }
+    assert!(checked > 0, "overload run must still serve fresh verdicts");
+}
+
+/// Deadline propagation under overload: with caching disabled (every
+/// validation pays the full verification walk) and a budget smaller than
+/// that walk, deadlines expire mid-chain-verification. The result must be
+/// a structured timeout at a named stage — never a partial verdict — and
+/// the run must stay deterministic without any cache pre-warming.
+#[test]
+fn tight_deadlines_time_out_structurally_never_partially() {
+    let world = World::generate(WorldConfig::tiny(0x7157));
+    let load = generate_load(&world, &LoadConfig::overload_smoke(0x7157));
+    let _off = pinning_pki::cache::caching_disabled_scope();
+    let config = ServeConfig {
+        seed: 0x7157,
+        workers: 2,
+        queue_capacity: 16,
+        brownout_high: 16,
+        brownout_low: 4,
+        // Smaller than one full 3-certificate verification walk.
+        deadline_validate: 100,
+        ..ServeConfig::default()
+    };
+
+    let (responses, summary) = run_service(&config, &world, &load.requests);
+    let (responses_b, summary_b) = run_service(&config, &world, &load.requests);
+    assert_eq!(responses, responses_b, "uncached runs must be identical");
+    assert_eq!(summary, summary_b);
+
+    assert!(summary.timed_out > 0, "tight deadlines must expire");
+    let mut mid_validation = 0u32;
+    for resp in &responses {
+        if let Outcome::TimedOut(stage) = &resp.outcome {
+            // A timed-out response carries a stage and nothing else: no
+            // payload field exists on the variant, so a partial verdict
+            // is unrepresentable. Here every expiry is in the queue or
+            // mid-validation (resolve/proof deadlines stay generous).
+            assert!(
+                matches!(stage, TimeoutStage::Queue | TimeoutStage::ChainValidation),
+                "unexpected stage {stage:?} for request {}",
+                resp.id
+            );
+            if matches!(stage, TimeoutStage::ChainValidation) {
+                mid_validation += 1;
+            }
+        }
+    }
+    assert!(
+        mid_validation > 0,
+        "some deadlines must expire mid-chain-verification"
+    );
+}
