@@ -80,7 +80,7 @@ impl AppFile {
 }
 
 /// A complete app package.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct AppPackage {
     /// Platform the package targets.
     pub platform: Platform,
@@ -88,7 +88,21 @@ pub struct AppPackage {
     pub files: Vec<AppFile>,
     /// Whether binaries are FairPlay-style encrypted (iOS store downloads).
     pub encrypted: bool,
+    /// Memoized [`AppPackage::content_hash`]. Clones share the cell
+    /// (same content, same hash); `encrypt`/`decrypt` replace it.
+    hash_cell: std::sync::Arc<std::sync::OnceLock<[u8; 32]>>,
 }
+
+impl PartialEq for AppPackage {
+    fn eq(&self, other: &Self) -> bool {
+        // The memo cell is derived state, not content.
+        self.platform == other.platform
+            && self.files == other.files
+            && self.encrypted == other.encrypted
+    }
+}
+
+impl Eq for AppPackage {}
 
 impl AppPackage {
     /// Creates a plaintext package.
@@ -97,6 +111,7 @@ impl AppPackage {
             platform,
             files,
             encrypted: false,
+            hash_cell: Default::default(),
         }
     }
 
@@ -108,6 +123,54 @@ impl AppPackage {
     /// Total size in bytes.
     pub fn total_size(&self) -> usize {
         self.files.iter().map(|f| f.content.len()).sum()
+    }
+
+    /// SHA-256 over the package's full content: platform, encryption
+    /// state, and every file's path and bytes, in file order.
+    ///
+    /// Two packages hash equal iff static analysis would see identical
+    /// input, so the digest serves as the memo key for cached static scans
+    /// and as the manifest component of the per-app epoch fingerprint.
+    /// Memoized: the first call hashes, later calls return the cached
+    /// digest (the epoch engine calls this once per app per epoch). In
+    /// debug builds every call re-verifies the memo against the actual
+    /// content, so a mutate-after-memoize bug trips an assertion instead
+    /// of silently replaying a stale verdict.
+    pub fn content_hash(&self) -> [u8; 32] {
+        let memo = *self.hash_cell.get_or_init(|| self.compute_content_hash());
+        debug_assert_eq!(
+            memo,
+            self.compute_content_hash(),
+            "package content changed after its hash was memoized: call \
+             invalidate_content_hash() after mutating files in place"
+        );
+        memo
+    }
+
+    /// Resets the content-hash memo. Required after mutating `files`,
+    /// `platform`, or `encrypted` in place on a package whose hash may
+    /// already have been computed (clones share the memo cell).
+    pub fn invalidate_content_hash(&mut self) {
+        self.hash_cell = Default::default();
+    }
+
+    fn compute_content_hash(&self) -> [u8; 32] {
+        let mut bytes = Vec::with_capacity(64 + self.total_size());
+        bytes.push(match self.platform {
+            Platform::Android => 0u8,
+            Platform::Ios => 1u8,
+        });
+        bytes.push(self.encrypted as u8);
+        bytes.extend_from_slice(&(self.files.len() as u64).to_le_bytes());
+        for f in &self.files {
+            bytes.extend_from_slice(&(f.path.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(f.path.as_bytes());
+            let content = f.content.as_bytes();
+            bytes.push(matches!(f.content, FileContent::Binary(_)) as u8);
+            bytes.extend_from_slice(&(content.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(content);
+        }
+        pinning_crypto::sha256(&bytes)
     }
 
     /// Applies FairPlay-style encryption to the *code and asset* files.
@@ -125,6 +188,7 @@ impl AppPackage {
             f.content = FileContent::Binary(bytes);
         }
         self.encrypted = true;
+        self.invalidate_content_hash();
         self
     }
 
@@ -147,6 +211,7 @@ impl AppPackage {
             };
         }
         self.encrypted = false;
+        self.invalidate_content_hash();
         self
     }
 
@@ -229,6 +294,34 @@ pub fn binary_with_strings(strings: &[String], rng: &mut SplitMix64, padding: us
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn content_hash_tracks_content() {
+        let pkg = AppPackage::new(
+            Platform::Android,
+            vec![
+                AppFile::text("AndroidManifest.xml", "<manifest/>"),
+                AppFile::text("assets/ca.pem", "PEM"),
+            ],
+        );
+        let base = pkg.content_hash();
+        assert_eq!(base, pkg.clone().content_hash(), "clone hashes equal");
+
+        let mut edited = pkg.clone();
+        edited.files[1] = AppFile::text("assets/ca.pem", "PEM2");
+        edited.invalidate_content_hash(); // clones share the memo cell
+        assert_ne!(base, edited.content_hash(), "content change flips hash");
+
+        let encrypted =
+            AppPackage::new(Platform::Ios, vec![AppFile::text("binary", "code")]).encrypt(7);
+        let enc_hash = encrypted.content_hash();
+        let decrypted = encrypted.decrypt(7);
+        assert_ne!(
+            enc_hash,
+            decrypted.content_hash(),
+            "encryption state counts"
+        );
+    }
 
     #[test]
     fn extension_parsing() {

@@ -13,7 +13,7 @@ use crate::journal::{AppOutcome, JournalEntry, JournalError, ResultJournal};
 use crate::record::AppRecord;
 use pinning_analysis::circumvent::circumvent_app;
 use pinning_analysis::dynamics::pipeline::{try_analyze_app, DynamicEnv, RetryPolicy};
-use pinning_analysis::statics::analyze_package;
+use pinning_analysis::statics::analyze_package_cached;
 use pinning_app::pii::DeviceIdentity;
 use pinning_app::platform::Platform;
 use pinning_crypto::sha256;
@@ -148,6 +148,12 @@ pub struct RunHealth {
     pub resumed_apps: usize,
     /// Apps measured by this process.
     pub fresh_apps: usize,
+    /// Epoch engine only: apps whose verdict was replayed from the prior
+    /// epoch because their fingerprint was clean (0 outside epoch runs).
+    pub replayed_prior_epoch: usize,
+    /// Epoch engine only: apps re-measured because an epoch event dirtied
+    /// their fingerprint (0 outside epoch runs).
+    pub reanalyzed_dirty: usize,
     /// Baseline snapshot of every derived-value cache, taken when the
     /// study started executing. `render_run_health` diffs the live
     /// counters against this, so the reported hit/miss rows cover the
@@ -164,6 +170,7 @@ pub(crate) fn cache_snapshot() -> Vec<pinning_pki::cache::CacheStat> {
     let mut stats = pinning_pki::cache::snapshot_all();
     stats.push(pinning_ctlog::merkle::PROOF_BATCH.snapshot());
     stats.push(pinning_analysis::certs::PKI_CLASSIFICATION.snapshot());
+    stats.push(pinning_analysis::statics::STATIC_SCAN.snapshot());
     stats
 }
 
@@ -257,14 +264,65 @@ impl Study {
         self.execute(journal, health)
     }
 
+    /// Runs the study against a *pre-built* world instead of regenerating
+    /// one from the configuration — the epoch engine's entry point, where
+    /// the world has been evolved past what `World::generate` would
+    /// produce. `fingerprint` identifies the (world, epoch) the journal
+    /// belongs to; the journal may already hold entries (replayed clean
+    /// apps, or a resumed partial epoch), which are kept verbatim.
+    pub fn run_on_world(
+        self,
+        world: World,
+        journal: ResultJournal,
+        fingerprint: [u8; 32],
+    ) -> Result<StudyOutcome, JournalError> {
+        self.execute_on(world, journal, RunHealth::default(), fingerprint)
+    }
+
+    /// [`Study::resume`] for a pre-built world: recovers the journal's
+    /// intact prefix and re-measures only the missing apps.
+    pub fn resume_on_world(
+        self,
+        world: World,
+        journal_bytes: &[u8],
+        fingerprint: [u8; 32],
+    ) -> Result<StudyOutcome, JournalError> {
+        let replay = ResultJournal::open(journal_bytes)?;
+        if replay.fingerprint != fingerprint {
+            return Err(JournalError::FingerprintMismatch);
+        }
+        let mut health = RunHealth::default();
+        if replay.truncated() {
+            health.journal_truncations = 1;
+            health.quarantined_bytes = replay.quarantined_bytes as u64;
+        }
+        let mut journal = ResultJournal::create(fingerprint);
+        for entry in &replay.entries {
+            journal.append(entry);
+        }
+        self.execute_on(world, journal, health, fingerprint)
+    }
+
     fn execute(
         self,
         journal: ResultJournal,
+        health: RunHealth,
+    ) -> Result<StudyOutcome, JournalError> {
+        let fingerprint = self.config.fingerprint();
+        let world = World::generate(self.config.world.clone());
+        self.execute_on(world, journal, health, fingerprint)
+    }
+
+    fn execute_on(
+        self,
+        world: World,
+        journal: ResultJournal,
         mut health: RunHealth,
+        fingerprint: [u8; 32],
     ) -> Result<StudyOutcome, JournalError> {
         health.cache_base = cache_snapshot();
         let replay = ResultJournal::open(journal.as_bytes())?;
-        if replay.fingerprint != self.config.fingerprint() {
+        if replay.fingerprint != fingerprint {
             return Err(JournalError::FingerprintMismatch);
         }
         let done: BTreeSet<usize> = replay
@@ -274,7 +332,6 @@ impl Study {
             .collect();
         health.resumed_apps = done.len();
 
-        let world = World::generate(self.config.world.clone());
         let datasets = build_datasets(&world);
         let collisions = collision_report(&datasets);
 
@@ -405,7 +462,7 @@ impl Study {
         for entry in &replay.entries {
             let app_index = entry.app_index as usize;
             let app = &world.apps[app_index];
-            let static_findings = analyze_package(
+            let static_findings = analyze_package_cached(
                 &app.package,
                 (app.id.platform == Platform::Ios).then_some(decrypt_key),
             );

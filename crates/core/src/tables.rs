@@ -742,6 +742,8 @@ impl StudyResults {
             quarantined_bytes: self.health.quarantined_bytes,
             resumed_apps: self.health.resumed_apps,
             fresh_apps: self.health.fresh_apps,
+            replayed_prior_epoch: self.health.replayed_prior_epoch,
+            reanalyzed_dirty: self.health.reanalyzed_dirty,
             // Live delta against the study-start baseline, so cache work
             // done while rendering tables (classification, batched CT
             // proofs) is included.

@@ -174,6 +174,29 @@ impl LogSet {
         logged
     }
 
+    /// Force-logs `cert` into every shard whose temporal window covers it,
+    /// bypassing the acceptance draw — CT-coverage *growth*. Real coverage
+    /// grows over time as crawlers and monitors backfill certificates the
+    /// CA never submitted; [`LogSet::submit`]'s deterministic per-(shard,
+    /// cert) coin makes resubmission a no-op by design, so growth events
+    /// need this separate path. Shards that already hold the certificate
+    /// are skipped. Returns how many shards gained an entry.
+    pub fn backfill(&mut self, cert: &Certificate) -> usize {
+        let fp = cert.fingerprint_sha256();
+        let mut logged = 0;
+        for shard in &mut self.shards {
+            if !shard.policy.window.contains(cert.tbs.validity.not_before) {
+                continue;
+            }
+            if shard.log.search_by_fingerprint(&fp).is_some() {
+                continue;
+            }
+            shard.log.submit(cert.clone());
+            logged += 1;
+        }
+        logged
+    }
+
     /// The shards, in stable order.
     pub fn shards(&self) -> &[LogShard] {
         &self.shards
@@ -303,6 +326,21 @@ mod tests {
 
     fn now() -> SimTime {
         SimTime::at(5, 0, 0)
+    }
+
+    #[test]
+    fn backfill_forces_coverage_within_window_only() {
+        let mut rng = SplitMix64::new(7);
+        // Zero acceptance: normal submission never logs anything.
+        let mut set = LogSet::sim_ecosystem(now(), 0.0, 0.0, &mut rng);
+        let new = leaf_at(&mut rng, "grow.com", now() - 30 * 86_400);
+        assert_eq!(set.submit(&new), 0, "coin rejects everything");
+        // Backfill bypasses the coin but still respects temporal windows:
+        // only the two "current" shards cover this not_before.
+        assert_eq!(set.backfill(&new), 2);
+        // Idempotent: already-present entries are skipped.
+        assert_eq!(set.backfill(&new), 0);
+        assert_eq!(set.n_unique_certs(), 1);
     }
 
     #[test]

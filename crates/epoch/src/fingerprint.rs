@@ -1,0 +1,159 @@
+//! Per-app content fingerprints: the dirty-tracking key of the
+//! incremental re-study engine.
+//!
+//! Modeled on cargo's fingerprint module: each app's fingerprint digests
+//! everything that can change its measured verdict — the package bytes,
+//! the ground-truth pin rules and planned behaviour, and the *served
+//! state* of every destination the measurement can observe (chain,
+//! validity at the current simulation time, revocation, platform root
+//! trust, TLS posture). Epoch N+1 re-measures an app iff its fingerprint
+//! differs from epoch N's; everything else replays its journaled verdict.
+//!
+//! Two deliberate choices keep the fingerprint *minimal but sound*:
+//!
+//! - Set-like fields (SDK names, domain lists) are hashed in sorted
+//!   order, so field permutations and `HashMap` iteration order never
+//!   flip a fingerprint (the proptests pin this down).
+//! - Absolute time is hashed only through `validity.contains(now)` bits,
+//!   so a `TimeAdvance` epoch dirties exactly the apps whose destination
+//!   certificates cross an expiry boundary — not the whole store.
+
+use pinning_app::app::MobileApp;
+use pinning_app::platform::Platform;
+use pinning_crypto::Sha256;
+use pinning_store::world::World;
+use std::collections::BTreeSet;
+
+/// Destinations whose served state can influence this app's measurement:
+/// planned connections, iOS associated domains, and (on iOS) the OS
+/// background domains the device contacts during capture.
+pub fn relevant_destinations(app: &MobileApp) -> BTreeSet<String> {
+    let mut out: BTreeSet<String> = app
+        .behavior
+        .connections
+        .iter()
+        .map(|c| c.domain.clone())
+        .collect();
+    out.extend(app.associated_domains.iter().cloned());
+    if app.id.platform == Platform::Ios {
+        out.extend(
+            pinning_netsim::APPLE_BACKGROUND_DOMAINS
+                .iter()
+                .map(|d| d.to_string()),
+        );
+    }
+    out
+}
+
+fn sorted(xs: &[String]) -> Vec<&str> {
+    let mut v: Vec<&str> = xs.iter().map(|s| s.as_str()).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Content fingerprint of one app at the world's current state.
+pub fn app_fingerprint(world: &World, app_index: usize) -> [u8; 32] {
+    let app = &world.apps[app_index];
+    let mut h = Sha256::new();
+
+    // --- App-side content: manifest, package, rules, behaviour. ---
+    h.update(&[match app.id.platform {
+        Platform::Android => 0u8,
+        Platform::Ios => 1u8,
+    }]);
+    h.update(&app.package.content_hash());
+    h.update(&[app.uses_nsc as u8]);
+    for name in sorted(&app.sdk_names) {
+        h.update(name.as_bytes());
+        h.update(&[0]);
+    }
+    for d in sorted(&app.first_party_domains) {
+        h.update(d.as_bytes());
+        h.update(&[0]);
+    }
+    for d in sorted(&app.associated_domains) {
+        h.update(d.as_bytes());
+        h.update(&[0]);
+    }
+    // Pin rules and connections are order-significant (connections carry
+    // index references into the rule list), so they hash in order. The
+    // Debug encoding is deterministic and covers every field.
+    for rule in &app.pin_rules {
+        h.update(rule.pattern.as_bytes());
+        h.update(&[rule.active_at_runtime as u8, rule.custom_pki as u8]);
+        h.update(format!("{:?}|{:?}|{:?}", rule.target, rule.storage, rule.source).as_bytes());
+        h.update(format!("{:?}", rule.pins).as_bytes());
+        for c in &rule.pinned_certs {
+            h.update(&c.fingerprint_sha256());
+        }
+    }
+    for conn in &app.behavior.connections {
+        h.update(format!("{conn:?}").as_bytes());
+        h.update(&[0]);
+    }
+
+    // --- Destination-side state, in BTreeSet (deterministic) order. ---
+    let store = match app.id.platform {
+        Platform::Android => &world.universe.aosp_oem,
+        Platform::Ios => &world.universe.ios,
+    };
+    for domain in relevant_destinations(app) {
+        h.update(domain.as_bytes());
+        match world.network.resolve(&domain) {
+            None => h.update(&[0]),
+            Some(server) => {
+                h.update(&[1]);
+                for cert in server.chain.certs() {
+                    h.update(&cert.fingerprint_sha256());
+                    h.update(&[
+                        cert.tbs.validity.contains(world.now) as u8,
+                        world.network.crl.is_revoked(cert.tbs.serial) as u8,
+                    ]);
+                }
+                let trusted = server
+                    .chain
+                    .certs()
+                    .last()
+                    .is_some_and(|top| store.contains(top));
+                h.update(&[trusted as u8]);
+                h.update(format!("{:?}|{:?}", server.versions, server.ciphers).as_bytes());
+                h.update(&server.reliability.to_bits().to_le_bytes());
+                h.update(&(server.response_bytes as u64).to_le_bytes());
+            }
+        }
+    }
+
+    h.finalize()
+}
+
+/// Fingerprints of every app, in index order.
+pub fn all_fingerprints(world: &World) -> Vec<[u8; 32]> {
+    (0..world.apps.len())
+        .map(|i| app_fingerprint(world, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinning_store::config::WorldConfig;
+
+    #[test]
+    fn fingerprint_is_deterministic_across_regeneration() {
+        let a = World::generate(WorldConfig::tiny(0xE0));
+        let b = World::generate(WorldConfig::tiny(0xE0));
+        assert_eq!(all_fingerprints(&a), all_fingerprints(&b));
+    }
+
+    #[test]
+    fn fingerprint_tracks_pin_rule_state() {
+        let mut world = World::generate(WorldConfig::tiny(0xE1));
+        let victim = (0..world.apps.len())
+            .find(|&i| !world.apps[i].pin_rules.is_empty())
+            .expect("tiny world has pinning apps");
+        let before = app_fingerprint(&world, victim);
+        world.apps[victim].pin_rules[0].active_at_runtime =
+            !world.apps[victim].pin_rules[0].active_at_runtime;
+        assert_ne!(before, app_fingerprint(&world, victim));
+    }
+}

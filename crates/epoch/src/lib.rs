@@ -1,0 +1,44 @@
+//! Longitudinal store evolution: a seeded epoch simulator plus a
+//! fingerprint-driven incremental re-study engine.
+//!
+//! The paper measured both app stores at one instant. This crate asks
+//! what happens *next*: a seeded [`EpochPlan`] evolves the generated
+//! [`World`][pinning_store::world::World] through N epochs of typed
+//! [`EpochEvent`]s — app version bumps that adopt or drop pinning, NSC
+//! pin-set expiry, SDK swaps, certificate expiry and reissue, pin
+//! rotation with backup pins, CT log growth, root-store distrust — and
+//! the [`Evolution`] engine re-runs the full measurement study at each
+//! epoch.
+//!
+//! The expensive part is made cheap the way cargo makes rebuilds cheap:
+//! every app carries a content [`fingerprint`] digesting
+//! everything that can change its verdict, and epoch N+1 re-measures an
+//! app only when its fingerprint differs from epoch N's. Clean apps
+//! replay their journaled verdict. The engine's invariant — gated by
+//! `benches/epoch.rs` and this crate's proptests — is that the
+//! incremental run renders **byte-identically** to a cold full re-run
+//! while re-measuring only the dirty apps.
+//!
+//! ```
+//! use pinning_epoch::{EpochConfig, Evolution};
+//!
+//! let mut study = Evolution::new(EpochConfig::tiny(7), true);
+//! study.next_epoch().unwrap(); // baseline: everything measured
+//! study.next_epoch().unwrap(); // epoch 1: only dirty apps re-measured
+//! assert!(study.full_report().contains("Store evolution"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fingerprint;
+pub mod plan;
+pub mod state;
+pub mod study;
+
+pub use event::EpochEvent;
+pub use fingerprint::{all_fingerprints, app_fingerprint, relevant_destinations};
+pub use plan::{apply_epoch, EpochConfig, EpochPlan};
+pub use state::{EpochState, StateError};
+pub use study::{EpochOutcome, Evolution};

@@ -1,0 +1,286 @@
+//! Persistable study state: everything the incremental engine needs to
+//! pick a longitudinal run back up in a fresh process.
+//!
+//! The heavy state (worlds) is *not* serialized — it is rebuilt
+//! deterministically from the plan. What persists is the small dynamic
+//! core: the per-app fingerprint table, the last completed epoch's
+//! journal (canonical, app-index order), the rendered report of that
+//! epoch, and the accumulated delta-report rows.
+
+use pinning_crypto::sha256;
+use pinning_pki::encode::{Reader, Writer};
+use pinning_pki::error::DecodeError;
+use pinning_report::evolution::{
+    AdoptionPoint, CtDriftPoint, DistrustRow, EpochCostRow, EventCountRow, RotationRow,
+};
+
+const MAGIC: &[u8; 8] = b"PINEPOC1";
+const VERSION: u64 = 1;
+
+/// Why a state image could not be loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The TLV structure failed to decode.
+    Decode(DecodeError),
+    /// The magic or version does not match.
+    BadHeader,
+    /// The state belongs to a different [`EpochConfig`][crate::plan::EpochConfig]
+    /// (by [`identity`][crate::plan::EpochConfig::identity]).
+    IdentityMismatch,
+}
+
+impl From<DecodeError> for StateError {
+    fn from(e: DecodeError) -> Self {
+        StateError::Decode(e)
+    }
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::Decode(e) => write!(f, "state decode error: {e:?}"),
+            StateError::BadHeader => write!(f, "not an epoch-state image"),
+            StateError::IdentityMismatch => {
+                write!(f, "state belongs to a different epoch configuration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// The serializable core of an [`Evolution`][crate::study::Evolution].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochState {
+    /// [`EpochConfig::identity`][crate::plan::EpochConfig::identity] of
+    /// the owning configuration.
+    pub identity: [u8; 32],
+    /// Epochs completed (baseline counts as 1).
+    pub done: u64,
+    /// Whether the run used incremental replay.
+    pub incremental: bool,
+    /// Per-app content fingerprints at the last completed epoch.
+    pub fingerprints: Vec<[u8; 32]>,
+    /// Canonical journal of the last completed epoch (entries in
+    /// app-index order; replaying it against the rebuilt world yields
+    /// the epoch's records byte-for-byte).
+    pub journal: Vec<u8>,
+    /// The last completed epoch's rendered report.
+    pub last_render: String,
+    /// Accumulated adoption-trend points.
+    pub adoption: Vec<AdoptionPoint>,
+    /// Accumulated distrust-breakage rows.
+    pub distrust: Vec<DistrustRow>,
+    /// Accumulated rotation-survival rows.
+    pub rotation: Vec<RotationRow>,
+    /// Accumulated CT-drift points.
+    pub ct_drift: Vec<CtDriftPoint>,
+    /// Accumulated event-mix rows.
+    pub event_mix: Vec<EventCountRow>,
+    /// Accumulated incremental-cost rows (telemetry; not part of the
+    /// byte-compared artifact).
+    pub costs: Vec<EpochCostRow>,
+}
+
+impl EpochState {
+    /// Serializes the state with a checksummed trailer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u64(VERSION);
+        w.bytes(&self.identity);
+        w.u64(self.done);
+        w.boolean(self.incremental);
+        w.list(&self.fingerprints, |w, fp| w.bytes(fp));
+        w.bytes(&self.journal);
+        w.string(&self.last_render);
+        w.list(&self.adoption, |w, p| {
+            w.u64(p.epoch as u64);
+            w.string(&p.dataset);
+            w.u64(p.apps as u64);
+            w.u64(p.pinning as u64);
+        });
+        w.list(&self.distrust, |w, r| {
+            w.u64(r.epoch as u64);
+            w.string(&r.root);
+            w.u64(r.apps_touched as u64);
+            w.u64(r.newly_broken as u64);
+        });
+        w.list(&self.rotation, |w, r| {
+            w.u64(r.epoch as u64);
+            w.string(&r.hostname);
+            w.u64(r.pinned_before as u64);
+            w.u64(r.surviving as u64);
+        });
+        w.list(&self.ct_drift, |w, p| {
+            w.u64(p.epoch as u64);
+            w.u64(p.covered_hosts as u64);
+            w.u64(p.total_hosts as u64);
+            w.u64(p.unique_certs as u64);
+        });
+        w.list(&self.event_mix, |w, r| {
+            w.u64(r.epoch as u64);
+            w.string(&r.label);
+            w.u64(r.count as u64);
+        });
+        w.list(&self.costs, |w, r| {
+            w.u64(r.epoch as u64);
+            w.u64(r.replayed as u64);
+            w.u64(r.reanalyzed as u64);
+            w.u64(r.wall_ms);
+        });
+        let body = w.into_bytes();
+        let sum = sha256(&body);
+        let mut out = body;
+        out.extend_from_slice(&sum);
+        out
+    }
+
+    /// Parses a state image, verifying the checksum and header.
+    pub fn from_bytes(bytes: &[u8]) -> Result<EpochState, StateError> {
+        if bytes.len() < 32 {
+            return Err(StateError::BadHeader);
+        }
+        let (body, sum) = bytes.split_at(bytes.len() - 32);
+        if sha256(body) != *<&[u8; 32]>::try_from(sum).expect("32 bytes") {
+            return Err(StateError::BadHeader);
+        }
+        let mut r = Reader::new(body);
+        if r.bytes()? != MAGIC || r.u64()? != VERSION {
+            return Err(StateError::BadHeader);
+        }
+        let identity = {
+            let b = r.bytes()?;
+            <[u8; 32]>::try_from(b.as_slice()).map_err(|_| StateError::BadHeader)?
+        };
+        let done = r.u64()?;
+        let incremental = r.boolean()?;
+        let fingerprints = r.list(|r| {
+            let b = r.bytes()?;
+            <[u8; 32]>::try_from(b.as_slice()).map_err(|_| DecodeError::BadFieldSize)
+        })?;
+        let journal = r.bytes()?;
+        let last_render = r.string()?;
+        let adoption = r.list(|r| {
+            Ok(AdoptionPoint {
+                epoch: r.u64()? as usize,
+                dataset: r.string()?,
+                apps: r.u64()? as usize,
+                pinning: r.u64()? as usize,
+            })
+        })?;
+        let distrust = r.list(|r| {
+            Ok(DistrustRow {
+                epoch: r.u64()? as usize,
+                root: r.string()?,
+                apps_touched: r.u64()? as usize,
+                newly_broken: r.u64()? as usize,
+            })
+        })?;
+        let rotation = r.list(|r| {
+            Ok(RotationRow {
+                epoch: r.u64()? as usize,
+                hostname: r.string()?,
+                pinned_before: r.u64()? as usize,
+                surviving: r.u64()? as usize,
+            })
+        })?;
+        let ct_drift = r.list(|r| {
+            Ok(CtDriftPoint {
+                epoch: r.u64()? as usize,
+                covered_hosts: r.u64()? as usize,
+                total_hosts: r.u64()? as usize,
+                unique_certs: r.u64()? as usize,
+            })
+        })?;
+        let event_mix = r.list(|r| {
+            Ok(EventCountRow {
+                epoch: r.u64()? as usize,
+                label: r.string()?,
+                count: r.u64()? as usize,
+            })
+        })?;
+        let costs = r.list(|r| {
+            Ok(EpochCostRow {
+                epoch: r.u64()? as usize,
+                replayed: r.u64()? as usize,
+                reanalyzed: r.u64()? as usize,
+                wall_ms: r.u64()?,
+            })
+        })?;
+        Ok(EpochState {
+            identity,
+            done,
+            incremental,
+            fingerprints,
+            journal,
+            last_render,
+            adoption,
+            distrust,
+            rotation,
+            ct_drift,
+            event_mix,
+            costs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EpochState {
+        EpochState {
+            identity: [7; 32],
+            done: 2,
+            incremental: true,
+            fingerprints: vec![[1; 32], [2; 32]],
+            journal: vec![9, 9, 9],
+            last_render: "report".into(),
+            adoption: vec![AdoptionPoint {
+                epoch: 1,
+                dataset: "android/popular".into(),
+                apps: 20,
+                pinning: 5,
+            }],
+            distrust: vec![],
+            rotation: vec![RotationRow {
+                epoch: 1,
+                hostname: "api.x.com".into(),
+                pinned_before: 3,
+                surviving: 2,
+            }],
+            ct_drift: vec![],
+            event_mix: vec![EventCountRow {
+                epoch: 1,
+                label: "time-advance".into(),
+                count: 1,
+            }],
+            costs: vec![EpochCostRow {
+                epoch: 1,
+                replayed: 40,
+                reanalyzed: 10,
+                wall_ms: 77,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        assert_eq!(EpochState::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert_eq!(
+            EpochState::from_bytes(&bytes),
+            Err(StateError::BadHeader),
+            "checksum must catch a flipped bit"
+        );
+        assert!(EpochState::from_bytes(&bytes[..10]).is_err());
+    }
+}

@@ -1,0 +1,573 @@
+//! The incremental re-study engine: runs one journaled study per epoch,
+//! replaying clean apps' verdicts from the previous epoch and
+//! re-measuring only the apps whose content fingerprint changed.
+//!
+//! The engine's invariant (gated by `benches/epoch.rs` and the
+//! proptests): an incremental epoch run renders **byte-identically** to
+//! a cold full re-run of the same epoch, while re-measuring only the
+//! dirty apps. That holds because replayed verdicts come from the same
+//! journal format fresh measurements commit to, and materialization
+//! replays the journal either way.
+
+use crate::plan::{apply_epoch, EpochConfig, EpochPlan};
+use crate::state::{EpochState, StateError};
+use pinning_analysis::dynamics::pipeline::RetryPolicy;
+use pinning_analysis::statics::analyze_package_cached;
+use pinning_app::platform::Platform;
+use pinning_core::journal::{AppOutcome, JournalEntry, JournalError, ResultJournal};
+use pinning_core::record::AppRecord;
+use pinning_core::study::{Study, StudyConfig, StudyOutcome, StudyResults, SupervisorConfig};
+use pinning_crypto::Sha256;
+use pinning_netsim::faults::FaultConfig;
+use pinning_report::evolution::{
+    self, AdoptionPoint, CtDriftPoint, DistrustRow, EpochCostRow, EventCountRow, RotationRow,
+};
+use pinning_store::datasets::build_datasets;
+use pinning_store::world::World;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+/// How one epoch run ended.
+#[derive(Debug)]
+pub enum EpochOutcome {
+    /// The epoch committed fully; [`Evolution::completed`] advanced.
+    Completed,
+    /// The run was killed mid-epoch (via the kill hook); the journal
+    /// bytes feed [`Evolution::resume_epoch`] — or
+    /// [`Evolution::state_bytes`] plus the journal survive a process
+    /// death.
+    Interrupted(Vec<u8>),
+}
+
+/// A longitudinal study: the baseline epoch plus `config.epochs`
+/// evolution epochs, driven one [`Evolution::next_epoch`] at a time.
+#[derive(Debug)]
+pub struct Evolution {
+    config: EpochConfig,
+    plan: EpochPlan,
+    incremental: bool,
+    /// The evolved world, if this process still holds it. `None` after
+    /// an interruption (the study consumed it); rebuilt on demand.
+    world: Option<World>,
+    /// How many epochs' events `world` has absorbed (0 = baseline).
+    evolved_for: Option<usize>,
+    /// Completed epochs (baseline counts as 1).
+    done: usize,
+    /// Per-app fingerprints at the last completed epoch.
+    fingerprints: Vec<[u8; 32]>,
+    /// Records of the last completed epoch.
+    records: BTreeMap<usize, AppRecord>,
+    /// `render_all()` of the last completed epoch.
+    last_render: String,
+    adoption: Vec<AdoptionPoint>,
+    distrust: Vec<DistrustRow>,
+    rotation: Vec<RotationRow>,
+    ct_drift: Vec<CtDriftPoint>,
+    event_mix: Vec<EventCountRow>,
+    costs: Vec<EpochCostRow>,
+}
+
+impl Evolution {
+    /// Creates the engine. `incremental = false` is the cold baseline
+    /// mode: every epoch re-measures every app (the control arm the
+    /// byte-identity gate compares against).
+    pub fn new(config: EpochConfig, incremental: bool) -> Self {
+        let plan = EpochPlan::generate(&config);
+        Evolution {
+            config,
+            plan,
+            incremental,
+            world: None,
+            evolved_for: None,
+            done: 0,
+            fingerprints: Vec::new(),
+            records: BTreeMap::new(),
+            last_render: String::new(),
+            adoption: Vec::new(),
+            distrust: Vec::new(),
+            rotation: Vec::new(),
+            ct_drift: Vec::new(),
+            event_mix: Vec::new(),
+            costs: Vec::new(),
+        }
+    }
+
+    /// Total epochs (baseline + evolution).
+    pub fn epochs_total(&self) -> usize {
+        self.config.epochs + 1
+    }
+
+    /// Epochs completed so far.
+    pub fn completed(&self) -> usize {
+        self.done
+    }
+
+    /// The generated plan (for inspection/tests).
+    pub fn plan(&self) -> &EpochPlan {
+        &self.plan
+    }
+
+    /// Per-app fingerprints at the last completed epoch.
+    pub fn fingerprints(&self) -> &[[u8; 32]] {
+        &self.fingerprints
+    }
+
+    /// The study configuration an epoch runs under: same world knobs
+    /// every epoch, no faults, no breaker — epoch deltas must come from
+    /// epoch events, never from injected chaos.
+    fn study_config(&self, kill_after: Option<usize>) -> StudyConfig {
+        StudyConfig {
+            world: self.config.world.clone(),
+            threads: self.config.threads,
+            faults: FaultConfig::none(),
+            retry: RetryPolicy::default(),
+            breaker: None,
+            supervisor: SupervisorConfig {
+                watchdog_secs: 300,
+                kill_after_apps: kill_after,
+                inject_panic_app: None,
+            },
+        }
+    }
+
+    /// Journal fingerprint of epoch `k`: the study fingerprint extended
+    /// with the plan identity and the epoch number, so an epoch-2
+    /// journal can never resume epoch 3.
+    fn epoch_fp(&self, k: usize) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.study_config(None).fingerprint());
+        h.update(&self.config.identity());
+        h.update(&(k as u64).to_le_bytes());
+        h.finalize()
+    }
+
+    /// Ensures `self.world` holds the world evolved through epoch `k`'s
+    /// events, returning the per-event touched sets of epoch `k` (empty
+    /// for the baseline). Rebuilding from scratch is deterministic:
+    /// every event's sub-rng derives from `(seed, epoch, index)`.
+    fn evolve_to(&mut self, k: usize) -> Vec<BTreeSet<usize>> {
+        let mut from = match self.evolved_for {
+            Some(n) if n <= k && self.world.is_some() => n,
+            _ => {
+                self.world = Some(World::generate(self.config.world.clone()));
+                0
+            }
+        };
+        let world = self.world.as_mut().expect("just ensured");
+        let mut touched = Vec::new();
+        while from < k {
+            let epoch = from + 1;
+            touched = apply_epoch(world, &self.plan.epochs[epoch - 1], self.config.seed, epoch);
+            from = epoch;
+        }
+        self.evolved_for = Some(k);
+        if k == 0 {
+            Vec::new()
+        } else {
+            touched
+        }
+    }
+
+    /// Runs epoch `completed()` to completion.
+    pub fn next_epoch(&mut self) -> Result<(), JournalError> {
+        match self.run_epoch(None, None)? {
+            EpochOutcome::Completed => Ok(()),
+            EpochOutcome::Interrupted(_) => unreachable!("no kill hook set"),
+        }
+    }
+
+    /// Runs epoch `completed()` with the kill hook armed: the study
+    /// stops after `kill_after` freshly measured apps, simulating the
+    /// process dying mid-epoch.
+    pub fn next_epoch_with_kill(
+        &mut self,
+        kill_after: usize,
+    ) -> Result<EpochOutcome, JournalError> {
+        self.run_epoch(Some(kill_after), None)
+    }
+
+    /// Resumes the current epoch from an interrupted journal image.
+    pub fn resume_epoch(&mut self, journal_bytes: &[u8]) -> Result<(), JournalError> {
+        match self.run_epoch(None, Some(journal_bytes))? {
+            EpochOutcome::Completed => Ok(()),
+            EpochOutcome::Interrupted(_) => unreachable!("no kill hook set"),
+        }
+    }
+
+    fn run_epoch(
+        &mut self,
+        kill_after: Option<usize>,
+        partial: Option<&[u8]>,
+    ) -> Result<EpochOutcome, JournalError> {
+        let k = self.done;
+        assert!(k < self.epochs_total(), "all epochs already completed");
+        let started = Instant::now();
+
+        let touched = self.evolve_to(k);
+        let world = self.world.take().expect("evolve_to populates the world");
+        let fingerprint = self.epoch_fp(k);
+
+        // The measured population: every dataset member plus the hostile
+        // cohort (listings are event-invariant, so this matches what the
+        // study itself will enumerate).
+        let datasets = build_datasets(&world);
+        let measured: BTreeSet<usize> = datasets
+            .iter()
+            .flat_map(|d| d.app_indices.iter().copied())
+            .chain(world.hostile_apps.iter().copied())
+            .collect();
+
+        // Only measured apps need fingerprints; unlisted store apps can
+        // never be dirty or clean — they are simply never measured.
+        let mut new_fps = vec![[0u8; 32]; world.apps.len()];
+        for &i in &measured {
+            new_fps[i] = crate::fingerprint::app_fingerprint(&world, i);
+        }
+
+        // Dirty = fingerprint changed (or no prior verdict). The
+        // baseline and the cold mode re-measure everything.
+        let dirty: BTreeSet<usize> = if k == 0 || !self.incremental {
+            measured.clone()
+        } else {
+            measured
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    self.fingerprints.get(i) != Some(&new_fps[i]) || !self.records.contains_key(&i)
+                })
+                .collect()
+        };
+        let replayed = measured.len() - dirty.len();
+
+        // Pre-seed the journal with the clean apps' prior-epoch verdicts
+        // (app-index order). A resumed epoch brings its own journal,
+        // which already holds these plus whatever fresh apps committed.
+        let study = Study::new(self.study_config(kill_after));
+        let outcome = match partial {
+            Some(bytes) => study.resume_on_world(world, bytes, fingerprint)?,
+            None => {
+                let mut journal = ResultJournal::create(fingerprint);
+                for &i in &measured {
+                    if dirty.contains(&i) {
+                        continue;
+                    }
+                    journal.append(&JournalEntry {
+                        app_index: i as u64,
+                        outcome: outcome_of(&self.records[&i]),
+                    });
+                }
+                study.run_on_world(world, journal, fingerprint)?
+            }
+        };
+
+        let mut results = match outcome {
+            StudyOutcome::Completed(results) => *results,
+            StudyOutcome::Interrupted { journal, .. } => {
+                // The study consumed the world; a resume rebuilds it
+                // deterministically from the plan.
+                self.evolved_for = None;
+                return Ok(EpochOutcome::Interrupted(journal.into_bytes()));
+            }
+        };
+        if self.incremental && k > 0 {
+            results.health.replayed_prior_epoch = replayed;
+            results.health.reanalyzed_dirty = dirty.len();
+        }
+
+        self.collect_rows(k, &results, &touched);
+        self.costs.push(EpochCostRow {
+            epoch: k,
+            replayed: if self.incremental && k > 0 {
+                replayed
+            } else {
+                0
+            },
+            reanalyzed: dirty.len(),
+            wall_ms: started.elapsed().as_millis() as u64,
+        });
+        self.last_render = results.render_all();
+        let StudyResults { world, records, .. } = results;
+        self.world = Some(world);
+        self.evolved_for = Some(k);
+        self.records = records;
+        self.fingerprints = new_fps;
+        self.done = k + 1;
+        Ok(EpochOutcome::Completed)
+    }
+
+    /// Derives the delta-report rows for a completed epoch `k`.
+    fn collect_rows(&mut self, k: usize, results: &StudyResults, touched: &[BTreeSet<usize>]) {
+        for d in &results.datasets {
+            let pinning = d
+                .app_indices
+                .iter()
+                .filter(|i| results.records[i].pins())
+                .count();
+            self.adoption.push(AdoptionPoint {
+                epoch: k,
+                dataset: format!("{}/{}", d.platform, d.kind.label()),
+                apps: d.app_indices.len(),
+                pinning,
+            });
+        }
+
+        let events: &[crate::event::EpochEvent] = if k == 0 {
+            &[]
+        } else {
+            &self.plan.epochs[k - 1]
+        };
+        for (ev, touch) in events.iter().zip(touched) {
+            match ev {
+                crate::event::EpochEvent::RootDistrust { root_cn } => {
+                    let newly_broken = touch
+                        .iter()
+                        .filter(|i| {
+                            let (Some(prior), Some(now)) =
+                                (self.records.get(i), results.records.get(i))
+                            else {
+                                return false;
+                            };
+                            prior
+                                .used_destinations
+                                .iter()
+                                .any(|d| !now.used_destinations.contains(d))
+                        })
+                        .count();
+                    self.distrust.push(DistrustRow {
+                        epoch: k,
+                        root: root_cn.clone(),
+                        apps_touched: touch.len(),
+                        newly_broken,
+                    });
+                }
+                crate::event::EpochEvent::PinRotation { hostname } => {
+                    let surviving = touch
+                        .iter()
+                        .filter(|i| {
+                            results.records.get(i).is_some_and(|r| {
+                                r.pinned_destinations.iter().any(|d| d == hostname)
+                            })
+                        })
+                        .count();
+                    self.rotation.push(RotationRow {
+                        epoch: k,
+                        hostname: hostname.clone(),
+                        pinned_before: touch.len(),
+                        surviving,
+                    });
+                }
+                _ => {}
+            }
+        }
+
+        let servers = results.world.network.servers();
+        let covered = servers
+            .iter()
+            .filter(|s| {
+                s.chain.leaf().is_some_and(|leaf| {
+                    results
+                        .world
+                        .ctlog
+                        .search_by_fingerprint(&leaf.fingerprint_sha256())
+                        .is_some()
+                })
+            })
+            .count();
+        self.ct_drift.push(CtDriftPoint {
+            epoch: k,
+            covered_hosts: covered,
+            total_hosts: servers.len(),
+            unique_certs: results.world.ctlog.n_unique_certs(),
+        });
+
+        let mut mix: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for ev in events {
+            *mix.entry(ev.label()).or_insert(0) += 1;
+        }
+        for (label, count) in mix {
+            self.event_mix.push(EventCountRow {
+                epoch: k,
+                label: label.to_string(),
+                count,
+            });
+        }
+    }
+
+    /// The "store evolution" delta report: every accumulated trend table
+    /// except the cost accounting (which is wall-clock telemetry and
+    /// therefore excluded from byte comparison).
+    pub fn delta_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&evolution::table_adoption_trend(&self.adoption));
+        out.push('\n');
+        out.push_str(&evolution::table_distrust_breakage(&self.distrust));
+        out.push('\n');
+        out.push_str(&evolution::table_rotation_survival(&self.rotation));
+        out.push('\n');
+        out.push_str(&evolution::table_ct_drift(&self.ct_drift));
+        out.push('\n');
+        out.push_str(&evolution::table_epoch_events(&self.event_mix));
+        out
+    }
+
+    /// The byte-compared artifact: the last epoch's full study report
+    /// plus the accumulated delta report.
+    pub fn full_report(&self) -> String {
+        let mut out = self.last_render.clone();
+        out.push('\n');
+        out.push_str(&self.delta_report());
+        out
+    }
+
+    /// Incremental-cost accounting (replayed vs reanalyzed, wall time).
+    pub fn cost_report(&self) -> String {
+        evolution::table_epoch_costs(&self.costs)
+    }
+
+    /// Raw per-epoch cost rows (the bench reads wall times from here).
+    pub fn costs(&self) -> &[EpochCostRow] {
+        &self.costs
+    }
+
+    /// Sum of apps replayed from a prior epoch across all epochs so far.
+    pub fn total_replayed(&self) -> usize {
+        self.costs.iter().map(|c| c.replayed).sum()
+    }
+
+    /// Serializes everything a fresh process needs to continue this run
+    /// after the last completed epoch. The journal inside is rebuilt
+    /// canonically (app-index order) from the records, so two processes
+    /// that completed the same epochs persist identical state.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        assert!(self.done > 0, "no completed epoch to persist");
+        let mut journal = ResultJournal::create(self.epoch_fp(self.done - 1));
+        for (&i, rec) in &self.records {
+            journal.append(&JournalEntry {
+                app_index: i as u64,
+                outcome: outcome_of(rec),
+            });
+        }
+        EpochState {
+            identity: self.config.identity(),
+            done: self.done as u64,
+            incremental: self.incremental,
+            fingerprints: self.fingerprints.clone(),
+            journal: journal.into_bytes(),
+            last_render: self.last_render.clone(),
+            adoption: self.adoption.clone(),
+            distrust: self.distrust.clone(),
+            rotation: self.rotation.clone(),
+            ct_drift: self.ct_drift.clone(),
+            event_mix: self.event_mix.clone(),
+            costs: self.costs.clone(),
+        }
+        .to_bytes()
+    }
+
+    /// Rebuilds an engine from a [`EpochState`] image: regenerates the
+    /// world, replays the plan through the last completed epoch, and
+    /// materializes the records from the persisted journal.
+    pub fn from_state(config: EpochConfig, bytes: &[u8]) -> Result<Self, StateError> {
+        let state = EpochState::from_bytes(bytes)?;
+        if state.identity != config.identity() {
+            return Err(StateError::IdentityMismatch);
+        }
+        let mut engine = Evolution::new(config, state.incremental);
+        engine.done = state.done as usize;
+        engine.fingerprints = state.fingerprints;
+        engine.last_render = state.last_render;
+        engine.adoption = state.adoption;
+        engine.distrust = state.distrust;
+        engine.rotation = state.rotation;
+        engine.ct_drift = state.ct_drift;
+        engine.event_mix = state.event_mix;
+        engine.costs = state.costs;
+
+        // Rebuild the last completed epoch's world and materialize the
+        // journal against it (statics are recomputed, same as the study's
+        // own materialization path).
+        engine.evolve_to(engine.done.saturating_sub(1));
+        let world = engine.world.as_ref().expect("evolve_to populates");
+        let replay = ResultJournal::open(&state.journal).map_err(|_| StateError::BadHeader)?;
+        if replay.fingerprint != engine.epoch_fp(engine.done - 1) || replay.truncated() {
+            return Err(StateError::IdentityMismatch);
+        }
+        let decrypt_key = engine.config.world.ios_encryption_seed;
+        let mut records = BTreeMap::new();
+        for entry in &replay.entries {
+            let i = entry.app_index as usize;
+            let app = &world.apps[i];
+            let statics = analyze_package_cached(
+                &app.package,
+                (app.id.platform == Platform::Ios).then_some(decrypt_key),
+            );
+            let record = match &entry.outcome {
+                AppOutcome::Measured(m) => AppRecord::from_measured(i, app.id.clone(), statics, m),
+                AppOutcome::Failed(e) => AppRecord::failed(i, app.id.clone(), statics, *e),
+            };
+            records.insert(i, record);
+        }
+        engine.records = records;
+        Ok(engine)
+    }
+}
+
+/// A completed record, re-encoded as the journal outcome it came from.
+fn outcome_of(rec: &AppRecord) -> AppOutcome {
+    match rec.error {
+        Some(e) => AppOutcome::Failed(e),
+        None => AppOutcome::Measured(Box::new(rec.to_measured())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_epoch_measures_everything() {
+        let mut ev = Evolution::new(EpochConfig::tiny(0xB0), true);
+        ev.next_epoch().unwrap();
+        assert_eq!(ev.completed(), 1);
+        assert_eq!(ev.costs[0].replayed, 0);
+        assert!(ev.costs[0].reanalyzed > 0);
+        assert!(!ev.full_report().is_empty());
+    }
+
+    #[test]
+    fn incremental_replays_clean_apps_and_matches_cold() {
+        let mut warm = Evolution::new(EpochConfig::tiny(0xB1), true);
+        let mut cold = Evolution::new(EpochConfig::tiny(0xB1), false);
+        for _ in 0..warm.epochs_total() {
+            warm.next_epoch().unwrap();
+            cold.next_epoch().unwrap();
+            assert_eq!(
+                warm.full_report(),
+                cold.full_report(),
+                "incremental epoch {} diverged from cold re-run",
+                warm.completed() - 1
+            );
+        }
+        assert!(
+            warm.total_replayed() > 0,
+            "evolution epochs must replay clean apps"
+        );
+        assert_eq!(cold.total_replayed(), 0);
+    }
+
+    #[test]
+    fn state_roundtrip_restores_the_engine() {
+        let mut ev = Evolution::new(EpochConfig::tiny(0xB2), true);
+        ev.next_epoch().unwrap();
+        ev.next_epoch().unwrap();
+        let bytes = ev.state_bytes();
+        let restored = Evolution::from_state(EpochConfig::tiny(0xB2), &bytes).unwrap();
+        assert_eq!(restored.completed(), 2);
+        assert_eq!(restored.full_report(), ev.full_report());
+        assert_eq!(restored.fingerprints(), ev.fingerprints());
+        assert_eq!(
+            Evolution::from_state(EpochConfig::tiny(0xFF), &bytes).unwrap_err(),
+            StateError::IdentityMismatch
+        );
+    }
+}

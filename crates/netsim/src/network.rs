@@ -74,6 +74,14 @@ impl Network {
             .map(|&i| &self.servers[i])
     }
 
+    /// Resolves a hostname to a mutable origin server — used by epoch
+    /// evolution to swap a server's chain on reissue. Hostname claims stay
+    /// fixed; only served state may change.
+    pub fn resolve_mut(&mut self, hostname: &str) -> Option<&mut OriginServer> {
+        let &i = self.by_host.get(&hostname.to_ascii_lowercase())?;
+        Some(&mut self.servers[i])
+    }
+
     /// Whether a hostname resolves.
     pub fn has_host(&self, hostname: &str) -> bool {
         self.by_host.contains_key(&hostname.to_ascii_lowercase())

@@ -80,6 +80,38 @@ struct DerivedCache {
     spki_sha256: OnceLock<[u8; 32]>,
     spki_sha1: OnceLock<[u8; 20]>,
     pin_string: OnceLock<Arc<str>>,
+    /// Debug-only mutation guard: a cheap content probe captured at the
+    /// first derived read through this cell. Every later cached read
+    /// recomputes the probe and asserts it unchanged, so a `tbs` or
+    /// `signature` mutation that skipped [`Certificate::invalidate_derived`]
+    /// trips loudly instead of silently serving stale derived values.
+    #[cfg(debug_assertions)]
+    probe: OnceLock<u64>,
+}
+
+/// FNV-1a accumulator for the debug mutation probe: orders of magnitude
+/// cheaper than re-encoding + hashing the TBS, yet sensitive to a change in
+/// any content byte.
+#[cfg(debug_assertions)]
+struct Fnv(u64);
+
+#[cfg(debug_assertions)]
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn eat(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn eat_u64(&mut self, v: u64) {
+        self.eat(&v.to_le_bytes());
+    }
+    fn eat_str(&mut self, s: &str) {
+        self.eat_u64(s.len() as u64);
+        self.eat(s.as_bytes());
+    }
 }
 
 /// A signed certificate.
@@ -146,6 +178,51 @@ impl Certificate {
         self.tbs.subject == self.tbs.issuer
     }
 
+    /// Debug-only content probe over every field that feeds a derived
+    /// value: serial, names, validity, SANs, key material, CA bits and the
+    /// signature.
+    #[cfg(debug_assertions)]
+    fn content_probe(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.eat_u64(self.tbs.serial);
+        for name in [&self.tbs.subject, &self.tbs.issuer] {
+            h.eat_str(&name.common_name);
+            h.eat_str(&name.organization);
+            h.eat_str(&name.country);
+        }
+        h.eat_u64(self.tbs.validity.not_before.0);
+        h.eat_u64(self.tbs.validity.not_after.0);
+        h.eat_u64(self.tbs.san.len() as u64);
+        for san in &self.tbs.san {
+            h.eat_str(san);
+        }
+        h.eat(&self.tbs.public_key.spki);
+        h.eat(&self.tbs.public_key.verifier);
+        h.eat_u64(self.tbs.is_ca as u64);
+        h.eat_u64(self.tbs.path_len.map_or(u64::MAX, |p| p));
+        h.eat(&self.signature.0);
+        h.0
+    }
+
+    /// Debug-only guard run on every cached derived read: trips when the
+    /// certificate's content no longer matches what the shared cache was
+    /// filled for (i.e. a mutate-after-clone that skipped
+    /// [`Certificate::invalidate_derived`]).
+    #[cfg(debug_assertions)]
+    fn debug_assert_cache_fresh(&self) {
+        let probe = self.content_probe();
+        let stored = *self.cache.probe.get_or_init(|| probe);
+        debug_assert_eq!(
+            stored, probe,
+            "derived cache read after un-invalidated mutation: call \
+             Certificate::invalidate_derived() after mutating tbs/signature in place"
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    fn debug_assert_cache_fresh(&self) {}
+
     fn encode_der(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.nested(tag::CERTIFICATE, |w| {
@@ -161,6 +238,7 @@ impl Certificate {
         if !cache::caching_enabled() {
             return self.encode_der().into();
         }
+        self.debug_assert_cache_fresh();
         if let Some(der) = self.cache.der.get() {
             cache::CERT_DER.hit();
             return Arc::clone(der);
@@ -247,6 +325,7 @@ impl Certificate {
         if !cache::caching_enabled() {
             return sha256(&self.encode_der());
         }
+        self.debug_assert_cache_fresh();
         if let Some(fp) = self.cache.fingerprint.get() {
             cache::CERT_FINGERPRINT.hit();
             return *fp;
@@ -263,6 +342,7 @@ impl Certificate {
         if !cache::caching_enabled() {
             return self.tbs.public_key.spki_sha256();
         }
+        self.debug_assert_cache_fresh();
         if let Some(d) = self.cache.spki_sha256.get() {
             cache::CERT_SPKI_SHA256.hit();
             return *d;
@@ -279,6 +359,7 @@ impl Certificate {
         if !cache::caching_enabled() {
             return self.tbs.public_key.spki_sha1();
         }
+        self.debug_assert_cache_fresh();
         if let Some(d) = self.cache.spki_sha1.get() {
             cache::CERT_SPKI_SHA1.hit();
             return *d;
@@ -295,6 +376,7 @@ impl Certificate {
         if !cache::caching_enabled() {
             return format!("sha256/{}", b64encode(&self.tbs.public_key.spki_sha256()));
         }
+        self.debug_assert_cache_fresh();
         if let Some(pin) = self.cache.pin_string.get() {
             cache::CERT_PIN_STRING.hit();
             return pin.to_string();
@@ -406,6 +488,28 @@ mod tests {
         b.invalidate_derived();
         assert_ne!(b.fingerprint_sha256(), fp);
         // The original is untouched by the clone's mutation.
+        assert_eq!(a.fingerprint_sha256(), fp);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "derived cache read after un-invalidated mutation")]
+    fn guard_trips_on_mutate_after_clone_without_invalidate() {
+        let a = sample_cert(42);
+        let _ = a.fingerprint_sha256(); // fills the shared cache + probe
+        let mut b = a.clone();
+        b.tbs.serial ^= 0xDEAD; // mutation without invalidate_derived()
+        let _ = b.fingerprint_sha256(); // stale cached read → guard trips
+    }
+
+    #[test]
+    fn guard_stays_quiet_when_invalidated() {
+        let a = sample_cert(43);
+        let fp = a.fingerprint_sha256();
+        let mut b = a.clone();
+        b.tbs.serial ^= 0xDEAD;
+        b.invalidate_derived();
+        assert_ne!(b.fingerprint_sha256(), fp);
         assert_eq!(a.fingerprint_sha256(), fp);
     }
 

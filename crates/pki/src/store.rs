@@ -68,6 +68,20 @@ impl RootStore {
         }
     }
 
+    /// Removes a root by subject name (a distrust event, Symantec-style).
+    /// Returns the removed certificate, if one was present.
+    ///
+    /// The content id folds fingerprints with XOR, so removing a root
+    /// folds the same fingerprint back out and the id returns to the value
+    /// it had before the root was added — validation memo keys derived
+    /// from it stay sound across distrust-and-restore cycles.
+    pub fn remove(&mut self, subject: &DistinguishedName) -> Option<Certificate> {
+        let cert = self.by_subject.remove(subject)?;
+        let fp = cert.fingerprint_sha256();
+        self.content_id ^= u64::from_le_bytes(fp[..8].try_into().expect("8 bytes"));
+        Some(cert)
+    }
+
     /// Looks up a trusted root by subject name.
     pub fn get(&self, subject: &DistinguishedName) -> Option<&Certificate> {
         self.by_subject.get(subject)
@@ -197,6 +211,22 @@ mod tests {
         let before = a.content_id();
         assert!(!a.add(ca.cert.clone()));
         assert_eq!(a.content_id(), before);
+    }
+
+    #[test]
+    fn remove_restores_content_id() {
+        let ca = root_ca(10);
+        let other = root_ca(11);
+        let mut store = RootStore::new("test");
+        store.add(other.cert.clone());
+        let before = store.content_id();
+        store.add(ca.cert.clone());
+        assert_ne!(store.content_id(), before);
+        let removed = store.remove(&ca.cert.tbs.subject).expect("present");
+        assert_eq!(removed.fingerprint_sha256(), ca.cert.fingerprint_sha256());
+        assert_eq!(store.content_id(), before, "XOR removal restores the id");
+        assert!(!store.contains(&ca.cert));
+        assert!(store.remove(&ca.cert.tbs.subject).is_none());
     }
 
     #[test]

@@ -181,6 +181,28 @@ impl PkiUniverse {
         self.now
     }
 
+    /// Advances (or rewinds) the simulation clock. Epoch evolution moves
+    /// `now` forward so that certificates issued in later epochs are dated
+    /// relative to the advanced clock, exactly like the originals were.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// The index of the intermediate whose subject is `issuer`, if any —
+    /// lets a reissued leaf hang under the same intermediate as the
+    /// certificate it replaces.
+    pub fn intermediate_index(&self, issuer: &DistinguishedName) -> Option<usize> {
+        self.intermediates
+            .iter()
+            .position(|ca| ca.cert.tbs.subject == *issuer)
+    }
+
+    /// The intermediate authority at `idx` (its keypair re-signs same-key
+    /// leaf renewals).
+    pub fn intermediate(&self, idx: usize) -> Option<&CertificateAuthority> {
+        self.intermediates.get(idx)
+    }
+
     /// All public root CAs (excluding OEM extras).
     pub fn public_roots(&self) -> &[CertificateAuthority] {
         // OEM extras were appended after `n_public`; exposing all is fine for

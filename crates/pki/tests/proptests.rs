@@ -100,6 +100,7 @@ fn valid_chain_validates_and_tampered_fails() {
         // Any SAN tamper breaks the signature.
         let mut bad = chain.clone();
         bad[0].tbs.san.push("evil.example".to_string());
+        bad[0].invalidate_derived(); // clones share the derived-value cache
         assert!(validate_chain(
             &bad,
             &store,

@@ -1,0 +1,285 @@
+//! "Store evolution" report family: longitudinal deltas across epochs.
+//!
+//! The epoch engine (`pinning-epoch`) computes one set of rows per epoch
+//! and accumulates them here. Everything except [`table_epoch_costs`] is
+//! derived purely from measured records and world state, so the rendered
+//! text is byte-identical between an incremental run and a cold full
+//! re-run — the costs table reports wall-clock and replay counts, which
+//! legitimately differ, and is therefore kept out of the byte-compared
+//! artifact.
+
+use crate::text::{Align, TextTable};
+
+/// Pinning share of one dataset at one epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdoptionPoint {
+    /// Epoch index (0 = baseline).
+    pub epoch: usize,
+    /// Dataset label, e.g. `"android/popular"`.
+    pub dataset: String,
+    /// Apps in the dataset.
+    pub apps: usize,
+    /// Apps observed pinning at runtime.
+    pub pinning: usize,
+}
+
+/// Renders the pinning-adoption trend table (one row per epoch×dataset).
+pub fn table_adoption_trend(points: &[AdoptionPoint]) -> String {
+    let mut t = TextTable::new(
+        "Store evolution: pinning adoption per dataset",
+        &["Epoch", "Dataset", "Pinning", "Share"],
+    )
+    .aligns(&[Align::Right, Align::Left, Align::Right, Align::Right]);
+    for p in points {
+        let share = if p.apps == 0 {
+            0.0
+        } else {
+            100.0 * p.pinning as f64 / p.apps as f64
+        };
+        t.row(&[
+            p.epoch.to_string(),
+            p.dataset.clone(),
+            format!("{}/{}", p.pinning, p.apps),
+            format!("{share:.1}%"),
+        ]);
+    }
+    t.render()
+}
+
+/// Fallout of one root-distrust event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DistrustRow {
+    /// Epoch the distrust landed in.
+    pub epoch: usize,
+    /// Common name of the distrusted root.
+    pub root: String,
+    /// Apps whose destination set chains to the distrusted root.
+    pub apps_touched: usize,
+    /// Of those, apps that pinned in the prior epoch and now fail —
+    /// the paper's "pinning turns a root distrust into an outage" case.
+    pub newly_broken: usize,
+}
+
+/// Renders the distrust-breakage table.
+pub fn table_distrust_breakage(rows: &[DistrustRow]) -> String {
+    let mut t = TextTable::new(
+        "Store evolution: apps newly broken by root distrust",
+        &["Epoch", "Distrusted root", "Apps touched", "Newly broken"],
+    )
+    .aligns(&[Align::Right, Align::Left, Align::Right, Align::Right]);
+    for r in rows {
+        t.row(&[
+            r.epoch.to_string(),
+            r.root.clone(),
+            r.apps_touched.to_string(),
+            r.newly_broken.to_string(),
+        ]);
+    }
+    if rows.is_empty() {
+        t.row(&["-", "(no distrust events)", "0", "0"]);
+    }
+    t.render()
+}
+
+/// Survival of pinning apps across one pin rotation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RotationRow {
+    /// Epoch the rotation landed in.
+    pub epoch: usize,
+    /// Rotated hostname.
+    pub hostname: String,
+    /// Apps that pinned this hostname before the rotation.
+    pub pinned_before: usize,
+    /// Of those, apps still connecting after the rotation (backup pins or
+    /// a pin target the rotation preserved).
+    pub surviving: usize,
+}
+
+/// Renders the pin-rotation survival table.
+pub fn table_rotation_survival(rows: &[RotationRow]) -> String {
+    let mut t = TextTable::new(
+        "Store evolution: pin-rotation survival",
+        &["Epoch", "Hostname", "Pinned before", "Surviving"],
+    )
+    .aligns(&[Align::Right, Align::Left, Align::Right, Align::Right]);
+    for r in rows {
+        t.row(&[
+            r.epoch.to_string(),
+            r.hostname.clone(),
+            r.pinned_before.to_string(),
+            r.surviving.to_string(),
+        ]);
+    }
+    if rows.is_empty() {
+        t.row(&["-", "(no rotations)", "0", "0"]);
+    }
+    t.render()
+}
+
+/// CT-coverage snapshot at one epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CtDriftPoint {
+    /// Epoch index (0 = baseline).
+    pub epoch: usize,
+    /// Hostnames whose served leaf is present in at least one CT log.
+    pub covered_hosts: usize,
+    /// Hostnames probed.
+    pub total_hosts: usize,
+    /// Unique certificates across all logs (log growth).
+    pub unique_certs: usize,
+}
+
+/// Renders the CT-coverage drift table.
+pub fn table_ct_drift(points: &[CtDriftPoint]) -> String {
+    let mut t = TextTable::new(
+        "Store evolution: CT-coverage drift",
+        &["Epoch", "Leaf coverage", "Share", "Unique certs in logs"],
+    )
+    .aligns(&[Align::Right, Align::Right, Align::Right, Align::Right]);
+    for p in points {
+        let share = if p.total_hosts == 0 {
+            0.0
+        } else {
+            100.0 * p.covered_hosts as f64 / p.total_hosts as f64
+        };
+        t.row(&[
+            p.epoch.to_string(),
+            format!("{}/{}", p.covered_hosts, p.total_hosts),
+            format!("{share:.1}%"),
+            p.unique_certs.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+/// Event-taxonomy counts for one epoch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventCountRow {
+    /// Epoch the events landed in.
+    pub epoch: usize,
+    /// Event label (the `EpochEvent` variant name).
+    pub label: String,
+    /// How many events of this kind the epoch applied.
+    pub count: usize,
+}
+
+/// Renders the per-epoch event mix.
+pub fn table_epoch_events(rows: &[EventCountRow]) -> String {
+    let mut t = TextTable::new(
+        "Store evolution: epoch event mix",
+        &["Epoch", "Event", "Count"],
+    )
+    .aligns(&[Align::Right, Align::Left, Align::Right]);
+    for r in rows {
+        t.row(&[r.epoch.to_string(), r.label.clone(), r.count.to_string()]);
+    }
+    t.render()
+}
+
+/// Incremental-cost accounting for one epoch (wall-clock and replay
+/// counts — NOT part of the byte-compared deterministic artifact).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochCostRow {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Apps replayed from the prior epoch's journal (clean fingerprint).
+    pub replayed: usize,
+    /// Apps re-measured (dirty fingerprint).
+    pub reanalyzed: usize,
+    /// Wall-clock milliseconds the epoch took.
+    pub wall_ms: u64,
+}
+
+/// Renders the incremental-cost table.
+pub fn table_epoch_costs(rows: &[EpochCostRow]) -> String {
+    let mut t = TextTable::new(
+        "Store evolution: incremental cost per epoch",
+        &["Epoch", "Replayed", "Reanalyzed", "Dirty share", "Wall ms"],
+    )
+    .aligns(&[
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+    ]);
+    for r in rows {
+        let total = r.replayed + r.reanalyzed;
+        let share = if total == 0 {
+            0.0
+        } else {
+            100.0 * r.reanalyzed as f64 / total as f64
+        };
+        t.row(&[
+            r.epoch.to_string(),
+            r.replayed.to_string(),
+            r.reanalyzed.to_string(),
+            format!("{share:.1}%"),
+            r.wall_ms.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adoption_trend_renders_shares() {
+        let s = table_adoption_trend(&[
+            AdoptionPoint {
+                epoch: 0,
+                dataset: "android/popular".into(),
+                apps: 20,
+                pinning: 5,
+            },
+            AdoptionPoint {
+                epoch: 1,
+                dataset: "android/popular".into(),
+                apps: 20,
+                pinning: 7,
+            },
+        ]);
+        assert!(s.contains("pinning adoption"));
+        assert!(s.contains("5/20"));
+        assert!(s.contains("25.0%"));
+        assert!(s.contains("35.0%"));
+    }
+
+    #[test]
+    fn empty_distrust_and_rotation_tables_render_placeholders() {
+        assert!(table_distrust_breakage(&[]).contains("(no distrust events)"));
+        assert!(table_rotation_survival(&[]).contains("(no rotations)"));
+    }
+
+    #[test]
+    fn ct_drift_and_costs_render() {
+        let s = table_ct_drift(&[CtDriftPoint {
+            epoch: 2,
+            covered_hosts: 30,
+            total_hosts: 40,
+            unique_certs: 55,
+        }]);
+        assert!(s.contains("30/40"));
+        assert!(s.contains("75.0%"));
+        let c = table_epoch_costs(&[EpochCostRow {
+            epoch: 1,
+            replayed: 45,
+            reanalyzed: 5,
+            wall_ms: 123,
+        }]);
+        assert!(c.contains("10.0%"), "dirty share: {c}");
+        assert!(c.contains("123"));
+    }
+
+    #[test]
+    fn event_mix_renders() {
+        let s = table_epoch_events(&[EventCountRow {
+            epoch: 1,
+            label: "server-reissue".into(),
+            count: 3,
+        }]);
+        assert!(s.contains("server-reissue"));
+    }
+}

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod evolution;
 pub mod export;
 pub mod figures;
 pub mod tables;

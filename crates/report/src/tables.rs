@@ -446,6 +446,12 @@ pub struct RunHealthReport {
     pub resumed_apps: usize,
     /// Apps measured by this process.
     pub fresh_apps: usize,
+    /// Epoch engine: apps whose verdict was replayed from the prior epoch
+    /// because their fingerprint was clean (0 outside epoch runs).
+    pub replayed_prior_epoch: usize,
+    /// Epoch engine: apps re-measured because an epoch event dirtied
+    /// their fingerprint (0 outside epoch runs).
+    pub reanalyzed_dirty: usize,
     /// Per-cache hit/miss activity during this run (empty when the caching
     /// layer was disabled).
     pub cache_rows: Vec<CacheRow>,
@@ -477,6 +483,11 @@ pub fn table_run_health(r: &RunHealthReport) -> String {
     t.row(&["quarantined bytes", &r.quarantined_bytes.to_string()]);
     t.row(&["apps resumed from journal", &r.resumed_apps.to_string()]);
     t.row(&["apps measured fresh", &r.fresh_apps.to_string()]);
+    t.row(&[
+        "apps replayed from prior epoch",
+        &r.replayed_prior_epoch.to_string(),
+    ]);
+    t.row(&["apps reanalyzed (dirty)", &r.reanalyzed_dirty.to_string()]);
     for c in &r.cache_rows {
         let total = c.hits + c.misses;
         let rate = if total == 0 {
@@ -722,6 +733,8 @@ mod tests {
             quarantined_bytes: 58,
             resumed_apps: 4,
             fresh_apps: 46,
+            replayed_prior_epoch: 39,
+            reanalyzed_dirty: 11,
             cache_rows: vec![CacheRow {
                 name: "cert-fingerprint".into(),
                 hits: 900,
@@ -731,7 +744,9 @@ mod tests {
         assert!(s.contains("Run health"));
         assert!(s.contains("worker panics recovered"));
         assert!(s.contains("circuit-breaker trips"));
-        for n in ["1", "7", "58", "4", "46"] {
+        assert!(s.contains("apps replayed from prior epoch"));
+        assert!(s.contains("apps reanalyzed (dirty)"));
+        for n in ["1", "7", "58", "4", "46", "39", "11"] {
             assert!(s.contains(n), "missing {n} in:\n{s}");
         }
         assert!(s.contains("cache cert-fingerprint (hit/miss)"));

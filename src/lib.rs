@@ -18,6 +18,7 @@
 //! | [`analysis`] | `pinning-analysis` | the paper's static & dynamic detection methodology |
 //! | [`report`] | `pinning-report` | renderers for every paper table and figure |
 //! | [`core`] | `pinning-core` | end-to-end study orchestrator |
+//! | [`epoch`] | `pinning-epoch` | longitudinal store evolution + incremental re-study engine |
 //!
 //! ## Quickstart
 //!
@@ -36,6 +37,7 @@ pub use pinning_app as app;
 pub use pinning_core as core;
 pub use pinning_crypto as crypto;
 pub use pinning_ctlog as ctlog;
+pub use pinning_epoch as epoch;
 pub use pinning_netsim as netsim;
 pub use pinning_pki as pki;
 pub use pinning_report as report;
