@@ -48,6 +48,12 @@ if grep -qF '"replayed_total": 0' BENCH_epoch.json; then
   echo "BENCH_epoch.json: zero apps replayed"; exit 1
 fi
 
+echo "==> stream smoke (chunked streaming study: schedule byte-identity, kill-and-resume identity, flat-memory ceiling)"
+cargo bench -q -p pinning-bench --bench stream --offline -- smoke
+for key in '"schema": "pinning-bench/stream"' '"byte_identical": true' '"resume_identical": true' '"rss_within_ceiling": true' '"apps_per_sec"'; do
+  grep -qF "$key" BENCH_stream.json || { echo "BENCH_stream.json missing $key"; exit 1; }
+done
+
 echo "==> rustdoc (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 

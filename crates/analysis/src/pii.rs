@@ -2,7 +2,10 @@
 //! (§4.4, §5.5).
 
 use pinning_app::pii::{DeviceIdentity, PiiType};
-use std::collections::BTreeMap;
+use pinning_crypto::Sha256;
+use pinning_pki::cache::{self, CacheCounter};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{OnceLock, RwLock};
 
 /// Detects which PII types appear in a request body, by matching the test
 /// device's known identifier values (the paper controls the device, so
@@ -12,6 +15,75 @@ pub fn detect_pii(identity: &DeviceIdentity, body: &str) -> Vec<PiiType> {
         .into_iter()
         .filter(|p| body.contains(identity.value_of(*p)))
         .collect()
+}
+
+/// Hit/miss telemetry for the memoized PII scan.
+pub static PII_SCAN: CacheCounter = CacheCounter::new("pii-scan");
+
+fn pii_memo() -> &'static RwLock<HashMap<[u8; 32], u8>> {
+    static MEMO: OnceLock<RwLock<HashMap<[u8; 32], u8>>> = OnceLock::new();
+    MEMO.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+fn pii_key(identity: &DeviceIdentity, body: &str) -> [u8; 32] {
+    let mut h = Sha256::new();
+    // The identity's values participate in the key so two devices with
+    // different identifiers never share a memo slot.
+    for p in PiiType::ALL {
+        let v = identity.value_of(p);
+        h.update(&(v.len() as u64).to_le_bytes());
+        h.update(v.as_bytes());
+    }
+    h.update(body.as_bytes());
+    h.finalize()
+}
+
+fn mask_of(found: &[PiiType]) -> u8 {
+    let mut mask = 0u8;
+    for (bit, p) in PiiType::ALL.iter().enumerate() {
+        if found.contains(p) {
+            mask |= 1 << bit;
+        }
+    }
+    mask
+}
+
+fn unmask(mask: u8) -> Vec<PiiType> {
+    PiiType::ALL
+        .into_iter()
+        .enumerate()
+        .filter(|(bit, _)| mask & (1 << bit) != 0)
+        .map(|(_, p)| p)
+        .collect()
+}
+
+/// Memoized [`detect_pii`]: keyed by the device identity's identifier
+/// values and the body, so repeated scans of the same flow (Table 9 is
+/// folded twice per render, and many more times in benches) hit a bitmask
+/// lookup instead of re-running seven substring searches. Respects the
+/// global cache kill switch; output is byte-identical because the mask
+/// decodes in `PiiType::ALL` order, exactly as the filter produces it.
+pub fn detect_pii_cached(identity: &DeviceIdentity, body: &str) -> Vec<PiiType> {
+    if !cache::caching_enabled() {
+        return detect_pii(identity, body);
+    }
+    let key = pii_key(identity, body);
+    if let Some(mask) = pii_memo().read().expect("memo lock").get(&key) {
+        PII_SCAN.hit();
+        return unmask(*mask);
+    }
+    PII_SCAN.miss();
+    let found = detect_pii(identity, body);
+    pii_memo()
+        .write()
+        .expect("memo lock")
+        .insert(key, mask_of(&found));
+    found
+}
+
+/// Drops every memoized PII scan (tests and cache-ablation benches).
+pub fn clear_pii_scan_cache() {
+    pii_memo().write().expect("memo lock").clear();
 }
 
 /// A 2×2 contingency table: PII presence × pinned/non-pinned.
@@ -87,7 +159,15 @@ pub struct PiiComparison {
 impl PiiComparison {
     /// Folds one decrypted body into the comparison.
     pub fn add_body(&mut self, identity: &DeviceIdentity, body: &str, pinned: bool) {
-        let found = detect_pii(identity, body);
+        let found = detect_pii_cached(identity, body);
+        self.add_detected(&found, pinned);
+    }
+
+    /// Folds an already-scanned body into the comparison. The streaming
+    /// engine scans with plain [`detect_pii`] and calls this directly:
+    /// every streamed body is seen exactly once, so memoizing them would
+    /// only grow the process-global cache without ever hitting.
+    pub fn add_detected(&mut self, found: &[PiiType], pinned: bool) {
         if pinned {
             self.pinned_bodies += 1;
         } else {
@@ -102,6 +182,21 @@ impl PiiComparison {
                 (false, true) => t.unpinned_with += 1,
                 (false, false) => t.unpinned_without += 1,
             }
+        }
+    }
+
+    /// Folds another comparison into this one. Entrywise sums, so the
+    /// operation is associative and commutative — the streaming engine's
+    /// sharded accumulators rely on both laws.
+    pub fn merge(&mut self, other: &PiiComparison) {
+        self.pinned_bodies += other.pinned_bodies;
+        self.unpinned_bodies += other.unpinned_bodies;
+        for (p, o) in &other.tables {
+            let t = self.tables.entry(*p).or_default();
+            t.pinned_with += o.pinned_with;
+            t.pinned_without += o.pinned_without;
+            t.unpinned_with += o.unpinned_with;
+            t.unpinned_without += o.unpinned_without;
         }
     }
 }
@@ -191,5 +286,74 @@ mod tests {
         assert_eq!(cmp.unpinned_bodies, 3);
         assert!((t.pinned_pct() - 50.0).abs() < 1e-9);
         assert!((t.unpinned_pct() - 33.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn cached_scan_matches_uncached_and_counts_hits() {
+        let id = identity();
+        let body = id.render_payload(&[PiiType::Email, PiiType::LatLon], 7);
+        let base = PII_SCAN.snapshot();
+        let first = detect_pii_cached(&id, &body);
+        let second = detect_pii_cached(&id, &body);
+        assert_eq!(first, detect_pii(&id, &body));
+        assert_eq!(first, second);
+        let stat = PII_SCAN.snapshot().delta_since(&base);
+        assert!(stat.hits >= 1, "second scan should hit: {stat:?}");
+
+        // A different identity must not share the memo slot.
+        let other = DeviceIdentity::generate(&mut SplitMix64::new(0x2e));
+        assert_eq!(detect_pii_cached(&other, &body), detect_pii(&other, &body));
+    }
+
+    #[test]
+    fn cache_kill_switch_bypasses_memo() {
+        let id = identity();
+        let body = id.render_payload(&[PiiType::Imei], 3);
+        let _off = cache::caching_disabled_scope();
+        let base = PII_SCAN.snapshot();
+        let found = detect_pii_cached(&id, &body);
+        assert_eq!(found, detect_pii(&id, &body));
+        let stat = PII_SCAN.snapshot().delta_since(&base);
+        assert_eq!(stat.hits + stat.misses, 0, "kill switch must skip counters");
+    }
+
+    #[test]
+    fn merge_matches_sequential_fold() {
+        let id = identity();
+        let bodies: Vec<(String, bool)> = (0..12)
+            .map(|i| {
+                let kinds: &[PiiType] = match i % 3 {
+                    0 => &[PiiType::AdvertisingId],
+                    1 => &[PiiType::Email, PiiType::City],
+                    _ => &[],
+                };
+                (id.render_payload(kinds, i), i % 2 == 0)
+            })
+            .collect();
+
+        let mut whole = PiiComparison::default();
+        for (b, pinned) in &bodies {
+            whole.add_body(&id, b, *pinned);
+        }
+
+        let (left, right) = bodies.split_at(5);
+        let mut a = PiiComparison::default();
+        for (b, pinned) in left {
+            a.add_body(&id, b, *pinned);
+        }
+        let mut b2 = PiiComparison::default();
+        for (b, pinned) in right {
+            b2.add_body(&id, b, *pinned);
+        }
+
+        // Commutative: fold in either order, same tables.
+        let mut ab = a.clone();
+        ab.merge(&b2);
+        let mut ba = b2.clone();
+        ba.merge(&a);
+        assert_eq!(ab.tables, whole.tables);
+        assert_eq!(ba.tables, whole.tables);
+        assert_eq!(ab.pinned_bodies, whole.pinned_bodies);
+        assert_eq!(ba.unpinned_bodies, whole.unpinned_bodies);
     }
 }

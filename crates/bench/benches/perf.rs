@@ -18,6 +18,7 @@
 //! ```
 
 use pinning_analysis::certs::clear_classification_cache;
+use pinning_analysis::pii::clear_pii_scan_cache;
 use pinning_app::platform::Platform;
 use pinning_bench::{
     bench_threads, bench_world_config, shared_results, time_bench_stats, BenchStats,
@@ -171,14 +172,32 @@ fn hash_benches(smoke: bool) -> Vec<BenchStats> {
     let many: Vec<Vec<u8>> = (0..256u32)
         .map(|i| (0..128u32).map(|j| ((i * 31 + j) % 251) as u8).collect())
         .collect();
-    vec![
+    let stats = vec![
         time_bench_stats("sha256_64kib", iters, || {
             black_box(sha256(&big));
         }),
         time_bench_stats("sha256_many_256x128", iters, || {
             black_box(sha256_many(many.iter().map(Vec::as_slice)));
         }),
-    ]
+        time_bench_stats("sha256_seq_256x128", iters, || {
+            for m in &many {
+                black_box(sha256(m));
+            }
+        }),
+    ];
+    // The interleaved multi-buffer compressor must actually win: the
+    // 4-wide lockstep path has to beat hashing the same batch one message
+    // at a time by ≥1.5x (it runs four compression states per pass).
+    let many_ns = stats[1].median_ns;
+    let seq_ns = stats[2].median_ns;
+    let speedup = seq_ns / many_ns.max(1.0);
+    println!("sha256_many speedup over sequential: {speedup:.2}x");
+    assert!(
+        speedup >= 1.5,
+        "sha256_many must beat sequential hashing by >=1.5x, got {speedup:.2}x \
+         ({seq_ns} ns sequential vs {many_ns} ns batched)"
+    );
+    stats
 }
 
 /// Regenerates every paper table from the shared bench-scale study.
@@ -268,6 +287,7 @@ impl EndToEnd {
 fn study_leg(config: StudyConfig) -> (String, f64, usize) {
     clear_validation_cache();
     clear_classification_cache();
+    clear_pii_scan_cache();
     let t0 = Instant::now();
     let results = Study::new(config).run();
     let report = results.render_all();

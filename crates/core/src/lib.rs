@@ -15,11 +15,15 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod accum;
 pub mod journal;
 pub mod record;
+pub mod stream;
 pub mod study;
 pub mod tables;
 
+pub use accum::StreamAccum;
 pub use journal::{AppOutcome, JournalEntry, JournalError, MeasuredApp, Replay, ResultJournal};
 pub use record::AppRecord;
+pub use stream::{StreamConfig, StreamEngine, StreamHealth, StreamOutcome, StreamResults};
 pub use study::{RunHealth, Study, StudyConfig, StudyOutcome, StudyResults, SupervisorConfig};

@@ -1,0 +1,682 @@
+//! Streaming million-app study engine.
+//!
+//! The monolithic [`crate::Study`] materializes the whole world before
+//! measuring it, which caps the study size at available memory. This
+//! engine inverts the pipeline into a producer/consumer stream:
+//!
+//! * the producer is [`pinning_store::shard::StreamWorld`] — shards of
+//!   apps are generated on demand, each a pure function of
+//!   `(config, shard_size, shard index)`;
+//! * each worker measures a shard into a mergeable
+//!   [`StreamAccum`] partial, journals the shard's accumulator, and
+//!   **drops the shard** before touching the next one;
+//! * a token gate bounds how many materialized shards exist at once, so
+//!   peak memory is `O(max_inflight_shards × shard_size)` — flat in the
+//!   total app count;
+//! * workers pull from per-worker deques and steal from the most loaded
+//!   peer when their own runs dry (the cargo `JobQueue` shape), so a slow
+//!   shard never idles the rest of the pool.
+//!
+//! Because [`StreamAccum::merge`] is associative and commutative, the
+//! rendered report is byte-identical at any thread count and any shard
+//! size — that invariant is gated by tests here and by
+//! `benches/stream.rs`. The shard journal gives kill-and-resume at shard
+//! granularity with the same longest-intact-prefix recovery contract as
+//! the per-app journal.
+
+use crate::accum::StreamAccum;
+use crate::journal::JournalError;
+use crate::record::AppRecord;
+use pinning_analysis::circumvent::circumvent_app;
+use pinning_analysis::dynamics::pipeline::{try_analyze_app, DynamicEnv};
+use pinning_analysis::statics::analyze_package;
+use pinning_app::platform::Platform;
+use pinning_crypto::{sha256, Sha256};
+use pinning_netsim::faults::MeasurementError;
+use pinning_pki::encode::{Reader, Writer};
+use pinning_pki::validate::clear_validation_cache;
+use pinning_report::tables::{table_run_health, RunHealthReport};
+use pinning_store::config::WorldConfig;
+use pinning_store::shard::StreamWorld;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Streaming run parameters.
+///
+/// Only [`StreamConfig::world`] participates in the journal fingerprint:
+/// shard size, thread count, in-flight bound, and the kill hook are
+/// *scheduling* knobs, and a journal written under one schedule must
+/// resume cleanly under another (that is the whole point of the
+/// determinism contract).
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// World recipe (the only fingerprinted field).
+    pub world: WorldConfig,
+    /// Products per generated shard (apps ≈ 2× this, one per platform
+    /// plus single-platform tails).
+    pub shard_size: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Maximum shards materialized at once — the memory ceiling.
+    pub max_inflight_shards: usize,
+    /// Test hook: simulate the process dying after N shard commits.
+    pub kill_after_shards: Option<usize>,
+}
+
+impl StreamConfig {
+    /// A streaming config over the given world with sane scheduling
+    /// defaults (single worker, two shards in flight).
+    pub fn new(world: WorldConfig, shard_size: usize) -> StreamConfig {
+        StreamConfig {
+            world,
+            shard_size,
+            threads: 1,
+            max_inflight_shards: 2,
+            kill_after_shards: None,
+        }
+    }
+
+    /// Journal compatibility fingerprint. Scheduling knobs are excluded
+    /// on purpose: resuming a journal at a different thread count or
+    /// shard size must work and must not change the report.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"stream-v1|");
+        h.update(format!("{:?}", self.world).as_bytes());
+        h.finalize()
+    }
+}
+
+/// Magic prefix of the shard journal (version 1).
+pub const STREAM_JOURNAL_MAGIC: &[u8; 8] = b"STRMJRN1";
+const HEADER_LEN: usize = 40;
+const FRAME_LEN: usize = 36;
+
+/// Append-only shard journal: one frame per completed shard, carrying
+/// that shard's encoded accumulator. Same physical layout as the per-app
+/// [`crate::ResultJournal`] — `[len u32 LE][sha256(payload)][payload]`
+/// frames after a magic+fingerprint header — so the same
+/// longest-intact-prefix recovery applies.
+#[derive(Debug, Clone)]
+pub struct StreamJournal {
+    bytes: Vec<u8>,
+    frames: usize,
+}
+
+impl StreamJournal {
+    /// Starts an empty journal bound to a config fingerprint.
+    pub fn create(fingerprint: [u8; 32]) -> StreamJournal {
+        let mut bytes = Vec::with_capacity(HEADER_LEN);
+        bytes.extend_from_slice(STREAM_JOURNAL_MAGIC);
+        bytes.extend_from_slice(&fingerprint);
+        StreamJournal { bytes, frames: 0 }
+    }
+
+    /// Appends one completed shard's accumulator.
+    pub fn append_shard(&mut self, shard_index: u64, accum: &StreamAccum) {
+        let mut w = Writer::new();
+        w.u64(shard_index);
+        w.bytes(&accum.encode());
+        let payload = w.into_bytes();
+        self.bytes
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.bytes.extend_from_slice(&sha256(&payload));
+        self.bytes.extend_from_slice(&payload);
+        self.frames += 1;
+    }
+
+    /// Shard frames committed so far.
+    pub fn len(&self) -> usize {
+        self.frames
+    }
+
+    /// True when no shard has been committed.
+    pub fn is_empty(&self) -> bool {
+        self.frames == 0
+    }
+
+    /// The on-disk byte image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the journal into its byte image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Reads back a journal image, recovering the longest intact prefix
+    /// of shard frames. Torn or corrupt tails are quarantined, exactly as
+    /// in the per-app journal; a later shard frame never survives a
+    /// broken earlier one.
+    pub fn open(bytes: &[u8]) -> Result<StreamReplay, JournalError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(JournalError::TooShort);
+        }
+        if &bytes[..8] != STREAM_JOURNAL_MAGIC {
+            return Err(JournalError::BadMagic);
+        }
+        let mut fingerprint = [0u8; 32];
+        fingerprint.copy_from_slice(&bytes[8..HEADER_LEN]);
+
+        let mut shards: BTreeMap<u64, StreamAccum> = BTreeMap::new();
+        let mut offset = HEADER_LEN;
+        loop {
+            if bytes.len() - offset < FRAME_LEN {
+                break;
+            }
+            let len =
+                u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+            let frame_end = match (offset + FRAME_LEN).checked_add(len) {
+                Some(end) if end <= bytes.len() => end,
+                _ => break,
+            };
+            let digest = &bytes[offset + 4..offset + FRAME_LEN];
+            let payload = &bytes[offset + FRAME_LEN..frame_end];
+            if sha256(payload) != digest {
+                break;
+            }
+            let mut r = Reader::new(payload);
+            let Ok(index) = r.u64() else { break };
+            let Ok(accum_bytes) = r.bytes() else { break };
+            let Ok(accum) = StreamAccum::decode(&accum_bytes) else {
+                break;
+            };
+            if !r.is_empty() {
+                break;
+            }
+            shards.insert(index, accum);
+            offset = frame_end;
+        }
+        Ok(StreamReplay {
+            fingerprint,
+            shards,
+            quarantined_bytes: (bytes.len() - offset) as u64,
+        })
+    }
+}
+
+/// Intact contents of a recovered shard journal.
+#[derive(Debug, Clone)]
+pub struct StreamReplay {
+    /// Fingerprint of the config the journal was written under.
+    pub fingerprint: [u8; 32],
+    /// Committed shard accumulators, by shard index.
+    pub shards: BTreeMap<u64, StreamAccum>,
+    /// Bytes past the last intact frame (0 for a clean journal).
+    pub quarantined_bytes: u64,
+}
+
+/// Volatile run telemetry — everything here may differ between two runs
+/// that render byte-identical reports.
+#[derive(Debug, Clone, Default)]
+pub struct StreamHealth {
+    /// Shards in the whole study.
+    pub shards_total: usize,
+    /// Shards recovered from the journal instead of re-measured.
+    pub shards_resumed: usize,
+    /// Shards measured by this process.
+    pub shards_fresh: usize,
+    /// Apps measured by this process (resumed shards excluded).
+    pub apps_measured: u64,
+    /// Worker panics converted into degraded records.
+    pub panics_recovered: u64,
+    /// Wall-clock seconds of the measuring phase.
+    pub elapsed_secs: f64,
+    /// Peak resident-set size (VmHWM), KiB; `None` off Linux.
+    pub peak_rss_kib: Option<u64>,
+    /// Fresh apps per wall-clock second.
+    pub apps_per_sec: Option<f64>,
+}
+
+/// A finished streaming study.
+#[derive(Debug, Clone)]
+pub struct StreamResults {
+    /// The merged accumulator — sole input of the deterministic report.
+    pub accum: StreamAccum,
+    /// Volatile telemetry for this particular run.
+    pub health: StreamHealth,
+}
+
+impl StreamResults {
+    /// The deterministic streamed report: a pure function of the merged
+    /// accumulator, byte-identical across thread counts and shard sizes.
+    pub fn render_report(&self) -> String {
+        self.accum.render()
+    }
+
+    /// The volatile run-health table (timings, RSS, resume counters).
+    pub fn render_health(&self) -> String {
+        table_run_health(&RunHealthReport {
+            panics_recovered: self.health.panics_recovered.min(u32::MAX as u64) as u32,
+            resumed_apps: (self.accum.apps - self.health.apps_measured) as usize,
+            fresh_apps: self.health.apps_measured as usize,
+            peak_rss_kib: self.health.peak_rss_kib,
+            apps_per_sec: self.health.apps_per_sec,
+            ..Default::default()
+        })
+    }
+}
+
+/// How a streaming run ended.
+#[derive(Debug)]
+pub enum StreamOutcome {
+    /// Every shard measured and folded.
+    Completed(Box<StreamResults>),
+    /// The (simulated) kill fired; the journal holds the committed
+    /// shards and a resume will finish the rest.
+    Interrupted {
+        /// Journal with every committed shard frame.
+        journal: StreamJournal,
+        /// Shards committed before the kill.
+        shards_committed: usize,
+    },
+}
+
+/// Reads the process's peak resident-set size from `/proc/self/status`
+/// (the `VmHWM` high-water mark), in KiB. `None` where procfs is absent.
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// Token gate bounding in-flight materialized shards — the engine's
+/// memory ceiling. `acquire` blocks until a slot frees (or the kill
+/// flag trips); `release` wakes one waiter.
+struct ShardGate {
+    slots: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl ShardGate {
+    fn new(slots: usize) -> ShardGate {
+        ShardGate {
+            slots: Mutex::new(slots.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks for a slot; returns false if the run was killed meanwhile.
+    fn acquire(&self, killed: &AtomicBool) -> bool {
+        let mut slots = self.slots.lock().expect("gate lock");
+        while *slots == 0 {
+            if killed.load(Ordering::Acquire) {
+                return false;
+            }
+            slots = self.freed.wait(slots).expect("gate wait");
+        }
+        *slots -= 1;
+        true
+    }
+
+    fn release(&self) {
+        *self.slots.lock().expect("gate lock") += 1;
+        self.freed.notify_one();
+    }
+
+    fn wake_all(&self) {
+        self.freed.notify_all();
+    }
+}
+
+/// The streaming engine.
+#[derive(Debug, Clone)]
+pub struct StreamEngine {
+    config: StreamConfig,
+}
+
+impl StreamEngine {
+    /// Builds an engine over a config.
+    pub fn new(config: StreamConfig) -> StreamEngine {
+        StreamEngine { config }
+    }
+
+    /// Runs the study from scratch.
+    pub fn run(&self) -> StreamOutcome {
+        let journal = StreamJournal::create(self.config.fingerprint());
+        self.execute(journal, BTreeMap::new())
+    }
+
+    /// Resumes from a journal image: committed shards are folded from
+    /// their journaled accumulators, only missing shards are measured.
+    pub fn resume(&self, journal_bytes: &[u8]) -> Result<StreamOutcome, JournalError> {
+        let replay = StreamJournal::open(journal_bytes)?;
+        if replay.fingerprint != self.config.fingerprint() {
+            return Err(JournalError::FingerprintMismatch);
+        }
+        // Rebuild the journal from the intact prefix so the resumed file
+        // is clean even when the original had a torn tail.
+        let mut journal = StreamJournal::create(replay.fingerprint);
+        for (index, accum) in &replay.shards {
+            journal.append_shard(*index, accum);
+        }
+        Ok(self.execute(journal, replay.shards))
+    }
+
+    fn execute(&self, journal: StreamJournal, done: BTreeMap<u64, StreamAccum>) -> StreamOutcome {
+        let start = Instant::now();
+        let world = StreamWorld::new(self.config.world.clone(), self.config.shard_size.max(1));
+        let universe = world.universe();
+        let n_shards = world.n_shards();
+        let pending: Vec<usize> = (0..n_shards)
+            .filter(|k| !done.contains_key(&(*k as u64)))
+            .collect();
+        let shards_resumed = done.len();
+        let decrypt_key = self.config.world.ios_encryption_seed;
+        let seed = self.config.world.seed;
+
+        let threads = self.config.threads.clamp(1, pending.len().max(1));
+        // Round-robin initial distribution over per-worker run queues;
+        // idle workers steal from the back of the most loaded peer.
+        let runs: Vec<Mutex<VecDeque<usize>>> =
+            (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, k) in pending.iter().enumerate() {
+            runs[i % threads].lock().expect("run lock").push_back(*k);
+        }
+
+        let gate = ShardGate::new(self.config.max_inflight_shards);
+        let killed = AtomicBool::new(false);
+        let apps_measured = AtomicU64::new(0);
+        let panics = AtomicU64::new(0);
+        // (journal, fresh shard commits) — append + kill-check are atomic
+        // under one lock, so a kill after N commits leaves exactly N new
+        // frames, mirroring the per-app journal's contract.
+        let committed: Mutex<(StreamJournal, usize)> = Mutex::new((journal, 0));
+        let kill_after = self.config.kill_after_shards;
+        let partials: Mutex<Vec<StreamAccum>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for me in 0..threads {
+                let runs = &runs;
+                let gate = &gate;
+                let killed = &killed;
+                let committed = &committed;
+                let partials = &partials;
+                let apps_measured = &apps_measured;
+                let panics = &panics;
+                let world = &world;
+                scope.spawn(move || {
+                    let mut partial = StreamAccum::default();
+                    loop {
+                        if killed.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // Own queue first (front), then steal from the
+                        // most loaded peer (back) — the classic deque
+                        // split that keeps stolen work coarse.
+                        let next = runs[me].lock().expect("run lock").pop_front().or_else(|| {
+                            let victim = (0..threads)
+                                .filter(|v| *v != me)
+                                .max_by_key(|v| runs[*v].lock().expect("run lock").len())?;
+                            runs[victim].lock().expect("run lock").pop_back()
+                        });
+                        let Some(k) = next else { break };
+                        if !gate.acquire(killed) {
+                            break;
+                        }
+                        // Materialize, measure, journal, drop. The shard
+                        // and its env die at the end of this block — the
+                        // gate token is the only thing bounding how many
+                        // of these exist at once.
+                        {
+                            let shard = world.generate_shard(k);
+                            let env = DynamicEnv::new(
+                                &shard.network,
+                                universe.aosp_oem.clone(),
+                                universe.ios.clone(),
+                                shard.now,
+                                seed,
+                            );
+                            let identity = env.identity.clone();
+                            let mut acc = StreamAccum {
+                                shards: 1,
+                                ..Default::default()
+                            };
+                            for sa in &shard.apps {
+                                let record = catch_unwind(AssertUnwindSafe(|| {
+                                    measure_one(&env, sa.product_index, &sa.app, decrypt_key)
+                                }))
+                                .unwrap_or_else(|_| {
+                                    panics.fetch_add(1, Ordering::Relaxed);
+                                    AppRecord::failed(
+                                        sa.product_index,
+                                        sa.app.id.clone(),
+                                        Default::default(),
+                                        MeasurementError::WorkerPanic,
+                                    )
+                                });
+                                acc.add_app(
+                                    &sa.datasets,
+                                    sa.app.category.label_on(sa.app.id.platform),
+                                    &record,
+                                    &identity,
+                                );
+                            }
+                            apps_measured.fetch_add(shard.apps.len() as u64, Ordering::Relaxed);
+                            let mut slot = committed.lock().expect("journal lock");
+                            if killed.load(Ordering::Acquire) {
+                                break; // the process "died" mid-measure
+                            }
+                            slot.0.append_shard(k as u64, &acc);
+                            slot.1 += 1;
+                            if kill_after == Some(slot.1) {
+                                killed.store(true, Ordering::Release);
+                                gate.wake_all();
+                            }
+                            drop(slot);
+                            partial.merge(&acc);
+                        }
+                        // The chain-validation memo is process-global and
+                        // would grow with every unique streamed chain;
+                        // clearing per shard keeps memory flat. Values are
+                        // deterministic, so a clear racing another worker
+                        // costs recomputation, never correctness.
+                        clear_validation_cache();
+                        gate.release();
+                    }
+                    partials.lock().expect("partials lock").push(partial);
+                });
+            }
+        });
+
+        let (journal, fresh) = committed.into_inner().expect("journal lock");
+        if killed.into_inner() {
+            return StreamOutcome::Interrupted {
+                shards_committed: journal.len(),
+                journal,
+            };
+        }
+
+        // Fold: journaled (resumed) shard accumulators + this process's
+        // worker partials. merge() is associative + commutative, so the
+        // fold order cannot affect the rendered bytes.
+        let mut accum = StreamAccum::default();
+        for acc in done.values() {
+            accum.merge(acc);
+        }
+        for partial in partials.into_inner().expect("partials lock").iter() {
+            accum.merge(partial);
+        }
+
+        let elapsed = start.elapsed().as_secs_f64();
+        let apps = apps_measured.into_inner();
+        StreamOutcome::Completed(Box::new(StreamResults {
+            accum,
+            health: StreamHealth {
+                shards_total: n_shards,
+                shards_resumed,
+                shards_fresh: fresh,
+                apps_measured: apps,
+                panics_recovered: panics.into_inner(),
+                elapsed_secs: elapsed,
+                peak_rss_kib: peak_rss_kib(),
+                apps_per_sec: (elapsed > 0.0).then(|| apps as f64 / elapsed),
+            },
+        }))
+    }
+}
+
+/// Measures one streamed app to a record.
+///
+/// Statics go through the *uncached* analyzer on purpose: every streamed
+/// package is unique, so the process-global memo would never hit and
+/// would grow without bound — the opposite of the flat-memory goal.
+fn measure_one(
+    env: &DynamicEnv<'_>,
+    product_index: usize,
+    app: &pinning_app::app::MobileApp,
+    decrypt_key: u64,
+) -> AppRecord {
+    let static_findings = analyze_package(
+        &app.package,
+        (app.id.platform == Platform::Ios).then_some(decrypt_key),
+    );
+    match try_analyze_app(env, app) {
+        Ok(dynamic) => {
+            let pinned = dynamic.pinned_destinations();
+            let circ = (!pinned.is_empty()).then(|| circumvent_app(env, app, &pinned));
+            AppRecord::assemble(
+                product_index,
+                app.id.clone(),
+                static_findings,
+                &dynamic,
+                circ.as_ref(),
+            )
+        }
+        Err(error) => AppRecord::failed(product_index, app.id.clone(), static_findings, error),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(shard_size: usize, threads: usize) -> StreamConfig {
+        StreamConfig {
+            world: WorldConfig::tiny(11),
+            shard_size,
+            threads,
+            max_inflight_shards: 2,
+            kill_after_shards: None,
+        }
+    }
+
+    fn completed(outcome: StreamOutcome) -> StreamResults {
+        match outcome {
+            StreamOutcome::Completed(results) => *results,
+            StreamOutcome::Interrupted { .. } => panic!("run was interrupted"),
+        }
+    }
+
+    #[test]
+    fn report_is_identical_across_threads_and_shard_sizes() {
+        // The tentpole invariant: every (shard size × thread count)
+        // schedule renders the same bytes.
+        let baseline = completed(StreamEngine::new(config(7, 1)).run()).render_report();
+        assert!(baseline.contains("Streamed study report"));
+        for (shard_size, threads) in [(7, 4), (13, 1), (13, 3), (64, 2)] {
+            let got =
+                completed(StreamEngine::new(config(shard_size, threads)).run()).render_report();
+            if got != baseline {
+                for (a, b) in baseline.lines().zip(got.lines()) {
+                    if a != b {
+                        eprintln!("baseline: {a}\n     got: {b}");
+                    }
+                }
+            }
+            assert_eq!(
+                got, baseline,
+                "report diverged at shard_size={shard_size} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted_run() {
+        let clean = completed(StreamEngine::new(config(7, 2)).run());
+
+        let mut cfg = config(7, 2);
+        cfg.kill_after_shards = Some(1);
+        let StreamOutcome::Interrupted {
+            journal,
+            shards_committed,
+        } = StreamEngine::new(cfg).run()
+        else {
+            panic!("kill hook did not fire");
+        };
+        assert_eq!(shards_committed, 1);
+
+        // Resume under a *different* schedule — more threads, and the
+        // journal fingerprint must not care.
+        let resumed = completed(
+            StreamEngine::new(config(7, 3))
+                .resume(journal.as_bytes())
+                .expect("journal resumes"),
+        );
+        assert!(resumed.health.shards_resumed >= 1);
+        assert_eq!(resumed.render_report(), clean.render_report());
+    }
+
+    #[test]
+    fn resume_rejects_foreign_fingerprint() {
+        let journal =
+            StreamJournal::create(StreamConfig::new(WorldConfig::tiny(1), 8).fingerprint());
+        let other = StreamEngine::new(StreamConfig::new(WorldConfig::tiny(2), 8));
+        assert!(matches!(
+            other.resume(journal.as_bytes()),
+            Err(JournalError::FingerprintMismatch)
+        ));
+    }
+
+    #[test]
+    fn torn_journal_tail_is_quarantined() {
+        let mut cfg = config(7, 1);
+        cfg.kill_after_shards = Some(2);
+        let StreamOutcome::Interrupted { journal, .. } = StreamEngine::new(cfg).run() else {
+            panic!("kill hook did not fire");
+        };
+        let bytes = journal.into_bytes();
+
+        // Truncate mid-frame: the first shard survives, the tail is
+        // quarantined rather than corrupting the replay.
+        let torn = &bytes[..bytes.len() - 7];
+        let replay = StreamJournal::open(torn).expect("header intact");
+        assert_eq!(replay.shards.len(), 1);
+        assert!(replay.quarantined_bytes > 0);
+
+        // Flip a payload byte: same outcome via the frame digest.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        let replay = StreamJournal::open(&flipped).expect("header intact");
+        assert_eq!(replay.shards.len(), 1);
+    }
+
+    #[test]
+    fn scheduling_knobs_do_not_change_fingerprint() {
+        let a = config(7, 1).fingerprint();
+        let b = config(512, 8).fingerprint();
+        assert_eq!(a, b, "shard size / threads must not fingerprint");
+        let mut c = config(7, 1);
+        c.world.seed ^= 1;
+        assert_ne!(a, c.fingerprint(), "world changes must fingerprint");
+    }
+
+    #[test]
+    fn health_reports_throughput_and_rss() {
+        let results = completed(StreamEngine::new(config(13, 2)).run());
+        assert!(results.health.apps_measured > 0);
+        assert!(results.health.apps_per_sec.unwrap_or(0.0) > 0.0);
+        let health = results.render_health();
+        assert!(health.contains("throughput (apps/sec)"));
+        assert!(health.contains("peak RSS (KiB)"));
+    }
+}

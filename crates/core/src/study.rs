@@ -171,6 +171,7 @@ pub(crate) fn cache_snapshot() -> Vec<pinning_pki::cache::CacheStat> {
     stats.push(pinning_ctlog::merkle::PROOF_BATCH.snapshot());
     stats.push(pinning_analysis::certs::PKI_CLASSIFICATION.snapshot());
     stats.push(pinning_analysis::statics::STATIC_SCAN.snapshot());
+    stats.push(pinning_analysis::pii::PII_SCAN.snapshot());
     stats
 }
 

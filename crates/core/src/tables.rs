@@ -757,6 +757,10 @@ impl StudyResults {
                     misses: c.misses,
                 })
                 .collect(),
+            // The legacy engine does not time itself; the streaming engine
+            // fills these in via its own health rendering.
+            peak_rss_kib: None,
+            apps_per_sec: None,
         })
     }
 

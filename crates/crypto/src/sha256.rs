@@ -110,55 +110,214 @@ impl Sha256 {
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
-                block[i * 4],
-                block[i * 4 + 1],
-                block[i * 4 + 2],
-                block[i * 4 + 3],
-            ]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        compress1(&mut self.state, block);
     }
+}
+
+fn compress1(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for i in 0..16 {
+        w[i] = u32::from_be_bytes([
+            block[i * 4],
+            block[i * 4 + 1],
+            block[i * 4 + 2],
+            block[i * 4 + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Lanes in the interleaved multi-buffer compressor.
+const LANES: usize = 4;
+
+/// A 4-lane u32 vector: one word from each of four independent hash
+/// states. Every helper is an elementwise map, which LLVM lowers to
+/// 4×32-bit SIMD (SSE2 is the x86-64 baseline); without vectorization the
+/// four independent dependency chains still fill the ALU slots a single
+/// SHA-256 chain leaves idle.
+#[derive(Clone, Copy)]
+struct V4([u32; LANES]);
+
+impl V4 {
+    const ZERO: V4 = V4([0; LANES]);
+
+    #[inline(always)]
+    fn splat(x: u32) -> V4 {
+        V4([x; LANES])
+    }
+
+    #[inline(always)]
+    fn add(self, o: V4) -> V4 {
+        V4(std::array::from_fn(|l| self.0[l].wrapping_add(o.0[l])))
+    }
+
+    #[inline(always)]
+    fn xor(self, o: V4) -> V4 {
+        V4(std::array::from_fn(|l| self.0[l] ^ o.0[l]))
+    }
+
+    #[inline(always)]
+    fn and(self, o: V4) -> V4 {
+        V4(std::array::from_fn(|l| self.0[l] & o.0[l]))
+    }
+
+    #[inline(always)]
+    fn andnot(self, o: V4) -> V4 {
+        V4(std::array::from_fn(|l| !self.0[l] & o.0[l]))
+    }
+
+    #[inline(always)]
+    fn rotr(self, n: u32) -> V4 {
+        V4(std::array::from_fn(|l| self.0[l].rotate_right(n)))
+    }
+
+    #[inline(always)]
+    fn shr(self, n: u32) -> V4 {
+        V4(std::array::from_fn(|l| self.0[l] >> n))
+    }
+}
+
+/// One SHA-256 compression over four independent states at once.
+fn compress4(states: &mut [[u32; 8]; LANES], blocks: &[[u8; 64]; LANES]) {
+    let mut w = [V4::ZERO; 64];
+    for (i, wi) in w.iter_mut().take(16).enumerate() {
+        let mut r = [0u32; LANES];
+        for l in 0..LANES {
+            let b = &blocks[l];
+            r[l] = u32::from_be_bytes([b[i * 4], b[i * 4 + 1], b[i * 4 + 2], b[i * 4 + 3]]);
+        }
+        *wi = V4(r);
+    }
+    for i in 16..64 {
+        let w15 = w[i - 15];
+        let w2 = w[i - 2];
+        let s0 = w15.rotr(7).xor(w15.rotr(18)).xor(w15.shr(3));
+        let s1 = w2.rotr(17).xor(w2.rotr(19)).xor(w2.shr(10));
+        w[i] = w[i - 16].add(s0).add(w[i - 7]).add(s1);
+    }
+
+    let mut v = [V4::ZERO; 8];
+    for (j, var) in v.iter_mut().enumerate() {
+        let mut r = [0u32; LANES];
+        for l in 0..LANES {
+            r[l] = states[l][j];
+        }
+        *var = V4(r);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = v;
+    for i in 0..64 {
+        let s1 = e.rotr(6).xor(e.rotr(11)).xor(e.rotr(25));
+        let ch = e.and(f).xor(e.andnot(g));
+        let t1 = h.add(s1).add(ch).add(V4::splat(K[i])).add(w[i]);
+        let s0 = a.rotr(2).xor(a.rotr(13)).xor(a.rotr(22));
+        let maj = a.and(b).xor(a.and(c)).xor(b.and(c));
+        let t2 = s0.add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.add(t2);
+    }
+
+    for (j, var) in [a, b, c, d, e, f, g, h].iter().enumerate() {
+        for (l, state) in states.iter_mut().enumerate() {
+            state[j] = state[j].wrapping_add(var.0[l]);
+        }
+    }
+}
+
+/// Number of 64-byte blocks in the padded form of an `len`-byte message.
+fn n_padded_blocks(len: usize) -> usize {
+    len / 64 + if len % 64 >= 56 { 2 } else { 1 }
+}
+
+/// Materializes block `k` of the padded message (message bytes, then the
+/// 0x80 marker, zeros, and the big-endian bit length in the final block).
+fn fill_padded_block(msg: &[u8], k: usize, total: usize, out: &mut [u8; 64]) {
+    let off = k * 64;
+    let len = msg.len();
+    *out = [0u8; 64];
+    if off < len {
+        let n = (len - off).min(64);
+        out[..n].copy_from_slice(&msg[off..off + n]);
+    }
+    if (off..off + 64).contains(&len) {
+        out[len - off] = 0x80;
+    }
+    if k + 1 == total {
+        out[56..].copy_from_slice(&((len as u64).wrapping_mul(8)).to_be_bytes());
+    }
+}
+
+/// Hashes four messages with the interleaved compressor: lanes advance in
+/// lockstep while every lane still has a padded block left (the common
+/// batch shape — near-equal lengths — stays 4-wide end to end), then the
+/// longer lanes finish on the scalar path.
+fn sha256x4(msgs: [&[u8]; LANES]) -> [[u8; 32]; LANES] {
+    let totals = msgs.map(|m| n_padded_blocks(m.len()));
+    let lockstep = *totals.iter().min().expect("LANES > 0");
+    let mut states = [H0; LANES];
+    let mut bufs = [[0u8; 64]; LANES];
+    for k in 0..lockstep {
+        for l in 0..LANES {
+            fill_padded_block(msgs[l], k, totals[l], &mut bufs[l]);
+        }
+        compress4(&mut states, &bufs);
+    }
+    for l in 0..LANES {
+        for k in lockstep..totals[l] {
+            fill_padded_block(msgs[l], k, totals[l], &mut bufs[l]);
+            compress1(&mut states[l], &bufs[l]);
+        }
+    }
+    let mut out = [[0u8; 32]; LANES];
+    for l in 0..LANES {
+        for (i, word) in states[l].iter().enumerate() {
+            out[l][i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+    }
+    out
 }
 
 impl Default for Sha256 {
@@ -184,22 +343,22 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
 
 /// One-shot SHA-256 over a batch of independent messages.
 ///
-/// Reuses a single hasher across the batch (rewinding between messages) so
-/// fingerprinting a pile of certificates does not reinitialise state per
-/// input. Digests are returned in input order.
+/// Groups the batch four messages at a time through the interleaved
+/// multi-buffer compressor (`compress4`), which runs four independent
+/// compression states in lockstep; the ≤3-message remainder takes the
+/// scalar path. Digests are returned in input order.
 pub fn sha256_many<'a, I>(inputs: I) -> Vec<[u8; 32]>
 where
     I: IntoIterator<Item = &'a [u8]>,
 {
-    let mut h = Sha256::new();
-    inputs
-        .into_iter()
-        .map(|msg| {
-            h.reset();
-            h.update(msg);
-            h.clone().finalize()
-        })
-        .collect()
+    let msgs: Vec<&[u8]> = inputs.into_iter().collect();
+    let mut out = Vec::with_capacity(msgs.len());
+    let mut groups = msgs.chunks_exact(LANES);
+    for group in &mut groups {
+        out.extend(sha256x4([group[0], group[1], group[2], group[3]]));
+    }
+    out.extend(groups.remainder().iter().map(|m| sha256(m)));
+    out
 }
 
 #[cfg(test)]
@@ -284,5 +443,46 @@ mod tests {
     #[test]
     fn distinct_inputs_distinct_digests() {
         assert_ne!(sha256(b"pin-a"), sha256(b"pin-b"));
+    }
+
+    #[test]
+    fn many_matches_oneshot_across_padding_boundaries() {
+        // Lengths straddling every padding case: empty, short, exactly one
+        // block, the 55/56/63/64 marker boundaries, and multi-block.
+        let lengths = [
+            0usize, 1, 3, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129, 300,
+        ];
+        let msgs: Vec<Vec<u8>> = lengths
+            .iter()
+            .map(|&n| (0..n).map(|i| (i % 251) as u8).collect())
+            .collect();
+        let batched = sha256_many(msgs.iter().map(|m| m.as_slice()));
+        assert_eq!(batched.len(), msgs.len());
+        for (msg, digest) in msgs.iter().zip(&batched) {
+            assert_eq!(*digest, sha256(msg), "len {}", msg.len());
+        }
+    }
+
+    #[test]
+    fn many_handles_unequal_lane_lengths_in_one_group() {
+        // One 4-wide group whose lanes exhaust at different block counts:
+        // the lockstep prefix plus per-lane scalar tails must all agree.
+        let msgs: Vec<Vec<u8>> = vec![vec![7u8; 10], vec![8u8; 500], vec![9u8; 64], vec![1u8; 200]];
+        let batched = sha256_many(msgs.iter().map(|m| m.as_slice()));
+        for (msg, digest) in msgs.iter().zip(&batched) {
+            assert_eq!(*digest, sha256(msg));
+        }
+    }
+
+    #[test]
+    fn many_remainder_sizes() {
+        for n in 0..9usize {
+            let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 40 + i]).collect();
+            let batched = sha256_many(msgs.iter().map(|m| m.as_slice()));
+            assert_eq!(batched.len(), n);
+            for (msg, digest) in msgs.iter().zip(&batched) {
+                assert_eq!(*digest, sha256(msg));
+            }
+        }
     }
 }

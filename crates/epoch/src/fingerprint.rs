@@ -53,7 +53,30 @@ fn sorted(xs: &[String]) -> Vec<&str> {
 
 /// Content fingerprint of one app at the world's current state.
 pub fn app_fingerprint(world: &World, app_index: usize) -> [u8; 32] {
-    let app = &world.apps[app_index];
+    app_fingerprint_in(
+        &world.apps[app_index],
+        &world.network,
+        &world.universe.aosp_oem,
+        &world.universe.ios,
+        world.now,
+    )
+}
+
+/// Content fingerprint of one app against an explicit served state.
+///
+/// [`app_fingerprint`] delegates here with the materialized world's
+/// network and root stores; the streaming engine calls this directly with
+/// a *shard's* network, since a streamed study never materializes a
+/// `World`. The digest is a pure function of the arguments, so a shard's
+/// fingerprints match the monolithic world's whenever the shard serves
+/// the same state (the shard determinism contract).
+pub fn app_fingerprint_in(
+    app: &MobileApp,
+    network: &pinning_netsim::network::Network,
+    android_store: &pinning_pki::store::RootStore,
+    ios_store: &pinning_pki::store::RootStore,
+    now: pinning_pki::time::SimTime,
+) -> [u8; 32] {
     let mut h = Sha256::new();
 
     // --- App-side content: manifest, package, rules, behaviour. ---
@@ -94,20 +117,20 @@ pub fn app_fingerprint(world: &World, app_index: usize) -> [u8; 32] {
 
     // --- Destination-side state, in BTreeSet (deterministic) order. ---
     let store = match app.id.platform {
-        Platform::Android => &world.universe.aosp_oem,
-        Platform::Ios => &world.universe.ios,
+        Platform::Android => android_store,
+        Platform::Ios => ios_store,
     };
     for domain in relevant_destinations(app) {
         h.update(domain.as_bytes());
-        match world.network.resolve(&domain) {
+        match network.resolve(&domain) {
             None => h.update(&[0]),
             Some(server) => {
                 h.update(&[1]);
                 for cert in server.chain.certs() {
                     h.update(&cert.fingerprint_sha256());
                     h.update(&[
-                        cert.tbs.validity.contains(world.now) as u8,
-                        world.network.crl.is_revoked(cert.tbs.serial) as u8,
+                        cert.tbs.validity.contains(now) as u8,
+                        network.crl.is_revoked(cert.tbs.serial) as u8,
                     ]);
                 }
                 let trusted = server
@@ -143,6 +166,40 @@ mod tests {
         let a = World::generate(WorldConfig::tiny(0xE0));
         let b = World::generate(WorldConfig::tiny(0xE0));
         assert_eq!(all_fingerprints(&a), all_fingerprints(&b));
+    }
+
+    #[test]
+    fn streamed_fingerprints_are_invariant_to_shard_size() {
+        // The streaming engine fingerprints apps against their *shard's*
+        // network. The shard determinism contract says a product's served
+        // state does not depend on which shard materialized it — so the
+        // same app must fingerprint identically at any shard size.
+        use pinning_store::shard::StreamWorld;
+        use std::collections::BTreeMap;
+
+        let collect = |shard_size: usize| -> BTreeMap<String, [u8; 32]> {
+            let world = StreamWorld::new(WorldConfig::tiny(0xE2), shard_size);
+            let mut out = BTreeMap::new();
+            for k in 0..world.n_shards() {
+                let shard = world.generate_shard(k);
+                for sa in &shard.apps {
+                    let fp = app_fingerprint_in(
+                        &sa.app,
+                        &shard.network,
+                        &world.universe().aosp_oem,
+                        &world.universe().ios,
+                        shard.now,
+                    );
+                    out.insert(sa.app.id.to_string(), fp);
+                }
+            }
+            out
+        };
+
+        let small = collect(5);
+        let large = collect(64);
+        assert_eq!(small.len(), large.len());
+        assert_eq!(small, large, "shard size changed a streamed fingerprint");
     }
 
     #[test]

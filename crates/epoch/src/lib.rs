@@ -38,7 +38,9 @@ pub mod state;
 pub mod study;
 
 pub use event::EpochEvent;
-pub use fingerprint::{all_fingerprints, app_fingerprint, relevant_destinations};
+pub use fingerprint::{
+    all_fingerprints, app_fingerprint, app_fingerprint_in, relevant_destinations,
+};
 pub use plan::{apply_epoch, EpochConfig, EpochPlan};
 pub use state::{EpochState, StateError};
 pub use study::{EpochOutcome, Evolution};

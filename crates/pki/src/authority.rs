@@ -93,9 +93,26 @@ impl CertificateAuthority {
         key: &KeyPair,
         validity: Validity,
     ) -> Certificate {
+        let serial = self.take_serial();
+        self.issue_leaf_with_serial(hostnames, organization, key, validity, serial)
+    }
+
+    /// Issues a leaf with a caller-supplied serial, leaving the CA's own
+    /// serial counter untouched. Streamed world generation uses this: each
+    /// shard derives leaf serials from per-hostname RNG streams, so the
+    /// certificate a host gets is independent of how many hosts other
+    /// shards issued first.
+    pub fn issue_leaf_with_serial(
+        &self,
+        hostnames: &[String],
+        organization: &str,
+        key: &KeyPair,
+        validity: Validity,
+        serial: u64,
+    ) -> Certificate {
         assert!(!hostnames.is_empty(), "leaf needs at least one hostname");
         let tbs = TbsCertificate {
-            serial: self.take_serial(),
+            serial,
             subject: DistinguishedName::new(hostnames[0].clone(), organization, "US"),
             issuer: self.cert.tbs.subject.clone(),
             validity,

@@ -262,6 +262,38 @@ impl PkiUniverse {
         ])
     }
 
+    /// Like [`PkiUniverse::issue_server_chain_via`] but with a
+    /// caller-supplied serial and
+    /// no mutation: the intermediate's serial counter is left alone. Streamed
+    /// world generation issues chains shard-by-shard, and deriving each
+    /// serial from the hostname's own RNG stream keeps the chain a host gets
+    /// independent of issuance order across shards.
+    pub fn issue_server_chain_via_seeded(
+        &self,
+        inter_idx: usize,
+        hostnames: &[String],
+        organization: &str,
+        key: &KeyPair,
+        lifetime_days: u64,
+        serial: u64,
+    ) -> CertificateChain {
+        let start = self.now - 30 * DAY; // issued a month ago
+        let inter = &self.intermediates[inter_idx];
+        let leaf = inter.issue_leaf_with_serial(
+            hostnames,
+            organization,
+            key,
+            Validity::starting(start, lifetime_days * DAY),
+            serial,
+        );
+        let root_idx = self.inter_parent[inter_idx];
+        CertificateChain::new(vec![
+            leaf,
+            inter.cert.clone(),
+            self.roots[root_idx].cert.clone(),
+        ])
+    }
+
     /// Creates a custom (private) CA not present in any public store, and
     /// issues a chain for `hostnames` under it — the "custom PKI" rows of
     /// Table 6.

@@ -430,7 +430,7 @@ pub fn table_ct(
 /// Kept separate from the deterministic report tables: a resumed run
 /// legitimately differs here (resumed vs fresh counts) while every Table
 /// 1–9 byte stays identical.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunHealthReport {
     /// Worker panics converted into degraded records.
     pub panics_recovered: u32,
@@ -455,6 +455,13 @@ pub struct RunHealthReport {
     /// Per-cache hit/miss activity during this run (empty when the caching
     /// layer was disabled).
     pub cache_rows: Vec<CacheRow>,
+    /// Peak resident-set size of the process, KiB (`None` when the
+    /// platform exposes no high-water mark). The streaming engine uses
+    /// this row to make memory flatness observable per run.
+    pub peak_rss_kib: Option<u64>,
+    /// Measured throughput, apps per second of wall-clock study time
+    /// (`None` for runs that did not time themselves).
+    pub apps_per_sec: Option<f64>,
 }
 
 /// One derived-value cache's activity for the run-health table.
@@ -488,6 +495,16 @@ pub fn table_run_health(r: &RunHealthReport) -> String {
         &r.replayed_prior_epoch.to_string(),
     ]);
     t.row(&["apps reanalyzed (dirty)", &r.reanalyzed_dirty.to_string()]);
+    t.row(&[
+        "peak RSS (KiB)",
+        &r.peak_rss_kib
+            .map_or_else(|| "—".to_string(), |k| k.to_string()),
+    ]);
+    t.row(&[
+        "throughput (apps/sec)",
+        &r.apps_per_sec
+            .map_or_else(|| "—".to_string(), |v| format!("{v:.1}")),
+    ]);
     for c in &r.cache_rows {
         let total = c.hits + c.misses;
         let rate = if total == 0 {
@@ -740,6 +757,8 @@ mod tests {
                 hits: 900,
                 misses: 100,
             }],
+            peak_rss_kib: Some(123_456),
+            apps_per_sec: Some(87.5),
         });
         assert!(s.contains("Run health"));
         assert!(s.contains("worker panics recovered"));
@@ -751,6 +770,13 @@ mod tests {
         }
         assert!(s.contains("cache cert-fingerprint (hit/miss)"));
         assert!(s.contains("900/100 (90.0%)"));
+        assert!(s.contains("peak RSS (KiB)"));
+        assert!(s.contains("123456"));
+        assert!(s.contains("throughput (apps/sec)"));
+        assert!(s.contains("87.5"));
+        // Untimed runs render a dash, not a bogus zero.
+        let dashes = table_run_health(&RunHealthReport::default());
+        assert!(dashes.contains("—"));
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod config;
 pub mod crawler;
 pub mod datasets;
 pub mod intern;
+pub mod shard;
 pub mod whois;
 pub mod world;
 

@@ -1,0 +1,419 @@
+//! Chunked world generation: seeded, independently-generatable app shards.
+//!
+//! [`crate::world::World::generate`] materializes every app before the
+//! study touches one, which caps runs at what fits in memory. The
+//! streaming engine instead builds a [`StreamWorld`] — the shared,
+//! order-independent substrate (PKI universe, RNG roots, clock) — and
+//! asks it for one [`AppShard`] at a time. Each shard carries its own
+//! slice of products, their apps, and a shard-local [`Network`] holding
+//! exactly the servers those apps can reach, so a shard can be generated,
+//! measured, folded into an accumulator, and dropped.
+//!
+//! ## The shard determinism contract
+//!
+//! Every value an app or server embeds is derived from an RNG stream
+//! keyed by a *stable name* (`"product/{i}"`, `"srv/{host}"`, …), never
+//! from how much work preceded it. Two deliberate deviations from the
+//! monolithic generator make this hold shard-by-shard:
+//!
+//! 1. **Seeded serials** (`Generator::seeded_serials`): leaf serials
+//!    come from the hostname's own stream instead of the intermediate's
+//!    issuance counter, so a chain's bytes do not depend on how many
+//!    chains other shards issued first.
+//! 2. **Bernoulli dataset membership**: the monolithic dataset builder
+//!    sorts global listings and shuffles them; a streamed world draws
+//!    each product's Common/Popular/Random membership from
+//!    `"stream-datasets/{i}"` with probabilities chosen to match the
+//!    configured expected sizes. The streamed report is therefore its own
+//!    report family — self-consistent across any shard size and thread
+//!    count, not byte-equal to the monolithic report.
+//!
+//! Consequently `generate_shard(k)` is a pure function of
+//! `(config, shard_size, k)`: any partition of the product space into
+//! shards yields the same apps byte for byte.
+
+use crate::config::WorldConfig;
+use crate::datasets::DatasetKind;
+use crate::intern::CertInterner;
+use crate::whois::WhoisRegistry;
+use crate::world::appgen::{build_app, make_product, Product};
+use crate::world::Generator;
+use pinning_app::app::MobileApp;
+use pinning_app::platform::Platform;
+use pinning_crypto::SplitMix64;
+use pinning_ctlog::LogSet;
+use pinning_netsim::network::Network;
+use pinning_pki::time::SimTime;
+use pinning_pki::universe::{PkiUniverse, UniverseConfig};
+use std::ops::Range;
+
+/// The shared substrate of a streamed world plus the recipe for
+/// generating any product shard on demand.
+#[derive(Debug, Clone)]
+pub struct StreamWorld {
+    /// World-generation knobs (store size, rates, dataset sizes).
+    pub config: WorldConfig,
+    universe: PkiUniverse,
+    root_rng: SplitMix64,
+    now: SimTime,
+    shard_size: usize,
+}
+
+/// One generated app plus its streamed-dataset memberships.
+#[derive(Debug, Clone)]
+pub struct StreamApp {
+    /// The app itself.
+    pub app: MobileApp,
+    /// Index of the product this app belongs to (global, shard-invariant).
+    pub product_index: usize,
+    /// Which datasets this app was drawn into (possibly none: every app
+    /// is still measured and counted in the per-platform totals).
+    pub datasets: Vec<DatasetKind>,
+}
+
+/// One independently-generated chunk of the world: a contiguous product
+/// range, its apps, and a network holding every server those apps reach.
+#[derive(Debug)]
+pub struct AppShard {
+    /// Shard number (0-based).
+    pub index: usize,
+    /// The global product indices this shard covers.
+    pub products: Range<usize>,
+    /// Apps generated from those products, in product order
+    /// (Android before iOS within a product, like the monolithic world).
+    pub apps: Vec<StreamApp>,
+    /// Shard-local network: infrastructure plus this shard's servers.
+    pub network: Network,
+    /// Simulation clock (same instant for every shard).
+    pub now: SimTime,
+}
+
+impl StreamWorld {
+    /// Builds the shared substrate once: the PKI universe from the
+    /// `"pki"` stream and the clock. No apps or servers are materialized.
+    pub fn new(config: WorldConfig, shard_size: usize) -> StreamWorld {
+        let root_rng = SplitMix64::new(config.seed);
+        let mut pki_rng = root_rng.derive("pki");
+        let universe = PkiUniverse::generate(&UniverseConfig::default(), &mut pki_rng);
+        let now = universe.now();
+        StreamWorld {
+            config,
+            universe,
+            root_rng,
+            now,
+            shard_size: shard_size.max(1),
+        }
+    }
+
+    /// The PKI universe (platform root stores for the measurement env).
+    pub fn universe(&self) -> &PkiUniverse {
+        &self.universe
+    }
+
+    /// Simulation "now".
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Products per shard.
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Total number of products (each yields one or two apps).
+    pub fn n_products(&self) -> usize {
+        2 * self.config.store_size - self.config.n_cross_products
+    }
+
+    /// Total number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_products().div_ceil(self.shard_size)
+    }
+
+    /// Generates shard `k`: a pure function of `(config, shard_size, k)`.
+    ///
+    /// Panics if `k >= n_shards()`.
+    pub fn generate_shard(&self, k: usize) -> AppShard {
+        let n_products = self.n_products();
+        assert!(k < self.n_shards(), "shard {k} out of range");
+        let start = k * self.shard_size;
+        let end = (start + self.shard_size).min(n_products);
+
+        let mut gen = Generator {
+            config: &self.config,
+            universe: self.universe.clone(),
+            network: Network::new(),
+            // CT submissions are a render-time concern of the monolithic
+            // report; the streamed tables never consult the log, so each
+            // shard gets an empty log set instead of rebuilding one.
+            ctlog: LogSet::default(),
+            whois: WhoisRegistry::default(),
+            rng: self.root_rng,
+            now: self.now,
+            seeded_serials: true,
+        };
+        // Infrastructure is order-independent per hostname, so every
+        // shard re-derives the identical Apple/SDK/CDN servers locally.
+        gen.register_infrastructure();
+
+        // 1. Products (each from its own "product/{i}" stream).
+        let store_size = self.config.store_size;
+        let n_cross = self.config.n_cross_products;
+        let mut products = Vec::with_capacity(end - start);
+        for i in start..end {
+            products.push(make_product(&mut gen, i, n_cross, store_size));
+        }
+
+        // 2. First-party servers. The §5.3.1 self-signed oddballs are a
+        //    global first-pinner scan in the monolithic generator and are
+        //    deliberately absent from streamed worlds.
+        for p in &products {
+            for d in &p.fp_domains {
+                gen.register_public_server(vec![d.clone()], &p.org);
+            }
+            for plan in [&p.android, &p.ios].into_iter().flatten() {
+                if let Some(d) = &plan.custom_pki_domain {
+                    gen.register_custom_server(vec![d.clone()], &p.org);
+                }
+                if let Some(d) = &plan.self_signed_domain {
+                    let years = if plan.custom_pki_domain.is_some() {
+                        10
+                    } else {
+                        27
+                    };
+                    gen.register_self_signed_server(vec![d.clone()], &p.org, years);
+                }
+            }
+        }
+
+        // 3. Apps + dataset membership draws.
+        let mut apps = Vec::new();
+        for (off, p) in products.iter().enumerate() {
+            let pi = start + off;
+            let draws = MembershipDraws::for_product(&self.root_rng, &self.config, p, pi);
+            if p.android.is_some() {
+                let mut app = build_app(&mut gen, p, pi, Platform::Android);
+                app.popularity_rank = synth_rank(p.rank_score_android, store_size);
+                apps.push(StreamApp {
+                    app,
+                    product_index: pi,
+                    datasets: draws.on(Platform::Android),
+                });
+            }
+            if p.ios.is_some() {
+                let mut app = build_app(&mut gen, p, pi, Platform::Ios);
+                app.popularity_rank = synth_rank(p.rank_score_ios, store_size);
+                apps.push(StreamApp {
+                    app,
+                    product_index: pi,
+                    datasets: draws.on(Platform::Ios),
+                });
+            }
+        }
+
+        let Generator {
+            mut network,
+            universe: _,
+            ..
+        } = gen;
+
+        // Intern CA material shard-locally, exactly like the monolithic
+        // world: served chains share canonical intermediates/roots, and
+        // derived values (DER, fingerprints, SPKI digests) are computed
+        // once per certificate instead of once per server.
+        let mut interner = CertInterner::new();
+        for server in network.servers_mut() {
+            interner.intern_chain_cas(&mut server.chain);
+        }
+        interner.warm();
+
+        AppShard {
+            index: k,
+            products: start..end,
+            apps,
+            network,
+            now: self.now,
+        }
+    }
+}
+
+/// The monolithic listing sort assigns 1-based popularity ranks; streamed
+/// worlds synthesize the rank a score would land at in expectation.
+fn synth_rank(rank_score: f64, store_size: usize) -> u32 {
+    ((rank_score * store_size as f64) as u32).saturating_add(1)
+}
+
+/// The five Bernoulli membership draws for one product, in a fixed order
+/// so the stream never depends on which platforms exist.
+struct MembershipDraws {
+    common: bool,
+    popular_android: bool,
+    popular_ios: bool,
+    random_android: bool,
+    random_ios: bool,
+    cross: bool,
+    android: bool,
+    ios: bool,
+    pool: f64,
+    score_android: f64,
+    score_ios: f64,
+}
+
+impl MembershipDraws {
+    fn for_product(
+        root_rng: &SplitMix64,
+        cfg: &WorldConfig,
+        p: &Product,
+        pi: usize,
+    ) -> MembershipDraws {
+        let mut r = root_rng.derive(&format!("stream-datasets/{pi}"));
+        let p_common = prob(cfg.common_size, cfg.n_cross_products);
+        // The Popular dataset samples from the head of the listing: the
+        // pool is the top `popular_pool_fraction` of the store, which for
+        // uniform rank scores is `score < pool`.
+        let pool = cfg.popular_pool_fraction.clamp(f64::MIN_POSITIVE, 1.0);
+        let p_popular =
+            (cfg.popular_size as f64 / (cfg.store_size as f64 * pool).max(1.0)).min(1.0);
+        let p_random = prob(cfg.random_size, cfg.store_size);
+        MembershipDraws {
+            common: r.chance(p_common),
+            popular_android: r.chance(p_popular),
+            popular_ios: r.chance(p_popular),
+            random_android: r.chance(p_random),
+            random_ios: r.chance(p_random),
+            cross: p.cross,
+            android: p.android.is_some(),
+            ios: p.ios.is_some(),
+            pool,
+            score_android: p.rank_score_android,
+            score_ios: p.rank_score_ios,
+        }
+    }
+
+    fn on(&self, platform: Platform) -> Vec<DatasetKind> {
+        let (present, popular_draw, random_draw, score) = match platform {
+            Platform::Android => (
+                self.android,
+                self.popular_android,
+                self.random_android,
+                self.score_android,
+            ),
+            Platform::Ios => (self.ios, self.popular_ios, self.random_ios, self.score_ios),
+        };
+        let mut out = Vec::new();
+        if !present {
+            return out;
+        }
+        if self.cross && self.common {
+            out.push(DatasetKind::Common);
+        }
+        if score < self.pool && popular_draw {
+            out.push(DatasetKind::Popular);
+        }
+        if random_draw {
+            out.push(DatasetKind::Random);
+        }
+        out
+    }
+}
+
+fn prob(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        (num as f64 / den as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinning_crypto::sha256;
+
+    fn tiny_stream(shard_size: usize) -> StreamWorld {
+        StreamWorld::new(WorldConfig::tiny(0x5EED), shard_size)
+    }
+
+    /// A stable digest of everything observable about a shard's apps and
+    /// the servers they resolve to.
+    fn digest_apps(world: &StreamWorld, shard_sizes: usize) -> Vec<(String, [u8; 32])> {
+        let sw = tiny_stream(shard_sizes);
+        let _ = world;
+        let mut out = Vec::new();
+        for k in 0..sw.n_shards() {
+            let shard = sw.generate_shard(k);
+            for sa in &shard.apps {
+                let mut repr = format!("{:?}|{:?}|{:?}", sa.app.id, sa.datasets, sa.product_index);
+                for conn in &sa.app.behavior.connections {
+                    repr.push_str(&format!("|{:?}", conn.domain));
+                    if let Some(server) = shard.network.resolve(&conn.domain) {
+                        for cert in server.chain.certs() {
+                            repr.push_str(&format!("{:02x?}", cert.fingerprint_sha256()));
+                        }
+                    }
+                }
+                out.push((sa.app.id.to_string(), sha256(repr.as_bytes())));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn shard_size_does_not_change_content() {
+        let w = tiny_stream(7);
+        let a = digest_apps(&w, 7);
+        let b = digest_apps(&w, 13);
+        let c = digest_apps(&w, 1000);
+        assert_eq!(a, b, "shard size 7 vs 13 changed app content");
+        assert_eq!(a, c, "shard size 1000 changed app content");
+    }
+
+    #[test]
+    fn covers_every_product_exactly_once() {
+        let sw = tiny_stream(11);
+        let mut seen = Vec::new();
+        for k in 0..sw.n_shards() {
+            let shard = sw.generate_shard(k);
+            seen.extend(shard.products.clone());
+        }
+        let expect: Vec<usize> = (0..sw.n_products()).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn membership_sizes_are_plausible() {
+        let sw = tiny_stream(16);
+        let mut per_kind = [0usize; 3];
+        let mut total = 0usize;
+        for k in 0..sw.n_shards() {
+            for sa in sw.generate_shard(k).apps {
+                total += 1;
+                for d in sa.datasets {
+                    let slot = DatasetKind::ALL
+                        .iter()
+                        .position(|x| *x == d)
+                        .expect("known kind");
+                    per_kind[slot] += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        // Expected sizes are small in the tiny config; just require that
+        // at least one dataset drew members and none swallowed the world.
+        assert!(per_kind.iter().sum::<usize>() > 0, "no dataset members");
+        assert!(per_kind.iter().all(|&n| n < total), "{per_kind:?}");
+    }
+
+    #[test]
+    fn shard_generation_is_idempotent() {
+        let sw = tiny_stream(9);
+        let a = sw.generate_shard(0);
+        let b = sw.generate_shard(0);
+        assert_eq!(a.apps.len(), b.apps.len());
+        for (x, y) in a.apps.iter().zip(&b.apps) {
+            assert_eq!(x.app.id, y.app.id);
+            assert_eq!(x.datasets, y.datasets);
+            assert_eq!(x.app.package.content_hash(), y.app.package.content_hash());
+        }
+    }
+}

@@ -89,6 +89,7 @@ impl World {
             whois: WhoisRegistry::new(),
             rng: root_rng,
             now,
+            seeded_serials: false,
         };
         gen.register_infrastructure();
 
@@ -169,6 +170,13 @@ pub(crate) struct Generator<'a> {
     /// anchoring, e.g. future certificate-rotation extensions).
     #[allow(dead_code)]
     pub now: SimTime,
+    /// When set, public-server leaf serials come from the hostname's own
+    /// RNG stream instead of the intermediate's issuance counter. The
+    /// legacy (monolithic) generator leaves this off, keeping its worlds
+    /// byte-identical; the streaming shard generator turns it on so a
+    /// host's chain never depends on how many hosts other shards issued
+    /// first.
+    pub seeded_serials: bool,
 }
 
 impl<'a> Generator<'a> {
@@ -180,13 +188,25 @@ impl<'a> Generator<'a> {
         let key = KeyPair::generate(&mut domain_rng);
         let inter_idx = (domain_rng.next_below(self.universe.n_intermediates() as u64)) as usize;
         let lifetime = 90 + domain_rng.next_below(300);
-        let chain = self.universe.issue_server_chain_via(
-            inter_idx,
-            &hostnames,
-            organization,
-            &key,
-            lifetime,
-        );
+        let chain = if self.seeded_serials {
+            let serial = domain_rng.next_u64();
+            self.universe.issue_server_chain_via_seeded(
+                inter_idx,
+                &hostnames,
+                organization,
+                &key,
+                lifetime,
+                serial,
+            )
+        } else {
+            self.universe.issue_server_chain_via(
+                inter_idx,
+                &hostnames,
+                organization,
+                &key,
+                lifetime,
+            )
+        };
         // CT submission: offer the whole chain to every shard; each shard's
         // policy (validity epoch + per-certificate acceptance draw) decides
         // what it stores. The union coverage is incomplete for both CA and
@@ -248,7 +268,7 @@ impl<'a> Generator<'a> {
         ))
     }
 
-    fn register_infrastructure(&mut self) {
+    pub(crate) fn register_infrastructure(&mut self) {
         // Apple's always-on background services (§4.5).
         for d in pinning_netsim::APPLE_BACKGROUND_DOMAINS {
             self.register_public_server(vec![d.to_string()], "Apple Inc");

@@ -49,36 +49,36 @@ fn sample_profile(rng: &mut SplitMix64) -> ConsistencyProfile {
 
 /// Which first-party domains a platform's app pins / contacts.
 #[derive(Debug, Clone, Default)]
-struct PlatformPlan {
-    pins_first_party: bool,
+pub(crate) struct PlatformPlan {
+    pub(crate) pins_first_party: bool,
     /// Domains pinned (⊆ contacted).
-    pinned: Vec<String>,
+    pub(crate) pinned: Vec<String>,
     /// All first-party domains contacted.
-    contacted: Vec<String>,
+    pub(crate) contacted: Vec<String>,
     /// Custom-PKI pinned domain (exclusive to this platform), if any.
-    custom_pki_domain: Option<String>,
+    pub(crate) custom_pki_domain: Option<String>,
     /// Self-signed oddball domain (§5.3.1), if any.
-    self_signed_domain: Option<String>,
+    pub(crate) self_signed_domain: Option<String>,
     /// Force SDK pin activation to match the sibling platform.
-    synced_sdk_rolls: bool,
+    pub(crate) synced_sdk_rolls: bool,
     /// Keep bundled SDK pinning dormant so the planned first-party
     /// consistency profile is what the pipeline observes.
-    suppress_sdk_pinning: bool,
+    pub(crate) suppress_sdk_pinning: bool,
 }
 
-struct Product {
-    key: String,
-    name: String,
-    org: String,
-    category: Category,
-    cross: bool,
-    rank_score_android: f64,
-    rank_score_ios: f64,
-    base_domain: String,
-    fp_domains: Vec<String>,
-    android: Option<PlatformPlan>,
-    ios: Option<PlatformPlan>,
-    sdk_names: Vec<&'static str>,
+pub(crate) struct Product {
+    pub(crate) key: String,
+    pub(crate) name: String,
+    pub(crate) org: String,
+    pub(crate) category: Category,
+    pub(crate) cross: bool,
+    pub(crate) rank_score_android: f64,
+    pub(crate) rank_score_ios: f64,
+    pub(crate) base_domain: String,
+    pub(crate) fp_domains: Vec<String>,
+    pub(crate) android: Option<PlatformPlan>,
+    pub(crate) ios: Option<PlatformPlan>,
+    pub(crate) sdk_names: Vec<&'static str>,
 }
 
 const HEAD_CATEGORY_WEIGHTS: &[(Category, u32)] = &[
@@ -298,7 +298,12 @@ pub(crate) fn generate_apps(
     )
 }
 
-fn make_product(gen: &mut Generator<'_>, i: usize, n_cross: usize, store_size: usize) -> Product {
+pub(crate) fn make_product(
+    gen: &mut Generator<'_>,
+    i: usize,
+    n_cross: usize,
+    store_size: usize,
+) -> Product {
     let mut rng = gen.rng.derive(&format!("product/{i}"));
     let cross = i < n_cross;
     let key = format!("app{i:05}");
@@ -1005,7 +1010,12 @@ fn sample_at_secs(rng: &mut SplitMix64) -> u32 {
 }
 
 /// Builds one platform's app for a product.
-fn build_app(gen: &mut Generator<'_>, p: &Product, pi: usize, platform: Platform) -> MobileApp {
+pub(crate) fn build_app(
+    gen: &mut Generator<'_>,
+    p: &Product,
+    pi: usize,
+    platform: Platform,
+) -> MobileApp {
     let mut rng = gen.rng.derive(&format!("appgen/{pi}/{platform}"));
     // A product-shared stream for decisions that must agree across
     // platforms (synced SDK activation).
