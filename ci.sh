@@ -27,8 +27,12 @@ cargo test -q --offline --test chaos
 echo "==> ctlog suite (Merkle proofs, sharding, auditor, resolver)"
 cargo test -q -p pinning-ctlog --offline
 
-echo "==> chaos smoke (release-mode kill/resume cycle under faults)"
-cargo run -q --release --offline --example chaos_smoke
+echo "==> chaos smoke (release-mode kill/resume cycle under faults + storage-fault streamed cycle)"
+cargo run -q --release --offline --example chaos_smoke | tee /tmp/chaos_smoke.out
+grep -qF "storage-fault smoke OK" /tmp/chaos_smoke.out || { echo "chaos smoke missing the storage-fault phase"; exit 1; }
+
+echo "==> storage-fault matrix (durable-media fault plans x journal writers x kill points)"
+cargo test -q --offline --test chaos fault_matrix
 
 echo "==> bench smoke (cached-vs-uncached A/B; fails on report divergence)"
 cargo bench -q -p pinning-bench --bench perf --offline -- smoke
@@ -48,9 +52,9 @@ if grep -qF '"replayed_total": 0' BENCH_epoch.json; then
   echo "BENCH_epoch.json: zero apps replayed"; exit 1
 fi
 
-echo "==> stream smoke (chunked streaming study: schedule byte-identity, kill-and-resume identity, flat-memory ceiling)"
+echo "==> stream smoke (chunked streaming study: schedule byte-identity, kill-and-resume identity, scrub-overhead bound, flat-memory ceiling)"
 cargo bench -q -p pinning-bench --bench stream --offline -- smoke
-for key in '"schema": "pinning-bench/stream"' '"byte_identical": true' '"resume_identical": true' '"rss_within_ceiling": true' '"apps_per_sec"'; do
+for key in '"schema": "pinning-bench/stream"' '"byte_identical": true' '"resume_identical": true' '"scrub_within_bound": true' '"rss_within_ceiling": true' '"apps_per_sec"' '"scrub_overhead_pct"'; do
   grep -qF "$key" BENCH_stream.json || { echo "BENCH_stream.json missing $key"; exit 1; }
 done
 

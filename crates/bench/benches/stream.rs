@@ -1,6 +1,6 @@
 //! Streaming-engine bench and the `BENCH_stream.json` artifact.
 //!
-//! Three gates, then a throughput headline:
+//! Four gates, then a throughput headline:
 //!
 //! - **Byte identity** — the streamed report renders the same bytes at
 //!   every (shard size × thread count) schedule tried (the tentpole
@@ -8,6 +8,9 @@
 //! - **Kill-and-resume identity** — a run killed mid-study and resumed
 //!   under a *different* schedule renders the same bytes as an
 //!   uninterrupted run;
+//! - **Scrub overhead** — the self-healing journal reader costs ≤2%
+//!   over the strict direct read path on a clean shard journal shaped
+//!   like the headline run's;
 //! - **Flat memory** — the big run's peak RSS (VmHWM) stays under a
 //!   configured ceiling that does not scale with the app count.
 //!
@@ -25,8 +28,10 @@
 
 use pinning_core::stream::{peak_rss_kib, StreamOutcome};
 use pinning_core::{StreamConfig, StreamEngine, StreamResults};
+use pinning_resilience::{append_frame, read_frames_strict, scrub_frames};
 use pinning_store::config::WorldConfig;
 use std::path::Path;
+use std::time::Instant;
 
 const SEED: u64 = 0x57E3;
 
@@ -108,6 +113,59 @@ fn main() {
         failures.push("kill-and-resume did not reproduce the uninterrupted report".into());
     }
 
+    // --- Gate 3: scrubbing a clean journal costs ≤2% over the strict
+    // direct read. The journal is shaped like the 1M-app headline run's
+    // shard journal: one ~4 KiB accumulator frame per 500-app shard
+    // (2,000 frames in full mode). Timings are interleaved and the
+    // medians compared, so drift hits both paths alike. ---
+    let scrub_frames_n: usize = if smoke { 256 } else { 2_000 };
+    let mut clean_image = Vec::new();
+    let mut payload = vec![0u8; 4096];
+    for i in 0..scrub_frames_n {
+        // Vary every payload so no two consecutive frames are identical
+        // (consecutive duplicates are a fault signature the scrubber
+        // repairs by dropping).
+        payload[i % 4096] = payload[i % 4096].wrapping_add(1 + (i % 7) as u8);
+        append_frame(&mut clean_image, &payload);
+    }
+    let timing_rounds = 15;
+    let mut strict_times = Vec::with_capacity(timing_rounds);
+    let mut scrub_times = Vec::with_capacity(timing_rounds);
+    for _ in 0..timing_rounds {
+        let t = Instant::now();
+        let strict = read_frames_strict(&clean_image, 0);
+        strict_times.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let scrubbed = scrub_frames(&clean_image, 0);
+        scrub_times.push(t.elapsed().as_secs_f64());
+        assert_eq!(strict.frames.len(), scrub_frames_n);
+        assert_eq!(
+            strict.frames, scrubbed.frames,
+            "readers must agree on clean input"
+        );
+        assert!(scrubbed.stats.is_clean(), "clean journal must scrub clean");
+    }
+    let median = |times: &mut Vec<f64>| -> f64 {
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        times[times.len() / 2]
+    };
+    let strict_median = median(&mut strict_times);
+    let scrub_median = median(&mut scrub_times);
+    let scrub_overhead_pct = (scrub_median / strict_median - 1.0) * 100.0;
+    let scrub_within_bound = scrub_overhead_pct <= 2.0;
+    if !scrub_within_bound {
+        failures.push(format!(
+            "scrub overhead {scrub_overhead_pct:.2}% exceeds the 2% bound \
+             (strict {strict_median:.6}s, scrub {scrub_median:.6}s)"
+        ));
+    }
+    println!(
+        "scrub overhead: {scrub_overhead_pct:.2}% over {scrub_frames_n} clean frames \
+         (strict {:.3}ms, scrub {:.3}ms)",
+        strict_median * 1e3,
+        scrub_median * 1e3
+    );
+
     // --- Headline: the big streamed run under a flat-memory ceiling. ---
     let headline_apps: usize = std::env::var("PINNING_STREAM_APPS")
         .ok()
@@ -154,6 +212,8 @@ fn main() {
             "  \"seed\": {seed},\n",
             "  \"byte_identical\": {identical},\n",
             "  \"resume_identical\": {resume},\n",
+            "  \"scrub_overhead_pct\": {scrub:.2},\n",
+            "  \"scrub_within_bound\": {scrub_ok},\n",
             "  \"apps\": {apps},\n",
             "  \"shards\": {shards},\n",
             "  \"threads\": {threads},\n",
@@ -168,6 +228,8 @@ fn main() {
         seed = SEED,
         identical = byte_identical,
         resume = resume_identical,
+        scrub = scrub_overhead_pct,
+        scrub_ok = scrub_within_bound,
         apps = big.health.apps_measured,
         shards = big.health.shards_total,
         threads = pinning_bench::bench_threads(),
@@ -190,6 +252,8 @@ fn main() {
         "\"schema\"",
         "\"byte_identical\"",
         "\"resume_identical\"",
+        "\"scrub_overhead_pct\"",
+        "\"scrub_within_bound\"",
         "\"apps_per_sec\"",
         "\"peak_rss_kib\"",
         "\"rss_within_ceiling\"",

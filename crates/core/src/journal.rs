@@ -23,16 +23,31 @@
 //! ## Corruption tolerance
 //!
 //! A process killed mid-append leaves a torn tail; a bad disk can flip
-//! bits anywhere. [`ResultJournal::open`] therefore reads the longest
-//! intact prefix: the first record whose frame is short or whose checksum
-//! mismatches stops the replay, and everything from that point on is
-//! reported as quarantined bytes rather than parsed. Damage to the header
-//! itself is unrecoverable and surfaces as a [`JournalError`].
+//! bits anywhere. [`ResultJournal::open`] therefore runs the shared
+//! scrubber ([`pinning_resilience::recovery::scrub_frames`]): every
+//! record checksum is verified, damaged spans are quarantined, and the
+//! reader *resyncs* past mid-journal damage instead of abandoning the
+//! remainder — sound because records are keyed by app index and replay
+//! order never matters. Everything discarded is accounted in
+//! [`Replay::stats`]; damage to the header itself is unrecoverable and
+//! surfaces as a [`JournalError`].
+//!
+//! ## Durable media
+//!
+//! The journal writes through the [`Media`] storage contract. The
+//! default [`VecMedia`] is the perfect in-memory buffer — byte-identical
+//! to the pre-`Media` journal — while
+//! [`FaultMedia`](pinning_resilience::FaultMedia) injects torn writes,
+//! lying flushes, bit rot, and ENOSPC for the chaos suite. Each append
+//! is followed by a flush barrier, so on honest media every committed
+//! record is durable the moment [`try_append`](ResultJournal::try_append)
+//! returns.
 
-use pinning_crypto::sha256;
 use pinning_netsim::faults::{InputLayer, MalformedKind, MeasurementError};
 use pinning_pki::encode::{Reader, Writer};
 use pinning_pki::error::DecodeError;
+use pinning_resilience::media::{Media, MediaError, VecMedia};
+use pinning_resilience::recovery::{append_frame, scrub_frames, ScrubStats, FRAME_OVERHEAD};
 
 /// Magic bytes opening every journal (format version 1).
 pub const JOURNAL_MAGIC: &[u8; 8] = b"PINJRNL1";
@@ -41,14 +56,14 @@ pub const JOURNAL_MAGIC: &[u8; 8] = b"PINJRNL1";
 const HEADER_LEN: usize = 8 + 32;
 
 /// Per-record frame overhead: length word plus checksum.
-const FRAME_LEN: usize = 4 + 32;
+const FRAME_LEN: usize = FRAME_OVERHEAD;
 
-/// A journal whose header is damaged or missing entirely.
+/// A journal whose header is damaged, or whose medium refused a write.
 ///
 /// Record-level damage is *not* an error — [`ResultJournal::open`]
-/// truncates at the first bad record instead — but without an intact
-/// header there is no fingerprint to validate a resume against, so the
-/// journal is unusable.
+/// quarantines around it instead — but without an intact header there is
+/// no fingerprint to validate a resume against, so the journal is
+/// unusable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JournalError {
     /// Shorter than a header: nothing was ever committed.
@@ -58,6 +73,8 @@ pub enum JournalError {
     /// The journal was written under a different study configuration, so
     /// resuming from it would splice incompatible measurements.
     FingerprintMismatch,
+    /// The backing medium refused a write (e.g. out of space).
+    Media(MediaError),
 }
 
 impl std::fmt::Display for JournalError {
@@ -68,11 +85,18 @@ impl std::fmt::Display for JournalError {
             JournalError::FingerprintMismatch => {
                 write!(f, "journal belongs to a different study configuration")
             }
+            JournalError::Media(e) => write!(f, "journal medium failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for JournalError {}
+
+impl From<MediaError> for JournalError {
+    fn from(e: MediaError) -> JournalError {
+        JournalError::Media(e)
+    }
+}
 
 /// Dynamic observables for one successfully measured app — exactly the
 /// fields of [`crate::record::AppRecord`] that cannot be recomputed from
@@ -119,7 +143,7 @@ pub struct JournalEntry {
     pub outcome: AppOutcome,
 }
 
-/// The readable prefix of a journal, as recovered by
+/// The recoverable content of a journal, as scrubbed by
 /// [`ResultJournal::open`].
 #[derive(Debug, Clone)]
 pub struct Replay {
@@ -127,59 +151,62 @@ pub struct Replay {
     pub fingerprint: [u8; 32],
     /// Entries recovered, in commit order.
     pub entries: Vec<JournalEntry>,
-    /// Bytes discarded after the first damaged record (0 = fully intact).
-    pub quarantined_bytes: usize,
+    /// Quarantine and repair accounting from the scrub pass (all zero =
+    /// the journal read back exactly as written).
+    pub stats: ScrubStats,
 }
 
 impl Replay {
-    /// Whether the journal lost records to damage.
+    /// Whether the journal lost bytes to damage (including repaired
+    /// damage — a resynced or deduplicated journal is degraded, not
+    /// pristine).
     pub fn truncated(&self) -> bool {
-        self.quarantined_bytes > 0
+        !self.stats.is_clean()
     }
 }
 
-/// An append-only, checksummed result journal.
+/// An append-only, checksummed result journal over a [`Media`].
 ///
-/// Held in memory as the byte buffer that would sit on disk; callers own
-/// persistence (the examples write it to a file between kill and resume).
+/// The default medium is [`VecMedia`]: the byte buffer that would sit on
+/// disk, with callers owning persistence (the examples write it to a
+/// file between kill and resume). The chaos suite substitutes
+/// [`FaultMedia`](pinning_resilience::FaultMedia) to prove recovery
+/// under hostile storage.
 #[derive(Debug, Clone)]
-pub struct ResultJournal {
-    buf: Vec<u8>,
+pub struct ResultJournal<M: Media = VecMedia> {
+    media: M,
 }
 
-impl ResultJournal {
-    /// A fresh journal bound to `fingerprint` (see
+impl ResultJournal<VecMedia> {
+    /// A fresh in-memory journal bound to `fingerprint` (see
     /// [`crate::study::StudyConfig::fingerprint`]).
     pub fn create(fingerprint: [u8; 32]) -> Self {
-        let mut buf = Vec::with_capacity(HEADER_LEN);
-        buf.extend_from_slice(JOURNAL_MAGIC);
-        buf.extend_from_slice(&fingerprint);
-        ResultJournal { buf }
+        ResultJournal::create_on(VecMedia::new(), fingerprint)
+            .expect("VecMedia never refuses a write")
     }
 
-    /// Appends one committed app outcome.
+    /// Appends one committed app outcome (infallible on perfect media).
     pub fn append(&mut self, entry: &JournalEntry) {
-        let payload = encode_entry(entry);
-        self.buf
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&sha256(&payload));
-        self.buf.extend_from_slice(&payload);
+        self.try_append(entry)
+            .expect("VecMedia never refuses a write")
     }
 
     /// The journal's current on-disk image.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.buf
+        self.media.bytes()
     }
 
     /// Consumes the journal, returning its on-disk image.
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf
+        self.media.into_bytes()
     }
 
     /// Number of committed records (by re-walking the frames; the journal
     /// is always self-describing).
     pub fn len(&self) -> usize {
-        Self::open(&self.buf).map(|r| r.entries.len()).unwrap_or(0)
+        Self::open(self.as_bytes())
+            .map(|r| r.entries.len())
+            .unwrap_or(0)
     }
 
     /// Whether no record has been committed yet.
@@ -187,12 +214,13 @@ impl ResultJournal {
         self.len() == 0
     }
 
-    /// Reads the longest intact prefix of a journal image.
+    /// Scrubs a journal image, recovering every intact record.
     ///
-    /// Never panics on hostile input: a torn tail, a flipped bit, or a
-    /// wild length field all stop the replay at the last good record, and
-    /// the remainder is counted in [`Replay::quarantined_bytes`]. Only a
-    /// damaged *header* is an error.
+    /// Never panics on hostile input: torn tails, flipped bits, wild
+    /// length fields, and duplicated segments are quarantined (and, where
+    /// possible, resynced past) by the shared
+    /// [`scrub_frames`] reader, with the damage accounted in
+    /// [`Replay::stats`]. Only a damaged *header* is an error.
     pub fn open(bytes: &[u8]) -> Result<Replay, JournalError> {
         if bytes.len() < HEADER_LEN {
             return Err(JournalError::TooShort);
@@ -203,37 +231,67 @@ impl ResultJournal {
         let mut fingerprint = [0u8; 32];
         fingerprint.copy_from_slice(&bytes[8..HEADER_LEN]);
 
-        let mut entries = Vec::new();
-        let mut pos = HEADER_LEN;
-        while pos < bytes.len() {
-            let rest = &bytes[pos..];
-            if rest.len() < FRAME_LEN {
-                break; // torn frame
+        let recovered = scrub_frames(bytes, HEADER_LEN);
+        let mut stats = recovered.stats;
+        let mut entries = Vec::with_capacity(recovered.frames.len());
+        for payload in recovered.frames {
+            match decode_entry(payload) {
+                Ok(entry) => entries.push(entry),
+                // Checksum-valid but undecodable: version skew rather
+                // than bit rot. Quarantine the record and keep going —
+                // records are independent.
+                Err(_) => {
+                    stats.quarantined_bytes += (FRAME_LEN + payload.len()) as u64;
+                    stats.quarantined_records += 1;
+                }
             }
-            let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
-            // A flipped bit in the length word can claim gigabytes; bound
-            // it by what is actually present before touching the payload.
-            if len > rest.len() - FRAME_LEN {
-                break;
-            }
-            let checksum = &rest[4..FRAME_LEN];
-            let payload = &rest[FRAME_LEN..FRAME_LEN + len];
-            if sha256(payload).as_slice() != checksum {
-                break;
-            }
-            // A checksum-valid payload that fails to decode means version
-            // skew, not bit rot — but the recovery is the same: stop here.
-            let Ok(entry) = decode_entry(payload) else {
-                break;
-            };
-            entries.push(entry);
-            pos += FRAME_LEN + len;
         }
         Ok(Replay {
             fingerprint,
             entries,
-            quarantined_bytes: bytes.len() - pos,
+            stats,
         })
+    }
+}
+
+impl<M: Media> ResultJournal<M> {
+    /// A fresh journal written through `media`, bound to `fingerprint`.
+    ///
+    /// Resets the medium, writes the header, and flushes it — on honest
+    /// media the header is durable when this returns.
+    pub fn create_on(mut media: M, fingerprint: [u8; 32]) -> Result<Self, MediaError> {
+        media.reset();
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(JOURNAL_MAGIC);
+        header.extend_from_slice(&fingerprint);
+        media.append(&header)?;
+        media.flush()?;
+        Ok(ResultJournal { media })
+    }
+
+    /// Appends one committed app outcome through the medium, with a
+    /// flush barrier so the record is durable on return (honest media).
+    pub fn try_append(&mut self, entry: &JournalEntry) -> Result<(), MediaError> {
+        let payload = encode_entry(entry);
+        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
+        append_frame(&mut frame, &payload);
+        self.media.append(&frame)?;
+        self.media.flush()
+    }
+
+    /// Borrow of the backing medium.
+    pub fn media(&self) -> &M {
+        &self.media
+    }
+
+    /// Mutable borrow of the backing medium (e.g. to crash it).
+    pub fn media_mut(&mut self) -> &mut M {
+        &mut self.media
+    }
+
+    /// Consumes the journal, returning the backing medium.
+    pub fn into_media(self) -> M {
+        self.media
     }
 }
 
@@ -409,7 +467,7 @@ mod tests {
         let replay = ResultJournal::open(j.as_bytes()).unwrap();
         assert_eq!(replay.fingerprint, [0xAB; 32]);
         assert_eq!(replay.entries, sample_entries());
-        assert_eq!(replay.quarantined_bytes, 0);
+        assert!(replay.stats.is_clean());
         assert!(!replay.truncated());
         assert_eq!(j.len(), 4);
     }
@@ -423,11 +481,15 @@ mod tests {
         let replay = ResultJournal::open(&full[..cut]).unwrap();
         assert_eq!(replay.entries.len(), 3);
         assert!(replay.truncated());
-        assert!(replay.quarantined_bytes > 0);
+        assert!(replay.stats.quarantined_bytes > 0);
+        assert_eq!(
+            replay.stats.quarantined_records, 0,
+            "a torn tail is expected damage"
+        );
     }
 
     #[test]
-    fn flipped_bit_quarantines_from_the_damage_on() {
+    fn flipped_bit_quarantines_the_damaged_record_and_resyncs() {
         let j = journal();
         let mut bytes = j.as_bytes().to_vec();
         // Flip a bit inside the second record's payload.
@@ -435,7 +497,17 @@ mod tests {
         let target = 40 + first_len + FRAME_LEN + 2;
         bytes[target] ^= 0x10;
         let replay = ResultJournal::open(&bytes).unwrap();
-        assert_eq!(replay.entries.len(), 1, "only the first record survives");
+        let expected: Vec<_> = sample_entries()
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, e)| (i != 1).then_some(e))
+            .collect();
+        assert_eq!(
+            replay.entries, expected,
+            "the scrubber resyncs past the damage"
+        );
+        assert_eq!(replay.stats.quarantined_records, 1);
+        assert_eq!(replay.stats.repairs, 1);
         assert!(replay.truncated());
     }
 
@@ -446,8 +518,49 @@ mod tests {
         // Claim the first record is enormous.
         bytes[40..44].copy_from_slice(&u32::MAX.to_le_bytes());
         let replay = ResultJournal::open(&bytes).unwrap();
-        assert!(replay.entries.is_empty());
-        assert_eq!(replay.quarantined_bytes, bytes.len() - HEADER_LEN);
+        assert_eq!(
+            replay.entries,
+            sample_entries()[1..].to_vec(),
+            "records beyond the wild length are recovered"
+        );
+        assert_eq!(replay.stats.quarantined_records, 1);
+        assert!(replay.stats.quarantined_bytes > 0);
+    }
+
+    #[test]
+    fn faultless_fault_media_matches_vec_media_byte_for_byte() {
+        use pinning_resilience::media::{FaultMedia, MediaFaultPlan};
+        let legacy = journal();
+        let mut hostile =
+            ResultJournal::create_on(FaultMedia::new(MediaFaultPlan::none(42)), [0xAB; 32])
+                .unwrap();
+        for e in sample_entries() {
+            hostile.try_append(&e).unwrap();
+        }
+        hostile.media_mut().crash();
+        assert_eq!(
+            hostile.media_mut().read_back(),
+            legacy.as_bytes(),
+            "a fault-free FaultMedia journal is byte-identical to VecMedia"
+        );
+    }
+
+    #[test]
+    fn nospace_surfaces_as_structured_media_error() {
+        use pinning_resilience::media::{FaultMedia, MediaFaultPlan};
+        let mut j =
+            ResultJournal::create_on(FaultMedia::new(MediaFaultPlan::tight(3, 120)), [7; 32])
+                .unwrap();
+        let mut refused = 0;
+        for e in sample_entries() {
+            if j.try_append(&e) == Err(MediaError::NoSpace) {
+                refused += 1;
+            }
+        }
+        assert!(refused > 0, "120 bytes cannot hold the sample journal");
+        // Whatever was committed before ENOSPC still scrubs cleanly.
+        let replay = ResultJournal::open(&j.media_mut().read_back()).unwrap();
+        assert!(replay.entries.len() < sample_entries().len());
     }
 
     #[test]

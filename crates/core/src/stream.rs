@@ -31,11 +31,13 @@ use pinning_analysis::circumvent::circumvent_app;
 use pinning_analysis::dynamics::pipeline::{try_analyze_app, DynamicEnv};
 use pinning_analysis::statics::analyze_package;
 use pinning_app::platform::Platform;
-use pinning_crypto::{sha256, Sha256};
+use pinning_crypto::Sha256;
 use pinning_netsim::faults::MeasurementError;
 use pinning_pki::encode::{Reader, Writer};
 use pinning_pki::validate::clear_validation_cache;
 use pinning_report::tables::{table_run_health, RunHealthReport};
+use pinning_resilience::media::{Media, MediaError, VecMedia};
+use pinning_resilience::recovery::{append_frame, scrub_frames, ScrubStats};
 use pinning_store::config::WorldConfig;
 use pinning_store::shard::StreamWorld;
 use std::collections::{BTreeMap, VecDeque};
@@ -93,39 +95,126 @@ impl StreamConfig {
 /// Magic prefix of the shard journal (version 1).
 pub const STREAM_JOURNAL_MAGIC: &[u8; 8] = b"STRMJRN1";
 const HEADER_LEN: usize = 40;
-const FRAME_LEN: usize = 36;
+const FRAME_LEN: usize = pinning_resilience::recovery::FRAME_OVERHEAD;
 
-/// Append-only shard journal: one frame per completed shard, carrying
-/// that shard's encoded accumulator. Same physical layout as the per-app
-/// [`crate::ResultJournal`] — `[len u32 LE][sha256(payload)][payload]`
-/// frames after a magic+fingerprint header — so the same
-/// longest-intact-prefix recovery applies.
+/// Append-only shard journal over a [`Media`]: one frame per completed
+/// shard, carrying that shard's encoded accumulator. Same physical
+/// layout as the per-app [`crate::ResultJournal`] —
+/// `[len u32 LE][sha256(payload)][payload]` frames after a
+/// magic+fingerprint header — read back through the same shared
+/// scrubbing recovery. The default [`VecMedia`] is byte-identical to the
+/// pre-`Media` journal.
 #[derive(Debug, Clone)]
-pub struct StreamJournal {
-    bytes: Vec<u8>,
+pub struct StreamJournal<M: Media = VecMedia> {
+    media: M,
     frames: usize,
 }
 
-impl StreamJournal {
-    /// Starts an empty journal bound to a config fingerprint.
+impl StreamJournal<VecMedia> {
+    /// Starts an empty in-memory journal bound to a config fingerprint.
     pub fn create(fingerprint: [u8; 32]) -> StreamJournal {
-        let mut bytes = Vec::with_capacity(HEADER_LEN);
-        bytes.extend_from_slice(STREAM_JOURNAL_MAGIC);
-        bytes.extend_from_slice(&fingerprint);
-        StreamJournal { bytes, frames: 0 }
+        StreamJournal::create_on(VecMedia::new(), fingerprint)
+            .expect("VecMedia never refuses a write")
     }
 
-    /// Appends one completed shard's accumulator.
+    /// Appends one completed shard's accumulator (infallible on perfect
+    /// media).
     pub fn append_shard(&mut self, shard_index: u64, accum: &StreamAccum) {
+        self.try_append_shard(shard_index, accum)
+            .expect("VecMedia never refuses a write")
+    }
+
+    /// The on-disk byte image.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.media.bytes()
+    }
+
+    /// Consumes the journal into its byte image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.media.into_bytes()
+    }
+
+    /// Scrubs a journal image, recovering every intact shard frame.
+    ///
+    /// Torn tails, flipped bits, wild lengths, and duplicated segments
+    /// are quarantined by the shared [`scrub_frames`] reader — which
+    /// resyncs past mid-journal damage, so a broken earlier frame no
+    /// longer forfeits every later shard — with the damage accounted in
+    /// [`StreamReplay::stats`].
+    pub fn open(bytes: &[u8]) -> Result<StreamReplay, JournalError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(JournalError::TooShort);
+        }
+        if &bytes[..8] != STREAM_JOURNAL_MAGIC {
+            return Err(JournalError::BadMagic);
+        }
+        let mut fingerprint = [0u8; 32];
+        fingerprint.copy_from_slice(&bytes[8..HEADER_LEN]);
+
+        let recovered = scrub_frames(bytes, HEADER_LEN);
+        let mut stats = recovered.stats;
+        let mut shards: BTreeMap<u64, StreamAccum> = BTreeMap::new();
+        for payload in recovered.frames {
+            let mut r = Reader::new(payload);
+            let parsed = (|| {
+                let index = r.u64().ok()?;
+                let accum = StreamAccum::decode(&r.bytes().ok()?).ok()?;
+                r.is_empty().then_some((index, accum))
+            })();
+            match parsed {
+                // Shard frames are idempotent: if damage elsewhere caused
+                // a re-commit, the accumulators are identical by
+                // construction, so last-wins insertion is safe.
+                Some((index, accum)) => {
+                    shards.insert(index, accum);
+                }
+                // Checksum-valid but undecodable: version skew.
+                // Quarantine the frame; shards are independent.
+                None => {
+                    stats.quarantined_bytes += (FRAME_LEN + payload.len()) as u64;
+                    stats.quarantined_records += 1;
+                }
+            }
+        }
+        Ok(StreamReplay {
+            fingerprint,
+            shards,
+            stats,
+        })
+    }
+}
+
+impl<M: Media> StreamJournal<M> {
+    /// Starts an empty journal written through `media`: resets the
+    /// medium, writes the header, and flushes it.
+    pub fn create_on(mut media: M, fingerprint: [u8; 32]) -> Result<StreamJournal<M>, MediaError> {
+        media.reset();
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(STREAM_JOURNAL_MAGIC);
+        header.extend_from_slice(&fingerprint);
+        media.append(&header)?;
+        media.flush()?;
+        Ok(StreamJournal { media, frames: 0 })
+    }
+
+    /// Appends one completed shard's accumulator through the medium,
+    /// with a flush barrier so the commit is durable on return (honest
+    /// media).
+    pub fn try_append_shard(
+        &mut self,
+        shard_index: u64,
+        accum: &StreamAccum,
+    ) -> Result<(), MediaError> {
         let mut w = Writer::new();
         w.u64(shard_index);
         w.bytes(&accum.encode());
         let payload = w.into_bytes();
-        self.bytes
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.bytes.extend_from_slice(&sha256(&payload));
-        self.bytes.extend_from_slice(&payload);
+        let mut frame = Vec::with_capacity(FRAME_LEN + payload.len());
+        append_frame(&mut frame, &payload);
+        self.media.append(&frame)?;
+        self.media.flush()?;
         self.frames += 1;
+        Ok(())
     }
 
     /// Shard frames committed so far.
@@ -138,76 +227,32 @@ impl StreamJournal {
         self.frames == 0
     }
 
-    /// The on-disk byte image.
-    pub fn as_bytes(&self) -> &[u8] {
-        &self.bytes
+    /// Borrow of the backing medium.
+    pub fn media(&self) -> &M {
+        &self.media
     }
 
-    /// Consumes the journal into its byte image.
-    pub fn into_bytes(self) -> Vec<u8> {
-        self.bytes
+    /// Mutable borrow of the backing medium (e.g. to crash it).
+    pub fn media_mut(&mut self) -> &mut M {
+        &mut self.media
     }
 
-    /// Reads back a journal image, recovering the longest intact prefix
-    /// of shard frames. Torn or corrupt tails are quarantined, exactly as
-    /// in the per-app journal; a later shard frame never survives a
-    /// broken earlier one.
-    pub fn open(bytes: &[u8]) -> Result<StreamReplay, JournalError> {
-        if bytes.len() < HEADER_LEN {
-            return Err(JournalError::TooShort);
-        }
-        if &bytes[..8] != STREAM_JOURNAL_MAGIC {
-            return Err(JournalError::BadMagic);
-        }
-        let mut fingerprint = [0u8; 32];
-        fingerprint.copy_from_slice(&bytes[8..HEADER_LEN]);
-
-        let mut shards: BTreeMap<u64, StreamAccum> = BTreeMap::new();
-        let mut offset = HEADER_LEN;
-        loop {
-            if bytes.len() - offset < FRAME_LEN {
-                break;
-            }
-            let len =
-                u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
-            let frame_end = match (offset + FRAME_LEN).checked_add(len) {
-                Some(end) if end <= bytes.len() => end,
-                _ => break,
-            };
-            let digest = &bytes[offset + 4..offset + FRAME_LEN];
-            let payload = &bytes[offset + FRAME_LEN..frame_end];
-            if sha256(payload) != digest {
-                break;
-            }
-            let mut r = Reader::new(payload);
-            let Ok(index) = r.u64() else { break };
-            let Ok(accum_bytes) = r.bytes() else { break };
-            let Ok(accum) = StreamAccum::decode(&accum_bytes) else {
-                break;
-            };
-            if !r.is_empty() {
-                break;
-            }
-            shards.insert(index, accum);
-            offset = frame_end;
-        }
-        Ok(StreamReplay {
-            fingerprint,
-            shards,
-            quarantined_bytes: (bytes.len() - offset) as u64,
-        })
+    /// Consumes the journal, returning the backing medium.
+    pub fn into_media(self) -> M {
+        self.media
     }
 }
 
-/// Intact contents of a recovered shard journal.
+/// Recovered contents of a scrubbed shard journal.
 #[derive(Debug, Clone)]
 pub struct StreamReplay {
     /// Fingerprint of the config the journal was written under.
     pub fingerprint: [u8; 32],
     /// Committed shard accumulators, by shard index.
     pub shards: BTreeMap<u64, StreamAccum>,
-    /// Bytes past the last intact frame (0 for a clean journal).
-    pub quarantined_bytes: u64,
+    /// Quarantine and repair accounting from the scrub pass (all zero =
+    /// the journal read back exactly as written).
+    pub stats: ScrubStats,
 }
 
 /// Volatile run telemetry — everything here may differ between two runs
@@ -230,6 +275,9 @@ pub struct StreamHealth {
     pub peak_rss_kib: Option<u64>,
     /// Fresh apps per wall-clock second.
     pub apps_per_sec: Option<f64>,
+    /// Journal scrub accounting from the resume that seeded this run
+    /// (all zero for a fresh run or a clean journal).
+    pub recovery: ScrubStats,
 }
 
 /// A finished streaming study.
@@ -248,10 +296,16 @@ impl StreamResults {
         self.accum.render()
     }
 
-    /// The volatile run-health table (timings, RSS, resume counters).
+    /// The volatile run-health table (timings, RSS, resume counters,
+    /// journal repair accounting).
     pub fn render_health(&self) -> String {
         table_run_health(&RunHealthReport {
             panics_recovered: self.health.panics_recovered.min(u32::MAX as u64) as u32,
+            journal_truncations: u32::from(!self.health.recovery.is_clean()),
+            quarantined_bytes: self.health.recovery.quarantined_bytes,
+            quarantined_records: self.health.recovery.quarantined_records,
+            journal_repairs: self.health.recovery.repairs,
+            checkpoints_recovered: self.health.recovery.checkpoints_recovered,
             resumed_apps: (self.accum.apps - self.health.apps_measured) as usize,
             fresh_apps: self.health.apps_measured as usize,
             peak_rss_kib: self.health.peak_rss_kib,
@@ -263,14 +317,14 @@ impl StreamResults {
 
 /// How a streaming run ended.
 #[derive(Debug)]
-pub enum StreamOutcome {
+pub enum StreamOutcome<M: Media = VecMedia> {
     /// Every shard measured and folded.
     Completed(Box<StreamResults>),
     /// The (simulated) kill fired; the journal holds the committed
     /// shards and a resume will finish the rest.
     Interrupted {
         /// Journal with every committed shard frame.
-        journal: StreamJournal,
+        journal: StreamJournal<M>,
         /// Shards committed before the kill.
         shards_committed: usize,
     },
@@ -339,29 +393,71 @@ impl StreamEngine {
         StreamEngine { config }
     }
 
-    /// Runs the study from scratch.
+    /// Runs the study from scratch over perfect in-memory media.
     pub fn run(&self) -> StreamOutcome {
         let journal = StreamJournal::create(self.config.fingerprint());
-        self.execute(journal, BTreeMap::new())
+        self.execute(journal, BTreeMap::new(), ScrubStats::default())
+            .expect("VecMedia never refuses a write")
+    }
+
+    /// Runs the study from scratch, journaling through `media` — the
+    /// chaos suite's entry point for end-to-end runs over
+    /// [`FaultMedia`](pinning_resilience::FaultMedia).
+    ///
+    /// A medium that refuses a write (e.g. ENOSPC) surfaces as a
+    /// structured [`JournalError::Media`], never a panic or a silently
+    /// truncated run.
+    pub fn run_on_media<M: Media + Send>(
+        &self,
+        media: M,
+    ) -> Result<StreamOutcome<M>, JournalError> {
+        let journal = StreamJournal::create_on(media, self.config.fingerprint())?;
+        self.execute(journal, BTreeMap::new(), ScrubStats::default())
     }
 
     /// Resumes from a journal image: committed shards are folded from
     /// their journaled accumulators, only missing shards are measured.
     pub fn resume(&self, journal_bytes: &[u8]) -> Result<StreamOutcome, JournalError> {
-        let replay = StreamJournal::open(journal_bytes)?;
-        if replay.fingerprint != self.config.fingerprint() {
-            return Err(JournalError::FingerprintMismatch);
-        }
-        // Rebuild the journal from the intact prefix so the resumed file
-        // is clean even when the original had a torn tail.
+        let replay = self.scrubbed_replay(journal_bytes)?;
+        // Rebuild the journal from the recovered shards so the resumed
+        // file is clean even when the original was damaged.
         let mut journal = StreamJournal::create(replay.fingerprint);
         for (index, accum) in &replay.shards {
             journal.append_shard(*index, accum);
         }
-        Ok(self.execute(journal, replay.shards))
+        self.execute(journal, replay.shards, replay.stats)
     }
 
-    fn execute(&self, journal: StreamJournal, done: BTreeMap<u64, StreamAccum>) -> StreamOutcome {
+    /// Resumes from what `media` reads back after a crash: scrubs the
+    /// surviving image, rewrites a clean journal through the *same*
+    /// medium, and measures only the missing shards.
+    pub fn resume_media<M: Media + Send>(
+        &self,
+        mut media: M,
+    ) -> Result<StreamOutcome<M>, JournalError> {
+        let image = media.read_back();
+        let replay = self.scrubbed_replay(&image)?;
+        let mut journal = StreamJournal::create_on(media, replay.fingerprint)?;
+        for (index, accum) in &replay.shards {
+            journal.try_append_shard(*index, accum)?;
+        }
+        self.execute(journal, replay.shards, replay.stats)
+    }
+
+    fn scrubbed_replay(&self, journal_bytes: &[u8]) -> Result<StreamReplay, JournalError> {
+        let replay = StreamJournal::open(journal_bytes)?;
+        if replay.fingerprint != self.config.fingerprint() {
+            return Err(JournalError::FingerprintMismatch);
+        }
+        Ok(replay)
+    }
+
+    fn execute<M: Media + Send>(
+        &self,
+        journal: StreamJournal<M>,
+        done: BTreeMap<u64, StreamAccum>,
+        recovery: ScrubStats,
+    ) -> Result<StreamOutcome<M>, JournalError> {
         let start = Instant::now();
         let world = StreamWorld::new(self.config.world.clone(), self.config.shard_size.max(1));
         let universe = world.universe();
@@ -389,9 +485,12 @@ impl StreamEngine {
         // (journal, fresh shard commits) — append + kill-check are atomic
         // under one lock, so a kill after N commits leaves exactly N new
         // frames, mirroring the per-app journal's contract.
-        let committed: Mutex<(StreamJournal, usize)> = Mutex::new((journal, 0));
+        let committed: Mutex<(StreamJournal<M>, usize)> = Mutex::new((journal, 0));
         let kill_after = self.config.kill_after_shards;
         let partials: Mutex<Vec<StreamAccum>> = Mutex::new(Vec::new());
+        // First media refusal (e.g. ENOSPC) — it kills the run and is
+        // returned as a structured error instead of a silent truncation.
+        let media_failure: Mutex<Option<MediaError>> = Mutex::new(None);
 
         std::thread::scope(|scope| {
             for me in 0..threads {
@@ -400,6 +499,7 @@ impl StreamEngine {
                 let killed = &killed;
                 let committed = &committed;
                 let partials = &partials;
+                let media_failure = &media_failure;
                 let apps_measured = &apps_measured;
                 let panics = &panics;
                 let world = &world;
@@ -465,7 +565,15 @@ impl StreamEngine {
                             if killed.load(Ordering::Acquire) {
                                 break; // the process "died" mid-measure
                             }
-                            slot.0.append_shard(k as u64, &acc);
+                            if let Err(e) = slot.0.try_append_shard(k as u64, &acc) {
+                                media_failure
+                                    .lock()
+                                    .expect("media failure lock")
+                                    .get_or_insert(e);
+                                killed.store(true, Ordering::Release);
+                                gate.wake_all();
+                                break;
+                            }
                             slot.1 += 1;
                             if kill_after == Some(slot.1) {
                                 killed.store(true, Ordering::Release);
@@ -488,11 +596,14 @@ impl StreamEngine {
         });
 
         let (journal, fresh) = committed.into_inner().expect("journal lock");
+        if let Some(e) = media_failure.into_inner().expect("media failure lock") {
+            return Err(JournalError::Media(e));
+        }
         if killed.into_inner() {
-            return StreamOutcome::Interrupted {
+            return Ok(StreamOutcome::Interrupted {
                 shards_committed: journal.len(),
                 journal,
-            };
+            });
         }
 
         // Fold: journaled (resumed) shard accumulators + this process's
@@ -508,7 +619,7 @@ impl StreamEngine {
 
         let elapsed = start.elapsed().as_secs_f64();
         let apps = apps_measured.into_inner();
-        StreamOutcome::Completed(Box::new(StreamResults {
+        Ok(StreamOutcome::Completed(Box::new(StreamResults {
             accum,
             health: StreamHealth {
                 shards_total: n_shards,
@@ -519,8 +630,9 @@ impl StreamEngine {
                 elapsed_secs: elapsed,
                 peak_rss_kib: peak_rss_kib(),
                 apps_per_sec: (elapsed > 0.0).then(|| apps as f64 / elapsed),
+                recovery,
             },
-        }))
+        })))
     }
 }
 
@@ -650,7 +762,7 @@ mod tests {
         let torn = &bytes[..bytes.len() - 7];
         let replay = StreamJournal::open(torn).expect("header intact");
         assert_eq!(replay.shards.len(), 1);
-        assert!(replay.quarantined_bytes > 0);
+        assert!(replay.stats.quarantined_bytes > 0);
 
         // Flip a payload byte: same outcome via the frame digest.
         let mut flipped = bytes.clone();
@@ -658,6 +770,32 @@ mod tests {
         flipped[last] ^= 0xFF;
         let replay = StreamJournal::open(&flipped).expect("header intact");
         assert_eq!(replay.shards.len(), 1);
+        assert!(replay.stats.quarantined_bytes > 0);
+    }
+
+    #[test]
+    fn faultless_fault_media_run_matches_vec_media_run() {
+        use pinning_resilience::media::{FaultMedia, MediaFaultPlan};
+        let clean = completed(StreamEngine::new(config(7, 2)).run());
+        let outcome = StreamEngine::new(config(7, 2))
+            .run_on_media(FaultMedia::new(MediaFaultPlan::none(99)))
+            .expect("fault-free media never refuses");
+        let StreamOutcome::Completed(results) = outcome else {
+            panic!("no kill hook set");
+        };
+        assert_eq!(results.render_report(), clean.render_report());
+    }
+
+    #[test]
+    fn nospace_mid_stream_is_a_structured_error() {
+        use pinning_resilience::media::{FaultMedia, MediaFaultPlan};
+        // Room for the header and roughly one shard frame, then ENOSPC.
+        let outcome = StreamEngine::new(config(7, 1))
+            .run_on_media(FaultMedia::new(MediaFaultPlan::tight(4, 600)));
+        assert!(
+            matches!(outcome, Err(JournalError::Media(MediaError::NoSpace))),
+            "a full medium must surface as a structured error, got {outcome:?}"
+        );
     }
 
     #[test]

@@ -142,8 +142,15 @@ pub struct RunHealth {
     pub watchdog_breaches: u32,
     /// Journals that lost records to corruption during this run's resume.
     pub journal_truncations: u32,
-    /// Bytes quarantined past the last intact journal record.
+    /// Bytes quarantined by the journal scrubber (damaged spans, torn
+    /// tails, dropped duplicates).
     pub quarantined_bytes: u64,
+    /// Whole records destroyed by mid-journal damage.
+    pub quarantined_records: u32,
+    /// Self-heals: resyncs past damage plus dropped duplicate segments.
+    pub journal_repairs: u32,
+    /// Checkpoint loads that fell back past a damaged slot.
+    pub checkpoints_recovered: u32,
     /// Apps recovered from the journal instead of re-measured.
     pub resumed_apps: usize,
     /// Apps measured by this process.
@@ -161,6 +168,17 @@ pub struct RunHealth {
     /// the CT auditor's batched proofs). Empty when caching was
     /// disabled for the whole run.
     pub cache_base: Vec<pinning_pki::cache::CacheStat>,
+}
+
+impl RunHealth {
+    /// Folds one journal scrub's quarantine/repair accounting into the
+    /// run-health counters.
+    pub fn absorb_scrub(&mut self, stats: pinning_resilience::ScrubStats) {
+        self.quarantined_bytes += stats.quarantined_bytes;
+        self.quarantined_records += stats.quarantined_records;
+        self.journal_repairs += stats.repairs;
+        self.checkpoints_recovered += stats.checkpoints_recovered;
+    }
 }
 
 /// Snapshots every derived-value cache the study exercises, in stable
@@ -253,10 +271,10 @@ impl Study {
         let mut health = RunHealth::default();
         if replay.truncated() {
             health.journal_truncations = 1;
-            health.quarantined_bytes = replay.quarantined_bytes as u64;
+            health.absorb_scrub(replay.stats);
         }
-        // Rebuild a clean journal from the recovered prefix: encoding is
-        // deterministic, so this both self-heals the torn tail and keeps
+        // Rebuild a clean journal from the recovered records: encoding is
+        // deterministic, so this both self-heals the damage and keeps
         // append working.
         let mut journal = self.config.journal();
         for entry in &replay.entries {
@@ -295,7 +313,7 @@ impl Study {
         let mut health = RunHealth::default();
         if replay.truncated() {
             health.journal_truncations = 1;
-            health.quarantined_bytes = replay.quarantined_bytes as u64;
+            health.absorb_scrub(replay.stats);
         }
         let mut journal = ResultJournal::create(fingerprint);
         for entry in &replay.entries {

@@ -740,6 +740,9 @@ impl StudyResults {
             watchdog_breaches: self.health.watchdog_breaches,
             journal_truncations: self.health.journal_truncations,
             quarantined_bytes: self.health.quarantined_bytes,
+            quarantined_records: self.health.quarantined_records,
+            journal_repairs: self.health.journal_repairs,
+            checkpoints_recovered: self.health.checkpoints_recovered,
             resumed_apps: self.health.resumed_apps,
             fresh_apps: self.health.fresh_apps,
             replayed_prior_epoch: self.health.replayed_prior_epoch,

@@ -27,6 +27,9 @@ pub enum StateError {
     /// The state belongs to a different [`EpochConfig`][crate::plan::EpochConfig]
     /// (by [`identity`][crate::plan::EpochConfig::identity]).
     IdentityMismatch,
+    /// No checkpoint slot held a loadable state image (both slots empty
+    /// or damaged beyond the double-buffer's tolerance).
+    NoCheckpoint,
 }
 
 impl From<DecodeError> for StateError {
@@ -42,6 +45,9 @@ impl std::fmt::Display for StateError {
             StateError::BadHeader => write!(f, "not an epoch-state image"),
             StateError::IdentityMismatch => {
                 write!(f, "state belongs to a different epoch configuration")
+            }
+            StateError::NoCheckpoint => {
+                write!(f, "no checkpoint slot holds a loadable state image")
             }
         }
     }

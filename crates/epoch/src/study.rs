@@ -22,6 +22,9 @@ use pinning_netsim::faults::FaultConfig;
 use pinning_report::evolution::{
     self, AdoptionPoint, CtDriftPoint, DistrustRow, EpochCostRow, EventCountRow, RotationRow,
 };
+use pinning_report::tables::{table_run_health, RunHealthReport};
+use pinning_resilience::media::{Media, MediaError};
+use pinning_resilience::recovery::{CheckpointStore, ScrubStats};
 use pinning_store::datasets::build_datasets;
 use pinning_store::world::World;
 use std::collections::{BTreeMap, BTreeSet};
@@ -65,6 +68,9 @@ pub struct Evolution {
     ct_drift: Vec<CtDriftPoint>,
     event_mix: Vec<EventCountRow>,
     costs: Vec<EpochCostRow>,
+    /// Journal-scrub and checkpoint-fallback accounting accumulated over
+    /// this engine's lifetime (resumes, checkpoint recoveries).
+    recovery: ScrubStats,
 }
 
 impl Evolution {
@@ -89,6 +95,7 @@ impl Evolution {
             ct_drift: Vec::new(),
             event_mix: Vec::new(),
             costs: Vec::new(),
+            recovery: ScrubStats::default(),
         }
     }
 
@@ -273,6 +280,12 @@ impl Evolution {
             results.health.replayed_prior_epoch = replayed;
             results.health.reanalyzed_dirty = dirty.len();
         }
+        // Keep the journal-scrub accounting past the epoch: the study's
+        // RunHealth dies with its results, the evolution's does not.
+        self.recovery.quarantined_bytes += results.health.quarantined_bytes;
+        self.recovery.quarantined_records += results.health.quarantined_records;
+        self.recovery.repairs += results.health.journal_repairs;
+        self.recovery.checkpoints_recovered += results.health.checkpoints_recovered;
 
         self.collect_rows(k, &results, &touched);
         self.costs.push(EpochCostRow {
@@ -464,6 +477,60 @@ impl Evolution {
         .to_bytes()
     }
 
+    /// Saves the engine's state into a double-buffered
+    /// [`CheckpointStore`], returning the new generation stamp.
+    ///
+    /// A failed save (crash, ENOSPC, torn write) can only damage the
+    /// slot holding the *older* image — the last good checkpoint
+    /// survives in the other slot and [`Evolution::from_checkpoint`]
+    /// falls back to it.
+    pub fn checkpoint<M: Media>(&self, store: &mut CheckpointStore<M>) -> Result<u64, MediaError> {
+        store.save(&self.state_bytes())
+    }
+
+    /// Rebuilds an engine from the newest loadable checkpoint in a
+    /// [`CheckpointStore`].
+    ///
+    /// Returns [`StateError::NoCheckpoint`] when neither slot holds a
+    /// loadable image. When the newest slot was damaged and the load
+    /// fell back to the older generation, the recovery is counted in
+    /// this engine's [`recovery`](Evolution::recovery) stats (the
+    /// "checkpoints recovered" run-health row) — explicitly degraded to
+    /// an older-but-consistent state, never silently wrong.
+    pub fn from_checkpoint<M: Media>(
+        config: EpochConfig,
+        store: &mut CheckpointStore<M>,
+    ) -> Result<Self, StateError> {
+        let recovered = store.load().ok_or(StateError::NoCheckpoint)?;
+        let mut engine = Evolution::from_state(config, &recovered.payload)?;
+        if recovered.fell_back {
+            engine.recovery.checkpoints_recovered += 1;
+        }
+        Ok(engine)
+    }
+
+    /// Journal-scrub and checkpoint-fallback accounting accumulated over
+    /// this engine's lifetime.
+    pub fn recovery(&self) -> ScrubStats {
+        self.recovery
+    }
+
+    /// Renders the run-health table for this evolution: replay/reanalyze
+    /// totals plus the accumulated journal-repair and
+    /// checkpoint-recovery accounting.
+    pub fn render_run_health(&self) -> String {
+        table_run_health(&RunHealthReport {
+            journal_truncations: u32::from(!self.recovery.is_clean()),
+            quarantined_bytes: self.recovery.quarantined_bytes,
+            quarantined_records: self.recovery.quarantined_records,
+            journal_repairs: self.recovery.repairs,
+            checkpoints_recovered: self.recovery.checkpoints_recovered,
+            replayed_prior_epoch: self.total_replayed(),
+            reanalyzed_dirty: self.costs.iter().map(|c| c.reanalyzed).sum(),
+            ..Default::default()
+        })
+    }
+
     /// Rebuilds an engine from a [`EpochState`] image: regenerates the
     /// world, replays the plan through the last completed epoch, and
     /// materializes the records from the persisted journal.
@@ -553,6 +620,43 @@ mod tests {
             "evolution epochs must replay clean apps"
         );
         assert_eq!(cold.total_replayed(), 0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_crash_fallback() {
+        use pinning_resilience::media::{FaultMedia, MediaFaultPlan};
+        use pinning_resilience::recovery::CheckpointStore;
+
+        let mut ev = Evolution::new(EpochConfig::tiny(0xB4), true);
+        ev.next_epoch().unwrap();
+
+        // Empty store: structured NoCheckpoint, not a panic.
+        let mut empty = CheckpointStore::in_memory();
+        assert_eq!(
+            Evolution::from_checkpoint(EpochConfig::tiny(0xB4), &mut empty).unwrap_err(),
+            StateError::NoCheckpoint
+        );
+
+        // Checkpoint after epoch 1 (slot 1, honest medium) and epoch 2
+        // (slot 0, which rots every read-back): the newer image is
+        // damaged, the load falls back to the epoch-1 generation, and
+        // the fallback is reported.
+        let mut store = CheckpointStore::new(
+            FaultMedia::new(MediaFaultPlan::bit_rot(13)),
+            FaultMedia::new(MediaFaultPlan::none(13)),
+        );
+        ev.checkpoint(&mut store).unwrap();
+        let report_after_1 = ev.full_report();
+        ev.next_epoch().unwrap();
+        ev.checkpoint(&mut store).unwrap();
+        store.crash();
+
+        let restored = Evolution::from_checkpoint(EpochConfig::tiny(0xB4), &mut store).unwrap();
+        assert_eq!(restored.completed(), 1, "fell back to the epoch-1 image");
+        assert_eq!(restored.full_report(), report_after_1);
+        assert_eq!(restored.recovery().checkpoints_recovered, 1);
+        let health = restored.render_run_health();
+        assert!(health.contains("checkpoints recovered"), "{health}");
     }
 
     #[test]

@@ -440,8 +440,16 @@ pub struct RunHealthReport {
     pub watchdog_breaches: u32,
     /// Journals that lost records to corruption during resume.
     pub journal_truncations: u32,
-    /// Bytes quarantined past the last intact journal record.
+    /// Bytes quarantined by the journal scrubber (damaged spans, torn
+    /// tails, dropped duplicates).
     pub quarantined_bytes: u64,
+    /// Whole records destroyed by mid-journal damage.
+    pub quarantined_records: u32,
+    /// Journal self-heals: resyncs past damage plus dropped duplicate
+    /// segments.
+    pub journal_repairs: u32,
+    /// Checkpoint loads that fell back past a damaged slot.
+    pub checkpoints_recovered: u32,
     /// Apps recovered from the journal instead of re-measured.
     pub resumed_apps: usize,
     /// Apps measured by this process.
@@ -488,6 +496,12 @@ pub fn table_run_health(r: &RunHealthReport) -> String {
     t.row(&["watchdog breaches", &r.watchdog_breaches.to_string()]);
     t.row(&["journal truncations", &r.journal_truncations.to_string()]);
     t.row(&["quarantined bytes", &r.quarantined_bytes.to_string()]);
+    t.row(&["quarantined records", &r.quarantined_records.to_string()]);
+    t.row(&["journal repairs", &r.journal_repairs.to_string()]);
+    t.row(&[
+        "checkpoints recovered",
+        &r.checkpoints_recovered.to_string(),
+    ]);
     t.row(&["apps resumed from journal", &r.resumed_apps.to_string()]);
     t.row(&["apps measured fresh", &r.fresh_apps.to_string()]);
     t.row(&[
@@ -748,6 +762,9 @@ mod tests {
             watchdog_breaches: 0,
             journal_truncations: 1,
             quarantined_bytes: 58,
+            quarantined_records: 2,
+            journal_repairs: 3,
+            checkpoints_recovered: 1,
             resumed_apps: 4,
             fresh_apps: 46,
             replayed_prior_epoch: 39,
@@ -765,6 +782,9 @@ mod tests {
         assert!(s.contains("circuit-breaker trips"));
         assert!(s.contains("apps replayed from prior epoch"));
         assert!(s.contains("apps reanalyzed (dirty)"));
+        assert!(s.contains("quarantined records"));
+        assert!(s.contains("journal repairs"));
+        assert!(s.contains("checkpoints recovered"));
         for n in ["1", "7", "58", "4", "46", "39", "11"] {
             assert!(s.contains(n), "missing {n} in:\n{s}");
         }

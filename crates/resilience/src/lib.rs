@@ -19,6 +19,18 @@
 //!   budget is exhausted the callee abandons the remaining work with a
 //!   structured [`DeadlineExceeded`], never a partial result.
 //!
+//! PR 10 adds the durable-storage layer underneath the journals:
+//!
+//! * [`media`] — the [`Media`] storage contract (append / flush / crash /
+//!   read-back) with the perfect [`VecMedia`] and the seeded hostile
+//!   [`FaultMedia`] driven by a [`MediaFaultPlan`] (torn writes, lying
+//!   flushes, read-back bit rot, ENOSPC, duplicated segments).
+//! * [`recovery`] — the one shared checksummed-frame reader
+//!   (PINJRNL1 and STRMJRN1 write physically identical records), both as
+//!   the historical strict prefix reader and as the self-healing
+//!   [`scrub_frames`] scrubber, plus generation-stamped double-buffered
+//!   [`CheckpointStore`] checkpoints.
+//!
 //! Everything here is deterministic by construction: no wall clocks, no
 //! global state, no OS randomness.
 
@@ -27,8 +39,17 @@
 
 pub mod breaker;
 pub mod deadline;
+pub mod media;
+pub mod recovery;
 pub mod retry;
 
 pub use breaker::{Admission, BreakerConfig, BreakerSet, BreakerState};
 pub use deadline::{Deadline, DeadlineExceeded};
+pub use media::{
+    persist_through, FaultMedia, Media, MediaError, MediaFaultPlan, MediaStats, VecMedia,
+};
+pub use recovery::{
+    append_frame, read_frames_strict, scrub_frames, CheckpointStore, RecoveredCheckpoint,
+    RecoveredFrames, ScrubStats, FRAME_OVERHEAD,
+};
 pub use retry::RetryPolicy;

@@ -1,0 +1,543 @@
+//! Durable-media abstraction and seeded storage-fault injection.
+//!
+//! Every journal in this workspace (the PINJRNL1 result journal, the
+//! STRMJRN1 shard journal, the epoch checkpoint) is crash-safe against
+//! one failure: the process dying over a perfect byte buffer. Real
+//! durable media fail differently — an unflushed tail vanishes, a write
+//! lands only partially, a lying disk acknowledges an fsync it never
+//! performed, read-back flips bits, the volume fills up, a retried write
+//! lands twice. [`Media`] models the storage contract those journals
+//! actually depend on, with two implementations:
+//!
+//! * [`VecMedia`] — the perfect in-memory medium, byte-exact with the
+//!   `Vec<u8>` buffers the journals used before this layer existed.
+//!   Every byte appended is instantly durable; `crash` loses nothing.
+//! * [`FaultMedia`] — a seeded hostile medium driven by a
+//!   [`MediaFaultPlan`]. Same API, worst-case physics: data is durable
+//!   only once a *successful* flush has covered it, crashes tear the
+//!   unflushed tail, reads may rot, and appends may duplicate or hit
+//!   `ENOSPC`.
+//!
+//! Everything is deterministic: all fault draws come from a
+//! [`SplitMix64`] stream seeded by the plan, so a chaos-matrix cell can
+//! be replayed bit-for-bit from `(seed, plan, kill point)`.
+
+use pinning_crypto::SplitMix64;
+
+/// A write the medium refused.
+///
+/// The only *refusal* a durable medium issues synchronously is running
+/// out of space; every other storage fault (torn writes, lost flushes,
+/// bit rot) is silent and surfaces at recovery time instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MediaError {
+    /// The medium is full: accepting the write would exceed capacity.
+    NoSpace,
+}
+
+impl std::fmt::Display for MediaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MediaError::NoSpace => write!(f, "medium out of space (ENOSPC)"),
+        }
+    }
+}
+
+impl std::error::Error for MediaError {}
+
+/// The storage contract the journals write against.
+///
+/// The model is an append-only file plus an explicit durability barrier:
+///
+/// * [`append`](Media::append) buffers bytes at the end of the medium;
+/// * [`flush`](Media::flush) is the barrier — data covered by a
+///   successful flush must survive a [`crash`](Media::crash);
+/// * [`crash`](Media::crash) simulates the process (and page cache)
+///   dying: what happens to unflushed bytes is the medium's business;
+/// * [`read_back`](Media::read_back) is what a fresh process would read
+///   from the medium (takes `&mut self` because a faulty medium may rot
+///   bits on the read path, consuming RNG state);
+/// * [`reset`](Media::reset) truncates to empty (checkpoint slots are
+///   rewritten in place by truncate-then-write).
+pub trait Media {
+    /// Appends bytes at the end of the medium.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), MediaError>;
+    /// Durability barrier: on success, everything appended so far must
+    /// survive a crash. A faulty medium may *lie* — report success while
+    /// leaving the data volatile.
+    fn flush(&mut self) -> Result<(), MediaError>;
+    /// The process and its page cache die. Unflushed bytes are torn or
+    /// lost according to the medium's physics.
+    fn crash(&mut self);
+    /// The bytes a fresh process reads from the medium.
+    fn read_back(&mut self) -> Vec<u8>;
+    /// Truncates the medium to empty.
+    fn reset(&mut self);
+}
+
+impl<M: Media + ?Sized> Media for &mut M {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), MediaError> {
+        (**self).append(bytes)
+    }
+
+    fn flush(&mut self) -> Result<(), MediaError> {
+        (**self).flush()
+    }
+
+    fn crash(&mut self) {
+        (**self).crash()
+    }
+
+    fn read_back(&mut self) -> Vec<u8> {
+        (**self).read_back()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+/// The perfect medium: an in-memory byte buffer where every append is
+/// instantly durable. Byte-exact with the pre-media `Vec<u8>` journals —
+/// a journal written through `VecMedia` is identical to one written
+/// before this layer existed.
+#[derive(Debug, Clone, Default)]
+pub struct VecMedia {
+    bytes: Vec<u8>,
+}
+
+impl VecMedia {
+    /// An empty perfect medium.
+    pub fn new() -> VecMedia {
+        VecMedia::default()
+    }
+
+    /// A medium pre-loaded with an existing image.
+    pub fn from_bytes(bytes: Vec<u8>) -> VecMedia {
+        VecMedia { bytes }
+    }
+
+    /// Borrow of the current image (no copy — the perfect medium's
+    /// read-back can never differ from its contents).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the medium into its image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl Media for VecMedia {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), MediaError> {
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), MediaError> {
+        Ok(())
+    }
+
+    fn crash(&mut self) {}
+
+    fn read_back(&mut self) -> Vec<u8> {
+        self.bytes.clone()
+    }
+
+    fn reset(&mut self) {
+        self.bytes.clear();
+    }
+}
+
+/// Seeded storage-fault schedule for a [`FaultMedia`].
+///
+/// Probabilities are per operation (per append, per flush, per read).
+/// All draws derive from `seed`, so a plan replays identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MediaFaultPlan {
+    /// Seed of the fault-draw stream.
+    pub seed: u64,
+    /// P(an unflushed tail is torn at crash): a random *prefix* of the
+    /// bytes appended since the last effective flush survives, cutting
+    /// mid-frame. With probability `1 - torn_write` the tail is lost
+    /// whole — both are legal outcomes for unflushed data.
+    pub torn_write: f64,
+    /// P(a flush lies): it reports success but leaves the data volatile,
+    /// so a later crash loses bytes the writer believed durable.
+    pub lost_flush: f64,
+    /// P(a read-back is rotted): up to [`rot_bits`](Self::rot_bits)
+    /// seeded bit flips are applied to the returned copy.
+    pub read_rot: f64,
+    /// Maximum bits flipped per rotted read (at least 1 when it fires).
+    pub rot_bits: u32,
+    /// P(an append lands twice — a retried write duplicating a segment).
+    pub duplicate_segment: f64,
+    /// Capacity in bytes; appends that would exceed it fail with
+    /// [`MediaError::NoSpace`]. `None` = unbounded.
+    pub capacity: Option<u64>,
+}
+
+impl MediaFaultPlan {
+    /// No faults at all: `FaultMedia` under this plan behaves exactly
+    /// like [`VecMedia`] (the equivalence is tested).
+    pub fn none(seed: u64) -> MediaFaultPlan {
+        MediaFaultPlan {
+            seed,
+            torn_write: 0.0,
+            lost_flush: 0.0,
+            read_rot: 0.0,
+            rot_bits: 0,
+            duplicate_segment: 0.0,
+            capacity: None,
+        }
+    }
+
+    /// Every crash tears the unflushed tail at a random byte.
+    pub fn torn(seed: u64) -> MediaFaultPlan {
+        MediaFaultPlan {
+            torn_write: 1.0,
+            ..MediaFaultPlan::none(seed)
+        }
+    }
+
+    /// Half of all flushes lie, so crashes lose "durable" tails.
+    pub fn lossy_flush(seed: u64) -> MediaFaultPlan {
+        MediaFaultPlan {
+            lost_flush: 0.5,
+            torn_write: 0.5,
+            ..MediaFaultPlan::none(seed)
+        }
+    }
+
+    /// Every read-back flips up to four bits somewhere in the image.
+    pub fn bit_rot(seed: u64) -> MediaFaultPlan {
+        MediaFaultPlan {
+            read_rot: 1.0,
+            rot_bits: 4,
+            ..MediaFaultPlan::none(seed)
+        }
+    }
+
+    /// A medium that fills up after `capacity` bytes.
+    pub fn tight(seed: u64, capacity: u64) -> MediaFaultPlan {
+        MediaFaultPlan {
+            capacity: Some(capacity),
+            ..MediaFaultPlan::none(seed)
+        }
+    }
+
+    /// A third of all appends land twice (duplicated segments).
+    pub fn duplicating(seed: u64) -> MediaFaultPlan {
+        MediaFaultPlan {
+            duplicate_segment: 0.34,
+            ..MediaFaultPlan::none(seed)
+        }
+    }
+
+    /// Everything at once, at moderate rates — the storage analogue of
+    /// `FaultConfig::chaos()`.
+    pub fn chaos(seed: u64) -> MediaFaultPlan {
+        MediaFaultPlan {
+            seed,
+            torn_write: 0.5,
+            lost_flush: 0.2,
+            read_rot: 0.3,
+            rot_bits: 2,
+            duplicate_segment: 0.15,
+            capacity: None,
+        }
+    }
+}
+
+/// Cumulative fault telemetry for one [`FaultMedia`] (what the medium
+/// actually did, as opposed to what the plan allowed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MediaStats {
+    /// Appends accepted.
+    pub appends: u64,
+    /// Flush barriers requested.
+    pub flushes: u64,
+    /// Crashes where a torn prefix of the unflushed tail survived.
+    pub torn_writes: u32,
+    /// Flushes that lied (reported success, stayed volatile).
+    pub lost_flushes: u32,
+    /// Read-backs that returned rotted bytes.
+    pub rotted_reads: u32,
+    /// Appends that landed twice.
+    pub duplicated_segments: u32,
+    /// Appends refused with [`MediaError::NoSpace`].
+    pub nospace_rejections: u32,
+    /// Crashes simulated.
+    pub crashes: u32,
+}
+
+/// A seeded hostile medium: same [`Media`] contract as [`VecMedia`],
+/// worst-case durable-storage physics underneath.
+///
+/// Internally the image is three segments: `durable` (covered by an
+/// honest flush — survives anything), `limbo` (covered by a *lying*
+/// flush — the writer believes it durable, a crash proves otherwise),
+/// and `tail` (appended since the last flush — fair game at crash).
+/// `read_back` before a crash sees all three, exactly like reading a
+/// file through the page cache; after a crash only `durable` remains.
+#[derive(Debug, Clone)]
+pub struct FaultMedia {
+    plan: MediaFaultPlan,
+    rng: SplitMix64,
+    durable: Vec<u8>,
+    limbo: Vec<u8>,
+    tail: Vec<u8>,
+    stats: MediaStats,
+}
+
+impl FaultMedia {
+    /// An empty hostile medium under `plan`.
+    pub fn new(plan: MediaFaultPlan) -> FaultMedia {
+        FaultMedia {
+            rng: SplitMix64::new(plan.seed).derive("fault-media"),
+            plan,
+            durable: Vec::new(),
+            limbo: Vec::new(),
+            tail: Vec::new(),
+            stats: MediaStats::default(),
+        }
+    }
+
+    /// Fault telemetry so far.
+    pub fn stats(&self) -> MediaStats {
+        self.stats
+    }
+
+    /// The plan this medium runs under.
+    pub fn plan(&self) -> &MediaFaultPlan {
+        &self.plan
+    }
+
+    fn stored_len(&self) -> u64 {
+        (self.durable.len() + self.limbo.len() + self.tail.len()) as u64
+    }
+}
+
+impl Media for FaultMedia {
+    fn append(&mut self, bytes: &[u8]) -> Result<(), MediaError> {
+        if let Some(cap) = self.plan.capacity {
+            if self.stored_len() + bytes.len() as u64 > cap {
+                self.stats.nospace_rejections += 1;
+                return Err(MediaError::NoSpace);
+            }
+        }
+        self.stats.appends += 1;
+        if self.rng.chance(self.plan.duplicate_segment) {
+            self.stats.duplicated_segments += 1;
+            self.tail.extend_from_slice(bytes);
+        }
+        self.tail.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), MediaError> {
+        self.stats.flushes += 1;
+        if self.rng.chance(self.plan.lost_flush) {
+            // The lie: the writer is told the barrier held, but the bytes
+            // stay volatile until an honest flush (or a crash) settles it.
+            self.stats.lost_flushes += 1;
+            self.limbo.append(&mut self.tail);
+        } else {
+            self.durable.append(&mut self.limbo);
+            self.durable.append(&mut self.tail);
+        }
+        Ok(())
+    }
+
+    fn crash(&mut self) {
+        self.stats.crashes += 1;
+        // Bytes behind a lying flush die with the cache.
+        self.limbo.clear();
+        // The unflushed tail tears (a prefix lands) or vanishes whole.
+        if !self.tail.is_empty() && self.rng.chance(self.plan.torn_write) {
+            let keep = self.rng.next_below(self.tail.len() as u64 + 1) as usize;
+            if keep > 0 {
+                self.stats.torn_writes += 1;
+                self.durable.extend_from_slice(&self.tail[..keep]);
+            }
+        }
+        self.tail.clear();
+    }
+
+    fn read_back(&mut self) -> Vec<u8> {
+        let mut out = self.durable.clone();
+        out.extend_from_slice(&self.limbo);
+        out.extend_from_slice(&self.tail);
+        if !out.is_empty() && self.rng.chance(self.plan.read_rot) {
+            self.stats.rotted_reads += 1;
+            let flips = 1 + self.rng.next_below(self.plan.rot_bits.max(1) as u64) as u32;
+            for _ in 0..flips {
+                let byte = self.rng.next_below(out.len() as u64) as usize;
+                let bit = self.rng.next_below(8) as u8;
+                out[byte] ^= 1 << bit;
+            }
+        }
+        out
+    }
+
+    fn reset(&mut self) {
+        self.durable.clear();
+        self.limbo.clear();
+        self.tail.clear();
+    }
+}
+
+/// Persists a byte image through a medium the way a journaling process
+/// would: `chunk`-sized appends with a flush barrier after each, so a
+/// later [`Media::crash`] exercises torn tails and lost flushes at
+/// realistic boundaries. Stops at the first refusal.
+pub fn persist_through<M: Media>(
+    media: &mut M,
+    bytes: &[u8],
+    chunk: usize,
+) -> Result<(), MediaError> {
+    for piece in bytes.chunks(chunk.max(1)) {
+        media.append(piece)?;
+        media.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_media_is_a_perfect_store() {
+        let mut m = VecMedia::new();
+        m.append(b"abc").unwrap();
+        m.crash(); // loses nothing
+        m.append(b"def").unwrap();
+        m.flush().unwrap();
+        assert_eq!(m.read_back(), b"abcdef");
+        assert_eq!(m.bytes(), b"abcdef");
+        m.reset();
+        assert!(m.read_back().is_empty());
+    }
+
+    #[test]
+    fn faultless_plan_matches_vec_media_byte_for_byte() {
+        let mut perfect = VecMedia::new();
+        let mut hostile = FaultMedia::new(MediaFaultPlan::none(0x5EED));
+        for chunk in [b"PINJRNL1".as_slice(), &[0u8; 32], b"record-1", b"record-2"] {
+            perfect.append(chunk).unwrap();
+            hostile.append(chunk).unwrap();
+            perfect.flush().unwrap();
+            hostile.flush().unwrap();
+        }
+        hostile.crash();
+        assert_eq!(perfect.read_back(), hostile.read_back());
+        assert_eq!(
+            hostile.stats(),
+            MediaStats {
+                appends: 4,
+                flushes: 4,
+                crashes: 1,
+                ..MediaStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn unflushed_tail_dies_or_tears_at_crash() {
+        // Whole-loss plan: torn_write = 0 ⇒ the tail vanishes entirely.
+        let mut m = FaultMedia::new(MediaFaultPlan::none(1));
+        m.append(b"flushed").unwrap();
+        m.flush().unwrap();
+        m.append(b"volatile").unwrap();
+        m.crash();
+        assert_eq!(m.read_back(), b"flushed");
+
+        // Torn plan: some prefix of the tail may land, never a suffix.
+        let mut any_torn = false;
+        for seed in 0..32u64 {
+            let mut m = FaultMedia::new(MediaFaultPlan::torn(seed));
+            m.append(b"flushed|").unwrap();
+            m.flush().unwrap();
+            m.append(b"0123456789").unwrap();
+            m.crash();
+            let got = m.read_back();
+            assert!(got.starts_with(b"flushed|"), "flushed data must survive");
+            let tail = &got[8..];
+            assert!(b"0123456789".starts_with(tail), "tail must be a prefix");
+            any_torn |= !tail.is_empty() && tail.len() < 10;
+        }
+        assert!(any_torn, "32 seeds must tear at least one tail mid-way");
+    }
+
+    #[test]
+    fn lying_flush_loses_data_at_crash_only() {
+        let plan = MediaFaultPlan {
+            lost_flush: 1.0,
+            ..MediaFaultPlan::none(7)
+        };
+        let mut m = FaultMedia::new(plan);
+        m.append(b"doomed").unwrap();
+        m.flush().unwrap(); // lies
+        assert_eq!(m.read_back(), b"doomed", "pre-crash reads see the cache");
+        m.crash();
+        assert!(m.read_back().is_empty(), "the lying flush never persisted");
+        assert_eq!(m.stats().lost_flushes, 1);
+    }
+
+    #[test]
+    fn read_rot_flips_bits_deterministically() {
+        let run = |seed: u64| {
+            let mut m = FaultMedia::new(MediaFaultPlan::bit_rot(seed));
+            m.append(&[0u8; 64]).unwrap();
+            m.flush().unwrap();
+            m.read_back()
+        };
+        assert_eq!(run(3), run(3), "same seed, same rot");
+        assert_ne!(run(3), vec![0u8; 64], "rot must flip something");
+        let mut m = FaultMedia::new(MediaFaultPlan::bit_rot(3));
+        m.append(&[0u8; 64]).unwrap();
+        m.flush().unwrap();
+        m.read_back();
+        assert_eq!(m.stats().rotted_reads, 1);
+    }
+
+    #[test]
+    fn capacity_refuses_with_nospace_and_keeps_prior_bytes() {
+        let mut m = FaultMedia::new(MediaFaultPlan::tight(9, 10));
+        m.append(b"0123456").unwrap();
+        m.flush().unwrap();
+        assert_eq!(m.append(b"89abc"), Err(MediaError::NoSpace));
+        m.append(b"89a").unwrap(); // exactly fills
+        assert_eq!(m.stats().nospace_rejections, 1);
+        m.crash();
+        assert!(m.read_back().starts_with(b"0123456"));
+    }
+
+    #[test]
+    fn duplicated_segments_land_twice() {
+        let plan = MediaFaultPlan {
+            duplicate_segment: 1.0,
+            ..MediaFaultPlan::none(11)
+        };
+        let mut m = FaultMedia::new(plan);
+        m.append(b"ab").unwrap();
+        m.flush().unwrap();
+        assert_eq!(m.read_back(), b"abab");
+        assert_eq!(m.stats().duplicated_segments, 1);
+    }
+
+    #[test]
+    fn persist_through_chunks_and_flushes() {
+        let mut m = VecMedia::new();
+        persist_through(&mut m, b"hello world", 4).unwrap();
+        assert_eq!(m.read_back(), b"hello world");
+
+        let mut tight = FaultMedia::new(MediaFaultPlan::tight(2, 6));
+        assert_eq!(
+            persist_through(&mut tight, b"hello world", 4),
+            Err(MediaError::NoSpace)
+        );
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`report`] | `pinning-report` | renderers for every paper table and figure |
 //! | [`core`] | `pinning-core` | end-to-end study orchestrator |
 //! | [`epoch`] | `pinning-epoch` | longitudinal store evolution + incremental re-study engine |
+//! | [`resilience`] | `pinning-resilience` | breakers, deadlines, retries, durable-media fault model + journal recovery |
 //!
 //! ## Quickstart
 //!
@@ -41,5 +42,6 @@ pub use pinning_epoch as epoch;
 pub use pinning_netsim as netsim;
 pub use pinning_pki as pki;
 pub use pinning_report as report;
+pub use pinning_resilience as resilience;
 pub use pinning_store as store;
 pub use pinning_tls as tls;

@@ -562,3 +562,296 @@ fn tight_deadlines_time_out_structurally_never_partially() {
         "some deadlines must expire mid-chain-verification"
     );
 }
+
+// ---------------------------------------------------------------------
+// Durable-media fault matrix: every journal writer (PINJRNL1, STRMJRN1,
+// EpochState checkpoints) × every seeded MediaFaultPlan × kill point.
+// The invariant under test is the PR's contract: a resume is either
+// byte-identical to the uninterrupted run (when a clean prefix
+// survives) or a structured error — never a panic, never silently
+// wrong data.
+
+use pinning_core::journal::{AppOutcome, JournalEntry, JournalError, MeasuredApp, ResultJournal};
+use pinning_core::stream::{StreamConfig, StreamEngine, StreamOutcome};
+use pinning_epoch::plan::EpochConfig;
+use pinning_epoch::study::Evolution;
+use pinning_resilience::{CheckpointStore, FaultMedia, Media, MediaError, MediaFaultPlan};
+
+/// The fault regimes swept by every matrix test. `tight` is the ENOSPC
+/// regime; the rest exercise torn tails, lying flushes, read-back rot,
+/// and duplicated segments.
+fn fault_plans(seed: u64) -> Vec<(&'static str, MediaFaultPlan)> {
+    vec![
+        ("none", MediaFaultPlan::none(seed)),
+        ("torn", MediaFaultPlan::torn(seed)),
+        ("lossy-flush", MediaFaultPlan::lossy_flush(seed)),
+        ("bit-rot", MediaFaultPlan::bit_rot(seed)),
+        ("duplicating", MediaFaultPlan::duplicating(seed)),
+        ("tight", MediaFaultPlan::tight(seed, 700)),
+        ("chaos", MediaFaultPlan::chaos(seed)),
+    ]
+}
+
+/// Synthetic but representative per-app journal entries with unique app
+/// indices, so any recovered record can be checked against exactly what
+/// was written for that app.
+fn matrix_entries() -> Vec<JournalEntry> {
+    (0..10u64)
+        .map(|i| JournalEntry {
+            app_index: i,
+            outcome: if i % 3 == 0 {
+                AppOutcome::Failed(MeasurementError::WorkerPanic)
+            } else {
+                AppOutcome::Measured(Box::new(MeasuredApp {
+                    pinned_destinations: vec![format!("api{i}.example.com")],
+                    used_destinations: vec![
+                        format!("api{i}.example.com"),
+                        "cdn.example.net".into(),
+                    ],
+                    weak_overall: i % 2 == 0,
+                    weak_pinned: false,
+                    pinned_bodies: vec![],
+                    unpinned_bodies: vec![format!("telemetry-{i}")],
+                    circumvention: None,
+                    n_handshakes_baseline: 3 + i,
+                    settled_rerun: false,
+                    breaker_trips: 0,
+                }))
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn pinjrnl_fault_matrix_is_byte_identical_or_structurally_degraded() {
+    let fingerprint = [0x42; 32];
+    let entries = matrix_entries();
+    let (mut cells, mut exact, mut degraded, mut refused) = (0u32, 0u32, 0u32, 0u32);
+    for (name, base) in fault_plans(0x10A7) {
+        for kill_after in [0usize, 3, 7, 10] {
+            cells += 1;
+            // A distinct fault stream per matrix cell.
+            let plan = MediaFaultPlan {
+                seed: base.seed ^ ((kill_after as u64 + 1) << 32),
+                ..base
+            };
+            let mut journal = match ResultJournal::create_on(FaultMedia::new(plan), fingerprint) {
+                Ok(j) => j,
+                Err(MediaError::NoSpace) => {
+                    assert_eq!(name, "tight", "{name}: only ENOSPC may refuse the header");
+                    continue;
+                }
+            };
+            let mut committed = 0;
+            for entry in entries.iter().take(kill_after) {
+                match journal.try_append(entry) {
+                    Ok(()) => committed += 1,
+                    Err(MediaError::NoSpace) => {
+                        assert_eq!(name, "tight", "{name}: only ENOSPC may refuse an append");
+                        break;
+                    }
+                }
+            }
+            let mut media = journal.into_media();
+            media.crash();
+            let image = media.read_back();
+
+            match ResultJournal::open(&image) {
+                Ok(replay) => {
+                    // Soundness: every recovered record is exactly what
+                    // was written for that app index — rot is caught by
+                    // the checksum and quarantined, never half-parsed.
+                    assert!(replay.entries.len() <= committed, "{name}/kill{kill_after}");
+                    for e in &replay.entries {
+                        assert_eq!(
+                            e, &entries[e.app_index as usize],
+                            "{name}/kill{kill_after}: recovered record differs from what was written"
+                        );
+                    }
+                    // Plans that cannot lose flushed data or rot reads
+                    // must recover the committed prefix byte-exactly.
+                    if plan.lost_flush == 0.0 && plan.read_rot == 0.0 {
+                        assert_eq!(
+                            replay.entries,
+                            entries[..committed],
+                            "{name}/kill{kill_after}: clean prefix must survive intact"
+                        );
+                        assert_eq!(replay.fingerprint, fingerprint);
+                    }
+                    if replay.entries == entries[..committed] {
+                        exact += 1;
+                    } else {
+                        degraded += 1;
+                    }
+                }
+                // Only read-back rot can damage the 40-byte header, and
+                // only a lying flush can lose it outright; every other
+                // plan leaves the flushed header intact.
+                Err(e) => {
+                    assert!(
+                        plan.read_rot > 0.0 || plan.lost_flush > 0.0,
+                        "{name}/kill{kill_after}: unexpected structured error {e:?}"
+                    );
+                    refused += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "PINJRNL1 matrix: {cells} cells — {exact} exact committed prefix, \
+         {degraded} degraded-but-sound, {refused} structured errors"
+    );
+}
+
+#[test]
+fn stream_fault_matrix_resumes_byte_identically_or_errors_structurally() {
+    let make = |kill: Option<usize>| {
+        let mut cfg = StreamConfig::new(WorldConfig::tiny(0x57A6), 4);
+        cfg.kill_after_shards = kill;
+        cfg
+    };
+    let reference = match StreamEngine::new(make(None)).run() {
+        StreamOutcome::Completed(r) => r.render_report(),
+        StreamOutcome::Interrupted { .. } => panic!("no kill configured"),
+    };
+
+    let (mut cells, mut identical, mut structured) = (0u32, 0u32, 0u32);
+    for (name, base) in fault_plans(0x57A6) {
+        for kill_after in [1usize, 3] {
+            cells += 1;
+            let plan = MediaFaultPlan {
+                seed: base.seed ^ ((kill_after as u64 + 1) << 40),
+                ..base
+            };
+            // Phase 1: run to the kill point over faulty media. A medium
+            // that fills up is a structured Media error, never a panic.
+            let engine = StreamEngine::new(make(Some(kill_after)));
+            let mut media = match engine.run_on_media(FaultMedia::new(plan)) {
+                Ok(StreamOutcome::Interrupted { journal, .. }) => journal.into_media(),
+                Ok(StreamOutcome::Completed(_)) => panic!("{name}: kill hook must interrupt"),
+                Err(JournalError::Media(MediaError::NoSpace)) => {
+                    assert_eq!(name, "tight", "{name}: only ENOSPC may abort the run");
+                    structured += 1;
+                    continue;
+                }
+                Err(e) => panic!("{name}/kill{kill_after}: unexpected {e:?}"),
+            };
+            // Phase 2: the process dies; only what the medium made
+            // durable survives. Resume over the same medium.
+            media.crash();
+            match StreamEngine::new(make(None)).resume_media(media) {
+                Ok(StreamOutcome::Completed(results)) => {
+                    assert_eq!(
+                        results.render_report(),
+                        reference,
+                        "{name}/kill{kill_after}: resumed report must be byte-identical"
+                    );
+                    // Lost shards were re-measured, not invented: plans
+                    // that lose or damage data must show up in the
+                    // run-health accounting or in re-measured shards.
+                    let health = results.render_health();
+                    assert!(health.contains("quarantined"), "{health}");
+                    identical += 1;
+                }
+                Ok(StreamOutcome::Interrupted { .. }) => {
+                    panic!("{name}/kill{kill_after}: resume without a kill must complete")
+                }
+                // Header rot or a lying header-flush can make the
+                // surviving image unopenable — a structured error,
+                // never a panic or a wrong report.
+                Err(e) => {
+                    assert!(
+                        plan.read_rot > 0.0
+                            || plan.lost_flush > 0.0
+                            || matches!(e, JournalError::Media(MediaError::NoSpace)),
+                        "{name}/kill{kill_after}: unexpected {e:?}"
+                    );
+                    structured += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "STRMJRN1 matrix: {cells} cells — {identical} byte-identical resumes, \
+         {structured} structured errors"
+    );
+}
+
+#[test]
+fn epoch_checkpoint_fault_matrix_restores_a_completed_epoch_or_errors() {
+    // Reference: snapshots of the cumulative report after each epoch.
+    let config = || EpochConfig::tiny(0xE9);
+    let mut reference = Evolution::new(config(), true);
+    let mut snapshots = Vec::new();
+    for _ in 0..2 {
+        reference.next_epoch().unwrap();
+        snapshots.push(reference.full_report());
+    }
+
+    let (mut plans, mut newest, mut fell_back, mut errored) = (0u32, 0u32, 0u32, 0u32);
+    for (name, base) in fault_plans(0xE9) {
+        plans += 1;
+        let slot = |tag: u64| {
+            FaultMedia::new(MediaFaultPlan {
+                seed: base.seed ^ (tag << 48),
+                ..base
+            })
+        };
+        let mut store = CheckpointStore::new(slot(1), slot(2));
+        let mut ev = Evolution::new(config(), true);
+        let mut saved = 0;
+        for _ in 0..2 {
+            ev.next_epoch().unwrap();
+            match ev.checkpoint(&mut store) {
+                Ok(_) => saved += 1,
+                Err(MediaError::NoSpace) => {
+                    assert_eq!(name, "tight", "{name}: only ENOSPC may refuse a checkpoint")
+                }
+            }
+        }
+        store.crash();
+
+        match Evolution::from_checkpoint(config(), &mut store) {
+            Ok(restored) => {
+                // Whatever generation survived, the restored engine is a
+                // bit-exact past state — never a blend of two epochs.
+                let done = restored.completed();
+                assert!(
+                    (1..=2).contains(&done),
+                    "{name}: restored {done} completed epochs"
+                );
+                assert_eq!(
+                    restored.full_report(),
+                    snapshots[done - 1],
+                    "{name}: restored report must match the epoch-{done} snapshot"
+                );
+                if done == 2 {
+                    newest += 1;
+                } else {
+                    fell_back += 1;
+                }
+            }
+            // Both slots unreadable (rot) or never written (ENOSPC):
+            // a structured error names the degradation.
+            Err(e) => {
+                assert!(
+                    base.read_rot > 0.0 || base.lost_flush > 0.0 || saved == 0,
+                    "{name}: unexpected {e:?}"
+                );
+                errored += 1;
+            }
+        }
+
+        // The no-fault column must always restore the newest generation.
+        if name == "none" {
+            let restored = Evolution::from_checkpoint(config(), &mut store)
+                .expect("faultless checkpoints must load");
+            assert_eq!(restored.completed(), 2);
+            assert_eq!(restored.recovery().checkpoints_recovered, 0);
+        }
+    }
+    println!(
+        "EpochState matrix: {plans} plans — {newest} newest generation restored, \
+         {fell_back} stale-but-consistent fallbacks, {errored} structured errors"
+    );
+}

@@ -237,7 +237,7 @@ fn journal_reader_survives_random_truncation() {
                 assert!(replay.entries.len() <= entries.len());
                 assert_eq!(replay.entries, entries[..replay.entries.len()]);
                 // Accounting must balance: recovered + quarantined = input.
-                assert!(replay.quarantined_bytes <= cut);
+                assert!(replay.stats.quarantined_bytes as usize <= cut);
             }
             // Only a header cut may error.
             Err(_) => assert!(cut < 40, "record damage must not error (cut {cut})"),
@@ -250,7 +250,9 @@ fn journal_reader_survives_single_bit_flips() {
     // Flipping any single bit must never panic and never yield a record
     // that differs from what was written: the checksum catches payload
     // damage, framing checks catch length damage, and header damage is a
-    // clean error.
+    // clean error. The scrubber resyncs past the damaged record, so the
+    // recovered entries are an ordered *subsequence* of what was
+    // written — never an invented or corrupted record.
     let mut rng = SplitMix64::new(0x10a3);
     for _ in 0..CASES {
         let (journal, entries) = random_journal(&mut rng);
@@ -259,10 +261,14 @@ fn journal_reader_survives_single_bit_flips() {
         bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
         match ResultJournal::open(&bytes) {
             Ok(replay) => {
-                for (got, want) in replay.entries.iter().zip(&entries) {
-                    assert_eq!(got, want, "bit flip at {bit} corrupted a record");
-                }
                 assert!(replay.entries.len() <= entries.len());
+                let mut written = entries.iter();
+                for got in &replay.entries {
+                    assert!(
+                        written.any(|want| want == got),
+                        "bit flip at {bit} yielded a record that was never written"
+                    );
+                }
             }
             Err(_) => assert!(bit < 8 * 8, "only magic damage may error (bit {bit})"),
         }
